@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench experiments micro examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bench/main.exe -- experiments
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples: build
+	dune exec examples/quickstart.exe
+	dune exec examples/university_hospital.exe
+	dune exec examples/ring_exchange.exe
+	dune exec examples/dynamic_network.exe
+	dune exec examples/sensor_network.exe
+
+clean:
+	dune clean

@@ -1,0 +1,36 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe                 # every experiment + micro
+     dune exec bench/main.exe -- experiments  # the numbered experiments only
+     dune exec bench/main.exe -- e3 e5        # selected experiments
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+     dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Tables.csv_dir := Some dir;
+        extract_csv acc rest
+    | arg :: rest -> extract_csv (arg :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_csv [] args in
+  match args with
+  | [] ->
+      Experiments.run [];
+      Micro.run ()
+  | [ "experiments" ] -> Experiments.run []
+  | [ "micro" ] -> Micro.run ()
+  | names ->
+      if List.mem "micro" names then Micro.run ();
+      let experiment_names = List.filter (fun n -> n <> "micro") names in
+      let known = List.map fst Experiments.all in
+      let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
+      if unknown <> [] then begin
+        Printf.eprintf "unknown experiment(s): %s (known: %s, micro)\n"
+          (String.concat ", " unknown) (String.concat ", " known);
+        exit 1
+      end;
+      Experiments.run experiment_names

@@ -1,0 +1,65 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let render ~title ~header rows =
+  let columns = List.length header in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun idx cell ->
+          if idx < columns then widths.(idx) <- max widths.(idx) (String.length cell))
+        row)
+    rows;
+  let pad idx cell = Printf.sprintf "%-*s" widths.(idx) cell in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+(* When set (bench --csv DIR), every printed table is also written as
+   a CSV file named after the experiment id in its title. *)
+let csv_dir : string option ref = ref None
+
+let slug_of_title title =
+  let stop =
+    match String.index_opt title ' ' with Some i -> i | None -> String.length title
+  in
+  String.lowercase_ascii (String.sub title 0 stop)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header rows dir =
+  let path = Filename.concat dir (slug_of_title title ^ ".csv") in
+  let oc = open_out path in
+  let line cells = output_string oc (String.concat "," (List.map csv_escape cells) ^ "\n") in
+  line header;
+  List.iter line rows;
+  close_out oc
+
+let print ~title ~header rows =
+  print_endline (render ~title ~header rows);
+  print_newline ();
+  match !csv_dir with Some dir -> write_csv ~title ~header rows dir | None -> ()
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let f4 x = Printf.sprintf "%.4f" x
+
+let i0 = string_of_int

@@ -1,0 +1,405 @@
+(* codb — command-line front end.
+
+   Subcommands:
+     validate  check a network file
+     generate  emit a synthetic network file for a given topology
+     update    run a global update and print the super-peer report
+     query     answer a conjunctive query at a node
+     discover  run topology discovery from a node
+     info      print the parsed network structure
+
+   The network file syntax is documented in lib/cq/parser.mli and the
+   README. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Report = Codb_core.Report
+module Parser = Codb_cq.Parser
+module Pretty = Codb_cq.Pretty
+module Config = Codb_cq.Config
+module Tuple = Codb_relalg.Tuple
+module Peer_id = Codb_net.Peer_id
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let load_system path =
+  match Parser.load_config (read_file path) with
+  | Ok cfg -> Ok (System.build_exn cfg)
+  | Error errors -> Error (String.concat "\n" errors)
+
+let or_die = function
+  | Ok v -> v
+  | Error message ->
+      prerr_endline message;
+      exit 1
+
+(* --- validate ------------------------------------------------------ *)
+
+let validate_cmd file =
+  match Parser.load_config (read_file file) with
+  | Ok cfg ->
+      Fmt.pr "%s: OK (%d nodes, %d rules)@." file
+        (List.length cfg.Config.nodes)
+        (List.length cfg.Config.rules);
+      0
+  | Error errors ->
+      List.iter (Fmt.epr "%s@.") errors;
+      1
+
+(* --- generate ------------------------------------------------------ *)
+
+let shape_of_string s ~rows ~cols ~p =
+  match s with
+  | "chain" -> Ok Topology.Chain
+  | "ring" -> Ok Topology.Ring
+  | "star-in" -> Ok Topology.Star_in
+  | "star-out" -> Ok Topology.Star_out
+  | "tree" -> Ok Topology.Binary_tree
+  | "grid" -> Ok (Topology.Grid (rows, cols))
+  | "random" -> Ok (Topology.Random_graph p)
+  | "clique" -> Ok Topology.Clique
+  | other -> Error (Printf.sprintf "unknown shape %s" other)
+
+let generate_cmd shape n seed tuples existential comparison rows cols p =
+  let shape = or_die (shape_of_string shape ~rows ~cols ~p) in
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = tuples;
+      existential_frac = existential;
+      comparison_frac = comparison;
+    }
+  in
+  let cfg = Topology.generate ~params ~seed shape ~n in
+  print_string (Pretty.config_to_string cfg);
+  0
+
+(* --- update -------------------------------------------------------- *)
+
+let update_cmd file initiator verbose show_trace =
+  let sys = or_die (load_system file) in
+  let trace = if show_trace then Some (System.enable_trace sys) else None in
+  let initiator =
+    match initiator with
+    | Some name -> name
+    | None -> List.hd (System.node_names sys)
+  in
+  let uid = System.run_update sys ~initiator in
+  let snaps = System.snapshots sys in
+  (match Report.update_report snaps uid with
+  | Some report -> Fmt.pr "%a@." Report.pp_update_report report
+  | None -> Fmt.pr "no statistics recorded?@.");
+  if verbose then Fmt.pr "@.%a@." Report.pp_network snaps;
+  (match trace with
+  | Some t -> Fmt.pr "@.protocol trace:@.%a@." Codb_core.Trace.pp t
+  | None -> ());
+  0
+
+(* --- query --------------------------------------------------------- *)
+
+let query_cmd file at text after_update scoped certain_only =
+  let sys = or_die (load_system file) in
+  let q =
+    match Parser.parse_query text with
+    | Ok q -> q
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  let answers =
+    if scoped then begin
+      let _ = System.run_scoped_update sys ~at q in
+      System.local_answers sys ~at q
+    end
+    else if after_update then begin
+      let _ = System.run_update sys ~initiator:at in
+      System.local_answers sys ~at q
+    end
+    else begin
+      let outcome = System.run_query sys ~at q in
+      Fmt.pr "(fetched with %d data messages, %.4fs simulated)@."
+        outcome.System.qo_data_msgs
+        (outcome.System.qo_finished -. outcome.System.qo_started);
+      outcome.System.qo_answers
+    end
+  in
+  let answers = if certain_only then Codb_cq.Eval.certain answers else answers in
+  List.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) answers;
+  Fmt.pr "%d answer(s)@." (List.length answers);
+  0
+
+(* --- discover ------------------------------------------------------ *)
+
+let discover_cmd file at ttl =
+  let sys = or_die (load_system file) in
+  let peers = System.discover sys ~at ~ttl in
+  List.iter (fun p -> Fmt.pr "%a@." Peer_id.pp p) peers;
+  Fmt.pr "%d peer(s) discovered from %s with ttl %d@." (List.length peers) at ttl;
+  0
+
+(* --- info ---------------------------------------------------------- *)
+
+let info_cmd file dot =
+  let cfg =
+    or_die (Result.map_error (String.concat "\n") (Parser.load_config (read_file file)))
+  in
+  (match dot with
+  | Some "topology" ->
+      print_string (Codb_core.Viz.topology_dot cfg);
+      exit 0
+  | Some "rules" ->
+      print_string (Codb_core.Viz.dependency_dot cfg);
+      exit 0
+  | Some other ->
+      Fmt.epr "unknown --dot kind %s (expected topology or rules)@." other;
+      exit 1
+  | None -> ());
+  List.iter
+    (fun n ->
+      Fmt.pr "node %s%s: %d relation(s), %d fact(s)%s@." n.Config.node_name
+        (if n.Config.mediator then " (mediator)" else "")
+        (List.length n.Config.relations)
+        (List.length n.Config.facts)
+        (match n.Config.constraints with
+        | [] -> ""
+        | cs -> Printf.sprintf ", %d constraint(s)" (List.length cs)))
+    cfg.Config.nodes;
+  List.iter
+    (fun r ->
+      Fmt.pr "rule %s: %s <- %s  [%a]@." r.Config.rule_id r.Config.importer
+        r.Config.source Pretty.query r.Config.rule_query)
+    cfg.Config.rules;
+  0
+
+(* --- analyse ------------------------------------------------------- *)
+
+let analyse_cmd file minimise =
+  let cfg =
+    or_die (Result.map_error (String.concat "\n") (Parser.load_config (read_file file)))
+  in
+  let redundancies = Codb_core.Analysis.redundant_rules cfg in
+  List.iter (fun r -> Fmt.pr "%a@." Codb_core.Analysis.pp_redundancy r) redundancies;
+  if redundancies = [] then Fmt.pr "no redundant coordination rules@.";
+  (match Codb_core.Analysis.cyclic_components cfg with
+  | [] -> Fmt.pr "rule dependency graph is acyclic: no fix-point iteration needed@."
+  | components ->
+      List.iter
+        (fun c ->
+          Fmt.pr "cyclic component (needs fix-point): %s@." (String.concat ", " c))
+        components);
+  if minimise then begin
+    let minimal = Codb_core.Analysis.minimise cfg in
+    print_string (Pretty.config_to_string minimal)
+  end;
+  0
+
+(* --- cmdliner plumbing --------------------------------------------- *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Network file.")
+
+let validate_t =
+  let doc = "Parse and statically check a network file." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const validate_cmd $ file_arg)
+
+let generate_t =
+  let doc = "Generate a synthetic network file on stdout." in
+  let shape =
+    Arg.(
+      value
+      & opt string "chain"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:"chain, ring, star-in, star-out, tree, grid, random or clique.")
+  in
+  let n = Arg.(value & opt int 8 & info [ "nodes"; "n" ] ~doc:"Number of nodes.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let tuples = Arg.(value & opt int 50 & info [ "tuples" ] ~doc:"Base facts per node.") in
+  let existential =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "existential" ] ~doc:"Fraction of rules with existential heads.")
+  in
+  let comparison =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "comparison" ] ~doc:"Fraction of rules with a comparison predicate.")
+  in
+  let rows = Arg.(value & opt int 2 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid columns.") in
+  let p =
+    Arg.(value & opt float 0.2 & info [ "p" ] ~doc:"Random-graph edge probability.")
+  in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(
+      const generate_cmd $ shape $ n $ seed $ tuples $ existential $ comparison $ rows
+      $ cols $ p)
+
+let update_t =
+  let doc = "Run a global update and print the aggregated report." in
+  let initiator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "initiator"; "at" ] ~doc:"Initiating node (default: first node).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also dump per-node statistics.")
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the message-level protocol trace.")
+  in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(const update_cmd $ file_arg $ initiator $ verbose $ show_trace)
+
+let query_t =
+  let doc = "Answer a conjunctive query at a node." in
+  let at =
+    Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Node to query.")
+  in
+  let text =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. \"ans(x) <- r(x, y), y > 2\".")
+  in
+  let after_update =
+    Arg.(
+      value & flag
+      & info [ "materialise" ]
+          ~doc:
+            "Run a global update first and answer locally instead of fetching at query \
+             time.")
+  in
+  let scoped =
+    Arg.(
+      value & flag
+      & info [ "scoped" ]
+          ~doc:
+            "Run a query-dependent update first: materialise only what the query \
+             needs, then answer locally.")
+  in
+  let certain =
+    Arg.(value & flag & info [ "certain" ] ~doc:"Print only null-free answers.")
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain)
+
+let discover_t =
+  let doc = "Run JXTA-style topology discovery from a node." in
+  let at = Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Origin node.") in
+  let ttl = Arg.(value & opt int 3 & info [ "ttl" ] ~doc:"Probe time-to-live.") in
+  Cmd.v (Cmd.info "discover" ~doc) Term.(const discover_cmd $ file_arg $ at $ ttl)
+
+let info_t =
+  let doc = "Print the parsed structure of a network file." in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"KIND"
+          ~doc:"Emit Graphviz instead: 'topology' (peers and rules) or 'rules' (the \
+                rule dependency graph, cyclic components highlighted).")
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const info_cmd $ file_arg $ dot)
+
+(* --- dump / load --------------------------------------------------- *)
+
+let dump_cmd file update_first dir =
+  let sys = or_die (load_system file) in
+  if update_first then ignore (System.run_update sys ~initiator:(List.hd (System.node_names sys)));
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (name, text) ->
+      Out_channel.with_open_bin
+        (Filename.concat dir (name ^ ".csv"))
+        (fun oc -> Out_channel.output_string oc text))
+    (System.export_stores sys);
+  Fmt.pr "stores written to %s/@." dir;
+  0
+
+let load_cmd file dir query at =
+  let sys = or_die (load_system file) in
+  let loaded =
+    List.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir (name ^ ".csv") in
+        if Sys.file_exists path then
+          acc + System.import_stores sys [ (name, read_file path) ]
+        else acc)
+      0 (System.node_names sys)
+  in
+  Fmt.pr "%d tuple(s) loaded@." loaded;
+  (match (query, at) with
+  | Some text, Some at -> (
+      match Parser.parse_query text with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok q ->
+          let answers = System.local_answers sys ~at q in
+          List.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) answers;
+          Fmt.pr "%d answer(s)@." (List.length answers))
+  | _ -> ());
+  0
+
+let shell_cmd file =
+  let sys = or_die (load_system file) in
+  Shell.run sys;
+  0
+
+let shell_t =
+  let doc = "Interactive shell on a network (the demo's node UI)." in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const shell_cmd $ file_arg)
+
+let dump_t =
+  let doc = "Export every node's store as CSV files (marked nulls round-trip)." in
+  let update_first =
+    Arg.(value & flag & info [ "update" ] ~doc:"Run a global update before dumping.")
+  in
+  let dir =
+    Arg.(value & opt string "codb-dump" & info [ "dir" ] ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const dump_cmd $ file_arg $ update_first $ dir)
+
+let load_t =
+  let doc = "Rebuild a network and load previously dumped stores." in
+  let dir =
+    Arg.(value & opt string "codb-dump" & info [ "dir" ] ~doc:"Dump directory.")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ] ~doc:"Optionally answer a query locally after loading.")
+  in
+  let at =
+    Arg.(value & opt (some string) None & info [ "at" ] ~doc:"Node for --query.")
+  in
+  Cmd.v (Cmd.info "load" ~doc) Term.(const load_cmd $ file_arg $ dir $ query $ at)
+
+let analyse_t =
+  let doc = "Detect redundant coordination rules (CQ containment)." in
+  let minimise =
+    Arg.(
+      value & flag
+      & info [ "minimise" ] ~doc:"Print the network with redundant rules dropped.")
+  in
+  Cmd.v (Cmd.info "analyse" ~doc) Term.(const analyse_cmd $ file_arg $ minimise)
+
+let main =
+  let doc = "the coDB peer-to-peer database system (simulation)" in
+  Cmd.group
+    (Cmd.info "codb" ~version:"1.0.0" ~doc)
+    [
+      validate_t; generate_t; update_t; query_t; discover_t; info_t; analyse_t;
+      shell_t; dump_t; load_t;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,87 @@
+(* Cyclic coordination rules and the fix-point computation.
+
+   Four sites in a ring, each importing its neighbour's observations.
+   The rules are cyclic, so answering "what does site 0 know?"
+   requires the fix-point the paper's global update algorithm
+   computes: data travels all the way around, duplicate suppression
+   stops the loop, and the termination-detection layer closes the
+   links even though the paper's acyclic closing rule never fires.
+
+   The example also contrasts query-time answering (which only uses
+   simple paths) with the materialised fix-point.
+
+   Run with: dune exec examples/ring_exchange.exe *)
+
+module System = Codb_core.System
+module Report = Codb_core.Report
+module Topology = Codb_core.Topology
+module Parser = Codb_cq.Parser
+module Config = Codb_cq.Config
+
+let ring_text =
+  {|
+node s0 { relation obs(id: int, what: string); fact obs(1, "aurora"); }
+node s1 { relation obs(id: int, what: string); fact obs(2, "meteor"); }
+node s2 { relation obs(id: int, what: string); fact obs(3, "comet"); }
+node s3 { relation obs(id: int, what: string); fact obs(4, "eclipse"); }
+rule r0 at s0: obs(x, w) <- s1: obs(x, w);
+rule r1 at s1: obs(x, w) <- s2: obs(x, w);
+rule r2 at s2: obs(x, w) <- s3: obs(x, w);
+rule r3 at s3: obs(x, w) <- s0: obs(x, w);
+|}
+
+let parse_or_die text =
+  match Parser.load_config text with
+  | Ok cfg -> cfg
+  | Error errors ->
+      List.iter prerr_endline errors;
+      exit 1
+
+let query =
+  match Parser.parse_query "ans(x, w) <- obs(x, w)" with
+  | Ok q -> q
+  | Error e -> failwith e
+
+let () =
+  let cfg = parse_or_die ring_text in
+
+  (* Query-time: labels restrict propagation to simple paths, which on
+     a ring still reach everyone (s0 -> s1 -> s2 -> s3). *)
+  let sys_q = System.build_exn cfg in
+  let outcome = System.run_query sys_q ~at:"s0" query in
+  Fmt.pr "query-time at s0: %d observations, %d messages@."
+    (List.length outcome.System.qo_answers)
+    outcome.System.qo_data_msgs;
+
+  (* Global update: everyone converges to the union of all four
+     observations. *)
+  let sys_u = System.build_exn cfg in
+  let uid = System.run_update sys_u ~initiator:"s0" in
+  (match Report.update_report (System.snapshots sys_u) uid with
+  | Some r ->
+      Fmt.pr "update: duration %.4fs, %d data msgs, longest path %d, finished=%b@."
+        r.Report.ur_duration r.Report.ur_data_msgs r.Report.ur_longest_path
+        r.Report.ur_all_finished
+  | None -> assert false);
+  List.iter
+    (fun site ->
+      Fmt.pr "  %s knows %d observations@." site
+        (List.length (System.local_answers sys_u ~at:site query)))
+    [ "s0"; "s1"; "s2"; "s3" ];
+
+  (* The same exercise on generated rings of growing size: the number
+     of data messages grows quadratically (every fact visits every
+     edge once), the longest propagation path linearly. *)
+  Fmt.pr "@.generated rings (5 facts per node):@.";
+  Fmt.pr "  %-6s %-10s %-10s %-12s@." "n" "data msgs" "longest" "duration (s)";
+  List.iter
+    (fun n ->
+      let params = { Topology.default_params with Topology.tuples_per_node = 5 } in
+      let sys = System.build_exn (Topology.generate ~params ~seed:n Topology.Ring ~n) in
+      let uid = System.run_update sys ~initiator:"n0" in
+      match Report.update_report (System.snapshots sys) uid with
+      | Some r ->
+          Fmt.pr "  %-6d %-10d %-10d %-12.4f@." n r.Report.ur_data_msgs
+            r.Report.ur_longest_path r.Report.ur_duration
+      | None -> assert false)
+    [ 2; 4; 8; 12 ]

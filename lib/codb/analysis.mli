@@ -1,0 +1,48 @@
+(** Static analysis of coordination-rule sets.
+
+    coDB nodes may accumulate redundant coordination rules (e.g. after
+    repeated rules-file broadcasts): a rule whose query is contained in
+    another rule's query between the same pair of nodes imports
+    nothing the other does not already import, yet still costs a
+    request, an evaluation and link bookkeeping per update.  The
+    detection uses the classical CQ-containment test
+    ({!Codb_cq.Containment}), which is sound (conservative in the
+    presence of comparison predicates). *)
+
+module Config = Codb_cq.Config
+
+type redundancy = {
+  redundant : Config.rule_decl;  (** the rule that can be dropped *)
+  covered_by : Config.rule_decl;  (** the rule that subsumes it *)
+}
+
+val redundant_rules : Config.t -> redundancy list
+(** Every rule that is contained in another rule with the same
+    importer and source.  When two rules are equivalent, the one with
+    the lexicographically larger id is reported as redundant (so
+    exactly one of each equivalent pair survives). *)
+
+val minimise : Config.t -> Config.t
+(** Drop every redundant rule. *)
+
+val pp_redundancy : redundancy Fmt.t
+
+(** {1 The global rule-dependency graph}
+
+    Rule [a] {e feeds} rule [b] when [a]'s head writes a relation that
+    [b]'s body reads at the same node ([a.importer = b.source]).  The
+    strongly connected components of this graph determine where the
+    update algorithm genuinely needs its fix-point machinery: a
+    component with more than one rule (or a self-loop) keeps
+    exchanging data until saturation, while rules outside such
+    components settle after a single pass and close via the paper's
+    acyclic link-closing protocol. *)
+
+val dependency_edges : Config.t -> (string * string) list
+(** [(a, b)] pairs of rule ids such that [a] feeds [b]. *)
+
+val cyclic_components : Config.t -> string list list
+(** The non-trivial strongly connected components (size > 1, or a
+    self-feeding rule), each sorted, ordered by their smallest
+    element.  Empty means the network is acyclic and every link closes
+    without termination detection. *)

@@ -1,0 +1,11 @@
+(** The Database Manager: the node-side dispatcher.
+
+    Paper, Section 2: "DBM processes both user queries and queries
+    coming from the network, as well as global and query-dependent
+    update requests ... and manages propagation of queries, update
+    requests, query results and update results on the network."
+    Concretely: every message delivered to a node passes through
+    {!handle}, which routes it to the update engine, the query engine,
+    discovery, or the control-plane handlers. *)
+
+val handle : Runtime.t -> Payload.t Codb_net.Message.t -> unit

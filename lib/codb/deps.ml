@@ -1,0 +1,17 @@
+module Config = Codb_cq.Config
+module Query = Codb_cq.Query
+module Atom = Codb_cq.Atom
+
+let head_rel (r : Config.rule_decl) = r.Config.rule_query.Query.head.Atom.rel
+
+let depends_on ~incoming ~outgoing =
+  List.mem (head_rel outgoing) (Query.body_relations incoming.Config.rule_query)
+
+let relevant_outgoing outgoing_links ~incoming =
+  List.filter (fun outgoing -> depends_on ~incoming ~outgoing) outgoing_links
+
+let dependent_incoming incoming_links ~outgoing =
+  List.filter (fun incoming -> depends_on ~incoming ~outgoing) incoming_links
+
+let relevant_for_query outgoing_links ~rels =
+  List.filter (fun r -> List.mem (head_rel r) rels) outgoing_links

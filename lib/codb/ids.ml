@@ -1,0 +1,21 @@
+module Peer_id = Codb_net.Peer_id
+
+type update_id = { u_origin : Peer_id.t; u_serial : int }
+
+type query_id = { q_origin : Peer_id.t; q_serial : int }
+
+let update_id origin serial = { u_origin = origin; u_serial = serial }
+
+let query_id origin serial = { q_origin = origin; q_serial = serial }
+
+let equal_update a b = Peer_id.equal a.u_origin b.u_origin && a.u_serial = b.u_serial
+
+let equal_query a b = Peer_id.equal a.q_origin b.q_origin && a.q_serial = b.q_serial
+
+let pp_update ppf u = Fmt.pf ppf "upd:%a#%d" Peer_id.pp u.u_origin u.u_serial
+
+let pp_query ppf q = Fmt.pf ppf "qry:%a#%d" Peer_id.pp q.q_origin q.q_serial
+
+let string_of_update u = Fmt.str "%a" pp_update u
+
+let string_of_query q = Fmt.str "%a" pp_query q

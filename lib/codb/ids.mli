@@ -1,0 +1,27 @@
+(** Globally unique identifiers for updates and queries.
+
+    The paper uses JXTA to generate unique global-update identifiers;
+    here an identifier is the pair of the originating peer and a
+    per-peer serial number, unique by construction. *)
+
+module Peer_id = Codb_net.Peer_id
+
+type update_id = { u_origin : Peer_id.t; u_serial : int }
+
+type query_id = { q_origin : Peer_id.t; q_serial : int }
+
+val update_id : Peer_id.t -> int -> update_id
+
+val query_id : Peer_id.t -> int -> query_id
+
+val equal_update : update_id -> update_id -> bool
+
+val equal_query : query_id -> query_id -> bool
+
+val pp_update : update_id Fmt.t
+
+val pp_query : query_id Fmt.t
+
+val string_of_update : update_id -> string
+
+val string_of_query : query_id -> string

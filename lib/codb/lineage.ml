@@ -1,0 +1,47 @@
+module Tuple = Codb_relalg.Tuple
+module Database = Codb_relalg.Database
+module Relation = Codb_relalg.Relation
+
+type import = { li_rule : string; li_hops : int; li_at : float }
+
+type origin = Base | Imported of import list
+
+type key = string * Tuple.t
+
+module Key_map = Map.Make (struct
+  type t = key
+
+  let compare (r1, t1) (r2, t2) =
+    let c = String.compare r1 r2 in
+    if c <> 0 then c else Tuple.compare t1 t2
+end)
+
+type t = { mutable entries : import list Key_map.t }
+
+let create () = { entries = Key_map.empty }
+
+let record_import t ~rel tuple import =
+  let key = (rel, tuple) in
+  let existing = Option.value ~default:[] (Key_map.find_opt key t.entries) in
+  t.entries <- Key_map.add key (existing @ [ import ]) t.entries
+
+let imports t ~rel tuple =
+  Option.value ~default:[] (Key_map.find_opt (rel, tuple) t.entries)
+
+let origin_of ~store t ~rel tuple =
+  match Database.relation_opt store rel with
+  | None -> None
+  | Some relation ->
+      if not (Relation.mem relation tuple) then None
+      else begin
+        match imports t ~rel tuple with
+        | [] -> Some Base
+        | routes -> Some (Imported routes)
+      end
+
+let pp_import ppf i =
+  Fmt.pf ppf "via rule %s, %d hop(s), at %.4fs" i.li_rule i.li_hops i.li_at
+
+let pp_origin ppf = function
+  | Base -> Fmt.string ppf "base fact (local)"
+  | Imported routes -> Fmt.(list ~sep:(any "; ") pp_import) ppf routes

@@ -1,0 +1,35 @@
+(** Tuple lineage: how did a tuple end up in a node's Local Database?
+
+    Every tuple an update integrates is recorded with the coordination
+    rule that delivered it, the length of its propagation path, and
+    the simulated arrival time — the per-tuple counterpart of the
+    statistics module's aggregates, and the data behind the shell's
+    [why] command.  Tuples without a record are the node's own base
+    facts. *)
+
+type import = {
+  li_rule : string;  (** the outgoing link the tuple arrived on *)
+  li_hops : int;  (** propagation path length *)
+  li_at : float;  (** simulated arrival time *)
+}
+
+type origin =
+  | Base  (** a declared fact or a local insert *)
+  | Imported of import list
+      (** delivered by updates, possibly over several routes *)
+
+type t
+
+val create : unit -> t
+
+val record_import : t -> rel:string -> Codb_relalg.Tuple.t -> import -> unit
+
+val imports : t -> rel:string -> Codb_relalg.Tuple.t -> import list
+(** Oldest first; empty for base facts. *)
+
+val origin_of :
+  store:Codb_relalg.Database.t -> t -> rel:string -> Codb_relalg.Tuple.t ->
+  origin option
+(** [None] when the tuple is not in the store at all. *)
+
+val pp_origin : origin Fmt.t

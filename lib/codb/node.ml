@@ -1,0 +1,86 @@
+module Peer_id = Codb_net.Peer_id
+module Config = Codb_cq.Config
+module Database = Codb_relalg.Database
+module Eval = Codb_cq.Eval
+
+type t = {
+  node_id : Peer_id.t;
+  mutable decl : Config.node_decl;
+  mutable store : Database.t;
+  mutable outgoing : Config.rule_decl list;
+  mutable incoming : Config.rule_decl list;
+  stats : Stats.t;
+  lineage : Lineage.t;
+  updates : (string, Update_state.t) Hashtbl.t;
+  query_instances : (string, Query_state.t) Hashtbl.t;
+  sub_refs : (string, string) Hashtbl.t;
+  mutable serial : int;
+  mutable rules_version : int;
+  mutable known_peers : Peer_id.Set.t;
+  seen_probes : (string, unit) Hashtbl.t;
+}
+
+let create decl =
+  let store = Database.create decl.Config.relations in
+  List.iter
+    (fun (rel, tuple) -> ignore (Database.insert store rel tuple))
+    decl.Config.facts;
+  let node_id = Peer_id.of_string decl.Config.node_name in
+  {
+    node_id;
+    decl;
+    store;
+    outgoing = [];
+    incoming = [];
+    stats = Stats.create node_id;
+    lineage = Lineage.create ();
+    updates = Hashtbl.create 8;
+    query_instances = Hashtbl.create 8;
+    sub_refs = Hashtbl.create 8;
+    serial = 0;
+    rules_version = 0;
+    known_peers = Peer_id.Set.empty;
+    seen_probes = Hashtbl.create 8;
+  }
+
+let fresh_serial node =
+  node.serial <- node.serial + 1;
+  node.serial
+
+let fresh_ref node =
+  Printf.sprintf "%s/%d" (Peer_id.to_string node.node_id) (fresh_serial node)
+
+let set_rules node ~outgoing ~incoming =
+  node.outgoing <- outgoing;
+  node.incoming <- incoming
+
+let find_rule rules id = List.find_opt (fun r -> String.equal r.Config.rule_id id) rules
+
+let rule_out node id = find_rule node.outgoing id
+
+let rule_in node id = find_rule node.incoming id
+
+let acquaintances node =
+  let add acc peer = if List.mem peer acc then acc else peer :: acc in
+  let step acc (r : Config.rule_decl) =
+    if String.equal r.Config.importer (Peer_id.to_string node.node_id) then
+      add acc (Peer_id.of_string r.Config.source)
+    else add acc (Peer_id.of_string r.Config.importer)
+  in
+  let all = List.fold_left step [] (node.outgoing @ node.incoming) in
+  List.sort Peer_id.compare all
+
+let update_state node update_id =
+  Hashtbl.find_opt node.updates (Ids.string_of_update update_id)
+
+let add_update_state node (st : Update_state.t) =
+  Hashtbl.replace node.updates (Ids.string_of_update st.Update_state.ust_update) st
+
+let explain node ~rel tuple = Lineage.origin_of ~store:node.store node.lineage ~rel tuple
+
+let is_consistent node =
+  let source = Eval.of_database node.store in
+  let violated q = Eval.answers source q <> [] in
+  let consistent = not (List.exists violated node.decl.Config.constraints) in
+  Stats.set_inconsistent node.stats (not consistent);
+  consistent

@@ -1,0 +1,72 @@
+(** A coDB node: identity, Database Schema, Local Database (or the
+    Wrapper's temporary store on mediator nodes), coordination rules,
+    statistics, and per-computation protocol state.
+
+    This corresponds to the paper's first-level architecture
+    (Figure 1): the P2P layer state lives here, the network side is in
+    {!Codb_net.Network}, and the database operations are in
+    {!Wrapper}. *)
+
+module Peer_id = Codb_net.Peer_id
+module Config = Codb_cq.Config
+module Database = Codb_relalg.Database
+
+type t = {
+  node_id : Peer_id.t;
+  mutable decl : Config.node_decl;
+  mutable store : Database.t;
+      (** the LDB, or the Wrapper's temporary store when
+          [decl.mediator] *)
+  mutable outgoing : Config.rule_decl list;
+      (** rules this node uses to import data (it is the importer) *)
+  mutable incoming : Config.rule_decl list;
+      (** rules other nodes use to import from this node (it is the
+          source) *)
+  stats : Stats.t;
+  lineage : Lineage.t;  (** how each stored tuple got here *)
+  updates : (string, Update_state.t) Hashtbl.t;
+      (** keyed by update-id string *)
+  query_instances : (string, Query_state.t) Hashtbl.t;
+      (** keyed by this node's own instance reference *)
+  sub_refs : (string, string) Hashtbl.t;
+      (** sub-request reference -> owning instance reference *)
+  mutable serial : int;
+  mutable rules_version : int;
+  mutable known_peers : Peer_id.Set.t;  (** filled by discovery *)
+  seen_probes : (string, unit) Hashtbl.t;
+      (** discovery probes already forwarded *)
+}
+
+val create : Config.node_decl -> t
+(** Build the node and load its declared facts into the store. *)
+
+val fresh_serial : t -> int
+
+val fresh_ref : t -> string
+(** A request reference unique across the network
+    ([<node>/<serial>]). *)
+
+val set_rules :
+  t -> outgoing:Config.rule_decl list -> incoming:Config.rule_decl list -> unit
+
+val rule_out : t -> string -> Config.rule_decl option
+(** Find one of this node's outgoing rules by id. *)
+
+val rule_in : t -> string -> Config.rule_decl option
+
+val acquaintances : t -> Peer_id.t list
+(** Peers this node shares a coordination rule with, sorted. *)
+
+val update_state : t -> Ids.update_id -> Update_state.t option
+
+val add_update_state : t -> Update_state.t -> unit
+
+val explain : t -> rel:string -> Codb_relalg.Tuple.t -> Lineage.origin option
+(** Why does (or doesn't) the node hold this tuple?  [None]: absent;
+    [Some Base]: the node's own fact; [Some (Imported _)]: the rules
+    and paths that delivered it. *)
+
+val is_consistent : t -> bool
+(** Evaluate the node's denial constraints against the store; record
+    the verdict in the statistics module.  Per the paper's principle
+    (d), callers must not propagate data from an inconsistent node. *)

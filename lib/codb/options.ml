@@ -1,0 +1,18 @@
+type t = {
+  use_sent_cache : bool;
+  use_subsumption_dedup : bool;
+  naive_delta : bool;
+  latency : float;
+  byte_cost : float;
+  max_update_events : int;
+}
+
+let default =
+  {
+    use_sent_cache = true;
+    use_subsumption_dedup = true;
+    naive_delta = false;
+    latency = 0.001;
+    byte_cost = 0.000001;
+    max_update_events = 2_000_000;
+  }

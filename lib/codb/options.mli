@@ -1,0 +1,26 @@
+(** Tunable behaviour of the coDB algorithms.
+
+    The defaults implement the paper; the switches exist for the
+    ablation experiments (E7/E8 in DESIGN.md).  Disabling duplicate
+    suppression on a cyclic network with existential head variables
+    can make the fix-point diverge — that is the point of the
+    ablation — so [max_update_events] bounds every run. *)
+
+type t = {
+  use_sent_cache : bool;
+      (** per-incoming-link caches of already-sent tuples ("we delete
+          from Ri those tuples which have been already sent") *)
+  use_subsumption_dedup : bool;
+      (** pre-insert duplicate suppression, null-aware ("we first
+          remove from T those tuples which are already in R") *)
+  naive_delta : bool;
+      (** re-evaluate incoming links from scratch instead of
+          semi-naively on the delta (ablation baseline) *)
+  latency : float;  (** pipe latency, seconds *)
+  byte_cost : float;  (** pipe transfer cost, seconds per byte *)
+  max_update_events : int;
+      (** safety bound on simulator events per run; generous by
+          default *)
+}
+
+val default : t

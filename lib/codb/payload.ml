@@ -1,0 +1,90 @@
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+
+type update_scope = Global | For_rule of string
+
+type t =
+  | Update_request of { update_id : Ids.update_id; scope : update_scope }
+  | Update_data of {
+      update_id : Ids.update_id;
+      rule_id : string;
+      tuples : Tuple.t list;
+      hops : int;
+      global : bool;
+    }
+  | Update_link_closed of { update_id : Ids.update_id; rule_id : string; global : bool }
+  | Update_ack of { update_id : Ids.update_id }
+  | Update_terminated of { update_id : Ids.update_id }
+  | Query_request of {
+      query_id : Ids.query_id;
+      request_ref : string;
+      rule_id : string;
+      label : Peer_id.t list;
+    }
+  | Query_data of {
+      query_id : Ids.query_id;
+      request_ref : string;
+      rule_id : string;
+      tuples : Tuple.t list;
+    }
+  | Query_done of { query_id : Ids.query_id; request_ref : string; rule_id : string }
+  | Rules_file of { version : int; text : string }
+  | Start_update
+  | Stats_request
+  | Stats_response of { stats : Stats.snapshot }
+  | Discovery_probe of { probe_id : string; ttl : int; path : Peer_id.t list }
+  | Discovery_reply of { probe_id : string; path : Peer_id.t list; peers : Peer_id.t list }
+
+let tuples_bytes tuples = List.fold_left (fun acc t -> acc + Tuple.size_bytes t) 0 tuples
+
+let peers_bytes peers =
+  List.fold_left (fun acc p -> acc + 4 + String.length (Peer_id.to_string p)) 0 peers
+
+let size = function
+  | Update_request { scope = Global; _ } -> 24
+  | Update_request { scope = For_rule rule; _ } -> 24 + String.length rule
+  | Update_data { tuples; _ } -> 32 + tuples_bytes tuples
+  | Update_link_closed _ -> 28
+  | Update_ack _ -> 20
+  | Update_terminated _ -> 20
+  | Query_request { label; request_ref; _ } ->
+      40 + String.length request_ref + peers_bytes label
+  | Query_data { tuples; request_ref; _ } ->
+      32 + String.length request_ref + tuples_bytes tuples
+  | Query_done { request_ref; _ } -> 24 + String.length request_ref
+  | Rules_file { text; _ } -> 16 + String.length text
+  | Start_update -> 8
+  | Stats_request -> 8
+  | Stats_response { stats } -> Stats.snapshot_size_bytes stats
+  | Discovery_probe { path; probe_id; _ } -> 16 + String.length probe_id + peers_bytes path
+  | Discovery_reply { path; peers; probe_id } ->
+      16 + String.length probe_id + peers_bytes path + peers_bytes peers
+
+let is_update_protocol = function
+  | Update_request _ | Update_data _ | Update_link_closed _ -> true
+  | Update_ack _ | Update_terminated _ | Query_request _ | Query_data _ | Query_done _
+  | Rules_file _ | Start_update | Stats_request | Stats_response _ | Discovery_probe _
+  | Discovery_reply _ ->
+      false
+
+let describe = function
+  | Update_request { update_id; scope = Global } ->
+      "update-request " ^ Ids.string_of_update update_id
+  | Update_request { update_id; scope = For_rule rule } ->
+      Printf.sprintf "update-request %s for %s" (Ids.string_of_update update_id) rule
+  | Update_data { rule_id; tuples; _ } ->
+      Printf.sprintf "update-data %s (%d tuples)" rule_id (List.length tuples)
+  | Update_link_closed { rule_id; _ } -> "link-closed " ^ rule_id
+  | Update_ack _ -> "ack"
+  | Update_terminated _ -> "terminated"
+  | Query_request { rule_id; _ } -> "query-request " ^ rule_id
+  | Query_data { rule_id; tuples; _ } ->
+      Printf.sprintf "query-data %s (%d tuples)" rule_id (List.length tuples)
+  | Query_done { rule_id; _ } -> "query-done " ^ rule_id
+  | Rules_file { version; _ } -> Printf.sprintf "rules-file v%d" version
+  | Start_update -> "start-update"
+  | Stats_request -> "stats-request"
+  | Stats_response _ -> "stats-response"
+  | Discovery_probe { ttl; _ } -> Printf.sprintf "discovery-probe ttl=%d" ttl
+  | Discovery_reply { peers; _ } ->
+      Printf.sprintf "discovery-reply (%d peers)" (List.length peers)

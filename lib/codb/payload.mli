@@ -1,0 +1,82 @@
+(** The message vocabulary of the coDB protocol.
+
+    Everything the paper's nodes exchange: global-update requests,
+    query results ("update data"), link-closing notifications,
+    termination-detection acknowledgements, query-time requests and
+    streaming results, the super-peer's rules file and statistics
+    collection, and JXTA-style peer discovery. *)
+
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+
+type update_scope =
+  | Global
+      (** a full global update: flooded to every acquaintance, every
+          link served *)
+  | For_rule of string
+      (** a query-dependent update (the paper's "query-dependent
+          update requests"): the sender asks the receiver to serve
+          exactly this coordination rule; the receiver recursively
+          requests what that rule's body needs *)
+
+type t =
+  | Update_request of { update_id : Ids.update_id; scope : update_scope }
+      (** propagate an update through the network; stopped at nodes
+          that have already seen [update_id] (globals) or already
+          serve the rule (scoped) *)
+  | Update_data of {
+      update_id : Ids.update_id;
+      rule_id : string;
+      tuples : Tuple.t list;
+          (** head tuples, existential positions as holes *)
+      hops : int;  (** length of the update propagation path so far *)
+      global : bool;
+          (** lets a node first contacted by data (races with the
+              request flood) know which protocol variant it joined *)
+    }
+  | Update_link_closed of { update_id : Ids.update_id; rule_id : string; global : bool }
+      (** the source of [rule_id] will send no more data on it *)
+  | Update_ack of { update_id : Ids.update_id }
+      (** Dijkstra–Scholten acknowledgement *)
+  | Update_terminated of { update_id : Ids.update_id }
+      (** flooded by the initiator once global quiescence is detected;
+          closes the links of cyclic components *)
+  | Query_request of {
+      query_id : Ids.query_id;
+      request_ref : string;  (** unique handle echoed by the responses *)
+      rule_id : string;  (** the requester's outgoing link to execute *)
+      label : Peer_id.t list;  (** nodes already on the path *)
+    }
+  | Query_data of {
+      query_id : Ids.query_id;
+      request_ref : string;
+      rule_id : string;
+      tuples : Tuple.t list;
+    }
+  | Query_done of { query_id : Ids.query_id; request_ref : string; rule_id : string }
+  | Rules_file of { version : int; text : string }
+      (** the super-peer's broadcast coordination-rules file *)
+  | Start_update
+      (** super-peer control: begin a global update at the receiver *)
+  | Stats_request
+  | Stats_response of { stats : Stats.snapshot }
+  | Discovery_probe of {
+      probe_id : string;
+      ttl : int;
+      path : Peer_id.t list;  (** route back to the origin *)
+    }
+  | Discovery_reply of {
+      probe_id : string;
+      path : Peer_id.t list;  (** remaining route back *)
+      peers : Peer_id.t list;
+    }
+
+val size : t -> int
+(** Estimated payload wire size in bytes. *)
+
+val is_update_protocol : t -> bool
+(** Messages that take part in Dijkstra–Scholten termination
+    accounting (requests, data, link-closed — not acks, not the
+    terminated flood). *)
+
+val describe : t -> string

@@ -1,0 +1,227 @@
+module Peer_id = Codb_net.Peer_id
+module Config = Codb_cq.Config
+module Query = Codb_cq.Query
+module Atom = Codb_cq.Atom
+module Eval = Codb_cq.Eval
+module Tuple = Codb_relalg.Tuple
+module Database = Codb_relalg.Database
+module Q = Query_state
+
+let src_log = Logs.Src.create "codb.query" ~doc:"coDB query answering"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let head_rel (r : Config.rule_decl) = r.Config.rule_query.Query.head.Atom.rel
+
+let me (rt : Runtime.t) = rt.node.Node.node_id
+
+let qstat (rt : Runtime.t) qid = Stats.query_stat rt.node.Node.stats ~now:(rt.now ()) qid
+
+(* Send sub-requests for every outgoing link that can contribute to
+   [rels], skipping nodes already on the label.  Registers the
+   pending entries and the sub-reference routing. *)
+let fan_out rt (st : Q.t) ~rels ~label =
+  let relevant = Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels in
+  let consider (o : Config.rule_decl) =
+    let target = Peer_id.of_string o.Config.source in
+    if not (List.exists (Peer_id.equal target) label) then begin
+      let sub_ref = Node.fresh_ref rt.Runtime.node in
+      let sent =
+        rt.Runtime.send ~dst:target
+          (Payload.Query_request
+             { query_id = st.Q.qst_query; request_ref = sub_ref;
+               rule_id = o.Config.rule_id; label })
+      in
+      if sent then begin
+        Q.add_pending st ~ref_:sub_ref ~rule:o.Config.rule_id;
+        Hashtbl.replace rt.Runtime.node.Node.sub_refs sub_ref st.Q.qst_ref
+      end
+    end
+  in
+  List.iter consider relevant
+
+let complete_root rt (st : Q.t) query set_result =
+  let answers = Wrapper.user_answers st.Q.qst_overlay query in
+  set_result answers;
+  st.Q.qst_closed <- true;
+  let qs = qstat rt st.Q.qst_query in
+  qs.Stats.qs_finished <- Some (rt.Runtime.now ());
+  qs.Stats.qs_answers <- List.length answers;
+  qs.Stats.qs_certain <- List.length (Eval.certain answers)
+
+(* Responders on an inconsistent node serve no data (principle (d)). *)
+let may_export (rt : Runtime.t) =
+  rt.node.Node.decl.Config.constraints = [] || Node.is_consistent rt.node
+
+let finish_responder rt (st : Q.t) ~requester ~in_rule =
+  st.Q.qst_closed <- true;
+  ignore
+    (rt.Runtime.send ~dst:requester
+       (Payload.Query_done
+          { query_id = st.Q.qst_query; request_ref = st.Q.qst_ref; rule_id = in_rule }))
+
+let check_completion rt (st : Q.t) =
+  if (not st.Q.qst_closed) && Q.all_done st then
+    match st.Q.qst_kind with
+    | Q.Root ({ query; _ } as root) ->
+        complete_root rt st query (fun answers -> root.result <- Some answers)
+    | Q.Responder { requester; in_rule; _ } -> finish_responder rt st ~requester ~in_rule
+
+(* Streaming ("browse streaming results"): report answers not yet
+   reported and return the enlarged reported-set. *)
+let notify_fresh ~on_answer ~streamed answers =
+  match on_answer with
+  | None -> streamed
+  | Some notify ->
+      let fresh = List.filter (fun t -> not (Q.Tuple_set.mem t streamed)) answers in
+      if fresh <> [] then notify fresh;
+      List.fold_left (fun acc t -> Q.Tuple_set.add t acc) streamed fresh
+
+let start ?on_answer rt qid query =
+  (match Query.well_formed ~allow_existential_head:false query with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Query_engine.start: " ^ reason));
+  let missing =
+    List.filter
+      (fun rel -> not (Database.has_relation rt.Runtime.node.Node.store rel))
+      (Query.body_relations query)
+  in
+  if missing <> [] then
+    invalid_arg
+      ("Query_engine.start: unknown relation(s) " ^ String.concat ", " missing);
+  let _ = qstat rt qid in
+  let root_ref = "root:" ^ Ids.string_of_query qid in
+  let overlay = Database.copy rt.Runtime.node.Node.store in
+  let st =
+    Q.create ~query_id:qid ~ref_:root_ref
+      ~kind:
+        (Q.Root { query; result = None; streamed = Q.Tuple_set.empty; on_answer })
+      ~overlay
+  in
+  Hashtbl.replace rt.Runtime.node.Node.query_instances root_ref st;
+  (* stream the locally available answers right away *)
+  (match st.Q.qst_kind with
+  | Q.Root root ->
+      let local = Wrapper.user_answers overlay query in
+      root.streamed <- notify_fresh ~on_answer ~streamed:root.streamed local
+  | Q.Responder _ -> ());
+  fan_out rt st ~rels:(Query.body_relations query) ~label:[ me rt ];
+  check_completion rt st;
+  root_ref
+
+let on_request rt ~src ~request_ref ~rule_id ~label qid =
+  match Node.rule_in rt.Runtime.node rule_id with
+  | None ->
+      (* rule dropped by a topology change: answer "done" so the
+         requester does not wait forever *)
+      ignore
+        (rt.Runtime.send ~dst:src
+           (Payload.Query_done { query_id = qid; request_ref; rule_id }))
+  | Some inc ->
+      let overlay = Database.copy rt.Runtime.node.Node.store in
+      let new_label = label @ [ me rt ] in
+      let st =
+        Q.create ~query_id:qid ~ref_:request_ref
+          ~kind:(Q.Responder { requester = src; in_rule = rule_id; label = new_label })
+          ~overlay
+      in
+      Hashtbl.replace rt.Runtime.node.Node.query_instances request_ref st;
+      if may_export rt then begin
+        let tuples = Wrapper.eval_rule_full overlay inc in
+        let fresh = Q.unsent st tuples in
+        if fresh <> [] then
+          ignore
+            (rt.Runtime.send ~dst:src
+               (Payload.Query_data
+                  { query_id = qid; request_ref; rule_id; tuples = fresh }));
+        fan_out rt st
+          ~rels:(Query.body_relations inc.Config.rule_query)
+          ~label:new_label
+      end;
+      check_completion rt st
+
+let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
+  let qs = qstat rt qid in
+  qs.Stats.qs_data_msgs <- qs.Stats.qs_data_msgs + 1;
+  qs.Stats.qs_bytes_in <- qs.Stats.qs_bytes_in + bytes;
+  match Hashtbl.find_opt rt.Runtime.node.Node.sub_refs request_ref with
+  | None -> Log.debug (fun m -> m "query data for unknown sub-reference %s" request_ref)
+  | Some owner_ref -> (
+      match Hashtbl.find_opt rt.Runtime.node.Node.query_instances owner_ref with
+      | None -> ()
+      | Some st -> (
+          match Node.rule_out rt.Runtime.node rule_id with
+          | None -> ()
+          | Some o ->
+              let rel = head_rel o in
+              let integration =
+                Wrapper.integrate ~opts:rt.Runtime.opts ~rule_id st.Q.qst_overlay ~rel
+                  tuples
+              in
+              if integration.Wrapper.fresh <> [] then begin
+                match st.Q.qst_kind with
+                | Q.Root root ->
+                    (* the overlay is authoritatively evaluated on
+                       completion; here we only stream the answers the
+                       delta newly enables *)
+                    let substs =
+                      Eval.delta_answers
+                        ~naive:rt.Runtime.opts.Options.naive_delta
+                        (Eval.of_database st.Q.qst_overlay) ~delta_rel:rel
+                        ~delta:integration.Wrapper.fresh root.query
+                    in
+                    let answers = Codb_cq.Apply.head_tuples root.query substs in
+                    root.streamed <-
+                      notify_fresh ~on_answer:root.on_answer
+                        ~streamed:root.streamed answers
+                | Q.Responder { requester; in_rule; _ } -> (
+                    match Node.rule_in rt.Runtime.node in_rule with
+                    | None -> ()
+                    | Some inc ->
+                        if may_export rt then begin
+                          let derived =
+                            Wrapper.eval_rule_delta
+                              ~naive:rt.Runtime.opts.Options.naive_delta
+                              st.Q.qst_overlay inc ~delta_rel:rel
+                              ~delta:integration.Wrapper.fresh
+                          in
+                          let fresh = Q.unsent st derived in
+                          if fresh <> [] then
+                            ignore
+                              (rt.Runtime.send ~dst:requester
+                                 (Payload.Query_data
+                                    { query_id = qid; request_ref = st.Q.qst_ref;
+                                      rule_id = in_rule; tuples = fresh }))
+                        end)
+              end))
+
+let on_done rt ~request_ref qid =
+  ignore qid;
+  match Hashtbl.find_opt rt.Runtime.node.Node.sub_refs request_ref with
+  | None -> ()
+  | Some owner_ref -> (
+      Hashtbl.remove rt.Runtime.node.Node.sub_refs request_ref;
+      match Hashtbl.find_opt rt.Runtime.node.Node.query_instances owner_ref with
+      | None -> ()
+      | Some st ->
+          Q.mark_done st ~ref_:request_ref;
+          check_completion rt st)
+
+let handle rt ~src ~bytes payload =
+  match payload with
+  | Payload.Query_request { query_id; request_ref; rule_id; label } ->
+      on_request rt ~src ~request_ref ~rule_id ~label query_id
+  | Payload.Query_data { query_id; request_ref; rule_id; tuples } ->
+      on_data rt ~bytes ~request_ref ~rule_id ~tuples query_id
+  | Payload.Query_done { query_id; request_ref; rule_id = _ } ->
+      on_done rt ~request_ref query_id
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _
+  | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Rules_file _
+  | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
+  | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+      ()
+
+let result node root_ref =
+  match Hashtbl.find_opt node.Node.query_instances root_ref with
+  | Some { Q.qst_kind = Q.Root { result; _ }; _ } -> result
+  | Some { Q.qst_kind = Q.Responder _; _ } | None -> None

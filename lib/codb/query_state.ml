@@ -1,0 +1,49 @@
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+module Database = Codb_relalg.Database
+
+type pending = { p_ref : string; p_rule : string; mutable p_done : bool }
+
+type kind =
+  | Root of {
+      query : Codb_cq.Query.t;
+      mutable result : Tuple.t list option;
+      mutable streamed : Tuple_set.t;
+      on_answer : (Tuple.t list -> unit) option;
+    }
+  | Responder of { requester : Peer_id.t; in_rule : string; label : Peer_id.t list }
+
+type t = {
+  qst_query : Ids.query_id;
+  qst_ref : string;
+  qst_kind : kind;
+  qst_overlay : Database.t;
+  mutable qst_pending : pending list;
+  mutable qst_sent : Tuple_set.t;
+  mutable qst_closed : bool;
+}
+
+let create ~query_id ~ref_ ~kind ~overlay =
+  {
+    qst_query = query_id;
+    qst_ref = ref_;
+    qst_kind = kind;
+    qst_overlay = overlay;
+    qst_pending = [];
+    qst_sent = Tuple_set.empty;
+    qst_closed = false;
+  }
+
+let add_pending st ~ref_ ~rule =
+  st.qst_pending <- { p_ref = ref_; p_rule = rule; p_done = false } :: st.qst_pending
+
+let mark_done st ~ref_ =
+  List.iter (fun p -> if String.equal p.p_ref ref_ then p.p_done <- true) st.qst_pending
+
+let all_done st = List.for_all (fun p -> p.p_done) st.qst_pending
+
+let unsent st tuples =
+  let fresh = List.filter (fun t -> not (Tuple_set.mem t st.qst_sent)) tuples in
+  st.qst_sent <- List.fold_left (fun acc t -> Tuple_set.add t acc) st.qst_sent fresh;
+  fresh

@@ -1,0 +1,63 @@
+(** Per-node state of the query-answering diffusion.
+
+    Each incoming [Query_request] spawns one {e instance}: a
+    query-scoped overlay copy of the node's shared relations into
+    which data fetched from acquaintances is integrated, plus the
+    bookkeeping needed to stream new results upstream and to signal
+    completion.  The node that posed the query runs a {e root}
+    instance whose overlay is finally evaluated against the user
+    query.  Instances are identified by the request reference chosen
+    by the requester, so concurrent instances of the same query along
+    different propagation paths never interfere (the paper's query
+    labels guarantee the paths are simple, hence finitely many). *)
+
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+module Database = Codb_relalg.Database
+
+type pending = {
+  p_ref : string;  (** reference of the sub-request *)
+  p_rule : string;  (** our outgoing link it executes *)
+  mutable p_done : bool;
+}
+
+type kind =
+  | Root of {
+      query : Codb_cq.Query.t;
+      mutable result : Tuple.t list option;  (** set on completion *)
+      mutable streamed : Tuple_set.t;
+          (** answers already reported to [on_answer] *)
+      on_answer : (Tuple.t list -> unit) option;
+          (** streaming callback: called with each batch of new
+              answers as results arrive (the UI's "browse streaming
+              results") *)
+    }
+  | Responder of {
+      requester : Peer_id.t;
+      in_rule : string;  (** the incoming link we serve *)
+      label : Peer_id.t list;  (** path of the request, us included *)
+    }
+
+type t = {
+  qst_query : Ids.query_id;
+  qst_ref : string;  (** our own instance reference *)
+  qst_kind : kind;
+  qst_overlay : Database.t;
+  mutable qst_pending : pending list;
+  mutable qst_sent : Tuple_set.t;  (** responder: tuples already sent upstream *)
+  mutable qst_closed : bool;
+}
+
+val create :
+  query_id:Ids.query_id -> ref_:string -> kind:kind -> overlay:Database.t -> t
+
+val add_pending : t -> ref_:string -> rule:string -> unit
+
+val mark_done : t -> ref_:string -> unit
+
+val all_done : t -> bool
+
+val unsent : t -> Tuple.t list -> Tuple.t list
+(** Filter out tuples already sent upstream and record the rest as
+    sent. *)

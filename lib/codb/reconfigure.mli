@@ -1,0 +1,17 @@
+(** Runtime topology changes driven by the super-peer's rules file.
+
+    Paper, Section 4: "If a coordination rules file is received when a
+    peer has already set up coordination rules and pipes, then it
+    drops 'old' rules and pipes, and creates new ones, where
+    necessary.  Thus, a super-peer can dynamically change the network
+    topology at runtime."  Section 3 adds that a pipe not assigned any
+    coordination rule any more is closed. *)
+
+val apply : Runtime.t -> version:int -> Codb_cq.Config.t -> bool
+(** Install the coordination rules relevant to this node, reconnect
+    pipes accordingly, and bump the node's rules version.  Returns
+    [false] (no-op) when [version] is not newer than the node's
+    current one. *)
+
+val handle_text : Runtime.t -> version:int -> string -> (unit, string) result
+(** Parse a broadcast rules file and {!apply} it. *)

@@ -1,0 +1,111 @@
+type update_report = {
+  ur_update : Ids.update_id;
+  ur_nodes : int;
+  ur_all_finished : bool;
+  ur_started : float;
+  ur_finished : float;
+  ur_duration : float;
+  ur_data_msgs : int;
+  ur_control_msgs : int;
+  ur_bytes : int;
+  ur_new_tuples : int;
+  ur_dup_suppressed : int;
+  ur_nulls : int;
+  ur_longest_path : int;
+  ur_per_rule : Stats.rule_traffic_snap list;
+}
+
+let merge_per_rule entries =
+  let table = Hashtbl.create 16 in
+  let add (e : Stats.rule_traffic_snap) =
+    match Hashtbl.find_opt table e.Stats.rts_rule with
+    | None -> Hashtbl.replace table e.Stats.rts_rule e
+    | Some existing ->
+        Hashtbl.replace table e.Stats.rts_rule
+          {
+            existing with
+            Stats.rts_msgs = existing.Stats.rts_msgs + e.Stats.rts_msgs;
+            rts_bytes = existing.Stats.rts_bytes + e.Stats.rts_bytes;
+            rts_tuples = existing.Stats.rts_tuples + e.Stats.rts_tuples;
+          }
+  in
+  List.iter add entries;
+  List.sort
+    (fun a b -> String.compare a.Stats.rts_rule b.Stats.rts_rule)
+    (Hashtbl.fold (fun _ e acc -> e :: acc) table [])
+
+let update_report snapshots update_id =
+  let relevant =
+    List.filter_map
+      (fun snap ->
+        List.find_opt
+          (fun u -> Ids.equal_update u.Stats.usn_update update_id)
+          snap.Stats.snap_updates)
+      snapshots
+  in
+  match relevant with
+  | [] -> None
+  | first :: _ ->
+      let fold (started, finished, all_fin) u =
+        let f, fin =
+          match u.Stats.usn_finished with
+          | Some f -> (f, all_fin)
+          | None -> (u.Stats.usn_started, false)
+        in
+        (Float.min started u.Stats.usn_started, Float.max finished f, fin)
+      in
+      let started, finished, all_finished =
+        List.fold_left fold (first.Stats.usn_started, first.Stats.usn_started, true)
+          relevant
+      in
+      let sum f = List.fold_left (fun acc u -> acc + f u) 0 relevant in
+      Some
+        {
+          ur_update = update_id;
+          ur_nodes = List.length relevant;
+          ur_all_finished = all_finished;
+          ur_started = started;
+          ur_finished = finished;
+          ur_duration = finished -. started;
+          ur_data_msgs = sum (fun u -> u.Stats.usn_data_msgs);
+          ur_control_msgs = sum (fun u -> u.Stats.usn_control_msgs);
+          ur_bytes = sum (fun u -> u.Stats.usn_bytes_in);
+          ur_new_tuples = sum (fun u -> u.Stats.usn_new_tuples);
+          ur_dup_suppressed = sum (fun u -> u.Stats.usn_dup_suppressed);
+          ur_nulls = sum (fun u -> u.Stats.usn_nulls_created);
+          ur_longest_path =
+            List.fold_left (fun acc u -> max acc u.Stats.usn_max_hops) 0 relevant;
+          ur_per_rule =
+            merge_per_rule (List.concat_map (fun u -> u.Stats.usn_per_rule) relevant);
+        }
+
+let latest_update_report snapshots =
+  let all_updates = List.concat_map (fun s -> s.Stats.snap_updates) snapshots in
+  match
+    List.sort (fun a b -> Float.compare b.Stats.usn_started a.Stats.usn_started)
+      all_updates
+  with
+  | [] -> None
+  | latest :: _ -> update_report snapshots latest.Stats.usn_update
+
+let pp_update_report ppf r =
+  Fmt.pf ppf
+    "@[<v 2>global update %a:@,\
+     nodes: %d%s@,\
+     duration: %.4fs (%.4f -> %.4f)@,\
+     data messages: %d, control messages: %d@,\
+     data volume: %d B@,\
+     new tuples: %d, duplicates suppressed: %d, nulls created: %d@,\
+     longest propagation path: %d%a@]"
+    Ids.pp_update r.ur_update r.ur_nodes
+    (if r.ur_all_finished then "" else " (some unfinished)")
+    r.ur_duration r.ur_started r.ur_finished r.ur_data_msgs r.ur_control_msgs r.ur_bytes
+    r.ur_new_tuples r.ur_dup_suppressed r.ur_nulls r.ur_longest_path
+    Fmt.(
+      list ~sep:nop (fun ppf (e : Stats.rule_traffic_snap) ->
+          Fmt.pf ppf "@,rule %-12s %4d msgs %8d B %6d tuples" e.Stats.rts_rule
+            e.Stats.rts_msgs e.Stats.rts_bytes e.Stats.rts_tuples))
+    r.ur_per_rule
+
+let pp_network ppf snapshots =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Stats.pp_snapshot) snapshots

@@ -1,0 +1,32 @@
+(** Aggregation of node statistics into the super-peer's final report
+    (paper, Section 4: "the super-peer processes all incoming
+    statistical messages, aggregates them and creates a final
+    statistical report"). *)
+
+type update_report = {
+  ur_update : Ids.update_id;
+  ur_nodes : int;  (** nodes that participated *)
+  ur_all_finished : bool;
+  ur_started : float;  (** earliest start across nodes *)
+  ur_finished : float;  (** latest finish across nodes *)
+  ur_duration : float;
+  ur_data_msgs : int;
+  ur_control_msgs : int;
+  ur_bytes : int;  (** data bytes received, network-wide *)
+  ur_new_tuples : int;
+  ur_dup_suppressed : int;
+  ur_nulls : int;
+  ur_longest_path : int;
+  ur_per_rule : Stats.rule_traffic_snap list;  (** merged by rule id *)
+}
+
+val update_report : Stats.snapshot list -> Ids.update_id -> update_report option
+(** [None] when no snapshot mentions the update. *)
+
+val latest_update_report : Stats.snapshot list -> update_report option
+(** The report of the most recently started update in the snapshots. *)
+
+val pp_update_report : update_report Fmt.t
+
+val pp_network : Stats.snapshot list Fmt.t
+(** Full per-node dump, the super-peer's final report body. *)

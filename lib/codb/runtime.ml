@@ -1,0 +1,11 @@
+module Peer_id = Codb_net.Peer_id
+
+type t = {
+  node : Node.t;
+  opts : Options.t;
+  send : dst:Peer_id.t -> Payload.t -> bool;
+  now : unit -> float;
+  connect : Peer_id.t -> unit;
+  disconnect : Peer_id.t -> unit;
+  neighbours : unit -> Peer_id.t list;
+}

@@ -1,0 +1,252 @@
+module Peer_id = Codb_net.Peer_id
+
+type rule_traffic = {
+  mutable rt_msgs : int;
+  mutable rt_bytes : int;
+  mutable rt_tuples : int;
+}
+
+type update_stat = {
+  us_update : Ids.update_id;
+  mutable us_started : float;
+  mutable us_finished : float option;
+  mutable us_data_msgs : int;
+  mutable us_control_msgs : int;
+  mutable us_bytes_in : int;
+  mutable us_new_tuples : int;
+  mutable us_dup_suppressed : int;
+  mutable us_nulls_created : int;
+  mutable us_max_hops : int;
+  us_per_rule : (string, rule_traffic) Hashtbl.t;
+  mutable us_queried : Peer_id.t list;
+  mutable us_sent_to : Peer_id.t list;
+}
+
+type query_stat = {
+  qs_query : Ids.query_id;
+  mutable qs_started : float;
+  mutable qs_finished : float option;
+  mutable qs_data_msgs : int;
+  mutable qs_bytes_in : int;
+  mutable qs_answers : int;
+  mutable qs_certain : int;
+}
+
+type t = {
+  st_owner : Peer_id.t;
+  st_updates : (string, update_stat) Hashtbl.t;  (* keyed by update-id string *)
+  st_queries : (string, query_stat) Hashtbl.t;
+  mutable st_inconsistent : bool;
+}
+
+let create owner =
+  {
+    st_owner = owner;
+    st_updates = Hashtbl.create 8;
+    st_queries = Hashtbl.create 8;
+    st_inconsistent = false;
+  }
+
+let owner st = st.st_owner
+
+let update_stat st ~now update_id =
+  let key = Ids.string_of_update update_id in
+  match Hashtbl.find_opt st.st_updates key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          us_update = update_id;
+          us_started = now;
+          us_finished = None;
+          us_data_msgs = 0;
+          us_control_msgs = 0;
+          us_bytes_in = 0;
+          us_new_tuples = 0;
+          us_dup_suppressed = 0;
+          us_nulls_created = 0;
+          us_max_hops = 0;
+          us_per_rule = Hashtbl.create 8;
+          us_queried = [];
+          us_sent_to = [];
+        }
+      in
+      Hashtbl.add st.st_updates key s;
+      s
+
+let find_update st update_id =
+  Hashtbl.find_opt st.st_updates (Ids.string_of_update update_id)
+
+let query_stat st ~now query_id =
+  let key = Ids.string_of_query query_id in
+  match Hashtbl.find_opt st.st_queries key with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          qs_query = query_id;
+          qs_started = now;
+          qs_finished = None;
+          qs_data_msgs = 0;
+          qs_bytes_in = 0;
+          qs_answers = 0;
+          qs_certain = 0;
+        }
+      in
+      Hashtbl.add st.st_queries key s;
+      s
+
+let find_query st query_id = Hashtbl.find_opt st.st_queries (Ids.string_of_query query_id)
+
+let rule_traffic us rule_id =
+  match Hashtbl.find_opt us.us_per_rule rule_id with
+  | Some rt -> rt
+  | None ->
+      let rt = { rt_msgs = 0; rt_bytes = 0; rt_tuples = 0 } in
+      Hashtbl.add us.us_per_rule rule_id rt;
+      rt
+
+let add_unique peer peers = if List.mem peer peers then peers else peer :: peers
+
+let note_queried us peer = us.us_queried <- add_unique peer us.us_queried
+
+let note_sent_to us peer = us.us_sent_to <- add_unique peer us.us_sent_to
+
+let set_inconsistent st flag = st.st_inconsistent <- flag
+
+let is_inconsistent st = st.st_inconsistent
+
+type rule_traffic_snap = {
+  rts_rule : string;
+  rts_msgs : int;
+  rts_bytes : int;
+  rts_tuples : int;
+}
+
+type update_snap = {
+  usn_update : Ids.update_id;
+  usn_started : float;
+  usn_finished : float option;
+  usn_data_msgs : int;
+  usn_control_msgs : int;
+  usn_bytes_in : int;
+  usn_new_tuples : int;
+  usn_dup_suppressed : int;
+  usn_nulls_created : int;
+  usn_max_hops : int;
+  usn_per_rule : rule_traffic_snap list;
+  usn_queried : Peer_id.t list;
+  usn_sent_to : Peer_id.t list;
+}
+
+type query_snap = {
+  qsn_query : Ids.query_id;
+  qsn_started : float;
+  qsn_finished : float option;
+  qsn_data_msgs : int;
+  qsn_bytes_in : int;
+  qsn_answers : int;
+  qsn_certain : int;
+}
+
+type snapshot = {
+  snap_node : Peer_id.t;
+  snap_inconsistent : bool;
+  snap_store_tuples : int;
+  snap_updates : update_snap list;
+  snap_queries : query_snap list;
+}
+
+let snap_update us =
+  let per_rule =
+    Hashtbl.fold
+      (fun rule rt acc ->
+        { rts_rule = rule; rts_msgs = rt.rt_msgs; rts_bytes = rt.rt_bytes;
+          rts_tuples = rt.rt_tuples }
+        :: acc)
+      us.us_per_rule []
+  in
+  {
+    usn_update = us.us_update;
+    usn_started = us.us_started;
+    usn_finished = us.us_finished;
+    usn_data_msgs = us.us_data_msgs;
+    usn_control_msgs = us.us_control_msgs;
+    usn_bytes_in = us.us_bytes_in;
+    usn_new_tuples = us.us_new_tuples;
+    usn_dup_suppressed = us.us_dup_suppressed;
+    usn_nulls_created = us.us_nulls_created;
+    usn_max_hops = us.us_max_hops;
+    usn_per_rule = List.sort (fun a b -> String.compare a.rts_rule b.rts_rule) per_rule;
+    usn_queried = us.us_queried;
+    usn_sent_to = us.us_sent_to;
+  }
+
+let snap_query qs =
+  {
+    qsn_query = qs.qs_query;
+    qsn_started = qs.qs_started;
+    qsn_finished = qs.qs_finished;
+    qsn_data_msgs = qs.qs_data_msgs;
+    qsn_bytes_in = qs.qs_bytes_in;
+    qsn_answers = qs.qs_answers;
+    qsn_certain = qs.qs_certain;
+  }
+
+let snapshot ?(store_tuples = 0) st =
+  let updates = Hashtbl.fold (fun _ us acc -> snap_update us :: acc) st.st_updates [] in
+  let queries = Hashtbl.fold (fun _ qs acc -> snap_query qs :: acc) st.st_queries [] in
+  let by_start_u a b = Float.compare a.usn_started b.usn_started in
+  let by_start_q a b = Float.compare a.qsn_started b.qsn_started in
+  {
+    snap_node = st.st_owner;
+    snap_inconsistent = st.st_inconsistent;
+    snap_store_tuples = store_tuples;
+    snap_updates = List.sort by_start_u updates;
+    snap_queries = List.sort by_start_q queries;
+  }
+
+let snapshot_size_bytes snap =
+  (* rough: fixed cost per record plus per-rule entries *)
+  64
+  + List.fold_left
+      (fun acc u -> acc + 96 + (24 * List.length u.usn_per_rule))
+      0 snap.snap_updates
+  + (48 * List.length snap.snap_queries)
+
+let pp_finished ppf = function
+  | None -> Fmt.string ppf "unfinished"
+  | Some f -> Fmt.pf ppf "%.4fs" f
+
+let pp_peer_list ppf = function
+  | [] -> Fmt.string ppf "none"
+  | peers -> Fmt.(list ~sep:(any ", ") Peer_id.pp) ppf peers
+
+let pp_update_snap ppf u =
+  Fmt.pf ppf
+    "@[<v 2>%a: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
+     %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d@,\
+     queried: %a@,\
+     results sent to: %a%a@]"
+    Ids.pp_update u.usn_update u.usn_started pp_finished u.usn_finished u.usn_data_msgs
+    u.usn_control_msgs u.usn_bytes_in u.usn_new_tuples u.usn_dup_suppressed
+    u.usn_nulls_created u.usn_max_hops pp_peer_list u.usn_queried pp_peer_list
+    u.usn_sent_to
+    Fmt.(
+      list ~sep:nop (fun ppf rt ->
+          Fmt.pf ppf "@,rule %s: %d msgs, %d B, %d tuples" rt.rts_rule rt.rts_msgs
+            rt.rts_bytes rt.rts_tuples))
+    u.usn_per_rule
+
+let pp_query_snap ppf q =
+  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in" Ids.pp_query
+    q.qsn_query q.qsn_answers q.qsn_certain q.qsn_data_msgs q.qsn_bytes_in
+
+let pp_snapshot ppf s =
+  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a@]" Peer_id.pp s.snap_node
+    (if s.snap_inconsistent then "INCONSISTENT" else "consistent")
+    s.snap_store_tuples
+    Fmt.(list ~sep:nop (fun ppf u -> Fmt.pf ppf "@,%a" pp_update_snap u))
+    s.snap_updates
+    Fmt.(list ~sep:nop (fun ppf q -> Fmt.pf ppf "@,%a" pp_query_snap q))
+    s.snap_queries

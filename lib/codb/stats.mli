@@ -1,0 +1,122 @@
+(** The per-node statistical module (paper, Section 4).
+
+    "This module accumulates various information about global updates
+    such as: total execution time of an update, number of query result
+    messages received per coordination rule and the volume of the data
+    in each message, longest update propagation path, and so on."
+
+    Mutable accumulators live on each node; immutable {!snapshot}s are
+    what a node sends to the super-peer in a [Stats_response]. *)
+
+module Peer_id = Codb_net.Peer_id
+
+type rule_traffic = {
+  mutable rt_msgs : int;
+  mutable rt_bytes : int;
+  mutable rt_tuples : int;
+}
+
+type update_stat = {
+  us_update : Ids.update_id;
+  mutable us_started : float;
+  mutable us_finished : float option;
+  mutable us_data_msgs : int;
+  mutable us_control_msgs : int;
+  mutable us_bytes_in : int;
+  mutable us_new_tuples : int;
+  mutable us_dup_suppressed : int;
+  mutable us_nulls_created : int;
+  mutable us_max_hops : int;  (** longest update propagation path seen *)
+  us_per_rule : (string, rule_traffic) Hashtbl.t;
+      (** data traffic received, per outgoing coordination rule *)
+  mutable us_queried : Peer_id.t list;  (** acquaintances we requested data from *)
+  mutable us_sent_to : Peer_id.t list;  (** importers we sent results to *)
+}
+
+type query_stat = {
+  qs_query : Ids.query_id;
+  mutable qs_started : float;
+  mutable qs_finished : float option;
+  mutable qs_data_msgs : int;
+  mutable qs_bytes_in : int;
+  mutable qs_answers : int;
+  mutable qs_certain : int;
+}
+
+type t
+
+val create : Peer_id.t -> t
+
+val owner : t -> Peer_id.t
+
+val update_stat : t -> now:float -> Ids.update_id -> update_stat
+(** Find or create the accumulator for an update (created with
+    [us_started = now]). *)
+
+val find_update : t -> Ids.update_id -> update_stat option
+
+val query_stat : t -> now:float -> Ids.query_id -> query_stat
+
+val find_query : t -> Ids.query_id -> query_stat option
+
+val rule_traffic : update_stat -> string -> rule_traffic
+
+val note_queried : update_stat -> Peer_id.t -> unit
+
+val note_sent_to : update_stat -> Peer_id.t -> unit
+
+val set_inconsistent : t -> bool -> unit
+
+val is_inconsistent : t -> bool
+
+(** {1 Snapshots} *)
+
+type rule_traffic_snap = {
+  rts_rule : string;
+  rts_msgs : int;
+  rts_bytes : int;
+  rts_tuples : int;
+}
+
+type update_snap = {
+  usn_update : Ids.update_id;
+  usn_started : float;
+  usn_finished : float option;
+  usn_data_msgs : int;
+  usn_control_msgs : int;
+  usn_bytes_in : int;
+  usn_new_tuples : int;
+  usn_dup_suppressed : int;
+  usn_nulls_created : int;
+  usn_max_hops : int;
+  usn_per_rule : rule_traffic_snap list;
+  usn_queried : Peer_id.t list;
+  usn_sent_to : Peer_id.t list;
+}
+
+type query_snap = {
+  qsn_query : Ids.query_id;
+  qsn_started : float;
+  qsn_finished : float option;
+  qsn_data_msgs : int;
+  qsn_bytes_in : int;
+  qsn_answers : int;
+  qsn_certain : int;
+}
+
+type snapshot = {
+  snap_node : Peer_id.t;
+  snap_inconsistent : bool;
+  snap_store_tuples : int;
+  snap_updates : update_snap list;
+  snap_queries : query_snap list;
+}
+
+val snapshot : ?store_tuples:int -> t -> snapshot
+
+val snapshot_size_bytes : snapshot -> int
+(** Estimated wire size of a snapshot (for the network simulator). *)
+
+val pp_update_snap : update_snap Fmt.t
+
+val pp_snapshot : snapshot Fmt.t

@@ -1,0 +1,266 @@
+module Peer_id = Codb_net.Peer_id
+module Network = Codb_net.Network
+module Config = Codb_cq.Config
+module Tuple = Codb_relalg.Tuple
+module Database = Codb_relalg.Database
+module Eval = Codb_cq.Eval
+
+type t = {
+  sys_net : Payload.t Network.t;
+  sys_nodes : (string, Node.t) Hashtbl.t;
+  sys_runtimes : (string, Runtime.t) Hashtbl.t;
+  mutable sys_config : Config.t;
+  sys_opts : Options.t;
+  mutable sys_superpeer : Superpeer.t option;
+  mutable sys_trace : Trace.t option;
+}
+
+let opts sys = sys.sys_opts
+
+let net sys = sys.sys_net
+
+let config sys = sys.sys_config
+
+let node sys name =
+  match Hashtbl.find_opt sys.sys_nodes name with
+  | Some n -> n
+  | None -> raise Not_found
+
+let runtime sys name =
+  match Hashtbl.find_opt sys.sys_runtimes name with
+  | Some rt -> rt
+  | None -> raise Not_found
+
+let node_names sys =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) sys.sys_nodes [])
+
+let trace_event sys ~direction ~src ~dst what =
+  match sys.sys_trace with
+  | None -> ()
+  | Some trace ->
+      Trace.record trace
+        {
+          Trace.ev_at = Network.now sys.sys_net;
+          ev_direction = direction;
+          ev_src = src;
+          ev_dst = dst;
+          ev_what = what;
+        }
+
+let make_runtime sys (node : Node.t) =
+  let id = node.Node.node_id in
+  let connect peer =
+    if Network.has_peer sys.sys_net peer then
+      Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
+        ~byte_cost:sys.sys_opts.Options.byte_cost id peer
+  in
+  let send ~dst payload =
+    let delivered = Network.send sys.sys_net ~src:id ~dst payload in
+    if delivered then
+      trace_event sys ~direction:Trace.Sent ~src:id ~dst (Payload.describe payload);
+    delivered
+  in
+  {
+    Runtime.node;
+    opts = sys.sys_opts;
+    send;
+    now = (fun () -> Network.now sys.sys_net);
+    connect;
+    disconnect = (fun peer -> Network.disconnect sys.sys_net id peer);
+    neighbours = (fun () -> Network.neighbours sys.sys_net id);
+  }
+
+let install_node sys decl =
+  let name = decl.Config.node_name in
+  if Hashtbl.mem sys.sys_nodes name then
+    invalid_arg (Printf.sprintf "System: duplicate node %s" name);
+  let node = Node.create decl in
+  Node.set_rules node
+    ~outgoing:(Config.rules_importing_at sys.sys_config name)
+    ~incoming:(Config.rules_sourced_at sys.sys_config name);
+  Network.add_peer sys.sys_net node.Node.node_id;
+  let rt = make_runtime sys node in
+  Network.set_handler sys.sys_net node.Node.node_id (fun msg ->
+      trace_event sys ~direction:Trace.Delivered
+        ~src:msg.Codb_net.Message.src ~dst:msg.Codb_net.Message.dst
+        (Payload.describe msg.Codb_net.Message.payload);
+      Dbm.handle rt msg);
+  Hashtbl.replace sys.sys_nodes name node;
+  Hashtbl.replace sys.sys_runtimes name rt;
+  node
+
+let connect_acquaintances sys =
+  let connect_rule (r : Config.rule_decl) =
+    let a = Peer_id.of_string r.Config.importer
+    and b = Peer_id.of_string r.Config.source in
+    if Network.has_peer sys.sys_net a && Network.has_peer sys.sys_net b then
+      Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
+        ~byte_cost:sys.sys_opts.Options.byte_cost a b
+  in
+  List.iter connect_rule sys.sys_config.Config.rules
+
+let build ?(opts = Options.default) cfg =
+  match Config.validate cfg with
+  | Error errors -> Error errors
+  | Ok () ->
+      if Config.node cfg Superpeer.peer_name <> None then
+        Error [ Printf.sprintf "node name %s is reserved" Superpeer.peer_name ]
+      else begin
+        let sys =
+          {
+            sys_net = Network.create ~default_latency:opts.Options.latency
+                ~default_byte_cost:opts.Options.byte_cost ~size_of:Payload.size ();
+            sys_nodes = Hashtbl.create 32;
+            sys_runtimes = Hashtbl.create 32;
+            sys_config = cfg;
+            sys_opts = opts;
+            sys_superpeer = None;
+            sys_trace = None;
+          }
+        in
+        List.iter (fun decl -> ignore (install_node sys decl)) cfg.Config.nodes;
+        connect_acquaintances sys;
+        Ok sys
+      end
+
+let build_exn ?opts cfg =
+  match build ?opts cfg with
+  | Ok sys -> sys
+  | Error errors -> invalid_arg ("System.build: " ^ String.concat "; " errors)
+
+let run ?max_events sys =
+  let max_events =
+    Option.value ~default:sys.sys_opts.Options.max_update_events max_events
+  in
+  Network.run ~max_events sys.sys_net
+
+let now sys = Network.now sys.sys_net
+
+let start_update sys ~initiator =
+  let n = node sys initiator in
+  let uid = Ids.update_id n.Node.node_id (Node.fresh_serial n) in
+  Update.initiate (runtime sys initiator) uid;
+  uid
+
+let run_update sys ~initiator =
+  let uid = start_update sys ~initiator in
+  let _ = run sys in
+  uid
+
+let start_scoped_update sys ~at ~rels =
+  let n = node sys at in
+  let uid = Ids.update_id n.Node.node_id (Node.fresh_serial n) in
+  Update.initiate_scoped (runtime sys at) uid ~rels;
+  uid
+
+let run_scoped_update sys ~at query =
+  let uid = start_scoped_update sys ~at ~rels:(Codb_cq.Query.body_relations query) in
+  let _ = run sys in
+  uid
+
+type query_outcome = {
+  qo_id : Ids.query_id;
+  qo_answers : Tuple.t list;
+  qo_certain : Tuple.t list;
+  qo_started : float;
+  qo_finished : float;
+  qo_data_msgs : int;
+  qo_bytes : int;
+}
+
+let run_query ?on_partial sys ~at query =
+  let n = node sys at in
+  let qid = Ids.query_id n.Node.node_id (Node.fresh_serial n) in
+  let root_ref = Query_engine.start ?on_answer:on_partial (runtime sys at) qid query in
+  let _ = run sys in
+  match Query_engine.result n root_ref with
+  | None -> failwith "System.run_query: the query diffusion did not complete"
+  | Some answers ->
+      let qs =
+        match Stats.find_query n.Node.stats qid with
+        | Some qs -> qs
+        | None -> assert false
+      in
+      {
+        qo_id = qid;
+        qo_answers = answers;
+        qo_certain = Eval.certain answers;
+        qo_started = qs.Stats.qs_started;
+        qo_finished = Option.value ~default:qs.Stats.qs_started qs.Stats.qs_finished;
+        qo_data_msgs = qs.Stats.qs_data_msgs;
+        qo_bytes = qs.Stats.qs_bytes_in;
+      }
+
+let local_answers sys ~at query = Wrapper.user_answers (node sys at).Node.store query
+
+let superpeer sys =
+  match sys.sys_superpeer with
+  | Some sp -> sp
+  | None ->
+      let peers =
+        List.map (fun name -> (node sys name).Node.node_id) (node_names sys)
+      in
+      let sp = Superpeer.create ~net:sys.sys_net ~peers in
+      sys.sys_superpeer <- Some sp;
+      sp
+
+let broadcast_rules sys cfg =
+  sys.sys_config <- cfg;
+  let _version = Superpeer.broadcast_rules (superpeer sys) cfg in
+  let _ = run sys in
+  ()
+
+let collect_stats sys =
+  let sp = superpeer sys in
+  Superpeer.request_stats sp;
+  let _ = run sys in
+  Superpeer.collected sp
+
+let snapshots sys =
+  let snap name =
+    let n = node sys name in
+    Stats.snapshot ~store_tuples:(Database.cardinal n.Node.store) n.Node.stats
+  in
+  List.map snap (node_names sys)
+
+let discover sys ~at ~ttl =
+  let rt = runtime sys at in
+  let _probe = Discovery.start rt ~ttl in
+  let _ = run sys in
+  Peer_id.Set.elements (node sys at).Node.known_peers
+
+let add_node sys decl =
+  sys.sys_config <- { sys.sys_config with Config.nodes = sys.sys_config.Config.nodes @ [ decl ] };
+  let node = install_node sys decl in
+  (match sys.sys_superpeer with
+  | Some sp -> Superpeer.track sp node.Node.node_id
+  | None -> ());
+  connect_acquaintances sys
+
+let enable_trace ?capacity sys =
+  match sys.sys_trace with
+  | Some trace -> trace
+  | None ->
+      let trace = Trace.create ?capacity () in
+      sys.sys_trace <- Some trace;
+      trace
+
+let trace sys = sys.sys_trace
+
+let export_stores sys =
+  List.map
+    (fun name -> (name, Codb_relalg.Csv.dump_database (node sys name).Node.store))
+    (node_names sys)
+
+let import_stores sys dumps =
+  List.fold_left
+    (fun acc (name, text) ->
+      acc + Codb_relalg.Csv.load_database (node sys name).Node.store text)
+    0 dumps
+
+let insert_fact sys ~at ~rel tuple = Database.insert (node sys at).Node.store rel tuple
+
+let total_tuples sys =
+  List.fold_left
+    (fun acc name -> acc + Database.cardinal (node sys name).Node.store)
+    0 (node_names sys)

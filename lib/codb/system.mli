@@ -1,0 +1,134 @@
+(** The whole-network facade: build a coDB network from a
+    configuration, run global updates and queries, read statistics.
+
+    This module plays the role of the deployment scripts around the
+    original system — everything inside it goes through the same
+    message protocol the nodes use among themselves. *)
+
+module Peer_id = Codb_net.Peer_id
+module Network = Codb_net.Network
+module Config = Codb_cq.Config
+module Tuple = Codb_relalg.Tuple
+
+type t
+
+val build : ?opts:Options.t -> Config.t -> (t, string list) result
+(** Validate the configuration, create all nodes, load their facts,
+    install coordination rules and open the pipes between
+    acquaintances. *)
+
+val build_exn : ?opts:Options.t -> Config.t -> t
+(** @raise Invalid_argument with the concatenated validation errors. *)
+
+val opts : t -> Options.t
+
+val net : t -> Payload.t Network.t
+
+val config : t -> Config.t
+
+val node : t -> string -> Node.t
+(** @raise Not_found *)
+
+val runtime : t -> string -> Runtime.t
+(** @raise Not_found *)
+
+val node_names : t -> string list
+(** Sorted. *)
+
+val run : ?max_events:int -> t -> int
+(** Drain the event queue; returns events processed. *)
+
+val now : t -> float
+
+(** {1 Global updates} *)
+
+val start_update : t -> initiator:string -> Ids.update_id
+(** Initiate a global update without running the simulation (compose
+    with {!run} for concurrent scenarios). *)
+
+val run_update : t -> initiator:string -> Ids.update_id
+(** Initiate and run the network to quiescence (bounded by
+    [opts.max_update_events]). *)
+
+val start_scoped_update : t -> at:string -> rels:string list -> Ids.update_id
+(** Initiate a query-dependent update (see {!Update.initiate_scoped})
+    without running the simulation. *)
+
+val run_scoped_update : t -> at:string -> Codb_cq.Query.t -> Ids.update_id
+(** Materialise, at [at], exactly what the query needs (its body
+    relations, transitively through the relevant coordination rules),
+    then run to quiescence.  Afterwards {!local_answers} at [at]
+    answers the query without network traffic. *)
+
+(** {1 Query answering} *)
+
+type query_outcome = {
+  qo_id : Ids.query_id;
+  qo_answers : Tuple.t list;
+  qo_certain : Tuple.t list;
+  qo_started : float;
+  qo_finished : float;
+  qo_data_msgs : int;
+  qo_bytes : int;
+}
+
+val run_query :
+  ?on_partial:(Tuple.t list -> unit) -> t -> at:string -> Codb_cq.Query.t ->
+  query_outcome
+(** Pose a query at a node and run the network to quiescence.
+    [on_partial] streams answer batches as they become available
+    (local answers first, remote ones as they arrive).
+    @raise Failure if the diffusion does not complete (should not
+    happen on a static network). *)
+
+val local_answers : t -> at:string -> Codb_cq.Query.t -> Tuple.t list
+(** Evaluate a query on the node's local store only (what the node
+    answers after a global update without contacting anyone). *)
+
+(** {1 Control plane} *)
+
+val superpeer : t -> Superpeer.t
+(** Created lazily on first use (with control pipes to all nodes). *)
+
+val broadcast_rules : t -> Config.t -> unit
+(** Have the super-peer broadcast a new rules file and run the network
+    until the reconfiguration settles. *)
+
+val collect_stats : t -> Stats.snapshot list
+(** Message-based statistics collection through the super-peer. *)
+
+val snapshots : t -> Stats.snapshot list
+(** Direct (out-of-band) snapshot of every node's statistics. *)
+
+val discover : t -> at:string -> ttl:int -> Peer_id.t list
+(** Run a discovery probe and return the origin's known peers. *)
+
+val add_node : t -> Config.node_decl -> unit
+(** Dynamic arrival of a node (paper principle (c)).  @raise
+    Invalid_argument on duplicate names. *)
+
+val enable_trace : ?capacity:int -> t -> Trace.t
+(** Attach (or return the existing) protocol trace: every message sent
+    and delivered from now on is recorded with its simulated
+    timestamp. *)
+
+val trace : t -> Trace.t option
+
+val export_stores : t -> (string * string) list
+(** Every node's Local Database as a sectioned CSV document (see
+    {!Codb_relalg.Csv.dump_database}), sorted by node name.  Marked
+    nulls round-trip faithfully. *)
+
+val import_stores : t -> (string * string) list -> int
+(** Load previously exported stores back into the (already built)
+    network; returns the number of new tuples.  @raise Not_found on an
+    unknown node; {!Codb_relalg.Csv.Parse_error} on malformed data. *)
+
+val insert_fact : t -> at:string -> rel:string -> Tuple.t -> bool
+(** Insert a fact into a node's Local Database through its Wrapper;
+    [true] iff it was new.  The fact reaches the rest of the network
+    on the next (global or scoped) update.  @raise Not_found /
+    [Invalid_argument] on unknown node, relation, or schema
+    mismatch. *)
+
+val total_tuples : t -> int

@@ -1,0 +1,49 @@
+module Peer_id = Codb_net.Peer_id
+
+type direction = Sent | Delivered
+
+type event = {
+  ev_at : float;
+  ev_direction : direction;
+  ev_src : Peer_id.t;
+  ev_dst : Peer_id.t;
+  ev_what : string;
+}
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0 }
+
+let record t event =
+  t.buffer.(t.next mod t.capacity) <- Some event;
+  t.next <- t.next + 1
+
+let length t = min t.next t.capacity
+
+let dropped t = max 0 (t.next - t.capacity)
+
+let events t =
+  let n = length t in
+  let start = t.next - n in
+  List.filter_map
+    (fun k -> t.buffer.((start + k) mod t.capacity))
+    (List.init n (fun k -> k))
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0
+
+let pp_event ppf e =
+  let arrow = match e.ev_direction with Sent -> "->" | Delivered -> "=>" in
+  Fmt.pf ppf "%.4f %a %s %a : %s" e.ev_at Peer_id.pp e.ev_src arrow Peer_id.pp e.ev_dst
+    e.ev_what
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_event) (events t);
+  if dropped t > 0 then Fmt.pf ppf "@,(%d earlier events dropped)" (dropped t)

@@ -1,0 +1,341 @@
+module Peer_id = Codb_net.Peer_id
+module Config = Codb_cq.Config
+module Query = Codb_cq.Query
+module Atom = Codb_cq.Atom
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+module U = Update_state
+
+let src_log = Logs.Src.create "codb.update" ~doc:"coDB global update algorithm"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+let head_rel (r : Config.rule_decl) = r.Config.rule_query.Query.head.Atom.rel
+
+let importer_of (r : Config.rule_decl) = Peer_id.of_string r.Config.importer
+
+let source_of (r : Config.rule_decl) = Peer_id.of_string r.Config.source
+
+let rule_ids rules = List.map (fun r -> r.Config.rule_id) rules
+
+let stat (rt : Runtime.t) uid = Stats.update_stat rt.node.Node.stats ~now:(rt.now ()) uid
+
+(* Send a message that takes part in termination accounting: the
+   receiver owes us an acknowledgement. *)
+let send_counted (rt : Runtime.t) (st : U.t) ~dst payload =
+  if rt.send ~dst payload then st.U.ust_deficit <- st.U.ust_deficit + 1
+
+let finalize rt (st : U.t) =
+  if not st.U.ust_finished then begin
+    st.U.ust_finished <- true;
+    let us = stat rt st.U.ust_update in
+    us.Stats.us_finished <- Some (rt.Runtime.now ())
+  end
+
+(* May this node export data?  Principle (d): an inconsistent node
+   keeps routing but never contributes its own (tainted) data. *)
+let may_export (rt : Runtime.t) =
+  rt.node.Node.decl.Config.constraints = [] || Node.is_consistent rt.node
+
+let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
+  let fresh =
+    if rt.Runtime.opts.Options.use_sent_cache then begin
+      let cache = U.sent_cache st inc.Config.rule_id in
+      let fresh = List.filter (fun t -> not (Tuple_set.mem t cache)) tuples in
+      U.add_sent st inc.Config.rule_id fresh;
+      fresh
+    end
+    else tuples
+  in
+  if fresh <> [] then begin
+    let dst = importer_of inc in
+    send_counted rt st ~dst
+      (Payload.Update_data
+         { update_id = st.U.ust_update; rule_id = inc.Config.rule_id; tuples = fresh;
+           hops; global = not st.U.ust_scoped });
+    Stats.note_sent_to us dst
+  end
+
+(* Close every still-open incoming link whose relevant outgoing links
+   are all closed, notifying the importers (paper: "an acquaintance
+   closes an incoming link if all its outgoing links which are
+   relevant for this incoming link are closed"). *)
+let maybe_close_incoming rt (st : U.t) =
+  let close_if_ready (inc : Config.rule_decl) =
+    if U.in_state st inc.Config.rule_id = U.Link_open then begin
+      let relevant = Deps.relevant_outgoing rt.Runtime.node.Node.outgoing ~incoming:inc in
+      let closed (o : Config.rule_decl) = U.out_state st o.Config.rule_id = U.Link_closed in
+      if List.for_all closed relevant then begin
+        U.close_in st inc.Config.rule_id;
+        send_counted rt st ~dst:(importer_of inc)
+          (Payload.Update_link_closed
+             { update_id = st.U.ust_update; rule_id = inc.Config.rule_id;
+               global = not st.U.ust_scoped })
+      end
+    end
+  in
+  List.iter close_if_ready rt.Runtime.node.Node.incoming
+
+let node_closed_check rt (st : U.t) = if U.all_out_closed st then finalize rt st
+
+let close_everything (st : U.t) =
+  Hashtbl.iter (fun rule _ -> U.close_out st rule) (Hashtbl.copy st.U.ust_out);
+  Hashtbl.iter (fun rule _ -> U.close_in st rule) (Hashtbl.copy st.U.ust_in)
+
+let flood_terminated rt (st : U.t) ~except =
+  let forward peer =
+    let skip = match except with Some p -> Peer_id.equal p peer | None -> false in
+    if not skip then
+      ignore (rt.Runtime.send ~dst:peer (Payload.Update_terminated { update_id = st.U.ust_update }))
+  in
+  List.iter forward (Node.acquaintances rt.Runtime.node)
+
+let on_terminated rt (st : U.t) ~src =
+  if not st.U.ust_terminated then begin
+    st.U.ust_terminated <- true;
+    close_everything st;
+    finalize rt st;
+    flood_terminated rt st ~except:(Some src)
+  end
+
+(* Dijkstra–Scholten: a node disengages (acknowledging the message
+   that engaged it) once everything it sent has been acknowledged.
+   When the initiator reaches deficit zero the whole diffusing
+   computation is quiescent. *)
+let check_disengage rt (st : U.t) =
+  if st.U.ust_engaged && st.U.ust_deficit = 0 then
+    if st.U.ust_initiator then begin
+      st.U.ust_engaged <- false;
+      st.U.ust_terminated <- true;
+      close_everything st;
+      finalize rt st;
+      flood_terminated rt st ~except:None
+    end
+    else begin
+      match st.U.ust_parent with
+      | Some parent ->
+          st.U.ust_engaged <- false;
+          st.U.ust_parent <- None;
+          ignore
+            (rt.Runtime.send ~dst:parent (Payload.Update_ack { update_id = st.U.ust_update }))
+      | None ->
+          Log.warn (fun m ->
+              m "%a: engaged without a parent in %a" Peer_id.pp rt.Runtime.node.Node.node_id
+                Ids.pp_update st.U.ust_update)
+    end
+
+(* First contact with an update: flood the request, answer every
+   incoming link from local data, close independent incoming links. *)
+let first_contact rt (st : U.t) ~exclude =
+  let uid = st.U.ust_update in
+  let us = stat rt uid in
+  let flood peer =
+    let skip = match exclude with Some p -> Peer_id.equal p peer | None -> false in
+    if not skip then
+      send_counted rt st ~dst:peer
+        (Payload.Update_request { update_id = uid; scope = Payload.Global })
+  in
+  List.iter flood (Node.acquaintances rt.Runtime.node);
+  List.iter
+    (fun (o : Config.rule_decl) -> Stats.note_queried us (source_of o))
+    rt.Runtime.node.Node.outgoing;
+  if may_export rt then
+    List.iter
+      (fun (inc : Config.rule_decl) ->
+        let tuples = Wrapper.eval_rule_full rt.Runtime.node.Node.store inc in
+        send_on_incoming rt st us inc ~hops:1 tuples)
+      rt.Runtime.node.Node.incoming;
+  maybe_close_incoming rt st;
+  node_closed_check rt st
+
+let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
+  let us = stat rt st.U.ust_update in
+  us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
+  us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+  us.Stats.us_max_hops <- max us.Stats.us_max_hops hops;
+  let traffic = Stats.rule_traffic us rule_id in
+  traffic.Stats.rt_msgs <- traffic.Stats.rt_msgs + 1;
+  traffic.Stats.rt_bytes <- traffic.Stats.rt_bytes + bytes;
+  traffic.Stats.rt_tuples <- traffic.Stats.rt_tuples + List.length tuples;
+  match Node.rule_out rt.Runtime.node rule_id with
+  | None ->
+      (* the rule was dropped by a runtime topology change *)
+      Log.debug (fun m -> m "data for unknown outgoing rule %s ignored" rule_id)
+  | Some o ->
+      let rel = head_rel o in
+      let integration =
+        Wrapper.integrate ~opts:rt.Runtime.opts ~rule_id rt.Runtime.node.Node.store ~rel
+          tuples
+      in
+      us.Stats.us_new_tuples <- us.Stats.us_new_tuples + List.length integration.Wrapper.fresh;
+      us.Stats.us_dup_suppressed <-
+        us.Stats.us_dup_suppressed + integration.Wrapper.suppressed;
+      us.Stats.us_nulls_created <-
+        us.Stats.us_nulls_created + integration.Wrapper.nulls_created;
+      List.iter
+        (fun tuple ->
+          Lineage.record_import rt.Runtime.node.Node.lineage ~rel tuple
+            { Lineage.li_rule = rule_id; li_hops = hops; li_at = rt.Runtime.now () })
+        integration.Wrapper.fresh;
+      if integration.Wrapper.fresh <> [] && may_export rt then begin
+        let recompute (inc : Config.rule_decl) =
+          if U.in_state st inc.Config.rule_id = U.Link_open then begin
+            let derived =
+              Wrapper.eval_rule_delta ~naive:rt.Runtime.opts.Options.naive_delta
+                rt.Runtime.node.Node.store inc ~delta_rel:rel
+                ~delta:integration.Wrapper.fresh
+            in
+            send_on_incoming rt st us inc ~hops:(hops + 1) derived
+          end
+        in
+        List.iter recompute
+          (Deps.dependent_incoming rt.Runtime.node.Node.incoming ~outgoing:o)
+      end
+
+let on_link_closed rt (st : U.t) ~rule_id =
+  U.close_out st rule_id;
+  maybe_close_incoming rt st;
+  node_closed_check rt st
+
+let fresh_state rt ~initiator ~scoped uid =
+  let st =
+    if scoped then U.create ~initiator ~scoped ~outgoing:[] ~incoming:[] uid
+    else
+      U.create ~initiator
+        ~outgoing:(rule_ids rt.Runtime.node.Node.outgoing)
+        ~incoming:(rule_ids rt.Runtime.node.Node.incoming)
+        uid
+  in
+  Node.add_update_state rt.Runtime.node st;
+  st
+
+(* Scoped updates: ask the source of an outgoing link for its data
+   (once per link per update). *)
+let activate_outgoing rt (st : U.t) (o : Config.rule_decl) =
+  if not (U.is_active_out st o.Config.rule_id) then begin
+    U.activate_out st o.Config.rule_id;
+    Stats.note_queried (stat rt st.U.ust_update) (source_of o);
+    send_counted rt st ~dst:(source_of o)
+      (Payload.Update_request
+         { update_id = st.U.ust_update; scope = Payload.For_rule o.Config.rule_id })
+  end
+
+(* Scoped updates: start serving one of our incoming links, and
+   recursively request what its body needs. *)
+let activate_incoming rt (st : U.t) ~requester rule_id =
+  if not (U.is_active_in st rule_id) then begin
+    match Node.rule_in rt.Runtime.node rule_id with
+    | None ->
+        (* version skew: we do not know the rule; release the
+           requester so it does not wait on this link forever *)
+        ignore
+          (rt.Runtime.send ~dst:requester
+             (Payload.Update_link_closed
+                { update_id = st.U.ust_update; rule_id; global = false }))
+    | Some inc ->
+        U.activate_in st rule_id;
+        let us = stat rt st.U.ust_update in
+        if may_export rt then begin
+          let tuples = Wrapper.eval_rule_full rt.Runtime.node.Node.store inc in
+          send_on_incoming rt st us inc ~hops:1 tuples
+        end;
+        List.iter (activate_outgoing rt st)
+          (Deps.relevant_outgoing rt.Runtime.node.Node.outgoing ~incoming:inc);
+        maybe_close_incoming rt st;
+        node_closed_check rt st
+  end
+
+let initiate rt uid =
+  match Node.update_state rt.Runtime.node uid with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Update.initiate: %s already ran here" (Ids.string_of_update uid))
+  | None ->
+      let st = fresh_state rt ~initiator:true ~scoped:false uid in
+      st.U.ust_engaged <- true;
+      first_contact rt st ~exclude:None;
+      check_disengage rt st
+
+let initiate_scoped rt uid ~rels =
+  match Node.update_state rt.Runtime.node uid with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Update.initiate_scoped: %s already ran here"
+           (Ids.string_of_update uid))
+  | None ->
+      let st = fresh_state rt ~initiator:true ~scoped:true uid in
+      st.U.ust_engaged <- true;
+      let _ = stat rt uid in
+      List.iter (activate_outgoing rt st)
+        (Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels);
+      node_closed_check rt st;
+      check_disengage rt st
+
+let count_control rt uid =
+  let us = stat rt uid in
+  us.Stats.us_control_msgs <- us.Stats.us_control_msgs + 1
+
+(* Process one protocol message with Dijkstra–Scholten engagement
+   bookkeeping around the payload-specific action.  [scoped] only
+   matters on first contact, to create the right state flavour; for a
+   global update the first contact also floods the request and serves
+   every incoming link. *)
+let engage_and_process rt ~src ~scoped uid process =
+  match Node.update_state rt.Runtime.node uid with
+  | None ->
+      let st = fresh_state rt ~initiator:false ~scoped uid in
+      st.U.ust_parent <- Some src;
+      st.U.ust_engaged <- true;
+      if not scoped then first_contact rt st ~exclude:(Some src);
+      process st;
+      check_disengage rt st
+  | Some st ->
+      if st.U.ust_engaged then begin
+        process st;
+        ignore (rt.Runtime.send ~dst:src (Payload.Update_ack { update_id = uid }));
+        check_disengage rt st
+      end
+      else begin
+        (* disengaged node re-contacted (a cycle delivered more data):
+           re-engage with the new sender as parent *)
+        st.U.ust_parent <- Some src;
+        st.U.ust_engaged <- true;
+        process st;
+        check_disengage rt st
+      end
+
+let handle rt ~src ~bytes payload =
+  match payload with
+  | Payload.Update_ack { update_id } -> (
+      match Node.update_state rt.Runtime.node update_id with
+      | Some st ->
+          count_control rt update_id;
+          st.U.ust_deficit <- st.U.ust_deficit - 1;
+          check_disengage rt st
+      | None -> ())
+  | Payload.Update_terminated { update_id } -> (
+      match Node.update_state rt.Runtime.node update_id with
+      | Some st ->
+          count_control rt update_id;
+          on_terminated rt st ~src
+      | None ->
+          (* never contacted (e.g. connected after the fact): record a
+             state so a late flood is absorbed silently *)
+          ())
+  | Payload.Update_request { update_id; scope = Payload.Global } ->
+      count_control rt update_id;
+      engage_and_process rt ~src ~scoped:false update_id (fun _st -> ())
+  | Payload.Update_request { update_id; scope = Payload.For_rule rule_id } ->
+      count_control rt update_id;
+      engage_and_process rt ~src ~scoped:true update_id (fun st ->
+          activate_incoming rt st ~requester:src rule_id)
+  | Payload.Update_data { update_id; rule_id; tuples; hops; global } ->
+      engage_and_process rt ~src ~scoped:(not global) update_id (fun st ->
+          on_data rt st ~bytes ~rule_id ~tuples ~hops)
+  | Payload.Update_link_closed { update_id; rule_id; global } ->
+      count_control rt update_id;
+      engage_and_process rt ~src ~scoped:(not global) update_id (fun st ->
+          on_link_closed rt st ~rule_id)
+  | Payload.Query_request _ | Payload.Query_data _ | Payload.Query_done _
+  | Payload.Rules_file _ | Payload.Start_update | Payload.Stats_request
+  | Payload.Stats_response _ | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+      ()

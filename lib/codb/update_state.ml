@@ -1,0 +1,66 @@
+module Peer_id = Codb_net.Peer_id
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+
+type link_state = Link_open | Link_closed
+
+type t = {
+  ust_update : Ids.update_id;
+  ust_initiator : bool;
+  ust_scoped : bool;
+  mutable ust_parent : Peer_id.t option;
+  mutable ust_engaged : bool;
+  mutable ust_deficit : int;
+  ust_out : (string, link_state) Hashtbl.t;
+  ust_in : (string, link_state) Hashtbl.t;
+  ust_sent : (string, Tuple_set.t) Hashtbl.t;
+  mutable ust_terminated : bool;
+  mutable ust_finished : bool;
+}
+
+let create ~initiator ?(scoped = false) ~outgoing ~incoming update_id =
+  let out = Hashtbl.create 8 and inl = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace out r Link_open) outgoing;
+  List.iter (fun r -> Hashtbl.replace inl r Link_open) incoming;
+  {
+    ust_update = update_id;
+    ust_initiator = initiator;
+    ust_scoped = scoped;
+    ust_parent = None;
+    ust_engaged = false;
+    ust_deficit = 0;
+    ust_out = out;
+    ust_in = inl;
+    ust_sent = Hashtbl.create 8;
+    ust_terminated = false;
+    ust_finished = false;
+  }
+
+let out_state st rule =
+  Option.value ~default:Link_closed (Hashtbl.find_opt st.ust_out rule)
+
+let in_state st rule = Option.value ~default:Link_closed (Hashtbl.find_opt st.ust_in rule)
+
+let is_active_in st rule = Hashtbl.mem st.ust_in rule
+
+let is_active_out st rule = Hashtbl.mem st.ust_out rule
+
+let activate_out st rule =
+  if not (Hashtbl.mem st.ust_out rule) then Hashtbl.replace st.ust_out rule Link_open
+
+let activate_in st rule =
+  if not (Hashtbl.mem st.ust_in rule) then Hashtbl.replace st.ust_in rule Link_open
+
+let close_out st rule = Hashtbl.replace st.ust_out rule Link_closed
+
+let close_in st rule = Hashtbl.replace st.ust_in rule Link_closed
+
+let all_out_closed st =
+  Hashtbl.fold (fun _ state acc -> acc && state = Link_closed) st.ust_out true
+
+let sent_cache st rule =
+  Option.value ~default:Tuple_set.empty (Hashtbl.find_opt st.ust_sent rule)
+
+let add_sent st rule tuples =
+  let existing = sent_cache st rule in
+  Hashtbl.replace st.ust_sent rule
+    (List.fold_left (fun acc t -> Tuple_set.add t acc) existing tuples)

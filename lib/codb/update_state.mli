@@ -1,0 +1,67 @@
+(** Per-node, per-update protocol state.
+
+    Tracks the paper's open/closed states of incoming and outgoing
+    links, the per-incoming-link caches of already-sent tuples, and
+    the Dijkstra–Scholten engagement bookkeeping (parent, deficit)
+    used to detect global quiescence of cyclic components. *)
+
+module Peer_id = Codb_net.Peer_id
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+
+type link_state = Link_open | Link_closed
+
+type t = {
+  ust_update : Ids.update_id;
+  ust_initiator : bool;
+  ust_scoped : bool;
+      (** query-dependent update: only explicitly activated links take
+          part *)
+  mutable ust_parent : Peer_id.t option;
+      (** Dijkstra–Scholten engagement parent; [None] for the
+          initiator or while disengaged *)
+  mutable ust_engaged : bool;
+  mutable ust_deficit : int;  (** messages sent and not yet acknowledged *)
+  ust_out : (string, link_state) Hashtbl.t;  (** my outgoing links *)
+  ust_in : (string, link_state) Hashtbl.t;  (** my incoming links *)
+  ust_sent : (string, Tuple_set.t) Hashtbl.t;
+      (** per incoming link: head tuples (holes included) already sent *)
+  mutable ust_terminated : bool;
+      (** the terminated flood reached this node *)
+  mutable ust_finished : bool;  (** local statistics were finalised *)
+}
+
+val create :
+  initiator:bool ->
+  ?scoped:bool ->
+  outgoing:string list ->
+  incoming:string list ->
+  Ids.update_id ->
+  t
+(** The [outgoing]/[incoming] links start active (open).  A scoped
+    update starts with empty lists; links join via {!activate_out} /
+    {!activate_in}. *)
+
+val out_state : t -> string -> link_state
+(** Links never activated for this update read as closed: they carry
+    no data, so nothing must wait for them. *)
+
+val in_state : t -> string -> link_state
+
+val is_active_in : t -> string -> bool
+(** Was the incoming link ever activated (open or closed by now)? *)
+
+val is_active_out : t -> string -> bool
+
+val activate_out : t -> string -> unit
+
+val activate_in : t -> string -> unit
+
+val close_out : t -> string -> unit
+
+val close_in : t -> string -> unit
+
+val all_out_closed : t -> bool
+
+val sent_cache : t -> string -> Tuple_set.t
+
+val add_sent : t -> string -> Codb_relalg.Tuple.t list -> unit

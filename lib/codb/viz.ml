@@ -1,0 +1,46 @@
+module Config = Codb_cq.Config
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if c = '"' then Buffer.add_string buf "\\\"" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let topology_dot cfg =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph codb {\n  rankdir=LR;\n  node [shape=box];\n";
+  List.iter
+    (fun n ->
+      let style = if n.Config.mediator then " [style=dashed]" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\"%s;\n" (escape n.Config.node_name) style))
+    cfg.Config.nodes;
+  List.iter
+    (fun r ->
+      (* data flows source -> importer *)
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" (escape r.Config.source)
+           (escape r.Config.importer) (escape r.Config.rule_id)))
+    cfg.Config.rules;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let dependency_dot cfg =
+  let cyclic = List.concat (Analysis.cyclic_components cfg) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph codb_rules {\n  node [shape=ellipse];\n";
+  List.iter
+    (fun r ->
+      let id = r.Config.rule_id in
+      let style =
+        if List.mem id cyclic then " [style=filled, fillcolor=lightcoral]" else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  \"%s\"%s;\n" (escape id) style))
+    cfg.Config.rules;
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "  \"%s\" -> \"%s\";\n" (escape a) (escape b)))
+    (Analysis.dependency_edges cfg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

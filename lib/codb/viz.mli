@@ -1,0 +1,15 @@
+(** Graphviz (DOT) renderings of a network, the textual counterpart of
+    the original demo's topology windows (paper Figures 1 and 3). *)
+
+module Config = Codb_cq.Config
+
+val topology_dot : Config.t -> string
+(** One graph node per peer (mediators dashed), one directed edge per
+    coordination rule from source to importer (the direction data
+    flows), labelled with the rule id. *)
+
+val dependency_dot : Config.t -> string
+(** The global rule-dependency graph ({!Analysis.dependency_edges}):
+    one node per rule, an edge from [a] to [b] when [a] feeds [b].
+    Rules inside cyclic components are highlighted — they are the ones
+    needing fix-point iteration. *)

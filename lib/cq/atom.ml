@@ -1,0 +1,18 @@
+type t = { rel : string; args : Term.t list }
+
+let make rel args = { rel; args }
+
+let arity a = List.length a.args
+
+let vars a = Term.vars a.args
+
+let compare a1 a2 =
+  let c = String.compare a1.rel a2.rel in
+  if c <> 0 then c else List.compare Term.compare a1.args a2.args
+
+let equal a1 a2 = compare a1 a2 = 0
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.rel Fmt.(list ~sep:(any ", ") Term.pp) a.args
+
+let to_string a = Fmt.str "%a" pp a

@@ -1,0 +1,18 @@
+(** Relational atoms [R(t1, ..., tn)]. *)
+
+type t = { rel : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+
+val arity : t -> int
+
+val vars : t -> string list
+(** Variables in first-occurrence order, without duplicates. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,25 @@
+(** Conjunctive-query containment via the classical homomorphism
+    (Chandra–Merlin) test.
+
+    [q1 ⊆ q2] iff there is a homomorphism from [q2] into the frozen
+    canonical database of [q1] mapping head to head.  The test here is
+    sound and complete for comparison-free queries; queries with
+    comparisons are handled conservatively ({!contained} returns
+    [false] unless the comparison sets are syntactically equal after
+    applying the homomorphism).
+
+    coDB uses containment to detect redundant coordination rules
+    between the same pair of nodes (a rule whose body is contained in
+    another rule's body with the same head brings no new data). *)
+
+val hom_exists : from:Query.t -> into:Query.t -> bool
+(** Is there a homomorphism from [from]'s body+head into [into]'s
+    frozen body+head?  Comparison predicates of [from] must be
+    entailed syntactically (each maps to a comparison of [into] or to
+    a ground true comparison). *)
+
+val contained : Query.t -> Query.t -> bool
+(** [contained q1 q2] — is [q1 ⊆ q2] (every answer of [q1] is an
+    answer of [q2])?  Sound; complete for comparison-free queries. *)
+
+val equivalent : Query.t -> Query.t -> bool

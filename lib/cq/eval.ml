@@ -1,0 +1,193 @@
+module Tuple = Codb_relalg.Tuple
+module Value = Codb_relalg.Value
+module Relation = Codb_relalg.Relation
+module Database = Codb_relalg.Database
+module Tuple_set = Relation.Tuple_set
+
+type rows = {
+  all : unit -> Tuple.t list;
+  size : int;
+  probe : (int -> Value.t -> Tuple.t list) option;
+}
+
+type source = string -> rows
+
+let empty_rows = { all = (fun () -> []); size = 0; probe = None }
+
+let rows_of_list tuples =
+  { all = (fun () -> tuples); size = List.length tuples; probe = None }
+
+let of_database db rel =
+  match Database.relation_opt db rel with
+  | None -> empty_rows
+  | Some r ->
+      let arity = Codb_relalg.Schema.arity (Relation.schema r) in
+      let probe col value =
+        (* an atom of the wrong arity matches nothing; don't let the
+           index raise on its out-of-range columns *)
+        if col < arity then Relation.lookup r ~col value else []
+      in
+      {
+        all = (fun () -> Relation.to_list r);
+        size = Relation.cardinal r;
+        probe = Some probe;
+      }
+
+let source_of_alist alist rel =
+  match List.assoc_opt rel alist with
+  | Some tuples -> rows_of_list tuples
+  | None -> empty_rows
+
+(* Extend [subst] by matching the atom's arguments against a stored
+   tuple.  Constants and already-bound variables must agree with the
+   stored value (marked nulls agree only with themselves). *)
+let match_atom subst atom tuple =
+  let args = atom.Atom.args in
+  if List.length args <> Array.length tuple then None
+  else
+    let rec loop i subst = function
+      | [] -> Some subst
+      | Term.Cst c :: rest ->
+          if Value.equal c tuple.(i) then loop (i + 1) subst rest else None
+      | Term.Var v :: rest -> (
+          match Subst.find v subst with
+          | Some bound ->
+              if Value.equal bound tuple.(i) then loop (i + 1) subst rest else None
+          | None -> loop (i + 1) (Subst.bind v tuple.(i) subst) rest)
+    in
+    loop 0 subst args
+
+(* Pick the candidate tuples for an atom under the current bindings:
+   probe a hash index on the first argument position that is already
+   ground, otherwise scan. *)
+let candidates subst atom rows =
+  match rows.probe with
+  | None -> rows.all ()
+  | Some probe ->
+      let rec first_ground i = function
+        | [] -> None
+        | Term.Cst c :: _ -> Some (i, c)
+        | Term.Var v :: rest -> (
+            match Subst.find v subst with
+            | Some value -> Some (i, value)
+            | None -> first_ground (i + 1) rest)
+      in
+      (match first_ground 0 atom.Atom.args with
+      | Some (col, value) -> probe col value
+      | None -> rows.all ())
+
+(* Evaluate the comparisons that became ground; keep the rest pending.
+   [None] means a ground comparison is violated. *)
+let filter_comparisons subst comparisons =
+  let step acc c =
+    match acc with
+    | None -> None
+    | Some pending -> (
+        match (Subst.apply_term subst c.Query.left, Subst.apply_term subst c.Query.right) with
+        | Some v1, Some v2 ->
+            if Query.eval_comparison_op c.Query.op v1 v2 then Some pending else None
+        | _ -> Some (c :: pending))
+  in
+  match List.fold_left step (Some []) comparisons with
+  | None -> None
+  | Some pending -> Some (List.rev pending)
+
+(* Static greedy join order: repeatedly pick the atom sharing the most
+   variables with the already-bound set; break ties by smaller
+   relation, preferring atoms with constants. *)
+let order_atoms atoms =
+  let score bound (atom, rows) =
+    let vars = Atom.vars atom in
+    let shared = List.length (List.filter (fun v -> List.mem v bound) vars) in
+    let constants = List.length (List.filter (fun t -> not (Term.is_var t)) atom.Atom.args) in
+    (shared, constants, -rows.size)
+  in
+  let better bound a b = Stdlib.compare (score bound a) (score bound b) > 0 in
+  let rec pick bound acc = function
+    | [] -> List.rev acc
+    | first :: rest ->
+        let choose (best, others) candidate =
+          if better bound candidate best then (candidate, best :: others)
+          else (best, candidate :: others)
+        in
+        let best, others = List.fold_left choose (first, []) rest in
+        let atom, _ = best in
+        let bound = Atom.vars atom @ bound in
+        pick bound (best :: acc) others
+  in
+  pick [] [] atoms
+
+let join ordered comparisons =
+  let rec go subst pending acc = function
+    | [] -> if pending = [] then subst :: acc else acc
+    | (atom, rows) :: rest ->
+        let try_tuple acc tuple =
+          match match_atom subst atom tuple with
+          | None -> acc
+          | Some subst' -> (
+              match filter_comparisons subst' pending with
+              | None -> acc
+              | Some pending' -> go subst' pending' acc rest)
+        in
+        List.fold_left try_tuple acc (candidates subst atom rows)
+  in
+  match filter_comparisons Subst.empty comparisons with
+  | None -> []
+  | Some pending -> List.rev (go Subst.empty pending [] ordered)
+
+let answers source q =
+  let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
+  join (order_atoms atoms) q.Query.comparisons
+
+let delta_answers ?(naive = false) source ~delta_rel ~delta q =
+  if naive then answers source q
+  else if not (List.exists (fun a -> String.equal a.Atom.rel delta_rel) q.Query.body) then []
+  else begin
+    let full = source delta_rel in
+    let delta_set = Tuple_set.of_list delta in
+    let old =
+      rows_of_list
+        (List.filter (fun t -> not (Tuple_set.mem t delta_set)) (full.all ()))
+    in
+    let delta_rows = rows_of_list delta in
+    let occurrences =
+      (* occurrence index of every body atom over [delta_rel] *)
+      let _, occs =
+        List.fold_left
+          (fun (i, occs) a ->
+            if String.equal a.Atom.rel delta_rel then (i + 1, i :: occs) else (i, occs))
+          (0, []) q.Query.body
+      in
+      List.rev occs
+    in
+    let pass k =
+      (* Occurrence k ranges over the delta, earlier ones over the old
+         tuples, later ones over the full relation: every derivation
+         uses at least one delta tuple and is produced exactly once. *)
+      let _, atoms =
+        List.fold_left
+          (fun (i, acc) a ->
+            if String.equal a.Atom.rel delta_rel then
+              let rows = if i < k then old else if i = k then delta_rows else full in
+              (i + 1, (a, rows) :: acc)
+            else (i, (a, source a.Atom.rel) :: acc))
+          (0, []) q.Query.body
+      in
+      join (order_atoms (List.rev atoms)) q.Query.comparisons
+    in
+    List.concat_map pass occurrences
+  end
+
+let answer_tuples source q =
+  (match Query.well_formed ~allow_existential_head:false q with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Eval.answer_tuples: " ^ reason));
+  let substs = answers source q in
+  let project acc subst =
+    match Subst.apply_atom subst q.Query.head with
+    | Some tuple -> Tuple_set.add tuple acc
+    | None -> acc
+  in
+  Tuple_set.elements (List.fold_left project Tuple_set.empty substs)
+
+let certain tuples = List.filter (fun t -> not (Tuple.has_null t)) tuples

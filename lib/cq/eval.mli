@@ -1,0 +1,72 @@
+(** Evaluation of conjunctive queries over a tuple source.
+
+    The evaluator is decoupled from {!Codb_relalg.Database} through the
+    {!type:source} abstraction so that the same code runs over local
+    databases, per-query overlays, and the Wrapper's temporary stores
+    on mediator nodes.
+
+    Two entry points matter to the coDB algorithms:
+
+    - {!answers} — full evaluation, used when a node first receives an
+      update or query request and answers from its local data;
+    - {!delta_answers} — {e semi-naive} evaluation used on every
+      subsequent delta: given tuples [T'] that were just added to
+      relation [R], it derives exactly the substitutions that use at
+      least one tuple of [T'], the paper's "incoming links dependent on
+      O are computed by substituting R by T'" step, generalised to be
+      correct in the presence of self-joins. *)
+
+type rows = {
+  all : unit -> Codb_relalg.Tuple.t list;  (** every tuple *)
+  size : int;  (** cardinality, used by the join-order heuristic *)
+  probe : (int -> Codb_relalg.Value.t -> Codb_relalg.Tuple.t list) option;
+      (** equality probe on one column, when the backing store has (or
+          can build) a hash index; [None] falls back to scanning *)
+}
+(** Access path to one relation's tuples. *)
+
+type source = string -> rows
+(** Access paths by relation name.  Unknown relations must return
+    {!empty_rows}. *)
+
+val empty_rows : rows
+
+val rows_of_list : Codb_relalg.Tuple.t list -> rows
+(** Scan-only access path over a list (used for deltas and frozen
+    canonical databases). *)
+
+val of_database : Codb_relalg.Database.t -> source
+(** Probing access paths backed by {!Codb_relalg.Relation.lookup}'s
+    lazy hash indexes. *)
+
+val source_of_alist : (string * Codb_relalg.Tuple.t list) list -> source
+(** Scan-only source over an association list. *)
+
+val answers : source -> Query.t -> Subst.t list
+(** All substitutions of the body variables satisfying body atoms and
+    comparisons.  The result may contain substitutions that project to
+    the same head tuple; projection and de-duplication are the
+    caller's business (see {!Apply}). *)
+
+val delta_answers :
+  ?naive:bool ->
+  source ->
+  delta_rel:string ->
+  delta:Codb_relalg.Tuple.t list ->
+  Query.t ->
+  Subst.t list
+(** Semi-naive evaluation after [delta] was inserted into [delta_rel].
+    The [source] must already reflect the insertion.  If the query
+    does not mention [delta_rel], the result is [[]].
+
+    With [~naive:true] (ablation) the query is instead re-evaluated
+    from scratch with {!answers} — correct but wasteful, and the
+    baseline of experiment E8. *)
+
+val answer_tuples : source -> Query.t -> Codb_relalg.Tuple.t list
+(** Evaluate a {e user} query: project the answers on the head and
+    de-duplicate.  @raise Invalid_argument if the head has existential
+    variables (use {!Apply.head_tuples} for GLAV rule heads). *)
+
+val certain : Codb_relalg.Tuple.t list -> Codb_relalg.Tuple.t list
+(** The null-free (certain) answers among a list of answer tuples. *)

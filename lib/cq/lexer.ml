@@ -1,0 +1,209 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW_NODE
+  | KW_RULE
+  | KW_AT
+  | KW_RELATION
+  | KW_FACT
+  | KW_CONSTRAINT
+  | KW_MEDIATOR
+  | KW_TRUE
+  | KW_FALSE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | ARROW
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type positioned = { token : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Lex_error { line; message })) fmt
+
+let keyword = function
+  | "node" -> Some KW_NODE
+  | "rule" -> Some KW_RULE
+  | "at" -> Some KW_AT
+  | "relation" -> Some KW_RELATION
+  | "fact" -> Some KW_FACT
+  | "constraint" -> Some KW_CONSTRAINT
+  | "mediator" -> Some KW_MEDIATOR
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec lex i =
+    if i >= n then emit EOF
+    else
+      match input.[i] with
+      | '\n' ->
+          incr line;
+          lex (i + 1)
+      | ' ' | '\t' | '\r' -> lex (i + 1)
+      | '#' -> lex (skip_line i)
+      | '/' when i + 1 < n && input.[i + 1] = '/' -> lex (skip_line i)
+      | '{' ->
+          emit LBRACE;
+          lex (i + 1)
+      | '}' ->
+          emit RBRACE;
+          lex (i + 1)
+      | '(' ->
+          emit LPAREN;
+          lex (i + 1)
+      | ')' ->
+          emit RPAREN;
+          lex (i + 1)
+      | ',' ->
+          emit COMMA;
+          lex (i + 1)
+      | ':' ->
+          emit COLON;
+          lex (i + 1)
+      | ';' ->
+          emit SEMI;
+          lex (i + 1)
+      | '=' ->
+          emit EQ;
+          lex (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+          emit NEQ;
+          lex (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '-' ->
+          emit ARROW;
+          lex (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+          emit LE;
+          lex (i + 2)
+      | '<' ->
+          emit LT;
+          lex (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+          emit GE;
+          lex (i + 2)
+      | '>' ->
+          emit GT;
+          lex (i + 1)
+      | '"' -> lex_string (i + 1) (Buffer.create 16)
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+          lex_number i
+      | c when is_ident_start c -> lex_ident i
+      | c -> fail !line "unexpected character %C" c
+  and lex_string i buf =
+    if i >= n then fail !line "unterminated string"
+    else
+      match input.[i] with
+      | '"' when i + 1 < n && input.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          lex_string (i + 2) buf
+      | '"' ->
+          emit (STRING (Buffer.contents buf));
+          lex (i + 1)
+      | '\n' -> fail !line "newline in string literal"
+      | c ->
+          Buffer.add_char buf c;
+          lex_string (i + 1) buf
+  and lex_number start =
+    let rec scan i seen_dot =
+      if i < n && (is_digit input.[i] || (input.[i] = '.' && not seen_dot)) then
+        scan (i + 1) (seen_dot || input.[i] = '.')
+      else (i, seen_dot)
+    in
+    let stop, seen_dot = scan (start + if input.[start] = '-' then 1 else 0) false in
+    (* optional exponent: e / E, optional sign, digits *)
+    let stop, seen_exp =
+      if stop < n && (input.[stop] = 'e' || input.[stop] = 'E') then begin
+        let after_sign =
+          if stop + 1 < n && (input.[stop + 1] = '+' || input.[stop + 1] = '-') then
+            stop + 2
+          else stop + 1
+        in
+        if after_sign < n && is_digit input.[after_sign] then begin
+          let rec digits i = if i < n && is_digit input.[i] then digits (i + 1) else i in
+          (digits after_sign, true)
+        end
+        else (stop, false)
+      end
+      else (stop, false)
+    in
+    let is_float = seen_dot || seen_exp in
+    let raw = String.sub input start (stop - start) in
+    if is_float then
+      match float_of_string_opt raw with
+      | Some f ->
+          emit (FLOAT f);
+          lex stop
+      | None -> fail !line "malformed float %s" raw
+    else begin
+      match int_of_string_opt raw with
+      | Some v ->
+          emit (INT v);
+          lex stop
+      | None -> fail !line "malformed int %s" raw
+    end
+  and lex_ident start =
+    let rec scan i = if i < n && is_ident_char input.[i] then scan (i + 1) else i in
+    let stop = scan start in
+    let raw = String.sub input start (stop - start) in
+    (match keyword raw with Some kw -> emit kw | None -> emit (IDENT raw));
+    lex stop
+  in
+  lex 0;
+  List.rev !tokens
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_NODE -> "'node'"
+  | KW_RULE -> "'rule'"
+  | KW_AT -> "'at'"
+  | KW_RELATION -> "'relation'"
+  | KW_FACT -> "'fact'"
+  | KW_CONSTRAINT -> "'constraint'"
+  | KW_MEDIATOR -> "'mediator'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | ARROW -> "'<-'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"

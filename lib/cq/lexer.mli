@@ -1,0 +1,42 @@
+(** Hand-written lexer for the coordination-rules file syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW_NODE
+  | KW_RULE
+  | KW_AT
+  | KW_RELATION
+  | KW_FACT
+  | KW_CONSTRAINT
+  | KW_MEDIATOR
+  | KW_TRUE
+  | KW_FALSE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | ARROW  (** [<-] *)
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type positioned = { token : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> positioned list
+(** Whole-input tokenisation.  Comments run from [//] or [#] to end of
+    line.  @raise Lex_error on an unexpected character or unterminated
+    string. *)
+
+val describe : token -> string

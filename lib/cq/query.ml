@@ -1,0 +1,103 @@
+module Value = Codb_relalg.Value
+
+type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type comparison = { left : Term.t; op : comparison_op; right : Term.t }
+
+type t = {
+  head : Atom.t;
+  body : Atom.t list;
+  comparisons : comparison list;
+}
+
+let make ~head ~body ?(comparisons = []) () = { head; body; comparisons }
+
+let head_vars q = Atom.vars q.head
+
+let body_vars q = Term.vars (List.concat_map (fun a -> a.Atom.args) q.body)
+
+let existential_head_vars q =
+  let bound = body_vars q in
+  List.filter (fun v -> not (List.mem v bound)) (head_vars q)
+
+let body_relations q =
+  let add acc a = if List.mem a.Atom.rel acc then acc else a.Atom.rel :: acc in
+  List.rev (List.fold_left add [] q.body)
+
+let comparison_vars q =
+  Term.vars (List.concat_map (fun c -> [ c.left; c.right ]) q.comparisons)
+
+let is_safe q =
+  q.body <> []
+  &&
+  let bound = body_vars q in
+  List.for_all (fun v -> List.mem v bound) (comparison_vars q)
+
+let has_existential_head q = existential_head_vars q <> []
+
+let well_formed ~allow_existential_head q =
+  if q.body = [] then Error "empty body"
+  else
+    let bound = body_vars q in
+    match List.find_opt (fun v -> not (List.mem v bound)) (comparison_vars q) with
+    | Some v -> Error (Printf.sprintf "comparison variable %s not bound by the body" v)
+    | None ->
+        if (not allow_existential_head) && has_existential_head q then
+          Error
+            (Printf.sprintf "existential head variable(s): %s"
+               (String.concat ", " (existential_head_vars q)))
+        else Ok ()
+
+let eval_comparison_op op v1 v2 =
+  let order_cmp check =
+    (* Unknown (null- or hole-involving) order comparisons are false. *)
+    if Value.is_null v1 || Value.is_null v2 || Value.is_hole v1 || Value.is_hole v2 then
+      false
+    else check (Value.compare v1 v2)
+  in
+  match op with
+  | Eq -> Value.equal v1 v2
+  | Neq -> not (Value.equal v1 v2)
+  | Lt -> order_cmp (fun c -> c < 0)
+  | Le -> order_cmp (fun c -> c <= 0)
+  | Gt -> order_cmp (fun c -> c > 0)
+  | Ge -> order_cmp (fun c -> c >= 0)
+
+let string_of_op = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let compare_comparison c1 c2 =
+  let c = Stdlib.compare c1.op c2.op in
+  if c <> 0 then c
+  else
+    let c = Term.compare c1.left c2.left in
+    if c <> 0 then c else Term.compare c1.right c2.right
+
+let compare q1 q2 =
+  let c = Atom.compare q1.head q2.head in
+  if c <> 0 then c
+  else
+    let c = List.compare Atom.compare q1.body q2.body in
+    if c <> 0 then c else List.compare compare_comparison q1.comparisons q2.comparisons
+
+let equal q1 q2 = compare q1 q2 = 0
+
+let pp_comparison ppf c =
+  Fmt.pf ppf "%a %s %a" Term.pp c.left (string_of_op c.op) Term.pp c.right
+
+let pp ppf q =
+  let pp_body_item ppf = function
+    | `Atom a -> Atom.pp ppf a
+    | `Cmp c -> pp_comparison ppf c
+  in
+  let items =
+    List.map (fun a -> `Atom a) q.body @ List.map (fun c -> `Cmp c) q.comparisons
+  in
+  Fmt.pf ppf "%a <- %a" Atom.pp q.head Fmt.(list ~sep:(any ", ") pp_body_item) items
+
+let to_string q = Fmt.str "%a" pp q

@@ -1,0 +1,61 @@
+(** Conjunctive queries with comparison predicates.
+
+    A query has the shape
+
+    {[ head(x̄, z̄)  <-  B1(...), ..., Bk(...), c1, ..., cm ]}
+
+    where each [Bi] is a relational atom, each [cj] a comparison
+    between terms, [x̄] are the head variables occurring in the body
+    and [z̄] are {e existential head variables} (head variables not
+    bound in the body).  Existential head variables are what makes the
+    coordination rules GLAV: the paper instantiates them with fresh
+    marked nulls.  A user query, by contrast, must not have them. *)
+
+type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type comparison = { left : Term.t; op : comparison_op; right : Term.t }
+
+type t = {
+  head : Atom.t;
+  body : Atom.t list;
+  comparisons : comparison list;
+}
+
+val make :
+  head:Atom.t -> body:Atom.t list -> ?comparisons:comparison list -> unit -> t
+
+val head_vars : t -> string list
+
+val body_vars : t -> string list
+(** Variables occurring in relational body atoms (not comparisons). *)
+
+val existential_head_vars : t -> string list
+(** Head variables not occurring in any body atom. *)
+
+val body_relations : t -> string list
+(** Relation names in the body, without duplicates. *)
+
+val is_safe : t -> bool
+(** Every variable of every comparison occurs in some body atom, and
+    the body is non-empty. *)
+
+val has_existential_head : t -> bool
+
+val well_formed : allow_existential_head:bool -> t -> (unit, string) result
+(** Safety plus, unless allowed, the absence of existential head
+    variables.  Returns a human-readable reason on failure. *)
+
+val eval_comparison_op : comparison_op -> Codb_relalg.Value.t -> Codb_relalg.Value.t -> bool
+(** Comparison semantics on values.  Equality on marked nulls is
+    identity of the null; order comparisons involving a null are false
+    (unknown collapses to false, which keeps answers sound). *)
+
+val string_of_op : comparison_op -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,38 @@
+module Value = Codb_relalg.Value
+module String_map = Map.Make (String)
+
+type t = Value.t String_map.t
+
+let empty = String_map.empty
+
+let bind = String_map.add
+
+let find v s = String_map.find_opt v s
+
+let mem = String_map.mem
+
+let bindings = String_map.bindings
+
+let of_list l = List.fold_left (fun acc (v, value) -> bind v value acc) empty l
+
+let apply_term s = function
+  | Term.Cst c -> Some c
+  | Term.Var v -> find v s
+
+let apply_atom s a =
+  let rec ground acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | t :: rest -> (
+        match apply_term s t with
+        | Some v -> ground (v :: acc) rest
+        | None -> None)
+  in
+  ground [] a.Atom.args
+
+let compare = String_map.compare Value.compare
+
+let equal s1 s2 = compare s1 s2 = 0
+
+let pp ppf s =
+  let pp_binding ppf (v, value) = Fmt.pf ppf "%s -> %a" v Value.pp value in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any "; ") pp_binding) (bindings s)

@@ -1,0 +1,27 @@
+(** Substitutions: finite maps from variable names to values. *)
+
+type t
+
+val empty : t
+
+val bind : string -> Codb_relalg.Value.t -> t -> t
+
+val find : string -> t -> Codb_relalg.Value.t option
+
+val mem : string -> t -> bool
+
+val bindings : t -> (string * Codb_relalg.Value.t) list
+
+val of_list : (string * Codb_relalg.Value.t) list -> t
+
+val apply_term : t -> Term.t -> Codb_relalg.Value.t option
+(** Constants map to themselves; variables to their binding, if any. *)
+
+val apply_atom : t -> Atom.t -> Codb_relalg.Tuple.t option
+(** The atom's argument tuple under the substitution, if ground. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

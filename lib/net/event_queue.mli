@@ -1,0 +1,22 @@
+(** A binary-heap priority queue of timed events.
+
+    Events with equal times are delivered in insertion order (the
+    sequence number breaks ties), which makes simulations fully
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

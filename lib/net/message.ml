@@ -1,0 +1,14 @@
+type 'a t = {
+  msg_id : int;
+  src : Peer_id.t;
+  dst : Peer_id.t;
+  sent_at : float;
+  size : int;
+  payload : 'a;
+}
+
+let header_bytes = 64
+
+let pp pp_payload ppf m =
+  Fmt.pf ppf "[#%d %a -> %a @%0.4f %dB %a]" m.msg_id Peer_id.pp m.src Peer_id.pp m.dst
+    m.sent_at m.size pp_payload m.payload

@@ -1,0 +1,15 @@
+(** Message envelopes, the simulator's counterpart of JXTA messages. *)
+
+type 'a t = {
+  msg_id : int;  (** unique per network *)
+  src : Peer_id.t;
+  dst : Peer_id.t;
+  sent_at : float;
+  size : int;  (** estimated wire size in bytes (header included) *)
+  payload : 'a;
+}
+
+val header_bytes : int
+(** Fixed per-message overhead added to the payload size. *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t

@@ -1,0 +1,152 @@
+let src_log = Logs.Src.create "codb.net" ~doc:"coDB simulated network"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type 'a peer_entry = { mutable handler : ('a Message.t -> unit) option }
+
+type counters = {
+  delivered : int;
+  dropped : int;
+  total_bytes : int;
+}
+
+type 'a t = {
+  mutable now : float;
+  events : (unit -> unit) Event_queue.t;
+  peer_table : (Peer_id.t, 'a peer_entry) Hashtbl.t;
+  pipe_table : (Peer_id.t * Peer_id.t, Pipe.t) Hashtbl.t;
+  size_of : 'a -> int;
+  default_latency : float;
+  default_byte_cost : float;
+  mutable msg_seq : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable total_bytes : int;
+}
+
+let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of () =
+  {
+    now = 0.0;
+    events = Event_queue.create ();
+    peer_table = Hashtbl.create 32;
+    pipe_table = Hashtbl.create 64;
+    size_of;
+    default_latency;
+    default_byte_cost;
+    msg_seq = 0;
+    delivered = 0;
+    dropped = 0;
+    total_bytes = 0;
+  }
+
+let pipe_key a b = if Peer_id.compare a b <= 0 then (a, b) else (b, a)
+
+let add_peer net id =
+  if not (Hashtbl.mem net.peer_table id) then
+    Hashtbl.add net.peer_table id { handler = None }
+
+let has_peer net id = Hashtbl.mem net.peer_table id
+
+let peers net =
+  List.sort Peer_id.compare (Hashtbl.fold (fun id _ acc -> id :: acc) net.peer_table [])
+
+let pipe_between net a b = Hashtbl.find_opt net.pipe_table (pipe_key a b)
+
+let remove_peer net id =
+  Hashtbl.remove net.peer_table id;
+  let close_touching key pipe =
+    let x, y = key in
+    if Peer_id.equal x id || Peer_id.equal y id then Pipe.close pipe
+  in
+  Hashtbl.iter close_touching net.pipe_table
+
+let set_handler net id handler =
+  match Hashtbl.find_opt net.peer_table id with
+  | Some entry -> entry.handler <- Some handler
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Network.set_handler: unknown peer %s" (Peer_id.to_string id))
+
+let connect ?latency ?byte_cost net a b =
+  if not (has_peer net a && has_peer net b) then
+    invalid_arg "Network.connect: both peers must exist";
+  let key = pipe_key a b in
+  match Hashtbl.find_opt net.pipe_table key with
+  | Some pipe -> Pipe.reopen pipe
+  | None ->
+      let latency = Option.value ~default:net.default_latency latency in
+      let byte_cost = Option.value ~default:net.default_byte_cost byte_cost in
+      Hashtbl.add net.pipe_table key (Pipe.create a b ~latency ~byte_cost)
+
+let disconnect net a b =
+  match pipe_between net a b with Some pipe -> Pipe.close pipe | None -> ()
+
+let connected net a b =
+  match pipe_between net a b with Some pipe -> Pipe.is_open pipe | None -> false
+
+let neighbours net id =
+  let collect (x, y) pipe acc =
+    if not (Pipe.is_open pipe) then acc
+    else if Peer_id.equal x id then y :: acc
+    else if Peer_id.equal y id then x :: acc
+    else acc
+  in
+  List.sort Peer_id.compare (Hashtbl.fold collect net.pipe_table [])
+
+let pipes net = Hashtbl.fold (fun _ pipe acc -> pipe :: acc) net.pipe_table []
+
+let schedule net ~delay action =
+  if delay < 0.0 then invalid_arg "Network.schedule: negative delay";
+  Event_queue.push net.events ~time:(net.now +. delay) action
+
+let deliver net message =
+  match Hashtbl.find_opt net.peer_table message.Message.dst with
+  | Some { handler = Some handler } ->
+      net.delivered <- net.delivered + 1;
+      net.total_bytes <- net.total_bytes + message.Message.size;
+      handler message
+  | Some { handler = None } | None ->
+      net.dropped <- net.dropped + 1;
+      Log.debug (fun m ->
+          m "message #%d dropped at delivery: no live handler at %s"
+            message.Message.msg_id
+            (Peer_id.to_string message.Message.dst))
+
+let send net ~src ~dst payload =
+  match pipe_between net src dst with
+  | Some pipe when Pipe.is_open pipe ->
+      let size = net.size_of payload + Message.header_bytes in
+      net.msg_seq <- net.msg_seq + 1;
+      let message =
+        { Message.msg_id = net.msg_seq; src; dst; sent_at = net.now; size; payload }
+      in
+      Pipe.record_traffic pipe ~size;
+      let delay = Pipe.transfer_delay pipe ~size in
+      let delivery = Pipe.sequence_delivery pipe ~src (net.now +. delay) in
+      Event_queue.push net.events ~time:delivery (fun () -> deliver net message);
+      true
+  | Some _ | None ->
+      net.dropped <- net.dropped + 1;
+      Log.debug (fun m ->
+          m "message %s -> %s dropped: no open pipe" (Peer_id.to_string src)
+            (Peer_id.to_string dst));
+      false
+
+let now net = net.now
+
+let step net =
+  match Event_queue.pop net.events with
+  | None -> false
+  | Some (time, action) ->
+      net.now <- max net.now time;
+      action ();
+      true
+
+let run ?(max_events = max_int) net =
+  let rec loop count =
+    if count >= max_events then count else if step net then loop (count + 1) else count
+  in
+  loop 0
+
+let counters net =
+  { delivered = net.delivered; dropped = net.dropped; total_bytes = net.total_bytes }

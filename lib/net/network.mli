@@ -1,0 +1,77 @@
+(** The discrete-event network simulator.
+
+    This is the substitute for the JXTA layer the original coDB was
+    built on.  It provides peers, pipes, typed messages, timers and a
+    deterministic run loop: events at equal simulated times fire in
+    the order they were scheduled.
+
+    Handlers run inside the simulation loop; anything they send is
+    scheduled for a later simulated time, so re-entrancy is never an
+    issue.  Messages sent when no open pipe exists between the
+    endpoints are counted as dropped, like JXTA messages to an
+    unresolved pipe. *)
+
+type 'a t
+
+type counters = {
+  delivered : int;
+  dropped : int;
+  total_bytes : int;
+}
+
+val create : ?default_latency:float -> ?default_byte_cost:float -> size_of:('a -> int) -> unit -> 'a t
+(** [size_of] estimates the wire size of a payload (the envelope adds
+    {!Message.header_bytes}).  Defaults: 1 ms latency, 1 µs/byte. *)
+
+val add_peer : 'a t -> Peer_id.t -> unit
+(** Idempotent. *)
+
+val remove_peer : 'a t -> Peer_id.t -> unit
+(** Closes all the peer's pipes; in-flight messages to it are dropped
+    at delivery time. *)
+
+val has_peer : 'a t -> Peer_id.t -> bool
+
+val peers : 'a t -> Peer_id.t list
+
+val set_handler : 'a t -> Peer_id.t -> ('a Message.t -> unit) -> unit
+(** Register the message handler for a peer.  @raise Invalid_argument
+    if the peer does not exist. *)
+
+val connect : ?latency:float -> ?byte_cost:float -> 'a t -> Peer_id.t -> Peer_id.t -> unit
+(** Create (or reopen) the pipe between two peers.  @raise
+    Invalid_argument if either peer is missing. *)
+
+val disconnect : 'a t -> Peer_id.t -> Peer_id.t -> unit
+(** Close the pipe; a no-op if none exists. *)
+
+val connected : 'a t -> Peer_id.t -> Peer_id.t -> bool
+
+val pipe_between : 'a t -> Peer_id.t -> Peer_id.t -> Pipe.t option
+
+val neighbours : 'a t -> Peer_id.t -> Peer_id.t list
+(** Peers reachable through an open pipe, sorted. *)
+
+val pipes : 'a t -> Pipe.t list
+
+val send : 'a t -> src:Peer_id.t -> dst:Peer_id.t -> 'a -> bool
+(** Enqueue a message.  [false] iff it was dropped immediately (no
+    open pipe).  Messages in flight when a pipe closes are still
+    delivered; messages to a removed peer are dropped silently at
+    delivery time. *)
+
+val schedule : 'a t -> delay:float -> (unit -> unit) -> unit
+(** A timer local to the simulation (used e.g. by nodes to start
+    updates at a given simulated time).  @raise Invalid_argument on a
+    negative delay. *)
+
+val now : 'a t -> float
+
+val run : ?max_events:int -> 'a t -> int
+(** Process events until the queue drains (or [max_events] is
+    reached); returns the number of events processed. *)
+
+val step : 'a t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val counters : 'a t -> counters

@@ -1,0 +1,18 @@
+type t = string
+
+let of_string s =
+  if s = "" then invalid_arg "Peer_id.of_string: empty name";
+  s
+
+let to_string s = s
+
+let compare = String.compare
+
+let equal = String.equal
+
+let hash = Hashtbl.hash
+
+let pp = Fmt.string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

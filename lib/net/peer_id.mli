@@ -1,0 +1,24 @@
+(** Peer identities.
+
+    JXTA gave coDB an IP-independent naming space for peers; the
+    simulator's equivalent is an abstract identifier type.  Identifiers
+    are human-readable names (node names from the rules file). *)
+
+type t
+
+val of_string : string -> t
+(** @raise Invalid_argument on the empty string. *)
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

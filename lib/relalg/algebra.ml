@@ -1,0 +1,162 @@
+exception Schema_mismatch of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Schema_mismatch m)) fmt
+
+let attr_position schema name =
+  match Schema.position schema name with
+  | Some pos -> pos
+  | None -> fail "no attribute %s in %s" name schema.Schema.rel_name
+
+let attrs_of schema = schema.Schema.attrs
+
+let copy_into schema tuples =
+  let result = Relation.create schema in
+  List.iter (fun t -> ignore (Relation.insert result t)) tuples;
+  result
+
+let select pred r =
+  copy_into (Relation.schema r) (List.filter pred (Relation.to_list r))
+
+let select_eq r ~attr value =
+  let pos = attr_position (Relation.schema r) attr in
+  copy_into (Relation.schema r) (Relation.lookup r ~col:pos value)
+
+let project r ~attrs =
+  if attrs = [] then fail "projection on no attributes";
+  let schema = Relation.schema r in
+  let positions = List.map (attr_position schema) attrs in
+  let kept =
+    List.map (fun pos -> List.nth (attrs_of schema) pos) positions
+  in
+  let out_schema =
+    Schema.make
+      ("pi(" ^ schema.Schema.rel_name ^ ")")
+      (List.map (fun a -> (a.Schema.attr_name, a.Schema.attr_ty)) kept)
+  in
+  let project_tuple t = Array.of_list (List.map (fun pos -> t.(pos)) positions) in
+  copy_into out_schema (List.map project_tuple (Relation.to_list r))
+
+let rename r mapping =
+  let schema = Relation.schema r in
+  let renamed =
+    List.map
+      (fun a ->
+        let name =
+          Option.value ~default:a.Schema.attr_name (List.assoc_opt a.Schema.attr_name mapping)
+        in
+        (name, a.Schema.attr_ty))
+      (attrs_of schema)
+  in
+  let out_schema =
+    try Schema.make schema.Schema.rel_name renamed
+    with Invalid_argument m -> fail "%s" m
+  in
+  copy_into out_schema (Relation.to_list r)
+
+let same_layout r1 r2 =
+  let a1 = attrs_of (Relation.schema r1) and a2 = attrs_of (Relation.schema r2) in
+  List.length a1 = List.length a2
+  && List.for_all2
+       (fun x y -> String.equal x.Schema.attr_name y.Schema.attr_name && x.Schema.attr_ty = y.Schema.attr_ty)
+       a1 a2
+
+let require_same_layout op r1 r2 =
+  if not (same_layout r1 r2) then
+    fail "%s: incompatible schemas %s and %s" op
+      (Schema.to_string (Relation.schema r1))
+      (Schema.to_string (Relation.schema r2))
+
+let union r1 r2 =
+  require_same_layout "union" r1 r2;
+  copy_into (Relation.schema r1) (Relation.to_list r1 @ Relation.to_list r2)
+
+let diff r1 r2 =
+  require_same_layout "diff" r1 r2;
+  copy_into (Relation.schema r1)
+    (List.filter (fun t -> not (Relation.mem r2 t)) (Relation.to_list r1))
+
+let inter r1 r2 =
+  require_same_layout "inter" r1 r2;
+  copy_into (Relation.schema r1)
+    (List.filter (Relation.mem r2) (Relation.to_list r1))
+
+(* Attribute list for a two-relation result: keep the left names,
+   prefix right names that clash with any left name. *)
+let combined_attrs ?(skip_right = []) r1 r2 =
+  let s1 = Relation.schema r1 and s2 = Relation.schema r2 in
+  let left = attrs_of s1 in
+  let left_names = List.map (fun a -> a.Schema.attr_name) left in
+  let right =
+    List.filter
+      (fun a -> not (List.mem a.Schema.attr_name skip_right))
+      (attrs_of s2)
+  in
+  let right_named =
+    List.map
+      (fun a ->
+        let name =
+          if List.mem a.Schema.attr_name left_names then
+            s2.Schema.rel_name ^ "." ^ a.Schema.attr_name
+          else a.Schema.attr_name
+        in
+        (name, a.Schema.attr_ty))
+      right
+  in
+  ( List.map (fun a -> (a.Schema.attr_name, a.Schema.attr_ty)) left @ right_named,
+    List.map (fun a -> attr_position s2 a.Schema.attr_name) right )
+
+let product r1 r2 =
+  let s1 = Relation.schema r1 and s2 = Relation.schema r2 in
+  let attrs, right_positions = combined_attrs r1 r2 in
+  let out_schema =
+    Schema.make (s1.Schema.rel_name ^ "*" ^ s2.Schema.rel_name) attrs
+  in
+  let rows =
+    List.concat_map
+      (fun t1 ->
+        List.map
+          (fun t2 ->
+            Array.append t1 (Array.of_list (List.map (fun p -> t2.(p)) right_positions)))
+          (Relation.to_list r2))
+      (Relation.to_list r1)
+  in
+  copy_into out_schema rows
+
+let join_on r1 r2 pairs ~merge_shared =
+  let s1 = Relation.schema r1 and s2 = Relation.schema r2 in
+  let pairs_pos =
+    List.map
+      (fun (a1, a2) -> (attr_position s1 a1, attr_position s2 a2))
+      pairs
+  in
+  let skip_right = if merge_shared then List.map snd pairs else [] in
+  let attrs, right_positions = combined_attrs ~skip_right r1 r2 in
+  let out_schema =
+    Schema.make (s1.Schema.rel_name ^ "|x|" ^ s2.Schema.rel_name) attrs
+  in
+  let matches t1 t2 =
+    List.for_all (fun (p1, p2) -> Value.equal t1.(p1) t2.(p2)) pairs_pos
+  in
+  let rows =
+    List.concat_map
+      (fun t1 ->
+        List.filter_map
+          (fun t2 ->
+            if matches t1 t2 then
+              Some
+                (Array.append t1
+                   (Array.of_list (List.map (fun p -> t2.(p)) right_positions)))
+            else None)
+          (Relation.to_list r2))
+      (Relation.to_list r1)
+  in
+  copy_into out_schema rows
+
+let natural_join r1 r2 =
+  let names1 = Schema.attr_names (Relation.schema r1) in
+  let names2 = Schema.attr_names (Relation.schema r2) in
+  let shared = List.filter (fun n -> List.mem n names2) names1 in
+  if shared = [] then product r1 r2
+  else join_on r1 r2 (List.map (fun n -> (n, n)) shared) ~merge_shared:true
+
+let equi_join r1 r2 ~on = join_on r1 r2 on ~merge_shared:false

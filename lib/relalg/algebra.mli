@@ -1,0 +1,55 @@
+(** Classical relational-algebra operators over {!Relation}.
+
+    This is the operation toolbox the paper assigns to the Wrapper
+    ("when LDB does not support nested queries ... all required
+    database operations (as join and project) are executed in
+    Wrapper"): selection, projection, renaming, natural and equi-join,
+    union, difference and intersection, each producing a fresh
+    relation and leaving its operands untouched.
+
+    The conjunctive-query evaluator ({!Codb_cq.Eval}) compiles whole
+    query bodies directly and is what the coDB engines use; these
+    operators are the stable public surface for programmatic
+    manipulation of relation instances (examples, tools, tests). *)
+
+exception Schema_mismatch of string
+
+val select : (Tuple.t -> bool) -> Relation.t -> Relation.t
+(** Same schema, the tuples satisfying the predicate. *)
+
+val select_eq : Relation.t -> attr:string -> Value.t -> Relation.t
+(** Selection on attribute equality (uses the column index).
+    @raise Schema_mismatch on an unknown attribute. *)
+
+val project : Relation.t -> attrs:string list -> Relation.t
+(** Keep the given attributes, in the given order; duplicates collapse
+    (set semantics).  The result relation is named
+    ["π(<name>)"].  @raise Schema_mismatch on unknown attributes or an
+    empty list. *)
+
+val rename : Relation.t -> (string * string) list -> Relation.t
+(** Rename attributes (missing names are left unchanged); the
+    relation keeps its tuples.  @raise Schema_mismatch if the renaming
+    creates duplicate attribute names. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** @raise Schema_mismatch unless both operands have identical
+    attribute lists (names and types). *)
+
+val diff : Relation.t -> Relation.t -> Relation.t
+
+val inter : Relation.t -> Relation.t -> Relation.t
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Cartesian product; attribute names are prefixed with the operand
+    relation names ([r.a]) when they clash. *)
+
+val natural_join : Relation.t -> Relation.t -> Relation.t
+(** Join on all shared attribute names (equality on values; marked
+    nulls join only with themselves).  Shared attributes appear once.
+    With no shared attributes this degenerates to {!product}. *)
+
+val equi_join : Relation.t -> Relation.t -> on:(string * string) list -> Relation.t
+(** Join on explicit attribute pairs (left attr, right attr); all
+    attributes of both sides are kept (right side prefixed on
+    clashes).  @raise Schema_mismatch on unknown attributes. *)

@@ -1,0 +1,103 @@
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  schema : Schema.t;
+  mutable tuples : Tuple_set.t;
+  (* lazily built per-column hash indexes; dropped wholesale on any
+     mutation and rebuilt on the next probe *)
+  indexes : (int, (Value.t, Tuple.t list) Hashtbl.t) Hashtbl.t;
+}
+
+let create schema = { schema; tuples = Tuple_set.empty; indexes = Hashtbl.create 4 }
+
+let schema r = r.schema
+
+let name r = r.schema.Schema.rel_name
+
+let cardinal r = Tuple_set.cardinal r.tuples
+
+let is_empty r = Tuple_set.is_empty r.tuples
+
+let mem r t = Tuple_set.mem t r.tuples
+
+let invalidate_indexes r = Hashtbl.reset r.indexes
+
+let check_insertable r t =
+  if Tuple.has_hole t then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: tuple with holes in %s (instantiate first)"
+         (name r));
+  if not (Schema.conforms r.schema t) then
+    invalid_arg
+      (Printf.sprintf "Relation.insert: tuple %s does not conform to %s"
+         (Tuple.to_string t)
+         (Schema.to_string r.schema))
+
+let insert r t =
+  check_insertable r t;
+  if Tuple_set.mem t r.tuples then false
+  else begin
+    r.tuples <- Tuple_set.add t r.tuples;
+    invalidate_indexes r;
+    true
+  end
+
+let insert_all r ts = List.filter (insert r) ts
+
+let subsumed r incoming =
+  if Tuple.has_hole incoming then
+    Tuple_set.exists (fun stored -> Tuple.subsumes stored incoming) r.tuples
+  else Tuple_set.mem incoming r.tuples
+
+let remove r t =
+  if Tuple_set.mem t r.tuples then begin
+    r.tuples <- Tuple_set.remove t r.tuples;
+    invalidate_indexes r;
+    true
+  end
+  else false
+
+let clear r =
+  r.tuples <- Tuple_set.empty;
+  invalidate_indexes r
+
+let to_list r = Tuple_set.elements r.tuples
+
+let to_seq r = Tuple_set.to_seq r.tuples
+
+let fold f r init = Tuple_set.fold f r.tuples init
+
+let iter f r = Tuple_set.iter f r.tuples
+
+let copy r = { r with tuples = r.tuples; indexes = Hashtbl.create 4 }
+
+let equal_contents r1 r2 = Tuple_set.equal r1.tuples r2.tuples
+
+let size_bytes r = fold (fun t acc -> acc + Tuple.size_bytes t) r 0
+
+let build_index r col =
+  let index = Hashtbl.create (max 16 (cardinal r)) in
+  let add t =
+    let key = t.(col) in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt index key) in
+    Hashtbl.replace index key (t :: existing)
+  in
+  Tuple_set.iter add r.tuples;
+  Hashtbl.replace r.indexes col index;
+  index
+
+let lookup r ~col value =
+  if col < 0 || col >= Schema.arity r.schema then
+    invalid_arg
+      (Printf.sprintf "Relation.lookup: column %d out of range for %s" col (name r));
+  let index =
+    match Hashtbl.find_opt r.indexes col with
+    | Some index -> index
+    | None -> build_index r col
+  in
+  Option.value ~default:[] (Hashtbl.find_opt index value)
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v 2>%s [%d tuples]%a@]" (name r) (cardinal r)
+    Fmt.(list ~sep:nop (fun ppf t -> Fmt.pf ppf "@,%a" Tuple.pp t))
+    (to_list r)

@@ -1,0 +1,63 @@
+(** A relation instance: a set of tuples conforming to a schema.
+
+    Set semantics throughout, as required by the update algorithm's
+    duplicate-suppression step.  Mutating operations return the tuples
+    that were actually new, which is exactly the delta the algorithm
+    propagates further. *)
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val name : t -> string
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> Tuple.t -> bool
+
+val insert : t -> Tuple.t -> bool
+(** [insert r t] adds [t]; [true] iff [t] was not already present.
+    @raise Invalid_argument if [t] does not conform to the schema or
+    contains holes (holes are a wire-only representation). *)
+
+val insert_all : t -> Tuple.t list -> Tuple.t list
+(** Insert many tuples; returns the sub-list that was actually new, in
+    the input order. *)
+
+val subsumed : t -> Tuple.t -> bool
+(** Null-aware membership: is the (possibly hole-carrying) incoming
+    tuple subsumed by some stored tuple?  See {!Tuple.subsumes}. *)
+
+val lookup : t -> col:int -> Value.t -> Tuple.t list
+(** Tuples whose [col]-th attribute equals the value, served from a
+    lazily built hash index (invalidated on mutation, rebuilt on the
+    next probe).  The order of the result is unspecified.
+    @raise Invalid_argument if [col] is out of range. *)
+
+val remove : t -> Tuple.t -> bool
+(** [true] iff the tuple was present. *)
+
+val clear : t -> unit
+
+val to_list : t -> Tuple.t list
+(** Tuples in {!Tuple.compare} order. *)
+
+val to_seq : t -> Tuple.t Seq.t
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val copy : t -> t
+
+val equal_contents : t -> t -> bool
+
+val size_bytes : t -> int
+
+val pp : t Fmt.t

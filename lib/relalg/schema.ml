@@ -1,0 +1,41 @@
+type attr = { attr_name : string; attr_ty : Value.ty }
+
+type t = { rel_name : string; attrs : attr list }
+
+let make rel_name pairs =
+  if pairs = [] then
+    invalid_arg (Printf.sprintf "Schema.make: relation %s has no attributes" rel_name);
+  let names = List.map fst pairs in
+  let distinct = List.sort_uniq String.compare names in
+  if List.length distinct <> List.length names then
+    invalid_arg (Printf.sprintf "Schema.make: duplicate attribute in %s" rel_name);
+  { rel_name; attrs = List.map (fun (attr_name, attr_ty) -> { attr_name; attr_ty }) pairs }
+
+let arity s = List.length s.attrs
+
+let attr_names s = List.map (fun a -> a.attr_name) s.attrs
+
+let position s name =
+  let rec loop i = function
+    | [] -> None
+    | a :: rest -> if String.equal a.attr_name name then Some i else loop (i + 1) rest
+  in
+  loop 0 s.attrs
+
+let conforms s t =
+  Tuple.arity t = arity s
+  && List.for_all2 (fun a v -> Value.conforms a.attr_ty v) s.attrs (Array.to_list t)
+
+let equal s1 s2 =
+  String.equal s1.rel_name s2.rel_name
+  && List.length s1.attrs = List.length s2.attrs
+  && List.for_all2
+       (fun a b -> String.equal a.attr_name b.attr_name && a.attr_ty = b.attr_ty)
+       s1.attrs s2.attrs
+
+let pp_attr ppf a = Fmt.pf ppf "%s: %a" a.attr_name Value.pp_ty a.attr_ty
+
+let pp ppf s =
+  Fmt.pf ppf "%s(%a)" s.rel_name Fmt.(list ~sep:(any ", ") pp_attr) s.attrs
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,31 @@
+(** Relation schemas: a relation name plus a list of typed attributes.
+
+    A node's Database Schema (DBS in the paper's architecture) is the
+    list of relation schemas it shares with the network; it must be
+    present even on mediator nodes that have no local database. *)
+
+type attr = { attr_name : string; attr_ty : Value.ty }
+
+type t = { rel_name : string; attrs : attr list }
+
+val make : string -> (string * Value.ty) list -> t
+(** [make name attrs] builds a schema.
+    @raise Invalid_argument on duplicate attribute names or empty
+    attribute list. *)
+
+val arity : t -> int
+
+val attr_names : t -> string list
+
+val position : t -> string -> int option
+(** Position of an attribute by name. *)
+
+val conforms : t -> Tuple.t -> bool
+(** Arity matches and every value inhabits its attribute type (marked
+    nulls and holes conform to every type). *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string

@@ -1,0 +1,63 @@
+type t = Value.t array
+
+let compare t1 t2 =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  if n1 <> n2 then Stdlib.compare n1 n2
+  else
+    let rec loop i =
+      if i >= n1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let arity = Array.length
+
+let size_bytes t = Array.fold_left (fun acc v -> acc + Value.size_bytes v) 4 t
+
+let has_hole t = Array.exists Value.is_hole t
+
+let has_null t = Array.exists Value.is_null t
+
+let subsumes stored incoming =
+  Array.length stored = Array.length incoming
+  &&
+  let rec loop i =
+    if i >= Array.length stored then true
+    else
+      let ok =
+        match incoming.(i) with
+        | Value.Hole _ -> true
+        | v -> Value.equal stored.(i) v
+      in
+      ok && loop (i + 1)
+  in
+  loop 0
+
+let instantiate_holes ~rule t =
+  if not (has_hole t) then t
+  else begin
+    (* The same hole index must map to the same fresh null within one
+       tuple, so existential variables repeated in a rule head stay
+       co-referent. *)
+    let assigned = Hashtbl.create 4 in
+    let instantiate = function
+      | Value.Hole i -> (
+          match Hashtbl.find_opt assigned i with
+          | Some null -> null
+          | None ->
+              let null = Value.fresh_null ~rule in
+              Hashtbl.add assigned i null;
+              null)
+      | v -> v
+    in
+    Array.map instantiate t
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,46 @@
+(** Tuples are immutable arrays of {!Value.t}.
+
+    Two notions of comparison matter in coDB:
+
+    - {!compare}: exact lexicographic order, used by relation tuple
+      sets;
+    - {!subsumes}: null/hole-aware matching used by the duplicate
+      suppression step of the global update algorithm.  A stored tuple
+      [s] subsumes an incoming wire tuple [w] when they agree on every
+      position where [w] carries a concrete value; a hole in [w] is an
+      existential position, witnessed by {e any} stored value there
+      (a concrete one as much as a marked null).  Dropping subsumed
+      incoming tuples keeps the materialised instance minimal (no
+      null-padded copies of facts already known) and is what makes the
+      fix-point terminate in cyclic networks with existential head
+      variables. *)
+
+type t = Value.t array
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val arity : t -> int
+
+val size_bytes : t -> int
+(** Estimated wire size (sum of the value sizes plus a small header). *)
+
+val has_hole : t -> bool
+
+val has_null : t -> bool
+(** Does the tuple contain a marked null?  Tuples without nulls are
+    the {e certain} answers reported by the query engine. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes stored incoming]: see the module documentation.  When
+    [incoming] has no holes this degenerates to {!equal}. *)
+
+val instantiate_holes : rule:string -> t -> t
+(** Replace every hole with a fresh marked null labelled [rule].
+    Distinct holes in the same tuple get distinct nulls; the same hole
+    index occurring twice gets the same null. *)
+
+val pp : t Fmt.t
+
+val to_string : t -> string

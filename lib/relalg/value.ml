@@ -1,0 +1,89 @@
+type null = { null_id : int; null_rule : string }
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null of null
+  | Hole of int
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+let constructor_rank = function
+  | Int _ -> 0
+  | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+  | Null _ -> 4
+  | Hole _ -> 5
+
+let compare v1 v2 =
+  match (v1, v2) with
+  | Int a, Int b -> Stdlib.compare a b
+  | Float a, Float b -> Stdlib.compare a b
+  | Str a, Str b -> Stdlib.compare a b
+  | Bool a, Bool b -> Stdlib.compare a b
+  | Null a, Null b -> Stdlib.compare a.null_id b.null_id
+  | Hole a, Hole b -> Stdlib.compare a b
+  | (Int _ | Float _ | Str _ | Bool _ | Null _ | Hole _), _ ->
+      Stdlib.compare (constructor_rank v1) (constructor_rank v2)
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstring
+  | Bool _ -> Some Tbool
+  | Null _ | Hole _ -> None
+
+let conforms ty v =
+  match type_of v with None -> true | Some ty' -> ty = ty'
+
+let is_null = function Null _ -> true | Int _ | Float _ | Str _ | Bool _ | Hole _ -> false
+
+let is_hole = function Hole _ -> true | Int _ | Float _ | Str _ | Bool _ | Null _ -> false
+
+let size_bytes = function
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> 4 + String.length s
+  | Bool _ -> 1
+  | Null _ -> 8
+  | Hole _ -> 2
+
+let counter = ref 0
+
+let fresh_null ~rule =
+  incr counter;
+  Null { null_id = !counter; null_rule = rule }
+
+let null_counter () = !counter
+
+let reset_null_counter () = counter := 0
+
+let ty_of_string = function
+  | "int" -> Some Tint
+  | "float" -> Some Tfloat
+  | "string" -> Some Tstring
+  | "bool" -> Some Tbool
+  | _ -> None
+
+let string_of_ty = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+let pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Null n -> Fmt.pf ppf "#N%d@%s" n.null_id n.null_rule
+  | Hole i -> Fmt.pf ppf "_%d" i
+
+let pp_ty ppf ty = Fmt.string ppf (string_of_ty ty)
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,74 @@
+(** Typed atomic values stored in coDB relations.
+
+    Besides the usual scalar types, coDB needs two special kinds of
+    values to implement GLAV coordination rules:
+
+    - {e marked nulls} ([Null]): fresh labelled unknowns introduced when
+      a coordination rule has existential variables in its head (see
+      the paper, Section 3).  A marked null is equal only to itself.
+    - {e holes} ([Hole]): positional placeholders used {e on the wire}
+      for existential head positions.  A hole is never stored in a
+      relation; the receiving node replaces every hole with a fresh
+      marked null (or drops the tuple if it is subsumed by data it
+      already has). *)
+
+type null = {
+  null_id : int;  (** globally unique identifier of the marked null *)
+  null_rule : string;  (** id of the coordination rule that created it *)
+}
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Null of null  (** marked null: equal only to itself *)
+  | Hole of int  (** wire-format placeholder for the [i]-th existential
+                     head variable; never stored in a relation *)
+
+(** Types of attributes, as declared in relation schemas.  A marked
+    null is considered to conform to every type. *)
+type ty = Tint | Tfloat | Tstring | Tbool
+
+val compare : t -> t -> int
+(** Total order used by tuple sets.  Values of distinct constructors
+    are ordered by constructor; marked nulls are ordered by id. *)
+
+val equal : t -> t -> bool
+
+val type_of : t -> ty option
+(** [type_of v] is [Some ty] for scalar values and [None] for marked
+    nulls and holes (which conform to any type). *)
+
+val conforms : ty -> t -> bool
+(** Does the value inhabit the attribute type?  Nulls and holes
+    conform to every type. *)
+
+val is_null : t -> bool
+
+val is_hole : t -> bool
+
+val size_bytes : t -> int
+(** Estimated wire size of the value, used by the network simulator
+    and the statistics module to report data volumes. *)
+
+val fresh_null : rule:string -> t
+(** A fresh marked null, labelled with the id of the coordination rule
+    that introduced it.  Freshness is global to the process. *)
+
+val null_counter : unit -> int
+(** Number of marked nulls generated so far (for tests and reports). *)
+
+val reset_null_counter : unit -> unit
+(** Reset the generator.  Only for tests and benchmarks that need
+    reproducible null identifiers; never call it mid-computation. *)
+
+val ty_of_string : string -> ty option
+
+val string_of_ty : ty -> string
+
+val pp : t Fmt.t
+
+val pp_ty : ty Fmt.t
+
+val to_string : t -> string

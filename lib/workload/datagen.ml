@@ -1,0 +1,38 @@
+module Value = Codb_relalg.Value
+module Schema = Codb_relalg.Schema
+module Relation = Codb_relalg.Relation
+
+type profile = { domain_size : int; skew : float }
+
+let default_profile = { domain_size = 50; skew = 0.0 }
+
+let rank rng profile =
+  if profile.skew > 0.0 then Rng.zipf rng ~n:profile.domain_size ~s:profile.skew
+  else 1 + Rng.int rng profile.domain_size
+
+let value rng profile = function
+  | Value.Tint -> Value.Int (rank rng profile)
+  | Value.Tfloat -> Value.Float (float_of_int (rank rng profile) /. 2.0)
+  | Value.Tstring -> Value.Str (Printf.sprintf "v%d" (rank rng profile))
+  | Value.Tbool -> Value.Bool (Rng.bool rng 0.5)
+
+let tuple rng profile schema =
+  Array.of_list
+    (List.map (fun a -> value rng profile a.Schema.attr_ty) schema.Schema.attrs)
+
+let tuples rng profile schema ~count = List.init count (fun _ -> tuple rng profile schema)
+
+let distinct_tuples rng profile schema ~count =
+  let seen = ref Relation.Tuple_set.empty in
+  let budget = count * 20 in
+  let rec loop tries acc n =
+    if n >= count || tries >= budget then List.rev acc
+    else
+      let t = tuple rng profile schema in
+      if Relation.Tuple_set.mem t !seen then loop (tries + 1) acc n
+      else begin
+        seen := Relation.Tuple_set.add t !seen;
+        loop (tries + 1) (t :: acc) (n + 1)
+      end
+  in
+  loop 0 [] 0

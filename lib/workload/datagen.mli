@@ -1,0 +1,26 @@
+(** Synthetic data for experiments: random tuples conforming to a
+    schema, with controllable domain size and skew.
+
+    Small domains force joins to produce matches and duplicates to
+    occur, which is what exercises the update algorithm's duplicate
+    suppression; large domains produce mostly-disjoint data. *)
+
+type profile = {
+  domain_size : int;  (** values per attribute domain *)
+  skew : float;  (** Zipf exponent; [0.] is uniform *)
+}
+
+val default_profile : profile
+
+val value : Rng.t -> profile -> Codb_relalg.Value.ty -> Codb_relalg.Value.t
+
+val tuple : Rng.t -> profile -> Codb_relalg.Schema.t -> Codb_relalg.Tuple.t
+
+val tuples : Rng.t -> profile -> Codb_relalg.Schema.t -> count:int -> Codb_relalg.Tuple.t list
+(** [count] random tuples (duplicates possible — set semantics will
+    collapse them on insertion). *)
+
+val distinct_tuples :
+  Rng.t -> profile -> Codb_relalg.Schema.t -> count:int -> Codb_relalg.Tuple.t list
+(** Up to [count] distinct tuples (fewer when the domain is too
+    small). *)

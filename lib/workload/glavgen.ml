@@ -1,0 +1,109 @@
+module Config = Codb_cq.Config
+module Query = Codb_cq.Query
+module Atom = Codb_cq.Atom
+module Term = Codb_cq.Term
+module Schema = Codb_relalg.Schema
+module Value = Codb_relalg.Value
+
+type spec = {
+  tuples_per_relation : int;
+  join_frac : float;
+  existential_frac : float;
+  comparison_frac : float;
+  rules_per_edge : int;
+  profile : Datagen.profile;
+}
+
+let default_spec =
+  {
+    tuples_per_relation = 25;
+    join_frac = 0.3;
+    existential_frac = 0.2;
+    comparison_frac = 0.2;
+    rules_per_edge = 1;
+    profile = Datagen.default_profile;
+  }
+
+let node_name i = Printf.sprintf "n%d" i
+
+let fact0 = Schema.make "fact0" [ ("k", Value.Tint); ("v", Value.Tint) ]
+
+let fact1 = Schema.make "fact1" [ ("k", Value.Tint); ("v", Value.Tint) ]
+
+let link = Schema.make "link" [ ("k", Value.Tint); ("j", Value.Tint) ]
+
+let relations = [ fact0; fact1; link ]
+
+type rule_kind = Copy of string | Join | Project_exist | Filtered
+
+let pick_kind rng spec =
+  if Rng.bool rng spec.join_frac then Join
+  else if Rng.bool rng spec.existential_frac then Project_exist
+  else if Rng.bool rng spec.comparison_frac then Filtered
+  else Copy (Rng.pick rng [ "fact0"; "fact1"; "link" ])
+
+let x = Term.Var "x"
+
+let y = Term.Var "y"
+
+let z = Term.Var "z"
+
+let w = Term.Var "w"
+
+let rule_query rng spec kind =
+  match kind with
+  | Copy rel ->
+      Query.make ~head:(Atom.make rel [ x; y ]) ~body:[ Atom.make rel [ x; y ] ] ()
+  | Join ->
+      (* one hop through the link graph: a genuine two-atom join *)
+      Query.make
+        ~head:(Atom.make "fact0" [ x; z ])
+        ~body:[ Atom.make "link" [ x; y ]; Atom.make "fact0" [ y; z ] ]
+        ()
+  | Project_exist ->
+      (* the source's fact0 keys exist at the importer with an unknown
+         value: a marked null *)
+      Query.make ~head:(Atom.make "fact1" [ x; w ]) ~body:[ Atom.make "fact0" [ x; y ] ] ()
+  | Filtered ->
+      let bound = max 1 (spec.profile.Datagen.domain_size / 2) in
+      ignore rng;
+      Query.make
+        ~head:(Atom.make "fact0" [ x; y ])
+        ~body:[ Atom.make "fact0" [ x; y ] ]
+        ~comparisons:[ { Query.left = y; op = Query.Le; right = Term.Cst (Value.Int bound) } ]
+        ()
+
+let generate ?(spec = default_spec) ~seed ~edges ~n () =
+  let rng = Rng.make ~seed in
+  let make_node i =
+    let facts =
+      List.concat_map
+        (fun schema ->
+          List.map
+            (fun t -> (schema.Schema.rel_name, t))
+            (Datagen.distinct_tuples rng spec.profile schema
+               ~count:spec.tuples_per_relation))
+        relations
+    in
+    {
+      Config.node_name = node_name i;
+      relations;
+      facts;
+      mediator = false;
+      constraints = [];
+    }
+  in
+  let edge_rules (importer, source) =
+    List.init spec.rules_per_edge (fun k ->
+        let kind = pick_kind rng spec in
+        {
+          Config.rule_id = Printf.sprintf "g_%d_%d_%d" importer source k;
+          importer = node_name importer;
+          source = node_name source;
+          rule_query = rule_query rng spec kind;
+        })
+  in
+  {
+    Config.nodes = List.init n make_node;
+    rules = List.concat_map edge_rules edges;
+  }

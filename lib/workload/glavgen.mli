@@ -1,0 +1,39 @@
+(** Heterogeneous GLAV workloads.
+
+    Where {!Codb_core.Topology.generate} builds plain schema
+    translations over a single relation, this generator exercises the
+    full rule language on a three-relation schema at every node —
+    [fact0(k, v)], [fact1(k, v)] and [link(k, j)] — with a mix of rule
+    kinds per edge:
+
+    - plain copies of one relation;
+    - a genuine two-atom {e join} ([fact0(x, z) <- link(x, y),
+      fact0(y, z)]: one hop through the link graph);
+    - an existential {e projection} ([fact1(x, w) <- fact0(x, y)] with
+      [w] existential — marked nulls at the importer);
+    - a {e filtered} copy with a comparison predicate.
+
+    The topology is supplied as an edge list (importer, source), so it
+    composes with {!Codb_core.Topology.edges} without a dependency
+    cycle. *)
+
+type spec = {
+  tuples_per_relation : int;
+  join_frac : float;  (** probability of a join rule *)
+  existential_frac : float;  (** else, probability of a projection rule *)
+  comparison_frac : float;  (** else, probability of a filtered copy *)
+  rules_per_edge : int;
+  profile : Datagen.profile;
+}
+
+val default_spec : spec
+
+val node_name : int -> string
+(** ["n<i>"], matching {!Codb_core.Topology.node_name}. *)
+
+val relations : Codb_relalg.Schema.t list
+(** The shared three-relation schema. *)
+
+val generate :
+  ?spec:spec -> seed:int -> edges:(int * int) list -> n:int -> unit -> Codb_cq.Config.t
+(** Always passes {!Codb_cq.Config.validate}. *)

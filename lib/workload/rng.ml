@@ -1,0 +1,36 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int rng bound
+
+let int_range rng lo hi =
+  if hi < lo then invalid_arg "Rng.int_range: empty range";
+  lo + int rng (hi - lo + 1)
+
+let float rng bound = Random.State.float rng bound
+
+let bool rng p = Random.State.float rng 1.0 < p
+
+let pick rng = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int rng (List.length l))
+
+let shuffle rng l =
+  let tagged = List.map (fun x -> (Random.State.bits rng, x)) l in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) tagged)
+
+let zipf rng ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = Random.State.float rng total in
+  let rec walk i acc =
+    if i >= n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i + 1 else walk (i + 1) acc
+  in
+  walk 0 0.0

@@ -1,0 +1,30 @@
+(** Seeded pseudo-random generation for workloads and property tests.
+
+    A thin wrapper over [Random.State] so that every generator in the
+    benchmark harness is reproducible from an integer seed and never
+    touches the global generator. *)
+
+type t
+
+val make : seed:int -> t
+
+val int : t -> int -> int
+(** [int rng bound] in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range rng lo hi] inclusive of both ends. *)
+
+val float : t -> float -> float
+
+val bool : t -> float -> bool
+(** [bool rng p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val zipf : t -> n:int -> s:float -> int
+(** A rank in [\[1, n\]] drawn from a Zipf distribution with exponent
+    [s] (inverse-CDF over precomputed weights; [s = 0.] is uniform). *)

@@ -1,0 +1,56 @@
+(* Shared helpers for the test suites. *)
+
+module Value = Codb_relalg.Value
+module Tuple = Codb_relalg.Tuple
+module Schema = Codb_relalg.Schema
+module Relation = Codb_relalg.Relation
+module Database = Codb_relalg.Database
+module Term = Codb_cq.Term
+module Atom = Codb_cq.Atom
+module Query = Codb_cq.Query
+module Parser = Codb_cq.Parser
+module Config = Codb_cq.Config
+module Eval = Codb_cq.Eval
+
+let i n = Value.Int n
+
+let s x = Value.Str x
+
+let tup values = Array.of_list values
+
+let v name = Term.Var name
+
+let c value = Term.Cst value
+
+let atom rel args = Atom.make rel args
+
+let parse_query text =
+  match Parser.parse_query text with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse_query %S: %s" text e
+
+let parse_config text =
+  match Parser.load_config text with
+  | Ok cfg -> cfg
+  | Error errors ->
+      Alcotest.failf "load_config: %s" (String.concat "; " errors)
+
+let tuple_testable : Tuple.t Alcotest.testable =
+  Alcotest.testable Tuple.pp Tuple.equal
+
+let tuples_testable = Alcotest.list tuple_testable
+
+let sorted_tuples ts = List.sort Tuple.compare ts
+
+let check_tuples msg expected actual =
+  Alcotest.check tuples_testable msg (sorted_tuples expected) (sorted_tuples actual)
+
+let db_of schemas rows =
+  let db = Database.create schemas in
+  List.iter (fun (rel, tuple) -> ignore (Database.insert db rel tuple)) rows;
+  db
+
+(* A tiny two-relation schema used across evaluator tests. *)
+let r_schema = Schema.make "r" [ ("a", Value.Tint); ("b", Value.Tint) ]
+
+let s_schema = Schema.make "s" [ ("b", Value.Tint); ("c", Value.Tstring) ]

@@ -1,0 +1,123 @@
+open Helpers
+module Algebra = Codb_relalg.Algebra
+module Value = Codb_relalg.Value
+
+let emp_schema =
+  Schema.make "emp" [ ("name", Value.Tstring); ("dept", Value.Tint) ]
+
+let dept_schema =
+  Schema.make "dept" [ ("dept", Value.Tint); ("city", Value.Tstring) ]
+
+let emp () =
+  let r = Relation.create emp_schema in
+  ignore
+    (Relation.insert_all r
+       [ tup [ s "alice"; i 1 ]; tup [ s "bob"; i 2 ]; tup [ s "carol"; i 1 ] ]);
+  r
+
+let dept () =
+  let r = Relation.create dept_schema in
+  ignore (Relation.insert_all r [ tup [ i 1; s "rome" ]; tup [ i 3; s "oslo" ] ]);
+  r
+
+let contents r = Relation.to_list r
+
+let test_select () =
+  let r = Algebra.select (fun t -> Value.equal t.(1) (i 1)) (emp ()) in
+  Alcotest.(check int) "two in dept 1" 2 (Relation.cardinal r);
+  let r2 = Algebra.select_eq (emp ()) ~attr:"name" (s "bob") in
+  check_tuples "by name" [ tup [ s "bob"; i 2 ] ] (contents r2);
+  Alcotest.(check bool) "unknown attr" true
+    (try
+       ignore (Algebra.select_eq (emp ()) ~attr:"nope" (i 1));
+       false
+     with Algebra.Schema_mismatch _ -> true)
+
+let test_project () =
+  let r = Algebra.project (emp ()) ~attrs:[ "dept" ] in
+  check_tuples "depts deduped" [ tup [ i 1 ]; tup [ i 2 ] ] (contents r);
+  let reordered = Algebra.project (emp ()) ~attrs:[ "dept"; "name" ] in
+  Alcotest.(check (list string)) "attribute order" [ "dept"; "name" ]
+    (Schema.attr_names (Relation.schema reordered));
+  Alcotest.(check bool) "empty projection" true
+    (try
+       ignore (Algebra.project (emp ()) ~attrs:[]);
+       false
+     with Algebra.Schema_mismatch _ -> true)
+
+let test_rename () =
+  let r = Algebra.rename (emp ()) [ ("dept", "division") ] in
+  Alcotest.(check (list string)) "renamed" [ "name"; "division" ]
+    (Schema.attr_names (Relation.schema r));
+  Alcotest.(check int) "tuples kept" 3 (Relation.cardinal r);
+  Alcotest.(check bool) "clash rejected" true
+    (try
+       ignore (Algebra.rename (emp ()) [ ("dept", "name") ]);
+       false
+     with Algebra.Schema_mismatch _ -> true)
+
+let test_set_operations () =
+  let r1 = emp () in
+  let r2 = Relation.create emp_schema in
+  ignore (Relation.insert_all r2 [ tup [ s "alice"; i 1 ]; tup [ s "dan"; i 3 ] ]);
+  Alcotest.(check int) "union" 4 (Relation.cardinal (Algebra.union r1 r2));
+  check_tuples "diff" [ tup [ s "bob"; i 2 ]; tup [ s "carol"; i 1 ] ]
+    (contents (Algebra.diff r1 r2));
+  check_tuples "inter" [ tup [ s "alice"; i 1 ] ] (contents (Algebra.inter r1 r2));
+  Alcotest.(check bool) "layout checked" true
+    (try
+       ignore (Algebra.union r1 (dept ()));
+       false
+     with Algebra.Schema_mismatch _ -> true)
+
+let test_natural_join () =
+  let joined = Algebra.natural_join (emp ()) (dept ()) in
+  (* shared attribute dept appears once; only dept 1 matches *)
+  Alcotest.(check (list string)) "schema" [ "name"; "dept"; "city" ]
+    (Schema.attr_names (Relation.schema joined));
+  check_tuples "matches"
+    [ tup [ s "alice"; i 1; s "rome" ]; tup [ s "carol"; i 1; s "rome" ] ]
+    (contents joined)
+
+let test_natural_join_no_shared_is_product () =
+  let cities = Relation.create (Schema.make "c" [ ("city", Value.Tstring) ]) in
+  ignore (Relation.insert cities (tup [ s "rome" ]));
+  let r = Algebra.natural_join (emp ()) cities in
+  Alcotest.(check int) "product size" 3 (Relation.cardinal r)
+
+let test_equi_join_keeps_both_sides () =
+  let joined = Algebra.equi_join (emp ()) (dept ()) ~on:[ ("dept", "dept") ] in
+  (* both dept columns kept; the right one is prefixed *)
+  Alcotest.(check (list string)) "schema" [ "name"; "dept"; "dept.dept"; "city" ]
+    (Schema.attr_names (Relation.schema joined));
+  Alcotest.(check int) "two matches" 2 (Relation.cardinal joined)
+
+let test_product_prefixes_clashes () =
+  let p = Algebra.product (emp ()) (dept ()) in
+  Alcotest.(check (list string)) "prefixed" [ "name"; "dept"; "dept.dept"; "city" ]
+    (Schema.attr_names (Relation.schema p));
+  Alcotest.(check int) "3 x 2" 6 (Relation.cardinal p)
+
+let test_join_nulls_by_identity () =
+  let n1 = Value.fresh_null ~rule:"t" in
+  let left = Relation.create (Schema.make "l" [ ("a", Value.Tint); ("k", Value.Tint) ]) in
+  let right = Relation.create (Schema.make "r2" [ ("k", Value.Tint); ("b", Value.Tint) ]) in
+  ignore (Relation.insert left (tup [ i 1; n1 ]));
+  ignore (Relation.insert right (tup [ n1; i 9 ]));
+  ignore (Relation.insert right (tup [ Value.fresh_null ~rule:"t"; i 8 ]));
+  let joined = Algebra.natural_join left right in
+  Alcotest.(check int) "same null joins" 1 (Relation.cardinal joined)
+
+let suite =
+  [
+    Alcotest.test_case "selection" `Quick test_select;
+    Alcotest.test_case "projection" `Quick test_project;
+    Alcotest.test_case "renaming" `Quick test_rename;
+    Alcotest.test_case "union / diff / inter" `Quick test_set_operations;
+    Alcotest.test_case "natural join" `Quick test_natural_join;
+    Alcotest.test_case "natural join without shared attrs" `Quick
+      test_natural_join_no_shared_is_product;
+    Alcotest.test_case "equi join" `Quick test_equi_join_keeps_both_sides;
+    Alcotest.test_case "product prefixes clashes" `Quick test_product_prefixes_clashes;
+    Alcotest.test_case "nulls join by identity" `Quick test_join_nulls_by_identity;
+  ]

@@ -1,0 +1,214 @@
+open Helpers
+module Analysis = Codb_core.Analysis
+
+let base_nodes =
+  {|
+node a { relation r(x: int, y: int); }
+node b { relation r(x: int, y: int); relation s(y: int, z: int); }
+|}
+
+let cfg_of rules = parse_config (base_nodes ^ rules)
+
+let test_specialised_rule_redundant () =
+  let cfg =
+    cfg_of
+      {|
+rule broad at a: r(x, y) <- b: r(x, y);
+rule narrow at a: r(x, y) <- b: r(x, y), s(y, z);
+|}
+  in
+  match Analysis.redundant_rules cfg with
+  | [ { Analysis.redundant; covered_by } ] ->
+      Alcotest.(check string) "narrow is redundant" "narrow"
+        redundant.Config.rule_id;
+      Alcotest.(check string) "covered by broad" "broad" covered_by.Config.rule_id
+  | other -> Alcotest.failf "expected one redundancy, got %d" (List.length other)
+
+let test_equivalent_rules_keep_one () =
+  let cfg =
+    cfg_of
+      {|
+rule r1 at a: r(x, y) <- b: r(x, y);
+rule r2 at a: r(u, v) <- b: r(u, v);
+|}
+  in
+  (match Analysis.redundant_rules cfg with
+  | [ { Analysis.redundant; _ } ] ->
+      Alcotest.(check string) "larger id dropped" "r2" redundant.Config.rule_id
+  | other -> Alcotest.failf "expected one redundancy, got %d" (List.length other));
+  let minimised = Analysis.minimise cfg in
+  Alcotest.(check int) "one rule survives" 1 (List.length minimised.Config.rules)
+
+let test_independent_rules_kept () =
+  let cfg =
+    cfg_of
+      {|
+rule r1 at a: r(x, y) <- b: r(x, y);
+rule r2 at a: r(x, z) <- b: s(x, z);
+|}
+  in
+  Alcotest.(check int) "no redundancy" 0 (List.length (Analysis.redundant_rules cfg))
+
+let test_different_endpoints_never_redundant () =
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int, y: int); }
+node b { relation r(x: int, y: int); }
+node c { relation r(x: int, y: int); }
+rule rb at a: r(x, y) <- b: r(x, y);
+rule rc at a: r(x, y) <- c: r(x, y);
+|}
+  in
+  Alcotest.(check int) "sources differ" 0 (List.length (Analysis.redundant_rules cfg))
+
+let test_comparisons_conservative () =
+  (* the filtered rule is genuinely contained in the broad one, and
+     the conservative test must still detect this direction while not
+     claiming the converse *)
+  let cfg =
+    cfg_of
+      {|
+rule broad at a: r(x, y) <- b: r(x, y);
+rule filtered at a: r(x, y) <- b: r(x, y), x > 5;
+|}
+  in
+  match Analysis.redundant_rules cfg with
+  | [ { Analysis.redundant; _ } ] ->
+      Alcotest.(check string) "filtered redundant" "filtered" redundant.Config.rule_id
+  | other -> Alcotest.failf "expected one redundancy, got %d" (List.length other)
+
+let test_minimised_network_same_fixpoint () =
+  let text =
+    base_nodes
+    ^ {|
+rule broad at a: r(x, y) <- b: r(x, y);
+rule narrow at a: r(x, y) <- b: r(x, y), s(y, z);
+|}
+  in
+  let with_facts =
+    parse_config
+      (String.concat "\n"
+         [
+           "node a { relation r(x: int, y: int); }";
+           "node b { relation r(x: int, y: int); relation s(y: int, z: int);";
+           "  fact r(1, 10); fact r(2, 20); fact s(10, 7); }";
+           "rule broad at a: r(x, y) <- b: r(x, y);";
+           "rule narrow at a: r(x, y) <- b: r(x, y), s(y, z);";
+         ])
+  in
+  ignore text;
+  let sys_full = Codb_core.System.build_exn with_facts in
+  let _ = Codb_core.System.run_update sys_full ~initiator:"a" in
+  let sys_min = Codb_core.System.build_exn (Analysis.minimise with_facts) in
+  let _ = Codb_core.System.run_update sys_min ~initiator:"a" in
+  let q = parse_query "q(x, y) <- r(x, y)" in
+  check_tuples "same materialisation"
+    (Codb_core.System.local_answers sys_full ~at:"a" q)
+    (Codb_core.System.local_answers sys_min ~at:"a" q)
+
+let ring_cfg () =
+  parse_config
+    {|
+node a { relation r(x: int); }
+node b { relation r(x: int); }
+node c { relation r(x: int); }
+rule ab at a: r(x) <- b: r(x);
+rule bc at b: r(x) <- c: r(x);
+rule ca at c: r(x) <- a: r(x);
+|}
+
+let test_dependency_edges_ring () =
+  let edges = Analysis.dependency_edges (ring_cfg ()) in
+  Alcotest.(check int) "three edges" 3 (List.length edges);
+  Alcotest.(check bool) "ab feeds ca" true (List.mem ("ab", "ca") edges);
+  Alcotest.(check bool) "bc feeds ab" true (List.mem ("bc", "ab") edges);
+  Alcotest.(check bool) "ca feeds bc" true (List.mem ("ca", "bc") edges)
+
+let test_cyclic_components_ring () =
+  match Analysis.cyclic_components (ring_cfg ()) with
+  | [ component ] ->
+      Alcotest.(check (list string)) "the whole ring" [ "ab"; "bc"; "ca" ] component
+  | other -> Alcotest.failf "expected one component, got %d" (List.length other)
+
+let test_cyclic_components_chain_empty () =
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int); }
+node b { relation r(x: int); }
+node c { relation r(x: int); }
+rule ab at a: r(x) <- b: r(x);
+rule bc at b: r(x) <- c: r(x);
+|}
+  in
+  Alcotest.(check int) "acyclic" 0 (List.length (Analysis.cyclic_components cfg));
+  Alcotest.(check int) "chain edge" 1 (List.length (Analysis.dependency_edges cfg))
+
+let test_two_node_cycle_detected () =
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int); }
+node b { relation r(x: int); }
+rule ab at a: r(x) <- b: r(x);
+rule ba at b: r(x) <- a: r(x);
+|}
+  in
+  match Analysis.cyclic_components cfg with
+  | [ [ "ab"; "ba" ] ] -> ()
+  | other -> Alcotest.failf "unexpected components (%d)" (List.length other)
+
+let test_independent_relations_no_dependency () =
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int); relation s(x: int); }
+node b { relation r(x: int); relation s(x: int); }
+rule ab at a: r(x) <- b: r(x);
+rule ba at b: s(x) <- a: s(x);
+|}
+  in
+  (* ab writes a.r; ba reads a.s — no feeding despite the node cycle *)
+  Alcotest.(check int) "no dependency edges" 0
+    (List.length (Analysis.dependency_edges cfg));
+  Alcotest.(check int) "no cyclic components" 0
+    (List.length (Analysis.cyclic_components cfg))
+
+let contains_sub ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop idx = idx + n <= h && (String.sub haystack idx n = needle || loop (idx + 1)) in
+  n = 0 || loop 0
+
+let test_dot_outputs () =
+  let cfg = ring_cfg () in
+  let topo = Codb_core.Viz.topology_dot cfg in
+  Alcotest.(check bool) "digraph" true (contains_sub ~needle:"digraph codb" topo);
+  Alcotest.(check bool) "edge b->a" true
+    (contains_sub ~needle:"\"b\" -> \"a\" [label=\"ab\"]" topo);
+  let deps = Codb_core.Viz.dependency_dot cfg in
+  Alcotest.(check bool) "cyclic rules highlighted" true
+    (contains_sub ~needle:"lightcoral" deps);
+  Alcotest.(check bool) "dependency edge" true
+    (contains_sub ~needle:"\"ab\" -> \"ca\"" deps)
+
+let suite =
+  [
+    Alcotest.test_case "specialised rule is redundant" `Quick
+      test_specialised_rule_redundant;
+    Alcotest.test_case "dependency edges on a ring" `Quick test_dependency_edges_ring;
+    Alcotest.test_case "ring is one cyclic component" `Quick test_cyclic_components_ring;
+    Alcotest.test_case "chains are acyclic" `Quick test_cyclic_components_chain_empty;
+    Alcotest.test_case "two-node cycle detected" `Quick test_two_node_cycle_detected;
+    Alcotest.test_case "relation-level precision" `Quick
+      test_independent_relations_no_dependency;
+    Alcotest.test_case "DOT rendering" `Quick test_dot_outputs;
+    Alcotest.test_case "equivalent rules keep exactly one" `Quick
+      test_equivalent_rules_keep_one;
+    Alcotest.test_case "independent rules kept" `Quick test_independent_rules_kept;
+    Alcotest.test_case "different endpoints never redundant" `Quick
+      test_different_endpoints_never_redundant;
+    Alcotest.test_case "comparison rules handled" `Quick test_comparisons_conservative;
+    Alcotest.test_case "minimised network reaches the same fix-point" `Quick
+      test_minimised_network_same_fixpoint;
+  ]

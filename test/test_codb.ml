@@ -1,0 +1,34 @@
+(* Test entry point: one alcotest run covering every library. *)
+
+let () =
+  Alcotest.run "codb"
+    [
+      ("value", Test_value.suite);
+      ("tuple", Test_tuple.suite);
+      ("schema", Test_schema.suite);
+      ("relation", Test_relation.suite);
+      ("database", Test_database.suite);
+      ("csv", Test_csv.suite);
+      ("algebra", Test_algebra.suite);
+      ("query", Test_query.suite);
+      ("eval", Test_eval.suite);
+      ("apply", Test_apply.suite);
+      ("containment", Test_containment.suite);
+      ("parser", Test_parser.suite);
+      ("net", Test_net.suite);
+      ("update", Test_update.suite);
+      ("protocol", Test_protocol.suite);
+      ("control", Test_control.suite);
+      ("scoped-update", Test_scoped_update.suite);
+      ("analysis", Test_analysis.suite);
+      ("wrapper", Test_wrapper.suite);
+      ("stats", Test_stats.suite);
+      ("payload", Test_payload.suite);
+      ("states", Test_states.suite);
+      ("query-engine", Test_query_engine.suite);
+      ("query-protocol", Test_query_protocol.suite);
+      ("topology", Test_topology.suite);
+      ("system", Test_system.suite);
+      ("workload", Test_workload.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,187 @@
+module Peer_id = Codb_net.Peer_id
+module Network = Codb_net.Network
+module Message = Codb_net.Message
+module Pipe = Codb_net.Pipe
+module Event_queue = Codb_net.Event_queue
+
+let p = Peer_id.of_string
+
+let make_net () = Network.create ~size_of:String.length ()
+
+let two_peers () =
+  let net = make_net () in
+  Network.add_peer net (p "a");
+  Network.add_peer net (p "b");
+  Network.connect net (p "a") (p "b");
+  net
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "third";
+  Event_queue.push q ~time:1.0 "first";
+  Event_queue.push q ~time:2.0 "second";
+  let pop () = snd (Option.get (Event_queue.pop q)) in
+  Alcotest.(check string) "1" "first" (pop ());
+  Alcotest.(check string) "2" "second" (pop ());
+  Alcotest.(check string) "3" "third" (pop ());
+  Alcotest.(check bool) "empty" true (Event_queue.pop q = None)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.push q ~time:1.0 s) [ "a"; "b"; "c"; "d" ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c"; "d" ] order
+
+let test_event_queue_many () =
+  let q = Event_queue.create () in
+  let n = 1000 in
+  List.iter (fun k -> Event_queue.push q ~time:(float_of_int ((k * 7919) mod n)) k)
+    (List.init n (fun k -> k));
+  let rec drain last count =
+    match Event_queue.pop q with
+    | None -> count
+    | Some (time, _) ->
+        Alcotest.(check bool) "non-decreasing" true (time >= last);
+        drain time (count + 1)
+  in
+  Alcotest.(check int) "all drained" n (drain neg_infinity 0)
+
+let test_delivery () =
+  let net = two_peers () in
+  let received = ref [] in
+  Network.set_handler net (p "b") (fun msg ->
+      received := msg.Message.payload :: !received);
+  Alcotest.(check bool) "sent" true (Network.send net ~src:(p "a") ~dst:(p "b") "hello");
+  let _ = Network.run net in
+  Alcotest.(check (list string)) "delivered" [ "hello" ] !received;
+  Alcotest.(check bool) "time advanced" true (Network.now net > 0.0)
+
+let test_no_pipe_drops () =
+  let net = make_net () in
+  Network.add_peer net (p "a");
+  Network.add_peer net (p "b");
+  Alcotest.(check bool) "dropped" false (Network.send net ~src:(p "a") ~dst:(p "b") "x");
+  Alcotest.(check int) "counter" 1 (Network.counters net).Network.dropped
+
+let test_closed_pipe_drops () =
+  let net = two_peers () in
+  Network.disconnect net (p "a") (p "b");
+  Alcotest.(check bool) "dropped" false (Network.send net ~src:(p "a") ~dst:(p "b") "x");
+  Network.connect net (p "a") (p "b");
+  Alcotest.(check bool) "reopened" true (Network.send net ~src:(p "a") ~dst:(p "b") "x")
+
+let test_in_flight_survives_close () =
+  let net = two_peers () in
+  let got = ref 0 in
+  Network.set_handler net (p "b") (fun _ -> incr got);
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "x");
+  Network.disconnect net (p "a") (p "b");
+  let _ = Network.run net in
+  Alcotest.(check int) "still delivered" 1 !got
+
+let test_removed_peer_drops_at_delivery () =
+  let net = two_peers () in
+  Network.set_handler net (p "b") (fun _ -> Alcotest.fail "should not deliver");
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "x");
+  Network.remove_peer net (p "b");
+  let _ = Network.run net in
+  Alcotest.(check int) "dropped at delivery" 1 (Network.counters net).Network.dropped
+
+let test_fifo_order () =
+  (* a large message then a small one: FIFO sequencing must keep the
+     order despite the smaller transfer delay *)
+  let net = make_net () in
+  Network.add_peer net (p "a");
+  Network.add_peer net (p "b");
+  Network.connect net ~latency:0.001 ~byte_cost:0.001 (p "a") (p "b");
+  let received = ref [] in
+  Network.set_handler net (p "b") (fun msg ->
+      received := msg.Message.payload :: !received);
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") (String.make 500 'x'));
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "tiny");
+  let _ = Network.run net in
+  match List.rev !received with
+  | [ big; small ] ->
+      Alcotest.(check int) "big first" 500 (String.length big);
+      Alcotest.(check string) "small second" "tiny" small
+  | other -> Alcotest.failf "expected 2 messages, got %d" (List.length other)
+
+let test_handler_reentrancy () =
+  (* a handler sending from inside the loop works and preserves time
+     ordering *)
+  let net = make_net () in
+  List.iter (fun name -> Network.add_peer net (p name)) [ "a"; "b"; "c" ];
+  Network.connect net (p "a") (p "b");
+  Network.connect net (p "b") (p "c");
+  let log = ref [] in
+  Network.set_handler net (p "b") (fun msg ->
+      log := ("b:" ^ msg.Message.payload) :: !log;
+      ignore (Network.send net ~src:(p "b") ~dst:(p "c") "fwd"));
+  Network.set_handler net (p "c") (fun msg -> log := ("c:" ^ msg.Message.payload) :: !log);
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "orig");
+  let _ = Network.run net in
+  Alcotest.(check (list string)) "causal order" [ "b:orig"; "c:fwd" ] (List.rev !log)
+
+let test_schedule_timer () =
+  let net = make_net () in
+  let fired = ref (-1.0) in
+  Network.schedule net ~delay:0.5 (fun () -> fired := Network.now net);
+  let _ = Network.run net in
+  Alcotest.(check (float 1e-9)) "fired at 0.5" 0.5 !fired
+
+let test_neighbours () =
+  let net = make_net () in
+  List.iter (fun name -> Network.add_peer net (p name)) [ "a"; "b"; "c" ];
+  Network.connect net (p "a") (p "b");
+  Network.connect net (p "a") (p "c");
+  Alcotest.(check int) "two neighbours" 2 (List.length (Network.neighbours net (p "a")));
+  Network.disconnect net (p "a") (p "c");
+  Alcotest.(check int) "one neighbour" 1 (List.length (Network.neighbours net (p "a")))
+
+let test_pipe_stats () =
+  let net = two_peers () in
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "12345");
+  let pipe = Option.get (Network.pipe_between net (p "a") (p "b")) in
+  let stats = Pipe.stats pipe in
+  Alcotest.(check int) "one message" 1 stats.Pipe.messages;
+  Alcotest.(check int) "bytes with header" (5 + Message.header_bytes) stats.Pipe.bytes
+
+let test_pipe_validation () =
+  Alcotest.(check bool) "self pipe" true
+    (try
+       ignore (Pipe.create (p "a") (p "a") ~latency:0.1 ~byte_cost:0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative latency" true
+    (try
+       ignore (Pipe.create (p "a") (p "b") ~latency:(-0.1) ~byte_cost:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_bounded () =
+  let net = make_net () in
+  Network.add_peer net (p "a");
+  let rec reschedule () = Network.schedule net ~delay:0.1 reschedule in
+  reschedule ();
+  let events = Network.run ~max_events:25 net in
+  Alcotest.(check int) "bounded" 25 events
+
+let suite =
+  [
+    Alcotest.test_case "event queue ordering" `Quick test_event_queue_order;
+    Alcotest.test_case "event queue FIFO on ties" `Quick test_event_queue_fifo_ties;
+    Alcotest.test_case "event queue stress" `Quick test_event_queue_many;
+    Alcotest.test_case "basic delivery" `Quick test_delivery;
+    Alcotest.test_case "no pipe drops" `Quick test_no_pipe_drops;
+    Alcotest.test_case "closed pipe drops" `Quick test_closed_pipe_drops;
+    Alcotest.test_case "in-flight survives close" `Quick test_in_flight_survives_close;
+    Alcotest.test_case "removed peer drops at delivery" `Quick
+      test_removed_peer_drops_at_delivery;
+    Alcotest.test_case "pipes are FIFO per direction" `Quick test_fifo_order;
+    Alcotest.test_case "handler re-entrancy" `Quick test_handler_reentrancy;
+    Alcotest.test_case "timers" `Quick test_schedule_timer;
+    Alcotest.test_case "neighbours" `Quick test_neighbours;
+    Alcotest.test_case "pipe traffic stats" `Quick test_pipe_stats;
+    Alcotest.test_case "pipe validation" `Quick test_pipe_validation;
+    Alcotest.test_case "bounded run" `Quick test_run_bounded;
+  ]

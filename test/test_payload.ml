@@ -1,0 +1,87 @@
+open Helpers
+module Payload = Codb_core.Payload
+module Ids = Codb_core.Ids
+module Stats = Codb_core.Stats
+module Peer_id = Codb_net.Peer_id
+
+let uid = Ids.update_id (Peer_id.of_string "n0") 1
+
+let qid = Ids.query_id (Peer_id.of_string "n0") 1
+
+let samples =
+  [
+    Payload.Update_request { update_id = uid; scope = Payload.Global };
+    Payload.Update_request { update_id = uid; scope = Payload.For_rule "r1" };
+    Payload.Update_data
+      { update_id = uid; rule_id = "r1"; tuples = [ tup [ i 1; s "x" ] ]; hops = 2;
+        global = true };
+    Payload.Update_link_closed { update_id = uid; rule_id = "r1"; global = true };
+    Payload.Update_ack { update_id = uid };
+    Payload.Update_terminated { update_id = uid };
+    Payload.Query_request
+      { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
+        label = [ Peer_id.of_string "n0" ] };
+    Payload.Query_data
+      { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; tuples = [ tup [ i 1 ] ] };
+    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1" };
+    Payload.Rules_file { version = 1; text = "node a { relation r(x: int); }" };
+    Payload.Start_update;
+    Payload.Stats_request;
+    Payload.Stats_response { stats = Stats.snapshot (Stats.create (Peer_id.of_string "n0")) };
+    Payload.Discovery_probe { probe_id = "n0/1"; ttl = 3; path = [ Peer_id.of_string "n0" ] };
+    Payload.Discovery_reply
+      { probe_id = "n0/1"; path = []; peers = [ Peer_id.of_string "n1" ] };
+  ]
+
+let test_sizes_positive () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Payload.describe p) true (Payload.size p > 0))
+    samples
+
+let test_data_size_grows_with_tuples () =
+  let mk tuples =
+    Payload.size
+      (Payload.Update_data { update_id = uid; rule_id = "r"; tuples; hops = 1; global = true })
+  in
+  Alcotest.(check bool) "more tuples, bigger" true
+    (mk [ tup [ i 1 ]; tup [ i 2 ] ] > mk [ tup [ i 1 ] ])
+
+let test_rules_file_size_tracks_text () =
+  let mk text = Payload.size (Payload.Rules_file { version = 1; text }) in
+  Alcotest.(check int) "delta equals text growth" 100
+    (mk (String.make 150 'x') - mk (String.make 50 'x'))
+
+let test_update_protocol_classification () =
+  let expect_protocol = function
+    | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _ ->
+        true
+    | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
+    | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
+    | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
+    | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+        false
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (Payload.describe p) (expect_protocol p)
+        (Payload.is_update_protocol p))
+    samples
+
+let test_describe_nonempty () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "non-empty description" true
+        (String.length (Payload.describe p) > 0))
+    samples
+
+let suite =
+  [
+    Alcotest.test_case "sizes positive" `Quick test_sizes_positive;
+    Alcotest.test_case "data size grows with payload" `Quick
+      test_data_size_grows_with_tuples;
+    Alcotest.test_case "rules-file size tracks text" `Quick test_rules_file_size_tracks_text;
+    Alcotest.test_case "termination accounting classification" `Quick
+      test_update_protocol_classification;
+    Alcotest.test_case "describe" `Quick test_describe_nonempty;
+  ]

@@ -1,0 +1,276 @@
+(* White-box tests of the update protocol's termination-detection
+   bookkeeping (Dijkstra–Scholten), driving [Update.handle] directly
+   through a stub runtime that records every message instead of
+   simulating a network. *)
+
+open Helpers
+module Update = Codb_core.Update
+module Update_state = Codb_core.Update_state
+module Node = Codb_core.Node
+module Runtime = Codb_core.Runtime
+module Options = Codb_core.Options
+module Payload = Codb_core.Payload
+module Ids = Codb_core.Ids
+module Peer_id = Codb_net.Peer_id
+
+(* A node named "me" importing r from "up" and serving r to "down":
+   a middle link of a chain. *)
+let middle_config =
+  {|
+node down { relation r(x: int); }
+node me { relation r(x: int); fact r(1); }
+node up { relation r(x: int); fact r(2); }
+rule to_down at down: r(x) <- me: r(x);
+rule from_up at me: r(x) <- up: r(x);
+|}
+
+type sent = { dst : string; payload : Payload.t }
+
+let make_runtime ?(name = "me") config_text =
+  let cfg = parse_config config_text in
+  let decl = Option.get (Config.node cfg name) in
+  let node = Node.create decl in
+  Node.set_rules node
+    ~outgoing:(Config.rules_importing_at cfg name)
+    ~incoming:(Config.rules_sourced_at cfg name);
+  let outbox = ref [] in
+  let rt =
+    {
+      Runtime.node;
+      opts = Options.default;
+      send =
+        (fun ~dst payload ->
+          outbox := { dst = Peer_id.to_string dst; payload } :: !outbox;
+          true);
+      now = (fun () -> 0.0);
+      connect = (fun _ -> ());
+      disconnect = (fun _ -> ());
+      neighbours = (fun () -> []);
+    }
+  in
+  (rt, node, outbox)
+
+let drain outbox =
+  let messages = List.rev !outbox in
+  outbox := [];
+  messages
+
+let uid = Ids.update_id (Peer_id.of_string "origin") 1
+
+let peer name = Peer_id.of_string name
+
+let count pred messages = List.length (List.filter pred messages)
+
+let is_ack m = match m.payload with Payload.Update_ack _ -> true | _ -> false
+
+let is_request m =
+  match m.payload with Payload.Update_request _ -> true | _ -> false
+
+let is_data m = match m.payload with Payload.Update_data _ -> true | _ -> false
+
+let is_terminated m =
+  match m.payload with Payload.Update_terminated _ -> true | _ -> false
+
+let state node = Option.get (Node.update_state node uid)
+
+let test_first_contact_floods_and_serves () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let messages = drain outbox in
+  (* floods the request to the other acquaintance (up), serves its
+     incoming link to down with local data, and does NOT ack yet: the
+     engaging message is acknowledged on disengagement *)
+  Alcotest.(check int) "one request forwarded" 1 (count is_request messages);
+  Alcotest.(check bool) "forwarded to up" true
+    (List.exists (fun m -> is_request m && m.dst = "up") messages);
+  Alcotest.(check int) "initial data to down" 1 (count is_data messages);
+  Alcotest.(check int) "no ack yet" 0 (count is_ack messages);
+  let st = state node in
+  Alcotest.(check bool) "engaged" true st.Update_state.ust_engaged;
+  Alcotest.(check int) "deficit = messages owed" 2 st.Update_state.ust_deficit
+
+let test_duplicate_request_acked_immediately () =
+  let rt, _node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  Update.handle rt ~src:(peer "up") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let messages = drain outbox in
+  Alcotest.(check int) "exactly one message" 1 (List.length messages);
+  Alcotest.(check bool) "an ack to up" true
+    (match messages with [ m ] -> is_ack m && m.dst = "up" | _ -> false)
+
+let test_disengage_acks_parent_when_deficit_clears () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  (* acknowledge both messages "me" sent (the forwarded request and
+     the data) *)
+  Update.handle rt ~src:(peer "up") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  Alcotest.(check int) "still engaged at deficit 1" 1
+    (state node).Update_state.ust_deficit;
+  Alcotest.(check int) "nothing sent" 0 (List.length (drain outbox));
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  let messages = drain outbox in
+  Alcotest.(check bool) "disengaged" false (state node).Update_state.ust_engaged;
+  Alcotest.(check bool) "parent acked" true
+    (match messages with [ m ] -> is_ack m && m.dst = "down" | _ -> false)
+
+let test_reengagement_after_disengage () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  Update.handle rt ~src:(peer "up") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  let _ = drain outbox in
+  (* now disengaged; fresh data from up re-engages with up as parent *)
+  Update.handle rt ~src:(peer "up") ~bytes:50
+    (Payload.Update_data
+       { update_id = uid; rule_id = "from_up"; tuples = [ tup [ i 2 ] ]; hops = 1;
+         global = true });
+  let messages = drain outbox in
+  let st = state node in
+  (* the new tuple triggers propagation to down (deficit 1), so "me"
+     stays engaged and does not ack up yet *)
+  Alcotest.(check bool) "re-engaged" true st.Update_state.ust_engaged;
+  Alcotest.(check int) "data forwarded down" 1 (count is_data messages);
+  Alcotest.(check int) "no ack yet" 0 (count is_ack messages);
+  (* once down acknowledges, "me" disengages and acks up *)
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  let messages = drain outbox in
+  Alcotest.(check bool) "ack to the new parent" true
+    (match messages with [ m ] -> is_ack m && m.dst = "up" | _ -> false)
+
+let test_initiator_detects_termination () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.initiate rt uid;
+  let messages = drain outbox in
+  Alcotest.(check int) "requests to both acquaintances" 2 (count is_request messages);
+  Update.handle rt ~src:(peer "up") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  (* one ack per message sent (request x2 + data to down) *)
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  let messages = drain outbox in
+  let st = state node in
+  Alcotest.(check bool) "terminated" true st.Update_state.ust_terminated;
+  Alcotest.(check bool) "stats finalised" true st.Update_state.ust_finished;
+  Alcotest.(check int) "terminated flood to both" 2 (count is_terminated messages)
+
+let test_terminated_flood_closes_links () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  Update.handle rt ~src:(peer "down") ~bytes:20
+    (Payload.Update_terminated { update_id = uid });
+  let messages = drain outbox in
+  let st = state node in
+  Alcotest.(check bool) "out link closed" true
+    (Update_state.out_state st "from_up" = Update_state.Link_closed);
+  Alcotest.(check bool) "in link closed" true
+    (Update_state.in_state st "to_down" = Update_state.Link_closed);
+  Alcotest.(check int) "flood forwarded to up only" 1 (count is_terminated messages);
+  (* a second terminated is absorbed silently *)
+  Update.handle rt ~src:(peer "up") ~bytes:20
+    (Payload.Update_terminated { update_id = uid });
+  Alcotest.(check int) "no re-flood" 0 (List.length (drain outbox))
+
+let test_link_closed_cascades () =
+  let rt, _node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  (* up closes me's only outgoing link; me's incoming link to down
+     depends on it, so me must cascade the closure to down *)
+  Update.handle rt ~src:(peer "up") ~bytes:30
+    (Payload.Update_link_closed { update_id = uid; rule_id = "from_up"; global = true });
+  let messages = drain outbox in
+  Alcotest.(check bool) "closure cascaded to down" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Update_link_closed { rule_id = "to_down"; _ } -> m.dst = "down"
+         | _ -> false)
+       messages)
+
+let test_scoped_request_activates_one_link () =
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.For_rule "to_down" });
+  let messages = drain outbox in
+  let st = state node in
+  Alcotest.(check bool) "scoped state" true st.Update_state.ust_scoped;
+  Alcotest.(check bool) "incoming active" true
+    (Update_state.is_active_in st "to_down");
+  Alcotest.(check bool) "relevant outgoing activated" true
+    (Update_state.is_active_out st "from_up");
+  Alcotest.(check int) "initial data served" 1 (count is_data messages);
+  (* the upstream request is scoped, not a flood *)
+  Alcotest.(check bool) "scoped request upstream" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Update_request { scope = Payload.For_rule "from_up"; _ } ->
+             m.dst = "up"
+         | _ -> false)
+       messages)
+
+let test_late_data_after_termination_absorbed () =
+  (* a straggler data message arriving after the terminated flood:
+     the node re-engages, integrates, immediately disengages (nothing
+     to forward: links are closed) and acks — no crash, no leak *)
+  let rt, node, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "down") ~bytes:100
+    (Payload.Update_request { update_id = uid; scope = Payload.Global });
+  let _ = drain outbox in
+  (* both outstanding messages acked: the node disengages... *)
+  Update.handle rt ~src:(peer "up") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  Update.handle rt ~src:(peer "down") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  let _ = drain outbox in
+  (* ...then the terminated flood closes its links... *)
+  Update.handle rt ~src:(peer "down") ~bytes:20
+    (Payload.Update_terminated { update_id = uid });
+  let _ = drain outbox in
+  Update.handle rt ~src:(peer "up") ~bytes:50
+    (Payload.Update_data
+       { update_id = uid; rule_id = "from_up"; tuples = [ tup [ i 9 ] ]; hops = 1;
+         global = true });
+  let messages = drain outbox in
+  let st = state node in
+  Alcotest.(check bool) "tuple still integrated" true
+    (Codb_relalg.Relation.mem
+       (Codb_relalg.Database.relation node.Node.store "r")
+       (tup [ i 9 ]));
+  Alcotest.(check bool) "disengaged again" false st.Update_state.ust_engaged;
+  Alcotest.(check bool) "straggler acked" true
+    (match messages with [ m ] -> is_ack m && m.dst = "up" | _ -> false)
+
+let test_ack_for_unknown_update_ignored () =
+  let rt, _, outbox = make_runtime middle_config in
+  Update.handle rt ~src:(peer "up") ~bytes:20 (Payload.Update_ack { update_id = uid });
+  Alcotest.(check int) "nothing happens" 0 (List.length (drain outbox))
+
+let suite =
+  [
+    Alcotest.test_case "first contact floods and serves" `Quick
+      test_first_contact_floods_and_serves;
+    Alcotest.test_case "late data after termination" `Quick
+      test_late_data_after_termination_absorbed;
+    Alcotest.test_case "stray acks ignored" `Quick test_ack_for_unknown_update_ignored;
+    Alcotest.test_case "duplicate requests acked immediately" `Quick
+      test_duplicate_request_acked_immediately;
+    Alcotest.test_case "disengagement acks the parent" `Quick
+      test_disengage_acks_parent_when_deficit_clears;
+    Alcotest.test_case "re-engagement in cycles" `Quick test_reengagement_after_disengage;
+    Alcotest.test_case "initiator detects termination" `Quick
+      test_initiator_detects_termination;
+    Alcotest.test_case "terminated flood closes links" `Quick
+      test_terminated_flood_closes_links;
+    Alcotest.test_case "link closure cascades" `Quick test_link_closed_cascades;
+    Alcotest.test_case "scoped request activates one link" `Quick
+      test_scoped_request_activates_one_link;
+  ]

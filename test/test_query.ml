@@ -1,0 +1,95 @@
+open Helpers
+
+let q_simple =
+  (* ans(x, c) <- r(x, b), s(b, c) *)
+  Query.make
+    ~head:(atom "ans" [ v "x"; v "c" ])
+    ~body:[ atom "r" [ v "x"; v "b" ]; atom "s" [ v "b"; v "c" ] ]
+    ()
+
+let test_head_body_vars () =
+  Alcotest.(check (list string)) "head vars" [ "x"; "c" ] (Query.head_vars q_simple);
+  Alcotest.(check (list string)) "body vars" [ "x"; "b"; "c" ] (Query.body_vars q_simple);
+  Alcotest.(check (list string)) "no existential" [] (Query.existential_head_vars q_simple)
+
+let test_existential_head () =
+  let q =
+    Query.make ~head:(atom "h" [ v "x"; v "z" ]) ~body:[ atom "r" [ v "x"; v "y" ] ] ()
+  in
+  Alcotest.(check (list string)) "z existential" [ "z" ] (Query.existential_head_vars q);
+  Alcotest.(check bool) "flag" true (Query.has_existential_head q);
+  Alcotest.(check bool)
+    "rejected for user queries" true
+    (Query.well_formed ~allow_existential_head:false q |> Result.is_error);
+  Alcotest.(check bool)
+    "allowed for rules" true
+    (Query.well_formed ~allow_existential_head:true q |> Result.is_ok)
+
+let test_body_relations_dedup () =
+  let q =
+    Query.make ~head:(atom "h" [ v "x" ])
+      ~body:[ atom "r" [ v "x"; v "y" ]; atom "r" [ v "y"; v "z" ]; atom "s" [ v "z"; v "w" ] ]
+      ()
+  in
+  Alcotest.(check (list string)) "dedup order" [ "r"; "s" ] (Query.body_relations q)
+
+let test_safety () =
+  let unsafe_cmp =
+    Query.make ~head:(atom "h" [ v "x" ]) ~body:[ atom "r" [ v "x"; v "y" ] ]
+      ~comparisons:[ { Query.left = v "w"; op = Query.Lt; right = c (i 5) } ]
+      ()
+  in
+  Alcotest.(check bool) "unsafe comparison" false (Query.is_safe unsafe_cmp);
+  Alcotest.(check bool)
+    "rejected" true
+    (Query.well_formed ~allow_existential_head:true unsafe_cmp |> Result.is_error);
+  let empty_body = Query.make ~head:(atom "h" [ c (i 1) ]) ~body:[] () in
+  Alcotest.(check bool) "empty body unsafe" false (Query.is_safe empty_body)
+
+let test_comparison_semantics () =
+  let check op a b expected =
+    Alcotest.(check bool)
+      (Query.string_of_op op)
+      expected
+      (Query.eval_comparison_op op a b)
+  in
+  check Query.Eq (i 1) (i 1) true;
+  check Query.Neq (i 1) (i 2) true;
+  check Query.Lt (i 1) (i 2) true;
+  check Query.Le (i 2) (i 2) true;
+  check Query.Gt (s "b") (s "a") true;
+  check Query.Ge (s "a") (s "b") false
+
+let test_comparison_nulls_unknown_is_false () =
+  let null = Value.fresh_null ~rule:"r" in
+  let null2 = Value.fresh_null ~rule:"r" in
+  Alcotest.(check bool) "null = itself" true (Query.eval_comparison_op Query.Eq null null);
+  Alcotest.(check bool) "null = other" false (Query.eval_comparison_op Query.Eq null null2);
+  Alcotest.(check bool) "null != other" true (Query.eval_comparison_op Query.Neq null null2);
+  (* order comparisons involving nulls are unknown, hence false *)
+  Alcotest.(check bool) "null < 5" false (Query.eval_comparison_op Query.Lt null (i 5));
+  Alcotest.(check bool) "5 <= null" false (Query.eval_comparison_op Query.Le (i 5) null);
+  Alcotest.(check bool) "null >= null" false (Query.eval_comparison_op Query.Ge null null)
+
+let test_equal_compare () =
+  let q2 =
+    Query.make
+      ~head:(atom "ans" [ v "x"; v "c" ])
+      ~body:[ atom "r" [ v "x"; v "b" ]; atom "s" [ v "b"; v "c" ] ]
+      ()
+  in
+  Alcotest.(check bool) "equal" true (Query.equal q_simple q2);
+  let q3 = { q2 with Query.body = List.rev q2.Query.body } in
+  Alcotest.(check bool) "body order matters syntactically" false (Query.equal q_simple q3)
+
+let suite =
+  [
+    Alcotest.test_case "head/body variables" `Quick test_head_body_vars;
+    Alcotest.test_case "existential head variables" `Quick test_existential_head;
+    Alcotest.test_case "body relations dedup" `Quick test_body_relations_dedup;
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "comparison semantics" `Quick test_comparison_semantics;
+    Alcotest.test_case "comparisons on nulls collapse to false" `Quick
+      test_comparison_nulls_unknown_is_false;
+    Alcotest.test_case "query equality" `Quick test_equal_compare;
+  ]

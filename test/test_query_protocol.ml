@@ -1,0 +1,182 @@
+(* White-box tests of the query-answering diffusion, driving
+   [Query_engine.handle] directly through a stub runtime. *)
+
+open Helpers
+module Query_engine = Codb_core.Query_engine
+module Node = Codb_core.Node
+module Runtime = Codb_core.Runtime
+module Options = Codb_core.Options
+module Payload = Codb_core.Payload
+module Ids = Codb_core.Ids
+module Peer_id = Codb_net.Peer_id
+
+let middle_config =
+  {|
+node down { relation r(x: int); }
+node me { relation r(x: int); fact r(1); }
+node up { relation r(x: int); fact r(2); }
+rule to_down at down: r(x) <- me: r(x);
+rule from_up at me: r(x) <- up: r(x);
+|}
+
+type sent = { dst : string; payload : Payload.t }
+
+let make_runtime ?(name = "me") config_text =
+  let cfg = parse_config config_text in
+  let decl = Option.get (Config.node cfg name) in
+  let node = Node.create decl in
+  Node.set_rules node
+    ~outgoing:(Config.rules_importing_at cfg name)
+    ~incoming:(Config.rules_sourced_at cfg name);
+  let outbox = ref [] in
+  let rt =
+    {
+      Runtime.node;
+      opts = Options.default;
+      send =
+        (fun ~dst payload ->
+          outbox := { dst = Peer_id.to_string dst; payload } :: !outbox;
+          true);
+      now = (fun () -> 0.0);
+      connect = (fun _ -> ());
+      disconnect = (fun _ -> ());
+      neighbours = (fun () -> []);
+    }
+  in
+  (rt, node, outbox)
+
+let drain outbox =
+  let m = List.rev !outbox in
+  outbox := [];
+  m
+
+let qid = Ids.query_id (Peer_id.of_string "down") 1
+
+let peer = Peer_id.of_string
+
+let request ?(label = [ peer "down" ]) ~ref_ rule_id =
+  Payload.Query_request { query_id = qid; request_ref = ref_; rule_id; label }
+
+let test_responder_serves_and_fans_out () =
+  let rt, _, outbox = make_runtime middle_config in
+  Query_engine.handle rt ~src:(peer "down") ~bytes:80 (request ~ref_:"q1" "to_down");
+  let messages = drain outbox in
+  (* initial answers from local data to the requester *)
+  Alcotest.(check bool) "initial data" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Query_data { request_ref = "q1"; tuples; _ } ->
+             m.dst = "down" && List.length tuples = 1
+         | _ -> false)
+       messages);
+  (* a sub-request to up, labelled with the extended path *)
+  Alcotest.(check bool) "sub-request labelled" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Query_request { rule_id = "from_up"; label; _ } ->
+             m.dst = "up"
+             && List.map Peer_id.to_string label = [ "down"; "me" ]
+         | _ -> false)
+       messages);
+  (* not done yet: a sub-request is pending *)
+  Alcotest.(check int) "no done yet" 0
+    (List.length
+       (List.filter
+          (fun m -> match m.payload with Payload.Query_done _ -> true | _ -> false)
+          messages))
+
+let test_label_stops_fan_out () =
+  (* the requester chain already visited "up": no sub-request may go
+     back there, so the responder answers and completes immediately *)
+  let rt, _, outbox = make_runtime middle_config in
+  Query_engine.handle rt ~src:(peer "down") ~bytes:80
+    (request ~label:[ peer "up"; peer "down" ] ~ref_:"q2" "to_down");
+  let messages = drain outbox in
+  Alcotest.(check int) "no sub-requests" 0
+    (List.length
+       (List.filter
+          (fun m -> match m.payload with Payload.Query_request _ -> true | _ -> false)
+          messages));
+  Alcotest.(check bool) "done sent" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Query_done { request_ref = "q2"; _ } -> m.dst = "down"
+         | _ -> false)
+       messages)
+
+let test_streams_deltas_then_done () =
+  let rt, _, outbox = make_runtime middle_config in
+  Query_engine.handle rt ~src:(peer "down") ~bytes:80 (request ~ref_:"q3" "to_down");
+  let first = drain outbox in
+  let sub_ref =
+    List.find_map
+      (fun m ->
+        match m.payload with
+        | Payload.Query_request { request_ref; _ } -> Some request_ref
+        | _ -> None)
+      first
+    |> Option.get
+  in
+  (* up answers with new data: integrated into the overlay, the fresh
+     derivation streams to down *)
+  Query_engine.handle rt ~src:(peer "up") ~bytes:60
+    (Payload.Query_data
+       { query_id = qid; request_ref = sub_ref; rule_id = "from_up";
+         tuples = [ tup [ i 2 ] ] });
+  let after_data = drain outbox in
+  Alcotest.(check bool) "delta forwarded" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Query_data { request_ref = "q3"; tuples; _ } ->
+             m.dst = "down" && List.exists (Tuple.equal (tup [ i 2 ])) tuples
+         | _ -> false)
+       after_data);
+  (* duplicate data is not re-forwarded *)
+  Query_engine.handle rt ~src:(peer "up") ~bytes:60
+    (Payload.Query_data
+       { query_id = qid; request_ref = sub_ref; rule_id = "from_up";
+         tuples = [ tup [ i 2 ] ] });
+  Alcotest.(check int) "duplicate suppressed" 0 (List.length (drain outbox));
+  (* the sub-query completes: the responder signals done upstream *)
+  Query_engine.handle rt ~src:(peer "up") ~bytes:20
+    (Payload.Query_done { query_id = qid; request_ref = sub_ref; rule_id = "from_up" });
+  let final = drain outbox in
+  Alcotest.(check bool) "done propagated" true
+    (List.exists
+       (fun m ->
+         match m.payload with
+         | Payload.Query_done { request_ref = "q3"; _ } -> m.dst = "down"
+         | _ -> false)
+       final)
+
+let test_unknown_rule_answers_done () =
+  let rt, _, outbox = make_runtime middle_config in
+  Query_engine.handle rt ~src:(peer "down") ~bytes:80 (request ~ref_:"q4" "no_such_rule");
+  match drain outbox with
+  | [ { dst = "down"; payload = Payload.Query_done { request_ref = "q4"; _ } } ] -> ()
+  | _ -> Alcotest.fail "expected an immediate done"
+
+let test_stale_messages_ignored () =
+  let rt, _, outbox = make_runtime middle_config in
+  (* data and done for a reference never issued *)
+  Query_engine.handle rt ~src:(peer "up") ~bytes:60
+    (Payload.Query_data
+       { query_id = qid; request_ref = "ghost"; rule_id = "from_up";
+         tuples = [ tup [ i 7 ] ] });
+  Query_engine.handle rt ~src:(peer "up") ~bytes:20
+    (Payload.Query_done { query_id = qid; request_ref = "ghost"; rule_id = "from_up" });
+  Alcotest.(check int) "nothing sent" 0 (List.length (drain outbox))
+
+let suite =
+  [
+    Alcotest.test_case "responder serves and fans out" `Quick
+      test_responder_serves_and_fans_out;
+    Alcotest.test_case "labels stop the fan-out" `Quick test_label_stops_fan_out;
+    Alcotest.test_case "deltas stream, then done" `Quick test_streams_deltas_then_done;
+    Alcotest.test_case "unknown rule answers done" `Quick test_unknown_rule_answers_done;
+    Alcotest.test_case "stale messages ignored" `Quick test_stale_messages_ignored;
+  ]

@@ -1,0 +1,152 @@
+open Helpers
+
+let fresh () = Relation.create r_schema
+
+let test_insert_dedup () =
+  let r = fresh () in
+  Alcotest.(check bool) "first insert" true (Relation.insert r (tup [ i 1; i 2 ]));
+  Alcotest.(check bool) "duplicate" false (Relation.insert r (tup [ i 1; i 2 ]));
+  Alcotest.(check int) "cardinal" 1 (Relation.cardinal r)
+
+let test_insert_rejects_bad_arity () =
+  let r = fresh () in
+  Alcotest.check_raises "arity"
+    (Invalid_argument
+       "Relation.insert: tuple (1) does not conform to r(a: int, b: int)")
+    (fun () -> ignore (Relation.insert r (tup [ i 1 ])))
+
+let test_insert_rejects_bad_type () =
+  let r = fresh () in
+  Alcotest.(check bool)
+    "type mismatch raises" true
+    (try
+       ignore (Relation.insert r (tup [ i 1; s "x" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_rejects_holes () =
+  let r = fresh () in
+  Alcotest.(check bool)
+    "holes rejected" true
+    (try
+       ignore (Relation.insert r (tup [ i 1; Value.Hole 0 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_accepts_nulls () =
+  let r = fresh () in
+  let null = Value.fresh_null ~rule:"r" in
+  Alcotest.(check bool) "null ok" true (Relation.insert r (tup [ i 1; null ]))
+
+let test_insert_all_returns_delta () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 1 ]));
+  let fresh_tuples =
+    Relation.insert_all r [ tup [ i 1; i 1 ]; tup [ i 2; i 2 ]; tup [ i 2; i 2 ] ]
+  in
+  check_tuples "only new" [ tup [ i 2; i 2 ] ] fresh_tuples;
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r)
+
+let test_subsumed () =
+  let r = fresh () in
+  let null = Value.fresh_null ~rule:"r" in
+  ignore (Relation.insert r (tup [ i 1; null ]));
+  ignore (Relation.insert r (tup [ i 2; i 5 ]));
+  Alcotest.(check bool) "hole subsumed by null" true
+    (Relation.subsumed r (tup [ i 1; Value.Hole 0 ]));
+  Alcotest.(check bool) "hole subsumed by concrete witness" true
+    (Relation.subsumed r (tup [ i 2; Value.Hole 0 ]));
+  Alcotest.(check bool) "hole with unknown key not subsumed" false
+    (Relation.subsumed r (tup [ i 3; Value.Hole 0 ]));
+  Alcotest.(check bool) "exact" true (Relation.subsumed r (tup [ i 2; i 5 ]));
+  Alcotest.(check bool) "absent" false (Relation.subsumed r (tup [ i 9; i 9 ]))
+
+let test_remove_clear () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 1 ]));
+  Alcotest.(check bool) "removed" true (Relation.remove r (tup [ i 1; i 1 ]));
+  Alcotest.(check bool) "absent now" false (Relation.remove r (tup [ i 1; i 1 ]));
+  ignore (Relation.insert_all r [ tup [ i 1; i 1 ]; tup [ i 2; i 2 ] ]);
+  Relation.clear r;
+  Alcotest.(check int) "cleared" 0 (Relation.cardinal r)
+
+let test_copy_is_independent () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 1 ]));
+  let r2 = Relation.copy r in
+  ignore (Relation.insert r2 (tup [ i 2; i 2 ]));
+  Alcotest.(check int) "original untouched" 1 (Relation.cardinal r);
+  Alcotest.(check int) "copy grew" 2 (Relation.cardinal r2);
+  Alcotest.(check bool) "contents equal check" false (Relation.equal_contents r r2)
+
+let test_lookup_index () =
+  let r = fresh () in
+  ignore
+    (Relation.insert_all r
+       [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]);
+  check_tuples "probe col 0" [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup r ~col:0 (i 1));
+  check_tuples "probe col 1" [ tup [ i 1; i 10 ]; tup [ i 2; i 10 ] ]
+    (Relation.lookup r ~col:1 (i 10));
+  check_tuples "probe miss" [] (Relation.lookup r ~col:0 (i 99));
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Relation.lookup r ~col:2 (i 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_lookup_index_invalidation () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 10 ]));
+  check_tuples "before" [ tup [ i 1; i 10 ] ] (Relation.lookup r ~col:0 (i 1));
+  ignore (Relation.insert r (tup [ i 1; i 20 ]));
+  check_tuples "after insert" [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup r ~col:0 (i 1));
+  ignore (Relation.remove r (tup [ i 1; i 10 ]));
+  check_tuples "after remove" [ tup [ i 1; i 20 ] ] (Relation.lookup r ~col:0 (i 1));
+  Relation.clear r;
+  check_tuples "after clear" [] (Relation.lookup r ~col:0 (i 1))
+
+let test_lookup_nulls_by_identity () =
+  let r = fresh () in
+  let n1 = Value.fresh_null ~rule:"x" and n2 = Value.fresh_null ~rule:"x" in
+  ignore (Relation.insert_all r [ tup [ i 1; n1 ]; tup [ i 2; n2 ] ]);
+  check_tuples "null key" [ tup [ i 1; n1 ] ] (Relation.lookup r ~col:1 n1)
+
+let test_copy_does_not_share_indexes () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 10 ]));
+  ignore (Relation.lookup r ~col:0 (i 1));
+  let r2 = Relation.copy r in
+  ignore (Relation.insert r2 (tup [ i 1; i 20 ]));
+  check_tuples "copy sees both" [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup r2 ~col:0 (i 1));
+  check_tuples "original index unchanged" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup r ~col:0 (i 1))
+
+let test_to_list_sorted () =
+  let r = fresh () in
+  ignore (Relation.insert_all r [ tup [ i 3; i 0 ]; tup [ i 1; i 0 ]; tup [ i 2; i 0 ] ]);
+  let ks = List.map (fun t -> t.(0)) (Relation.to_list r) in
+  Alcotest.(check bool) "sorted" true (ks = [ i 1; i 2; i 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "insert deduplicates" `Quick test_insert_dedup;
+    Alcotest.test_case "insert rejects bad arity" `Quick test_insert_rejects_bad_arity;
+    Alcotest.test_case "insert rejects bad type" `Quick test_insert_rejects_bad_type;
+    Alcotest.test_case "insert rejects holes" `Quick test_insert_rejects_holes;
+    Alcotest.test_case "insert accepts marked nulls" `Quick test_insert_accepts_nulls;
+    Alcotest.test_case "insert_all returns the delta" `Quick test_insert_all_returns_delta;
+    Alcotest.test_case "null-aware subsumption lookup" `Quick test_subsumed;
+    Alcotest.test_case "remove and clear" `Quick test_remove_clear;
+    Alcotest.test_case "copy independence" `Quick test_copy_is_independent;
+    Alcotest.test_case "to_list is sorted" `Quick test_to_list_sorted;
+    Alcotest.test_case "hash index lookup" `Quick test_lookup_index;
+    Alcotest.test_case "index invalidation on mutation" `Quick
+      test_lookup_index_invalidation;
+    Alcotest.test_case "index keys nulls by identity" `Quick
+      test_lookup_nulls_by_identity;
+    Alcotest.test_case "copy does not share indexes" `Quick
+      test_copy_does_not_share_indexes;
+  ]

@@ -1,0 +1,47 @@
+open Helpers
+
+let test_make_validates () =
+  Alcotest.(check bool)
+    "duplicate attribute" true
+    (try
+       ignore (Schema.make "r" [ ("a", Value.Tint); ("a", Value.Tint) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "empty attrs" true
+    (try
+       ignore (Schema.make "r" []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_positions () =
+  Alcotest.(check (option int)) "a" (Some 0) (Schema.position r_schema "a");
+  Alcotest.(check (option int)) "b" (Some 1) (Schema.position r_schema "b");
+  Alcotest.(check (option int)) "missing" None (Schema.position r_schema "z")
+
+let test_conforms () =
+  Alcotest.(check bool) "good" true (Schema.conforms r_schema (tup [ i 1; i 2 ]));
+  Alcotest.(check bool) "bad type" false (Schema.conforms r_schema (tup [ i 1; s "x" ]));
+  Alcotest.(check bool) "bad arity" false (Schema.conforms r_schema (tup [ i 1 ]));
+  let null = Value.fresh_null ~rule:"r" in
+  Alcotest.(check bool) "null anywhere" true (Schema.conforms r_schema (tup [ null; null ]))
+
+let test_equal () =
+  let r2 = Schema.make "r" [ ("a", Value.Tint); ("b", Value.Tint) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal r_schema r2);
+  let r3 = Schema.make "r" [ ("a", Value.Tint); ("b", Value.Tstring) ] in
+  Alcotest.(check bool) "type differs" false (Schema.equal r_schema r3);
+  Alcotest.(check bool) "name differs" false (Schema.equal r_schema s_schema)
+
+let test_attr_names_arity () =
+  Alcotest.(check (list string)) "names" [ "a"; "b" ] (Schema.attr_names r_schema);
+  Alcotest.(check int) "arity" 2 (Schema.arity r_schema)
+
+let suite =
+  [
+    Alcotest.test_case "make validates" `Quick test_make_validates;
+    Alcotest.test_case "attribute positions" `Quick test_positions;
+    Alcotest.test_case "tuple conformance" `Quick test_conforms;
+    Alcotest.test_case "schema equality" `Quick test_equal;
+    Alcotest.test_case "names and arity" `Quick test_attr_names_arity;
+  ]

@@ -1,0 +1,165 @@
+open Helpers
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+
+let data_q = parse_query "o(x, y) <- data(x, y)"
+
+let small = { Topology.default_params with Topology.tuples_per_node = 10 }
+
+let test_chain_scoped_equals_global_at_initiator () =
+  let mk () = Topology.generate ~params:small ~seed:51 Topology.Chain ~n:5 in
+  let sys_g = System.build_exn (mk ()) in
+  let _ = System.run_update sys_g ~initiator:"n0" in
+  let sys_s = System.build_exn (mk ()) in
+  let _ = System.run_scoped_update sys_s ~at:"n0" data_q in
+  check_tuples "same certain contents at n0"
+    (System.local_answers sys_g ~at:"n0" data_q)
+    (System.local_answers sys_s ~at:"n0" data_q)
+
+let test_scoped_touches_only_relevant_nodes () =
+  (* star-out: every leaf imports from the centre; a scoped update at
+     one leaf must leave the other leaves untouched *)
+  let sys = System.build_exn (Topology.generate ~params:small ~seed:52 Topology.Star_out ~n:5) in
+  let count at = List.length (System.local_answers sys ~at data_q) in
+  let n2_before = count "n2" and n3_before = count "n3" in
+  let uid = System.run_scoped_update sys ~at:"n1" data_q in
+  Alcotest.(check bool) "n1 grew" true (count "n1" > 10);
+  Alcotest.(check int) "n2 untouched" n2_before (count "n2");
+  Alcotest.(check int) "n3 untouched" n3_before (count "n3");
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "finished" true report.Report.ur_all_finished;
+  (* only the n1<-n0 link carried data *)
+  Alcotest.(check int) "one rule in traffic" 1 (List.length report.Report.ur_per_rule)
+
+let test_scoped_cheaper_than_global () =
+  let mk () = Topology.generate ~params:small ~seed:53 Topology.Star_out ~n:8 in
+  let sys_g = System.build_exn (mk ()) in
+  let ug = System.run_update sys_g ~initiator:"n1" in
+  let rg = Option.get (Report.update_report (System.snapshots sys_g) ug) in
+  let sys_s = System.build_exn (mk ()) in
+  let us = System.run_scoped_update sys_s ~at:"n1" data_q in
+  let rs = Option.get (Report.update_report (System.snapshots sys_s) us) in
+  Alcotest.(check bool) "fewer data messages" true
+    (rs.Report.ur_data_msgs < rg.Report.ur_data_msgs);
+  Alcotest.(check bool) "fewer bytes" true (rs.Report.ur_bytes < rg.Report.ur_bytes)
+
+let test_scoped_respects_relations () =
+  (* m imports relation a from x and relation b from y; a query over a
+     must not fetch b *)
+  let cfg =
+    parse_config
+      {|
+node m { relation a(k: int); relation b(k: int); }
+node x { relation a(k: int); fact a(1); fact a(2); }
+node y { relation b(k: int); fact b(7); }
+rule ra at m: a(k) <- x: a(k);
+rule rb at m: b(k) <- y: b(k);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_scoped_update sys ~at:"m" (parse_query "q(k) <- a(k)") in
+  check_tuples "a fetched" [ tup [ i 1 ]; tup [ i 2 ] ]
+    (System.local_answers sys ~at:"m" (parse_query "q(k) <- a(k)"));
+  check_tuples "b not fetched" []
+    (System.local_answers sys ~at:"m" (parse_query "q(k) <- b(k)"))
+
+let test_scoped_transitive () =
+  let cfg =
+    parse_config
+      {|
+node m { relation out(x: int); }
+node c { relation mid(x: int); fact mid(100); }
+node d { relation base(x: int); fact base(1); fact base(2); }
+rule cm at m: out(x) <- c: mid(x);
+rule dc at c: mid(x) <- d: base(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_scoped_update sys ~at:"m" (parse_query "q(x) <- out(x)") in
+  check_tuples "transitively fetched"
+    [ tup [ i 1 ]; tup [ i 2 ]; tup [ i 100 ] ]
+    (System.local_answers sys ~at:"m" (parse_query "q(x) <- out(x)"))
+
+let test_scoped_cycle_fixpoint () =
+  let sys = System.build_exn (Topology.generate ~params:small ~seed:54 Topology.Ring ~n:4) in
+  let uid = System.run_scoped_update sys ~at:"n0" data_q in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "terminated" true report.Report.ur_all_finished;
+  (* n0 converges to the union of all four nodes' data *)
+  let n0 = List.length (System.local_answers sys ~at:"n0" data_q) in
+  Alcotest.(check bool) "n0 has the union" true (n0 > 30)
+
+let test_scoped_idempotent () =
+  let sys = System.build_exn (Topology.generate ~params:small ~seed:55 Topology.Chain ~n:4) in
+  let _ = System.run_scoped_update sys ~at:"n0" data_q in
+  let before = System.total_tuples sys in
+  let u2 = System.run_scoped_update sys ~at:"n0" data_q in
+  Alcotest.(check int) "no growth" before (System.total_tuples sys);
+  let r2 = Option.get (Report.update_report (System.snapshots sys) u2) in
+  Alcotest.(check int) "nothing new" 0 r2.Report.ur_new_tuples
+
+let test_scoped_no_relevant_rules () =
+  let cfg = parse_config "node a { relation r(x: int); fact r(1); }" in
+  let sys = System.build_exn cfg in
+  let uid = System.run_scoped_update sys ~at:"a" (parse_query "q(x) <- r(x)") in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "trivially finished" true report.Report.ur_all_finished;
+  Alcotest.(check int) "no traffic" 0 report.Report.ur_data_msgs
+
+let test_scoped_inconsistent_source_quarantined () =
+  let cfg =
+    parse_config
+      {|
+node sink { relation r(x: int); }
+node bad { relation r(x: int); fact r(13); constraint r(13); }
+rule sb at sink: r(x) <- bad: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let uid = System.run_scoped_update sys ~at:"sink" (parse_query "q(x) <- r(x)") in
+  check_tuples "nothing imported" []
+    (System.local_answers sys ~at:"sink" (parse_query "q(x) <- r(x)"));
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "still terminates" true report.Report.ur_all_finished
+
+let test_scoped_unknown_rule_releases_requester () =
+  (* simulate version skew: the source dropped the rule before the
+     request arrives; the requester must not hang *)
+  let cfg =
+    parse_config
+      {|
+node sink { relation r(x: int); }
+node src { relation r(x: int); fact r(1); }
+rule sb at sink: r(x) <- src: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let src = System.node sys "src" in
+  Node.set_rules src ~outgoing:[] ~incoming:[];
+  let uid = System.run_scoped_update sys ~at:"sink" (parse_query "q(x) <- r(x)") in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "terminates despite skew" true report.Report.ur_all_finished;
+  check_tuples "no data" []
+    (System.local_answers sys ~at:"sink" (parse_query "q(x) <- r(x)"))
+
+let suite =
+  [
+    Alcotest.test_case "chain: scoped = global at the initiator" `Quick
+      test_chain_scoped_equals_global_at_initiator;
+    Alcotest.test_case "irrelevant nodes untouched" `Quick
+      test_scoped_touches_only_relevant_nodes;
+    Alcotest.test_case "cheaper than a global update" `Quick
+      test_scoped_cheaper_than_global;
+    Alcotest.test_case "restricted to the query's relations" `Quick
+      test_scoped_respects_relations;
+    Alcotest.test_case "transitive dependencies followed" `Quick test_scoped_transitive;
+    Alcotest.test_case "cycles reach the fix-point" `Quick test_scoped_cycle_fixpoint;
+    Alcotest.test_case "idempotent" `Quick test_scoped_idempotent;
+    Alcotest.test_case "no relevant rules: trivial" `Quick test_scoped_no_relevant_rules;
+    Alcotest.test_case "inconsistent source quarantined" `Quick
+      test_scoped_inconsistent_source_quarantined;
+    Alcotest.test_case "version skew does not hang" `Quick
+      test_scoped_unknown_rule_releases_requester;
+  ]

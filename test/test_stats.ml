@@ -1,0 +1,114 @@
+module Stats = Codb_core.Stats
+module Ids = Codb_core.Ids
+module Report = Codb_core.Report
+module Peer_id = Codb_net.Peer_id
+
+let uid serial = Ids.update_id (Peer_id.of_string "n") serial
+
+let test_update_stat_created_once () =
+  let st = Stats.create (Peer_id.of_string "n") in
+  let us1 = Stats.update_stat st ~now:1.0 (uid 1) in
+  us1.Stats.us_data_msgs <- 5;
+  let us2 = Stats.update_stat st ~now:9.0 (uid 1) in
+  Alcotest.(check int) "same accumulator" 5 us2.Stats.us_data_msgs;
+  Alcotest.(check (float 0.0)) "original start time" 1.0 us2.Stats.us_started;
+  Alcotest.(check bool) "find" true (Stats.find_update st (uid 1) <> None);
+  Alcotest.(check bool) "missing" true (Stats.find_update st (uid 2) = None)
+
+let test_rule_traffic_accumulates () =
+  let st = Stats.create (Peer_id.of_string "n") in
+  let us = Stats.update_stat st ~now:0.0 (uid 1) in
+  let t1 = Stats.rule_traffic us "r1" in
+  t1.Stats.rt_msgs <- 3;
+  let t1' = Stats.rule_traffic us "r1" in
+  Alcotest.(check int) "shared" 3 t1'.Stats.rt_msgs
+
+let test_note_unique () =
+  let st = Stats.create (Peer_id.of_string "n") in
+  let us = Stats.update_stat st ~now:0.0 (uid 1) in
+  let p = Peer_id.of_string "other" in
+  Stats.note_queried us p;
+  Stats.note_queried us p;
+  Stats.note_sent_to us p;
+  Alcotest.(check int) "queried once" 1 (List.length us.Stats.us_queried);
+  Alcotest.(check int) "sent once" 1 (List.length us.Stats.us_sent_to)
+
+let test_snapshot_reflects_state () =
+  let st = Stats.create (Peer_id.of_string "n") in
+  let us = Stats.update_stat st ~now:2.0 (uid 7) in
+  us.Stats.us_finished <- Some 4.5;
+  us.Stats.us_data_msgs <- 11;
+  (Stats.rule_traffic us "r9").Stats.rt_bytes <- 123;
+  let qs = Stats.query_stat st ~now:3.0 (Ids.query_id (Peer_id.of_string "n") 1) in
+  qs.Stats.qs_answers <- 4;
+  Stats.set_inconsistent st true;
+  let snap = Stats.snapshot ~store_tuples:42 st in
+  Alcotest.(check bool) "inconsistent" true snap.Stats.snap_inconsistent;
+  Alcotest.(check int) "store tuples" 42 snap.Stats.snap_store_tuples;
+  (match snap.Stats.snap_updates with
+  | [ u ] ->
+      Alcotest.(check int) "msgs" 11 u.Stats.usn_data_msgs;
+      Alcotest.(check bool) "finished" true (u.Stats.usn_finished = Some 4.5);
+      (match u.Stats.usn_per_rule with
+      | [ rt ] -> Alcotest.(check int) "rule bytes" 123 rt.Stats.rts_bytes
+      | _ -> Alcotest.fail "one rule expected")
+  | _ -> Alcotest.fail "one update expected");
+  match snap.Stats.snap_queries with
+  | [ q ] -> Alcotest.(check int) "answers" 4 q.Stats.qsn_answers
+  | _ -> Alcotest.fail "one query expected"
+
+let test_report_merges_rules_across_nodes () =
+  let mk name bytes =
+    let st = Stats.create (Peer_id.of_string name) in
+    let us = Stats.update_stat st ~now:0.0 (uid 1) in
+    us.Stats.us_finished <- Some 1.0;
+    (Stats.rule_traffic us "shared").Stats.rt_bytes <- bytes;
+    Stats.snapshot st
+  in
+  let report = Option.get (Report.update_report [ mk "a" 10; mk "b" 32 ] (uid 1)) in
+  Alcotest.(check int) "two nodes" 2 report.Report.ur_nodes;
+  match report.Report.ur_per_rule with
+  | [ rt ] -> Alcotest.(check int) "bytes summed" 42 rt.Stats.rts_bytes
+  | _ -> Alcotest.fail "one merged rule expected"
+
+let test_report_unfinished_flag () =
+  let st = Stats.create (Peer_id.of_string "a") in
+  let us = Stats.update_stat st ~now:0.5 (uid 1) in
+  us.Stats.us_finished <- None;
+  let report = Option.get (Report.update_report [ Stats.snapshot st ] (uid 1)) in
+  Alcotest.(check bool) "flagged unfinished" false report.Report.ur_all_finished
+
+let test_latest_update_report_picks_newest () =
+  let st = Stats.create (Peer_id.of_string "a") in
+  let u1 = Stats.update_stat st ~now:1.0 (uid 1) in
+  u1.Stats.us_finished <- Some 2.0;
+  let u2 = Stats.update_stat st ~now:5.0 (uid 2) in
+  u2.Stats.us_finished <- Some 6.0;
+  let report = Option.get (Report.latest_update_report [ Stats.snapshot st ]) in
+  Alcotest.(check bool) "newest chosen" true
+    (Ids.equal_update report.Report.ur_update (uid 2))
+
+let test_snapshot_sorted_by_start () =
+  let st = Stats.create (Peer_id.of_string "a") in
+  ignore (Stats.update_stat st ~now:5.0 (uid 2));
+  ignore (Stats.update_stat st ~now:1.0 (uid 1));
+  let snap = Stats.snapshot st in
+  match snap.Stats.snap_updates with
+  | [ first; second ] ->
+      Alcotest.(check bool) "chronological" true
+        (first.Stats.usn_started <= second.Stats.usn_started)
+  | _ -> Alcotest.fail "two updates expected"
+
+let suite =
+  [
+    Alcotest.test_case "update accumulator identity" `Quick test_update_stat_created_once;
+    Alcotest.test_case "rule traffic accumulates" `Quick test_rule_traffic_accumulates;
+    Alcotest.test_case "queried/sent-to dedup" `Quick test_note_unique;
+    Alcotest.test_case "snapshot content" `Quick test_snapshot_reflects_state;
+    Alcotest.test_case "report merges per-rule traffic" `Quick
+      test_report_merges_rules_across_nodes;
+    Alcotest.test_case "unfinished updates flagged" `Quick test_report_unfinished_flag;
+    Alcotest.test_case "latest report picks the newest" `Quick
+      test_latest_update_report_picks_newest;
+    Alcotest.test_case "snapshots sorted by start" `Quick test_snapshot_sorted_by_start;
+  ]

@@ -1,0 +1,227 @@
+open Helpers
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Superpeer = Codb_core.Superpeer
+module Report = Codb_core.Report
+module Stats = Codb_core.Stats
+module Node = Codb_core.Node
+module Peer_id = Codb_net.Peer_id
+module Network = Codb_net.Network
+
+let test_build_rejects_invalid () =
+  let cfg =
+    { Config.nodes = []; rules = [ { Config.rule_id = "r"; importer = "a"; source = "b";
+        rule_query = parse_query "r(x) <- r(x)" } ] }
+  in
+  match System.build cfg with
+  | Ok _ -> Alcotest.fail "invalid config accepted"
+  | Error errors -> Alcotest.(check bool) "errors reported" true (errors <> [])
+
+let test_build_rejects_reserved_name () =
+  let cfg = parse_config "node superpeer { relation r(x: int); }" in
+  match System.build cfg with
+  | Ok _ -> Alcotest.fail "reserved name accepted"
+  | Error _ -> ()
+
+let test_pipes_follow_rules () =
+  let sys = System.build_exn (Topology.generate ~seed:1 Topology.Chain ~n:4) in
+  let net = System.net sys in
+  let p = Peer_id.of_string in
+  Alcotest.(check bool) "n0-n1" true (Network.connected net (p "n0") (p "n1"));
+  Alcotest.(check bool) "n1-n2" true (Network.connected net (p "n1") (p "n2"));
+  Alcotest.(check bool) "no n0-n2" false (Network.connected net (p "n0") (p "n2"))
+
+let test_superpeer_stats_collection () =
+  let sys = System.build_exn (Topology.generate ~seed:2 Topology.Chain ~n:3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let snaps = System.collect_stats sys in
+  Alcotest.(check int) "three nodes replied" 3 (List.length snaps);
+  (* message-based collection must agree with the direct snapshot *)
+  let direct = System.snapshots sys in
+  let direct_report = Option.get (Report.latest_update_report direct) in
+  let collected_report = Option.get (Report.latest_update_report snaps) in
+  Alcotest.(check int) "same message count" direct_report.Report.ur_data_msgs
+    collected_report.Report.ur_data_msgs;
+  Alcotest.(check int) "same tuples" direct_report.Report.ur_new_tuples
+    collected_report.Report.ur_new_tuples
+
+let test_superpeer_trigger_update () =
+  let sys = System.build_exn (Topology.generate ~seed:3 Topology.Chain ~n:3) in
+  let sp = System.superpeer sys in
+  Superpeer.trigger_update sp ~at:(Peer_id.of_string "n0");
+  let _ = System.run sys in
+  let report = Report.latest_update_report (System.snapshots sys) in
+  Alcotest.(check bool) "an update ran" true (report <> None);
+  Alcotest.(check bool) "it finished" true (Option.get report).Report.ur_all_finished
+
+let test_rules_rebroadcast_changes_topology () =
+  (* start as a chain, rewire to a star; data must then flow along the
+     star's edges *)
+  let chain = Topology.generate ~seed:4 Topology.Chain ~n:4 in
+  let sys = System.build_exn chain in
+  let star = Topology.rules_only (Topology.generate ~seed:4 Topology.Star_in ~n:4) in
+  System.broadcast_rules sys star;
+  let net = System.net sys in
+  let p = Peer_id.of_string in
+  Alcotest.(check bool) "star pipe n0-n3" true (Network.connected net (p "n0") (p "n3"));
+  Alcotest.(check bool) "chain pipe n1-n2 closed" false
+    (Network.connected net (p "n1") (p "n2"));
+  let _ = System.run_update sys ~initiator:"n0" in
+  let n0 = System.local_answers sys ~at:"n0" (parse_query "o(x, y) <- data(x, y)") in
+  let n1 = System.node sys "n1" in
+  Alcotest.(check int) "n1 has one incoming rule" 1 (List.length n1.Node.incoming);
+  Alcotest.(check bool) "n0 imported from all leaves" true (List.length n0 > 0)
+
+let test_update_after_rewire_uses_new_rules () =
+  let chain = Topology.generate ~seed:6 Topology.Chain ~n:3 in
+  let sys = System.build_exn chain in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let before = List.length (System.local_answers sys ~at:"n2" (parse_query "o(x, y) <- data(x, y)")) in
+  (* reverse the chain: now n2 imports from n1 imports from n0 *)
+  let reversed =
+    {
+      Config.nodes = (Topology.rules_only chain).Config.nodes;
+      rules =
+        List.map
+          (fun r ->
+            { r with Config.importer = r.Config.source; source = r.Config.importer })
+          chain.Config.rules;
+    }
+  in
+  System.broadcast_rules sys reversed;
+  let _ = System.run_update sys ~initiator:"n2" in
+  let after = List.length (System.local_answers sys ~at:"n2" (parse_query "o(x, y) <- data(x, y)")) in
+  Alcotest.(check bool) "n2 grew after reversal" true (after > before)
+
+let test_discovery_ttl () =
+  let sys = System.build_exn (Topology.generate ~seed:5 Topology.Chain ~n:6) in
+  let found_ttl0 = System.discover sys ~at:"n0" ~ttl:0 in
+  (* ttl 0: the direct neighbour n1 answers with itself and its own
+     neighbourhood, so n0 learns n1 and n2 *)
+  Alcotest.(check int) "ttl 0 reaches distance 2" 2 (List.length found_ttl0);
+  let found_ttl1 = System.discover sys ~at:"n0" ~ttl:1 in
+  Alcotest.(check int) "ttl 1 reaches distance 3" 3 (List.length found_ttl1);
+  let found_ttl4 = System.discover sys ~at:"n0" ~ttl:4 in
+  Alcotest.(check int) "ttl 4 finds all" 5 (List.length found_ttl4)
+
+let test_add_node_dynamic () =
+  let sys = System.build_exn (Topology.generate ~seed:7 Topology.Chain ~n:2) in
+  let decl =
+    {
+      Config.node_name = "n2";
+      relations = [ Topology.data_relation ];
+      facts = [ ("data", tup [ i 999; s "new" ]) ];
+      mediator = false;
+      constraints = [];
+    }
+  in
+  System.add_node sys decl;
+  Alcotest.(check (list string)) "three nodes" [ "n0"; "n1"; "n2" ]
+    (System.node_names sys);
+  (* wire it in via a rules broadcast and check data flows *)
+  let cfg = System.config sys in
+  let extra_rule =
+    {
+      Config.rule_id = "r_1_2";
+      importer = "n1";
+      source = "n2";
+      rule_query = parse_query "data(x, y) <- data(x, y)";
+    }
+  in
+  System.broadcast_rules sys { cfg with Config.rules = extra_rule :: cfg.Config.rules };
+  let _ = System.run_update sys ~initiator:"n0" in
+  let n0 = System.local_answers sys ~at:"n0" (parse_query "o(y) <- data(999, y)") in
+  check_tuples "new node's data reached n0" [ tup [ s "new" ] ] n0
+
+let test_report_aggregation_fields () =
+  let sys = System.build_exn (Topology.generate ~seed:8 Topology.Star_in ~n:5) in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check int) "five nodes" 5 report.Report.ur_nodes;
+  Alcotest.(check int) "star has path length 1" 1 report.Report.ur_longest_path;
+  Alcotest.(check int) "four rules in traffic table" 4
+    (List.length report.Report.ur_per_rule);
+  Alcotest.(check bool) "duration positive" true (report.Report.ur_duration > 0.0);
+  Alcotest.(check bool) "bytes positive" true (report.Report.ur_bytes > 0)
+
+let test_report_missing_update () =
+  let sys = System.build_exn (Topology.generate ~seed:9 Topology.Chain ~n:2) in
+  let fake = Codb_core.Ids.update_id (Peer_id.of_string "n0") 12345 in
+  Alcotest.(check bool) "no report" true
+    (Report.update_report (System.snapshots sys) fake = None)
+
+let test_stats_snapshot_roundtrip_sizes () =
+  let sys = System.build_exn (Topology.generate ~seed:10 Topology.Chain ~n:3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  List.iter
+    (fun snap ->
+      Alcotest.(check bool) "snapshot has positive size" true
+        (Stats.snapshot_size_bytes snap > 0))
+    (System.snapshots sys)
+
+module Trace = Codb_core.Trace
+
+let test_trace_records_protocol () =
+  let sys = System.build_exn (Topology.generate ~seed:12 Topology.Chain ~n:3) in
+  let trace = System.enable_trace sys in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let events = Trace.events trace in
+  Alcotest.(check bool) "events recorded" true (List.length events > 5);
+  (* chronological, and every delivery follows some send of the same
+     description *)
+  let rec chronological = function
+    | a :: (b :: _ as rest) -> a.Trace.ev_at <= b.Trace.ev_at && chronological rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "chronological" true (chronological events);
+  List.iter
+    (fun e ->
+      if e.Trace.ev_direction = Trace.Delivered then
+        Alcotest.(check bool)
+          ("matched send for " ^ e.Trace.ev_what)
+          true
+          (List.exists
+             (fun s ->
+               s.Trace.ev_direction = Trace.Sent
+               && String.equal s.Trace.ev_what e.Trace.ev_what
+               && s.Trace.ev_at <= e.Trace.ev_at)
+             events))
+    events
+
+let test_trace_ring_capacity () =
+  let sys = System.build_exn (Topology.generate ~seed:13 Topology.Chain ~n:4) in
+  let trace = System.enable_trace ~capacity:4 sys in
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check int) "bounded" 4 (Trace.length trace);
+  Alcotest.(check bool) "older events dropped" true (Trace.dropped trace > 0);
+  Trace.clear trace;
+  Alcotest.(check int) "cleared" 0 (Trace.length trace)
+
+let test_trace_disabled_by_default () =
+  let sys = System.build_exn (Topology.generate ~seed:14 Topology.Chain ~n:2) in
+  Alcotest.(check bool) "no trace" true (System.trace sys = None);
+  let t1 = System.enable_trace sys in
+  let t2 = System.enable_trace sys in
+  Alcotest.(check bool) "idempotent" true (t1 == t2)
+
+let suite =
+  [
+    Alcotest.test_case "build validates" `Quick test_build_rejects_invalid;
+    Alcotest.test_case "trace records the protocol" `Quick test_trace_records_protocol;
+    Alcotest.test_case "trace ring capacity" `Quick test_trace_ring_capacity;
+    Alcotest.test_case "trace off by default" `Quick test_trace_disabled_by_default;
+    Alcotest.test_case "reserved super-peer name" `Quick test_build_rejects_reserved_name;
+    Alcotest.test_case "pipes follow coordination rules" `Quick test_pipes_follow_rules;
+    Alcotest.test_case "super-peer collects statistics" `Quick
+      test_superpeer_stats_collection;
+    Alcotest.test_case "super-peer triggers updates" `Quick test_superpeer_trigger_update;
+    Alcotest.test_case "rules re-broadcast rewires the network" `Quick
+      test_rules_rebroadcast_changes_topology;
+    Alcotest.test_case "updates follow the new rules" `Quick
+      test_update_after_rewire_uses_new_rules;
+    Alcotest.test_case "discovery respects TTL" `Quick test_discovery_ttl;
+    Alcotest.test_case "dynamic node arrival" `Quick test_add_node_dynamic;
+    Alcotest.test_case "report aggregation" `Quick test_report_aggregation_fields;
+    Alcotest.test_case "report for unknown update" `Quick test_report_missing_update;
+    Alcotest.test_case "snapshot sizes" `Quick test_stats_snapshot_roundtrip_sizes;
+  ]

@@ -1,0 +1,126 @@
+open Helpers
+module Topology = Codb_core.Topology
+module Rng = Codb_workload.Rng
+
+let edge_testable = Alcotest.(pair int int)
+
+let test_chain_edges () =
+  Alcotest.(check (list edge_testable)) "chain 4" [ (0, 1); (1, 2); (2, 3) ]
+    (Topology.edges Topology.Chain ~n:4);
+  Alcotest.(check (list edge_testable)) "chain 1" [] (Topology.edges Topology.Chain ~n:1)
+
+let test_ring_edges () =
+  Alcotest.(check (list edge_testable)) "ring 3" [ (0, 1); (1, 2); (2, 0) ]
+    (Topology.edges Topology.Ring ~n:3)
+
+let test_star_edges () =
+  Alcotest.(check (list edge_testable)) "star-in 4" [ (0, 1); (0, 2); (0, 3) ]
+    (Topology.edges Topology.Star_in ~n:4);
+  Alcotest.(check (list edge_testable)) "star-out 4" [ (1, 0); (2, 0); (3, 0) ]
+    (Topology.edges Topology.Star_out ~n:4)
+
+let test_tree_edges () =
+  Alcotest.(check (list edge_testable)) "tree 5"
+    [ (0, 1); (0, 2); (1, 3); (1, 4) ]
+    (Topology.edges Topology.Binary_tree ~n:5)
+
+let test_grid_edges () =
+  let edges = Topology.edges (Topology.Grid (2, 2)) ~n:4 in
+  Alcotest.(check int) "2x2 has 4 edges" 4 (List.length edges);
+  Alcotest.(check bool) "right neighbour" true (List.mem (0, 1) edges);
+  Alcotest.(check bool) "down neighbour" true (List.mem (0, 2) edges);
+  Alcotest.(check bool) "grid size mismatch" true
+    (try
+       ignore (Topology.edges (Topology.Grid (2, 2)) ~n:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_clique_edges () =
+  let edges = Topology.edges Topology.Clique ~n:4 in
+  Alcotest.(check int) "n(n-1) edges" 12 (List.length edges);
+  Alcotest.(check bool) "no self loops" true (List.for_all (fun (a, b) -> a <> b) edges)
+
+let test_random_edges_seeded () =
+  let rng () = Rng.make ~seed:99 in
+  let e1 = Topology.edges ~rng:(rng ()) (Topology.Random_graph 0.3) ~n:8 in
+  let e2 = Topology.edges ~rng:(rng ()) (Topology.Random_graph 0.3) ~n:8 in
+  Alcotest.(check (list edge_testable)) "deterministic" e1 e2;
+  Alcotest.(check bool) "needs rng" true
+    (try
+       ignore (Topology.edges (Topology.Random_graph 0.3) ~n:4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_generate_validates () =
+  List.iter
+    (fun shape ->
+      let cfg = Topology.generate ~seed:1 shape ~n:6 in
+      match Config.validate cfg with
+      | Ok () -> ()
+      | Error errors ->
+          Alcotest.failf "%s invalid: %s" (Topology.shape_name shape)
+            (String.concat "; " errors))
+    [
+      Topology.Chain; Topology.Ring; Topology.Star_in; Topology.Star_out;
+      Topology.Binary_tree; Topology.Grid (2, 3); Topology.Random_graph 0.4;
+      Topology.Clique;
+    ]
+
+let test_generate_respects_params () =
+  let params =
+    { Topology.default_params with Topology.tuples_per_node = 5; existential_frac = 1.0 }
+  in
+  let cfg = Topology.generate ~params ~seed:2 Topology.Chain ~n:3 in
+  List.iter
+    (fun node ->
+      Alcotest.(check int)
+        (node.Config.node_name ^ " facts")
+        5
+        (List.length node.Config.facts))
+    cfg.Config.nodes;
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool)
+        (rule.Config.rule_id ^ " existential")
+        true
+        (Query.has_existential_head rule.Config.rule_query))
+    cfg.Config.rules
+
+let test_generate_deterministic () =
+  let c1 = Topology.generate ~seed:5 Topology.Ring ~n:4 in
+  let c2 = Topology.generate ~seed:5 Topology.Ring ~n:4 in
+  Alcotest.(check string) "same pretty print"
+    (Codb_cq.Pretty.config_to_string c1)
+    (Codb_cq.Pretty.config_to_string c2)
+
+let test_random_connected_backbone () =
+  let cfg =
+    Topology.generate ~seed:3 (Topology.Random_graph 0.0) ~n:5
+  in
+  (* p = 0 but connected=true: the chain backbone must be there *)
+  Alcotest.(check int) "backbone edges" 4 (List.length cfg.Config.rules)
+
+let test_rules_only_strips_facts () =
+  let cfg = Topology.generate ~seed:4 Topology.Chain ~n:3 in
+  let stripped = Topology.rules_only cfg in
+  Alcotest.(check bool) "no facts" true
+    (List.for_all (fun n -> n.Config.facts = []) stripped.Config.nodes);
+  Alcotest.(check int) "rules kept" (List.length cfg.Config.rules)
+    (List.length stripped.Config.rules)
+
+let suite =
+  [
+    Alcotest.test_case "chain" `Quick test_chain_edges;
+    Alcotest.test_case "ring" `Quick test_ring_edges;
+    Alcotest.test_case "stars" `Quick test_star_edges;
+    Alcotest.test_case "binary tree" `Quick test_tree_edges;
+    Alcotest.test_case "grid" `Quick test_grid_edges;
+    Alcotest.test_case "clique" `Quick test_clique_edges;
+    Alcotest.test_case "random graph is seeded" `Quick test_random_edges_seeded;
+    Alcotest.test_case "generated configs validate" `Quick test_generate_validates;
+    Alcotest.test_case "generation parameters" `Quick test_generate_respects_params;
+    Alcotest.test_case "generation is deterministic" `Quick test_generate_deterministic;
+    Alcotest.test_case "random backbone connectivity" `Quick
+      test_random_connected_backbone;
+    Alcotest.test_case "rules_only strips facts" `Quick test_rules_only_strips_facts;
+  ]

@@ -1,0 +1,487 @@
+open Helpers
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Report = Codb_core.Report
+module Stats = Codb_core.Stats
+module Options = Codb_core.Options
+module Node = Codb_core.Node
+module Deps = Codb_core.Deps
+
+(* A hand-written 3-node chain with known data, so expected results
+   can be written down exactly.
+     n2 holds person(name, dept); n1 imports person from n2 into its
+     own person relation; n0 imports the names into who(name). *)
+let chain_cfg () =
+  parse_config
+    {|
+node n0 { relation who(name: string); }
+node n1 { relation person(name: string, dept: string);
+          fact person("carol", "bio"); }
+node n2 { relation person(name: string, dept: string);
+          fact person("alice", "cs");
+          fact person("bob", "cs"); }
+rule r10 at n1: person(x, d) <- n2: person(x, d);
+rule r01 at n0: who(x) <- n1: person(x, d);
+|}
+
+let run_chain () =
+  let sys = System.build_exn (chain_cfg ()) in
+  let uid = System.run_update sys ~initiator:"n0" in
+  (sys, uid)
+
+let names db_tuples = List.map (fun t -> t.(0)) db_tuples
+
+let test_chain_materialises () =
+  let sys, _ = run_chain () in
+  (* n1 now has carol + alice + bob; n0 has all three names *)
+  let n1_person = System.local_answers sys ~at:"n1" (parse_query "p(x, d) <- person(x, d)") in
+  Alcotest.(check int) "n1 person count" 3 (List.length n1_person);
+  let n0_who = System.local_answers sys ~at:"n0" (parse_query "w(x) <- who(x)") in
+  check_tuples "n0 names"
+    [ tup [ s "alice" ]; tup [ s "bob" ]; tup [ s "carol" ] ]
+    n0_who
+
+let test_chain_terminates_and_closes () =
+  let sys, uid = run_chain () in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "all nodes finished" true report.Report.ur_all_finished;
+  Alcotest.(check int) "three participants" 3 report.Report.ur_nodes;
+  Alcotest.(check int) "longest path 2" 2 report.Report.ur_longest_path
+
+let test_chain_initiator_elsewhere () =
+  (* starting the update at the far end must reach everyone too *)
+  let sys = System.build_exn (chain_cfg ()) in
+  let _ = System.run_update sys ~initiator:"n2" in
+  let n0_who = System.local_answers sys ~at:"n0" (parse_query "w(x) <- who(x)") in
+  Alcotest.(check int) "n0 has 3 names" 3 (List.length n0_who)
+
+let test_update_idempotent () =
+  let sys, _ = run_chain () in
+  let total_before = System.total_tuples sys in
+  let uid2 = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check int) "no new tuples" total_before (System.total_tuples sys);
+  let report = Option.get (Report.update_report (System.snapshots sys) uid2) in
+  Alcotest.(check int) "second update moves nothing new" 0 report.Report.ur_new_tuples
+
+let test_existential_head_creates_nulls () =
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int, y: int); }
+node b { relation q(x: int); fact q(1); fact q(2); }
+rule e at a: r(x, z) <- b: q(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"a" in
+  let r = System.local_answers sys ~at:"a" (parse_query "p(x, y) <- r(x, y)") in
+  Alcotest.(check int) "two tuples" 2 (List.length r);
+  Alcotest.(check bool) "all carry nulls" true (List.for_all Tuple.has_null r);
+  Alcotest.(check int) "no certain answers" 0 (List.length (Eval.certain r))
+
+let test_existential_cycle_terminates () =
+  (* two nodes exchanging an existential relation: without null-aware
+     subsumption this would loop forever *)
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int, y: int); fact r(1, 10); }
+node b { relation r(x: int, y: int); fact r(2, 20); }
+rule ab at a: r(x, z) <- b: r(x, y);
+rule ba at b: r(x, z) <- a: r(x, y);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"a" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "terminated" true report.Report.ur_all_finished;
+  (* a ends with its own (1,10) plus (2, null) *)
+  let a_r = System.local_answers sys ~at:"a" (parse_query "p(x, y) <- r(x, y)") in
+  check_tuples "a keys" [ tup [ i 1 ]; tup [ i 2 ] ]
+    (List.map (fun t -> tup [ t.(0) ]) a_r)
+
+let test_copy_cycle_reaches_fixpoint () =
+  (* 3-ring of plain copies: everyone ends with the union *)
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int); fact r(1); }
+node b { relation r(x: int); fact r(2); }
+node c { relation r(x: int); fact r(3); }
+rule ab at a: r(x) <- b: r(x);
+rule bc at b: r(x) <- c: r(x);
+rule ca at c: r(x) <- a: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"a" in
+  let expected = [ tup [ i 1 ]; tup [ i 2 ]; tup [ i 3 ] ] in
+  List.iter
+    (fun node ->
+      check_tuples (node ^ " has the union") expected
+        (System.local_answers sys ~at:node (parse_query "p(x) <- r(x)")))
+    [ "a"; "b"; "c" ]
+
+let test_join_rule_across_relations () =
+  let cfg =
+    parse_config
+      {|
+node hr { relation emp(name: string, title: string); }
+node src {
+  relation person(name: string, dept: string);
+  relation job(dept: string, title: string);
+  fact person("alice", "cs"); fact person("bob", "math");
+  fact job("cs", "prof");    fact job("math", "lect");
+}
+rule j at hr: emp(n, t) <- src: person(n, d), job(d, t), d != "math";
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"hr" in
+  check_tuples "join with comparison"
+    [ tup [ s "alice"; s "prof" ] ]
+    (System.local_answers sys ~at:"hr" (parse_query "e(n, t) <- emp(n, t)"))
+
+let test_transitive_join_dependency () =
+  (* c's incoming link reads the relation that c's outgoing link
+     writes: data from d must flow through c to m *)
+  let cfg =
+    parse_config
+      {|
+node m { relation out(x: int); }
+node c { relation mid(x: int); fact mid(100); }
+node d { relation base(x: int); fact base(1); fact base(2); }
+rule cm at m: out(x) <- c: mid(x);
+rule dc at c: mid(x) <- d: base(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"m" in
+  check_tuples "m sees base through mid"
+    [ tup [ i 1 ]; tup [ i 2 ]; tup [ i 100 ] ]
+    (System.local_answers sys ~at:"m" (parse_query "o(x) <- out(x)"))
+
+let test_mediator_node_forwards () =
+  (* the middle node is a mediator: it has no LDB of its own but its
+     Wrapper still materialises and forwards imported data *)
+  let cfg =
+    parse_config
+      {|
+node sink { relation r(x: int); }
+node mid mediator { relation r(x: int); }
+node origin { relation r(x: int); fact r(7); fact r(8); }
+rule a at sink: r(x) <- mid: r(x);
+rule b at mid: r(x) <- origin: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"sink" in
+  check_tuples "through the mediator" [ tup [ i 7 ]; tup [ i 8 ] ]
+    (System.local_answers sys ~at:"sink" (parse_query "o(x) <- r(x)"))
+
+let test_inconsistent_node_does_not_export () =
+  let cfg =
+    parse_config
+      {|
+node sink { relation r(x: int); }
+node bad { relation r(x: int); fact r(13); fact r(1); constraint r(13); }
+node good { relation r(x: int); fact r(2); }
+rule sb at sink: r(x) <- bad: r(x);
+rule sg at sink: r(x) <- good: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let _ = System.run_update sys ~initiator:"sink" in
+  (* bad violates its constraint (it has r(13)): none of its data may
+     propagate, but good's does *)
+  check_tuples "only good's data" [ tup [ i 2 ] ]
+    (System.local_answers sys ~at:"sink" (parse_query "o(x) <- r(x)"));
+  let snap =
+    List.find
+      (fun s -> Codb_net.Peer_id.to_string s.Stats.snap_node = "bad")
+      (System.snapshots sys)
+  in
+  Alcotest.(check bool) "flagged inconsistent" true snap.Stats.snap_inconsistent
+
+let test_dedup_suppresses_duplicates () =
+  (* diamond: the same data reaches the sink over two paths; the
+     second copy must be suppressed *)
+  let cfg =
+    parse_config
+      {|
+node sink { relation r(x: int); }
+node l { relation r(x: int); }
+node rr { relation r(x: int); }
+node origin { relation r(x: int); fact r(1); fact r(2); fact r(3); }
+rule sl at sink: r(x) <- l: r(x);
+rule sr at sink: r(x) <- rr: r(x);
+rule lo at l: r(x) <- origin: r(x);
+rule ro at rr: r(x) <- origin: r(x);
+|}
+  in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"sink" in
+  check_tuples "sink has each tuple once"
+    [ tup [ i 1 ]; tup [ i 2 ]; tup [ i 3 ] ]
+    (System.local_answers sys ~at:"sink" (parse_query "o(x) <- r(x)"));
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "duplicates were suppressed" true
+    (report.Report.ur_dup_suppressed >= 3)
+
+let test_sent_cache_prevents_resend () =
+  (* without the sent cache the same tuples would be re-sent when the
+     update request arrives over a second path *)
+  let cfg = Topology.generate ~seed:7 Topology.Clique ~n:3 in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "terminates" true report.Report.ur_all_finished;
+  (* every pair of nodes exchanges each tuple at most twice (once per
+     direction), so data messages are bounded *)
+  Alcotest.(check bool) "bounded messages" true (report.Report.ur_data_msgs <= 24)
+
+let test_no_acquaintances_trivial_update () =
+  let cfg = parse_config "node lonely { relation r(x: int); fact r(1); }" in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"lonely" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "finished immediately" true report.Report.ur_all_finished;
+  Alcotest.(check int) "no data messages" 0 report.Report.ur_data_msgs
+
+let test_concurrent_updates () =
+  (* two different initiators, interleaved in the same simulation *)
+  let cfg = Topology.generate ~seed:11 Topology.Chain ~n:4 in
+  let sys = System.build_exn cfg in
+  let u1 = System.start_update sys ~initiator:"n0" in
+  let u2 = System.start_update sys ~initiator:"n3" in
+  let _ = System.run sys in
+  let snaps = System.snapshots sys in
+  let r1 = Option.get (Report.update_report snaps u1) in
+  let r2 = Option.get (Report.update_report snaps u2) in
+  Alcotest.(check bool) "u1 finished" true r1.Report.ur_all_finished;
+  Alcotest.(check bool) "u2 finished" true r2.Report.ur_all_finished
+
+let test_grid_update_counts () =
+  let cfg = Topology.generate ~seed:5 (Topology.Grid (3, 3)) ~n:9 ~params:{ Topology.default_params with tuples_per_node = 10 } in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check int) "nine nodes" 9 report.Report.ur_nodes;
+  Alcotest.(check bool) "finished" true report.Report.ur_all_finished;
+  (* node 0 (top-left) imports everything downstream *)
+  let n0 = System.local_answers sys ~at:"n0" (parse_query "o(x, y) <- data(x, y)") in
+  Alcotest.(check bool) "n0 grew" true (List.length n0 > 10)
+
+let test_deps_relevance () =
+  let cfg = chain_cfg () in
+  let sys = System.build_exn cfg in
+  let n1 = System.node sys "n1" in
+  let incoming = List.hd n1.Node.incoming in
+  let relevant = Deps.relevant_outgoing n1.Node.outgoing ~incoming in
+  Alcotest.(check int) "r10 feeds r01" 1 (List.length relevant);
+  let outgoing = List.hd n1.Node.outgoing in
+  let dependent = Deps.dependent_incoming n1.Node.incoming ~outgoing in
+  Alcotest.(check int) "r01 depends on r10" 1 (List.length dependent)
+
+let test_ablation_naive_delta_same_result () =
+  let opts = { Options.default with Options.naive_delta = true } in
+  let cfg = Topology.generate ~seed:21 Topology.Binary_tree ~n:7 ~params:{ Topology.default_params with tuples_per_node = 15 } in
+  let sys_naive = System.build_exn ~opts cfg in
+  let sys_semi = System.build_exn (Topology.generate ~seed:21 Topology.Binary_tree ~n:7 ~params:{ Topology.default_params with tuples_per_node = 15 }) in
+  let _ = System.run_update sys_naive ~initiator:"n0" in
+  let _ = System.run_update sys_semi ~initiator:"n0" in
+  let q = parse_query "o(x, y) <- data(x, y)" in
+  List.iter
+    (fun node ->
+      check_tuples (node ^ " same contents")
+        (System.local_answers sys_semi ~at:node q)
+        (System.local_answers sys_naive ~at:node q))
+    (System.node_names sys_naive)
+
+let test_ablation_no_sent_cache_same_result_more_traffic () =
+  let mk opts seed = System.build_exn ~opts (Topology.generate ~seed Topology.Clique ~n:3 ~params:{ Topology.default_params with tuples_per_node = 20 }) in
+  let sys_with = mk Options.default 33 in
+  let sys_without = mk { Options.default with Options.use_sent_cache = false } 33 in
+  let u1 = System.run_update sys_with ~initiator:"n0" in
+  let u2 = System.run_update sys_without ~initiator:"n0" in
+  let q = parse_query "o(x, y) <- data(x, y)" in
+  List.iter
+    (fun node ->
+      check_tuples (node ^ " same contents")
+        (System.local_answers sys_with ~at:node q)
+        (System.local_answers sys_without ~at:node q))
+    (System.node_names sys_with);
+  let r1 = Option.get (Report.update_report (System.snapshots sys_with) u1) in
+  let r2 = Option.get (Report.update_report (System.snapshots sys_without) u2) in
+  Alcotest.(check bool) "cache saves traffic" true
+    (r2.Report.ur_bytes >= r1.Report.ur_bytes)
+
+let test_lineage_records_imports () =
+  let sys, _ = run_chain () in
+  let n0 = System.node sys "n0" in
+  (* alice's name reached n0 through rule r01 over a 2-hop path *)
+  (match Node.explain n0 ~rel:"who" (tup [ s "alice" ]) with
+  | Some (Codb_core.Lineage.Imported [ route ]) ->
+      Alcotest.(check string) "via r01" "r01" route.Codb_core.Lineage.li_rule;
+      Alcotest.(check int) "two hops" 2 route.Codb_core.Lineage.li_hops
+  | other ->
+      Alcotest.failf "unexpected origin: %s"
+        (match other with
+        | None -> "absent"
+        | Some Codb_core.Lineage.Base -> "base"
+        | Some (Codb_core.Lineage.Imported routes) ->
+            Printf.sprintf "%d routes" (List.length routes)));
+  (* carol sits one hop away *)
+  (match Node.explain n0 ~rel:"who" (tup [ s "carol" ]) with
+  | Some (Codb_core.Lineage.Imported [ route ]) ->
+      Alcotest.(check int) "one hop" 1 route.Codb_core.Lineage.li_hops
+  | _ -> Alcotest.fail "expected a single import route");
+  (* a base fact at n2 is Base; an absent tuple is None *)
+  let n2 = System.node sys "n2" in
+  Alcotest.(check bool) "base fact" true
+    (Node.explain n2 ~rel:"person" (tup [ s "alice"; s "cs" ])
+    = Some Codb_core.Lineage.Base);
+  Alcotest.(check bool) "absent" true
+    (Node.explain n2 ~rel:"person" (tup [ s "nobody"; s "x" ]) = None)
+
+let test_partition_mid_update_stays_sound () =
+  (* cut a pipe while the update is in flight: the simulation must
+     drain without crashing, every node's store stays consistent (no
+     partial tuples), and a follow-up update after healing completes
+     the materialisation *)
+  let cfg = Topology.generate ~seed:91 Topology.Chain ~n:6
+      ~params:{ Topology.default_params with Topology.tuples_per_node = 20 } in
+  let sys = System.build_exn cfg in
+  let _uid = System.start_update sys ~initiator:"n0" in
+  let _ = System.run ~max_events:10 sys in
+  let net = System.net sys in
+  let p = Codb_net.Peer_id.of_string in
+  Codb_net.Network.disconnect net (p "n2") (p "n3");
+  let _ = System.run sys in
+  (* sound: whatever arrived is a subset of what a full run produces *)
+  let full = System.build_exn (Topology.generate ~seed:91 Topology.Chain ~n:6
+      ~params:{ Topology.default_params with Topology.tuples_per_node = 20 }) in
+  let _ = System.run_update full ~initiator:"n0" in
+  let q = parse_query "o(x, y) <- data(x, y)" in
+  List.iter
+    (fun name ->
+      let partial = System.local_answers sys ~at:name q in
+      let complete = System.local_answers full ~at:name q in
+      Alcotest.(check bool) (name ^ " sound") true
+        (List.for_all (fun t -> List.exists (Tuple.equal t) complete) partial))
+    (System.node_names sys);
+  (* heal and re-run: now everything arrives *)
+  Codb_net.Network.connect net (p "n2") (p "n3");
+  let _ = System.run_update sys ~initiator:"n0" in
+  check_tuples "n0 complete after healing"
+    (System.local_answers full ~at:"n0" q)
+    (System.local_answers sys ~at:"n0" q)
+
+let test_divergent_ablation_is_bounded () =
+  (* DESIGN.md: disabling subsumption dedup on a cyclic network with
+     existential heads makes the fix-point diverge (every lap mints
+     fresh nulls).  The event bound must stop it cleanly: the run ends,
+     the update is simply not finished. *)
+  let cfg =
+    parse_config
+      {|
+node a { relation r(x: int, y: int); fact r(1, 10); }
+node b { relation r(x: int, y: int); }
+rule ab at a: r(x, z) <- b: r(x, y);
+rule ba at b: r(x, z) <- a: r(x, y);
+|}
+  in
+  (* both de-duplication devices must fail for the loop to run away:
+     the sent cache alone recognises the repeated hole-tuple, and
+     subsumption alone recognises the existing witness *)
+  let opts =
+    { Options.default with Options.use_subsumption_dedup = false;
+      use_sent_cache = false; max_update_events = 2000 }
+  in
+  let sys = System.build_exn ~opts cfg in
+  let uid = System.start_update sys ~initiator:"a" in
+  let events = System.run sys in
+  Alcotest.(check bool) "hit the bound" true (events >= 2000);
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "not finished (diverging)" false report.Report.ur_all_finished;
+  (* either device alone restores convergence *)
+  let converges opts =
+    let sys = System.build_exn ~opts cfg in
+    let uid = System.run_update sys ~initiator:"a" in
+    (Option.get (Report.update_report (System.snapshots sys) uid)).Report.ur_all_finished
+  in
+  Alcotest.(check bool) "sent cache alone converges" true
+    (converges { Options.default with Options.use_subsumption_dedup = false });
+  Alcotest.(check bool) "subsumption alone converges" true
+    (converges { Options.default with Options.use_sent_cache = false })
+
+let test_soak_random_glav_network () =
+  (* a larger random network with the full rule mix: terminates and
+     saturates *)
+  let edges =
+    Topology.edges
+      ~rng:(Codb_workload.Rng.make ~seed:92)
+      (Topology.Random_graph 0.08) ~n:24
+  in
+  let backbone = List.init 23 (fun k -> (k, k + 1)) in
+  let edges = edges @ List.filter (fun e -> not (List.mem e edges)) backbone in
+  let spec =
+    { Codb_workload.Glavgen.default_spec with
+      Codb_workload.Glavgen.tuples_per_relation = 8 }
+  in
+  let cfg = Codb_workload.Glavgen.generate ~spec ~seed:92 ~edges ~n:24 () in
+  let sys = System.build_exn cfg in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  Alcotest.(check bool) "terminates" true report.Report.ur_all_finished;
+  Alcotest.(check int) "all nodes took part" 24 report.Report.ur_nodes;
+  let saturated (r : Config.rule_decl) =
+    let source_node = System.node sys r.Config.source in
+    let importer = System.node sys r.Config.importer in
+    let head_rel = r.Config.rule_query.Query.head.Codb_cq.Atom.rel in
+    let derivable = Codb_core.Wrapper.eval_rule_full source_node.Node.store r in
+    let target = Codb_relalg.Database.relation importer.Node.store head_rel in
+    List.for_all (fun t -> Relation.subsumed target t) derivable
+  in
+  Alcotest.(check bool) "saturated" true
+    (List.for_all saturated (System.config sys).Config.rules)
+
+let suite =
+  [
+    Alcotest.test_case "chain materialises all data" `Quick test_chain_materialises;
+    Alcotest.test_case "lineage records imports" `Quick test_lineage_records_imports;
+    Alcotest.test_case "partition mid-update stays sound" `Quick
+      test_partition_mid_update_stays_sound;
+    Alcotest.test_case "soak: random GLAV network" `Slow test_soak_random_glav_network;
+    Alcotest.test_case "divergent ablation is bounded" `Quick
+      test_divergent_ablation_is_bounded;
+    Alcotest.test_case "chain terminates and closes links" `Quick
+      test_chain_terminates_and_closes;
+    Alcotest.test_case "initiator position does not matter" `Quick
+      test_chain_initiator_elsewhere;
+    Alcotest.test_case "update is idempotent" `Quick test_update_idempotent;
+    Alcotest.test_case "existential heads mint marked nulls" `Quick
+      test_existential_head_creates_nulls;
+    Alcotest.test_case "existential cycle terminates" `Quick
+      test_existential_cycle_terminates;
+    Alcotest.test_case "copy cycle reaches the union" `Quick
+      test_copy_cycle_reaches_fixpoint;
+    Alcotest.test_case "join rule with comparison" `Quick test_join_rule_across_relations;
+    Alcotest.test_case "transitive dependency" `Quick test_transitive_join_dependency;
+    Alcotest.test_case "mediator node forwards" `Quick test_mediator_node_forwards;
+    Alcotest.test_case "inconsistency does not propagate" `Quick
+      test_inconsistent_node_does_not_export;
+    Alcotest.test_case "duplicate suppression on diamonds" `Quick
+      test_dedup_suppresses_duplicates;
+    Alcotest.test_case "sent cache bounds clique traffic" `Quick
+      test_sent_cache_prevents_resend;
+    Alcotest.test_case "trivial update on a lonely node" `Quick
+      test_no_acquaintances_trivial_update;
+    Alcotest.test_case "two concurrent updates" `Quick test_concurrent_updates;
+    Alcotest.test_case "grid update" `Quick test_grid_update_counts;
+    Alcotest.test_case "link dependency computation" `Quick test_deps_relevance;
+    Alcotest.test_case "ablation: naive delta, same fix-point" `Quick
+      test_ablation_naive_delta_same_result;
+    Alcotest.test_case "ablation: no sent cache, same fix-point" `Quick
+      test_ablation_no_sent_cache_same_result_more_traffic;
+  ]

@@ -1,0 +1,88 @@
+open Helpers
+
+let test_compare_scalars () =
+  Alcotest.(check bool) "int order" true (Value.compare (i 1) (i 2) < 0);
+  Alcotest.(check bool) "int eq" true (Value.equal (i 3) (i 3));
+  Alcotest.(check bool) "str order" true (Value.compare (s "a") (s "b") < 0);
+  Alcotest.(check bool)
+    "float eq" true
+    (Value.equal (Value.Float 1.5) (Value.Float 1.5));
+  Alcotest.(check bool)
+    "bool order" true
+    (Value.compare (Value.Bool false) (Value.Bool true) < 0)
+
+let test_cross_constructor_order_total () =
+  let values =
+    [ i 1; Value.Float 1.0; s "x"; Value.Bool true;
+      Value.Null { null_id = 1; null_rule = "r" }; Value.Hole 0 ]
+  in
+  (* compare must be a total order: antisymmetric and transitive on
+     this sample *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          Alcotest.(check bool) "antisymmetry" true (compare ab 0 = compare 0 ba))
+        values)
+    values
+
+let test_null_identity () =
+  let n1 = Value.fresh_null ~rule:"r1" in
+  let n2 = Value.fresh_null ~rule:"r1" in
+  Alcotest.(check bool) "null equals itself" true (Value.equal n1 n1);
+  Alcotest.(check bool) "distinct nulls differ" false (Value.equal n1 n2)
+
+let test_null_counter () =
+  Value.reset_null_counter ();
+  let _ = Value.fresh_null ~rule:"a" in
+  let _ = Value.fresh_null ~rule:"b" in
+  Alcotest.(check int) "two nulls" 2 (Value.null_counter ())
+
+let test_conforms () =
+  Alcotest.(check bool) "int conforms" true (Value.conforms Value.Tint (i 5));
+  Alcotest.(check bool) "int vs string" false (Value.conforms Value.Tstring (i 5));
+  let null = Value.fresh_null ~rule:"r" in
+  Alcotest.(check bool) "null conforms to int" true (Value.conforms Value.Tint null);
+  Alcotest.(check bool)
+    "null conforms to string" true
+    (Value.conforms Value.Tstring null);
+  Alcotest.(check bool) "hole conforms" true (Value.conforms Value.Tint (Value.Hole 0))
+
+let test_type_of () =
+  Alcotest.(check bool) "int" true (Value.type_of (i 1) = Some Value.Tint);
+  Alcotest.(check bool) "null has no type" true (Value.type_of (Value.Hole 1) = None)
+
+let test_ty_round_trip () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool)
+        "ty round trip" true
+        (Value.ty_of_string (Value.string_of_ty ty) = Some ty))
+    [ Value.Tint; Value.Tfloat; Value.Tstring; Value.Tbool ];
+  Alcotest.(check bool) "unknown ty" true (Value.ty_of_string "decimal" = None)
+
+let test_size_bytes () =
+  Alcotest.(check int) "int size" 8 (Value.size_bytes (i 5));
+  Alcotest.(check int) "str size" (4 + 3) (Value.size_bytes (s "abc"));
+  Alcotest.(check bool) "bool small" true (Value.size_bytes (Value.Bool true) <= 8)
+
+let test_is_predicates () =
+  Alcotest.(check bool) "is_null" true (Value.is_null (Value.fresh_null ~rule:"r"));
+  Alcotest.(check bool) "int not null" false (Value.is_null (i 1));
+  Alcotest.(check bool) "is_hole" true (Value.is_hole (Value.Hole 2));
+  Alcotest.(check bool) "null not hole" false (Value.is_hole (Value.fresh_null ~rule:"r"))
+
+let suite =
+  [
+    Alcotest.test_case "compare scalars" `Quick test_compare_scalars;
+    Alcotest.test_case "total order across constructors" `Quick
+      test_cross_constructor_order_total;
+    Alcotest.test_case "marked nulls are self-identical" `Quick test_null_identity;
+    Alcotest.test_case "null counter" `Quick test_null_counter;
+    Alcotest.test_case "type conformance" `Quick test_conforms;
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "ty string round trip" `Quick test_ty_round_trip;
+    Alcotest.test_case "wire sizes" `Quick test_size_bytes;
+    Alcotest.test_case "is_null / is_hole" `Quick test_is_predicates;
+  ]

@@ -1,0 +1,132 @@
+open Helpers
+module Rng = Codb_workload.Rng
+module Datagen = Codb_workload.Datagen
+
+let test_rng_deterministic () =
+  let draw seed = List.init 10 (fun _ -> Rng.int (Rng.make ~seed) 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (draw 42) (draw 42);
+  Alcotest.(check bool) "different seeds differ" true (draw 42 <> draw 43)
+
+let test_rng_bounds () =
+  let rng = Rng.make ~seed:1 in
+  for _ = 1 to 200 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    let y = Rng.int_range rng 5 9 in
+    Alcotest.(check bool) "inclusive range" true (y >= 5 && y <= 9)
+  done;
+  Alcotest.(check bool) "bad bound" true
+    (try
+       ignore (Rng.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rng_pick_shuffle () =
+  let rng = Rng.make ~seed:2 in
+  let l = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (List.mem (Rng.pick rng l) l)
+  done;
+  let shuffled = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "permutation" l (List.sort compare shuffled)
+
+let test_zipf_skews_low_ranks () =
+  let rng = Rng.make ~seed:3 in
+  let n = 50 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to 5000 do
+    let r = Rng.zipf rng ~n ~s:1.2 in
+    Alcotest.(check bool) "rank in range" true (r >= 1 && r <= n);
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates rank 25" true (counts.(1) > counts.(25))
+
+let test_datagen_conforms () =
+  let rng = Rng.make ~seed:4 in
+  let schema =
+    Schema.make "t"
+      [ ("a", Value.Tint); ("b", Value.Tfloat); ("c", Value.Tstring); ("d", Value.Tbool) ]
+  in
+  List.iter
+    (fun t -> Alcotest.(check bool) "conforms" true (Schema.conforms schema t))
+    (Datagen.tuples rng Datagen.default_profile schema ~count:100)
+
+let test_distinct_tuples_distinct () =
+  let rng = Rng.make ~seed:5 in
+  let ts =
+    Datagen.distinct_tuples rng Datagen.default_profile r_schema ~count:40
+  in
+  let set = Relation.Tuple_set.of_list ts in
+  Alcotest.(check int) "all distinct" (List.length ts) (Relation.Tuple_set.cardinal set)
+
+let test_distinct_tuples_small_domain () =
+  let rng = Rng.make ~seed:6 in
+  let tiny = { Datagen.domain_size = 2; skew = 0.0 } in
+  let ts = Datagen.distinct_tuples rng tiny r_schema ~count:100 in
+  (* only 4 distinct tuples exist; the generator must stop early
+     rather than loop forever *)
+  Alcotest.(check bool) "bounded by domain" true (List.length ts <= 4)
+
+module Glavgen = Codb_workload.Glavgen
+module Topology = Codb_core.Topology
+
+let test_glavgen_validates () =
+  List.iter
+    (fun (shape, n) ->
+      let edges = Topology.edges shape ~n in
+      let cfg = Glavgen.generate ~seed:7 ~edges ~n () in
+      match Config.validate cfg with
+      | Ok () -> ()
+      | Error errors ->
+          Alcotest.failf "%s invalid: %s" (Topology.shape_name shape)
+            (String.concat "; " errors))
+    [ (Topology.Chain, 5); (Topology.Ring, 4); (Topology.Clique, 3) ]
+
+let test_glavgen_rule_mix () =
+  let spec =
+    { Glavgen.default_spec with Glavgen.join_frac = 1.0; rules_per_edge = 2 }
+  in
+  let edges = Topology.edges Topology.Chain ~n:4 in
+  let cfg = Glavgen.generate ~spec ~seed:8 ~edges ~n:4 () in
+  Alcotest.(check int) "two rules per edge" 6 (List.length cfg.Config.rules);
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Config.rule_id ^ " is a join")
+        2
+        (List.length r.Config.rule_query.Query.body))
+    cfg.Config.rules
+
+let test_glavgen_deterministic () =
+  let edges = Topology.edges Topology.Ring ~n:4 in
+  let text seed =
+    Codb_cq.Pretty.config_to_string (Glavgen.generate ~seed ~edges ~n:4 ())
+  in
+  Alcotest.(check string) "same seed" (text 3) (text 3);
+  Alcotest.(check bool) "different seed" true (text 3 <> text 4)
+
+let test_glavgen_runs_to_fixpoint () =
+  let edges = Topology.edges Topology.Ring ~n:4 in
+  let spec = { Glavgen.default_spec with Glavgen.tuples_per_relation = 10 } in
+  let cfg = Glavgen.generate ~spec ~seed:9 ~edges ~n:4 () in
+  let sys = Codb_core.System.build_exn cfg in
+  let uid = Codb_core.System.run_update sys ~initiator:"n0" in
+  let report =
+    Option.get (Codb_core.Report.update_report (Codb_core.System.snapshots sys) uid)
+  in
+  Alcotest.(check bool) "terminates" true report.Codb_core.Report.ur_all_finished
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "glav networks validate" `Quick test_glavgen_validates;
+    Alcotest.test_case "glav rule mix" `Quick test_glavgen_rule_mix;
+    Alcotest.test_case "glav generation deterministic" `Quick test_glavgen_deterministic;
+    Alcotest.test_case "glav ring terminates" `Quick test_glavgen_runs_to_fixpoint;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "pick and shuffle" `Quick test_rng_pick_shuffle;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skews_low_ranks;
+    Alcotest.test_case "generated tuples conform" `Quick test_datagen_conforms;
+    Alcotest.test_case "distinct tuples are distinct" `Quick test_distinct_tuples_distinct;
+    Alcotest.test_case "small domains terminate" `Quick test_distinct_tuples_small_domain;
+  ]
