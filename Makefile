@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro examples clean
+.PHONY: all build test bench experiments micro cache-bench examples clean
 
 all: build
 
@@ -18,6 +18,9 @@ experiments:
 
 micro:
 	dune exec bench/main.exe -- micro
+
+cache-bench:
+	dune exec bench/main.exe -- e9
 
 examples: build
 	dune exec examples/quickstart.exe

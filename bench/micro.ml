@@ -1,4 +1,4 @@
-(* E9 — bechamel micro-benchmarks of the engine primitives:
+(* Bechamel micro-benchmarks of the engine primitives:
    conjunctive-query evaluation (scan / join / self-join), semi-naive
    delta steps, relation insertion, rule-file parsing and CQ
    containment. *)
@@ -44,7 +44,7 @@ let eval_test name query size =
   Test.make ~name:(Printf.sprintf "%s/%d" name size)
     (Staged.stage (fun () -> ignore (Eval.answer_tuples source query)))
 
-(* the same join without hash indexes: the E9 ablation for the
+(* the same join without hash indexes: the ablation for the
    index-probing access path *)
 let eval_noindex_test name query size =
   let db = make_db size in
@@ -144,7 +144,7 @@ let run () =
       results []
   in
   let rows = List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows in
-  Tables.print ~title:"E9 - micro-benchmarks (bechamel, OLS on monotonic clock)"
+  Tables.print ~title:"micro-benchmarks (bechamel, OLS on monotonic clock)"
     ~header:[ "benchmark"; "ns/run"; "r^2" ]
     (List.map
        (fun (name, ns, r2) ->

@@ -5,6 +5,7 @@
      generate  emit a synthetic network file for a given topology
      update    run a global update and print the super-peer report
      query     answer a conjunctive query at a node
+     cache     exercise the query-answer cache on a repeated workload
      discover  run topology discovery from a node
      info      print the parsed network structure
 
@@ -12,6 +13,7 @@
    README. *)
 
 module System = Codb_core.System
+module Options = Codb_core.Options
 module Topology = Codb_core.Topology
 module Report = Codb_core.Report
 module Parser = Codb_cq.Parser
@@ -27,9 +29,9 @@ let read_file path =
   close_in ic;
   contents
 
-let load_system path =
+let load_system ?opts path =
   match Parser.load_config (read_file path) with
-  | Ok cfg -> Ok (System.build_exn cfg)
+  | Ok cfg -> Ok (System.build_exn ?opts cfg)
   | Error errors -> Error (String.concat "\n" errors)
 
 let or_die = function
@@ -102,15 +104,17 @@ let update_cmd file initiator verbose show_trace =
 
 (* --- query --------------------------------------------------------- *)
 
-let query_cmd file at text after_update scoped certain_only =
-  let sys = or_die (load_system file) in
-  let q =
-    match Parser.parse_query text with
-    | Ok q -> q
-    | Error e ->
-        prerr_endline e;
-        exit 1
-  in
+let parse_query_or_die text =
+  match Parser.parse_query text with
+  | Ok q -> q
+  | Error e ->
+      prerr_endline e;
+      exit 1
+
+let query_cmd file at text after_update scoped certain_only use_cache repeat =
+  let opts = if use_cache then Options.with_cache else Options.default in
+  let sys = or_die (load_system ~opts file) in
+  let q = parse_query_or_die text in
   let answers =
     if scoped then begin
       let _ = System.run_scoped_update sys ~at q in
@@ -121,7 +125,11 @@ let query_cmd file at text after_update scoped certain_only =
       System.local_answers sys ~at q
     end
     else begin
-      let outcome = System.run_query sys ~at q in
+      let outcome = ref (System.run_query sys ~at q) in
+      for _ = 2 to max 1 repeat do
+        outcome := System.run_query sys ~at q
+      done;
+      let outcome = !outcome in
       Fmt.pr "(fetched with %d data messages, %.4fs simulated)@."
         outcome.System.qo_data_msgs
         (outcome.System.qo_finished -. outcome.System.qo_started);
@@ -131,6 +139,41 @@ let query_cmd file at text after_update scoped certain_only =
   let answers = if certain_only then Codb_cq.Eval.certain answers else answers in
   List.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) answers;
   Fmt.pr "%d answer(s)@." (List.length answers);
+  if use_cache then Fmt.pr "%a@." Report.pp_cache_report (Report.cache_report (System.snapshots sys));
+  0
+
+(* --- cache --------------------------------------------------------- *)
+
+let cache_cmd file at text repeat update_between capacity max_bytes ttl no_containment =
+  let opts =
+    {
+      Options.with_cache with
+      Options.cache_capacity = capacity;
+      cache_max_bytes = max_bytes;
+      cache_ttl = ttl;
+      cache_containment = not no_containment;
+    }
+  in
+  let sys = or_die (load_system ~opts file) in
+  let q = parse_query_or_die text in
+  for i = 1 to max 1 repeat do
+    let before = (Codb_net.Network.counters (System.net sys)).Codb_net.Network.delivered in
+    let outcome = System.run_query sys ~at q in
+    let after = (Codb_net.Network.counters (System.net sys)).Codb_net.Network.delivered in
+    Fmt.pr "run %d: %d answer(s), %d data message(s), %d network message(s), %.4fs@." i
+      (List.length outcome.System.qo_answers)
+      outcome.System.qo_data_msgs (after - before)
+      (outcome.System.qo_finished -. outcome.System.qo_started);
+    if update_between && i < repeat then begin
+      let _ = System.run_update sys ~initiator:at in
+      Fmt.pr "run %d: global update committed (caches invalidated)@." i
+    end
+  done;
+  Fmt.pr "%a@." Report.pp_cache_report (Report.cache_report (System.snapshots sys));
+  let c = Codb_net.Network.counters (System.net sys) in
+  Fmt.pr "network: %d delivered, %d dropped, %d B carried, %d B dropped@."
+    c.Codb_net.Network.delivered c.Codb_net.Network.dropped
+    c.Codb_net.Network.total_bytes c.Codb_net.Network.dropped_bytes;
   0
 
 (* --- discover ------------------------------------------------------ *)
@@ -290,8 +333,72 @@ let query_t =
   let certain =
     Arg.(value & flag & info [ "certain" ] ~doc:"Print only null-free answers.")
   in
+  let use_cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the per-node semantic query-answer cache (and print its report \
+             afterwards).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Pose the query N times (interesting with $(b,--cache)).")
+  in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain)
+    Term.(
+      const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain
+      $ use_cache $ repeat)
+
+let cache_t =
+  let doc = "Exercise the query-answer cache on a repeated workload." in
+  let at =
+    Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Node to query.")
+  in
+  let text =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. \"ans(x) <- r(x, y)\".")
+  in
+  let repeat =
+    Arg.(value & opt int 3 & info [ "repeat" ] ~docv:"N" ~doc:"Number of runs.")
+  in
+  let update_between =
+    Arg.(
+      value & flag
+      & info [ "update-between" ]
+          ~doc:"Run a global update between runs (shows epoch invalidation).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt int Options.default.Options.cache_capacity
+      & info [ "capacity" ] ~doc:"Max cached queries per node (0 = unbounded).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int Options.default.Options.cache_max_bytes
+      & info [ "max-bytes" ] ~doc:"Max cached answer bytes per node (0 = unbounded).")
+  in
+  let ttl =
+    Arg.(
+      value & opt float 0.0
+      & info [ "ttl" ] ~doc:"Entry lifetime in simulated seconds (0 = no TTL).")
+  in
+  let no_containment =
+    Arg.(
+      value & flag
+      & info [ "no-containment" ]
+          ~doc:"Serve exact hits only (the E9 ablation: no containment-aware hits).")
+  in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(
+      const cache_cmd $ file_arg $ at $ text $ repeat $ update_between $ capacity
+      $ max_bytes $ ttl $ no_containment)
 
 let discover_t =
   let doc = "Run JXTA-style topology discovery from a node." in
@@ -398,8 +505,8 @@ let main =
   Cmd.group
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
-      validate_t; generate_t; update_t; query_t; discover_t; info_t; analyse_t;
-      shell_t; dump_t; load_t;
+      validate_t; generate_t; update_t; query_t; cache_t; discover_t; info_t;
+      analyse_t; shell_t; dump_t; load_t;
     ]
 
 let () = exit (Cmd.eval' main)

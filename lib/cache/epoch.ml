@@ -1,0 +1,29 @@
+module Peer_id = Codb_net.Peer_id
+
+type t = { mutable view : int Peer_id.Map.t; mutable bump_events : int }
+
+type stamp = (Peer_id.t * int) list
+
+let create () = { view = Peer_id.Map.empty; bump_events = 0 }
+
+let current t peer = Option.value ~default:0 (Peer_id.Map.find_opt peer t.view)
+
+let bump t peer =
+  t.view <- Peer_id.Map.add peer (current t peer + 1) t.view;
+  t.bump_events <- t.bump_events + 1
+
+let bump_all t peers = List.iter (bump t) peers
+
+let bumps t = t.bump_events
+
+let stamp t peers =
+  let dedup = List.sort_uniq Peer_id.compare peers in
+  List.map (fun p -> (p, current t p)) dedup
+
+let is_current t s = List.for_all (fun (p, e) -> current t p <= e) s
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%a@]"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (p, e) -> Fmt.pf ppf "%a@%d" Peer_id.pp p e))
+    (Peer_id.Map.bindings t.view)

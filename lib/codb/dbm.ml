@@ -28,7 +28,7 @@ let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
       let stats =
         Stats.snapshot
           ~store_tuples:(Database.cardinal node.Node.store)
-          node.Node.stats
+          ?cache:(Node.cache_snapshot node) node.Node.stats
       in
       ignore (rt.Runtime.send ~dst:src (Payload.Stats_response { stats }))
   | Payload.Stats_response _ ->

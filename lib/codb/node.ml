@@ -18,6 +18,7 @@ type t = {
   mutable rules_version : int;
   mutable known_peers : Peer_id.Set.t;
   seen_probes : (string, unit) Hashtbl.t;
+  mutable cache : Codb_cache.Qcache.t option;
 }
 
 let create decl =
@@ -41,6 +42,7 @@ let create decl =
     rules_version = 0;
     known_peers = Peer_id.Set.empty;
     seen_probes = Hashtbl.create 8;
+    cache = None;
   }
 
 let fresh_serial node =
@@ -50,9 +52,44 @@ let fresh_serial node =
 let fresh_ref node =
   Printf.sprintf "%s/%d" (Peer_id.to_string node.node_id) (fresh_serial node)
 
+let configure_cache node (opts : Options.t) =
+  node.cache <-
+    (if opts.Options.use_query_cache then
+       Some
+         (Codb_cache.Qcache.create ~max_entries:opts.Options.cache_capacity
+            ~max_bytes:opts.Options.cache_max_bytes ~ttl:opts.Options.cache_ttl
+            ~containment:opts.Options.cache_containment ())
+     else None)
+
 let set_rules node ~outgoing ~incoming =
   node.outgoing <- outgoing;
-  node.incoming <- incoming
+  node.incoming <- incoming;
+  (* acquaintances and rule bodies changed: cached answers may rest on
+     rules that no longer exist *)
+  Option.iter Codb_cache.Qcache.clear node.cache
+
+let cache_snapshot node =
+  Option.map
+    (fun cache ->
+      let c = Codb_cache.Qcache.counters cache in
+      {
+        Stats.csn_hits_exact = c.Codb_cache.Qcache.hits_exact;
+        csn_hits_containment = c.Codb_cache.Qcache.hits_containment;
+        csn_misses = c.Codb_cache.Qcache.misses;
+        csn_stores = c.Codb_cache.Qcache.stores;
+        csn_invalidations = c.Codb_cache.Qcache.epoch_invalidations;
+        csn_expirations = c.Codb_cache.Qcache.ttl_expirations;
+        csn_evictions = c.Codb_cache.Qcache.evictions;
+        csn_bytes_served = c.Codb_cache.Qcache.bytes_served;
+        csn_entries = c.Codb_cache.Qcache.entries;
+        csn_stored_bytes = c.Codb_cache.Qcache.stored_bytes;
+      })
+    node.cache
+
+let note_local_write node =
+  Option.iter
+    (fun cache -> Codb_cache.Qcache.note_update cache [ node.node_id ])
+    node.cache
 
 let find_rule rules id = List.find_opt (fun r -> String.equal r.Config.rule_id id) rules
 

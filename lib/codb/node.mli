@@ -35,6 +35,9 @@ type t = {
   mutable known_peers : Peer_id.Set.t;  (** filled by discovery *)
   seen_probes : (string, unit) Hashtbl.t;
       (** discovery probes already forwarded *)
+  mutable cache : Codb_cache.Qcache.t option;
+      (** the semantic query-answer cache; [None] unless
+          {!Options.use_query_cache} *)
 }
 
 val create : Config.node_decl -> t
@@ -46,8 +49,22 @@ val fresh_ref : t -> string
 (** A request reference unique across the network
     ([<node>/<serial>]). *)
 
+val configure_cache : t -> Options.t -> unit
+(** Install (or remove) the query-answer cache according to the
+    options; called once per node by {!System.build}. *)
+
+val cache_snapshot : t -> Stats.cache_snap option
+(** Freeze the cache counters for a statistics snapshot. *)
+
+val note_local_write : t -> unit
+(** Bump this node's own epoch after a direct store mutation that
+    bypassed the update protocol (fact insertion, store import), so
+    cached answers that depended on the old contents are dropped. *)
+
 val set_rules :
   t -> outgoing:Config.rule_decl list -> incoming:Config.rule_decl list -> unit
+(** Replace the coordination rules.  Clears the query-answer cache:
+    cached answers may rest on rules that no longer exist. *)
 
 val rule_out : t -> string -> Config.rule_decl option
 (** Find one of this node's outgoing rules by id. *)

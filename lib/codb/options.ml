@@ -5,6 +5,11 @@ type t = {
   latency : float;
   byte_cost : float;
   max_update_events : int;
+  use_query_cache : bool;
+  cache_capacity : int;
+  cache_max_bytes : int;
+  cache_ttl : float;
+  cache_containment : bool;
 }
 
 let default =
@@ -15,4 +20,32 @@ let default =
     latency = 0.001;
     byte_cost = 0.000001;
     max_update_events = 2_000_000;
+    use_query_cache = false;
+    cache_capacity = 128;
+    cache_max_bytes = 4 * 1024 * 1024;
+    cache_ttl = 0.0;
+    cache_containment = true;
   }
+
+let with_cache =
+  { default with use_query_cache = true }
+
+let validate t =
+  let errors = ref [] in
+  let reject message = errors := message :: !errors in
+  if t.latency < 0.0 then
+    reject (Printf.sprintf "options: latency must be >= 0 (got %g)" t.latency);
+  if t.byte_cost < 0.0 then
+    reject (Printf.sprintf "options: byte_cost must be >= 0 (got %g)" t.byte_cost);
+  if t.max_update_events <= 0 then
+    reject
+      (Printf.sprintf "options: max_update_events must be positive (got %d)"
+         t.max_update_events);
+  if t.cache_capacity < 0 then
+    reject (Printf.sprintf "options: cache_capacity must be >= 0 (got %d)" t.cache_capacity);
+  if t.cache_max_bytes < 0 then
+    reject
+      (Printf.sprintf "options: cache_max_bytes must be >= 0 (got %d)" t.cache_max_bytes);
+  if t.cache_ttl < 0.0 then
+    reject (Printf.sprintf "options: cache_ttl must be >= 0 (got %g)" t.cache_ttl);
+  match List.rev !errors with [] -> Ok () | errors -> Error errors

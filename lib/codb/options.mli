@@ -1,7 +1,7 @@
 (** Tunable behaviour of the coDB algorithms.
 
     The defaults implement the paper; the switches exist for the
-    ablation experiments (E7/E8 in DESIGN.md).  Disabling duplicate
+    ablation experiments (E7/E8/E9 in DESIGN.md).  Disabling duplicate
     suppression on a cyclic network with existential head variables
     can make the fix-point diverge — that is the point of the
     ablation — so [max_update_events] bounds every run. *)
@@ -21,6 +21,26 @@ type t = {
   max_update_events : int;
       (** safety bound on simulator events per run; generous by
           default *)
+  use_query_cache : bool;
+      (** per-node semantic query-answer cache (see
+          {!Codb_cache.Qcache}); off by default so the paper's
+          query-time behaviour is the baseline *)
+  cache_capacity : int;  (** max cached queries per node; 0 = unbounded *)
+  cache_max_bytes : int;  (** max cached answer bytes per node; 0 = unbounded *)
+  cache_ttl : float;
+      (** entry lifetime in simulated seconds; 0 = entries only die by
+          epoch invalidation or capacity pressure *)
+  cache_containment : bool;
+      (** answer lookups from a cached superset query (the E9
+          ablation switch) *)
 }
 
 val default : t
+
+val with_cache : t
+(** {!default} with [use_query_cache = true]. *)
+
+val validate : t -> (unit, string list) result
+(** Reject non-sensical settings: negative [latency] or [byte_cost],
+    non-positive [max_update_events], negative cache capacities or
+    TTL.  Called by {!System.build} before any node is created. *)

@@ -34,6 +34,7 @@ let fan_out rt (st : Q.t) ~rels ~label =
       in
       if sent then begin
         Q.add_pending st ~ref_:sub_ref ~rule:o.Config.rule_id;
+        Q.note_contacted st target;
         Hashtbl.replace rt.Runtime.node.Node.sub_refs sub_ref st.Q.qst_ref
       end
     end
@@ -44,6 +45,11 @@ let complete_root rt (st : Q.t) query set_result =
   let answers = Wrapper.user_answers st.Q.qst_overlay query in
   set_result answers;
   st.Q.qst_closed <- true;
+  (match rt.Runtime.node.Node.cache with
+  | Some cache ->
+      Codb_cache.Qcache.store cache ~now:(rt.Runtime.now ()) query answers
+        ~sources:(me rt :: st.Q.qst_contacted)
+  | None -> ());
   let qs = qstat rt st.Q.qst_query in
   qs.Stats.qs_finished <- Some (rt.Runtime.now ());
   qs.Stats.qs_answers <- List.length answers;
@@ -89,25 +95,53 @@ let start ?on_answer rt qid query =
   if missing <> [] then
     invalid_arg
       ("Query_engine.start: unknown relation(s) " ^ String.concat ", " missing);
-  let _ = qstat rt qid in
+  let qs = qstat rt qid in
   let root_ref = "root:" ^ Ids.string_of_query qid in
-  let overlay = Database.copy rt.Runtime.node.Node.store in
-  let st =
-    Q.create ~query_id:qid ~ref_:root_ref
-      ~kind:
-        (Q.Root { query; result = None; streamed = Q.Tuple_set.empty; on_answer })
-      ~overlay
+  let cache_hit =
+    match rt.Runtime.node.Node.cache with
+    | None -> None
+    | Some cache -> Codb_cache.Qcache.lookup cache ~now:(rt.Runtime.now ()) query
   in
-  Hashtbl.replace rt.Runtime.node.Node.query_instances root_ref st;
-  (* stream the locally available answers right away *)
-  (match st.Q.qst_kind with
-  | Q.Root root ->
-      let local = Wrapper.user_answers overlay query in
-      root.streamed <- notify_fresh ~on_answer ~streamed:root.streamed local
-  | Q.Responder _ -> ());
-  fan_out rt st ~rels:(Query.body_relations query) ~label:[ me rt ];
-  check_completion rt st;
-  root_ref
+  match cache_hit with
+  | Some { Codb_cache.Qcache.answers; kind } ->
+      (* answered entirely from the cache: no diffusion, the root
+         instance is born closed *)
+      let streamed = notify_fresh ~on_answer ~streamed:Q.Tuple_set.empty answers in
+      let st =
+        Q.create ~query_id:qid ~ref_:root_ref
+          ~kind:(Q.Root { query; result = Some answers; streamed; on_answer })
+          ~overlay:(Database.create [])
+      in
+      st.Q.qst_closed <- true;
+      Hashtbl.replace rt.Runtime.node.Node.query_instances root_ref st;
+      qs.Stats.qs_finished <- Some (rt.Runtime.now ());
+      qs.Stats.qs_answers <- List.length answers;
+      qs.Stats.qs_certain <- List.length (Eval.certain answers);
+      qs.Stats.qs_cache <-
+        (match kind with
+        | Codb_cache.Qcache.Exact -> Stats.Cache_hit_exact
+        | Codb_cache.Qcache.By_containment -> Stats.Cache_hit_containment);
+      root_ref
+  | None ->
+      if Option.is_some rt.Runtime.node.Node.cache then
+        qs.Stats.qs_cache <- Stats.Cache_miss;
+      let overlay = Database.copy rt.Runtime.node.Node.store in
+      let st =
+        Q.create ~query_id:qid ~ref_:root_ref
+          ~kind:
+            (Q.Root { query; result = None; streamed = Q.Tuple_set.empty; on_answer })
+          ~overlay
+      in
+      Hashtbl.replace rt.Runtime.node.Node.query_instances root_ref st;
+      (* stream the locally available answers right away *)
+      (match st.Q.qst_kind with
+      | Q.Root root ->
+          let local = Wrapper.user_answers overlay query in
+          root.streamed <- notify_fresh ~on_answer ~streamed:root.streamed local
+      | Q.Responder _ -> ());
+      fan_out rt st ~rels:(Query.body_relations query) ~label:[ me rt ];
+      check_completion rt st;
+      root_ref
 
 let on_request rt ~src ~request_ref ~rule_id ~label qid =
   match Node.rule_in rt.Runtime.node rule_id with

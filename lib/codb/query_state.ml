@@ -22,6 +22,7 @@ type t = {
   mutable qst_pending : pending list;
   mutable qst_sent : Tuple_set.t;
   mutable qst_closed : bool;
+  mutable qst_contacted : Peer_id.t list;
 }
 
 let create ~query_id ~ref_ ~kind ~overlay =
@@ -33,10 +34,15 @@ let create ~query_id ~ref_ ~kind ~overlay =
     qst_pending = [];
     qst_sent = Tuple_set.empty;
     qst_closed = false;
+    qst_contacted = [];
   }
 
 let add_pending st ~ref_ ~rule =
   st.qst_pending <- { p_ref = ref_; p_rule = rule; p_done = false } :: st.qst_pending
+
+let note_contacted st peer =
+  if not (List.mem peer st.qst_contacted) then
+    st.qst_contacted <- peer :: st.qst_contacted
 
 let mark_done st ~ref_ =
   List.iter (fun p -> if String.equal p.p_ref ref_ then p.p_done <- true) st.qst_pending

@@ -47,12 +47,17 @@ type t = {
   mutable qst_pending : pending list;
   mutable qst_sent : Tuple_set.t;  (** responder: tuples already sent upstream *)
   mutable qst_closed : bool;
+  mutable qst_contacted : Peer_id.t list;
+      (** acquaintances we sent sub-requests to; on a root instance
+          these are the cache-stamp sources besides the node itself *)
 }
 
 val create :
   query_id:Ids.query_id -> ref_:string -> kind:kind -> overlay:Database.t -> t
 
 val add_pending : t -> ref_:string -> rule:string -> unit
+
+val note_contacted : t -> Peer_id.t -> unit
 
 val mark_done : t -> ref_:string -> unit
 

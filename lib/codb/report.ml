@@ -107,5 +107,50 @@ let pp_update_report ppf r =
             e.Stats.rts_msgs e.Stats.rts_bytes e.Stats.rts_tuples))
     r.ur_per_rule
 
+type cache_report_row = {
+  cr_node : Codb_net.Peer_id.t;
+  cr_hits : int;
+  cr_misses : int;
+  cr_ratio : float;
+  cr_bytes_served : int;
+  cr_invalidations : int;
+  cr_entries : int;
+}
+
+let cache_report snapshots =
+  let row snap =
+    Option.map
+      (fun (c : Stats.cache_snap) ->
+        let hits = c.Stats.csn_hits_exact + c.Stats.csn_hits_containment in
+        let lookups = hits + c.Stats.csn_misses in
+        {
+          cr_node = snap.Stats.snap_node;
+          cr_hits = hits;
+          cr_misses = c.Stats.csn_misses;
+          cr_ratio =
+            (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
+          cr_bytes_served = c.Stats.csn_bytes_served;
+          cr_invalidations = c.Stats.csn_invalidations;
+          cr_entries = c.Stats.csn_entries;
+        })
+      snap.Stats.snap_cache
+  in
+  List.filter_map row snapshots
+
+let pp_cache_report ppf rows =
+  match rows with
+  | [] -> Fmt.string ppf "query cache: disabled"
+  | rows ->
+      Fmt.pf ppf "@[<v 2>query cache:%a@]"
+        Fmt.(
+          list ~sep:nop (fun ppf r ->
+              Fmt.pf ppf
+                "@,node %-12s %4d hits %4d misses  ratio %.2f  %8d B served  \
+                 %4d invalidated  %4d entries"
+                (Codb_net.Peer_id.to_string r.cr_node)
+                r.cr_hits r.cr_misses r.cr_ratio r.cr_bytes_served r.cr_invalidations
+                r.cr_entries))
+        rows
+
 let pp_network ppf snapshots =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Stats.pp_snapshot) snapshots

@@ -28,5 +28,24 @@ val latest_update_report : Stats.snapshot list -> update_report option
 
 val pp_update_report : update_report Fmt.t
 
+(** {1 Cache effectiveness} *)
+
+type cache_report_row = {
+  cr_node : Codb_net.Peer_id.t;
+  cr_hits : int;  (** exact + containment *)
+  cr_misses : int;
+  cr_ratio : float;  (** hits / lookups, 0 with no lookups *)
+  cr_bytes_served : int;
+  cr_invalidations : int;
+  cr_entries : int;  (** live entries at snapshot time *)
+}
+
+val cache_report : Stats.snapshot list -> cache_report_row list
+(** One row per node whose snapshot carries cache counters (i.e. per
+    node with caching enabled); empty when caching is off
+    network-wide. *)
+
+val pp_cache_report : cache_report_row list Fmt.t
+
 val pp_network : Stats.snapshot list Fmt.t
 (** Full per-node dump, the super-peer's final report body. *)

@@ -22,6 +22,8 @@ type update_stat = {
   mutable us_sent_to : Peer_id.t list;
 }
 
+type cache_outcome = Cache_unused | Cache_miss | Cache_hit_exact | Cache_hit_containment
+
 type query_stat = {
   qs_query : Ids.query_id;
   mutable qs_started : float;
@@ -30,6 +32,7 @@ type query_stat = {
   mutable qs_bytes_in : int;
   mutable qs_answers : int;
   mutable qs_certain : int;
+  mutable qs_cache : cache_outcome;
 }
 
 type t = {
@@ -91,6 +94,7 @@ let query_stat st ~now query_id =
           qs_bytes_in = 0;
           qs_answers = 0;
           qs_certain = 0;
+          qs_cache = Cache_unused;
         }
       in
       Hashtbl.add st.st_queries key s;
@@ -147,6 +151,20 @@ type query_snap = {
   qsn_bytes_in : int;
   qsn_answers : int;
   qsn_certain : int;
+  qsn_cache : cache_outcome;
+}
+
+type cache_snap = {
+  csn_hits_exact : int;
+  csn_hits_containment : int;
+  csn_misses : int;
+  csn_stores : int;
+  csn_invalidations : int;
+  csn_expirations : int;
+  csn_evictions : int;
+  csn_bytes_served : int;
+  csn_entries : int;
+  csn_stored_bytes : int;
 }
 
 type snapshot = {
@@ -155,6 +173,7 @@ type snapshot = {
   snap_store_tuples : int;
   snap_updates : update_snap list;
   snap_queries : query_snap list;
+  snap_cache : cache_snap option;
 }
 
 let snap_update us =
@@ -191,9 +210,10 @@ let snap_query qs =
     qsn_bytes_in = qs.qs_bytes_in;
     qsn_answers = qs.qs_answers;
     qsn_certain = qs.qs_certain;
+    qsn_cache = qs.qs_cache;
   }
 
-let snapshot ?(store_tuples = 0) st =
+let snapshot ?(store_tuples = 0) ?cache st =
   let updates = Hashtbl.fold (fun _ us acc -> snap_update us :: acc) st.st_updates [] in
   let queries = Hashtbl.fold (fun _ qs acc -> snap_query qs :: acc) st.st_queries [] in
   let by_start_u a b = Float.compare a.usn_started b.usn_started in
@@ -204,6 +224,7 @@ let snapshot ?(store_tuples = 0) st =
     snap_store_tuples = store_tuples;
     snap_updates = List.sort by_start_u updates;
     snap_queries = List.sort by_start_q queries;
+    snap_cache = cache;
   }
 
 let snapshot_size_bytes snap =
@@ -213,6 +234,7 @@ let snapshot_size_bytes snap =
       (fun acc u -> acc + 96 + (24 * List.length u.usn_per_rule))
       0 snap.snap_updates
   + (48 * List.length snap.snap_queries)
+  + (match snap.snap_cache with Some _ -> 48 | None -> 0)
 
 let pp_finished ppf = function
   | None -> Fmt.string ppf "unfinished"
@@ -238,15 +260,34 @@ let pp_update_snap ppf u =
             rt.rts_bytes rt.rts_tuples))
     u.usn_per_rule
 
+let cache_outcome_string = function
+  | Cache_unused -> "cache unused"
+  | Cache_miss -> "cache miss"
+  | Cache_hit_exact -> "cache hit (exact)"
+  | Cache_hit_containment -> "cache hit (containment)"
+
 let pp_query_snap ppf q =
-  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in" Ids.pp_query
+  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in%s" Ids.pp_query
     q.qsn_query q.qsn_answers q.qsn_certain q.qsn_data_msgs q.qsn_bytes_in
+    (match q.qsn_cache with
+    | Cache_unused -> ""
+    | outcome -> ", " ^ cache_outcome_string outcome)
+
+let pp_cache_snap ppf c =
+  Fmt.pf ppf
+    "cache: %d exact + %d containment hits, %d misses, %d stores, %d invalidated, \
+     %d expired, %d evicted, %d B served, %d entries (%d B)"
+    c.csn_hits_exact c.csn_hits_containment c.csn_misses c.csn_stores
+    c.csn_invalidations c.csn_expirations c.csn_evictions c.csn_bytes_served
+    c.csn_entries c.csn_stored_bytes
 
 let pp_snapshot ppf s =
-  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a@]" Peer_id.pp s.snap_node
+  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a%a@]" Peer_id.pp s.snap_node
     (if s.snap_inconsistent then "INCONSISTENT" else "consistent")
     s.snap_store_tuples
     Fmt.(list ~sep:nop (fun ppf u -> Fmt.pf ppf "@,%a" pp_update_snap u))
     s.snap_updates
     Fmt.(list ~sep:nop (fun ppf q -> Fmt.pf ppf "@,%a" pp_query_snap q))
     s.snap_queries
+    Fmt.(option (fun ppf c -> Fmt.pf ppf "@,%a" pp_cache_snap c))
+    s.snap_cache

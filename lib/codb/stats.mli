@@ -33,6 +33,12 @@ type update_stat = {
   mutable us_sent_to : Peer_id.t list;  (** importers we sent results to *)
 }
 
+type cache_outcome =
+  | Cache_unused  (** caching disabled for this node *)
+  | Cache_miss
+  | Cache_hit_exact
+  | Cache_hit_containment
+
 type query_stat = {
   qs_query : Ids.query_id;
   mutable qs_started : float;
@@ -41,6 +47,7 @@ type query_stat = {
   mutable qs_bytes_in : int;
   mutable qs_answers : int;
   mutable qs_certain : int;
+  mutable qs_cache : cache_outcome;
 }
 
 type t
@@ -102,6 +109,22 @@ type query_snap = {
   qsn_bytes_in : int;
   qsn_answers : int;
   qsn_certain : int;
+  qsn_cache : cache_outcome;
+}
+
+(** Frozen view of a node's {!Codb_cache.Qcache} counters, shipped in
+    [Stats_response] messages alongside the per-query records. *)
+type cache_snap = {
+  csn_hits_exact : int;
+  csn_hits_containment : int;
+  csn_misses : int;
+  csn_stores : int;
+  csn_invalidations : int;  (** entries dropped for a stale epoch stamp *)
+  csn_expirations : int;
+  csn_evictions : int;
+  csn_bytes_served : int;
+  csn_entries : int;
+  csn_stored_bytes : int;
 }
 
 type snapshot = {
@@ -110,13 +133,16 @@ type snapshot = {
   snap_store_tuples : int;
   snap_updates : update_snap list;
   snap_queries : query_snap list;
+  snap_cache : cache_snap option;  (** [None] when caching is off *)
 }
 
-val snapshot : ?store_tuples:int -> t -> snapshot
+val snapshot : ?store_tuples:int -> ?cache:cache_snap -> t -> snapshot
 
 val snapshot_size_bytes : snapshot -> int
 (** Estimated wire size of a snapshot (for the network simulator). *)
 
 val pp_update_snap : update_snap Fmt.t
+
+val pp_cache_snap : cache_snap Fmt.t
 
 val pp_snapshot : snapshot Fmt.t

@@ -75,6 +75,7 @@ let install_node sys decl =
   if Hashtbl.mem sys.sys_nodes name then
     invalid_arg (Printf.sprintf "System: duplicate node %s" name);
   let node = Node.create decl in
+  Node.configure_cache node sys.sys_opts;
   Node.set_rules node
     ~outgoing:(Config.rules_importing_at sys.sys_config name)
     ~incoming:(Config.rules_sourced_at sys.sys_config name);
@@ -100,6 +101,9 @@ let connect_acquaintances sys =
   List.iter connect_rule sys.sys_config.Config.rules
 
 let build ?(opts = Options.default) cfg =
+  match Options.validate opts with
+  | Error errors -> Error errors
+  | Ok () -> (
   match Config.validate cfg with
   | Error errors -> Error errors
   | Ok () ->
@@ -121,7 +125,7 @@ let build ?(opts = Options.default) cfg =
         List.iter (fun decl -> ignore (install_node sys decl)) cfg.Config.nodes;
         connect_acquaintances sys;
         Ok sys
-      end
+      end)
 
 let build_exn ?opts cfg =
   match build ?opts cfg with
@@ -219,7 +223,8 @@ let collect_stats sys =
 let snapshots sys =
   let snap name =
     let n = node sys name in
-    Stats.snapshot ~store_tuples:(Database.cardinal n.Node.store) n.Node.stats
+    Stats.snapshot ~store_tuples:(Database.cardinal n.Node.store)
+      ?cache:(Node.cache_snapshot n) n.Node.stats
   in
   List.map snap (node_names sys)
 
@@ -255,10 +260,17 @@ let export_stores sys =
 let import_stores sys dumps =
   List.fold_left
     (fun acc (name, text) ->
-      acc + Codb_relalg.Csv.load_database (node sys name).Node.store text)
+      let n = node sys name in
+      let added = Codb_relalg.Csv.load_database n.Node.store text in
+      if added > 0 then Node.note_local_write n;
+      acc + added)
     0 dumps
 
-let insert_fact sys ~at ~rel tuple = Database.insert (node sys at).Node.store rel tuple
+let insert_fact sys ~at ~rel tuple =
+  let n = node sys at in
+  let inserted = Database.insert n.Node.store rel tuple in
+  if inserted then Node.note_local_write n;
+  inserted
 
 let total_tuples sys =
   List.fold_left

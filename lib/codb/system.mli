@@ -13,9 +13,10 @@ module Tuple = Codb_relalg.Tuple
 type t
 
 val build : ?opts:Options.t -> Config.t -> (t, string list) result
-(** Validate the configuration, create all nodes, load their facts,
-    install coordination rules and open the pipes between
-    acquaintances. *)
+(** Validate the options ({!Options.validate}) and the configuration,
+    create all nodes, load their facts, install coordination rules
+    (and, when [opts.use_query_cache], the per-node query-answer
+    caches) and open the pipes between acquaintances. *)
 
 val build_exn : ?opts:Options.t -> Config.t -> t
 (** @raise Invalid_argument with the concatenated validation errors. *)

@@ -28,7 +28,17 @@ let finalize rt (st : U.t) =
   if not st.U.ust_finished then begin
     st.U.ust_finished <- true;
     let us = stat rt st.U.ust_update in
-    us.Stats.us_finished <- Some (rt.Runtime.now ())
+    us.Stats.us_finished <- Some (rt.Runtime.now ());
+    (* the update may have changed our store and every peer the flood
+       reached; cached answers that rest on any of them are now
+       suspect.  Conservative: bump ourselves and all acquaintances
+       (sub-queries only ever contact acquaintances, so these are the
+       only peers a cache stamp can mention). *)
+    match rt.Runtime.node.Node.cache with
+    | Some cache ->
+        Codb_cache.Qcache.note_update cache
+          (rt.Runtime.node.Node.node_id :: Node.acquaintances rt.Runtime.node)
+    | None -> ()
   end
 
 (* May this node export data?  Principle (d): an inconsistent node

@@ -8,6 +8,7 @@ type counters = {
   delivered : int;
   dropped : int;
   total_bytes : int;
+  dropped_bytes : int;
 }
 
 type 'a t = {
@@ -22,6 +23,7 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable total_bytes : int;
+  mutable dropped_bytes : int;
 }
 
 let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of () =
@@ -37,6 +39,7 @@ let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of (
     delivered = 0;
     dropped = 0;
     total_bytes = 0;
+    dropped_bytes = 0;
   }
 
 let pipe_key a b = if Peer_id.compare a b <= 0 then (a, b) else (b, a)
@@ -107,6 +110,7 @@ let deliver net message =
       handler message
   | Some { handler = None } | None ->
       net.dropped <- net.dropped + 1;
+      net.dropped_bytes <- net.dropped_bytes + message.Message.size;
       Log.debug (fun m ->
           m "message #%d dropped at delivery: no live handler at %s"
             message.Message.msg_id
@@ -127,6 +131,7 @@ let send net ~src ~dst payload =
       true
   | Some _ | None ->
       net.dropped <- net.dropped + 1;
+      net.dropped_bytes <- net.dropped_bytes + net.size_of payload + Message.header_bytes;
       Log.debug (fun m ->
           m "message %s -> %s dropped: no open pipe" (Peer_id.to_string src)
             (Peer_id.to_string dst));
@@ -149,4 +154,9 @@ let run ?(max_events = max_int) net =
   loop 0
 
 let counters net =
-  { delivered = net.delivered; dropped = net.dropped; total_bytes = net.total_bytes }
+  {
+    delivered = net.delivered;
+    dropped = net.dropped;
+    total_bytes = net.total_bytes;
+    dropped_bytes = net.dropped_bytes;
+  }

@@ -16,7 +16,10 @@ type 'a t
 type counters = {
   delivered : int;
   dropped : int;
-  total_bytes : int;
+  total_bytes : int;  (** bytes actually delivered *)
+  dropped_bytes : int;
+      (** bytes lost — at send time (no open pipe, envelope included)
+          or at delivery time (peer removed / no handler) *)
 }
 
 val create : ?default_latency:float -> ?default_byte_cost:float -> size_of:('a -> int) -> unit -> 'a t

@@ -16,6 +16,8 @@ let () =
       ("containment", Test_containment.suite);
       ("parser", Test_parser.suite);
       ("net", Test_net.suite);
+      ("options", Test_options.suite);
+      ("cache", Test_cache.suite);
       ("update", Test_update.suite);
       ("protocol", Test_protocol.suite);
       ("control", Test_control.suite);

@@ -87,6 +87,27 @@ let test_removed_peer_drops_at_delivery () =
   let _ = Network.run net in
   Alcotest.(check int) "dropped at delivery" 1 (Network.counters net).Network.dropped
 
+let test_dropped_bytes () =
+  let net = make_net () in
+  Network.add_peer net (p "a");
+  Network.add_peer net (p "b");
+  (* no pipe: dropped at send, envelope included *)
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "12345");
+  let c = Network.counters net in
+  Alcotest.(check int) "send-time dropped bytes" (5 + Message.header_bytes)
+    c.Network.dropped_bytes;
+  Alcotest.(check int) "nothing carried" 0 c.Network.total_bytes;
+  (* delivery-time drop: peer removed while the message is in flight *)
+  Network.connect net (p "a") (p "b");
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "abc");
+  Network.remove_peer net (p "b");
+  let _ = Network.run net in
+  let c = Network.counters net in
+  Alcotest.(check int) "both drops accounted"
+    (5 + 3 + (2 * Message.header_bytes))
+    c.Network.dropped_bytes;
+  Alcotest.(check int) "two dropped messages" 2 c.Network.dropped
+
 let test_fifo_order () =
   (* a large message then a small one: FIFO sequencing must keep the
      order despite the smaller transfer delay *)
@@ -177,6 +198,7 @@ let suite =
     Alcotest.test_case "in-flight survives close" `Quick test_in_flight_survives_close;
     Alcotest.test_case "removed peer drops at delivery" `Quick
       test_removed_peer_drops_at_delivery;
+    Alcotest.test_case "dropped bytes accounting" `Quick test_dropped_bytes;
     Alcotest.test_case "pipes are FIFO per direction" `Quick test_fifo_order;
     Alcotest.test_case "handler re-entrancy" `Quick test_handler_reentrancy;
     Alcotest.test_case "timers" `Quick test_schedule_timer;

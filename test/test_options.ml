@@ -1,0 +1,89 @@
+(* Options.validate and its enforcement at System.build time. *)
+
+module Options = Codb_core.Options
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+
+let ok = function
+  | Ok () -> ()
+  | Error errors -> Alcotest.failf "unexpected rejection: %s" (String.concat "; " errors)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let rejected ~substring = function
+  | Ok () -> Alcotest.failf "expected a rejection mentioning %S" substring
+  | Error errors ->
+      Alcotest.(check bool)
+        (Printf.sprintf "some error mentions %S" substring)
+        true
+        (List.exists (contains ~sub:substring) errors)
+
+let test_default_is_valid () = ok (Options.validate Options.default)
+
+let test_with_cache_is_valid () = ok (Options.validate Options.with_cache)
+
+let test_negative_latency () =
+  rejected ~substring:"latency"
+    (Options.validate { Options.default with Options.latency = -0.5 })
+
+let test_negative_byte_cost () =
+  rejected ~substring:"byte_cost"
+    (Options.validate { Options.default with Options.byte_cost = -1e-9 })
+
+let test_nonpositive_max_events () =
+  rejected ~substring:"max_update_events"
+    (Options.validate { Options.default with Options.max_update_events = 0 });
+  rejected ~substring:"max_update_events"
+    (Options.validate { Options.default with Options.max_update_events = -3 })
+
+let test_negative_cache_settings () =
+  rejected ~substring:"cache_capacity"
+    (Options.validate { Options.default with Options.cache_capacity = -1 });
+  rejected ~substring:"cache_max_bytes"
+    (Options.validate { Options.default with Options.cache_max_bytes = -1 });
+  rejected ~substring:"cache_ttl"
+    (Options.validate { Options.default with Options.cache_ttl = -0.1 })
+
+let test_zero_bounds_are_valid () =
+  (* 0 means unbounded / disabled, not invalid *)
+  ok
+    (Options.validate
+       {
+         Options.default with
+         Options.cache_capacity = 0;
+         cache_max_bytes = 0;
+         cache_ttl = 0.0;
+       })
+
+let test_errors_accumulate () =
+  match
+    Options.validate
+      { Options.default with Options.latency = -1.0; max_update_events = 0 }
+  with
+  | Ok () -> Alcotest.fail "two bad settings accepted"
+  | Error errors -> Alcotest.(check int) "both reported" 2 (List.length errors)
+
+let test_build_rejects_bad_options () =
+  let cfg = Topology.generate ~seed:1 Topology.Chain ~n:2 in
+  match System.build ~opts:{ Options.default with Options.latency = -1.0 } cfg with
+  | Ok _ -> Alcotest.fail "System.build accepted invalid options"
+  | Error errors -> Alcotest.(check bool) "errors reported" true (errors <> [])
+
+let suite =
+  [
+    Alcotest.test_case "default validates" `Quick test_default_is_valid;
+    Alcotest.test_case "with_cache validates" `Quick test_with_cache_is_valid;
+    Alcotest.test_case "negative latency rejected" `Quick test_negative_latency;
+    Alcotest.test_case "negative byte_cost rejected" `Quick test_negative_byte_cost;
+    Alcotest.test_case "non-positive max_update_events rejected" `Quick
+      test_nonpositive_max_events;
+    Alcotest.test_case "negative cache settings rejected" `Quick
+      test_negative_cache_settings;
+    Alcotest.test_case "zero bounds are valid" `Quick test_zero_bounds_are_valid;
+    Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate;
+    Alcotest.test_case "System.build enforces validate" `Quick
+      test_build_rejects_bad_options;
+  ]
