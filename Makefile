@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json examples clean
 
 all: build
 
@@ -21,6 +21,10 @@ micro:
 
 cache-bench:
 	dune exec bench/main.exe -- e9
+
+# planner ablation -> BENCH_planner.json (machine-readable perf trajectory)
+bench-json:
+	dune exec bench/main.exe -- bench-json
 
 examples: build
 	dune exec examples/quickstart.exe

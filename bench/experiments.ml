@@ -583,9 +583,16 @@ let e13 () =
          (0.001, 0.00001);
        ])
 
+(* E14 — planner ablation (the cost-based join planner of lib/cq/plan
+   vs the legacy greedy order, with and without composite indexes), on
+   a skewed multi-join workload.  Implemented in Planner_bench so that
+   `bench-json` can run the same measurement headlessly and emit
+   BENCH_planner.json. *)
+let e14 () = Planner_bench.run ~json:true ()
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
             ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-            ("e12", e12); ("e13", e13) ]
+            ("e12", e12); ("e13", e13); ("e14", e14) ]
 
 let run names =
   let wanted (name, _) = names = [] || List.mem name names in

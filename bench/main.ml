@@ -4,32 +4,42 @@
      dune exec bench/main.exe -- experiments  # the numbered experiments only
      dune exec bench/main.exe -- e3 e5        # selected experiments
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+     dune exec bench/main.exe -- bench-json   # planner ablation -> BENCH_planner.json
+     dune exec bench/main.exe -- bench-json --tiny  # CI smoke workload
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec extract_csv acc = function
+  let tiny = ref false in
+  let rec extract acc = function
     | "--csv" :: dir :: rest ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
         Tables.csv_dir := Some dir;
-        extract_csv acc rest
-    | arg :: rest -> extract_csv (arg :: acc) rest
+        extract acc rest
+    | "--tiny" :: rest ->
+        tiny := true;
+        extract acc rest
+    | arg :: rest -> extract (arg :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_csv [] args in
+  let args = extract [] args in
   match args with
   | [] ->
       Experiments.run [];
       Micro.run ()
   | [ "experiments" ] -> Experiments.run []
   | [ "micro" ] -> Micro.run ()
+  | [ "bench-json" ] -> Planner_bench.run ~tiny:!tiny ()
   | names ->
       if List.mem "micro" names then Micro.run ();
-      let experiment_names = List.filter (fun n -> n <> "micro") names in
+      if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
+      let experiment_names =
+        List.filter (fun n -> n <> "micro" && n <> "bench-json") names
+      in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
-        Printf.eprintf "unknown experiment(s): %s (known: %s, micro)\n"
+        Printf.eprintf "unknown experiment(s): %s (known: %s, micro, bench-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

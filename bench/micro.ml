@@ -44,6 +44,15 @@ let eval_test name query size =
   Test.make ~name:(Printf.sprintf "%s/%d" name size)
     (Staged.stage (fun () -> ignore (Eval.answer_tuples source query)))
 
+(* the same join through the legacy left-to-right evaluator: the
+   ablation for the cost-based planner *)
+let eval_legacy_test name query size =
+  let db = make_db size in
+  let source = Eval.of_database db in
+  Test.make ~name:(Printf.sprintf "%s-legacy/%d" name size)
+    (Staged.stage (fun () ->
+         ignore (Eval.answer_tuples ~planner:false source query)))
+
 (* the same join without hash indexes: the ablation for the
    index-probing access path *)
 let eval_noindex_test name query size =
@@ -109,8 +118,10 @@ let tests =
       eval_test "scan" scan_query 1000;
       eval_test "join" join_query 100;
       eval_test "join" join_query 1000;
+      eval_legacy_test "join" join_query 1000;
       eval_noindex_test "join" join_query 1000;
       eval_test "self-join" self_join_query 100;
+      eval_legacy_test "self-join" self_join_query 100;
       delta_test 1000;
       delta_test 10000;
       insert_test 1000;

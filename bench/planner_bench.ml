@@ -1,0 +1,186 @@
+(* Planner ablation benchmark (experiment E14 and `make bench-json`).
+
+   A multi-join workload with skewed relation sizes — the triangle
+   query
+
+     ans(x, z) <- e(x, y), f(y, z), e(x, z)
+
+   over a large Zipf-skewed edge relation [e] and a small [f] — is
+   evaluated three ways:
+
+     legacy         the pre-planner left-to-right greedy order with
+                    single-column probes on the first ground argument
+     single-column  the cost-based plan, probes capped at one column
+     composite      the cost-based plan with composite index probes
+                    (the default evaluator configuration)
+
+   The closing atom e(x, z) arrives with both arguments bound: the
+   composite plan answers it with one O(1) probe on both columns,
+   while the other variants scan the whole x-bucket of a (skew-heavy)
+   hub vertex for every candidate binding.  Results are printed as a
+   table and written to BENCH_planner.json for trend tracking. *)
+
+module Database = Codb_relalg.Database
+module Schema = Codb_relalg.Schema
+module Value = Codb_relalg.Value
+module Eval = Codb_cq.Eval
+module Parser = Codb_cq.Parser
+module Rng = Codb_workload.Rng
+module Datagen = Codb_workload.Datagen
+
+let e_schema = Schema.make "e" [ ("a", Value.Tint); ("b", Value.Tint) ]
+
+let f_schema = Schema.make "f" [ ("b", Value.Tint); ("c", Value.Tint) ]
+
+let triangle_query =
+  match Parser.parse_query "ans(x, z) <- e(x, y), f(y, z), e(x, z)" with
+  | Ok q -> q
+  | Error e -> failwith e
+
+type workload = { wl_e : int; wl_f : int; wl_domain : int; wl_skew : float }
+
+let workload ~tiny =
+  if tiny then { wl_e = 600; wl_f = 60; wl_domain = 100; wl_skew = 1.0 }
+  else { wl_e = 20_000; wl_f = 500; wl_domain = 1_000; wl_skew = 1.0 }
+
+let make_db wl =
+  let rng = Rng.make ~seed:1404 in
+  let profile = { Datagen.domain_size = wl.wl_domain; skew = wl.wl_skew } in
+  let db = Database.create [ e_schema; f_schema ] in
+  ignore (Database.insert_all db "e" (Datagen.tuples rng profile e_schema ~count:wl.wl_e));
+  ignore (Database.insert_all db "f" (Datagen.tuples rng profile f_schema ~count:wl.wl_f));
+  db
+
+type variant = { v_name : string; v_planner : bool; v_max_probe_cols : int option }
+
+let variants =
+  [
+    { v_name = "legacy"; v_planner = false; v_max_probe_cols = None };
+    { v_name = "single-column"; v_planner = true; v_max_probe_cols = Some 1 };
+    { v_name = "composite"; v_planner = true; v_max_probe_cols = None };
+  ]
+
+type measurement = {
+  m_name : string;
+  m_answers : int;
+  m_runs : int;
+  m_wall_s : float;  (* total wall time of the timed runs *)
+  m_ops_per_sec : float;
+  m_probes : int;  (* per run *)
+  m_scans : int;  (* per run *)
+}
+
+let measure ~runs wl v =
+  (* fresh database per variant so lazily built indexes are paid for
+     (and warmed) inside the variant being measured *)
+  let db = make_db wl in
+  let source = Eval.of_database db in
+  let eval () =
+    Eval.answer_tuples ~planner:v.v_planner ?max_probe_cols:v.v_max_probe_cols
+      source triangle_query
+  in
+  (* warm-up: builds the variant's indexes and yields counters/answers *)
+  let before = Eval.counters () in
+  let answers = eval () in
+  let after = Eval.counters () in
+  let start = Unix.gettimeofday () in
+  for _ = 1 to runs do
+    ignore (eval ())
+  done;
+  let wall = Unix.gettimeofday () -. start in
+  {
+    m_name = v.v_name;
+    m_answers = List.length answers;
+    m_runs = runs;
+    m_wall_s = wall;
+    m_ops_per_sec = (if wall > 0.0 then float_of_int runs /. wall else 0.0);
+    m_probes = after.Eval.probes - before.Eval.probes;
+    m_scans = after.Eval.scans - before.Eval.scans;
+  }
+
+let legacy_wall measurements =
+  match List.find_opt (fun m -> String.equal m.m_name "legacy") measurements with
+  | Some m -> m.m_wall_s /. float_of_int m.m_runs
+  | None -> nan
+
+let speedup measurements m =
+  let base = legacy_wall measurements in
+  let own = m.m_wall_s /. float_of_int m.m_runs in
+  if own > 0.0 && not (Float.is_nan base) then base /. own else nan
+
+let measure_all ~tiny () =
+  let wl = workload ~tiny in
+  let runs = if tiny then 3 else 5 in
+  let measurements = List.map (measure ~runs wl) variants in
+  (* the ablation only varies the access paths, never the semantics *)
+  (match measurements with
+  | first :: rest ->
+      List.iter
+        (fun m ->
+          if m.m_answers <> first.m_answers then
+            failwith
+              (Printf.sprintf "planner ablation disagrees: %s found %d answers, %s %d"
+                 first.m_name first.m_answers m.m_name m.m_answers))
+        rest
+  | [] -> ());
+  (wl, measurements)
+
+let print_table wl measurements =
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E14 - planner ablation (triangle join, e=%d zipf(%.1f) tuples, f=%d)"
+         wl.wl_e wl.wl_skew wl.wl_f)
+    ~header:
+      [ "variant"; "ms/run"; "ops/sec"; "probes/run"; "scans/run"; "answers";
+        "speedup vs legacy" ]
+    (List.map
+       (fun m ->
+         [
+           m.m_name;
+           Tables.f2 (1000.0 *. m.m_wall_s /. float_of_int m.m_runs);
+           Tables.f2 m.m_ops_per_sec;
+           Tables.i0 m.m_probes;
+           Tables.i0 m.m_scans;
+           Tables.i0 m.m_answers;
+           (let s = speedup measurements m in
+            if Float.is_nan s then "-" else Tables.f2 s);
+         ])
+       measurements)
+
+(* Hand-rolled JSON: the harness must not grow dependencies. *)
+let write_json ~path wl measurements =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"planner-ablation\",\n";
+  p "  \"query\": \"ans(x, z) <- e(x, y), f(y, z), e(x, z)\",\n";
+  p "  \"workload\": {\"e_tuples\": %d, \"f_tuples\": %d, \"domain\": %d, \"skew\": %g},\n"
+    wl.wl_e wl.wl_f wl.wl_domain wl.wl_skew;
+  p "  \"experiments\": [\n";
+  let n = List.length measurements in
+  List.iteri
+    (fun i m ->
+      p "    {\"name\": \"%s\", \"runs\": %d, \"wall_s\": %.6f, \"ms_per_run\": %.4f, \
+         \"ops_per_sec\": %.2f, \"probes_per_run\": %d, \"scans_per_run\": %d, \
+         \"answers\": %d, \"speedup_vs_legacy\": %s}%s\n"
+        m.m_name m.m_runs m.m_wall_s
+        (1000.0 *. m.m_wall_s /. float_of_int m.m_runs)
+        m.m_ops_per_sec m.m_probes m.m_scans m.m_answers
+        (let s = speedup measurements m in
+         if Float.is_nan s then "null" else Printf.sprintf "%.2f" s)
+        (if i = n - 1 then "" else ","))
+    measurements;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let json_path = "BENCH_planner.json"
+
+let run ?(tiny = false) ?(json = true) () =
+  let wl, measurements = measure_all ~tiny () in
+  print_table wl measurements;
+  if json then begin
+    write_json ~path:json_path wl measurements;
+    Printf.printf "wrote %s\n%!" json_path
+  end

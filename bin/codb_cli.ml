@@ -5,6 +5,7 @@
      generate  emit a synthetic network file for a given topology
      update    run a global update and print the super-peer report
      query     answer a conjunctive query at a node
+     explain   print the cost-based evaluation plan for a query
      cache     exercise the query-answer cache on a repeated workload
      discover  run topology discovery from a node
      info      print the parsed network structure
@@ -140,6 +141,30 @@ let query_cmd file at text after_update scoped certain_only use_cache repeat =
   List.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) answers;
   Fmt.pr "%d answer(s)@." (List.length answers);
   if use_cache then Fmt.pr "%a@." Report.pp_cache_report (Report.cache_report (System.snapshots sys));
+  0
+
+(* --- explain ------------------------------------------------------- *)
+
+let explain_cmd file at text legacy max_probe_cols =
+  let sys = or_die (load_system file) in
+  let q = parse_query_or_die text in
+  (match Codb_cq.Query.well_formed ~allow_existential_head:false q with
+  | Ok () -> ()
+  | Error reason ->
+      prerr_endline ("explain: " ^ reason);
+      exit 1);
+  let store = (System.node sys at).Codb_core.Node.store in
+  let opts = System.opts sys in
+  let source =
+    Codb_cq.Eval.of_database ~index_budget:opts.Options.index_budget store
+  in
+  if legacy then Fmt.pr "planner disabled: legacy left-to-right greedy order@."
+  else begin
+    let plan =
+      Codb_cq.Eval.plan_for ?max_probe_cols source q
+    in
+    Fmt.pr "%s@." (Codb_cq.Plan.explain q plan)
+  end;
   0
 
 (* --- cache --------------------------------------------------------- *)
@@ -352,6 +377,34 @@ let query_t =
       const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain
       $ use_cache $ repeat)
 
+let explain_t =
+  let doc = "Print the cost-based evaluation plan chosen for a query." in
+  let at =
+    Arg.(
+      required & opt (some string) None
+      & info [ "at" ] ~doc:"Node whose local store provides the statistics.")
+  in
+  let text =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. \"ans(x) <- r(x, y), s(y, z)\".")
+  in
+  let legacy =
+    Arg.(
+      value & flag
+      & info [ "legacy" ] ~doc:"Show what runs with the planner disabled instead.")
+  in
+  let max_probe_cols =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-probe-cols" ] ~docv:"N"
+          ~doc:"Cap index probes at N columns (1 = single-column ablation).")
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const explain_cmd $ file_arg $ at $ text $ legacy $ max_probe_cols)
+
 let cache_t =
   let doc = "Exercise the query-answer cache on a repeated workload." in
   let at =
@@ -505,8 +558,8 @@ let main =
   Cmd.group
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
-      validate_t; generate_t; update_t; query_t; cache_t; discover_t; info_t;
-      analyse_t; shell_t; dump_t; load_t;
+      validate_t; generate_t; update_t; query_t; explain_t; cache_t; discover_t;
+      info_t; analyse_t; shell_t; dump_t; load_t;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -10,6 +10,8 @@ type t = {
   cache_max_bytes : int;
   cache_ttl : float;
   cache_containment : bool;
+  planner : bool;
+  index_budget : int;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     cache_max_bytes = 4 * 1024 * 1024;
     cache_ttl = 0.0;
     cache_containment = true;
+    planner = true;
+    index_budget = 16;
   }
 
 let with_cache =
@@ -48,4 +52,7 @@ let validate t =
       (Printf.sprintf "options: cache_max_bytes must be >= 0 (got %d)" t.cache_max_bytes);
   if t.cache_ttl < 0.0 then
     reject (Printf.sprintf "options: cache_ttl must be >= 0 (got %g)" t.cache_ttl);
+  if t.index_budget < 0 then
+    reject
+      (Printf.sprintf "options: index_budget must be >= 0 (got %d)" t.index_budget);
   match List.rev !errors with [] -> Ok () | errors -> Error errors

@@ -33,6 +33,14 @@ type t = {
   cache_containment : bool;
       (** answer lookups from a cached superset query (the E9
           ablation switch) *)
+  planner : bool;
+      (** evaluate rules and queries through the cost-based join
+          planner ({!Codb_cq.Plan}); [false] falls back to the legacy
+          left-to-right greedy order (the planner ablation baseline) *)
+  index_budget : int;
+      (** max distinct hash indexes per relation (composite and
+          single-column combined); 0 disables index building and every
+          probe degrades to a filtered scan *)
 }
 
 val default : t
@@ -42,5 +50,6 @@ val with_cache : t
 
 val validate : t -> (unit, string list) result
 (** Reject non-sensical settings: negative [latency] or [byte_cost],
-    non-positive [max_update_events], negative cache capacities or
-    TTL.  Called by {!System.build} before any node is created. *)
+    non-positive [max_update_events], negative cache capacities, TTL
+    or [index_budget].  Called by {!System.build} before any node is
+    created. *)

@@ -17,6 +17,17 @@ let me (rt : Runtime.t) = rt.node.Node.node_id
 
 let qstat (rt : Runtime.t) qid = Stats.query_stat rt.node.Node.stats ~now:(rt.now ()) qid
 
+(* Attribute the index probes / relation scans performed by [f] to the
+   query's statistics (the evaluator counters are global). *)
+let with_counters rt qid f =
+  let before = Eval.counters () in
+  let result = f () in
+  let after = Eval.counters () in
+  let qs = qstat rt qid in
+  qs.Stats.qs_probes <- qs.Stats.qs_probes + after.Eval.probes - before.Eval.probes;
+  qs.Stats.qs_scans <- qs.Stats.qs_scans + after.Eval.scans - before.Eval.scans;
+  result
+
 (* Send sub-requests for every outgoing link that can contribute to
    [rels], skipping nodes already on the label.  Registers the
    pending entries and the sub-reference routing. *)
@@ -42,7 +53,10 @@ let fan_out rt (st : Q.t) ~rels ~label =
   List.iter consider relevant
 
 let complete_root rt (st : Q.t) query set_result =
-  let answers = Wrapper.user_answers st.Q.qst_overlay query in
+  let answers =
+    with_counters rt st.Q.qst_query (fun () ->
+        Wrapper.user_answers ~opts:rt.Runtime.opts st.Q.qst_overlay query)
+  in
   set_result answers;
   st.Q.qst_closed <- true;
   (match rt.Runtime.node.Node.cache with
@@ -136,7 +150,10 @@ let start ?on_answer rt qid query =
       (* stream the locally available answers right away *)
       (match st.Q.qst_kind with
       | Q.Root root ->
-          let local = Wrapper.user_answers overlay query in
+          let local =
+            with_counters rt qid (fun () ->
+                Wrapper.user_answers ~opts:rt.Runtime.opts overlay query)
+          in
           root.streamed <- notify_fresh ~on_answer ~streamed:root.streamed local
       | Q.Responder _ -> ());
       fan_out rt st ~rels:(Query.body_relations query) ~label:[ me rt ];
@@ -161,7 +178,10 @@ let on_request rt ~src ~request_ref ~rule_id ~label qid =
       in
       Hashtbl.replace rt.Runtime.node.Node.query_instances request_ref st;
       if may_export rt then begin
-        let tuples = Wrapper.eval_rule_full overlay inc in
+        let tuples =
+          with_counters rt qid (fun () ->
+              Wrapper.eval_rule_full ~opts:rt.Runtime.opts overlay inc)
+        in
         let fresh = Q.unsent st tuples in
         if fresh <> [] then
           ignore
@@ -199,10 +219,15 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
                        completion; here we only stream the answers the
                        delta newly enables *)
                     let substs =
-                      Eval.delta_answers
-                        ~naive:rt.Runtime.opts.Options.naive_delta
-                        (Eval.of_database st.Q.qst_overlay) ~delta_rel:rel
-                        ~delta:integration.Wrapper.fresh root.query
+                      with_counters rt qid (fun () ->
+                          Eval.delta_answers
+                            ~naive:rt.Runtime.opts.Options.naive_delta
+                            ~planner:rt.Runtime.opts.Options.planner
+                            (Eval.of_database
+                               ~index_budget:rt.Runtime.opts.Options.index_budget
+                               st.Q.qst_overlay)
+                            ~delta_rel:rel ~delta:integration.Wrapper.fresh
+                            root.query)
                     in
                     let answers = Codb_cq.Apply.head_tuples root.query substs in
                     root.streamed <-
@@ -214,10 +239,11 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
                     | Some inc ->
                         if may_export rt then begin
                           let derived =
-                            Wrapper.eval_rule_delta
-                              ~naive:rt.Runtime.opts.Options.naive_delta
-                              st.Q.qst_overlay inc ~delta_rel:rel
-                              ~delta:integration.Wrapper.fresh
+                            with_counters rt qid (fun () ->
+                                Wrapper.eval_rule_delta ~opts:rt.Runtime.opts
+                                  ~naive:rt.Runtime.opts.Options.naive_delta
+                                  st.Q.qst_overlay inc ~delta_rel:rel
+                                  ~delta:integration.Wrapper.fresh)
                           in
                           let fresh = Q.unsent st derived in
                           if fresh <> [] then

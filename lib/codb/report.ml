@@ -12,6 +12,8 @@ type update_report = {
   ur_dup_suppressed : int;
   ur_nulls : int;
   ur_longest_path : int;
+  ur_probes : int;
+  ur_scans : int;
   ur_per_rule : Stats.rule_traffic_snap list;
 }
 
@@ -75,6 +77,8 @@ let update_report snapshots update_id =
           ur_nulls = sum (fun u -> u.Stats.usn_nulls_created);
           ur_longest_path =
             List.fold_left (fun acc u -> max acc u.Stats.usn_max_hops) 0 relevant;
+          ur_probes = sum (fun u -> u.Stats.usn_probes);
+          ur_scans = sum (fun u -> u.Stats.usn_scans);
           ur_per_rule =
             merge_per_rule (List.concat_map (fun u -> u.Stats.usn_per_rule) relevant);
         }
@@ -96,11 +100,13 @@ let pp_update_report ppf r =
      data messages: %d, control messages: %d@,\
      data volume: %d B@,\
      new tuples: %d, duplicates suppressed: %d, nulls created: %d@,\
-     longest propagation path: %d%a@]"
+     longest propagation path: %d@,\
+     index probes: %d, relation scans: %d%a@]"
     Ids.pp_update r.ur_update r.ur_nodes
     (if r.ur_all_finished then "" else " (some unfinished)")
     r.ur_duration r.ur_started r.ur_finished r.ur_data_msgs r.ur_control_msgs r.ur_bytes
-    r.ur_new_tuples r.ur_dup_suppressed r.ur_nulls r.ur_longest_path
+    r.ur_new_tuples r.ur_dup_suppressed r.ur_nulls r.ur_longest_path r.ur_probes
+    r.ur_scans
     Fmt.(
       list ~sep:nop (fun ppf (e : Stats.rule_traffic_snap) ->
           Fmt.pf ppf "@,rule %-12s %4d msgs %8d B %6d tuples" e.Stats.rts_rule

@@ -17,6 +17,8 @@ type update_report = {
   ur_dup_suppressed : int;
   ur_nulls : int;
   ur_longest_path : int;
+  ur_probes : int;
+  ur_scans : int;
   ur_per_rule : Stats.rule_traffic_snap list;  (** merged by rule id *)
 }
 

@@ -17,6 +17,8 @@ type update_stat = {
   mutable us_dup_suppressed : int;
   mutable us_nulls_created : int;
   mutable us_max_hops : int;
+  mutable us_probes : int;
+  mutable us_scans : int;
   us_per_rule : (string, rule_traffic) Hashtbl.t;
   mutable us_queried : Peer_id.t list;
   mutable us_sent_to : Peer_id.t list;
@@ -33,6 +35,8 @@ type query_stat = {
   mutable qs_answers : int;
   mutable qs_certain : int;
   mutable qs_cache : cache_outcome;
+  mutable qs_probes : int;
+  mutable qs_scans : int;
 }
 
 type t = {
@@ -69,6 +73,8 @@ let update_stat st ~now update_id =
           us_dup_suppressed = 0;
           us_nulls_created = 0;
           us_max_hops = 0;
+          us_probes = 0;
+          us_scans = 0;
           us_per_rule = Hashtbl.create 8;
           us_queried = [];
           us_sent_to = [];
@@ -95,6 +101,8 @@ let query_stat st ~now query_id =
           qs_answers = 0;
           qs_certain = 0;
           qs_cache = Cache_unused;
+          qs_probes = 0;
+          qs_scans = 0;
         }
       in
       Hashtbl.add st.st_queries key s;
@@ -138,6 +146,8 @@ type update_snap = {
   usn_dup_suppressed : int;
   usn_nulls_created : int;
   usn_max_hops : int;
+  usn_probes : int;
+  usn_scans : int;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;
@@ -152,6 +162,8 @@ type query_snap = {
   qsn_answers : int;
   qsn_certain : int;
   qsn_cache : cache_outcome;
+  qsn_probes : int;
+  qsn_scans : int;
 }
 
 type cache_snap = {
@@ -196,6 +208,8 @@ let snap_update us =
     usn_dup_suppressed = us.us_dup_suppressed;
     usn_nulls_created = us.us_nulls_created;
     usn_max_hops = us.us_max_hops;
+    usn_probes = us.us_probes;
+    usn_scans = us.us_scans;
     usn_per_rule = List.sort (fun a b -> String.compare a.rts_rule b.rts_rule) per_rule;
     usn_queried = us.us_queried;
     usn_sent_to = us.us_sent_to;
@@ -211,6 +225,8 @@ let snap_query qs =
     qsn_answers = qs.qs_answers;
     qsn_certain = qs.qs_certain;
     qsn_cache = qs.qs_cache;
+    qsn_probes = qs.qs_probes;
+    qsn_scans = qs.qs_scans;
   }
 
 let snapshot ?(store_tuples = 0) ?cache st =
@@ -247,12 +263,14 @@ let pp_peer_list ppf = function
 let pp_update_snap ppf u =
   Fmt.pf ppf
     "@[<v 2>%a: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
-     %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d@,\
+     %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d, index \
+     probes %d, scans %d@,\
      queried: %a@,\
      results sent to: %a%a@]"
     Ids.pp_update u.usn_update u.usn_started pp_finished u.usn_finished u.usn_data_msgs
     u.usn_control_msgs u.usn_bytes_in u.usn_new_tuples u.usn_dup_suppressed
-    u.usn_nulls_created u.usn_max_hops pp_peer_list u.usn_queried pp_peer_list
+    u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans pp_peer_list
+    u.usn_queried pp_peer_list
     u.usn_sent_to
     Fmt.(
       list ~sep:nop (fun ppf rt ->
@@ -267,8 +285,9 @@ let cache_outcome_string = function
   | Cache_hit_containment -> "cache hit (containment)"
 
 let pp_query_snap ppf q =
-  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in%s" Ids.pp_query
-    q.qsn_query q.qsn_answers q.qsn_certain q.qsn_data_msgs q.qsn_bytes_in
+  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in, %d probes, %d scans%s"
+    Ids.pp_query q.qsn_query q.qsn_answers q.qsn_certain q.qsn_data_msgs
+    q.qsn_bytes_in q.qsn_probes q.qsn_scans
     (match q.qsn_cache with
     | Cache_unused -> ""
     | outcome -> ", " ^ cache_outcome_string outcome)

@@ -27,6 +27,8 @@ type update_stat = {
   mutable us_dup_suppressed : int;
   mutable us_nulls_created : int;
   mutable us_max_hops : int;  (** longest update propagation path seen *)
+  mutable us_probes : int;  (** index probes during rule evaluation *)
+  mutable us_scans : int;  (** relation scans during rule evaluation *)
   us_per_rule : (string, rule_traffic) Hashtbl.t;
       (** data traffic received, per outgoing coordination rule *)
   mutable us_queried : Peer_id.t list;  (** acquaintances we requested data from *)
@@ -48,6 +50,8 @@ type query_stat = {
   mutable qs_answers : int;
   mutable qs_certain : int;
   mutable qs_cache : cache_outcome;
+  mutable qs_probes : int;
+  mutable qs_scans : int;
 }
 
 type t
@@ -96,6 +100,8 @@ type update_snap = {
   usn_dup_suppressed : int;
   usn_nulls_created : int;
   usn_max_hops : int;
+  usn_probes : int;
+  usn_scans : int;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;
@@ -110,6 +116,8 @@ type query_snap = {
   qsn_answers : int;
   qsn_certain : int;
   qsn_cache : cache_outcome;
+  qsn_probes : int;
+  qsn_scans : int;
 }
 
 (** Frozen view of a node's {!Codb_cache.Qcache} counters, shipped in

@@ -195,7 +195,8 @@ let run_query ?on_partial sys ~at query =
         qo_bytes = qs.Stats.qs_bytes_in;
       }
 
-let local_answers sys ~at query = Wrapper.user_answers (node sys at).Node.store query
+let local_answers sys ~at query =
+  Wrapper.user_answers ~opts:sys.sys_opts (node sys at).Node.store query
 
 let superpeer sys =
   match sys.sys_superpeer with

@@ -3,6 +3,7 @@ module Config = Codb_cq.Config
 module Query = Codb_cq.Query
 module Atom = Codb_cq.Atom
 module Tuple_set = Codb_relalg.Relation.Tuple_set
+module Eval = Codb_cq.Eval
 module U = Update_state
 
 let src_log = Logs.Src.create "codb.update" ~doc:"coDB global update algorithm"
@@ -18,6 +19,16 @@ let source_of (r : Config.rule_decl) = Peer_id.of_string r.Config.source
 let rule_ids rules = List.map (fun r -> r.Config.rule_id) rules
 
 let stat (rt : Runtime.t) uid = Stats.update_stat rt.node.Node.stats ~now:(rt.now ()) uid
+
+(* Attribute the index probes / relation scans performed by [f] to the
+   update's statistics (the evaluator counters are global). *)
+let with_counters us f =
+  let before = Eval.counters () in
+  let result = f () in
+  let after = Eval.counters () in
+  us.Stats.us_probes <- us.Stats.us_probes + after.Eval.probes - before.Eval.probes;
+  us.Stats.us_scans <- us.Stats.us_scans + after.Eval.scans - before.Eval.scans;
+  result
 
 (* Send a message that takes part in termination accounting: the
    receiver owes us an acknowledgement. *)
@@ -151,7 +162,11 @@ let first_contact rt (st : U.t) ~exclude =
   if may_export rt then
     List.iter
       (fun (inc : Config.rule_decl) ->
-        let tuples = Wrapper.eval_rule_full rt.Runtime.node.Node.store inc in
+        let tuples =
+          with_counters us (fun () ->
+              Wrapper.eval_rule_full ~opts:rt.Runtime.opts
+                rt.Runtime.node.Node.store inc)
+        in
         send_on_incoming rt st us inc ~hops:1 tuples)
       rt.Runtime.node.Node.incoming;
   maybe_close_incoming rt st;
@@ -190,9 +205,11 @@ let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
         let recompute (inc : Config.rule_decl) =
           if U.in_state st inc.Config.rule_id = U.Link_open then begin
             let derived =
-              Wrapper.eval_rule_delta ~naive:rt.Runtime.opts.Options.naive_delta
-                rt.Runtime.node.Node.store inc ~delta_rel:rel
-                ~delta:integration.Wrapper.fresh
+              with_counters us (fun () ->
+                  Wrapper.eval_rule_delta ~opts:rt.Runtime.opts
+                    ~naive:rt.Runtime.opts.Options.naive_delta
+                    rt.Runtime.node.Node.store inc ~delta_rel:rel
+                    ~delta:integration.Wrapper.fresh)
             in
             send_on_incoming rt st us inc ~hops:(hops + 1) derived
           end
@@ -245,7 +262,11 @@ let activate_incoming rt (st : U.t) ~requester rule_id =
         U.activate_in st rule_id;
         let us = stat rt st.U.ust_update in
         if may_export rt then begin
-          let tuples = Wrapper.eval_rule_full rt.Runtime.node.Node.store inc in
+          let tuples =
+            with_counters us (fun () ->
+                Wrapper.eval_rule_full ~opts:rt.Runtime.opts
+                  rt.Runtime.node.Node.store inc)
+          in
           send_on_incoming rt st us inc ~hops:1 tuples
         end;
         List.iter (activate_outgoing rt st)

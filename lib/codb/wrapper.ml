@@ -13,14 +13,23 @@ type integration = {
   nulls_created : int;
 }
 
-let eval_rule_full db (rule : Config.rule_decl) =
-  let substs = Eval.answers (Eval.of_database db) rule.Config.rule_query in
+(* Evaluation entry points thread the planner switch and index budget
+   from [Options]; the default matches [Options.default]. *)
+let eval_source (opts : Options.t) db =
+  Eval.of_database ~index_budget:opts.Options.index_budget db
+
+let eval_rule_full ?(opts = Options.default) db (rule : Config.rule_decl) =
+  let substs =
+    Eval.answers ~planner:opts.Options.planner (eval_source opts db)
+      rule.Config.rule_query
+  in
   Apply.head_tuples rule.Config.rule_query substs
 
-let eval_rule_delta ~naive db (rule : Config.rule_decl) ~delta_rel ~delta =
+let eval_rule_delta ?(opts = Options.default) ~naive db (rule : Config.rule_decl)
+    ~delta_rel ~delta =
   let substs =
-    Eval.delta_answers ~naive (Eval.of_database db) ~delta_rel ~delta
-      rule.Config.rule_query
+    Eval.delta_answers ~naive ~planner:opts.Options.planner (eval_source opts db)
+      ~delta_rel ~delta rule.Config.rule_query
   in
   Apply.head_tuples rule.Config.rule_query substs
 
@@ -39,4 +48,5 @@ let integrate ~(opts : Options.t) ~rule_id db ~rel tuples =
   let suppressed = suppressed + (List.length instantiated - List.length fresh) in
   { fresh; suppressed; nulls_created }
 
-let user_answers db q = Eval.answer_tuples (Eval.of_database db) q
+let user_answers ?(opts = Options.default) db q =
+  Eval.answer_tuples ~planner:opts.Options.planner (eval_source opts db) q

@@ -19,11 +19,15 @@ type integration = {
   nulls_created : int;
 }
 
-val eval_rule_full : Database.t -> Config.rule_decl -> Tuple.t list
+val eval_rule_full :
+  ?opts:Options.t -> Database.t -> Config.rule_decl -> Tuple.t list
 (** Evaluate a coordination rule's body over the database and return
-    the head tuples, existential positions rendered as holes. *)
+    the head tuples, existential positions rendered as holes.  [opts]
+    (default {!Options.default}) selects planner vs legacy evaluation
+    and the per-relation index budget. *)
 
 val eval_rule_delta :
+  ?opts:Options.t ->
   naive:bool ->
   Database.t ->
   Config.rule_decl ->
@@ -40,6 +44,6 @@ val integrate :
     (null-aware when [opts.use_subsumption_dedup]), instantiate holes
     with fresh marked nulls, insert the remainder. *)
 
-val user_answers : Database.t -> Query.t -> Tuple.t list
+val user_answers : ?opts:Options.t -> Database.t -> Query.t -> Tuple.t list
 (** Evaluate a user query (no existential head).  @raise
     Invalid_argument otherwise. *)

@@ -8,29 +8,97 @@ type rows = {
   all : unit -> Tuple.t list;
   size : int;
   probe : (int -> Value.t -> Tuple.t list) option;
+  probe_cols : ((int * Value.t) list -> Tuple.t list) option;
+  distinct : (int -> int) option;
+  arity : int option;
 }
 
 type source = string -> rows
 
-let empty_rows = { all = (fun () -> []); size = 0; probe = None }
+(* Access-path counters, global like [Value.null_counter]: callers
+   that want per-query numbers snapshot around an evaluation. *)
+type counters = {
+  probes : int;  (** candidate sets served by an index probe *)
+  scans : int;  (** candidate sets served by a full scan *)
+  planned : int;  (** joins executed through a cost-based plan *)
+  legacy : int;  (** joins executed through the legacy greedy order *)
+}
+
+let probe_count = ref 0
+let scan_count = ref 0
+let planned_count = ref 0
+let legacy_count = ref 0
+
+let counters () =
+  {
+    probes = !probe_count;
+    scans = !scan_count;
+    planned = !planned_count;
+    legacy = !legacy_count;
+  }
+
+let reset_counters () =
+  probe_count := 0;
+  scan_count := 0;
+  planned_count := 0;
+  legacy_count := 0
+
+let empty_rows =
+  {
+    all = (fun () -> []);
+    size = 0;
+    probe = None;
+    probe_cols = None;
+    distinct = None;
+    arity = None;
+  }
 
 let rows_of_list tuples =
-  { all = (fun () -> tuples); size = List.length tuples; probe = None }
+  let arity =
+    match tuples with
+    | [] -> None
+    | first :: rest ->
+        let a = Array.length first in
+        if List.for_all (fun t -> Array.length t = a) rest then Some a else None
+  in
+  {
+    all = (fun () -> tuples);
+    size = List.length tuples;
+    probe = None;
+    probe_cols = None;
+    distinct = None;
+    arity;
+  }
 
-let of_database db rel =
+let of_database ?index_budget db rel =
   match Database.relation_opt db rel with
   | None -> empty_rows
   | Some r ->
+      (match index_budget with
+      | Some budget -> Relation.set_index_budget r budget
+      | None -> ());
       let arity = Codb_relalg.Schema.arity (Relation.schema r) in
+      let in_range col = col >= 0 && col < arity in
       let probe col value =
         (* an atom of the wrong arity matches nothing; don't let the
            index raise on its out-of-range columns *)
-        if col < arity then Relation.lookup r ~col value else []
+        if in_range col then Relation.lookup r ~col value else []
+      in
+      let probe_cols bindings =
+        if List.for_all (fun (col, _) -> in_range col) bindings then
+          Relation.lookup_cols r bindings
+        else []
+      in
+      let distinct col =
+        if in_range col then Relation.distinct_count r ~col else 1
       in
       {
         all = (fun () -> Relation.to_list r);
         size = Relation.cardinal r;
         probe = Some probe;
+        probe_cols = Some probe_cols;
+        distinct = Some distinct;
+        arity = Some arity;
       }
 
 let source_of_alist alist rel =
@@ -38,43 +106,103 @@ let source_of_alist alist rel =
   | Some tuples -> rows_of_list tuples
   | None -> empty_rows
 
-(* Extend [subst] by matching the atom's arguments against a stored
-   tuple.  Constants and already-bound variables must agree with the
-   stored value (marked nulls agree only with themselves). *)
-let match_atom subst atom tuple =
-  let args = atom.Atom.args in
-  if List.length args <> Array.length tuple then None
-  else
-    let rec loop i subst = function
-      | [] -> Some subst
-      | Term.Cst c :: rest ->
-          if Value.equal c tuple.(i) then loop (i + 1) subst rest else None
-      | Term.Var v :: rest -> (
+(* Extend [subst] by matching the atom's arguments (pre-flattened into
+   an array, so the arity check is O(1) and done once per atom, not
+   once per candidate tuple) against a stored tuple.  Constants and
+   already-bound variables must agree with the stored value (marked
+   nulls agree only with themselves). *)
+let match_args subst args tuple =
+  let n = Array.length args in
+  let rec loop i subst =
+    if i = n then Some subst
+    else
+      match args.(i) with
+      | Term.Cst c ->
+          if Value.equal c tuple.(i) then loop (i + 1) subst else None
+      | Term.Var v -> (
           match Subst.find v subst with
           | Some bound ->
-              if Value.equal bound tuple.(i) then loop (i + 1) subst rest else None
-          | None -> loop (i + 1) (Subst.bind v tuple.(i) subst) rest)
-    in
-    loop 0 subst args
+              if Value.equal bound tuple.(i) then loop (i + 1) subst else None
+          | None -> loop (i + 1) (Subst.bind v tuple.(i) subst))
+  in
+  loop 0 subst
 
-(* Pick the candidate tuples for an atom under the current bindings:
-   probe a hash index on the first argument position that is already
-   ground, otherwise scan. *)
-let candidates subst atom rows =
-  match rows.probe with
-  | None -> rows.all ()
+(* One body atom, prepared for the join loop: argument array for O(1)
+   matching, access path, and (planned path only) the probe column set
+   and the comparisons that become ground at this step. *)
+type prepared = {
+  p_args : Term.t array;
+  p_rows : rows;
+  p_probe : int list;
+  p_comparisons : Query.comparison list;
+}
+
+let prepare ?(probe = []) ?(comparisons = []) atom rows =
+  {
+    p_args = Array.of_list atom.Atom.args;
+    p_rows = rows;
+    p_probe = probe;
+    p_comparisons = comparisons;
+  }
+
+(* A prepared atom whose arity disagrees with its relation matches
+   nothing: detect it once, before the join loop runs. *)
+let arity_mismatch p =
+  match p.p_rows.arity with
+  | Some a -> Array.length p.p_args <> a
+  | None -> false
+
+(* Candidate tuples for an atom under the current bindings.  The
+   legacy path probes a single-column index on the first ground
+   argument position; the planned path probes the plan's column set
+   through the composite index. *)
+let candidates_legacy subst p =
+  match p.p_rows.probe with
+  | None ->
+      incr scan_count;
+      p.p_rows.all ()
   | Some probe ->
-      let rec first_ground i = function
-        | [] -> None
-        | Term.Cst c :: _ -> Some (i, c)
-        | Term.Var v :: rest -> (
-            match Subst.find v subst with
-            | Some value -> Some (i, value)
-            | None -> first_ground (i + 1) rest)
+      let n = Array.length p.p_args in
+      let rec first_ground i =
+        if i = n then None
+        else
+          match p.p_args.(i) with
+          | Term.Cst c -> Some (i, c)
+          | Term.Var v -> (
+              match Subst.find v subst with
+              | Some value -> Some (i, value)
+              | None -> first_ground (i + 1))
       in
-      (match first_ground 0 atom.Atom.args with
-      | Some (col, value) -> probe col value
-      | None -> rows.all ())
+      (match first_ground 0 with
+      | Some (col, value) ->
+          incr probe_count;
+          probe col value
+      | None ->
+          incr scan_count;
+          p.p_rows.all ())
+
+let term_value subst = function
+  | Term.Cst c -> Some c
+  | Term.Var v -> Subst.find v subst
+
+let candidates_planned subst p =
+  match (p.p_probe, p.p_rows.probe_cols) with
+  | [], _ | _, None ->
+      incr scan_count;
+      p.p_rows.all ()
+  | cols, Some probe_cols ->
+      let bindings =
+        List.map
+          (fun col ->
+            match term_value subst p.p_args.(col) with
+            | Some v -> (col, v)
+            | None ->
+                (* the planner only probes ground columns *)
+                assert false)
+          cols
+      in
+      incr probe_count;
+      probe_cols bindings
 
 (* Evaluate the comparisons that became ground; keep the rest pending.
    [None] means a ground comparison is violated. *)
@@ -92,9 +220,20 @@ let filter_comparisons subst comparisons =
   | None -> None
   | Some pending -> Some (List.rev pending)
 
-(* Static greedy join order: repeatedly pick the atom sharing the most
-   variables with the already-bound set; break ties by smaller
-   relation, preferring atoms with constants. *)
+(* Evaluate comparisons the planner proved ground at this step. *)
+let check_comparisons subst comparisons =
+  List.for_all
+    (fun c ->
+      match
+        (Subst.apply_term subst c.Query.left, Subst.apply_term subst c.Query.right)
+      with
+      | Some v1, Some v2 -> Query.eval_comparison_op c.Query.op v1 v2
+      | _ -> false)
+    comparisons
+
+(* Static greedy join order of the legacy evaluator: repeatedly pick
+   the atom sharing the most variables with the already-bound set;
+   break ties by smaller relation, preferring atoms with constants. *)
 let order_atoms atoms =
   let score bound (atom, rows) =
     let vars = Atom.vars atom in
@@ -117,30 +256,98 @@ let order_atoms atoms =
   in
   pick [] [] atoms
 
-let join ordered comparisons =
-  let rec go subst pending acc = function
-    | [] -> if pending = [] then subst :: acc else acc
-    | (atom, rows) :: rest ->
-        let try_tuple acc tuple =
-          match match_atom subst atom tuple with
-          | None -> acc
-          | Some subst' -> (
-              match filter_comparisons subst' pending with
-              | None -> acc
-              | Some pending' -> go subst' pending' acc rest)
-        in
-        List.fold_left try_tuple acc (candidates subst atom rows)
+(* Legacy execution: left-to-right over the greedy order, threading
+   pending comparisons.  Substitutions whose comparisons never become
+   ground are dropped. *)
+let join_legacy ordered comparisons =
+  incr legacy_count;
+  let prepared = List.map (fun (atom, rows) -> prepare atom rows) ordered in
+  if List.exists arity_mismatch prepared then []
+  else
+    let rec go subst pending acc = function
+      | [] -> if pending = [] then subst :: acc else acc
+      | p :: rest ->
+          let try_tuple acc tuple =
+            match match_args subst p.p_args tuple with
+            | None -> acc
+            | Some subst' -> (
+                match filter_comparisons subst' pending with
+                | None -> acc
+                | Some pending' -> go subst' pending' acc rest)
+          in
+          List.fold_left try_tuple acc (candidates_legacy subst p)
+    in
+    match filter_comparisons Subst.empty comparisons with
+    | None -> []
+    | Some pending -> List.rev (go Subst.empty pending [] prepared)
+
+let plan_of_atoms ?max_probe_cols atoms comparisons =
+  let infos =
+    List.map
+      (fun (atom, rows) ->
+        {
+          Plan.ai_atom = atom;
+          ai_size = rows.size;
+          ai_indexed = Option.is_some rows.probe_cols;
+          ai_distinct = rows.distinct;
+        })
+      atoms
   in
-  match filter_comparisons Subst.empty comparisons with
-  | None -> []
-  | Some pending -> List.rev (go Subst.empty pending [] ordered)
+  Plan.make ?max_probe_cols infos comparisons
 
-let answers source q =
+(* Planned execution: follow the plan's step order, probe the chosen
+   column sets through composite indexes, and evaluate each comparison
+   at the step the planner assigned it to. *)
+let join_planned ?max_probe_cols atoms comparisons =
+  incr planned_count;
+  let plan = plan_of_atoms ?max_probe_cols atoms comparisons in
+  if plan.Plan.pl_unbound <> [] then
+    (* a comparison never becomes ground: the legacy evaluator drops
+       every substitution, so the planned result is empty too *)
+    []
+  else if not (check_comparisons Subst.empty plan.Plan.pl_pre) then []
+  else
+    let arr = Array.of_list atoms in
+    let prepared =
+      List.map
+        (fun (s : Plan.step) ->
+          let atom, rows = arr.(s.Plan.st_pos) in
+          prepare ~probe:s.Plan.st_probe ~comparisons:s.Plan.st_comparisons atom
+            rows)
+        plan.Plan.pl_steps
+    in
+    if List.exists arity_mismatch prepared then []
+    else
+      let rec go subst acc = function
+        | [] -> subst :: acc
+        | p :: rest ->
+            let try_tuple acc tuple =
+              match match_args subst p.p_args tuple with
+              | None -> acc
+              | Some subst' ->
+                  if check_comparisons subst' p.p_comparisons then
+                    go subst' acc rest
+                  else acc
+            in
+            List.fold_left try_tuple acc (candidates_planned subst p)
+      in
+      List.rev (go Subst.empty [] prepared)
+
+let join ?(planner = true) ?max_probe_cols atoms comparisons =
+  if planner then join_planned ?max_probe_cols atoms comparisons
+  else join_legacy (order_atoms atoms) comparisons
+
+let answers ?planner ?max_probe_cols source q =
   let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
-  join (order_atoms atoms) q.Query.comparisons
+  join ?planner ?max_probe_cols atoms q.Query.comparisons
 
-let delta_answers ?(naive = false) source ~delta_rel ~delta q =
-  if naive then answers source q
+let plan_for ?max_probe_cols source q =
+  let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
+  plan_of_atoms ?max_probe_cols atoms q.Query.comparisons
+
+let delta_answers ?(naive = false) ?planner ?max_probe_cols source ~delta_rel
+    ~delta q =
+  if naive then answers ?planner ?max_probe_cols source q
   else if not (List.exists (fun a -> String.equal a.Atom.rel delta_rel) q.Query.body) then []
   else begin
     let full = source delta_rel in
@@ -173,16 +380,16 @@ let delta_answers ?(naive = false) source ~delta_rel ~delta q =
             else (i, (a, source a.Atom.rel) :: acc))
           (0, []) q.Query.body
       in
-      join (order_atoms (List.rev atoms)) q.Query.comparisons
+      join ?planner ?max_probe_cols (List.rev atoms) q.Query.comparisons
     in
     List.concat_map pass occurrences
   end
 
-let answer_tuples source q =
+let answer_tuples ?planner ?max_probe_cols source q =
   (match Query.well_formed ~allow_existential_head:false q with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Eval.answer_tuples: " ^ reason));
-  let substs = answers source q in
+  let substs = answers ?planner ?max_probe_cols source q in
   let project acc subst =
     match Subst.apply_atom subst q.Query.head with
     | Some tuple -> Tuple_set.add tuple acc

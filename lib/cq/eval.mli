@@ -5,6 +5,17 @@
     databases, per-query overlays, and the Wrapper's temporary stores
     on mediator nodes.
 
+    Two execution strategies share the same matching core:
+
+    - the {e planned} path (default) runs each join through
+      {!Plan.make}: atoms ordered by estimated selectivity, ground
+      column sets probed through composite hash indexes, comparisons
+      evaluated at their earliest ground position;
+    - the {e legacy} path ([~planner:false]) keeps the original
+      left-to-right greedy order with single-column probes — the
+      ablation baseline, and the reference semantics the planned path
+      must reproduce exactly.
+
     Two entry points matter to the coDB algorithms:
 
     - {!answers} — full evaluation, used when a node first receives an
@@ -18,10 +29,21 @@
 
 type rows = {
   all : unit -> Codb_relalg.Tuple.t list;  (** every tuple *)
-  size : int;  (** cardinality, used by the join-order heuristic *)
+  size : int;  (** cardinality, used by both join-order strategies *)
   probe : (int -> Codb_relalg.Value.t -> Codb_relalg.Tuple.t list) option;
       (** equality probe on one column, when the backing store has (or
           can build) a hash index; [None] falls back to scanning *)
+  probe_cols :
+    ((int * Codb_relalg.Value.t) list -> Codb_relalg.Tuple.t list) option;
+      (** composite probe on a set of column bindings, served by
+          {!Codb_relalg.Relation.lookup_cols}; [None] for plain tuple
+          lists *)
+  distinct : (int -> int) option;
+      (** per-column distinct-value estimate for the planner's
+          selectivity model *)
+  arity : int option;
+      (** tuple width when uniform, letting the evaluator reject
+          wrong-arity atoms once instead of per candidate tuple *)
 }
 (** Access path to one relation's tuples. *)
 
@@ -29,27 +51,52 @@ type source = string -> rows
 (** Access paths by relation name.  Unknown relations must return
     {!empty_rows}. *)
 
+type counters = {
+  probes : int;  (** candidate sets served by an index probe *)
+  scans : int;  (** candidate sets served by a full scan *)
+  planned : int;  (** joins executed through a cost-based plan *)
+  legacy : int;  (** joins executed through the legacy greedy order *)
+}
+(** Global access-path counters (monotonic since {!reset_counters}).
+    Callers wanting per-evaluation numbers snapshot before and after,
+    like [Value.null_counter]. *)
+
+val counters : unit -> counters
+
+val reset_counters : unit -> unit
+
 val empty_rows : rows
 
 val rows_of_list : Codb_relalg.Tuple.t list -> rows
 (** Scan-only access path over a list (used for deltas and frozen
     canonical databases). *)
 
-val of_database : Codb_relalg.Database.t -> source
-(** Probing access paths backed by {!Codb_relalg.Relation.lookup}'s
-    lazy hash indexes. *)
+val of_database : ?index_budget:int -> Codb_relalg.Database.t -> source
+(** Probing access paths backed by {!Codb_relalg.Relation}'s lazy,
+    incrementally maintained hash indexes.  [index_budget], when
+    given, caps the number of indexes per relation (see
+    {!Codb_relalg.Relation.set_index_budget}). *)
 
 val source_of_alist : (string * Codb_relalg.Tuple.t list) list -> source
 (** Scan-only source over an association list. *)
 
-val answers : source -> Query.t -> Subst.t list
+val answers :
+  ?planner:bool -> ?max_probe_cols:int -> source -> Query.t -> Subst.t list
 (** All substitutions of the body variables satisfying body atoms and
     comparisons.  The result may contain substitutions that project to
     the same head tuple; projection and de-duplication are the
-    caller's business (see {!Apply}). *)
+    caller's business (see {!Apply}).  [~planner:false] selects the
+    legacy left-to-right evaluator; [max_probe_cols] caps probe width
+    (see {!Plan.make}). *)
+
+val plan_for : ?max_probe_cols:int -> source -> Query.t -> Plan.t
+(** The plan {!answers} would execute — for the CLI [explain]
+    subcommand and tests. *)
 
 val delta_answers :
   ?naive:bool ->
+  ?planner:bool ->
+  ?max_probe_cols:int ->
   source ->
   delta_rel:string ->
   delta:Codb_relalg.Tuple.t list ->
@@ -63,7 +110,12 @@ val delta_answers :
     from scratch with {!answers} — correct but wasteful, and the
     baseline of experiment E8. *)
 
-val answer_tuples : source -> Query.t -> Codb_relalg.Tuple.t list
+val answer_tuples :
+  ?planner:bool ->
+  ?max_probe_cols:int ->
+  source ->
+  Query.t ->
+  Codb_relalg.Tuple.t list
 (** Evaluate a {e user} query: project the answers on the head and
     de-duplicate.  @raise Invalid_argument if the head has existential
     variables (use {!Apply.head_tuples} for GLAV rule heads). *)

@@ -52,6 +52,8 @@ val eval_comparison_op : comparison_op -> Codb_relalg.Value.t -> Codb_relalg.Val
 
 val string_of_op : comparison_op -> string
 
+val pp_comparison : comparison Fmt.t
+
 val compare : t -> t -> int
 
 val equal : t -> t -> bool

@@ -3,7 +3,17 @@
     Set semantics throughout, as required by the update algorithm's
     duplicate-suppression step.  Mutating operations return the tuples
     that were actually new, which is exactly the delta the algorithm
-    propagates further. *)
+    propagates further.
+
+    Equality probes are served from hash indexes keyed by column
+    sets.  Indexes are built lazily on the first probe and then
+    maintained {e incrementally} by every insert/remove, so repeated
+    probe/mutate cycles (the update fix-point) never rebuild them from
+    scratch.  The number of distinct indexes per relation is bounded
+    by a budget; past it, probes degrade to filtered scans.  The
+    relation also keeps cheap statistics — O(1) cardinality and
+    per-column distinct-value counts — for the cost-based query
+    planner. *)
 
 module Tuple_set : Set.S with type elt = Tuple.t
 
@@ -16,6 +26,7 @@ val schema : t -> Schema.t
 val name : t -> string
 
 val cardinal : t -> int
+(** O(1): maintained incrementally, not recounted. *)
 
 val is_empty : t -> bool
 
@@ -23,6 +34,7 @@ val mem : t -> Tuple.t -> bool
 
 val insert : t -> Tuple.t -> bool
 (** [insert r t] adds [t]; [true] iff [t] was not already present.
+    Existing hash indexes and column statistics are updated in place.
     @raise Invalid_argument if [t] does not conform to the schema or
     contains holes (holes are a wire-only representation). *)
 
@@ -36,9 +48,32 @@ val subsumed : t -> Tuple.t -> bool
 
 val lookup : t -> col:int -> Value.t -> Tuple.t list
 (** Tuples whose [col]-th attribute equals the value, served from a
-    lazily built hash index (invalidated on mutation, rebuilt on the
-    next probe).  The order of the result is unspecified.
+    hash index (built on first use, maintained on mutation).  The
+    order of the result is unspecified.
     @raise Invalid_argument if [col] is out of range. *)
+
+val lookup_cols : t -> (int * Value.t) list -> Tuple.t list
+(** Composite probe: tuples matching every [(col, value)] binding at
+    once, served from a multi-column hash index when the budget
+    allows, degrading to an indexed-then-filter or filtered scan
+    otherwise.  Duplicate bindings collapse; contradictory bindings
+    yield [[]]; an empty binding list yields every tuple.
+    @raise Invalid_argument if any column is out of range. *)
+
+val distinct_count : t -> col:int -> int
+(** Number of distinct values in a column — the planner's selectivity
+    statistic.  First call per column is O(n); later calls are O(1)
+    because the counter is maintained incrementally.
+    @raise Invalid_argument if [col] is out of range. *)
+
+val set_index_budget : t -> int -> unit
+(** Cap the number of distinct hash indexes this relation may hold
+    (clamped to >= 0; 0 disables index building entirely). *)
+
+val index_budget : t -> int
+
+val index_count : t -> int
+(** Number of indexes currently built. *)
 
 val remove : t -> Tuple.t -> bool
 (** [true] iff the tuple was present. *)

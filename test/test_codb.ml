@@ -12,6 +12,7 @@ let () =
       ("algebra", Test_algebra.suite);
       ("query", Test_query.suite);
       ("eval", Test_eval.suite);
+      ("plan", Test_plan.suite);
       ("apply", Test_apply.suite);
       ("containment", Test_containment.suite);
       ("parser", Test_parser.suite);

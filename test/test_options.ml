@@ -58,6 +58,15 @@ let test_zero_bounds_are_valid () =
          cache_ttl = 0.0;
        })
 
+let test_negative_index_budget () =
+  rejected ~substring:"index_budget"
+    (Options.validate { Options.default with Options.index_budget = -1 })
+
+let test_planner_knobs_are_valid () =
+  (* budget 0 disables indexing; the planner itself toggles freely *)
+  ok (Options.validate { Options.default with Options.index_budget = 0 });
+  ok (Options.validate { Options.default with Options.planner = false })
+
 let test_errors_accumulate () =
   match
     Options.validate
@@ -83,6 +92,9 @@ let suite =
     Alcotest.test_case "negative cache settings rejected" `Quick
       test_negative_cache_settings;
     Alcotest.test_case "zero bounds are valid" `Quick test_zero_bounds_are_valid;
+    Alcotest.test_case "negative index_budget rejected" `Quick
+      test_negative_index_budget;
+    Alcotest.test_case "planner knobs are valid" `Quick test_planner_knobs_are_valid;
     Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate;
     Alcotest.test_case "System.build enforces validate" `Quick
       test_build_rejects_bad_options;

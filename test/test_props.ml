@@ -82,6 +82,54 @@ let prop_eval_matches_reference =
       let slow = sorted_tuples (Test_eval.reference_answers source q) in
       List.equal Tuple.equal fast slow)
 
+(* Random databases drawn through the workload generator (seeded,
+   optionally zipf-skewed) rather than the hand-rolled gen_db above:
+   the cost-based planner must return exactly the legacy evaluator's
+   answer set, whatever the data shape. *)
+let gen_datagen_db =
+  let open Gen in
+  let* seed = int_range 0 10000 in
+  let* skew = oneofl [ 0.0; 1.0 ] in
+  let* r_count = int_range 0 30 in
+  let* s_count = int_range 0 30 in
+  let rng = Codb_workload.Rng.make ~seed in
+  let profile = { Codb_workload.Datagen.domain_size = 6; skew } in
+  let r_schema = int_pair_schema "r" and s_schema = int_pair_schema "s2" in
+  let db = Database.create [ r_schema; s_schema ] in
+  ignore
+    (Database.insert_all db "r"
+       (Codb_workload.Datagen.tuples rng profile r_schema ~count:r_count));
+  ignore
+    (Database.insert_all db "s2"
+       (Codb_workload.Datagen.tuples rng profile s_schema ~count:s_count));
+  return db
+
+let subst_set substs =
+  List.sort_uniq compare (List.map Codb_cq.Subst.bindings substs)
+
+let prop_planner_matches_legacy =
+  Q2.Test.make ~name:"planned evaluation = legacy evaluation" ~count:300
+    (Gen.pair gen_datagen_db gen_query)
+    (fun (db, q) ->
+      let source = Eval.of_database db in
+      let legacy = subst_set (Eval.answers ~planner:false source q) in
+      subst_set (Eval.answers ~planner:true source q) = legacy
+      && subst_set (Eval.answers ~max_probe_cols:1 source q) = legacy)
+
+let prop_planner_matches_legacy_on_deltas =
+  Q2.Test.make ~name:"planned delta evaluation = legacy delta evaluation"
+    ~count:150
+    (Gen.triple gen_datagen_db (Gen.list_size (Gen.int_range 1 5) gen_tuple)
+       gen_query)
+    (fun (db, delta_candidates, q) ->
+      let source = Eval.of_database db in
+      let delta = Database.insert_all db "r" delta_candidates in
+      let run planner =
+        subst_set
+          (Eval.delta_answers ~planner source ~delta_rel:"r" ~delta q)
+      in
+      run true = run false)
+
 let prop_delta_brackets_gain =
   Q2.Test.make ~name:"semi-naive delta brackets the gained answers" ~count:200
     (Gen.triple gen_db (Gen.list_size (Gen.int_range 1 5) gen_tuple) gen_query)
@@ -369,6 +417,8 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_eval_matches_reference;
+      prop_planner_matches_legacy;
+      prop_planner_matches_legacy_on_deltas;
       prop_delta_brackets_gain;
       prop_roundtrip_config;
       prop_update_terminates_and_is_idempotent;

@@ -124,6 +124,94 @@ let test_copy_does_not_share_indexes () =
   check_tuples "original index unchanged" [ tup [ i 1; i 10 ] ]
     (Relation.lookup r ~col:0 (i 1))
 
+let test_lookup_cols () =
+  let r = fresh () in
+  ignore
+    (Relation.insert_all r
+       [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]);
+  check_tuples "composite probe" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10) ]);
+  check_tuples "order of bindings irrelevant" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (1, i 10); (0, i 1) ]);
+  check_tuples "single binding = single-column lookup"
+    [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup_cols r [ (0, i 1) ]);
+  check_tuples "duplicate bindings collapse" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10); (0, i 1) ]);
+  check_tuples "contradictory bindings are empty" []
+    (Relation.lookup_cols r [ (0, i 1); (0, i 2) ]);
+  check_tuples "no bindings = every tuple"
+    [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]
+    (Relation.lookup_cols r []);
+  check_tuples "miss" [] (Relation.lookup_cols r [ (0, i 1); (1, i 99) ]);
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Relation.lookup_cols r [ (0, i 1); (2, i 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_composite_index_maintained () =
+  let r = fresh () in
+  ignore (Relation.insert r (tup [ i 1; i 10 ]));
+  (* build the composite index, then mutate: the probe must track the
+     contents without a rebuild *)
+  check_tuples "before" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10) ]);
+  let indexes_before = Relation.index_count r in
+  ignore (Relation.insert r (tup [ i 1; i 20 ]));
+  ignore (Relation.insert r (tup [ i 2; i 10 ]));
+  check_tuples "sees inserts" [ tup [ i 1; i 20 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 20) ]);
+  ignore (Relation.remove r (tup [ i 1; i 10 ]));
+  check_tuples "sees removals" [] (Relation.lookup_cols r [ (0, i 1); (1, i 10) ]);
+  Alcotest.(check int) "no index was dropped or added" indexes_before
+    (Relation.index_count r);
+  Relation.clear r;
+  check_tuples "after clear" [] (Relation.lookup_cols r [ (0, i 1); (1, i 20) ])
+
+let test_distinct_count () =
+  let r = fresh () in
+  ignore
+    (Relation.insert_all r
+       [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]);
+  Alcotest.(check int) "col 0" 2 (Relation.distinct_count r ~col:0);
+  Alcotest.(check int) "col 1" 2 (Relation.distinct_count r ~col:1);
+  (* maintained incrementally from here on *)
+  ignore (Relation.insert r (tup [ i 3; i 10 ]));
+  Alcotest.(check int) "after insert" 3 (Relation.distinct_count r ~col:0);
+  ignore (Relation.remove r (tup [ i 2; i 10 ]));
+  Alcotest.(check int) "after remove" 2 (Relation.distinct_count r ~col:0);
+  ignore (Relation.remove r (tup [ i 1; i 20 ]));
+  Alcotest.(check int) "value with remaining occurrence kept" 2
+    (Relation.distinct_count r ~col:0);
+  Alcotest.(check bool) "out of range raises" true
+    (try
+       ignore (Relation.distinct_count r ~col:5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_index_budget () =
+  let r = fresh () in
+  ignore
+    (Relation.insert_all r
+       [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]);
+  Relation.set_index_budget r 0;
+  Alcotest.(check int) "budget readable" 0 (Relation.index_budget r);
+  (* probes still answer correctly, just without building indexes *)
+  check_tuples "scan fallback, single column" [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup r ~col:0 (i 1));
+  check_tuples "scan fallback, composite" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10) ]);
+  Alcotest.(check int) "nothing was built" 0 (Relation.index_count r);
+  (* budget of one: the first index wins, later column sets degrade *)
+  Relation.set_index_budget r 1;
+  check_tuples "first index built" [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ] ]
+    (Relation.lookup r ~col:0 (i 1));
+  Alcotest.(check int) "one index" 1 (Relation.index_count r);
+  check_tuples "over-budget probe still correct" [ tup [ i 1; i 10 ] ]
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10) ]);
+  Alcotest.(check int) "still one index" 1 (Relation.index_count r)
+
 let test_to_list_sorted () =
   let r = fresh () in
   ignore (Relation.insert_all r [ tup [ i 3; i 0 ]; tup [ i 1; i 0 ]; tup [ i 2; i 0 ] ]);
@@ -149,4 +237,9 @@ let suite =
       test_lookup_nulls_by_identity;
     Alcotest.test_case "copy does not share indexes" `Quick
       test_copy_does_not_share_indexes;
+    Alcotest.test_case "composite lookup" `Quick test_lookup_cols;
+    Alcotest.test_case "composite index maintained incrementally" `Quick
+      test_composite_index_maintained;
+    Alcotest.test_case "distinct-value statistics" `Quick test_distinct_count;
+    Alcotest.test_case "index budget degrades to scans" `Quick test_index_budget;
   ]
