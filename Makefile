@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench examples clean
 
 all: build
 
@@ -25,6 +25,10 @@ cache-bench:
 # planner ablation -> BENCH_planner.json (machine-readable perf trajectory)
 bench-json:
 	dune exec bench/main.exe -- bench-json
+
+# wire ablation -> BENCH_wire.json (codec x batching x bloom)
+wire-bench:
+	dune exec bench/main.exe -- wire-json
 
 examples: build
 	dune exec examples/quickstart.exe

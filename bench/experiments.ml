@@ -590,9 +590,15 @@ let e13 () =
    BENCH_planner.json. *)
 let e14 () = Planner_bench.run ~json:true ()
 
+(* E15 — wire ablation (compact codec vs the size estimator, batching
+   on/off, Bloom-bounded sent filters), on a skewed ring update.
+   Implemented in Wire_bench so that `wire-json` can run the same
+   measurement headlessly and emit BENCH_wire.json. *)
+let e15 () = Wire_bench.run ~json:true ()
+
 let all = [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
             ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-            ("e12", e12); ("e13", e13); ("e14", e14) ]
+            ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15) ]
 
 let run names =
   let wanted (name, _) = names = [] || List.mem name names in

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
      dune exec bench/main.exe -- bench-json   # planner ablation -> BENCH_planner.json
      dune exec bench/main.exe -- bench-json --tiny  # CI smoke workload
+     dune exec bench/main.exe -- wire-json    # wire ablation -> BENCH_wire.json
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
 let () =
@@ -30,16 +31,18 @@ let () =
   | [ "experiments" ] -> Experiments.run []
   | [ "micro" ] -> Micro.run ()
   | [ "bench-json" ] -> Planner_bench.run ~tiny:!tiny ()
+  | [ "wire-json" ] -> Wire_bench.run ~tiny:!tiny ()
   | names ->
       if List.mem "micro" names then Micro.run ();
       if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
+      if List.mem "wire-json" names then Wire_bench.run ~tiny:!tiny ();
       let experiment_names =
-        List.filter (fun n -> n <> "micro" && n <> "bench-json") names
+        List.filter (fun n -> n <> "micro" && n <> "bench-json" && n <> "wire-json") names
       in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
-        Printf.eprintf "unknown experiment(s): %s (known: %s, micro, bench-json)\n"
+        Printf.eprintf "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

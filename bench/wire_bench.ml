@@ -1,0 +1,233 @@
+(* Wire-efficiency ablation (experiment E15 and `make wire-bench`).
+
+   One global update on a skewed clique workload — every node both
+   fans in and fans out, so the same closure arrives over many links
+   in a short interval, which is exactly the traffic shape batching
+   and duplicate suppression exist for — run once per corner of the
+   (encoding x batching x bloom) cube:
+
+     encoding   the schema-based size estimator of the seed vs the
+                compact binary codec (varints, zigzag, per-message
+                string dictionary) — changes what a message *costs*,
+                never what it says;
+     batching   per-destination delta buffering inside
+                [batch_window], shipped as one [Update_batch] per
+                flush — changes how many messages carry the same
+                tuples;
+     bloom      the bounded sent-filter (Bloom front + exact LRU
+                ring) in place of the unbounded per-link sent cache —
+                changes duplicate-suppression memory, at the price of
+                possible re-sends.
+
+   Every corner must commit exactly the same final stores as the seed
+   configuration (checked tuple-for-tuple); the interesting output is
+   the message count and byte volume.  Results are printed as a table
+   and written to BENCH_wire.json for trend tracking; invariant
+   violations (diverging stores, batching that *increases* bytes)
+   abort the benchmark so CI fails loudly. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+module Database = Codb_relalg.Database
+module Datagen = Codb_workload.Datagen
+
+type workload = { wl_nodes : int; wl_tuples : int; wl_domain : int; wl_skew : float }
+
+let workload ~tiny =
+  if tiny then { wl_nodes = 5; wl_tuples = 30; wl_domain = 30; wl_skew = 1.0 }
+  else { wl_nodes = 10; wl_tuples = 80; wl_domain = 60; wl_skew = 1.0 }
+
+let config wl =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = wl.wl_tuples;
+      profile = { Datagen.domain_size = wl.wl_domain; skew = wl.wl_skew };
+    }
+  in
+  Topology.generate ~params ~seed:1500 Topology.Clique ~n:wl.wl_nodes
+
+type corner = {
+  c_name : string;
+  c_codec : bool;
+  c_batched : bool;
+  c_bloom : bool;
+}
+
+(* The seed configuration first: it is the equivalence baseline. *)
+let corners =
+  [
+    { c_name = "estimator"; c_codec = false; c_batched = false; c_bloom = false };
+    { c_name = "estimator+batch"; c_codec = false; c_batched = true; c_bloom = false };
+    { c_name = "codec"; c_codec = true; c_batched = false; c_bloom = false };
+    { c_name = "codec+bloom"; c_codec = true; c_batched = false; c_bloom = true };
+    { c_name = "codec+batch"; c_codec = true; c_batched = true; c_bloom = false };
+    { c_name = "codec+batch+bloom"; c_codec = true; c_batched = true; c_bloom = true };
+  ]
+
+(* Ten network latencies: enough for several delta waves of the ring
+   fix-point to land inside one window. *)
+let batch_window = 10.0 *. Options.default.Options.latency
+
+let opts_of c =
+  {
+    Options.default with
+    Options.wire_codec = c.c_codec;
+    batch_window = (if c.c_batched then batch_window else 0.0);
+    sent_bloom_bits = (if c.c_bloom then 4096 else 0);
+    sent_ring_capacity = 512;
+  }
+
+type measurement = {
+  m_corner : corner;
+  m_sys : System.t;
+  m_wire : Report.wire_report;
+  m_delivered : int;  (* every message, control included *)
+  m_total_bytes : int;  (* network-wide, control included *)
+  m_duration : float;
+  m_new_tuples : int;
+  m_wall_s : float;
+}
+
+let measure wl c =
+  let sys = System.build_exn ~opts:(opts_of c) (config wl) in
+  let wall_start = Unix.gettimeofday () in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let wire = Option.get (Report.wire_report (System.snapshots sys) uid) in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  let counters = Network.counters (System.net sys) in
+  {
+    m_corner = c;
+    m_sys = sys;
+    m_wire = wire;
+    m_delivered = counters.Network.delivered;
+    m_total_bytes = counters.Network.total_bytes;
+    m_duration = report.Report.ur_duration;
+    m_new_tuples = report.Report.ur_new_tuples;
+    m_wall_s = wall;
+  }
+
+let check_stores_equal baseline m =
+  let names = System.node_names baseline.m_sys in
+  List.iter
+    (fun name ->
+      let store sys = (System.node sys name).Node.store in
+      if not (Database.equal_contents (store baseline.m_sys) (store m.m_sys)) then
+        failwith
+          (Printf.sprintf
+             "wire ablation diverged: %s and %s disagree on the store of %s"
+             baseline.m_corner.c_name m.m_corner.c_name name))
+    names
+
+let ratio base own = if own > 0 then float_of_int base /. float_of_int own else nan
+
+let check_invariants measurements =
+  let baseline = List.hd measurements in
+  (* the ablation varies the wire encoding and traffic shape only:
+     every corner must reach the seed's fix-point, store for store *)
+  List.iter (check_stores_equal baseline) (List.tl measurements);
+  (* batching exists to save bytes; a batched corner that costs more
+     than its unbatched twin is a regression worth failing on *)
+  List.iter
+    (fun m ->
+      if m.m_corner.c_batched then begin
+        let twin =
+          List.find
+            (fun b ->
+              b.m_corner.c_codec = m.m_corner.c_codec
+              && b.m_corner.c_bloom = m.m_corner.c_bloom
+              && not b.m_corner.c_batched)
+            measurements
+        in
+        if m.m_total_bytes > twin.m_total_bytes then
+          failwith
+            (Printf.sprintf "batching increased wire bytes: %s %d B > %s %d B"
+               m.m_corner.c_name m.m_total_bytes twin.m_corner.c_name
+               twin.m_total_bytes)
+      end)
+    measurements
+
+let measure_all ~tiny () =
+  let wl = workload ~tiny in
+  let measurements = List.map (measure wl) corners in
+  (wl, measurements)
+
+let print_table wl measurements =
+  let baseline = List.hd measurements in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E15 - wire ablation (clique N=%d, %d tuples/node, zipf %.1f over %d values)"
+         wl.wl_nodes wl.wl_tuples wl.wl_skew wl.wl_domain)
+    ~header:
+      [
+        "corner"; "data msgs"; "batches"; "avg tup/batch"; "coalesced"; "resends";
+        "bytes"; "bytes vs seed"; "msgs vs seed"; "sim (s)";
+      ]
+    (List.map
+       (fun m ->
+         [
+           m.m_corner.c_name;
+           Tables.i0 m.m_wire.Report.wr_data_msgs;
+           Tables.i0 m.m_wire.Report.wr_batches;
+           Tables.f2 m.m_wire.Report.wr_avg_batch;
+           Tables.i0 m.m_wire.Report.wr_coalesced;
+           Tables.i0 m.m_wire.Report.wr_resends;
+           Tables.i0 m.m_total_bytes;
+           Printf.sprintf "%.2fx" (ratio baseline.m_total_bytes m.m_total_bytes);
+           Printf.sprintf "%.2fx"
+             (ratio baseline.m_wire.Report.wr_data_msgs m.m_wire.Report.wr_data_msgs);
+           Tables.f4 m.m_duration;
+         ])
+       measurements)
+
+(* Hand-rolled JSON: the harness must not grow dependencies. *)
+let write_json ~path wl measurements =
+  let baseline = List.hd measurements in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"wire-ablation\",\n";
+  p "  \"workload\": {\"topology\": \"clique\", \"nodes\": %d, \"tuples_per_node\": %d, \
+     \"domain\": %d, \"skew\": %g},\n"
+    wl.wl_nodes wl.wl_tuples wl.wl_domain wl.wl_skew;
+  p "  \"batch_window_s\": %g,\n" batch_window;
+  p "  \"corners\": [\n";
+  let n = List.length measurements in
+  List.iteri
+    (fun i m ->
+      p "    {\"name\": \"%s\", \"codec\": %b, \"batched\": %b, \"bloom\": %b, \
+         \"data_msgs\": %d, \"delivered_msgs\": %d, \"batches\": %d, \
+         \"batch_tuples\": %d, \"coalesced\": %d, \"resends\": %d, \
+         \"data_bytes\": %d, \"total_bytes\": %d, \"bytes_reduction\": %.2f, \
+         \"data_msg_reduction\": %.2f, \"sim_duration_s\": %.4f, \
+         \"new_tuples\": %d, \"wall_s\": %.4f}%s\n"
+        m.m_corner.c_name m.m_corner.c_codec m.m_corner.c_batched m.m_corner.c_bloom
+        m.m_wire.Report.wr_data_msgs m.m_delivered m.m_wire.Report.wr_batches
+        m.m_wire.Report.wr_batch_tuples m.m_wire.Report.wr_coalesced
+        m.m_wire.Report.wr_resends m.m_wire.Report.wr_bytes m.m_total_bytes
+        (ratio baseline.m_total_bytes m.m_total_bytes)
+        (ratio baseline.m_wire.Report.wr_data_msgs m.m_wire.Report.wr_data_msgs)
+        m.m_duration m.m_new_tuples m.m_wall_s
+        (if i = n - 1 then "" else ","))
+    measurements;
+  p "  ],\n";
+  p "  \"stores_identical_across_corners\": true\n";
+  p "}\n";
+  close_out oc
+
+let json_path = "BENCH_wire.json"
+
+let run ?(tiny = false) ?(json = true) () =
+  let wl, measurements = measure_all ~tiny () in
+  print_table wl measurements;
+  check_invariants measurements;
+  if json then begin
+    write_json ~path:json_path wl measurements;
+    Printf.printf "wrote %s\n%!" json_path
+  end

@@ -7,6 +7,7 @@
      query     answer a conjunctive query at a node
      explain   print the cost-based evaluation plan for a query
      cache     exercise the query-answer cache on a repeated workload
+     wire      run a global update and report its wire behaviour
      discover  run topology discovery from a node
      info      print the parsed network structure
 
@@ -199,6 +200,40 @@ let cache_cmd file at text repeat update_between capacity max_bytes ttl no_conta
   Fmt.pr "network: %d delivered, %d dropped, %d B carried, %d B dropped@."
     c.Codb_net.Network.delivered c.Codb_net.Network.dropped
     c.Codb_net.Network.total_bytes c.Codb_net.Network.dropped_bytes;
+  0
+
+(* --- wire ---------------------------------------------------------- *)
+
+let wire_cmd file initiator estimator batch_window batch_max bloom_bits ring_capacity =
+  let opts =
+    {
+      Options.default with
+      Options.wire_codec = not estimator;
+      batch_window;
+      batch_max_tuples = batch_max;
+      sent_bloom_bits = bloom_bits;
+      sent_ring_capacity = ring_capacity;
+    }
+  in
+  (match Options.validate opts with
+  | Ok () -> ()
+  | Error errors ->
+      List.iter prerr_endline errors;
+      exit 1);
+  let sys = or_die (load_system ~opts file) in
+  let initiator =
+    match initiator with
+    | Some name -> name
+    | None -> List.hd (System.node_names sys)
+  in
+  let uid = System.run_update sys ~initiator in
+  (match Report.wire_report (System.snapshots sys) uid with
+  | Some w -> Fmt.pr "%a@." Report.pp_wire_report w
+  | None -> Fmt.pr "no statistics recorded?@.");
+  let c = Codb_net.Network.counters (System.net sys) in
+  Fmt.pr "network: %d message(s) delivered, %d B carried%s@." c.Codb_net.Network.delivered
+    c.Codb_net.Network.total_bytes
+    (if estimator then " (estimated sizes)" else " (encoded sizes)");
   0
 
 (* --- discover ------------------------------------------------------ *)
@@ -453,6 +488,57 @@ let cache_t =
       const cache_cmd $ file_arg $ at $ text $ repeat $ update_between $ capacity
       $ max_bytes $ ttl $ no_containment)
 
+let wire_t =
+  let doc = "Run a global update and report its wire behaviour." in
+  let initiator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "initiator"; "at" ] ~doc:"Initiating node (default: first node).")
+  in
+  let estimator =
+    Arg.(
+      value & flag
+      & info [ "estimator" ]
+          ~doc:
+            "Charge messages by the schema-based size estimate instead of the compact \
+             binary codec (the pre-codec behaviour).")
+  in
+  let batch_window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "batch-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Buffer outgoing deltas per destination for this much simulated time and \
+             ship them as one batch (0 = send immediately).")
+  in
+  let batch_max =
+    Arg.(
+      value
+      & opt int Options.default.Options.batch_max_tuples
+      & info [ "batch-max-tuples" ] ~docv:"N"
+          ~doc:"Flush a destination buffer early once it holds N tuples.")
+  in
+  let bloom_bits =
+    Arg.(
+      value & opt int 0
+      & info [ "bloom-bits" ] ~docv:"N"
+          ~doc:
+            "Bound each per-rule sent-cache with an N-bit Bloom filter (power of two) \
+             plus an exact ring; 0 keeps the unbounded exact caches.")
+  in
+  let ring_capacity =
+    Arg.(
+      value
+      & opt int Options.default.Options.sent_ring_capacity
+      & info [ "ring-capacity" ] ~docv:"N"
+          ~doc:"Tuples held exactly per bounded sent-cache (with $(b,--bloom-bits)).")
+  in
+  Cmd.v (Cmd.info "wire" ~doc)
+    Term.(
+      const wire_cmd $ file_arg $ initiator $ estimator $ batch_window $ batch_max
+      $ bloom_bits $ ring_capacity)
+
 let discover_t =
   let doc = "Run JXTA-style topology discovery from a node." in
   let at = Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Origin node.") in
@@ -558,8 +644,8 @@ let main =
   Cmd.group
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
-      validate_t; generate_t; update_t; query_t; explain_t; cache_t; discover_t;
-      info_t; analyse_t; shell_t; dump_t; load_t;
+      validate_t; generate_t; update_t; query_t; explain_t; cache_t; wire_t;
+      discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -298,7 +298,16 @@ let store t ~now q answers ~sources =
   Lru.add t.lru ~now key entry ~bytes:(entry_bytes key entry);
   t.c_stores <- t.c_stores + 1
 
-let note_update t peers = Epoch.bump_all t.epochs peers
+let count_stale t =
+  Lru.fold
+    (fun ~key:_ ~value ~stored_at:_ acc ->
+      if Epoch.is_current t.epochs value.e_stamp then acc else acc + 1)
+    t.lru 0
+
+let note_update t peers =
+  let stale_before = count_stale t in
+  Epoch.bump_all t.epochs peers;
+  count_stale t - stale_before
 
 let counters t =
   let lc = Lru.counters t.lru in

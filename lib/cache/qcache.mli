@@ -63,10 +63,12 @@ val store : t -> now:float -> Query.t -> Tuple.t list -> sources:Peer_id.t list 
 (** Cache a completed query's answers, stamped with the current epochs
     of [sources] (the node itself plus the peers that contributed). *)
 
-val note_update : t -> Peer_id.t list -> unit
+val note_update : t -> Peer_id.t list -> int
 (** Bump the epoch view of the given peers (called when an update
-    commits at this node; subsequent lookups drop dependent
-    entries). *)
+    commits at this node; subsequent lookups drop dependent entries).
+    Returns how many live entries this bump newly staled — the
+    cache-churn attributable to the update, surfaced in
+    {!Codb_core.Stats}. *)
 
 val answers_via_containment :
   cached:Query.t -> answers:Tuple.t list -> Query.t -> Tuple.t list option

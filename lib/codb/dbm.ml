@@ -8,8 +8,8 @@ module Log = (val Logs.src_log src_log : Logs.LOG)
 let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
   let src = msg.Message.src and bytes = msg.Message.size in
   match msg.Message.payload with
-  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _
-  | Payload.Update_ack _ | Payload.Update_terminated _ ->
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+  | Payload.Update_link_closed _ | Payload.Update_ack _ | Payload.Update_terminated _ ->
       Update.handle rt ~src ~bytes msg.Message.payload
   | Payload.Query_request _ | Payload.Query_data _ | Payload.Query_done _ ->
       Query_engine.handle rt ~src ~bytes msg.Message.payload

@@ -54,7 +54,8 @@ let handle rt ~src payload =
   | Payload.Discovery_probe { probe_id; ttl; path } -> on_probe rt ~probe_id ~ttl ~path
   | Payload.Discovery_reply { probe_id; path; peers } ->
       send_reply rt ~probe_id ~route:path ~peers
-  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+  | Payload.Update_link_closed _
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
   | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _ ->

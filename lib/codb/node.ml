@@ -88,7 +88,7 @@ let cache_snapshot node =
 
 let note_local_write node =
   Option.iter
-    (fun cache -> Codb_cache.Qcache.note_update cache [ node.node_id ])
+    (fun cache -> ignore (Codb_cache.Qcache.note_update cache [ node.node_id ]))
     node.cache
 
 let find_rule rules id = List.find_opt (fun r -> String.equal r.Config.rule_id id) rules

@@ -12,6 +12,11 @@ type t = {
   cache_containment : bool;
   planner : bool;
   index_budget : int;
+  wire_codec : bool;
+  batch_window : float;
+  batch_max_tuples : int;
+  sent_bloom_bits : int;
+  sent_ring_capacity : int;
 }
 
 let default =
@@ -29,6 +34,11 @@ let default =
     cache_containment = true;
     planner = true;
     index_budget = 16;
+    wire_codec = true;
+    batch_window = 0.0;
+    batch_max_tuples = 256;
+    sent_bloom_bits = 0;
+    sent_ring_capacity = 512;
   }
 
 let with_cache =
@@ -55,4 +65,23 @@ let validate t =
   if t.index_budget < 0 then
     reject
       (Printf.sprintf "options: index_budget must be >= 0 (got %d)" t.index_budget);
+  if t.batch_window < 0.0 then
+    reject (Printf.sprintf "options: batch_window must be >= 0 (got %g)" t.batch_window);
+  if t.batch_max_tuples < 1 then
+    reject
+      (Printf.sprintf "options: batch_max_tuples must be >= 1 (got %d)"
+         t.batch_max_tuples);
+  let max_bloom_bits = 1 lsl 24 in
+  let is_power_of_two n = n > 0 && n land (n - 1) = 0 in
+  if t.sent_bloom_bits <> 0
+     && not (is_power_of_two t.sent_bloom_bits && t.sent_bloom_bits <= max_bloom_bits)
+  then
+    reject
+      (Printf.sprintf
+         "options: sent_bloom_bits must be 0 or a power of two <= %d (got %d)"
+         max_bloom_bits t.sent_bloom_bits);
+  if t.sent_ring_capacity < 1 then
+    reject
+      (Printf.sprintf "options: sent_ring_capacity must be >= 1 (got %d)"
+         t.sent_ring_capacity);
   match List.rev !errors with [] -> Ok () | errors -> Error errors

@@ -41,6 +41,25 @@ type t = {
       (** max distinct hash indexes per relation (composite and
           single-column combined); 0 disables index building and every
           probe degrades to a filtered scan *)
+  wire_codec : bool;
+      (** size update traffic by the compact binary encoding
+          ({!Payload.encoded_size}) instead of the legacy field-count
+          estimator; the E15 ablation switch *)
+  batch_window : float;
+      (** simulated seconds that outgoing update data may linger in a
+          per-destination buffer waiting to be coalesced into one
+          message; 0 sends every rule firing immediately (the paper's
+          behaviour) *)
+  batch_max_tuples : int;
+      (** flush a destination's buffer early once it holds this many
+          tuples, bounding both memory and single-message size *)
+  sent_bloom_bits : int;
+      (** bits in the per-rule Bloom filter that fronts the sent-cache;
+          must be a power of two when non-zero; 0 keeps the exact
+          unbounded [Tuple_set] sent-cache of the seed *)
+  sent_ring_capacity : int;
+      (** entries in the bounded exact ring behind the Bloom filter;
+          evicted tuples may be re-sent (never dropped) *)
 }
 
 val default : t
@@ -51,5 +70,7 @@ val with_cache : t
 val validate : t -> (unit, string list) result
 (** Reject non-sensical settings: negative [latency] or [byte_cost],
     non-positive [max_update_events], negative cache capacities, TTL
-    or [index_budget].  Called by {!System.build} before any node is
-    created. *)
+    or [index_budget]; negative [batch_window], [batch_max_tuples] < 1,
+    [sent_bloom_bits] that is neither 0 nor a power of two within
+    budget, [sent_ring_capacity] < 1.  Called by {!System.build}
+    before any node is created. *)

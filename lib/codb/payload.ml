@@ -1,7 +1,11 @@
 module Peer_id = Codb_net.Peer_id
+module Codec = Codb_net.Codec
 module Tuple = Codb_relalg.Tuple
+module Value = Codb_relalg.Value
 
 type update_scope = Global | For_rule of string
+
+type batch_entry = { be_rule : string; be_hops : int; be_tuples : Tuple.t list }
 
 type t =
   | Update_request of { update_id : Ids.update_id; scope : update_scope }
@@ -10,6 +14,11 @@ type t =
       rule_id : string;
       tuples : Tuple.t list;
       hops : int;
+      global : bool;
+    }
+  | Update_batch of {
+      update_id : Ids.update_id;
+      entries : batch_entry list;
       global : bool;
     }
   | Update_link_closed of { update_id : Ids.update_id; rule_id : string; global : bool }
@@ -44,6 +53,10 @@ let size = function
   | Update_request { scope = Global; _ } -> 24
   | Update_request { scope = For_rule rule; _ } -> 24 + String.length rule
   | Update_data { tuples; _ } -> 32 + tuples_bytes tuples
+  | Update_batch { entries; _ } ->
+      List.fold_left
+        (fun acc e -> acc + 8 + String.length e.be_rule + tuples_bytes e.be_tuples)
+        24 entries
   | Update_link_closed _ -> 28
   | Update_ack _ -> 20
   | Update_terminated _ -> 20
@@ -61,7 +74,7 @@ let size = function
       16 + String.length probe_id + peers_bytes path + peers_bytes peers
 
 let is_update_protocol = function
-  | Update_request _ | Update_data _ | Update_link_closed _ -> true
+  | Update_request _ | Update_data _ | Update_batch _ | Update_link_closed _ -> true
   | Update_ack _ | Update_terminated _ | Query_request _ | Query_data _ | Query_done _
   | Rules_file _ | Start_update | Stats_request | Stats_response _ | Discovery_probe _
   | Discovery_reply _ ->
@@ -74,6 +87,9 @@ let describe = function
       Printf.sprintf "update-request %s for %s" (Ids.string_of_update update_id) rule
   | Update_data { rule_id; tuples; _ } ->
       Printf.sprintf "update-data %s (%d tuples)" rule_id (List.length tuples)
+  | Update_batch { entries; _ } ->
+      Printf.sprintf "update-batch (%d rules, %d tuples)" (List.length entries)
+        (List.fold_left (fun acc e -> acc + List.length e.be_tuples) 0 entries)
   | Update_link_closed { rule_id; _ } -> "link-closed " ^ rule_id
   | Update_ack _ -> "ack"
   | Update_terminated _ -> "terminated"
@@ -88,3 +104,260 @@ let describe = function
   | Discovery_probe { ttl; _ } -> Printf.sprintf "discovery-probe ttl=%d" ttl
   | Discovery_reply { peers; _ } ->
       Printf.sprintf "discovery-reply (%d peers)" (List.length peers)
+
+(* ---- Compact binary wire format ------------------------------------- *)
+(* One tag byte per payload, then fields through Codb_net.Codec: counts and
+   lengths as unsigned varints, every other integer zigzag-encoded, strings
+   through the per-message dictionary (rule ids, peer names, null provenance
+   tags and skewed data strings all repeat heavily within one message).
+   [Stats_response] carries an in-memory snapshot record that never crosses
+   the measured update path, so it is deliberately not encodable; its size
+   keeps using the estimator. *)
+
+let tag_of = function
+  | Update_request { scope = Global; _ } -> 0
+  | Update_request { scope = For_rule _; _ } -> 1
+  | Update_data _ -> 2
+  | Update_batch _ -> 3
+  | Update_link_closed _ -> 4
+  | Update_ack _ -> 5
+  | Update_terminated _ -> 6
+  | Query_request _ -> 7
+  | Query_data _ -> 8
+  | Query_done _ -> 9
+  | Rules_file _ -> 10
+  | Start_update -> 11
+  | Stats_request -> 12
+  | Stats_response _ -> 13
+  | Discovery_probe _ -> 14
+  | Discovery_reply _ -> 15
+
+let put_value w = function
+  | Value.Int n ->
+      Codec.byte w 0;
+      Codec.zigzag w n
+  | Value.Float f ->
+      Codec.byte w 1;
+      Codec.float64 w f
+  | Value.Str s ->
+      Codec.byte w 2;
+      Codec.string w s
+  | Value.Bool false -> Codec.byte w 3
+  | Value.Bool true -> Codec.byte w 4
+  | Value.Null { Value.null_id; null_rule } ->
+      Codec.byte w 5;
+      Codec.zigzag w null_id;
+      Codec.string w null_rule
+  | Value.Hole i ->
+      Codec.byte w 6;
+      Codec.zigzag w i
+
+let get_value r =
+  match Codec.read_byte r with
+  | 0 -> Value.Int (Codec.read_zigzag r)
+  | 1 -> Value.Float (Codec.read_float64 r)
+  | 2 -> Value.Str (Codec.read_string r)
+  | 3 -> Value.Bool false
+  | 4 -> Value.Bool true
+  | 5 ->
+      let null_id = Codec.read_zigzag r in
+      let null_rule = Codec.read_string r in
+      Value.Null { Value.null_id; null_rule }
+  | 6 -> Value.Hole (Codec.read_zigzag r)
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown value tag %d" n))
+
+let put_tuple w (t : Tuple.t) =
+  Codec.varint w (Array.length t);
+  Array.iter (put_value w) t
+
+let get_tuple r =
+  let arity = Codec.read_varint r in
+  Array.init arity (fun _ -> get_value r)
+
+let put_tuples w tuples =
+  Codec.varint w (List.length tuples);
+  List.iter (put_tuple w) tuples
+
+let get_tuples r = List.init (Codec.read_varint r) (fun _ -> get_tuple r)
+
+let put_update_id w (u : Ids.update_id) =
+  Codec.string w (Peer_id.to_string u.Ids.u_origin);
+  Codec.zigzag w u.Ids.u_serial
+
+let get_update_id r =
+  let origin = Peer_id.of_string (Codec.read_string r) in
+  Ids.update_id origin (Codec.read_zigzag r)
+
+let put_query_id w (q : Ids.query_id) =
+  Codec.string w (Peer_id.to_string q.Ids.q_origin);
+  Codec.zigzag w q.Ids.q_serial
+
+let get_query_id r =
+  let origin = Peer_id.of_string (Codec.read_string r) in
+  Ids.query_id origin (Codec.read_zigzag r)
+
+let put_peers w peers =
+  Codec.varint w (List.length peers);
+  List.iter (fun p -> Codec.string w (Peer_id.to_string p)) peers
+
+let get_peers r =
+  List.init (Codec.read_varint r) (fun _ -> Peer_id.of_string (Codec.read_string r))
+
+let put_bool w b = Codec.byte w (if b then 1 else 0)
+
+let get_bool r =
+  match Codec.read_byte r with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Codec.Malformed (Printf.sprintf "bad bool byte %d" n))
+
+let encode payload =
+  let w = Codec.writer () in
+  Codec.byte w (tag_of payload);
+  (match payload with
+  | Update_request { update_id; scope = Global } -> put_update_id w update_id
+  | Update_request { update_id; scope = For_rule rule } ->
+      put_update_id w update_id;
+      Codec.string w rule
+  | Update_data { update_id; rule_id; tuples; hops; global } ->
+      put_update_id w update_id;
+      Codec.string w rule_id;
+      Codec.zigzag w hops;
+      put_bool w global;
+      put_tuples w tuples
+  | Update_batch { update_id; entries; global } ->
+      put_update_id w update_id;
+      put_bool w global;
+      Codec.varint w (List.length entries);
+      List.iter
+        (fun { be_rule; be_hops; be_tuples } ->
+          Codec.string w be_rule;
+          Codec.zigzag w be_hops;
+          put_tuples w be_tuples)
+        entries
+  | Update_link_closed { update_id; rule_id; global } ->
+      put_update_id w update_id;
+      Codec.string w rule_id;
+      put_bool w global
+  | Update_ack { update_id } -> put_update_id w update_id
+  | Update_terminated { update_id } -> put_update_id w update_id
+  | Query_request { query_id; request_ref; rule_id; label } ->
+      put_query_id w query_id;
+      Codec.string w request_ref;
+      Codec.string w rule_id;
+      put_peers w label
+  | Query_data { query_id; request_ref; rule_id; tuples } ->
+      put_query_id w query_id;
+      Codec.string w request_ref;
+      Codec.string w rule_id;
+      put_tuples w tuples
+  | Query_done { query_id; request_ref; rule_id } ->
+      put_query_id w query_id;
+      Codec.string w request_ref;
+      Codec.string w rule_id
+  | Rules_file { version; text } ->
+      Codec.zigzag w version;
+      Codec.raw_string w text
+  | Start_update | Stats_request -> ()
+  | Stats_response _ ->
+      invalid_arg "Payload.encode: Stats_response is not wire-encodable"
+  | Discovery_probe { probe_id; ttl; path } ->
+      Codec.string w probe_id;
+      Codec.zigzag w ttl;
+      put_peers w path
+  | Discovery_reply { probe_id; path; peers } ->
+      Codec.string w probe_id;
+      put_peers w path;
+      put_peers w peers);
+  Codec.contents w
+
+let decode bytes =
+  let r = Codec.reader bytes in
+  try
+    let payload =
+      match Codec.read_byte r with
+      | 0 ->
+          let update_id = get_update_id r in
+          Update_request { update_id; scope = Global }
+      | 1 ->
+          let update_id = get_update_id r in
+          Update_request { update_id; scope = For_rule (Codec.read_string r) }
+      | 2 ->
+          let update_id = get_update_id r in
+          let rule_id = Codec.read_string r in
+          let hops = Codec.read_zigzag r in
+          let global = get_bool r in
+          let tuples = get_tuples r in
+          Update_data { update_id; rule_id; tuples; hops; global }
+      | 3 ->
+          let update_id = get_update_id r in
+          let global = get_bool r in
+          let entries =
+            List.init (Codec.read_varint r) (fun _ ->
+                let be_rule = Codec.read_string r in
+                let be_hops = Codec.read_zigzag r in
+                let be_tuples = get_tuples r in
+                { be_rule; be_hops; be_tuples })
+          in
+          Update_batch { update_id; entries; global }
+      | 4 ->
+          let update_id = get_update_id r in
+          let rule_id = Codec.read_string r in
+          let global = get_bool r in
+          Update_link_closed { update_id; rule_id; global }
+      | 5 -> Update_ack { update_id = get_update_id r }
+      | 6 -> Update_terminated { update_id = get_update_id r }
+      | 7 ->
+          let query_id = get_query_id r in
+          let request_ref = Codec.read_string r in
+          let rule_id = Codec.read_string r in
+          let label = get_peers r in
+          Query_request { query_id; request_ref; rule_id; label }
+      | 8 ->
+          let query_id = get_query_id r in
+          let request_ref = Codec.read_string r in
+          let rule_id = Codec.read_string r in
+          let tuples = get_tuples r in
+          Query_data { query_id; request_ref; rule_id; tuples }
+      | 9 ->
+          let query_id = get_query_id r in
+          let request_ref = Codec.read_string r in
+          let rule_id = Codec.read_string r in
+          Query_done { query_id; request_ref; rule_id }
+      | 10 ->
+          let version = Codec.read_zigzag r in
+          Rules_file { version; text = Codec.read_raw_string r }
+      | 11 -> Start_update
+      | 12 -> Stats_request
+      | 13 -> raise (Codec.Malformed "Stats_response is not wire-encodable")
+      | 14 ->
+          let probe_id = Codec.read_string r in
+          let ttl = Codec.read_zigzag r in
+          let path = get_peers r in
+          Discovery_probe { probe_id; ttl; path }
+      | 15 ->
+          let probe_id = Codec.read_string r in
+          let path = get_peers r in
+          let peers = get_peers r in
+          Discovery_reply { probe_id; path; peers }
+      | n -> raise (Codec.Malformed (Printf.sprintf "unknown payload tag %d" n))
+    in
+    if Codec.at_end r then Ok payload
+    else Error "Payload.decode: trailing bytes"
+  with Codec.Malformed why -> Error ("Payload.decode: " ^ why)
+
+let encode_tuples tuples =
+  let w = Codec.writer () in
+  put_tuples w tuples;
+  Codec.contents w
+
+let decode_tuples bytes =
+  let r = Codec.reader bytes in
+  try
+    let tuples = get_tuples r in
+    if Codec.at_end r then Ok tuples else Error "Payload.decode_tuples: trailing bytes"
+  with Codec.Malformed why -> Error ("Payload.decode_tuples: " ^ why)
+
+let encoded_size = function
+  | Stats_response { stats } -> 1 + Stats.snapshot_size_bytes stats
+  | payload -> String.length (encode payload)

@@ -9,6 +9,12 @@
 module Peer_id = Codb_net.Peer_id
 module Tuple = Codb_relalg.Tuple
 
+type batch_entry = {
+  be_rule : string;  (** coordination rule the tuples belong to *)
+  be_hops : int;  (** max propagation-path length among the coalesced firings *)
+  be_tuples : Tuple.t list;
+}
+
 type update_scope =
   | Global
       (** a full global update: flooded to every acquaintance, every
@@ -33,6 +39,14 @@ type t =
       global : bool;
           (** lets a node first contacted by data (races with the
               request flood) know which protocol variant it joined *)
+    }
+  | Update_batch of {
+      update_id : Ids.update_id;
+      entries : batch_entry list;
+          (** one entry per rule whose firings were coalesced within the
+              sender's flush window; semantically equivalent to sending
+              each entry as a separate [Update_data] *)
+      global : bool;
     }
   | Update_link_closed of { update_id : Ids.update_id; rule_id : string; global : bool }
       (** the source of [rule_id] will send no more data on it *)
@@ -72,7 +86,26 @@ type t =
     }
 
 val size : t -> int
-(** Estimated payload wire size in bytes. *)
+(** Estimated payload wire size in bytes (the pre-codec heuristic, kept
+    as the [wire_codec = false] ablation baseline). *)
+
+val encode : t -> string
+(** Compact binary encoding: tag byte, varint-prefixed fields, zigzag
+    integers, per-message string dictionary.  Raises [Invalid_argument]
+    on [Stats_response], whose snapshot record never crosses the
+    measured wire path. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; [Error] on truncated or corrupt input. *)
+
+val encoded_size : t -> int
+(** Actual encoded byte count, [String.length (encode p)]; falls back
+    to the estimator for [Stats_response]. *)
+
+val encode_tuples : Tuple.t list -> string
+(** Encode a bare tuple list (exposed for codec round-trip tests). *)
+
+val decode_tuples : string -> (Tuple.t list, string) result
 
 val is_update_protocol : t -> bool
 (** Messages that take part in Dijkstra–Scholten termination

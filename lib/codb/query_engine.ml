@@ -275,8 +275,9 @@ let handle rt ~src ~bytes payload =
       on_data rt ~bytes ~request_ref ~rule_id ~tuples query_id
   | Payload.Query_done { query_id; request_ref; rule_id = _ } ->
       on_done rt ~request_ref query_id
-  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _
-  | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Rules_file _
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+  | Payload.Update_link_closed _ | Payload.Update_ack _ | Payload.Update_terminated _
+  | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
   | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
       ()

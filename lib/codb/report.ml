@@ -14,6 +14,11 @@ type update_report = {
   ur_longest_path : int;
   ur_probes : int;
   ur_scans : int;
+  ur_batches : int;
+  ur_batch_tuples : int;
+  ur_coalesced : int;
+  ur_resends : int;
+  ur_cache_staled : int;
   ur_per_rule : Stats.rule_traffic_snap list;
 }
 
@@ -79,6 +84,11 @@ let update_report snapshots update_id =
             List.fold_left (fun acc u -> max acc u.Stats.usn_max_hops) 0 relevant;
           ur_probes = sum (fun u -> u.Stats.usn_probes);
           ur_scans = sum (fun u -> u.Stats.usn_scans);
+          ur_batches = sum (fun u -> u.Stats.usn_batches);
+          ur_batch_tuples = sum (fun u -> u.Stats.usn_batch_tuples);
+          ur_coalesced = sum (fun u -> u.Stats.usn_coalesced);
+          ur_resends = sum (fun u -> u.Stats.usn_resends);
+          ur_cache_staled = sum (fun u -> u.Stats.usn_cache_staled);
           ur_per_rule =
             merge_per_rule (List.concat_map (fun u -> u.Stats.usn_per_rule) relevant);
         }
@@ -112,6 +122,48 @@ let pp_update_report ppf r =
           Fmt.pf ppf "@,rule %-12s %4d msgs %8d B %6d tuples" e.Stats.rts_rule
             e.Stats.rts_msgs e.Stats.rts_bytes e.Stats.rts_tuples))
     r.ur_per_rule
+
+type wire_report = {
+  wr_update : Ids.update_id;
+  wr_data_msgs : int;
+  wr_batches : int;
+  wr_batch_tuples : int;
+  wr_avg_batch : float;
+  wr_coalesced : int;
+  wr_resends : int;
+  wr_cache_staled : int;
+  wr_bytes : int;
+}
+
+let wire_report snapshots update_id =
+  Option.map
+    (fun r ->
+      {
+        wr_update = r.ur_update;
+        wr_data_msgs = r.ur_data_msgs;
+        wr_batches = r.ur_batches;
+        wr_batch_tuples = r.ur_batch_tuples;
+        wr_avg_batch =
+          (if r.ur_batches = 0 then 0.0
+           else float_of_int r.ur_batch_tuples /. float_of_int r.ur_batches);
+        wr_coalesced = r.ur_coalesced;
+        wr_resends = r.ur_resends;
+        wr_cache_staled = r.ur_cache_staled;
+        wr_bytes = r.ur_bytes;
+      })
+    (update_report snapshots update_id)
+
+let pp_wire_report ppf w =
+  Fmt.pf ppf
+    "@[<v 2>wire behaviour of %a:@,\
+     data messages: %d (of which %d batches carrying %d tuples, avg %.1f \
+     tuples/batch)@,\
+     data volume: %d B@,\
+     coalesced in-window: %d tuples@,\
+     filter-induced resends: <= %d tuples@,\
+     query-cache entries staled: %d@]"
+    Ids.pp_update w.wr_update w.wr_data_msgs w.wr_batches w.wr_batch_tuples
+    w.wr_avg_batch w.wr_bytes w.wr_coalesced w.wr_resends w.wr_cache_staled
 
 type cache_report_row = {
   cr_node : Codb_net.Peer_id.t;

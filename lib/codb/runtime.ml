@@ -5,6 +5,7 @@ type t = {
   opts : Options.t;
   send : dst:Peer_id.t -> Payload.t -> bool;
   now : unit -> float;
+  schedule : delay:float -> (unit -> unit) -> unit;
   connect : Peer_id.t -> unit;
   disconnect : Peer_id.t -> unit;
   neighbours : unit -> Peer_id.t list;

@@ -15,6 +15,10 @@ type t = {
       (** enqueue a message on the pipe to [dst]; [false] when no open
           pipe exists *)
   now : unit -> float;  (** current simulated time *)
+  schedule : delay:float -> (unit -> unit) -> unit;
+      (** run an action [delay] simulated seconds from now (drives the
+          batching flush windows); stub runtimes in tests may run the
+          action immediately *)
   connect : Peer_id.t -> unit;  (** create/reopen the pipe to a peer *)
   disconnect : Peer_id.t -> unit;
   neighbours : unit -> Peer_id.t list;  (** peers with an open pipe *)

@@ -1,0 +1,61 @@
+module Bloom = Codb_net.Bloom
+module Tuple = Codb_relalg.Tuple
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+
+type bounded = {
+  bloom : Bloom.t;
+  ring : Tuple.t option array;  (* FIFO of the most recent distinct sends *)
+  live : (Tuple.t, unit) Hashtbl.t;  (* exact membership for ring occupants *)
+  mutable head : int;
+  mutable resends : int;
+}
+
+type t = Exact of { mutable set : Tuple_set.t } | Bounded of bounded
+
+let create ~bloom_bits ~ring_capacity =
+  if bloom_bits = 0 then Exact { set = Tuple_set.empty }
+  else begin
+    if ring_capacity < 1 then invalid_arg "Sent_filter.create: ring_capacity < 1";
+    Bounded
+      {
+        bloom = Bloom.create ~bits:bloom_bits;
+        ring = Array.make ring_capacity None;
+        live = Hashtbl.create (min ring_capacity 1024);
+        head = 0;
+        resends = 0;
+      }
+  end
+
+let already_sent t tuple =
+  match t with
+  | Exact { set } -> Tuple_set.mem tuple set
+  | Bounded b ->
+      (* The bloom check is the cheap fast path; only a positive consults
+         the exact ring, and only a ring hit may suppress the send. *)
+      Bloom.mem b.bloom tuple
+      &&
+      if Hashtbl.mem b.live tuple then true
+      else begin
+        b.resends <- b.resends + 1;
+        false
+      end
+
+let note_sent t tuple =
+  match t with
+  | Exact e -> e.set <- Tuple_set.add tuple e.set
+  | Bounded b ->
+      if not (Hashtbl.mem b.live tuple) then begin
+        (match b.ring.(b.head) with
+        | Some evicted -> Hashtbl.remove b.live evicted
+        | None -> ());
+        b.ring.(b.head) <- Some tuple;
+        Hashtbl.replace b.live tuple ();
+        b.head <- (b.head + 1) mod Array.length b.ring;
+        Bloom.add b.bloom tuple
+      end
+
+let tracked = function
+  | Exact { set } -> Tuple_set.cardinal set
+  | Bounded b -> Hashtbl.length b.live
+
+let possible_resends = function Exact _ -> 0 | Bounded b -> b.resends

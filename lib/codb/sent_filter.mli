@@ -1,0 +1,31 @@
+(** Bounded duplicate-suppression state for one incoming link.
+
+    The seed kept an exact, unbounded {!Update_state.Tuple_set} per rule;
+    this replaces it with a Bloom filter fronting a bounded exact FIFO ring.
+    Correctness direction: {!already_sent} may only return [true] for a
+    tuple that really was sent (the Bloom filter gates the exact ring
+    check, never the send itself), so false positives and ring evictions
+    can cause re-sends but never drops — the fix-point result is
+    unchanged. With [bloom_bits = 0] the filter degrades to the seed's
+    exact unbounded set. *)
+
+type t
+
+val create : bloom_bits:int -> ring_capacity:int -> t
+(** [bloom_bits = 0] selects exact unbounded mode and ignores
+    [ring_capacity]; otherwise [bloom_bits] must be a positive power of
+    two and [ring_capacity >= 1]. *)
+
+val already_sent : t -> Codb_relalg.Tuple.t -> bool
+(** Definite membership: [true] only if the tuple is still tracked.
+    A tuple evicted from the ring answers [false] (re-send, safe). *)
+
+val note_sent : t -> Codb_relalg.Tuple.t -> unit
+
+val tracked : t -> int
+(** Exact entries currently held (set cardinality or live ring slots). *)
+
+val possible_resends : t -> int
+(** Times the Bloom filter answered "maybe" but the exact ring had
+    already evicted the tuple — an upper bound on filter-induced
+    re-sends, surfaced in the wire statistics. *)

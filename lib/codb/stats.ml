@@ -19,6 +19,11 @@ type update_stat = {
   mutable us_max_hops : int;
   mutable us_probes : int;
   mutable us_scans : int;
+  mutable us_batches : int;
+  mutable us_batch_tuples : int;
+  mutable us_coalesced : int;
+  mutable us_resends : int;
+  mutable us_cache_staled : int;
   us_per_rule : (string, rule_traffic) Hashtbl.t;
   mutable us_queried : Peer_id.t list;
   mutable us_sent_to : Peer_id.t list;
@@ -75,6 +80,11 @@ let update_stat st ~now update_id =
           us_max_hops = 0;
           us_probes = 0;
           us_scans = 0;
+          us_batches = 0;
+          us_batch_tuples = 0;
+          us_coalesced = 0;
+          us_resends = 0;
+          us_cache_staled = 0;
           us_per_rule = Hashtbl.create 8;
           us_queried = [];
           us_sent_to = [];
@@ -148,6 +158,11 @@ type update_snap = {
   usn_max_hops : int;
   usn_probes : int;
   usn_scans : int;
+  usn_batches : int;
+  usn_batch_tuples : int;
+  usn_coalesced : int;
+  usn_resends : int;
+  usn_cache_staled : int;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;
@@ -210,6 +225,11 @@ let snap_update us =
     usn_max_hops = us.us_max_hops;
     usn_probes = us.us_probes;
     usn_scans = us.us_scans;
+    usn_batches = us.us_batches;
+    usn_batch_tuples = us.us_batch_tuples;
+    usn_coalesced = us.us_coalesced;
+    usn_resends = us.us_resends;
+    usn_cache_staled = us.us_cache_staled;
     usn_per_rule = List.sort (fun a b -> String.compare a.rts_rule b.rts_rule) per_rule;
     usn_queried = us.us_queried;
     usn_sent_to = us.us_sent_to;
@@ -264,12 +284,14 @@ let pp_update_snap ppf u =
   Fmt.pf ppf
     "@[<v 2>%a: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
      %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d, index \
-     probes %d, scans %d@,\
+     probes %d, scans %d, batches %d (%d tuples), coalesced %d, resends %d, cache \
+     staled %d@,\
      queried: %a@,\
      results sent to: %a%a@]"
     Ids.pp_update u.usn_update u.usn_started pp_finished u.usn_finished u.usn_data_msgs
     u.usn_control_msgs u.usn_bytes_in u.usn_new_tuples u.usn_dup_suppressed
-    u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans pp_peer_list
+    u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans u.usn_batches
+    u.usn_batch_tuples u.usn_coalesced u.usn_resends u.usn_cache_staled pp_peer_list
     u.usn_queried pp_peer_list
     u.usn_sent_to
     Fmt.(

@@ -29,6 +29,17 @@ type update_stat = {
   mutable us_max_hops : int;  (** longest update propagation path seen *)
   mutable us_probes : int;  (** index probes during rule evaluation *)
   mutable us_scans : int;  (** relation scans during rule evaluation *)
+  mutable us_batches : int;  (** [Update_batch] messages this node sent *)
+  mutable us_batch_tuples : int;  (** tuples shipped inside those batches *)
+  mutable us_coalesced : int;
+      (** tuples that never hit the wire: same-window duplicates and
+          insert/retract pairs cancelled in the buffer *)
+  mutable us_resends : int;
+      (** re-sent tuples caused by bounded sent-filters forgetting
+          (see {!Sent_filter.possible_resends}) *)
+  mutable us_cache_staled : int;
+      (** query-cache entries invalidated when this update finalised
+          ({!Codb_cache.Qcache.note_update} churn) *)
   us_per_rule : (string, rule_traffic) Hashtbl.t;
       (** data traffic received, per outgoing coordination rule *)
   mutable us_queried : Peer_id.t list;  (** acquaintances we requested data from *)
@@ -102,6 +113,11 @@ type update_snap = {
   usn_max_hops : int;
   usn_probes : int;
   usn_scans : int;
+  usn_batches : int;
+  usn_batch_tuples : int;
+  usn_coalesced : int;
+  usn_resends : int;
+  usn_cache_staled : int;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;

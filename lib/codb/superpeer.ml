@@ -18,7 +18,8 @@ let id sp = sp.sp_id
 let on_message sp (msg : Payload.t Message.t) =
   match msg.Message.payload with
   | Payload.Stats_response { stats } -> sp.sp_collected <- stats :: sp.sp_collected
-  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+  | Payload.Update_link_closed _
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
   | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Discovery_probe _

@@ -65,6 +65,7 @@ let make_runtime sys (node : Node.t) =
     opts = sys.sys_opts;
     send;
     now = (fun () -> Network.now sys.sys_net);
+    schedule = (fun ~delay action -> Network.schedule sys.sys_net ~delay action);
     connect;
     disconnect = (fun peer -> Network.disconnect sys.sys_net id peer);
     neighbours = (fun () -> Network.neighbours sys.sys_net id);
@@ -110,10 +111,13 @@ let build ?(opts = Options.default) cfg =
       if Config.node cfg Superpeer.peer_name <> None then
         Error [ Printf.sprintf "node name %s is reserved" Superpeer.peer_name ]
       else begin
+        let size_of =
+          if opts.Options.wire_codec then Payload.encoded_size else Payload.size
+        in
         let sys =
           {
             sys_net = Network.create ~default_latency:opts.Options.latency
-                ~default_byte_cost:opts.Options.byte_cost ~size_of:Payload.size ();
+                ~default_byte_cost:opts.Options.byte_cost ~size_of ();
             sys_nodes = Hashtbl.create 32;
             sys_runtimes = Hashtbl.create 32;
             sys_config = cfg;

@@ -40,6 +40,7 @@ let finalize rt (st : U.t) =
     st.U.ust_finished <- true;
     let us = stat rt st.U.ust_update in
     us.Stats.us_finished <- Some (rt.Runtime.now ());
+    us.Stats.us_resends <- U.possible_resends st;
     (* the update may have changed our store and every peer the flood
        reached; cached answers that rest on any of them are now
        suspect.  Conservative: bump ourselves and all acquaintances
@@ -47,8 +48,11 @@ let finalize rt (st : U.t) =
        only peers a cache stamp can mention). *)
     match rt.Runtime.node.Node.cache with
     | Some cache ->
-        Codb_cache.Qcache.note_update cache
-          (rt.Runtime.node.Node.node_id :: Node.acquaintances rt.Runtime.node)
+        let staled =
+          Codb_cache.Qcache.note_update cache
+            (rt.Runtime.node.Node.node_id :: Node.acquaintances rt.Runtime.node)
+        in
+        us.Stats.us_cache_staled <- us.Stats.us_cache_staled + staled
     | None -> ()
   end
 
@@ -56,47 +60,6 @@ let finalize rt (st : U.t) =
    keeps routing but never contributes its own (tainted) data. *)
 let may_export (rt : Runtime.t) =
   rt.node.Node.decl.Config.constraints = [] || Node.is_consistent rt.node
-
-let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
-  let fresh =
-    if rt.Runtime.opts.Options.use_sent_cache then begin
-      let cache = U.sent_cache st inc.Config.rule_id in
-      let fresh = List.filter (fun t -> not (Tuple_set.mem t cache)) tuples in
-      U.add_sent st inc.Config.rule_id fresh;
-      fresh
-    end
-    else tuples
-  in
-  if fresh <> [] then begin
-    let dst = importer_of inc in
-    send_counted rt st ~dst
-      (Payload.Update_data
-         { update_id = st.U.ust_update; rule_id = inc.Config.rule_id; tuples = fresh;
-           hops; global = not st.U.ust_scoped });
-    Stats.note_sent_to us dst
-  end
-
-(* Close every still-open incoming link whose relevant outgoing links
-   are all closed, notifying the importers (paper: "an acquaintance
-   closes an incoming link if all its outgoing links which are
-   relevant for this incoming link are closed"). *)
-let maybe_close_incoming rt (st : U.t) =
-  let close_if_ready (inc : Config.rule_decl) =
-    if U.in_state st inc.Config.rule_id = U.Link_open then begin
-      let relevant = Deps.relevant_outgoing rt.Runtime.node.Node.outgoing ~incoming:inc in
-      let closed (o : Config.rule_decl) = U.out_state st o.Config.rule_id = U.Link_closed in
-      if List.for_all closed relevant then begin
-        U.close_in st inc.Config.rule_id;
-        send_counted rt st ~dst:(importer_of inc)
-          (Payload.Update_link_closed
-             { update_id = st.U.ust_update; rule_id = inc.Config.rule_id;
-               global = not st.U.ust_scoped })
-      end
-    end
-  in
-  List.iter close_if_ready rt.Runtime.node.Node.incoming
-
-let node_closed_check rt (st : U.t) = if U.all_out_closed st then finalize rt st
 
 let close_everything (st : U.t) =
   Hashtbl.iter (fun rule _ -> U.close_out st rule) (Hashtbl.copy st.U.ust_out);
@@ -119,11 +82,15 @@ let on_terminated rt (st : U.t) ~src =
   end
 
 (* Dijkstra–Scholten: a node disengages (acknowledging the message
-   that engaged it) once everything it sent has been acknowledged.
-   When the initiator reaches deficit zero the whole diffusing
-   computation is quiescent. *)
+   that engaged it) once everything it sent has been acknowledged AND
+   nothing is waiting in a wire buffer.  The pending check is what
+   keeps batching termination-safe: buffered-but-unsent data keeps this
+   node engaged, hence its parent's deficit positive, hence the
+   initiator unable to declare quiescence while tuples are in flight
+   anywhere — the accounting the seed did per message now holds per
+   batch. *)
 let check_disengage rt (st : U.t) =
-  if st.U.ust_engaged && st.U.ust_deficit = 0 then
+  if st.U.ust_engaged && st.U.ust_deficit = 0 && U.pending_tuples st = 0 then
     if st.U.ust_initiator then begin
       st.U.ust_engaged <- false;
       st.U.ust_terminated <- true;
@@ -143,6 +110,103 @@ let check_disengage rt (st : U.t) =
               m "%a: engaged without a parent in %a" Peer_id.pp rt.Runtime.node.Node.node_id
                 Ids.pp_update st.U.ust_update)
     end
+
+(* Drain [dst]'s wire buffer into a single counted message. *)
+let flush_dst rt (st : U.t) us dst =
+  match U.take_buffer st ~dst with
+  | [] -> ()
+  | entries ->
+      let payload_entries =
+        List.map
+          (fun (rule, hops, tuples) ->
+            { Payload.be_rule = rule; be_hops = hops; be_tuples = tuples })
+          entries
+      in
+      let tuple_count =
+        List.fold_left (fun acc e -> acc + List.length e.Payload.be_tuples) 0
+          payload_entries
+      in
+      send_counted rt st ~dst
+        (Payload.Update_batch
+           { update_id = st.U.ust_update; entries = payload_entries;
+             global = not st.U.ust_scoped });
+      us.Stats.us_batches <- us.Stats.us_batches + 1;
+      us.Stats.us_batch_tuples <- us.Stats.us_batch_tuples + tuple_count;
+      Stats.note_sent_to us dst
+
+(* Arm the flush window for [dst] unless one is already pending.  The
+   scheduled action runs as its own simulator event, outside any message
+   processing, so it must re-run the disengage check itself: if the
+   flush's sends are all dropped (pipes closed meanwhile) the node may
+   owe its parent an acknowledgement right now. *)
+let schedule_flush rt (st : U.t) us dst =
+  if not (U.flush_scheduled st ~dst) then begin
+    U.set_flush_scheduled st ~dst true;
+    rt.Runtime.schedule ~delay:rt.Runtime.opts.Options.batch_window (fun () ->
+        U.set_flush_scheduled st ~dst false;
+        flush_dst rt st us dst;
+        check_disengage rt st)
+  end
+
+let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
+  let opts = rt.Runtime.opts in
+  let rule = inc.Config.rule_id in
+  let fresh =
+    if opts.Options.use_sent_cache then begin
+      let fresh = List.filter (fun t -> not (U.already_sent st rule t)) tuples in
+      U.add_sent st rule fresh;
+      fresh
+    end
+    else tuples
+  in
+  if fresh <> [] then begin
+    let dst = importer_of inc in
+    if opts.Options.batch_window > 0.0 then begin
+      let offered = List.length fresh in
+      let added = U.buffer_add st ~dst ~rule ~hops fresh in
+      us.Stats.us_coalesced <- us.Stats.us_coalesced + (offered - added);
+      (* Flushing on the size bound sends immediately but never
+         disengages: callers are mid-processing and the surrounding
+         engage_and_process / scheduled event re-checks afterwards. *)
+      if U.buffer_size st ~dst >= opts.Options.batch_max_tuples then
+        flush_dst rt st us dst
+      else schedule_flush rt st us dst
+    end
+    else begin
+      send_counted rt st ~dst
+        (Payload.Update_data
+           { update_id = st.U.ust_update; rule_id = rule; tuples = fresh; hops;
+             global = not st.U.ust_scoped });
+      Stats.note_sent_to us dst
+    end
+  end
+
+(* Close every still-open incoming link whose relevant outgoing links
+   are all closed, notifying the importers (paper: "an acquaintance
+   closes an incoming link if all its outgoing links which are
+   relevant for this incoming link are closed").  Any data still
+   buffered for the importer must flush first: pipes deliver in order,
+   so this keeps [Update_link_closed] from overtaking its own data and
+   making the importer close the link early. *)
+let maybe_close_incoming rt (st : U.t) =
+  let close_if_ready (inc : Config.rule_decl) =
+    if U.in_state st inc.Config.rule_id = U.Link_open then begin
+      let relevant = Deps.relevant_outgoing rt.Runtime.node.Node.outgoing ~incoming:inc in
+      let closed (o : Config.rule_decl) = U.out_state st o.Config.rule_id = U.Link_closed in
+      if List.for_all closed relevant then begin
+        U.close_in st inc.Config.rule_id;
+        let dst = importer_of inc in
+        flush_dst rt st (stat rt st.U.ust_update) dst;
+        send_counted rt st ~dst
+          (Payload.Update_link_closed
+             { update_id = st.U.ust_update; rule_id = inc.Config.rule_id;
+               global = not st.U.ust_scoped })
+      end
+    end
+  in
+  List.iter close_if_ready rt.Runtime.node.Node.incoming
+
+let node_closed_check rt (st : U.t) = if U.all_out_closed st then finalize rt st
 
 (* First contact with an update: flood the request, answer every
    incoming link from local data, close independent incoming links. *)
@@ -172,15 +236,12 @@ let first_contact rt (st : U.t) ~exclude =
   maybe_close_incoming rt st;
   node_closed_check rt st
 
-let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
-  let us = stat rt st.U.ust_update in
-  us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
-  us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+(* Integrate one rule's worth of received tuples and recompute the
+   dependent incoming links (the per-message statistics are the
+   caller's job: one [Update_data] is one entry, one [Update_batch] is
+   several). *)
+let integrate_entry rt (st : U.t) us ~rule_id ~tuples ~hops =
   us.Stats.us_max_hops <- max us.Stats.us_max_hops hops;
-  let traffic = Stats.rule_traffic us rule_id in
-  traffic.Stats.rt_msgs <- traffic.Stats.rt_msgs + 1;
-  traffic.Stats.rt_bytes <- traffic.Stats.rt_bytes + bytes;
-  traffic.Stats.rt_tuples <- traffic.Stats.rt_tuples + List.length tuples;
   match Node.rule_out rt.Runtime.node rule_id with
   | None ->
       (* the rule was dropped by a runtime topology change *)
@@ -218,16 +279,54 @@ let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
           (Deps.dependent_incoming rt.Runtime.node.Node.incoming ~outgoing:o)
       end
 
+let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
+  let us = stat rt st.U.ust_update in
+  us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
+  us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+  let traffic = Stats.rule_traffic us rule_id in
+  traffic.Stats.rt_msgs <- traffic.Stats.rt_msgs + 1;
+  traffic.Stats.rt_bytes <- traffic.Stats.rt_bytes + bytes;
+  traffic.Stats.rt_tuples <- traffic.Stats.rt_tuples + List.length tuples;
+  integrate_entry rt st us ~rule_id ~tuples ~hops
+
+let on_batch rt (st : U.t) ~bytes ~entries =
+  let us = stat rt st.U.ust_update in
+  us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
+  us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+  let total_tuples =
+    List.fold_left (fun acc e -> acc + List.length e.Payload.be_tuples) 0 entries
+  in
+  List.iter
+    (fun e ->
+      let n = List.length e.Payload.be_tuples in
+      let traffic = Stats.rule_traffic us e.Payload.be_rule in
+      traffic.Stats.rt_msgs <- traffic.Stats.rt_msgs + 1;
+      (* attribute the shared envelope proportionally to tuple counts *)
+      traffic.Stats.rt_bytes <-
+        (traffic.Stats.rt_bytes + if total_tuples = 0 then 0 else bytes * n / total_tuples);
+      traffic.Stats.rt_tuples <- traffic.Stats.rt_tuples + n)
+    entries;
+  List.iter
+    (fun e ->
+      integrate_entry rt st us ~rule_id:e.Payload.be_rule ~tuples:e.Payload.be_tuples
+        ~hops:e.Payload.be_hops)
+    entries
+
 let on_link_closed rt (st : U.t) ~rule_id =
   U.close_out st rule_id;
   maybe_close_incoming rt st;
   node_closed_check rt st
 
 let fresh_state rt ~initiator ~scoped uid =
+  let opts = rt.Runtime.opts in
+  let bloom_bits = opts.Options.sent_bloom_bits in
+  let ring_capacity = opts.Options.sent_ring_capacity in
   let st =
-    if scoped then U.create ~initiator ~scoped ~outgoing:[] ~incoming:[] uid
+    if scoped then
+      U.create ~initiator ~scoped ~bloom_bits ~ring_capacity ~outgoing:[] ~incoming:[]
+        uid
     else
-      U.create ~initiator
+      U.create ~initiator ~bloom_bits ~ring_capacity
         ~outgoing:(rule_ids rt.Runtime.node.Node.outgoing)
         ~incoming:(rule_ids rt.Runtime.node.Node.incoming)
         uid
@@ -362,6 +461,9 @@ let handle rt ~src ~bytes payload =
   | Payload.Update_data { update_id; rule_id; tuples; hops; global } ->
       engage_and_process rt ~src ~scoped:(not global) update_id (fun st ->
           on_data rt st ~bytes ~rule_id ~tuples ~hops)
+  | Payload.Update_batch { update_id; entries; global } ->
+      engage_and_process rt ~src ~scoped:(not global) update_id (fun st ->
+          on_batch rt st ~bytes ~entries)
   | Payload.Update_link_closed { update_id; rule_id; global } ->
       count_control rt update_id;
       engage_and_process rt ~src ~scoped:(not global) update_id (fun st ->

@@ -1,7 +1,23 @@
 module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
 module Tuple_set = Codb_relalg.Relation.Tuple_set
 
 type link_state = Link_open | Link_closed
+
+(* One rule's coalesced firings inside a destination buffer: a dedup set to
+   kill same-window duplicates plus the reverse insertion order so flushed
+   batches stay deterministic. *)
+type buffer_entry = {
+  mutable be_hops : int;
+  mutable be_set : Tuple_set.t;
+  mutable be_rev : Tuple.t list;
+}
+
+type dest_buffer = {
+  db_entries : (string, buffer_entry) Hashtbl.t;
+  mutable db_tuples : int;
+  mutable db_scheduled : bool;
+}
 
 type t = {
   ust_update : Ids.update_id;
@@ -12,12 +28,17 @@ type t = {
   mutable ust_deficit : int;
   ust_out : (string, link_state) Hashtbl.t;
   ust_in : (string, link_state) Hashtbl.t;
-  ust_sent : (string, Tuple_set.t) Hashtbl.t;
+  ust_sent : (string, Sent_filter.t) Hashtbl.t;
+  ust_bloom_bits : int;
+  ust_ring_capacity : int;
+  ust_wire : (Peer_id.t, dest_buffer) Hashtbl.t;
+  mutable ust_pending : int;
   mutable ust_terminated : bool;
   mutable ust_finished : bool;
 }
 
-let create ~initiator ?(scoped = false) ~outgoing ~incoming update_id =
+let create ~initiator ?(scoped = false) ?(bloom_bits = 0) ?(ring_capacity = 512)
+    ~outgoing ~incoming update_id =
   let out = Hashtbl.create 8 and inl = Hashtbl.create 8 in
   List.iter (fun r -> Hashtbl.replace out r Link_open) outgoing;
   List.iter (fun r -> Hashtbl.replace inl r Link_open) incoming;
@@ -31,6 +52,10 @@ let create ~initiator ?(scoped = false) ~outgoing ~incoming update_id =
     ust_out = out;
     ust_in = inl;
     ust_sent = Hashtbl.create 8;
+    ust_bloom_bits = bloom_bits;
+    ust_ring_capacity = ring_capacity;
+    ust_wire = Hashtbl.create 8;
+    ust_pending = 0;
     ust_terminated = false;
     ust_finished = false;
   }
@@ -57,10 +82,109 @@ let close_in st rule = Hashtbl.replace st.ust_in rule Link_closed
 let all_out_closed st =
   Hashtbl.fold (fun _ state acc -> acc && state = Link_closed) st.ust_out true
 
-let sent_cache st rule =
-  Option.value ~default:Tuple_set.empty (Hashtbl.find_opt st.ust_sent rule)
+(* ---- Per-incoming-link sent filters --------------------------------- *)
+
+let sent_filter st rule =
+  match Hashtbl.find_opt st.ust_sent rule with
+  | Some f -> f
+  | None ->
+      let f =
+        Sent_filter.create ~bloom_bits:st.ust_bloom_bits
+          ~ring_capacity:st.ust_ring_capacity
+      in
+      Hashtbl.add st.ust_sent rule f;
+      f
+
+let already_sent st rule tuple = Sent_filter.already_sent (sent_filter st rule) tuple
 
 let add_sent st rule tuples =
-  let existing = sent_cache st rule in
-  Hashtbl.replace st.ust_sent rule
-    (List.fold_left (fun acc t -> Tuple_set.add t acc) existing tuples)
+  let f = sent_filter st rule in
+  List.iter (Sent_filter.note_sent f) tuples
+
+let sent_tracked st rule =
+  match Hashtbl.find_opt st.ust_sent rule with
+  | Some f -> Sent_filter.tracked f
+  | None -> 0
+
+let possible_resends st =
+  Hashtbl.fold (fun _ f acc -> acc + Sent_filter.possible_resends f) st.ust_sent 0
+
+(* ---- Per-destination wire buffers ----------------------------------- *)
+
+let dest_buffer st dst =
+  match Hashtbl.find_opt st.ust_wire dst with
+  | Some b -> b
+  | None ->
+      let b = { db_entries = Hashtbl.create 4; db_tuples = 0; db_scheduled = false } in
+      Hashtbl.add st.ust_wire dst b;
+      b
+
+let buffer_add st ~dst ~rule ~hops tuples =
+  let b = dest_buffer st dst in
+  let e =
+    match Hashtbl.find_opt b.db_entries rule with
+    | Some e -> e
+    | None ->
+        let e = { be_hops = hops; be_set = Tuple_set.empty; be_rev = [] } in
+        Hashtbl.add b.db_entries rule e;
+        e
+  in
+  e.be_hops <- max e.be_hops hops;
+  let added =
+    List.fold_left
+      (fun acc t ->
+        if Tuple_set.mem t e.be_set then acc
+        else begin
+          e.be_set <- Tuple_set.add t e.be_set;
+          e.be_rev <- t :: e.be_rev;
+          acc + 1
+        end)
+      0 tuples
+  in
+  b.db_tuples <- b.db_tuples + added;
+  st.ust_pending <- st.ust_pending + added;
+  added
+
+let buffer_retract st ~dst ~rule tuple =
+  match Hashtbl.find_opt st.ust_wire dst with
+  | None -> false
+  | Some b -> (
+      match Hashtbl.find_opt b.db_entries rule with
+      | Some e when Tuple_set.mem tuple e.be_set ->
+          e.be_set <- Tuple_set.remove tuple e.be_set;
+          e.be_rev <- List.filter (fun t -> not (Tuple.equal t tuple)) e.be_rev;
+          b.db_tuples <- b.db_tuples - 1;
+          st.ust_pending <- st.ust_pending - 1;
+          true
+      | Some _ | None -> false)
+
+let buffer_size st ~dst =
+  match Hashtbl.find_opt st.ust_wire dst with Some b -> b.db_tuples | None -> 0
+
+let take_buffer st ~dst =
+  match Hashtbl.find_opt st.ust_wire dst with
+  | None -> []
+  | Some b ->
+      let entries =
+        Hashtbl.fold
+          (fun rule e acc ->
+            if e.be_rev = [] then acc else (rule, e.be_hops, List.rev e.be_rev) :: acc)
+          b.db_entries []
+      in
+      st.ust_pending <- st.ust_pending - b.db_tuples;
+      b.db_tuples <- 0;
+      Hashtbl.reset b.db_entries;
+      (* deterministic batch layout regardless of hash order *)
+      List.sort (fun (r1, _, _) (r2, _, _) -> String.compare r1 r2) entries
+
+let pending_tuples st = st.ust_pending
+
+let buffered_dsts st =
+  List.sort Peer_id.compare
+    (Hashtbl.fold (fun dst b acc -> if b.db_tuples > 0 then dst :: acc else acc)
+       st.ust_wire [])
+
+let flush_scheduled st ~dst =
+  match Hashtbl.find_opt st.ust_wire dst with Some b -> b.db_scheduled | None -> false
+
+let set_flush_scheduled st ~dst flag = (dest_buffer st dst).db_scheduled <- flag

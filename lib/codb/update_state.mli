@@ -1,9 +1,11 @@
 (** Per-node, per-update protocol state.
 
     Tracks the paper's open/closed states of incoming and outgoing
-    links, the per-incoming-link caches of already-sent tuples, and
-    the Dijkstra–Scholten engagement bookkeeping (parent, deficit)
-    used to detect global quiescence of cyclic components. *)
+    links, the per-incoming-link caches of already-sent tuples (exact
+    or Bloom-fronted, see {!Sent_filter}), the per-destination wire
+    buffers used by message batching, and the Dijkstra–Scholten
+    engagement bookkeeping (parent, deficit) used to detect global
+    quiescence of cyclic components. *)
 
 module Peer_id = Codb_net.Peer_id
 module Tuple_set = Codb_relalg.Relation.Tuple_set
@@ -23,23 +25,36 @@ type t = {
   mutable ust_deficit : int;  (** messages sent and not yet acknowledged *)
   ust_out : (string, link_state) Hashtbl.t;  (** my outgoing links *)
   ust_in : (string, link_state) Hashtbl.t;  (** my incoming links *)
-  ust_sent : (string, Tuple_set.t) Hashtbl.t;
+  ust_sent : (string, Sent_filter.t) Hashtbl.t;
       (** per incoming link: head tuples (holes included) already sent *)
+  ust_bloom_bits : int;  (** filter sizing for lazily-created links *)
+  ust_ring_capacity : int;
+  ust_wire : (Peer_id.t, dest_buffer) Hashtbl.t;
+      (** per-destination batching buffers (empty when batching is off) *)
+  mutable ust_pending : int;
+      (** total tuples sitting in wire buffers; must be 0 before the
+          node may disengage, or termination could be declared while
+          data is still unsent *)
   mutable ust_terminated : bool;
       (** the terminated flood reached this node *)
   mutable ust_finished : bool;  (** local statistics were finalised *)
 }
 
+and dest_buffer
+
 val create :
   initiator:bool ->
   ?scoped:bool ->
+  ?bloom_bits:int ->
+  ?ring_capacity:int ->
   outgoing:string list ->
   incoming:string list ->
   Ids.update_id ->
   t
 (** The [outgoing]/[incoming] links start active (open).  A scoped
     update starts with empty lists; links join via {!activate_out} /
-    {!activate_in}. *)
+    {!activate_in}.  [bloom_bits]/[ring_capacity] (defaults 0/512)
+    size the {!Sent_filter} of every link; 0 bits = exact mode. *)
 
 val out_state : t -> string -> link_state
 (** Links never activated for this update read as closed: they carry
@@ -62,6 +77,51 @@ val close_in : t -> string -> unit
 
 val all_out_closed : t -> bool
 
-val sent_cache : t -> string -> Tuple_set.t
+(** {2 Sent filters} *)
+
+val sent_filter : t -> string -> Sent_filter.t
+(** The filter for one incoming link, created on first use. *)
+
+val already_sent : t -> string -> Codb_relalg.Tuple.t -> bool
 
 val add_sent : t -> string -> Codb_relalg.Tuple.t list -> unit
+
+val sent_tracked : t -> string -> int
+(** Exact entries currently tracked for the link (0 if never used). *)
+
+val possible_resends : t -> int
+(** Sum of {!Sent_filter.possible_resends} across links. *)
+
+(** {2 Wire buffers}
+
+    Outgoing update data waiting to be coalesced into one
+    [Update_batch] per destination.  All counts are exact: a tuple
+    enters [ust_pending] when buffered and leaves on {!take_buffer} or
+    {!buffer_retract}. *)
+
+val buffer_add :
+  t -> dst:Peer_id.t -> rule:string -> hops:int -> Codb_relalg.Tuple.t list -> int
+(** Buffer tuples for [dst]; same-window duplicates per rule are
+    dropped.  Hop counts merge to the max.  Returns tuples newly
+    buffered. *)
+
+val buffer_retract : t -> dst:Peer_id.t -> rule:string -> Codb_relalg.Tuple.t -> bool
+(** Remove a not-yet-flushed tuple (insert/retract coalescing: an
+    insert cancelled in the same window ships zero bytes).  [false] if
+    the tuple was not pending. *)
+
+val buffer_size : t -> dst:Peer_id.t -> int
+
+val take_buffer : t -> dst:Peer_id.t -> (string * int * Codb_relalg.Tuple.t list) list
+(** Drain [dst]'s buffer: [(rule, hops, tuples)] per rule in rule
+    order, insertion order within a rule.  Clears the buffer and
+    decrements [ust_pending]. *)
+
+val pending_tuples : t -> int
+
+val buffered_dsts : t -> Peer_id.t list
+(** Destinations with a non-empty buffer, sorted. *)
+
+val flush_scheduled : t -> dst:Peer_id.t -> bool
+
+val set_flush_scheduled : t -> dst:Peer_id.t -> bool -> unit

@@ -1,0 +1,46 @@
+(* Classic Bloom filter with Kirsch–Mitzenmacher double hashing: two
+   independent base hashes combined as h1 + i*h2 stand in for k independent
+   hash functions.  The bit array is a Bytes blob, so a 2^16-bit filter costs
+   8 KiB regardless of how many tuples pass through it. *)
+
+type t = { data : Bytes.t; mask : int; k : int; mutable set_bits : int }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~bits =
+  if not (is_power_of_two bits) then
+    invalid_arg "Bloom.create: bits must be a positive power of two";
+  { data = Bytes.make ((bits + 7) / 8) '\000'; mask = bits - 1; k = 4; set_bits = 0 }
+
+let bits t = (t.mask + 1)
+
+let probes t key f =
+  let h1 = Hashtbl.hash key in
+  let h2 = Hashtbl.seeded_hash 0x9e3779b9 key lor 1 in
+  for i = 0 to t.k - 1 do
+    f ((h1 + (i * h2)) land t.mask)
+  done
+
+let set_bit t idx =
+  let b = idx lsr 3 and m = 1 lsl (idx land 7) in
+  let cur = Char.code (Bytes.get t.data b) in
+  if cur land m = 0 then begin
+    Bytes.set t.data b (Char.chr (cur lor m));
+    t.set_bits <- t.set_bits + 1
+  end
+
+let get_bit t idx =
+  Char.code (Bytes.get t.data (idx lsr 3)) land (1 lsl (idx land 7)) <> 0
+
+let add t key = probes t key (set_bit t)
+
+let mem t key =
+  let all = ref true in
+  probes t key (fun idx -> if not (get_bit t idx) then all := false);
+  !all
+
+let clear t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\000';
+  t.set_bits <- 0
+
+let estimated_fill t = float_of_int t.set_bits /. float_of_int (bits t)

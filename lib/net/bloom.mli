@@ -1,0 +1,22 @@
+(** Counting-free Bloom filter over hashable keys.
+
+    Used by the update layer's sent-caches: membership answers are
+    one-sided — [mem] returning [false] means the key was definitely never
+    added, while [true] may be a false positive.  Callers must therefore
+    treat a positive as "maybe sent" and confirm against an exact bound
+    structure before suppressing anything. *)
+
+type t
+
+val create : bits:int -> t
+(** [create ~bits] allocates a filter of [bits] bits ([bits] must be a
+    positive power of two) with a fixed number of probe hashes. *)
+
+val add : t -> 'a -> unit
+val mem : t -> 'a -> bool
+
+val clear : t -> unit
+val bits : t -> int
+
+val estimated_fill : t -> float
+(** Fraction of bits set, in [0,1] — a cheap saturation indicator. *)

@@ -1,0 +1,111 @@
+(* Binary primitives shared by every wire payload.  The writer keeps a
+   per-message string dictionary: the first time a string is written it is
+   emitted inline and remembered; subsequent occurrences become a varint
+   back-reference.  Update floods repeat rule ids, null provenance tags and
+   skewed data values constantly, so the dictionary is where most of the
+   wire savings come from. *)
+
+type writer = {
+  buf : Buffer.t;
+  dict : (string, int) Hashtbl.t;
+  mutable next_ref : int;
+}
+
+let writer ?(initial = 256) () =
+  { buf = Buffer.create initial; dict = Hashtbl.create 16; next_ref = 0 }
+
+let byte w n = Buffer.add_char w.buf (Char.chr (n land 0xff))
+
+let varint w n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then byte w n
+    else begin
+      byte w (0x80 lor (n land 0x7f));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag w n = varint w ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+let float64 w f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    byte w (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let raw_string w s =
+  varint w (String.length s);
+  Buffer.add_string w.buf s
+
+let string w s =
+  match Hashtbl.find_opt w.dict s with
+  | Some r -> varint w (r + 1)
+  | None ->
+      Hashtbl.add w.dict s w.next_ref;
+      w.next_ref <- w.next_ref + 1;
+      byte w 0;
+      raw_string w s
+
+let contents w = Buffer.contents w.buf
+let size w = Buffer.length w.buf
+
+type reader = {
+  src : string;
+  mutable pos : int;
+  rdict : (int, string) Hashtbl.t;
+  mutable rnext : int;
+}
+
+exception Malformed of string
+
+let reader src = { src; pos = 0; rdict = Hashtbl.create 16; rnext = 0 }
+
+let read_byte r =
+  if r.pos >= String.length r.src then raise (Malformed "truncated byte");
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > Sys.int_size then raise (Malformed "varint too long");
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_zigzag r =
+  let n = read_varint r in
+  (n lsr 1) lxor (-(n land 1))
+
+let read_float64 r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (read_byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let read_raw_string r =
+  let len = read_varint r in
+  if len < 0 || r.pos + len > String.length r.src then
+    raise (Malformed "truncated string");
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_string r =
+  let tag = read_varint r in
+  if tag = 0 then begin
+    let s = read_raw_string r in
+    Hashtbl.add r.rdict r.rnext s;
+    r.rnext <- r.rnext + 1;
+    s
+  end
+  else
+    match Hashtbl.find_opt r.rdict (tag - 1) with
+    | Some s -> s
+    | None -> raise (Malformed "dangling dictionary reference")
+
+let at_end r = r.pos >= String.length r.src

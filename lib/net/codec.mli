@@ -1,0 +1,54 @@
+(** Compact binary wire codec: length-delimited primitives over a growable
+    buffer.  Integers use LEB128 varints (zigzag for signed), floats are 8-byte
+    IEEE 754, and strings go through a per-message dictionary so repeated
+    strings ship once and become small back-references afterwards.
+
+    The codec is payload-agnostic: higher layers (see {!Codb_core.Payload})
+    define tags and field order on top of these primitives. *)
+
+(** {1 Encoding} *)
+
+type writer
+
+val writer : ?initial:int -> unit -> writer
+(** Fresh writer with an empty string dictionary. *)
+
+val varint : writer -> int -> unit
+(** Unsigned LEB128.  Negative arguments are a programming error (encoded as
+    their 2's-complement magnitude, which will not round-trip); use
+    {!zigzag} for signed values. *)
+
+val zigzag : writer -> int -> unit
+(** Signed varint: maps small negative and positive ints to small codes. *)
+
+val float64 : writer -> float -> unit
+(** 8-byte little-endian IEEE 754. *)
+
+val byte : writer -> int -> unit
+(** Single byte, low 8 bits of the argument. *)
+
+val string : writer -> string -> unit
+(** Dictionary string: first occurrence is [0, len, bytes]; later occurrences
+    are [ref+1] pointing back into the per-writer dictionary. *)
+
+val raw_string : writer -> string -> unit
+(** Length-prefixed string that bypasses the dictionary (for one-off blobs). *)
+
+val contents : writer -> string
+val size : writer -> int
+
+(** {1 Decoding} *)
+
+type reader
+
+exception Malformed of string
+(** Raised by read primitives on truncated or corrupt input. *)
+
+val reader : string -> reader
+val read_varint : reader -> int
+val read_zigzag : reader -> int
+val read_float64 : reader -> float
+val read_byte : reader -> int
+val read_string : reader -> string
+val read_raw_string : reader -> string
+val at_end : reader -> bool

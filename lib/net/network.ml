@@ -24,6 +24,9 @@ type 'a t = {
   mutable dropped : int;
   mutable total_bytes : int;
   mutable dropped_bytes : int;
+  (* Sorted peer list, memoised because tracing paths call [peers] once per
+     message; [None] after any add/remove. *)
+  mutable peer_list : Peer_id.t list option;
 }
 
 let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of () =
@@ -40,23 +43,35 @@ let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of (
     dropped = 0;
     total_bytes = 0;
     dropped_bytes = 0;
+    peer_list = None;
   }
 
 let pipe_key a b = if Peer_id.compare a b <= 0 then (a, b) else (b, a)
 
 let add_peer net id =
-  if not (Hashtbl.mem net.peer_table id) then
-    Hashtbl.add net.peer_table id { handler = None }
+  if not (Hashtbl.mem net.peer_table id) then begin
+    Hashtbl.add net.peer_table id { handler = None };
+    net.peer_list <- None
+  end
 
 let has_peer net id = Hashtbl.mem net.peer_table id
 
 let peers net =
-  List.sort Peer_id.compare (Hashtbl.fold (fun id _ acc -> id :: acc) net.peer_table [])
+  match net.peer_list with
+  | Some cached -> cached
+  | None ->
+      let sorted =
+        List.sort Peer_id.compare
+          (Hashtbl.fold (fun id _ acc -> id :: acc) net.peer_table [])
+      in
+      net.peer_list <- Some sorted;
+      sorted
 
 let pipe_between net a b = Hashtbl.find_opt net.pipe_table (pipe_key a b)
 
 let remove_peer net id =
   Hashtbl.remove net.peer_table id;
+  net.peer_list <- None;
   let close_touching key pipe =
     let x, y = key in
     if Peer_id.equal x id || Peer_id.equal y id then Pipe.close pipe

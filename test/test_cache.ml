@@ -169,7 +169,7 @@ let test_qcache_exact_and_invalidation () =
       check_tuples "exact answers" (answers_pair ()) answers
   | Some { Qcache.kind = Qcache.By_containment; _ } -> Alcotest.fail "expected exact"
   | None -> Alcotest.fail "expected a hit");
-  Qcache.note_update cache [ peer ];
+  Alcotest.(check int) "one entry newly staled" 1 (Qcache.note_update cache [ peer ]);
   Alcotest.(check bool) "stale entry dropped" true (Qcache.lookup cache ~now:2.0 q = None);
   let c = Qcache.counters cache in
   Alcotest.(check int) "one exact hit" 1 c.Qcache.hits_exact;

@@ -27,6 +27,8 @@ let () =
       ("wrapper", Test_wrapper.suite);
       ("stats", Test_stats.suite);
       ("payload", Test_payload.suite);
+      ("codec", Test_codec.suite);
+      ("wire", Test_wire.suite);
       ("states", Test_states.suite);
       ("query-engine", Test_query_engine.suite);
       ("query-protocol", Test_query_protocol.suite);

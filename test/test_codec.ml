@@ -1,0 +1,202 @@
+(* The compact binary wire codec: primitive round-trips, value/tuple
+   round-trips across every Value variant (marked nulls included),
+   payload round-trips, dictionary compression, and rejection of
+   malformed input. *)
+
+open Helpers
+module Codec = Codb_net.Codec
+module Payload = Codb_core.Payload
+module Ids = Codb_core.Ids
+module Peer_id = Codb_net.Peer_id
+module Value = Codb_relalg.Value
+
+let uid = Ids.update_id (Peer_id.of_string "n0") 1
+
+let qid = Ids.query_id (Peer_id.of_string "n0") 1
+
+let test_primitive_round_trip () =
+  let w = Codec.writer () in
+  List.iter (Codec.varint w) [ 0; 1; 127; 128; 300; 1 lsl 40 ];
+  List.iter (Codec.zigzag w) [ 0; -1; 1; -64; 64; min_int + 1; max_int ];
+  List.iter (Codec.float64 w) [ 0.0; -1.5; Float.pi; infinity; neg_infinity ];
+  Codec.byte w 0xAB;
+  Codec.raw_string w "";
+  Codec.raw_string w "hello";
+  let r = Codec.reader (Codec.contents w) in
+  List.iter
+    (fun n -> Alcotest.(check int) "varint" n (Codec.read_varint r))
+    [ 0; 1; 127; 128; 300; 1 lsl 40 ];
+  List.iter
+    (fun n -> Alcotest.(check int) "zigzag" n (Codec.read_zigzag r))
+    [ 0; -1; 1; -64; 64; min_int + 1; max_int ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "float64" true (Float.equal f (Codec.read_float64 r)))
+    [ 0.0; -1.5; Float.pi; infinity; neg_infinity ];
+  Alcotest.(check int) "byte" 0xAB (Codec.read_byte r);
+  Alcotest.(check string) "empty raw string" "" (Codec.read_raw_string r);
+  Alcotest.(check string) "raw string" "hello" (Codec.read_raw_string r);
+  Alcotest.(check bool) "fully consumed" true (Codec.at_end r)
+
+let test_float_nan_round_trip () =
+  let w = Codec.writer () in
+  Codec.float64 w Float.nan;
+  Alcotest.(check bool) "nan survives" true
+    (Float.is_nan (Codec.read_float64 (Codec.reader (Codec.contents w))))
+
+let test_string_dictionary_compresses () =
+  let one_of s =
+    let w = Codec.writer () in
+    Codec.string w s;
+    Codec.size w
+  in
+  let many_of s n =
+    let w = Codec.writer () in
+    for _ = 1 to n do
+      Codec.string w s
+    done;
+    Codec.size w
+  in
+  let s = String.make 40 'x' in
+  (* occurrences after the first cost a 1-byte back-reference, not 41 B *)
+  Alcotest.(check int) "10 repeats = first + 9 refs" (one_of s + 9) (many_of s 10);
+  (* and they decode back to the same string *)
+  let w = Codec.writer () in
+  Codec.string w s;
+  Codec.string w "other";
+  Codec.string w s;
+  let r = Codec.reader (Codec.contents w) in
+  Alcotest.(check string) "first" s (Codec.read_string r);
+  Alcotest.(check string) "interleaved" "other" (Codec.read_string r);
+  Alcotest.(check string) "back-reference" s (Codec.read_string r)
+
+(* every Value variant, marked nulls (with their minting rule) and
+   wire holes included *)
+let kitchen_sink_tuples =
+  [
+    tup
+      [
+        i 0; i (-1); i 123456789; Value.Float 2.5; Value.Float (-0.0);
+        s ""; s "repeated"; Value.Bool true; Value.Bool false;
+      ];
+    tup
+      [
+        Value.Null { Value.null_id = 7; null_rule = "r1" };
+        Value.Null { Value.null_id = 8; null_rule = "r1" };
+        Value.Hole 0; Value.Hole 3; s "repeated"; i max_int; i (min_int + 1);
+      ];
+  ]
+
+let test_tuples_round_trip () =
+  match Payload.decode_tuples (Payload.encode_tuples kitchen_sink_tuples) with
+  | Ok tuples -> check_tuples "all variants round-trip" kitchen_sink_tuples tuples
+  | Error e -> Alcotest.failf "decode_tuples failed: %s" e
+
+let payload_samples =
+  [
+    Payload.Update_request { update_id = uid; scope = Payload.Global };
+    Payload.Update_request { update_id = uid; scope = Payload.For_rule "r1" };
+    Payload.Update_data
+      { update_id = uid; rule_id = "r1"; tuples = kitchen_sink_tuples; hops = 3;
+        global = true };
+    Payload.Update_batch
+      { update_id = uid;
+        entries =
+          [
+            { Payload.be_rule = "r1"; be_hops = 2; be_tuples = kitchen_sink_tuples };
+            { Payload.be_rule = "r2"; be_hops = 0; be_tuples = [] };
+          ];
+        global = false };
+    Payload.Update_link_closed { update_id = uid; rule_id = "r1"; global = true };
+    Payload.Update_ack { update_id = uid };
+    Payload.Update_terminated { update_id = uid };
+    Payload.Query_request
+      { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
+        label = [ Peer_id.of_string "n0"; Peer_id.of_string "n1" ] };
+    Payload.Query_data
+      { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
+        tuples = [ tup [ i 1; s "x" ] ] };
+    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1" };
+    Payload.Rules_file { version = 3; text = "node a { relation r(x: int); }" };
+    Payload.Start_update;
+    Payload.Stats_request;
+    Payload.Discovery_probe
+      { probe_id = "n0/1"; ttl = 3; path = [ Peer_id.of_string "n0" ] };
+    Payload.Discovery_reply
+      { probe_id = "n0/1"; path = []; peers = [ Peer_id.of_string "n1" ] };
+  ]
+
+let test_payload_round_trip () =
+  List.iter
+    (fun p ->
+      match Payload.decode (Payload.encode p) with
+      | Ok p' -> Alcotest.(check bool) (Payload.describe p) true (p = p')
+      | Error e -> Alcotest.failf "%s: decode failed: %s" (Payload.describe p) e)
+    payload_samples
+
+let test_encoded_size_is_real () =
+  List.iter
+    (fun p ->
+      Alcotest.(check int) (Payload.describe p)
+        (String.length (Payload.encode p))
+        (Payload.encoded_size p))
+    payload_samples
+
+let test_dictionary_beats_estimator_on_skew () =
+  (* many tuples sharing few distinct strings: the per-message
+     dictionary makes the real encoding much smaller than the
+     schema-based estimate *)
+  let tuples = List.init 200 (fun k -> tup [ i k; s (Printf.sprintf "v%d" (k mod 5)) ]) in
+  let p =
+    Payload.Update_data { update_id = uid; rule_id = "r1"; tuples; hops = 1; global = true }
+  in
+  Alcotest.(check bool) "encoded < half the estimate" true
+    (2 * Payload.encoded_size p < Payload.size p)
+
+let test_stats_response_not_encodable () =
+  let stats = Codb_core.Stats.snapshot (Codb_core.Stats.create (Peer_id.of_string "n0")) in
+  let p = Payload.Stats_response { stats } in
+  (match Payload.encode p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Stats_response must not claim a binary encoding");
+  Alcotest.(check bool) "estimator fallback still sizes it" true
+    (Payload.encoded_size p > 0)
+
+let test_malformed_input_rejected () =
+  let reject label input =
+    match Payload.decode input with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  reject "empty" "";
+  reject "unknown tag" "\xff";
+  reject "truncated" (String.sub (Payload.encode (List.hd payload_samples)) 0 2);
+  let valid = Payload.encode (List.hd payload_samples) in
+  reject "trailing garbage" (valid ^ "\x00");
+  (* a truncation point inside every sample must never crash, only Error *)
+  List.iter
+    (fun p ->
+      let enc = Payload.encode p in
+      for cut = 0 to String.length enc - 1 do
+        match Payload.decode (String.sub enc 0 cut) with
+        | Ok _ | Error _ -> ()
+      done)
+    payload_samples
+
+let suite =
+  [
+    Alcotest.test_case "primitive round-trips" `Quick test_primitive_round_trip;
+    Alcotest.test_case "nan round-trips" `Quick test_float_nan_round_trip;
+    Alcotest.test_case "string dictionary compresses" `Quick
+      test_string_dictionary_compresses;
+    Alcotest.test_case "tuples round-trip (all Value variants)" `Quick
+      test_tuples_round_trip;
+    Alcotest.test_case "payloads round-trip" `Quick test_payload_round_trip;
+    Alcotest.test_case "encoded_size = |encode|" `Quick test_encoded_size_is_real;
+    Alcotest.test_case "dictionary beats the estimator on skew" `Quick
+      test_dictionary_beats_estimator_on_skew;
+    Alcotest.test_case "Stats_response stays estimator-sized" `Quick
+      test_stats_response_not_encodable;
+    Alcotest.test_case "malformed input rejected, never a crash" `Quick
+      test_malformed_input_rejected;
+  ]

@@ -34,6 +34,7 @@ let make_runtime ?(neighbours = []) decl_text name =
           outbox := { dst = Peer_id.to_string dst; payload } :: !outbox;
           true);
       now = (fun () -> 0.0);
+      schedule = (fun ~delay:_ action -> action ());
       connect = (fun p -> connected := Peer_id.to_string p :: !connected);
       disconnect = (fun p -> disconnected := Peer_id.to_string p :: !disconnected);
       neighbours = (fun () -> List.map Peer_id.of_string neighbours);

@@ -67,6 +67,34 @@ let test_planner_knobs_are_valid () =
   ok (Options.validate { Options.default with Options.index_budget = 0 });
   ok (Options.validate { Options.default with Options.planner = false })
 
+let test_wire_knobs_are_valid () =
+  ok
+    (Options.validate
+       {
+         Options.default with
+         Options.wire_codec = false;
+         batch_window = 0.05;
+         batch_max_tuples = 1;
+         sent_bloom_bits = 4096;
+         sent_ring_capacity = 1;
+       });
+  (* 0 bloom bits means "keep the unbounded exact caches" *)
+  ok (Options.validate { Options.default with Options.sent_bloom_bits = 0 })
+
+let test_bad_wire_knobs_rejected () =
+  rejected ~substring:"batch_window"
+    (Options.validate { Options.default with Options.batch_window = -0.001 });
+  rejected ~substring:"batch_max_tuples"
+    (Options.validate { Options.default with Options.batch_max_tuples = 0 });
+  rejected ~substring:"sent_bloom_bits"
+    (Options.validate { Options.default with Options.sent_bloom_bits = 100 });
+  rejected ~substring:"sent_bloom_bits"
+    (Options.validate { Options.default with Options.sent_bloom_bits = -8 });
+  rejected ~substring:"sent_bloom_bits"
+    (Options.validate { Options.default with Options.sent_bloom_bits = 1 lsl 25 });
+  rejected ~substring:"sent_ring_capacity"
+    (Options.validate { Options.default with Options.sent_ring_capacity = 0 })
+
 let test_errors_accumulate () =
   match
     Options.validate
@@ -95,6 +123,8 @@ let suite =
     Alcotest.test_case "negative index_budget rejected" `Quick
       test_negative_index_budget;
     Alcotest.test_case "planner knobs are valid" `Quick test_planner_knobs_are_valid;
+    Alcotest.test_case "wire knobs are valid" `Quick test_wire_knobs_are_valid;
+    Alcotest.test_case "bad wire knobs rejected" `Quick test_bad_wire_knobs_rejected;
     Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate;
     Alcotest.test_case "System.build enforces validate" `Quick
       test_build_rejects_bad_options;

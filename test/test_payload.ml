@@ -15,6 +15,14 @@ let samples =
     Payload.Update_data
       { update_id = uid; rule_id = "r1"; tuples = [ tup [ i 1; s "x" ] ]; hops = 2;
         global = true };
+    Payload.Update_batch
+      { update_id = uid;
+        entries =
+          [
+            { Payload.be_rule = "r1"; be_hops = 2; be_tuples = [ tup [ i 1; s "x" ] ] };
+            { Payload.be_rule = "r2"; be_hops = 1; be_tuples = [ tup [ i 2; s "x" ] ] };
+          ];
+        global = true };
     Payload.Update_link_closed { update_id = uid; rule_id = "r1"; global = true };
     Payload.Update_ack { update_id = uid };
     Payload.Update_terminated { update_id = uid };
@@ -54,7 +62,8 @@ let test_rules_file_size_tracks_text () =
 
 let test_update_protocol_classification () =
   let expect_protocol = function
-    | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_link_closed _ ->
+    | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+    | Payload.Update_link_closed _ ->
         true
     | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
     | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _

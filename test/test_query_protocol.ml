@@ -38,6 +38,7 @@ let make_runtime ?(name = "me") config_text =
           outbox := { dst = Peer_id.to_string dst; payload } :: !outbox;
           true);
       now = (fun () -> 0.0);
+      schedule = (fun ~delay:_ action -> action ());
       connect = (fun _ -> ());
       disconnect = (fun _ -> ());
       neighbours = (fun () -> []);

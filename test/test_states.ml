@@ -38,14 +38,56 @@ let test_update_state_scoped_activation () =
 
 let test_update_state_sent_cache () =
   let st = U.create ~initiator:false ~outgoing:[] ~incoming:[ "i1" ] uid in
-  Alcotest.(check int) "empty cache" 0
-    (Codb_relalg.Relation.Tuple_set.cardinal (U.sent_cache st "i1"));
+  Alcotest.(check int) "empty cache" 0 (U.sent_tracked st "i1");
   U.add_sent st "i1" [ tup [ i 1 ]; tup [ i 2 ] ];
   U.add_sent st "i1" [ tup [ i 2 ]; tup [ i 3 ] ];
-  Alcotest.(check int) "set semantics" 3
-    (Codb_relalg.Relation.Tuple_set.cardinal (U.sent_cache st "i1"));
-  Alcotest.(check int) "caches are per link" 0
-    (Codb_relalg.Relation.Tuple_set.cardinal (U.sent_cache st "other"))
+  Alcotest.(check int) "set semantics" 3 (U.sent_tracked st "i1");
+  Alcotest.(check bool) "membership" true (U.already_sent st "i1" (tup [ i 2 ]));
+  Alcotest.(check bool) "non-member" false (U.already_sent st "i1" (tup [ i 9 ]));
+  Alcotest.(check int) "caches are per link" 0 (U.sent_tracked st "other");
+  Alcotest.(check int) "exact mode never resends" 0 (U.possible_resends st)
+
+let test_update_state_wire_buffer () =
+  let st = U.create ~initiator:false ~outgoing:[] ~incoming:[ "i1"; "i2" ] uid in
+  let dst = Peer_id.of_string "imp" in
+  Alcotest.(check int) "nothing pending" 0 (U.pending_tuples st);
+  let added = U.buffer_add st ~dst ~rule:"i1" ~hops:2 [ tup [ i 1 ]; tup [ i 2 ] ] in
+  Alcotest.(check int) "both buffered" 2 added;
+  (* same-window duplicate coalesces away; hops merge to the max *)
+  let added = U.buffer_add st ~dst ~rule:"i1" ~hops:5 [ tup [ i 2 ]; tup [ i 3 ] ] in
+  Alcotest.(check int) "duplicate coalesced" 1 added;
+  ignore (U.buffer_add st ~dst ~rule:"i2" ~hops:1 [ tup [ i 9 ] ]);
+  Alcotest.(check int) "pending counts tuples" 4 (U.pending_tuples st);
+  Alcotest.(check int) "per-destination size" 4 (U.buffer_size st ~dst);
+  (* insert/retract in the same window ships zero bytes *)
+  Alcotest.(check bool) "retract pending" true
+    (U.buffer_retract st ~dst ~rule:"i1" (tup [ i 3 ]));
+  Alcotest.(check bool) "retract absent" false
+    (U.buffer_retract st ~dst ~rule:"i1" (tup [ i 42 ]));
+  Alcotest.(check int) "pending after retract" 3 (U.pending_tuples st);
+  Alcotest.(check bool) "buffered destinations" true (U.buffered_dsts st = [ dst ]);
+  (match U.take_buffer st ~dst with
+  | [ ("i1", 5, t1); ("i2", 1, t2) ] ->
+      check_tuples "rule i1 in insertion order" [ tup [ i 1 ]; tup [ i 2 ] ] t1;
+      check_tuples "rule i2" [ tup [ i 9 ] ] t2
+  | other -> Alcotest.failf "unexpected batch shape (%d entries)" (List.length other));
+  Alcotest.(check int) "drained" 0 (U.pending_tuples st);
+  Alcotest.(check bool) "take on empty" true (U.take_buffer st ~dst = [])
+
+let test_update_state_bloom_filter () =
+  let st =
+    U.create ~initiator:false ~bloom_bits:256 ~ring_capacity:2 ~outgoing:[]
+      ~incoming:[ "i1" ] uid
+  in
+  U.add_sent st "i1" [ tup [ i 1 ]; tup [ i 2 ] ];
+  Alcotest.(check bool) "both tracked" true
+    (U.already_sent st "i1" (tup [ i 1 ]) && U.already_sent st "i1" (tup [ i 2 ]));
+  (* the ring holds 2: a third send evicts the first-in tuple, which
+     must then read as NOT sent (re-send, never drop) *)
+  U.add_sent st "i1" [ tup [ i 3 ] ];
+  Alcotest.(check bool) "evicted tuple re-sends" false (U.already_sent st "i1" (tup [ i 1 ]));
+  Alcotest.(check int) "ring stays bounded" 2 (U.sent_tracked st "i1");
+  Alcotest.(check bool) "a possible resend was counted" true (U.possible_resends st >= 1)
 
 let qid = Ids.query_id (Peer_id.of_string "n0") 1
 
@@ -82,6 +124,8 @@ let suite =
     Alcotest.test_case "update link states" `Quick test_update_state_links;
     Alcotest.test_case "scoped activation" `Quick test_update_state_scoped_activation;
     Alcotest.test_case "sent cache" `Quick test_update_state_sent_cache;
+    Alcotest.test_case "wire buffer" `Quick test_update_state_wire_buffer;
+    Alcotest.test_case "bloom sent filter" `Quick test_update_state_bloom_filter;
     Alcotest.test_case "query pending bookkeeping" `Quick test_query_state_pending;
     Alcotest.test_case "query unsent filter" `Quick test_query_state_unsent;
   ]

@@ -1,0 +1,169 @@
+(* Wire-layer behaviour of the global update: the four corners of the
+   (batching x bloom) ablation must commit bit-identical stores on
+   random networks, and batching must actually reduce traffic on a
+   fan-in workload. *)
+
+module Q2 = QCheck2
+module Gen = QCheck2.Gen
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+module Datagen = Codb_workload.Datagen
+
+(* tight bounds everywhere: bloom filters small enough to produce
+   false positives, rings small enough to evict (forcing re-sends),
+   windows long enough to span several delta waves *)
+let corner ~batched ~bloom =
+  {
+    Options.default with
+    Options.batch_window = (if batched then 0.02 else 0.0);
+    batch_max_tuples = 16;
+    sent_bloom_bits = (if bloom then 256 else 0);
+    sent_ring_capacity = 4;
+  }
+
+let corners =
+  [
+    ("plain", corner ~batched:false ~bloom:false);
+    ("batched", corner ~batched:true ~bloom:false);
+    ("bloom", corner ~batched:false ~bloom:true);
+    ("batched+bloom", corner ~batched:true ~bloom:true);
+  ]
+
+let gen_network =
+  let open Gen in
+  let* shape =
+    oneofl
+      [ Topology.Chain; Topology.Ring; Topology.Star_in; Topology.Star_out;
+        Topology.Binary_tree; Topology.Clique ]
+  in
+  let* n = int_range 2 5 in
+  let* seed = int_range 0 10000 in
+  let* skew = oneofl [ 0.0; 1.0 ] in
+  (* existential heads mint per-run null ids, which by construction
+     differ between runs with different event orders; the equivalence
+     below is about tuples actually exchanged, so keep heads plain *)
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = 8;
+      profile = { Datagen.domain_size = 12; skew };
+    }
+  in
+  return (shape, n, seed, params)
+
+let run_corner (shape, n, seed, params) opts =
+  let sys = System.build_exn ~opts (Topology.generate ~params ~seed shape ~n) in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let report = Option.get (Report.update_report (System.snapshots sys) uid) in
+  (sys, report)
+
+let stores_equal sys_a sys_b =
+  List.for_all
+    (fun name ->
+      Codb_relalg.Database.equal_contents (System.node sys_a name).Node.store
+        (System.node sys_b name).Node.store)
+    (System.node_names sys_a)
+
+let prop_corners_commit_identical_stores =
+  Q2.Test.make
+    ~name:"batching x bloom: every corner reaches the plain fix-point" ~count:30
+    gen_network
+    (fun spec ->
+      let baseline, base_report = run_corner spec (snd (List.hd corners)) in
+      base_report.Report.ur_all_finished
+      && List.for_all
+           (fun (_, opts) ->
+             let sys, report = run_corner spec opts in
+             report.Report.ur_all_finished && stores_equal baseline sys)
+           (List.tl corners))
+
+let prop_batching_never_ships_more_tuples =
+  (* an uncapped window merges whole waves: it can only remove
+     messages, and — because the fix-point is the same set union
+     either way — commits exactly as many new tuples *)
+  Q2.Test.make ~name:"batching only removes messages, never adds tuples" ~count:30
+    gen_network
+    (fun spec ->
+      let _, plain = run_corner spec Options.default in
+      let _, batched =
+        run_corner spec { Options.default with Options.batch_window = 0.02 }
+      in
+      batched.Report.ur_data_msgs <= plain.Report.ur_data_msgs
+      && batched.Report.ur_new_tuples = plain.Report.ur_new_tuples)
+
+(* deterministic fan-in workload: every node hears the same closure
+   from several neighbours in a short interval *)
+let clique_spec =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = 20;
+      profile = { Datagen.domain_size = 15; skew = 1.0 };
+    }
+  in
+  (Topology.Clique, 5, 42, params)
+
+let test_batching_reduces_traffic () =
+  let messages_and_bytes opts =
+    let sys, report = run_corner clique_spec opts in
+    let c = Network.counters (System.net sys) in
+    (report.Report.ur_data_msgs, c.Network.total_bytes, sys)
+  in
+  let plain_msgs, plain_bytes, plain_sys =
+    messages_and_bytes { Options.default with Options.batch_window = 0.0 }
+  in
+  let batched_msgs, batched_bytes, batched_sys =
+    messages_and_bytes
+      { Options.default with Options.batch_window = 10.0 *. Options.default.Options.latency }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer data messages (%d -> %d)" plain_msgs batched_msgs)
+    true
+    (batched_msgs * 2 <= plain_msgs);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer wire bytes (%d -> %d)" plain_bytes batched_bytes)
+    true
+    (batched_bytes < plain_bytes);
+  Alcotest.(check bool) "same stores" true (stores_equal plain_sys batched_sys)
+
+let test_batch_counters_flow_to_report () =
+  let sys, report =
+    run_corner clique_spec
+      { Options.default with Options.batch_window = 10.0 *. Options.default.Options.latency }
+  in
+  let uid = report.Report.ur_update in
+  Alcotest.(check bool) "batches counted" true (report.Report.ur_batches > 0);
+  Alcotest.(check bool) "batch tuples counted" true
+    (report.Report.ur_batch_tuples >= report.Report.ur_batches);
+  let wire = Option.get (Report.wire_report (System.snapshots sys) uid) in
+  Alcotest.(check int) "wire report mirrors batches" report.Report.ur_batches
+    wire.Report.wr_batches;
+  Alcotest.(check bool) "avg batch size positive" true (wire.Report.wr_avg_batch > 0.0)
+
+let test_max_tuples_flushes_early () =
+  (* a window far longer than the whole run: only the size cap can
+     flush, and the update must still terminate *)
+  let sys, report =
+    run_corner clique_spec
+      { Options.default with Options.batch_window = 1000.0; batch_max_tuples = 8 }
+  in
+  Alcotest.(check bool) "terminates through size-cap flushes" true
+    report.Report.ur_all_finished;
+  let plain_sys, _ = run_corner clique_spec Options.default in
+  Alcotest.(check bool) "same stores" true (stores_equal plain_sys sys)
+
+let suite =
+  [
+    Alcotest.test_case "batching reduces clique traffic" `Quick
+      test_batching_reduces_traffic;
+    Alcotest.test_case "batch counters reach the report" `Quick
+      test_batch_counters_flow_to_report;
+    Alcotest.test_case "size cap flushes ahead of the window" `Quick
+      test_max_tuples_flushes_early;
+    QCheck_alcotest.to_alcotest prop_corners_commit_identical_stores;
+    QCheck_alcotest.to_alcotest prop_batching_never_ships_more_tuples;
+  ]
