@@ -1,0 +1,13 @@
+let () =
+  (* varint that overflows into the sign bit: 9 x 0xff then 0x7f *)
+  let neg_count = "\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+  (match Codb_core.Payload.decode_tuples neg_count with
+   | Ok _ -> print_endline "decode_tuples: Ok"
+   | Error e -> print_endline ("decode_tuples: Error " ^ e)
+   | exception e -> print_endline ("decode_tuples: RAISED " ^ Printexc.to_string e));
+  (* Update_ack (tag 5) with an empty-string peer id: tag 5, then string: marker 0, len 0 *)
+  let empty_peer = "\x05\x00\x00" in
+  (match Codb_core.Payload.decode empty_peer with
+   | Ok _ -> print_endline "decode: Ok"
+   | Error e -> print_endline ("decode: Error " ^ e)
+   | exception e -> print_endline ("decode: RAISED " ^ Printexc.to_string e))
