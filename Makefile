@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench examples clean
 
 all: build
 
@@ -29,6 +29,10 @@ bench-json:
 # wire ablation -> BENCH_wire.json (codec x batching x bloom)
 wire-bench:
 	dune exec bench/main.exe -- wire-json
+
+# fault-injection sweep -> BENCH_chaos.json (loss rate x retries)
+chaos-bench:
+	dune exec bench/main.exe -- chaos-json
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -1,0 +1,249 @@
+(* Chaos sweep (experiment E16 and `make chaos-bench`).
+
+   One global update on a chain workload (every tuple has a single
+   path to the sink, so an unretried drop is a real hole), re-run under a grid
+   of (message loss rate x transport retries) with duplication and
+   delivery jitter always on.  Every cell uses the same fault seed, so
+   each cell is exactly reproducible; a designated cell is run twice
+   to prove it.
+
+   The metric is *completeness*: the fraction of the fault-free
+   fix-point's tuples that the faulted run still committed,
+   tuple-for-tuple across every store.  The sweep shows the two sides
+   of the protocol hardening:
+
+     retries 0    the transport detects loss but never resends — high
+                  drop rates leave holes in the fix-point, and the
+                  stall watchdog force-terminates instead of hanging;
+     retries max  bounded retransmission restores completeness 1.0 at
+                  10%+ loss, at the price of retransmitted messages.
+
+   Cells that must be complete (the fault-free column, and the
+   max-retries column up to 10% loss) abort the benchmark when they
+   are not, so CI fails loudly.  Results go to BENCH_chaos.json. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+module Database = Codb_relalg.Database
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+module Datagen = Codb_workload.Datagen
+
+type workload = { wl_nodes : int; wl_tuples : int; wl_domain : int; wl_skew : float }
+
+let workload ~tiny =
+  if tiny then { wl_nodes = 4; wl_tuples = 20; wl_domain = 25; wl_skew = 1.0 }
+  else { wl_nodes = 8; wl_tuples = 50; wl_domain = 50; wl_skew = 1.0 }
+
+let config ~seed wl =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = wl.wl_tuples;
+      profile = { Datagen.domain_size = wl.wl_domain; skew = wl.wl_skew };
+    }
+  in
+  Topology.generate ~params ~seed Topology.Chain ~n:wl.wl_nodes
+
+(* Transport and noise knobs shared by every faulted cell. *)
+let ack_timeout = 0.05
+
+let dup_prob = 0.02
+
+let jitter = 0.002
+
+let drops ~tiny = if tiny then [ 0.0; 0.1 ] else [ 0.0; 0.05; 0.1; 0.2 ]
+
+let retries ~tiny = if tiny then [ 0; 4 ] else [ 0; 2; 6 ]
+
+let max_retries ~tiny = List.fold_left max 0 (retries ~tiny)
+
+let opts_of ~fault_seed ~drop ~n_retries =
+  {
+    Options.default with
+    Options.fault_seed;
+    drop_prob = drop;
+    dup_prob = (if drop > 0.0 then dup_prob else 0.0);
+    jitter = (if drop > 0.0 then jitter else 0.0);
+    ack_timeout;
+    max_retries = n_retries;
+  }
+
+type cell = {
+  c_drop : float;
+  c_retries : int;
+  c_completeness : float;
+  c_new_tuples : int;
+  c_delivered : int;
+  c_injected_drops : int;
+  c_injected_dups : int;
+  c_retransmits : int;
+  c_give_ups : int;
+  c_dup_suppressed : int;
+  c_forced : int;
+  c_all_finished : bool;
+  c_duration : float;
+  c_wall_s : float;
+}
+
+(* Fraction of the baseline stores the faulted run still committed. *)
+let completeness ~baseline sys =
+  let hit, total =
+    List.fold_left
+      (fun acc name ->
+        let bstore = (System.node baseline name).Node.store in
+        let store = (System.node sys name).Node.store in
+        List.fold_left
+          (fun (hit, total) rel ->
+            let have =
+              List.fold_left
+                (fun s t -> Tuple_set.add t s)
+                Tuple_set.empty (Database.tuples store rel)
+            in
+            let want = Database.tuples bstore rel in
+            let found = List.length (List.filter (fun t -> Tuple_set.mem t have) want) in
+            (hit + found, total + List.length want))
+          acc (Database.rel_names bstore))
+      (0, 0) (System.node_names baseline)
+  in
+  if total = 0 then 1.0 else float_of_int hit /. float_of_int total
+
+let measure ~seed ~baseline wl ~drop ~n_retries =
+  let opts = opts_of ~fault_seed:(seed + 1) ~drop ~n_retries in
+  let sys = System.build_exn ~opts (config ~seed wl) in
+  let wall_start = Unix.gettimeofday () in
+  let uid = System.run_update sys ~initiator:"n0" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let snapshots = System.snapshots sys in
+  let report = Option.get (Report.update_report snapshots uid) in
+  let chaos = Report.chaos_report snapshots in
+  let counters = Network.counters (System.net sys) in
+  {
+    c_drop = drop;
+    c_retries = n_retries;
+    c_completeness = completeness ~baseline sys;
+    c_new_tuples = report.Report.ur_new_tuples;
+    c_delivered = counters.Network.delivered;
+    c_injected_drops = counters.Network.injected_drops;
+    c_injected_dups = counters.Network.injected_dups;
+    c_retransmits = chaos.Report.chr_retransmits;
+    c_give_ups = chaos.Report.chr_give_ups;
+    c_dup_suppressed = chaos.Report.chr_dup_suppressed;
+    c_forced = chaos.Report.chr_forced_terminations;
+    c_all_finished = report.Report.ur_all_finished;
+    c_duration = report.Report.ur_duration;
+    c_wall_s = wall;
+  }
+
+let check_invariants ~tiny cells =
+  List.iter
+    (fun c ->
+      if c.c_drop = 0.0 && c.c_completeness < 1.0 then
+        failwith
+          (Printf.sprintf "fault-free cell lost data: completeness %.4f at retries %d"
+             c.c_completeness c.c_retries);
+      if
+        c.c_retries = max_retries ~tiny
+        && c.c_drop <= 0.1
+        && c.c_completeness < 1.0
+      then
+        failwith
+          (Printf.sprintf
+             "retries failed to restore completeness: %.4f at drop %.2f, retries %d"
+             c.c_completeness c.c_drop c.c_retries))
+    cells
+
+let check_determinism ~seed ~baseline wl =
+  let drop = List.fold_left Float.max 0.0 (drops ~tiny:true) in
+  let run () = measure ~seed ~baseline wl ~drop ~n_retries:2 in
+  let a = run () and b = run () in
+  if a <> { b with c_wall_s = a.c_wall_s } then
+    failwith "chaos sweep is not deterministic: same seed, different cell"
+
+let measure_all ~tiny ~seed () =
+  let wl = workload ~tiny in
+  let baseline = System.build_exn ~opts:Options.default (config ~seed wl) in
+  let _uid = System.run_update baseline ~initiator:"n0" in
+  let cells =
+    List.concat_map
+      (fun drop ->
+        List.map
+          (fun n_retries -> measure ~seed ~baseline wl ~drop ~n_retries)
+          (retries ~tiny))
+      (drops ~tiny)
+  in
+  check_invariants ~tiny cells;
+  check_determinism ~seed ~baseline wl;
+  (wl, cells)
+
+let print_table wl cells =
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E16 - chaos sweep (chain N=%d, %d tuples/node, dup %.2f, jitter %gs, ack \
+          %gs)"
+         wl.wl_nodes wl.wl_tuples dup_prob jitter ack_timeout)
+    ~header:
+      [
+        "drop"; "retries"; "completeness"; "inj drops"; "inj dups"; "retransmits";
+        "give-ups"; "dups supp"; "forced"; "sim (s)";
+      ]
+    (List.map
+       (fun c ->
+         [
+           Printf.sprintf "%.2f" c.c_drop;
+           Tables.i0 c.c_retries;
+           Printf.sprintf "%.4f" c.c_completeness;
+           Tables.i0 c.c_injected_drops;
+           Tables.i0 c.c_injected_dups;
+           Tables.i0 c.c_retransmits;
+           Tables.i0 c.c_give_ups;
+           Tables.i0 c.c_dup_suppressed;
+           Tables.i0 c.c_forced;
+           Tables.f4 c.c_duration;
+         ])
+       cells)
+
+(* Hand-rolled JSON: the harness must not grow dependencies. *)
+let write_json ~path ~seed wl cells =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"chaos-sweep\",\n";
+  p "  \"workload\": {\"topology\": \"chain\", \"nodes\": %d, \"tuples_per_node\": %d, \
+     \"domain\": %d, \"skew\": %g},\n"
+    wl.wl_nodes wl.wl_tuples wl.wl_domain wl.wl_skew;
+  p "  \"seed\": %d,\n" seed;
+  p "  \"transport\": {\"ack_timeout_s\": %g, \"dup_prob\": %g, \"jitter_s\": %g},\n"
+    ack_timeout dup_prob jitter;
+  p "  \"cells\": [\n";
+  let n = List.length cells in
+  List.iteri
+    (fun i c ->
+      p "    {\"drop\": %.2f, \"retries\": %d, \"completeness\": %.4f, \
+         \"new_tuples\": %d, \"delivered_msgs\": %d, \"injected_drops\": %d, \
+         \"injected_dups\": %d, \"retransmits\": %d, \"give_ups\": %d, \
+         \"dup_suppressed\": %d, \"forced_terminations\": %d, \
+         \"all_finished\": %b, \"sim_duration_s\": %.4f, \"wall_s\": %.4f}%s\n"
+        c.c_drop c.c_retries c.c_completeness c.c_new_tuples c.c_delivered
+        c.c_injected_drops c.c_injected_dups c.c_retransmits c.c_give_ups
+        c.c_dup_suppressed c.c_forced c.c_all_finished c.c_duration c.c_wall_s
+        (if i = n - 1 then "" else ","))
+    cells;
+  p "  ],\n";
+  p "  \"deterministic\": true\n";
+  p "}\n";
+  close_out oc
+
+let json_path = "BENCH_chaos.json"
+
+let run ?(tiny = false) ?(seed = 1500) ?(json = true) () =
+  let wl, cells = measure_all ~tiny ~seed () in
+  print_table wl cells;
+  if json then begin
+    write_json ~path:json_path ~seed wl cells;
+    Printf.printf "wrote %s\n%!" json_path
+  end

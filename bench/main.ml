@@ -7,11 +7,14 @@
      dune exec bench/main.exe -- bench-json   # planner ablation -> BENCH_planner.json
      dune exec bench/main.exe -- bench-json --tiny  # CI smoke workload
      dune exec bench/main.exe -- wire-json    # wire ablation -> BENCH_wire.json
+     dune exec bench/main.exe -- chaos-json   # fault-injection sweep -> BENCH_chaos.json
+     dune exec bench/main.exe -- --seed N ..  # reseed workload + fault schedule
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let tiny = ref false in
+  let seed = ref 1500 in
   let rec extract acc = function
     | "--csv" :: dir :: rest ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -19,6 +22,13 @@ let () =
         extract acc rest
     | "--tiny" :: rest ->
         tiny := true;
+        extract acc rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n -> seed := n
+        | None ->
+            Printf.eprintf "--seed expects an integer, got %S\n" n;
+            exit 1);
         extract acc rest
     | arg :: rest -> extract (arg :: acc) rest
     | [] -> List.rev acc
@@ -32,17 +42,22 @@ let () =
   | [ "micro" ] -> Micro.run ()
   | [ "bench-json" ] -> Planner_bench.run ~tiny:!tiny ()
   | [ "wire-json" ] -> Wire_bench.run ~tiny:!tiny ()
+  | [ "chaos-json" ] -> Chaos_bench.run ~tiny:!tiny ~seed:!seed ()
   | names ->
       if List.mem "micro" names then Micro.run ();
       if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
       if List.mem "wire-json" names then Wire_bench.run ~tiny:!tiny ();
+      if List.mem "chaos-json" names then Chaos_bench.run ~tiny:!tiny ~seed:!seed ();
       let experiment_names =
-        List.filter (fun n -> n <> "micro" && n <> "bench-json" && n <> "wire-json") names
+        List.filter
+          (fun n -> n <> "micro" && n <> "bench-json" && n <> "wire-json" && n <> "chaos-json")
+          names
       in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
-        Printf.eprintf "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json)\n"
+        Printf.eprintf
+          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

@@ -8,6 +8,7 @@
      explain   print the cost-based evaluation plan for a query
      cache     exercise the query-answer cache on a repeated workload
      wire      run a global update and report its wire behaviour
+     chaos     run under a deterministic fault plan and report resilience
      discover  run topology discovery from a node
      info      print the parsed network structure
 
@@ -234,6 +235,86 @@ let wire_cmd file initiator estimator batch_window batch_max bloom_bits ring_cap
   Fmt.pr "network: %d message(s) delivered, %d B carried%s@." c.Codb_net.Network.delivered
     c.Codb_net.Network.total_bytes
     (if estimator then " (estimated sizes)" else " (encoded sizes)");
+  0
+
+(* --- chaos --------------------------------------------------------- *)
+
+let parse_flap spec =
+  match String.split_on_char ':' spec with
+  | [ a; b; down; up ] -> (
+      match (float_of_string_opt down, float_of_string_opt up) with
+      | Some down, Some up -> Ok (a, b, down, up)
+      | _ -> Error (Printf.sprintf "bad flap times in %S" spec))
+  | _ -> Error (Printf.sprintf "bad flap %S (expected a:b:down:up)" spec)
+
+let parse_crash spec =
+  match String.split_on_char ':' spec with
+  | [ node; at ] -> (
+      match float_of_string_opt at with
+      | Some at -> Ok (node, at, None)
+      | None -> Error (Printf.sprintf "bad crash time in %S" spec))
+  | [ node; at; restart ] -> (
+      match (float_of_string_opt at, float_of_string_opt restart) with
+      | Some at, Some restart -> Ok (node, at, Some restart)
+      | _ -> Error (Printf.sprintf "bad crash times in %S" spec))
+  | _ -> Error (Printf.sprintf "bad crash %S (expected node:at[:restart])" spec)
+
+let parse_all parse specs =
+  List.fold_left
+    (fun acc spec -> Result.bind acc (fun l -> Result.map (fun x -> x :: l) (parse spec)))
+    (Ok []) specs
+  |> Result.map List.rev
+
+let chaos_cmd file initiator seed drop dup jitter budget flaps crashes ack_timeout
+    max_retries backoff query at =
+  let opts =
+    {
+      Options.default with
+      Options.fault_seed = seed;
+      drop_prob = drop;
+      dup_prob = dup;
+      jitter;
+      drop_budget = (match budget with Some b -> b | None -> max_int);
+      flap_plan = or_die (parse_all parse_flap flaps);
+      crash_plan = or_die (parse_all parse_crash crashes);
+      ack_timeout;
+      max_retries;
+      backoff_factor = backoff;
+    }
+  in
+  (match Options.validate opts with
+  | Ok () -> ()
+  | Error errors ->
+      List.iter prerr_endline errors;
+      exit 1);
+  let sys = or_die (load_system ~opts file) in
+  let initiator =
+    match initiator with
+    | Some name -> name
+    | None -> List.hd (System.node_names sys)
+  in
+  let uid = System.run_update sys ~initiator in
+  (match Report.update_report (System.snapshots sys) uid with
+  | Some report -> Fmt.pr "%a@." Report.pp_update_report report
+  | None -> Fmt.pr "no statistics recorded?@.");
+  (match query with
+  | None -> ()
+  | Some text ->
+      let q = parse_query_or_die text in
+      let at = match at with Some at -> at | None -> initiator in
+      let outcome = System.run_query sys ~at q in
+      Fmt.pr "@.query at %s: %d answer(s), %s@." at
+        (List.length outcome.System.qo_answers)
+        (if outcome.System.qo_complete then "complete"
+         else "INCOMPLETE (some sub-requests failed)"));
+  Fmt.pr "@.%a@." Report.pp_chaos_report (Report.chaos_report (System.snapshots sys));
+  let c = Codb_net.Network.counters (System.net sys) in
+  Fmt.pr
+    "network: %d delivered, %d injected drop(s), %d injected dup(s), %d flap(s), %d \
+     crash(es), %d restart(s)@."
+    c.Codb_net.Network.delivered c.Codb_net.Network.injected_drops
+    c.Codb_net.Network.injected_dups c.Codb_net.Network.injected_flaps
+    c.Codb_net.Network.crashes c.Codb_net.Network.restarts;
   0
 
 (* --- discover ------------------------------------------------------ *)
@@ -539,6 +620,103 @@ let wire_t =
       const wire_cmd $ file_arg $ initiator $ estimator $ batch_window $ batch_max
       $ bloom_bits $ ring_capacity)
 
+let chaos_t =
+  let doc =
+    "Run a global update under a deterministic fault plan (seeded drops, duplicates, \
+     jitter, link flaps, node crashes) and report how the protocols coped."
+  in
+  let initiator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "initiator" ] ~doc:"Initiating node (default: first node).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fault-plan seed; the same seed replays the same fault schedule.")
+  in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message silent loss probability.")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplicate-delivery probability.")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jitter" ] ~docv:"SECONDS"
+          ~doc:"Extra random delivery delay, uniform in [0, SECONDS).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drop-budget" ] ~docv:"N"
+          ~doc:"Stop injecting drops after N (default: unlimited).")
+  in
+  let flaps =
+    Arg.(
+      value & opt_all string []
+      & info [ "flap" ] ~docv:"A:B:DOWN:UP"
+          ~doc:"Take the pipe between A and B down at DOWN, back up at UP (repeatable).")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"NODE:AT[:RESTART]"
+          ~doc:
+            "Crash NODE at AT; with RESTART it comes back with its store but no \
+             in-flight protocol state (repeatable).")
+  in
+  let ack_timeout =
+    Arg.(
+      value & opt float 0.05
+      & info [ "ack-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Reliable-transport acknowledgement timeout: retransmit unacknowledged \
+             messages after this long, with exponential backoff. Pass 0 for \
+             fire-and-forget (the seed behaviour: losses surface as partial \
+             results instead of being repaired).")
+  in
+  let max_retries =
+    Arg.(
+      value
+      & opt int Options.default.Options.max_retries
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Give up a message after N retransmissions.")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt float Options.default.Options.backoff_factor
+      & info [ "backoff" ] ~docv:"F" ~doc:"Exponential backoff base (>= 1).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ]
+          ~doc:
+            "Also answer this query under the same faults and report whether the \
+             answer is complete.")
+  in
+  let at =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "at" ] ~doc:"Node for $(b,--query) (default: the initiator).")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const chaos_cmd $ file_arg $ initiator $ seed $ drop $ dup $ jitter $ budget
+      $ flaps $ crashes $ ack_timeout $ max_retries $ backoff $ query $ at)
+
 let discover_t =
   let doc = "Run JXTA-style topology discovery from a node." in
   let at = Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Origin node.") in
@@ -645,7 +823,7 @@ let main =
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
       validate_t; generate_t; update_t; query_t; explain_t; cache_t; wire_t;
-      discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
+      chaos_t; discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
     ]
 
 let () = exit (Cmd.eval' main)

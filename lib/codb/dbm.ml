@@ -5,16 +5,19 @@ let src_log = Logs.Src.create "codb.dbm" ~doc:"coDB database manager"
 
 module Log = (val Logs.src_log src_log : Logs.LOG)
 
-let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
-  let src = msg.Message.src and bytes = msg.Message.size in
-  match msg.Message.payload with
+let rec dispatch (rt : Runtime.t) ~src ~bytes payload =
+  match payload with
+  | Payload.Seq { seq; inner } ->
+      Reliable.on_seq rt ~src ~seq inner ~process:(fun inner ->
+          dispatch rt ~src ~bytes inner)
+  | Payload.Seq_ack { seq } -> Reliable.on_ack rt seq
   | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
   | Payload.Update_link_closed _ | Payload.Update_ack _ | Payload.Update_terminated _ ->
-      Update.handle rt ~src ~bytes msg.Message.payload
+      Update.handle rt ~src ~bytes payload
   | Payload.Query_request _ | Payload.Query_data _ | Payload.Query_done _ ->
-      Query_engine.handle rt ~src ~bytes msg.Message.payload
+      Query_engine.handle rt ~src ~bytes payload
   | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
-      Discovery.handle rt ~src msg.Message.payload
+      Discovery.handle rt ~src payload
   | Payload.Rules_file { version; text } -> (
       match Reconfigure.handle_text rt ~version text with
       | Ok () -> ()
@@ -30,7 +33,10 @@ let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
           ~store_tuples:(Database.cardinal node.Node.store)
           ?cache:(Node.cache_snapshot node) node.Node.stats
       in
-      ignore (rt.Runtime.send ~dst:src (Payload.Stats_response { stats }))
+      ignore (Reliable.send_noted rt ~dst:src (Payload.Stats_response { stats }))
   | Payload.Stats_response _ ->
       (* only the super-peer aggregates statistics *)
       ()
+
+let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
+  dispatch rt ~src:msg.Message.src ~bytes:msg.Message.size msg.Message.payload

@@ -16,7 +16,7 @@ let start rt ~ttl =
   let neighbours = rt.Runtime.neighbours () in
   absorb rt neighbours;
   let probe = Payload.Discovery_probe { probe_id; ttl; path = [ me rt ] } in
-  List.iter (fun peer -> ignore (rt.Runtime.send ~dst:peer probe)) neighbours;
+  List.iter (fun peer -> ignore (Reliable.send_noted rt ~dst:peer probe)) neighbours;
   probe_id
 
 (* Route a reply one hop back along the recorded path. *)
@@ -25,7 +25,7 @@ let send_reply rt ~probe_id ~route ~peers =
   | [] -> absorb rt peers
   | next :: rest ->
       ignore
-        (rt.Runtime.send ~dst:next
+        (Reliable.send_noted rt ~dst:next
            (Payload.Discovery_reply { probe_id; path = rest; peers }))
 
 let on_probe rt ~probe_id ~ttl ~path =
@@ -41,7 +41,7 @@ let on_probe rt ~probe_id ~ttl ~path =
       let forward peer =
         if not (List.exists (Peer_id.equal peer) next_path) then
           ignore
-            (rt.Runtime.send ~dst:peer
+            (Reliable.send_noted rt ~dst:peer
                (Payload.Discovery_probe { probe_id; ttl = ttl - 1; path = next_path }))
       in
       List.iter forward neighbours
@@ -58,5 +58,6 @@ let handle rt ~src payload =
   | Payload.Update_link_closed _
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
   | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
-  | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _ ->
+  | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
+  | Payload.Seq _ | Payload.Seq_ack _ ->
       ()

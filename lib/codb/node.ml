@@ -19,6 +19,7 @@ type t = {
   mutable known_peers : Peer_id.Set.t;
   seen_probes : (string, unit) Hashtbl.t;
   mutable cache : Codb_cache.Qcache.t option;
+  mutable relay : Relay.t option;
 }
 
 let create decl =
@@ -43,6 +44,7 @@ let create decl =
     known_peers = Peer_id.Set.empty;
     seen_probes = Hashtbl.create 8;
     cache = None;
+    relay = None;
   }
 
 let fresh_serial node =
@@ -114,6 +116,21 @@ let add_update_state node (st : Update_state.t) =
   Hashtbl.replace node.updates (Ids.string_of_update st.Update_state.ust_update) st
 
 let explain node ~rel tuple = Lineage.origin_of ~store:node.store node.lineage ~rel tuple
+
+(* A crash loses everything held in memory by the protocol layer:
+   in-flight update and query instances, diffusion bookkeeping, probe
+   dedup, cached answers.  The store, rules, stats, lineage and the
+   transport's sequence/dedup tables survive (see {!Relay.abandon}):
+   the store because coDB stores are persistent, the transport tables
+   because reusing sequence numbers after a restart would make peers
+   discard the restarted node's first messages as stale duplicates. *)
+let reset_volatile node =
+  Hashtbl.reset node.updates;
+  Hashtbl.reset node.query_instances;
+  Hashtbl.reset node.sub_refs;
+  Hashtbl.reset node.seen_probes;
+  Option.iter Relay.abandon node.relay;
+  Option.iter Codb_cache.Qcache.clear node.cache
 
 let is_consistent node =
   let source = Eval.of_database node.store in

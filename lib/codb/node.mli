@@ -38,6 +38,10 @@ type t = {
   mutable cache : Codb_cache.Qcache.t option;
       (** the semantic query-answer cache; [None] unless
           {!Options.use_query_cache} *)
+  mutable relay : Relay.t option;
+      (** reliable-transport state; [None] unless {!Options.reliable}
+          (set by {!System.install_node}; stub runtimes in tests leave
+          it unset and sends stay fire-and-forget) *)
 }
 
 val create : Config.node_decl -> t
@@ -82,6 +86,13 @@ val explain : t -> rel:string -> Codb_relalg.Tuple.t -> Lineage.origin option
 (** Why does (or doesn't) the node hold this tuple?  [None]: absent;
     [Some Base]: the node's own fact; [Some (Imported _)]: the rules
     and paths that delivered it. *)
+
+val reset_volatile : t -> unit
+(** A crash: drop in-flight update/query instances, sub-request
+    bookkeeping, probe dedup and cached answers.  The store, rules,
+    statistics, lineage and the transport's sequence counter and
+    dedup table survive (a restarted node must not reuse sequence
+    numbers its peers may have recorded). *)
 
 val is_consistent : t -> bool
 (** Evaluate the node's denial constraints against the store; record

@@ -17,6 +17,16 @@ type t = {
   batch_max_tuples : int;
   sent_bloom_bits : int;
   sent_ring_capacity : int;
+  fault_seed : int;
+  drop_prob : float;
+  dup_prob : float;
+  jitter : float;
+  drop_budget : int;
+  flap_plan : (string * string * float * float) list;
+  crash_plan : (string * float * float option) list;
+  ack_timeout : float;
+  max_retries : int;
+  backoff_factor : float;
 }
 
 let default =
@@ -39,6 +49,16 @@ let default =
     batch_max_tuples = 256;
     sent_bloom_bits = 0;
     sent_ring_capacity = 512;
+    fault_seed = 0;
+    drop_prob = 0.0;
+    dup_prob = 0.0;
+    jitter = 0.0;
+    drop_budget = max_int;
+    flap_plan = [];
+    crash_plan = [];
+    ack_timeout = 0.0;
+    max_retries = 4;
+    backoff_factor = 2.0;
   }
 
 let with_cache =
@@ -84,4 +104,65 @@ let validate t =
     reject
       (Printf.sprintf "options: sent_ring_capacity must be >= 1 (got %d)"
          t.sent_ring_capacity);
+  let prob name v =
+    if v < 0.0 || v > 1.0 then
+      reject (Printf.sprintf "options: %s must be in [0,1] (got %g)" name v)
+  in
+  prob "drop_prob" t.drop_prob;
+  prob "dup_prob" t.dup_prob;
+  if t.jitter < 0.0 then
+    reject (Printf.sprintf "options: jitter must be >= 0 (got %g)" t.jitter);
+  if t.drop_budget < 0 then
+    reject (Printf.sprintf "options: drop_budget must be >= 0 (got %d)" t.drop_budget);
+  List.iter
+    (fun (a, b, down, up) ->
+      if String.equal a b then
+        reject (Printf.sprintf "options: flap_plan endpoints must differ (got %s)" a);
+      if down < 0.0 || up <= down then
+        reject
+          (Printf.sprintf
+             "options: flap_plan %s-%s must close at >= 0 and reopen later (got %g, %g)"
+             a b down up))
+    t.flap_plan;
+  List.iter
+    (fun (name, at, restart) ->
+      if at < 0.0 then
+        reject (Printf.sprintf "options: crash_plan %s must crash at >= 0 (got %g)" name at);
+      match restart with
+      | Some r when r <= at ->
+          reject
+            (Printf.sprintf
+               "options: crash_plan %s must restart after it crashes (got %g, %g)" name
+               at r)
+      | Some _ | None -> ())
+    t.crash_plan;
+  if t.ack_timeout < 0.0 then
+    reject (Printf.sprintf "options: ack_timeout must be >= 0 (got %g)" t.ack_timeout);
+  if t.max_retries < 0 then
+    reject (Printf.sprintf "options: max_retries must be >= 0 (got %d)" t.max_retries);
+  if t.backoff_factor < 1.0 then
+    reject
+      (Printf.sprintf "options: backoff_factor must be >= 1 (got %g)" t.backoff_factor);
   match List.rev !errors with [] -> Ok () | errors -> Error errors
+
+let faults_enabled t =
+  t.drop_prob > 0.0 || t.dup_prob > 0.0 || t.jitter > 0.0 || t.flap_plan <> []
+  || t.crash_plan <> []
+
+let reliable t = t.ack_timeout > 0.0
+
+(* Retransmission timeout of the [attempts]-th try.  The exponent is
+   capped so pathological (backoff, retries) pairs cannot push timers
+   into astronomically distant simulated times. *)
+let rto t attempts =
+  t.ack_timeout *. Float.min 64.0 (t.backoff_factor ** float_of_int attempts)
+
+let retry_span t =
+  let rec sum acc i = if i > t.max_retries then acc else sum (acc +. rto t i) (i + 1) in
+  sum 0.0 0
+
+(* Floored so the stall watchdog stays meaningful under fire-and-forget
+   transport (ack_timeout = 0 with faults injected): a silent window of
+   zero would expire every sub-request before its first response could
+   possibly arrive. *)
+let failure_deadline t = Float.max 0.25 (retry_span t +. (2.0 *. t.ack_timeout))

@@ -60,6 +60,35 @@ type t = {
   sent_ring_capacity : int;
       (** entries in the bounded exact ring behind the Bloom filter;
           evicted tuples may be re-sent (never dropped) *)
+  fault_seed : int;
+      (** seed of the fault plan's random stream
+          ({!Codb_net.Fault.plan}); same seed, same options, same
+          workload => byte-identical fault schedule *)
+  drop_prob : float;  (** per-message silent in-flight loss probability *)
+  dup_prob : float;  (** per-message duplicate-delivery probability *)
+  jitter : float;
+      (** max extra delivery delay in simulated seconds, uniform per
+          message, applied after FIFO sequencing (reordering) *)
+  drop_budget : int;
+      (** stop injecting drops after this many; [max_int] = unlimited.
+          A finite budget under [max_retries] large enough makes
+          eventual delivery (hence store equivalence with the
+          fault-free run) deterministic. *)
+  flap_plan : (string * string * float * float) list;
+      (** (peer, peer, down_at, up_at): scheduled pipe closures *)
+  crash_plan : (string * float * float option) list;
+      (** (node, crash_at, restart_at): the node's handler is removed
+          and its pipes closed at [crash_at]; with a restart time the
+          handler re-registers, volatile protocol state is cleared and
+          the acquaintance pipes reopen *)
+  ack_timeout : float;
+      (** reliable-transport acknowledgement timeout in simulated
+          seconds; 0 disables the {!Reliable} layer entirely (the
+          seed's fire-and-forget behaviour, byte-for-byte) *)
+  max_retries : int;
+      (** retransmissions before the transport abandons a message and
+          reports failure to the protocol layer *)
+  backoff_factor : float;  (** exponential backoff base, >= 1 *)
 }
 
 val default : t
@@ -72,5 +101,29 @@ val validate : t -> (unit, string list) result
     non-positive [max_update_events], negative cache capacities, TTL
     or [index_budget]; negative [batch_window], [batch_max_tuples] < 1,
     [sent_bloom_bits] that is neither 0 nor a power of two within
-    budget, [sent_ring_capacity] < 1.  Called by {!System.build}
-    before any node is created. *)
+    budget, [sent_ring_capacity] < 1; probabilities outside [0,1],
+    negative [jitter], [drop_budget] or [ack_timeout], flaps that
+    reopen before they close, crashes that restart before they crash,
+    negative [max_retries], [backoff_factor] < 1.  Called by
+    {!System.build} before any node is created. *)
+
+val faults_enabled : t -> bool
+(** Any fault knob active (drop, dup, jitter, flaps or crashes). *)
+
+val reliable : t -> bool
+(** [ack_timeout > 0]: the reliable transport is on. *)
+
+val rto : t -> int -> float
+(** Retransmission timeout before the [n]-th retry:
+    [ack_timeout * backoff_factor^n], exponent growth capped at 64x. *)
+
+val retry_span : t -> float
+(** Total time the transport keeps trying one message:
+    sum of {!rto} over attempts [0..max_retries]. *)
+
+val failure_deadline : t -> float
+(** {!retry_span} plus grace: after this long without completion a
+    sub-request is declared failed (partial-answer deadline, stalled
+    update watchdog window).  Floored at a small constant so the
+    watchdog still works under fire-and-forget transport
+    ([ack_timeout = 0]) with faults injected. *)

@@ -36,20 +36,27 @@ type t =
       rule_id : string;
       tuples : Tuple.t list;
     }
-  | Query_done of { query_id : Ids.query_id; request_ref : string; rule_id : string }
+  | Query_done of {
+      query_id : Ids.query_id;
+      request_ref : string;
+      rule_id : string;
+      complete : bool;
+    }
   | Rules_file of { version : int; text : string }
   | Start_update
   | Stats_request
   | Stats_response of { stats : Stats.snapshot }
   | Discovery_probe of { probe_id : string; ttl : int; path : Peer_id.t list }
   | Discovery_reply of { probe_id : string; path : Peer_id.t list; peers : Peer_id.t list }
+  | Seq of { seq : int; inner : t }
+  | Seq_ack of { seq : int }
 
 let tuples_bytes tuples = List.fold_left (fun acc t -> acc + Tuple.size_bytes t) 0 tuples
 
 let peers_bytes peers =
   List.fold_left (fun acc p -> acc + 4 + String.length (Peer_id.to_string p)) 0 peers
 
-let size = function
+let rec size = function
   | Update_request { scope = Global; _ } -> 24
   | Update_request { scope = For_rule rule; _ } -> 24 + String.length rule
   | Update_data { tuples; _ } -> 32 + tuples_bytes tuples
@@ -72,15 +79,18 @@ let size = function
   | Discovery_probe { path; probe_id; _ } -> 16 + String.length probe_id + peers_bytes path
   | Discovery_reply { path; peers; probe_id } ->
       16 + String.length probe_id + peers_bytes path + peers_bytes peers
+  | Seq { inner; _ } -> 8 + size inner
+  | Seq_ack _ -> 12
 
-let is_update_protocol = function
+let rec is_update_protocol = function
   | Update_request _ | Update_data _ | Update_batch _ | Update_link_closed _ -> true
   | Update_ack _ | Update_terminated _ | Query_request _ | Query_data _ | Query_done _
   | Rules_file _ | Start_update | Stats_request | Stats_response _ | Discovery_probe _
-  | Discovery_reply _ ->
+  | Discovery_reply _ | Seq_ack _ ->
       false
+  | Seq { inner; _ } -> is_update_protocol inner
 
-let describe = function
+let rec describe = function
   | Update_request { update_id; scope = Global } ->
       "update-request " ^ Ids.string_of_update update_id
   | Update_request { update_id; scope = For_rule rule } ->
@@ -104,6 +114,8 @@ let describe = function
   | Discovery_probe { ttl; _ } -> Printf.sprintf "discovery-probe ttl=%d" ttl
   | Discovery_reply { peers; _ } ->
       Printf.sprintf "discovery-reply (%d peers)" (List.length peers)
+  | Seq { seq; inner } -> Printf.sprintf "seq#%d %s" seq (describe inner)
+  | Seq_ack { seq } -> Printf.sprintf "seq-ack#%d" seq
 
 (* ---- Compact binary wire format ------------------------------------- *)
 (* One tag byte per payload, then fields through Codb_net.Codec: counts and
@@ -131,6 +143,8 @@ let tag_of = function
   | Stats_response _ -> 13
   | Discovery_probe _ -> 14
   | Discovery_reply _ -> 15
+  | Seq _ -> 16
+  | Seq_ack _ -> 17
 
 let put_value w = function
   | Value.Int n ->
@@ -211,10 +225,9 @@ let get_bool r =
   | 1 -> true
   | n -> raise (Codec.Malformed (Printf.sprintf "bad bool byte %d" n))
 
-let encode payload =
-  let w = Codec.writer () in
+let rec put_payload w payload =
   Codec.byte w (tag_of payload);
-  (match payload with
+  match payload with
   | Update_request { update_id; scope = Global } -> put_update_id w update_id
   | Update_request { update_id; scope = For_rule rule } ->
       put_update_id w update_id;
@@ -251,10 +264,11 @@ let encode payload =
       Codec.string w request_ref;
       Codec.string w rule_id;
       put_tuples w tuples
-  | Query_done { query_id; request_ref; rule_id } ->
+  | Query_done { query_id; request_ref; rule_id; complete } ->
       put_query_id w query_id;
       Codec.string w request_ref;
-      Codec.string w rule_id
+      Codec.string w rule_id;
+      put_bool w complete
   | Rules_file { version; text } ->
       Codec.zigzag w version;
       Codec.raw_string w text
@@ -268,80 +282,96 @@ let encode payload =
   | Discovery_reply { probe_id; path; peers } ->
       Codec.string w probe_id;
       put_peers w path;
-      put_peers w peers);
+      put_peers w peers
+  | Seq { seq; inner } ->
+      Codec.varint w seq;
+      (* recursive: the wrapped frame shares the message's string
+         dictionary with its payload *)
+      put_payload w inner
+  | Seq_ack { seq } -> Codec.varint w seq
+
+let encode payload =
+  let w = Codec.writer () in
+  put_payload w payload;
   Codec.contents w
+
+let rec get_payload r =
+  match Codec.read_byte r with
+  | 0 ->
+      let update_id = get_update_id r in
+      Update_request { update_id; scope = Global }
+  | 1 ->
+      let update_id = get_update_id r in
+      Update_request { update_id; scope = For_rule (Codec.read_string r) }
+  | 2 ->
+      let update_id = get_update_id r in
+      let rule_id = Codec.read_string r in
+      let hops = Codec.read_zigzag r in
+      let global = get_bool r in
+      let tuples = get_tuples r in
+      Update_data { update_id; rule_id; tuples; hops; global }
+  | 3 ->
+      let update_id = get_update_id r in
+      let global = get_bool r in
+      let entries =
+        List.init (Codec.read_varint r) (fun _ ->
+            let be_rule = Codec.read_string r in
+            let be_hops = Codec.read_zigzag r in
+            let be_tuples = get_tuples r in
+            { be_rule; be_hops; be_tuples })
+      in
+      Update_batch { update_id; entries; global }
+  | 4 ->
+      let update_id = get_update_id r in
+      let rule_id = Codec.read_string r in
+      let global = get_bool r in
+      Update_link_closed { update_id; rule_id; global }
+  | 5 -> Update_ack { update_id = get_update_id r }
+  | 6 -> Update_terminated { update_id = get_update_id r }
+  | 7 ->
+      let query_id = get_query_id r in
+      let request_ref = Codec.read_string r in
+      let rule_id = Codec.read_string r in
+      let label = get_peers r in
+      Query_request { query_id; request_ref; rule_id; label }
+  | 8 ->
+      let query_id = get_query_id r in
+      let request_ref = Codec.read_string r in
+      let rule_id = Codec.read_string r in
+      let tuples = get_tuples r in
+      Query_data { query_id; request_ref; rule_id; tuples }
+  | 9 ->
+      let query_id = get_query_id r in
+      let request_ref = Codec.read_string r in
+      let rule_id = Codec.read_string r in
+      let complete = get_bool r in
+      Query_done { query_id; request_ref; rule_id; complete }
+  | 10 ->
+      let version = Codec.read_zigzag r in
+      Rules_file { version; text = Codec.read_raw_string r }
+  | 11 -> Start_update
+  | 12 -> Stats_request
+  | 13 -> raise (Codec.Malformed "Stats_response is not wire-encodable")
+  | 14 ->
+      let probe_id = Codec.read_string r in
+      let ttl = Codec.read_zigzag r in
+      let path = get_peers r in
+      Discovery_probe { probe_id; ttl; path }
+  | 15 ->
+      let probe_id = Codec.read_string r in
+      let path = get_peers r in
+      let peers = get_peers r in
+      Discovery_reply { probe_id; path; peers }
+  | 16 ->
+      let seq = Codec.read_varint r in
+      Seq { seq; inner = get_payload r }
+  | 17 -> Seq_ack { seq = Codec.read_varint r }
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown payload tag %d" n))
 
 let decode bytes =
   let r = Codec.reader bytes in
   try
-    let payload =
-      match Codec.read_byte r with
-      | 0 ->
-          let update_id = get_update_id r in
-          Update_request { update_id; scope = Global }
-      | 1 ->
-          let update_id = get_update_id r in
-          Update_request { update_id; scope = For_rule (Codec.read_string r) }
-      | 2 ->
-          let update_id = get_update_id r in
-          let rule_id = Codec.read_string r in
-          let hops = Codec.read_zigzag r in
-          let global = get_bool r in
-          let tuples = get_tuples r in
-          Update_data { update_id; rule_id; tuples; hops; global }
-      | 3 ->
-          let update_id = get_update_id r in
-          let global = get_bool r in
-          let entries =
-            List.init (Codec.read_varint r) (fun _ ->
-                let be_rule = Codec.read_string r in
-                let be_hops = Codec.read_zigzag r in
-                let be_tuples = get_tuples r in
-                { be_rule; be_hops; be_tuples })
-          in
-          Update_batch { update_id; entries; global }
-      | 4 ->
-          let update_id = get_update_id r in
-          let rule_id = Codec.read_string r in
-          let global = get_bool r in
-          Update_link_closed { update_id; rule_id; global }
-      | 5 -> Update_ack { update_id = get_update_id r }
-      | 6 -> Update_terminated { update_id = get_update_id r }
-      | 7 ->
-          let query_id = get_query_id r in
-          let request_ref = Codec.read_string r in
-          let rule_id = Codec.read_string r in
-          let label = get_peers r in
-          Query_request { query_id; request_ref; rule_id; label }
-      | 8 ->
-          let query_id = get_query_id r in
-          let request_ref = Codec.read_string r in
-          let rule_id = Codec.read_string r in
-          let tuples = get_tuples r in
-          Query_data { query_id; request_ref; rule_id; tuples }
-      | 9 ->
-          let query_id = get_query_id r in
-          let request_ref = Codec.read_string r in
-          let rule_id = Codec.read_string r in
-          Query_done { query_id; request_ref; rule_id }
-      | 10 ->
-          let version = Codec.read_zigzag r in
-          Rules_file { version; text = Codec.read_raw_string r }
-      | 11 -> Start_update
-      | 12 -> Stats_request
-      | 13 -> raise (Codec.Malformed "Stats_response is not wire-encodable")
-      | 14 ->
-          let probe_id = Codec.read_string r in
-          let ttl = Codec.read_zigzag r in
-          let path = get_peers r in
-          Discovery_probe { probe_id; ttl; path }
-      | 15 ->
-          let probe_id = Codec.read_string r in
-          let path = get_peers r in
-          let peers = get_peers r in
-          Discovery_reply { probe_id; path; peers }
-      | n -> raise (Codec.Malformed (Printf.sprintf "unknown payload tag %d" n))
-    in
+    let payload = get_payload r in
     if Codec.at_end r then Ok payload
     else Error "Payload.decode: trailing bytes"
   with Codec.Malformed why -> Error ("Payload.decode: " ^ why)

@@ -67,7 +67,14 @@ type t =
       rule_id : string;
       tuples : Tuple.t list;
     }
-  | Query_done of { query_id : Ids.query_id; request_ref : string; rule_id : string }
+  | Query_done of {
+      query_id : Ids.query_id;
+      request_ref : string;
+      rule_id : string;
+      complete : bool;
+          (** [false] when the responder's sub-tree lost children or
+              data to faults: the answers upstream are a lower bound *)
+    }
   | Rules_file of { version : int; text : string }
       (** the super-peer's broadcast coordination-rules file *)
   | Start_update
@@ -84,6 +91,12 @@ type t =
       path : Peer_id.t list;  (** remaining route back *)
       peers : Peer_id.t list;
     }
+  | Seq of { seq : int; inner : t }
+      (** reliable-transport frame ({!Reliable}): [seq] is unique per
+          sender, the receiver acknowledges and deduplicates *)
+  | Seq_ack of { seq : int }
+      (** transport acknowledgement; raw (never itself sequenced or
+          retried — the sender's retransmission covers a lost ack) *)
 
 val size : t -> int
 (** Estimated payload wire size in bytes (the pre-codec heuristic, kept
@@ -110,6 +123,6 @@ val decode_tuples : string -> (Tuple.t list, string) result
 val is_update_protocol : t -> bool
 (** Messages that take part in Dijkstra–Scholten termination
     accounting (requests, data, link-closed — not acks, not the
-    terminated flood). *)
+    terminated flood).  A [Seq] frame classifies as its payload. *)
 
 val describe : t -> string

@@ -28,29 +28,13 @@ let with_counters rt qid f =
   qs.Stats.qs_scans <- qs.Stats.qs_scans + after.Eval.scans - before.Eval.scans;
   result
 
-(* Send sub-requests for every outgoing link that can contribute to
-   [rels], skipping nodes already on the label.  Registers the
-   pending entries and the sub-reference routing. *)
-let fan_out rt (st : Q.t) ~rels ~label =
-  let relevant = Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels in
-  let consider (o : Config.rule_decl) =
-    let target = Peer_id.of_string o.Config.source in
-    if not (List.exists (Peer_id.equal target) label) then begin
-      let sub_ref = Node.fresh_ref rt.Runtime.node in
-      let sent =
-        rt.Runtime.send ~dst:target
-          (Payload.Query_request
-             { query_id = st.Q.qst_query; request_ref = sub_ref;
-               rule_id = o.Config.rule_id; label })
-      in
-      if sent then begin
-        Q.add_pending st ~ref_:sub_ref ~rule:o.Config.rule_id;
-        Q.note_contacted st target;
-        Hashtbl.replace rt.Runtime.node.Node.sub_refs sub_ref st.Q.qst_ref
-      end
-    end
-  in
-  List.iter consider relevant
+(* Is [st] still the instance the node knows under its reference?  A
+   crash clears the table; timers and transport callbacks armed before
+   must not touch the orphaned record. *)
+let is_current (rt : Runtime.t) (st : Q.t) =
+  match Hashtbl.find_opt rt.Runtime.node.Node.query_instances st.Q.qst_ref with
+  | Some current -> current == st
+  | None -> false
 
 let complete_root rt (st : Q.t) query set_result =
   let answers =
@@ -59,15 +43,19 @@ let complete_root rt (st : Q.t) query set_result =
   in
   set_result answers;
   st.Q.qst_closed <- true;
+  (* a partial answer is a lower bound, not the query's answer: caching
+     it would keep serving the hole long after the network healed *)
   (match rt.Runtime.node.Node.cache with
-  | Some cache ->
+  | Some cache when st.Q.qst_complete ->
       Codb_cache.Qcache.store cache ~now:(rt.Runtime.now ()) query answers
         ~sources:(me rt :: st.Q.qst_contacted)
-  | None -> ());
+  | Some _ | None -> ());
   let qs = qstat rt st.Q.qst_query in
   qs.Stats.qs_finished <- Some (rt.Runtime.now ());
   qs.Stats.qs_answers <- List.length answers;
-  qs.Stats.qs_certain <- List.length (Eval.certain answers)
+  qs.Stats.qs_certain <- List.length (Eval.certain answers);
+  qs.Stats.qs_complete <- st.Q.qst_complete;
+  if not st.Q.qst_complete then Stats.note_partial_answer rt.Runtime.node.Node.stats
 
 (* Responders on an inconsistent node serve no data (principle (d)). *)
 let may_export (rt : Runtime.t) =
@@ -76,16 +64,101 @@ let may_export (rt : Runtime.t) =
 let finish_responder rt (st : Q.t) ~requester ~in_rule =
   st.Q.qst_closed <- true;
   ignore
-    (rt.Runtime.send ~dst:requester
+    (Reliable.send_noted rt ~dst:requester
        (Payload.Query_done
-          { query_id = st.Q.qst_query; request_ref = st.Q.qst_ref; rule_id = in_rule }))
+          { query_id = st.Q.qst_query; request_ref = st.Q.qst_ref; rule_id = in_rule;
+            complete = st.Q.qst_complete }))
 
 let check_completion rt (st : Q.t) =
-  if (not st.Q.qst_closed) && Q.all_done st then
+  if (not st.Q.qst_closed) && Q.all_done st && st.Q.qst_unacked = 0 then
     match st.Q.qst_kind with
     | Q.Root ({ query; _ } as root) ->
         complete_root rt st query (fun answers -> root.result <- Some answers)
     | Q.Responder { requester; in_rule; _ } -> finish_responder rt st ~requester ~in_rule
+
+(* A sub-request is lost: the transport gave up on delivering it, or
+   its failure deadline passed without a sign of life.  The instance
+   stops waiting and whatever completes from here is explicitly
+   partial. *)
+let expire_pending rt (st : Q.t) ~sub_ref =
+  if is_current rt st && (not st.Q.qst_closed) && Q.mark_failed st ~ref_:sub_ref then begin
+    Log.warn (fun m ->
+        m "%a: sub-request %s of %a declared failed" Peer_id.pp (me rt) sub_ref
+          Ids.pp_query st.Q.qst_query);
+    Hashtbl.remove rt.Runtime.node.Node.sub_refs sub_ref;
+    st.Q.qst_complete <- false;
+    Stats.note_query_timeout rt.Runtime.node.Node.stats;
+    check_completion rt st
+  end
+
+(* Per-sub-request stall watchdog.  An absolute deadline would be wrong:
+   a deep sub-tree legitimately needs many windows.  Instead the timer
+   re-arms as long as the sub-request keeps producing data, and only a
+   completely silent window expires it. *)
+let rec arm_sub_deadline rt (st : Q.t) ~sub_ref =
+  rt.Runtime.schedule ~delay:(Options.failure_deadline rt.Runtime.opts) (fun () ->
+      if is_current rt st && not st.Q.qst_closed then
+        match Q.find_pending st sub_ref with
+        | None -> ()
+        | Some p ->
+            if not (p.Q.p_done || p.Q.p_failed) then
+              if p.Q.p_touched then begin
+                p.Q.p_touched <- false;
+                arm_sub_deadline rt st ~sub_ref
+              end
+              else expire_pending rt st ~sub_ref)
+
+(* Send sub-requests for every outgoing link that can contribute to
+   [rels], skipping nodes already on the label.  Registers the
+   pending entries and the sub-reference routing; whenever messages can
+   be lost (reliable transport, or faults injected under fire-and-forget)
+   each sub-request also gets a failure deadline, so a lost completion
+   signal marks the branch failed instead of hanging the query forever. *)
+let fan_out rt (st : Q.t) ~rels ~label =
+  let relevant = Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels in
+  let consider (o : Config.rule_decl) =
+    let target = Peer_id.of_string o.Config.source in
+    if not (List.exists (Peer_id.equal target) label) then begin
+      let sub_ref = Node.fresh_ref rt.Runtime.node in
+      let on_settled ~ok = if not ok then expire_pending rt st ~sub_ref in
+      let sent =
+        Reliable.send_noted ~on_settled rt ~dst:target
+          (Payload.Query_request
+             { query_id = st.Q.qst_query; request_ref = sub_ref;
+               rule_id = o.Config.rule_id; label })
+      in
+      if sent then begin
+        Q.add_pending st ~ref_:sub_ref ~rule:o.Config.rule_id;
+        Q.note_contacted st target;
+        Hashtbl.replace rt.Runtime.node.Node.sub_refs sub_ref st.Q.qst_ref;
+        (* also under fire-and-forget transport when faults are being
+           injected: a silently dropped request or completion signal
+           must expire into a partial answer, not hang the query *)
+        if Options.reliable rt.Runtime.opts || Options.faults_enabled rt.Runtime.opts
+        then arm_sub_deadline rt st ~sub_ref
+      end
+    end
+  in
+  List.iter consider relevant
+
+(* Responder-side data send.  Under the reliable transport the message
+   is tracked until its fate is known: completion (hence the
+   completeness claim in [Query_done]) waits for every outstanding
+   data ack, and a transport give-up taints the instance. *)
+let send_data rt (st : Q.t) ~dst payload =
+  if Options.reliable rt.Runtime.opts && Option.is_some rt.Runtime.node.Node.relay
+  then begin
+    st.Q.qst_unacked <- st.Q.qst_unacked + 1;
+    let on_settled ~ok =
+      if is_current rt st then begin
+        if not ok then st.Q.qst_complete <- false;
+        st.Q.qst_unacked <- max 0 (st.Q.qst_unacked - 1);
+        check_completion rt st
+      end
+    in
+    ignore (Reliable.send ~on_settled rt ~dst payload)
+  end
+  else ignore (Reliable.send_noted rt ~dst payload)
 
 (* Streaming ("browse streaming results"): report answers not yet
    reported and return the enlarged reported-set. *)
@@ -166,8 +239,8 @@ let on_request rt ~src ~request_ref ~rule_id ~label qid =
       (* rule dropped by a topology change: answer "done" so the
          requester does not wait forever *)
       ignore
-        (rt.Runtime.send ~dst:src
-           (Payload.Query_done { query_id = qid; request_ref; rule_id }))
+        (Reliable.send_noted rt ~dst:src
+           (Payload.Query_done { query_id = qid; request_ref; rule_id; complete = true }))
   | Some inc ->
       let overlay = Database.copy rt.Runtime.node.Node.store in
       let new_label = label @ [ me rt ] in
@@ -184,10 +257,8 @@ let on_request rt ~src ~request_ref ~rule_id ~label qid =
         in
         let fresh = Q.unsent st tuples in
         if fresh <> [] then
-          ignore
-            (rt.Runtime.send ~dst:src
-               (Payload.Query_data
-                  { query_id = qid; request_ref; rule_id; tuples = fresh }));
+          send_data rt st ~dst:src
+            (Payload.Query_data { query_id = qid; request_ref; rule_id; tuples = fresh });
         fan_out rt st
           ~rels:(Query.body_relations inc.Config.rule_query)
           ~label:new_label
@@ -204,6 +275,9 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
       match Hashtbl.find_opt rt.Runtime.node.Node.query_instances owner_ref with
       | None -> ()
       | Some st -> (
+          (match Q.find_pending st request_ref with
+          | Some p -> p.Q.p_touched <- true
+          | None -> ());
           match Node.rule_out rt.Runtime.node rule_id with
           | None -> ()
           | Some o ->
@@ -247,15 +321,14 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
                           in
                           let fresh = Q.unsent st derived in
                           if fresh <> [] then
-                            ignore
-                              (rt.Runtime.send ~dst:requester
-                                 (Payload.Query_data
-                                    { query_id = qid; request_ref = st.Q.qst_ref;
-                                      rule_id = in_rule; tuples = fresh }))
+                            send_data rt st ~dst:requester
+                              (Payload.Query_data
+                                 { query_id = qid; request_ref = st.Q.qst_ref;
+                                   rule_id = in_rule; tuples = fresh })
                         end)
               end))
 
-let on_done rt ~request_ref qid =
+let on_done rt ~request_ref ~complete qid =
   ignore qid;
   match Hashtbl.find_opt rt.Runtime.node.Node.sub_refs request_ref with
   | None -> ()
@@ -264,6 +337,7 @@ let on_done rt ~request_ref qid =
       match Hashtbl.find_opt rt.Runtime.node.Node.query_instances owner_ref with
       | None -> ()
       | Some st ->
+          if not complete then st.Q.qst_complete <- false;
           Q.mark_done st ~ref_:request_ref;
           check_completion rt st)
 
@@ -273,13 +347,14 @@ let handle rt ~src ~bytes payload =
       on_request rt ~src ~request_ref ~rule_id ~label query_id
   | Payload.Query_data { query_id; request_ref; rule_id; tuples } ->
       on_data rt ~bytes ~request_ref ~rule_id ~tuples query_id
-  | Payload.Query_done { query_id; request_ref; rule_id = _ } ->
-      on_done rt ~request_ref query_id
+  | Payload.Query_done { query_id; request_ref; rule_id = _; complete } ->
+      on_done rt ~request_ref ~complete query_id
   | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
   | Payload.Update_link_closed _ | Payload.Update_ack _ | Payload.Update_terminated _
   | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
-  | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+  | Payload.Discovery_probe _ | Payload.Discovery_reply _ | Payload.Seq _
+  | Payload.Seq_ack _ ->
       ()
 
 let result node root_ref =

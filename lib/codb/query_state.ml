@@ -3,7 +3,13 @@ module Tuple = Codb_relalg.Tuple
 module Tuple_set = Codb_relalg.Relation.Tuple_set
 module Database = Codb_relalg.Database
 
-type pending = { p_ref : string; p_rule : string; mutable p_done : bool }
+type pending = {
+  p_ref : string;
+  p_rule : string;
+  mutable p_done : bool;
+  mutable p_failed : bool;
+  mutable p_touched : bool;
+}
 
 type kind =
   | Root of {
@@ -23,6 +29,8 @@ type t = {
   mutable qst_sent : Tuple_set.t;
   mutable qst_closed : bool;
   mutable qst_contacted : Peer_id.t list;
+  mutable qst_complete : bool;
+  mutable qst_unacked : int;
 }
 
 let create ~query_id ~ref_ ~kind ~overlay =
@@ -35,10 +43,17 @@ let create ~query_id ~ref_ ~kind ~overlay =
     qst_sent = Tuple_set.empty;
     qst_closed = false;
     qst_contacted = [];
+    qst_complete = true;
+    qst_unacked = 0;
   }
 
 let add_pending st ~ref_ ~rule =
-  st.qst_pending <- { p_ref = ref_; p_rule = rule; p_done = false } :: st.qst_pending
+  st.qst_pending <-
+    { p_ref = ref_; p_rule = rule; p_done = false; p_failed = false; p_touched = false }
+    :: st.qst_pending
+
+let find_pending st ref_ =
+  List.find_opt (fun p -> String.equal p.p_ref ref_) st.qst_pending
 
 let note_contacted st peer =
   if not (List.mem peer st.qst_contacted) then
@@ -47,7 +62,14 @@ let note_contacted st peer =
 let mark_done st ~ref_ =
   List.iter (fun p -> if String.equal p.p_ref ref_ then p.p_done <- true) st.qst_pending
 
-let all_done st = List.for_all (fun p -> p.p_done) st.qst_pending
+let mark_failed st ~ref_ =
+  match find_pending st ref_ with
+  | Some p when (not p.p_done) && not p.p_failed ->
+      p.p_failed <- true;
+      true
+  | Some _ | None -> false
+
+let all_done st = List.for_all (fun p -> p.p_done || p.p_failed) st.qst_pending
 
 let unsent st tuples =
   let fresh = List.filter (fun t -> not (Tuple_set.mem t st.qst_sent)) tuples in

@@ -20,6 +20,13 @@ type pending = {
   p_ref : string;  (** reference of the sub-request *)
   p_rule : string;  (** our outgoing link it executes *)
   mutable p_done : bool;
+  mutable p_failed : bool;
+      (** declared lost: the transport gave up on the request, or the
+          failure deadline passed with no sign of life *)
+  mutable p_touched : bool;
+      (** data arrived since the deadline was last armed; the
+          sub-request watchdog re-arms instead of expiring (deep
+          sub-trees legitimately outlive one deadline window) *)
 }
 
 type kind =
@@ -50,6 +57,14 @@ type t = {
   mutable qst_contacted : Peer_id.t list;
       (** acquaintances we sent sub-requests to; on a root instance
           these are the cache-stamp sources besides the node itself *)
+  mutable qst_complete : bool;
+      (** no sub-request failed below us (transitively); a responder
+          forwards this in [Query_done], the root records it on the
+          query outcome.  Partial answers are never cached. *)
+  mutable qst_unacked : int;
+      (** responder: [Query_data] messages whose transport fate is
+          unknown; completion waits for zero so [Query_done] cannot
+          claim completeness while data may still be lost *)
 }
 
 val create :
@@ -59,9 +74,16 @@ val add_pending : t -> ref_:string -> rule:string -> unit
 
 val note_contacted : t -> Peer_id.t -> unit
 
+val find_pending : t -> string -> pending option
+
 val mark_done : t -> ref_:string -> unit
 
+val mark_failed : t -> ref_:string -> bool
+(** Mark a sub-request failed; [true] iff it was neither done nor
+    already failed (the caller reacts only the first time). *)
+
 val all_done : t -> bool
+(** Every sub-request answered or failed. *)
 
 val unsent : t -> Tuple.t list -> Tuple.t list
 (** Filter out tuples already sent upstream and record the rest as

@@ -212,3 +212,52 @@ let pp_cache_report ppf rows =
 
 let pp_network ppf snapshots =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Stats.pp_snapshot) snapshots
+
+type chaos_report = {
+  chr_retransmits : int;
+  chr_dup_suppressed : int;
+  chr_give_ups : int;
+  chr_query_timeouts : int;
+  chr_partial_answers : int;
+  chr_forced_terminations : int;
+  chr_send_drops : int;
+  chr_incomplete_queries : int;
+  chr_forced_updates : int;
+}
+
+let chaos_report snapshots =
+  let sum f = List.fold_left (fun acc s -> acc + f s.Stats.snap_chaos) 0 snapshots in
+  {
+    chr_retransmits = sum (fun c -> c.Stats.chn_retransmits);
+    chr_dup_suppressed = sum (fun c -> c.Stats.chn_dup_suppressed);
+    chr_give_ups = sum (fun c -> c.Stats.chn_give_ups);
+    chr_query_timeouts = sum (fun c -> c.Stats.chn_query_timeouts);
+    chr_partial_answers = sum (fun c -> c.Stats.chn_partial_answers);
+    chr_forced_terminations = sum (fun c -> c.Stats.chn_forced_terminations);
+    chr_send_drops = sum (fun c -> c.Stats.chn_send_drops);
+    chr_incomplete_queries =
+      List.fold_left
+        (fun acc s ->
+          acc
+          + List.length
+              (List.filter (fun q -> not q.Stats.qsn_complete) s.Stats.snap_queries))
+        0 snapshots;
+    chr_forced_updates =
+      List.fold_left
+        (fun acc s ->
+          acc
+          + List.length (List.filter (fun u -> u.Stats.usn_forced) s.Stats.snap_updates))
+        0 snapshots;
+  }
+
+let pp_chaos_report ppf c =
+  Fmt.pf ppf
+    "@[<v 2>fault tolerance:@,\
+     retransmits: %d, duplicates suppressed: %d, give-ups: %d@,\
+     sub-request timeouts: %d, partial answers: %d@,\
+     forced terminations: %d (%d update records marked forced)@,\
+     incomplete query records: %d@,\
+     send drops surfaced: %d@]"
+    c.chr_retransmits c.chr_dup_suppressed c.chr_give_ups c.chr_query_timeouts
+    c.chr_partial_answers c.chr_forced_terminations c.chr_forced_updates
+    c.chr_incomplete_queries c.chr_send_drops

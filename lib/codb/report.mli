@@ -78,3 +78,24 @@ val pp_cache_report : cache_report_row list Fmt.t
 
 val pp_network : Stats.snapshot list Fmt.t
 (** Full per-node dump, the super-peer's final report body. *)
+
+(** {1 Fault tolerance} *)
+
+(** Network-wide aggregation of the transport and partial-answer
+    counters (the [chaos] CLI surface and bench E16). *)
+type chaos_report = {
+  chr_retransmits : int;
+  chr_dup_suppressed : int;
+  chr_give_ups : int;
+  chr_query_timeouts : int;
+  chr_partial_answers : int;
+  chr_forced_terminations : int;
+  chr_send_drops : int;
+  chr_incomplete_queries : int;
+      (** per-query records that finished flagged incomplete *)
+  chr_forced_updates : int;  (** per-update records marked forced *)
+}
+
+val chaos_report : Stats.snapshot list -> chaos_report
+
+val pp_chaos_report : chaos_report Fmt.t

@@ -24,6 +24,7 @@ type update_stat = {
   mutable us_coalesced : int;
   mutable us_resends : int;
   mutable us_cache_staled : int;
+  mutable us_forced : bool;
   us_per_rule : (string, rule_traffic) Hashtbl.t;
   mutable us_queried : Peer_id.t list;
   mutable us_sent_to : Peer_id.t list;
@@ -42,6 +43,17 @@ type query_stat = {
   mutable qs_cache : cache_outcome;
   mutable qs_probes : int;
   mutable qs_scans : int;
+  mutable qs_complete : bool;
+}
+
+type chaos = {
+  mutable ch_retransmits : int;
+  mutable ch_dup_suppressed : int;
+  mutable ch_give_ups : int;
+  mutable ch_query_timeouts : int;
+  mutable ch_partial_answers : int;
+  mutable ch_forced_terminations : int;
+  mutable ch_send_drops : int;
 }
 
 type t = {
@@ -49,6 +61,7 @@ type t = {
   st_updates : (string, update_stat) Hashtbl.t;  (* keyed by update-id string *)
   st_queries : (string, query_stat) Hashtbl.t;
   mutable st_inconsistent : bool;
+  st_chaos : chaos;
 }
 
 let create owner =
@@ -57,7 +70,37 @@ let create owner =
     st_updates = Hashtbl.create 8;
     st_queries = Hashtbl.create 8;
     st_inconsistent = false;
+    st_chaos =
+      {
+        ch_retransmits = 0;
+        ch_dup_suppressed = 0;
+        ch_give_ups = 0;
+        ch_query_timeouts = 0;
+        ch_partial_answers = 0;
+        ch_forced_terminations = 0;
+        ch_send_drops = 0;
+      };
   }
+
+let chaos st = st.st_chaos
+
+let note_retransmit st = st.st_chaos.ch_retransmits <- st.st_chaos.ch_retransmits + 1
+
+let note_dup_suppressed st =
+  st.st_chaos.ch_dup_suppressed <- st.st_chaos.ch_dup_suppressed + 1
+
+let note_give_up st = st.st_chaos.ch_give_ups <- st.st_chaos.ch_give_ups + 1
+
+let note_query_timeout st =
+  st.st_chaos.ch_query_timeouts <- st.st_chaos.ch_query_timeouts + 1
+
+let note_partial_answer st =
+  st.st_chaos.ch_partial_answers <- st.st_chaos.ch_partial_answers + 1
+
+let note_forced_termination st =
+  st.st_chaos.ch_forced_terminations <- st.st_chaos.ch_forced_terminations + 1
+
+let note_send_drop st = st.st_chaos.ch_send_drops <- st.st_chaos.ch_send_drops + 1
 
 let owner st = st.st_owner
 
@@ -85,6 +128,7 @@ let update_stat st ~now update_id =
           us_coalesced = 0;
           us_resends = 0;
           us_cache_staled = 0;
+          us_forced = false;
           us_per_rule = Hashtbl.create 8;
           us_queried = [];
           us_sent_to = [];
@@ -113,6 +157,7 @@ let query_stat st ~now query_id =
           qs_cache = Cache_unused;
           qs_probes = 0;
           qs_scans = 0;
+          qs_complete = true;
         }
       in
       Hashtbl.add st.st_queries key s;
@@ -163,6 +208,7 @@ type update_snap = {
   usn_coalesced : int;
   usn_resends : int;
   usn_cache_staled : int;
+  usn_forced : bool;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;
@@ -179,6 +225,17 @@ type query_snap = {
   qsn_cache : cache_outcome;
   qsn_probes : int;
   qsn_scans : int;
+  qsn_complete : bool;
+}
+
+type chaos_snap = {
+  chn_retransmits : int;
+  chn_dup_suppressed : int;
+  chn_give_ups : int;
+  chn_query_timeouts : int;
+  chn_partial_answers : int;
+  chn_forced_terminations : int;
+  chn_send_drops : int;
 }
 
 type cache_snap = {
@@ -201,6 +258,7 @@ type snapshot = {
   snap_updates : update_snap list;
   snap_queries : query_snap list;
   snap_cache : cache_snap option;
+  snap_chaos : chaos_snap;
 }
 
 let snap_update us =
@@ -230,6 +288,7 @@ let snap_update us =
     usn_coalesced = us.us_coalesced;
     usn_resends = us.us_resends;
     usn_cache_staled = us.us_cache_staled;
+    usn_forced = us.us_forced;
     usn_per_rule = List.sort (fun a b -> String.compare a.rts_rule b.rts_rule) per_rule;
     usn_queried = us.us_queried;
     usn_sent_to = us.us_sent_to;
@@ -247,6 +306,7 @@ let snap_query qs =
     qsn_cache = qs.qs_cache;
     qsn_probes = qs.qs_probes;
     qsn_scans = qs.qs_scans;
+    qsn_complete = qs.qs_complete;
   }
 
 let snapshot ?(store_tuples = 0) ?cache st =
@@ -261,6 +321,16 @@ let snapshot ?(store_tuples = 0) ?cache st =
     snap_updates = List.sort by_start_u updates;
     snap_queries = List.sort by_start_q queries;
     snap_cache = cache;
+    snap_chaos =
+      {
+        chn_retransmits = st.st_chaos.ch_retransmits;
+        chn_dup_suppressed = st.st_chaos.ch_dup_suppressed;
+        chn_give_ups = st.st_chaos.ch_give_ups;
+        chn_query_timeouts = st.st_chaos.ch_query_timeouts;
+        chn_partial_answers = st.st_chaos.ch_partial_answers;
+        chn_forced_terminations = st.st_chaos.ch_forced_terminations;
+        chn_send_drops = st.st_chaos.ch_send_drops;
+      };
   }
 
 let snapshot_size_bytes snap =
@@ -282,13 +352,15 @@ let pp_peer_list ppf = function
 
 let pp_update_snap ppf u =
   Fmt.pf ppf
-    "@[<v 2>%a: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
+    "@[<v 2>%a%s: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
      %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d, index \
      probes %d, scans %d, batches %d (%d tuples), coalesced %d, resends %d, cache \
      staled %d@,\
      queried: %a@,\
      results sent to: %a%a@]"
-    Ids.pp_update u.usn_update u.usn_started pp_finished u.usn_finished u.usn_data_msgs
+    Ids.pp_update u.usn_update
+    (if u.usn_forced then " (FORCED TERMINATION)" else "")
+    u.usn_started pp_finished u.usn_finished u.usn_data_msgs
     u.usn_control_msgs u.usn_bytes_in u.usn_new_tuples u.usn_dup_suppressed
     u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans u.usn_batches
     u.usn_batch_tuples u.usn_coalesced u.usn_resends u.usn_cache_staled pp_peer_list
@@ -307,9 +379,11 @@ let cache_outcome_string = function
   | Cache_hit_containment -> "cache hit (containment)"
 
 let pp_query_snap ppf q =
-  Fmt.pf ppf "%a: %d answers (%d certain), %d data msgs, %d B in, %d probes, %d scans%s"
-    Ids.pp_query q.qsn_query q.qsn_answers q.qsn_certain q.qsn_data_msgs
-    q.qsn_bytes_in q.qsn_probes q.qsn_scans
+  Fmt.pf ppf
+    "%a: %d answers (%d certain)%s, %d data msgs, %d B in, %d probes, %d scans%s"
+    Ids.pp_query q.qsn_query q.qsn_answers q.qsn_certain
+    (if q.qsn_complete then "" else " INCOMPLETE")
+    q.qsn_data_msgs q.qsn_bytes_in q.qsn_probes q.qsn_scans
     (match q.qsn_cache with
     | Cache_unused -> ""
     | outcome -> ", " ^ cache_outcome_string outcome)
@@ -322,8 +396,20 @@ let pp_cache_snap ppf c =
     c.csn_invalidations c.csn_expirations c.csn_evictions c.csn_bytes_served
     c.csn_entries c.csn_stored_bytes
 
+let chaos_snap_is_zero c =
+  c.chn_retransmits = 0 && c.chn_dup_suppressed = 0 && c.chn_give_ups = 0
+  && c.chn_query_timeouts = 0 && c.chn_partial_answers = 0
+  && c.chn_forced_terminations = 0 && c.chn_send_drops = 0
+
+let pp_chaos_snap ppf c =
+  Fmt.pf ppf
+    "transport: %d retransmits, %d dups suppressed, %d give-ups, %d sub-request \
+     timeouts, %d partial answers, %d forced terminations, %d send drops"
+    c.chn_retransmits c.chn_dup_suppressed c.chn_give_ups c.chn_query_timeouts
+    c.chn_partial_answers c.chn_forced_terminations c.chn_send_drops
+
 let pp_snapshot ppf s =
-  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a%a@]" Peer_id.pp s.snap_node
+  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a%a%a@]" Peer_id.pp s.snap_node
     (if s.snap_inconsistent then "INCONSISTENT" else "consistent")
     s.snap_store_tuples
     Fmt.(list ~sep:nop (fun ppf u -> Fmt.pf ppf "@,%a" pp_update_snap u))
@@ -332,3 +418,5 @@ let pp_snapshot ppf s =
     s.snap_queries
     Fmt.(option (fun ppf c -> Fmt.pf ppf "@,%a" pp_cache_snap c))
     s.snap_cache
+    (fun ppf c -> if not (chaos_snap_is_zero c) then Fmt.pf ppf "@,%a" pp_chaos_snap c)
+    s.snap_chaos

@@ -40,6 +40,9 @@ type update_stat = {
   mutable us_cache_staled : int;
       (** query-cache entries invalidated when this update finalised
           ({!Codb_cache.Qcache.note_update} churn) *)
+  mutable us_forced : bool;
+      (** the initiator's stall watchdog force-terminated this update:
+          the fix-point may be incomplete on nodes that lost messages *)
   us_per_rule : (string, rule_traffic) Hashtbl.t;
       (** data traffic received, per outgoing coordination rule *)
   mutable us_queried : Peer_id.t list;  (** acquaintances we requested data from *)
@@ -63,6 +66,29 @@ type query_stat = {
   mutable qs_cache : cache_outcome;
   mutable qs_probes : int;
   mutable qs_scans : int;
+  mutable qs_complete : bool;
+      (** [false] when any sub-request in the diffusion tree was
+          declared failed: the answers are a lower bound *)
+}
+
+(** Node-wide fault-tolerance counters: what the reliable transport
+    and the partial-answer machinery did on this node. *)
+type chaos = {
+  mutable ch_retransmits : int;  (** messages re-sent after an ack timeout *)
+  mutable ch_dup_suppressed : int;
+      (** duplicate deliveries discarded by receiver-side sequence
+          dedup (retransmissions that did arrive, and injected dups) *)
+  mutable ch_give_ups : int;
+      (** messages abandoned after [max_retries] retransmissions *)
+  mutable ch_query_timeouts : int;
+      (** sub-requests declared failed past the failure deadline *)
+  mutable ch_partial_answers : int;
+      (** root queries that completed with [qs_complete = false] *)
+  mutable ch_forced_terminations : int;
+      (** updates force-terminated by the initiator's stall watchdog *)
+  mutable ch_send_drops : int;
+      (** sends that returned [false] (no open pipe) at call sites
+          that previously discarded the result *)
 }
 
 type t
@@ -70,6 +96,22 @@ type t
 val create : Peer_id.t -> t
 
 val owner : t -> Peer_id.t
+
+val chaos : t -> chaos
+
+val note_retransmit : t -> unit
+
+val note_dup_suppressed : t -> unit
+
+val note_give_up : t -> unit
+
+val note_query_timeout : t -> unit
+
+val note_partial_answer : t -> unit
+
+val note_forced_termination : t -> unit
+
+val note_send_drop : t -> unit
 
 val update_stat : t -> now:float -> Ids.update_id -> update_stat
 (** Find or create the accumulator for an update (created with
@@ -118,6 +160,7 @@ type update_snap = {
   usn_coalesced : int;
   usn_resends : int;
   usn_cache_staled : int;
+  usn_forced : bool;
   usn_per_rule : rule_traffic_snap list;
   usn_queried : Peer_id.t list;
   usn_sent_to : Peer_id.t list;
@@ -134,6 +177,17 @@ type query_snap = {
   qsn_cache : cache_outcome;
   qsn_probes : int;
   qsn_scans : int;
+  qsn_complete : bool;
+}
+
+type chaos_snap = {
+  chn_retransmits : int;
+  chn_dup_suppressed : int;
+  chn_give_ups : int;
+  chn_query_timeouts : int;
+  chn_partial_answers : int;
+  chn_forced_terminations : int;
+  chn_send_drops : int;
 }
 
 (** Frozen view of a node's {!Codb_cache.Qcache} counters, shipped in
@@ -158,6 +212,7 @@ type snapshot = {
   snap_updates : update_snap list;
   snap_queries : query_snap list;
   snap_cache : cache_snap option;  (** [None] when caching is off *)
+  snap_chaos : chaos_snap;
 }
 
 val snapshot : ?store_tuples:int -> ?cache:cache_snap -> t -> snapshot
@@ -165,7 +220,11 @@ val snapshot : ?store_tuples:int -> ?cache:cache_snap -> t -> snapshot
 val snapshot_size_bytes : snapshot -> int
 (** Estimated wire size of a snapshot (for the network simulator). *)
 
+val chaos_snap_is_zero : chaos_snap -> bool
+
 val pp_update_snap : update_snap Fmt.t
+
+val pp_chaos_snap : chaos_snap Fmt.t
 
 val pp_cache_snap : cache_snap Fmt.t
 

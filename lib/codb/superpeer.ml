@@ -11,6 +11,7 @@ type t = {
   mutable sp_peers : Peer_id.t list;
   mutable sp_version : int;
   mutable sp_collected : Stats.snapshot list;
+  mutable sp_send_drops : int;
 }
 
 let id sp = sp.sp_id
@@ -18,6 +19,13 @@ let id sp = sp.sp_id
 let on_message sp (msg : Payload.t Message.t) =
   match msg.Message.payload with
   | Payload.Stats_response { stats } -> sp.sp_collected <- stats :: sp.sp_collected
+  | Payload.Seq { seq; inner = _ } ->
+      (* the super-peer keeps no transport state: acknowledge so the
+         sender stops retransmitting, ignore the content as before *)
+      ignore
+        (Network.send sp.sp_net ~src:sp.sp_id ~dst:msg.Message.src
+           (Payload.Seq_ack { seq }))
+  | Payload.Seq_ack _ -> ()
   | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
   | Payload.Update_link_closed _
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
@@ -29,7 +37,10 @@ let on_message sp (msg : Payload.t Message.t) =
 let create ~net ~peers =
   let sp_id = Peer_id.of_string peer_name in
   Network.add_peer net sp_id;
-  let sp = { sp_id; sp_net = net; sp_peers = []; sp_version = 0; sp_collected = [] } in
+  let sp =
+    { sp_id; sp_net = net; sp_peers = []; sp_version = 0; sp_collected = [];
+      sp_send_drops = 0 }
+  in
   Network.set_handler net sp_id (on_message sp);
   let attach peer =
     Network.connect net sp_id peer;
@@ -45,8 +56,13 @@ let track sp peer =
     sp.sp_peers <- sp.sp_peers @ [ peer ]
   end
 
-let broadcast sp payload =
-  List.iter (fun peer -> ignore (Network.send sp.sp_net ~src:sp.sp_id ~dst:peer payload)) sp.sp_peers
+let send sp ~dst payload =
+  if not (Network.send sp.sp_net ~src:sp.sp_id ~dst payload) then
+    sp.sp_send_drops <- sp.sp_send_drops + 1
+
+let send_drops sp = sp.sp_send_drops
+
+let broadcast sp payload = List.iter (fun peer -> send sp ~dst:peer payload) sp.sp_peers
 
 let broadcast_rules sp cfg =
   sp.sp_version <- sp.sp_version + 1;
@@ -54,7 +70,7 @@ let broadcast_rules sp cfg =
   broadcast sp (Payload.Rules_file { version = sp.sp_version; text });
   sp.sp_version
 
-let trigger_update sp ~at = ignore (Network.send sp.sp_net ~src:sp.sp_id ~dst:at Payload.Start_update)
+let trigger_update sp ~at = send sp ~dst:at Payload.Start_update
 
 let request_stats sp =
   sp.sp_collected <- [];

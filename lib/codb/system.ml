@@ -71,22 +71,25 @@ let make_runtime sys (node : Node.t) =
     neighbours = (fun () -> Network.neighbours sys.sys_net id);
   }
 
+let handler sys rt msg =
+  trace_event sys ~direction:Trace.Delivered ~src:msg.Codb_net.Message.src
+    ~dst:msg.Codb_net.Message.dst
+    (Payload.describe msg.Codb_net.Message.payload);
+  Dbm.handle rt msg
+
 let install_node sys decl =
   let name = decl.Config.node_name in
   if Hashtbl.mem sys.sys_nodes name then
     invalid_arg (Printf.sprintf "System: duplicate node %s" name);
   let node = Node.create decl in
   Node.configure_cache node sys.sys_opts;
+  if Options.reliable sys.sys_opts then node.Node.relay <- Some (Relay.create ());
   Node.set_rules node
     ~outgoing:(Config.rules_importing_at sys.sys_config name)
     ~incoming:(Config.rules_sourced_at sys.sys_config name);
   Network.add_peer sys.sys_net node.Node.node_id;
   let rt = make_runtime sys node in
-  Network.set_handler sys.sys_net node.Node.node_id (fun msg ->
-      trace_event sys ~direction:Trace.Delivered
-        ~src:msg.Codb_net.Message.src ~dst:msg.Codb_net.Message.dst
-        (Payload.describe msg.Codb_net.Message.payload);
-      Dbm.handle rt msg);
+  Network.set_handler sys.sys_net node.Node.node_id (handler sys rt);
   Hashtbl.replace sys.sys_nodes name node;
   Hashtbl.replace sys.sys_runtimes name rt;
   node
@@ -100,6 +103,86 @@ let connect_acquaintances sys =
         ~byte_cost:sys.sys_opts.Options.byte_cost a b
   in
   List.iter connect_rule sys.sys_config.Config.rules
+
+(* A crash: the handler disappears (in-flight messages to the node
+   drop at delivery time) and every pipe closes.  The volatile protocol
+   state is cleared immediately — the paper's nodes keep only the LDB
+   on disk — so a restart starts from a clean slate. *)
+let crash_node sys name =
+  let n = node sys name in
+  let id = n.Node.node_id in
+  (match Network.fault sys.sys_net with
+  | Some fault -> Codb_net.Fault.note_crash fault
+  | None -> ());
+  Network.clear_handler sys.sys_net id;
+  List.iter (fun peer -> Network.disconnect sys.sys_net id peer)
+    (Network.neighbours sys.sys_net id);
+  Node.reset_volatile n;
+  trace_event sys ~direction:Trace.Delivered ~src:id ~dst:id "crash"
+
+(* A restart: volatile state is (re-)cleared, the cache epoch bumps so
+   stale entries elsewhere cannot survive on this node's authority, the
+   handler re-registers and the acquaintance pipes (plus the super-peer
+   pipe, if one is tracked) reopen. *)
+let restart_node sys name =
+  let n = node sys name in
+  let id = n.Node.node_id in
+  (match Network.fault sys.sys_net with
+  | Some fault -> Codb_net.Fault.note_restart fault
+  | None -> ());
+  Node.reset_volatile n;
+  Node.configure_cache n sys.sys_opts;
+  Node.note_local_write n;
+  let rt = runtime sys name in
+  Network.set_handler sys.sys_net id (handler sys rt);
+  List.iter (fun peer -> rt.Runtime.connect peer) (Node.acquaintances n);
+  (match sys.sys_superpeer with
+  | Some sp ->
+      Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
+        ~byte_cost:sys.sys_opts.Options.byte_cost id (Superpeer.id sp)
+  | None -> ());
+  trace_event sys ~direction:Trace.Delivered ~src:id ~dst:id "restart"
+
+(* Wire the options' fault knobs into the simulator: the drop/dup/
+   jitter plan plus scheduled link flaps, and the crash/restart
+   schedule on top (unknown node names are skipped when they fire, so
+   plans survive topology changes). *)
+let install_faults sys =
+  let opts = sys.sys_opts in
+  if Options.faults_enabled opts then begin
+    let flaps =
+      List.map
+        (fun (a, b, down, up) ->
+          {
+            Codb_net.Fault.fl_a = Peer_id.of_string a;
+            fl_b = Peer_id.of_string b;
+            fl_down_at = down;
+            fl_up_at = up;
+          })
+        opts.Options.flap_plan
+    in
+    let plan =
+      {
+        Codb_net.Fault.seed = opts.Options.fault_seed;
+        drop_prob = opts.Options.drop_prob;
+        dup_prob = opts.Options.dup_prob;
+        jitter = opts.Options.jitter;
+        drop_budget = opts.Options.drop_budget;
+        flaps;
+      }
+    in
+    ignore (Network.install_fault sys.sys_net plan);
+    List.iter
+      (fun (name, at, restart) ->
+        Network.schedule sys.sys_net ~delay:at (fun () ->
+            if Hashtbl.mem sys.sys_nodes name then crash_node sys name);
+        match restart with
+        | Some at' ->
+            Network.schedule sys.sys_net ~delay:at' (fun () ->
+                if Hashtbl.mem sys.sys_nodes name then restart_node sys name)
+        | None -> ())
+      opts.Options.crash_plan
+  end
 
 let build ?(opts = Options.default) cfg =
   match Options.validate opts with
@@ -128,6 +211,7 @@ let build ?(opts = Options.default) cfg =
         in
         List.iter (fun decl -> ignore (install_node sys decl)) cfg.Config.nodes;
         connect_acquaintances sys;
+        install_faults sys;
         Ok sys
       end)
 
@@ -174,6 +258,7 @@ type query_outcome = {
   qo_finished : float;
   qo_data_msgs : int;
   qo_bytes : int;
+  qo_complete : bool;
 }
 
 let run_query ?on_partial sys ~at query =
@@ -197,6 +282,7 @@ let run_query ?on_partial sys ~at query =
         qo_finished = Option.value ~default:qs.Stats.qs_started qs.Stats.qs_finished;
         qo_data_msgs = qs.Stats.qs_data_msgs;
         qo_bytes = qs.Stats.qs_bytes_in;
+        qo_complete = qs.Stats.qs_complete;
       }
 
 let local_answers sys ~at query =

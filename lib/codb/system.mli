@@ -71,6 +71,10 @@ type query_outcome = {
   qo_finished : float;
   qo_data_msgs : int;
   qo_bytes : int;
+  qo_complete : bool;
+      (** [false]: some sub-request in the diffusion tree was declared
+          failed, so [qo_answers] is an explicit lower bound (partial
+          answer) rather than the query's full answer *)
 }
 
 val run_query :
@@ -103,6 +107,17 @@ val snapshots : t -> Stats.snapshot list
 
 val discover : t -> at:string -> ttl:int -> Peer_id.t list
 (** Run a discovery probe and return the origin's known peers. *)
+
+val crash_node : t -> string -> unit
+(** Simulate a node crash: the handler is removed (messages to it drop
+    at delivery time), its pipes close and its volatile protocol state
+    is cleared.  The store, rules and statistics survive.  @raise
+    Not_found on an unknown node. *)
+
+val restart_node : t -> string -> unit
+(** Bring a crashed node back: clean volatile state, a fresh cache
+    with a bumped epoch, the handler re-registered and the
+    acquaintance (and super-peer) pipes reopened. *)
 
 val add_node : t -> Config.node_decl -> unit
 (** Dynamic arrival of a node (paper principle (c)).  @raise

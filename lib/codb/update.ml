@@ -30,10 +30,14 @@ let with_counters us f =
   us.Stats.us_scans <- us.Stats.us_scans + after.Eval.scans - before.Eval.scans;
   result
 
-(* Send a message that takes part in termination accounting: the
-   receiver owes us an acknowledgement. *)
-let send_counted (rt : Runtime.t) (st : U.t) ~dst payload =
-  if rt.send ~dst payload then st.U.ust_deficit <- st.U.ust_deficit + 1
+(* Is [st] still the state the node knows for this update?  A crash
+   clears the table; timers and transport callbacks armed before the
+   crash must not mutate the orphaned record (or a namesake created
+   after a restart). *)
+let is_current (rt : Runtime.t) (st : U.t) =
+  match Node.update_state rt.Runtime.node st.U.ust_update with
+  | Some current -> current == st
+  | None -> false
 
 let finalize rt (st : U.t) =
   if not st.U.ust_finished then begin
@@ -69,7 +73,9 @@ let flood_terminated rt (st : U.t) ~except =
   let forward peer =
     let skip = match except with Some p -> Peer_id.equal p peer | None -> false in
     if not skip then
-      ignore (rt.Runtime.send ~dst:peer (Payload.Update_terminated { update_id = st.U.ust_update }))
+      ignore
+        (Reliable.send_noted rt ~dst:peer
+           (Payload.Update_terminated { update_id = st.U.ust_update }))
   in
   List.iter forward (Node.acquaintances rt.Runtime.node)
 
@@ -104,12 +110,107 @@ let check_disengage rt (st : U.t) =
           st.U.ust_engaged <- false;
           st.U.ust_parent <- None;
           ignore
-            (rt.Runtime.send ~dst:parent (Payload.Update_ack { update_id = st.U.ust_update }))
+            (Reliable.send_noted rt ~dst:parent
+               (Payload.Update_ack { update_id = st.U.ust_update }))
       | None ->
           Log.warn (fun m ->
               m "%a: engaged without a parent in %a" Peer_id.pp rt.Runtime.node.Node.node_id
                 Ids.pp_update st.U.ust_update)
     end
+
+(* Send a message that takes part in termination accounting: the
+   receiver owes us an acknowledgement.  Under the reliable transport
+   the deficit must also be compensated when the transport gives up
+   after its last retry: the receiver will never send the protocol
+   acknowledgement either, and without the compensation the sender
+   (hence the whole engagement tree) would wait forever. *)
+let send_counted (rt : Runtime.t) (st : U.t) ~dst payload =
+  let on_settled ~ok =
+    if (not ok) && is_current rt st && not st.U.ust_terminated then begin
+      st.U.ust_deficit <- max 0 (st.U.ust_deficit - 1);
+      check_disengage rt st
+    end
+  in
+  if Reliable.send_noted ~on_settled rt ~dst payload then
+    st.U.ust_deficit <- st.U.ust_deficit + 1
+
+let reliable_mode (rt : Runtime.t) =
+  Options.reliable rt.Runtime.opts && Option.is_some rt.Runtime.node.Node.relay
+
+let send_deferred_closes rt (st : U.t) ~dst =
+  List.iter
+    (fun (rule_id, global) ->
+      send_counted rt st ~dst
+        (Payload.Update_link_closed { update_id = st.U.ust_update; rule_id; global }))
+    (U.take_deferred_closes st ~dst)
+
+(* Data messages additionally maintain the per-destination in-flight
+   count, so a link close held back by {!close_link} follows its data
+   out as soon as the last message settles.  A settlement with
+   [ok = false] still releases the closes: the receiver missed those
+   tuples for good, and holding the close any longer would only stall
+   termination on top of the data loss. *)
+let send_data_counted rt (st : U.t) ~dst payload =
+  if not (reliable_mode rt) then send_counted rt st ~dst payload
+  else begin
+    let on_settled ~ok =
+      if is_current rt st then begin
+        U.decr_unacked st ~dst;
+        if not st.U.ust_terminated then begin
+          if not ok then st.U.ust_deficit <- max 0 (st.U.ust_deficit - 1);
+          if U.dst_unacked st ~dst = 0 then send_deferred_closes rt st ~dst;
+          if not ok then check_disengage rt st
+        end
+      end
+    in
+    if Reliable.send_noted ~on_settled rt ~dst payload then begin
+      st.U.ust_deficit <- st.U.ust_deficit + 1;
+      U.incr_unacked st ~dst
+    end
+  end
+
+(* Close a link towards [dst].  FIFO pipes used to guarantee that the
+   close arrived after every data message sent before it; the reliable
+   transport's retransmissions (and injected jitter) can reorder the
+   two, making the importer integrate late data without forwarding it.
+   So under the reliable transport the close waits until all data to
+   [dst] has settled. *)
+let close_link rt (st : U.t) ~dst ~rule_id =
+  let global = not st.U.ust_scoped in
+  if reliable_mode rt && U.dst_unacked st ~dst > 0 then
+    U.defer_close st ~dst ~rule:rule_id ~global
+  else
+    send_counted rt st ~dst
+      (Payload.Update_link_closed { update_id = st.U.ust_update; rule_id; global })
+
+(* The initiator's last resort: bounded retries bound the transport,
+   but a crashed-and-gone acquaintance (or an ack chain cut by a
+   permanent partition) can still leave the engagement tree waiting.
+   When nothing has moved for a whole failure-deadline window the
+   initiator declares the update over — explicitly marked forced, so
+   reports show the fix-point may be incomplete. *)
+let force_terminate rt (st : U.t) =
+  if not st.U.ust_terminated then begin
+    Log.warn (fun m ->
+        m "%a: forcing termination of stalled %a (deficit %d, pending %d)" Peer_id.pp
+          rt.Runtime.node.Node.node_id Ids.pp_update st.U.ust_update st.U.ust_deficit
+          (U.pending_tuples st));
+    let us = stat rt st.U.ust_update in
+    us.Stats.us_forced <- true;
+    Stats.note_forced_termination rt.Runtime.node.Node.stats;
+    st.U.ust_engaged <- false;
+    st.U.ust_terminated <- true;
+    close_everything st;
+    finalize rt st;
+    flood_terminated rt st ~except:None
+  end
+
+let rec arm_watchdog rt (st : U.t) ~last_activity =
+  let window = Options.failure_deadline rt.Runtime.opts in
+  rt.Runtime.schedule ~delay:window (fun () ->
+      if is_current rt st && (not st.U.ust_terminated) && not st.U.ust_finished then
+        if st.U.ust_activity = last_activity then force_terminate rt st
+        else arm_watchdog rt st ~last_activity:st.U.ust_activity)
 
 (* Drain [dst]'s wire buffer into a single counted message. *)
 let flush_dst rt (st : U.t) us dst =
@@ -126,7 +227,7 @@ let flush_dst rt (st : U.t) us dst =
         List.fold_left (fun acc e -> acc + List.length e.Payload.be_tuples) 0
           payload_entries
       in
-      send_counted rt st ~dst
+      send_data_counted rt st ~dst
         (Payload.Update_batch
            { update_id = st.U.ust_update; entries = payload_entries;
              global = not st.U.ust_scoped });
@@ -143,9 +244,11 @@ let schedule_flush rt (st : U.t) us dst =
   if not (U.flush_scheduled st ~dst) then begin
     U.set_flush_scheduled st ~dst true;
     rt.Runtime.schedule ~delay:rt.Runtime.opts.Options.batch_window (fun () ->
-        U.set_flush_scheduled st ~dst false;
-        flush_dst rt st us dst;
-        check_disengage rt st)
+        if is_current rt st then begin
+          U.set_flush_scheduled st ~dst false;
+          flush_dst rt st us dst;
+          check_disengage rt st
+        end)
   end
 
 let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
@@ -173,7 +276,7 @@ let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
       else schedule_flush rt st us dst
     end
     else begin
-      send_counted rt st ~dst
+      send_data_counted rt st ~dst
         (Payload.Update_data
            { update_id = st.U.ust_update; rule_id = rule; tuples = fresh; hops;
              global = not st.U.ust_scoped });
@@ -185,9 +288,9 @@ let send_on_incoming rt (st : U.t) us (inc : Config.rule_decl) ~hops tuples =
    are all closed, notifying the importers (paper: "an acquaintance
    closes an incoming link if all its outgoing links which are
    relevant for this incoming link are closed").  Any data still
-   buffered for the importer must flush first: pipes deliver in order,
-   so this keeps [Update_link_closed] from overtaking its own data and
-   making the importer close the link early. *)
+   buffered for the importer must flush first, and {!close_link} then
+   keeps [Update_link_closed] from overtaking its own data and making
+   the importer close the link early. *)
 let maybe_close_incoming rt (st : U.t) =
   let close_if_ready (inc : Config.rule_decl) =
     if U.in_state st inc.Config.rule_id = U.Link_open then begin
@@ -197,10 +300,7 @@ let maybe_close_incoming rt (st : U.t) =
         U.close_in st inc.Config.rule_id;
         let dst = importer_of inc in
         flush_dst rt st (stat rt st.U.ust_update) dst;
-        send_counted rt st ~dst
-          (Payload.Update_link_closed
-             { update_id = st.U.ust_update; rule_id = inc.Config.rule_id;
-               global = not st.U.ust_scoped })
+        close_link rt st ~dst ~rule_id:inc.Config.rule_id
       end
     end
   in
@@ -354,7 +454,7 @@ let activate_incoming rt (st : U.t) ~requester rule_id =
         (* version skew: we do not know the rule; release the
            requester so it does not wait on this link forever *)
         ignore
-          (rt.Runtime.send ~dst:requester
+          (Reliable.send_noted rt ~dst:requester
              (Payload.Update_link_closed
                 { update_id = st.U.ust_update; rule_id; global = false }))
     | Some inc ->
@@ -383,7 +483,9 @@ let initiate rt uid =
       let st = fresh_state rt ~initiator:true ~scoped:false uid in
       st.U.ust_engaged <- true;
       first_contact rt st ~exclude:None;
-      check_disengage rt st
+      check_disengage rt st;
+      if Options.reliable rt.Runtime.opts then
+        arm_watchdog rt st ~last_activity:st.U.ust_activity
 
 let initiate_scoped rt uid ~rels =
   match Node.update_state rt.Runtime.node uid with
@@ -398,7 +500,9 @@ let initiate_scoped rt uid ~rels =
       List.iter (activate_outgoing rt st)
         (Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels);
       node_closed_check rt st;
-      check_disengage rt st
+      check_disengage rt st;
+      if Options.reliable rt.Runtime.opts then
+        arm_watchdog rt st ~last_activity:st.U.ust_activity
 
 let count_control rt uid =
   let us = stat rt uid in
@@ -413,15 +517,18 @@ let engage_and_process rt ~src ~scoped uid process =
   match Node.update_state rt.Runtime.node uid with
   | None ->
       let st = fresh_state rt ~initiator:false ~scoped uid in
+      U.touch st;
       st.U.ust_parent <- Some src;
       st.U.ust_engaged <- true;
       if not scoped then first_contact rt st ~exclude:(Some src);
       process st;
       check_disengage rt st
   | Some st ->
+      U.touch st;
       if st.U.ust_engaged then begin
         process st;
-        ignore (rt.Runtime.send ~dst:src (Payload.Update_ack { update_id = uid }));
+        ignore
+          (Reliable.send_noted rt ~dst:src (Payload.Update_ack { update_id = uid }));
         check_disengage rt st
       end
       else begin
@@ -439,13 +546,17 @@ let handle rt ~src ~bytes payload =
       match Node.update_state rt.Runtime.node update_id with
       | Some st ->
           count_control rt update_id;
-          st.U.ust_deficit <- st.U.ust_deficit - 1;
+          U.touch st;
+          (* clamped: a transport give-up may already have compensated
+             this acknowledgement before it finally arrived *)
+          st.U.ust_deficit <- max 0 (st.U.ust_deficit - 1);
           check_disengage rt st
       | None -> ())
   | Payload.Update_terminated { update_id } -> (
       match Node.update_state rt.Runtime.node update_id with
       | Some st ->
           count_control rt update_id;
+          U.touch st;
           on_terminated rt st ~src
       | None ->
           (* never contacted (e.g. connected after the fact): record a
@@ -470,5 +581,7 @@ let handle rt ~src ~bytes payload =
           on_link_closed rt st ~rule_id)
   | Payload.Query_request _ | Payload.Query_data _ | Payload.Query_done _
   | Payload.Rules_file _ | Payload.Start_update | Payload.Stats_request
-  | Payload.Stats_response _ | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+  | Payload.Stats_response _ | Payload.Discovery_probe _ | Payload.Discovery_reply _
+  | Payload.Seq _ | Payload.Seq_ack _ ->
+      (* transport frames are unwrapped by {!Dbm} before dispatch *)
       ()

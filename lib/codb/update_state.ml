@@ -35,6 +35,9 @@ type t = {
   mutable ust_pending : int;
   mutable ust_terminated : bool;
   mutable ust_finished : bool;
+  mutable ust_activity : int;
+  ust_unacked : (Peer_id.t, int) Hashtbl.t;
+  ust_deferred : (Peer_id.t, (string * bool) list) Hashtbl.t;
 }
 
 let create ~initiator ?(scoped = false) ?(bloom_bits = 0) ?(ring_capacity = 512)
@@ -58,7 +61,12 @@ let create ~initiator ?(scoped = false) ?(bloom_bits = 0) ?(ring_capacity = 512)
     ust_pending = 0;
     ust_terminated = false;
     ust_finished = false;
+    ust_activity = 0;
+    ust_unacked = Hashtbl.create 8;
+    ust_deferred = Hashtbl.create 8;
   }
+
+let touch st = st.ust_activity <- st.ust_activity + 1
 
 let out_state st rule =
   Option.value ~default:Link_closed (Hashtbl.find_opt st.ust_out rule)
@@ -188,3 +196,23 @@ let flush_scheduled st ~dst =
   match Hashtbl.find_opt st.ust_wire dst with Some b -> b.db_scheduled | None -> false
 
 let set_flush_scheduled st ~dst flag = (dest_buffer st dst).db_scheduled <- flag
+
+(* ---- Per-destination transport settlement ---------------------------- *)
+
+let dst_unacked st ~dst = Option.value ~default:0 (Hashtbl.find_opt st.ust_unacked dst)
+
+let incr_unacked st ~dst = Hashtbl.replace st.ust_unacked dst (dst_unacked st ~dst + 1)
+
+let decr_unacked st ~dst =
+  Hashtbl.replace st.ust_unacked dst (max 0 (dst_unacked st ~dst - 1))
+
+let defer_close st ~dst ~rule ~global =
+  let tail = Option.value ~default:[] (Hashtbl.find_opt st.ust_deferred dst) in
+  Hashtbl.replace st.ust_deferred dst ((rule, global) :: tail)
+
+let take_deferred_closes st ~dst =
+  match Hashtbl.find_opt st.ust_deferred dst with
+  | None -> []
+  | Some closes ->
+      Hashtbl.remove st.ust_deferred dst;
+      List.rev closes

@@ -38,6 +38,16 @@ type t = {
   mutable ust_terminated : bool;
       (** the terminated flood reached this node *)
   mutable ust_finished : bool;  (** local statistics were finalised *)
+  mutable ust_activity : int;
+      (** bumped on every protocol message for this update; the
+          initiator's stall watchdog force-terminates only when a whole
+          failure-deadline window passes with no movement *)
+  ust_unacked : (Peer_id.t, int) Hashtbl.t;
+      (** reliable transport only: data messages sent to a destination
+          and not yet settled (acked or given up) *)
+  ust_deferred : (Peer_id.t, (string * bool) list) Hashtbl.t;
+      (** [(rule, global)] link closes held back until the
+          destination's in-flight data settles, newest first *)
 }
 
 and dest_buffer
@@ -55,6 +65,9 @@ val create :
     update starts with empty lists; links join via {!activate_out} /
     {!activate_in}.  [bloom_bits]/[ring_capacity] (defaults 0/512)
     size the {!Sent_filter} of every link; 0 bits = exact mode. *)
+
+val touch : t -> unit
+(** Note protocol activity (see [ust_activity]). *)
 
 val out_state : t -> string -> link_state
 (** Links never activated for this update read as closed: they carry
@@ -125,3 +138,25 @@ val buffered_dsts : t -> Peer_id.t list
 val flush_scheduled : t -> dst:Peer_id.t -> bool
 
 val set_flush_scheduled : t -> dst:Peer_id.t -> bool -> unit
+
+(** {2 Transport settlement}
+
+    FIFO pipes made [Update_link_closed] arrive after the data it
+    covers for free.  Retransmission and injected jitter break that:
+    a retried data message can land {e after} the close, and the
+    importer would integrate it but no longer forward it.  Under the
+    reliable transport the sender therefore counts in-flight data per
+    destination and holds each close back until everything in front of
+    it has settled. *)
+
+val dst_unacked : t -> dst:Peer_id.t -> int
+
+val incr_unacked : t -> dst:Peer_id.t -> unit
+
+val decr_unacked : t -> dst:Peer_id.t -> unit
+(** Clamped at zero (duplicate settlements are harmless). *)
+
+val defer_close : t -> dst:Peer_id.t -> rule:string -> global:bool -> unit
+
+val take_deferred_closes : t -> dst:Peer_id.t -> (string * bool) list
+(** Drain the deferred closes for [dst] in defer order. *)

@@ -9,6 +9,11 @@ type counters = {
   dropped : int;
   total_bytes : int;
   dropped_bytes : int;
+  injected_drops : int;
+  injected_dups : int;
+  injected_flaps : int;
+  crashes : int;
+  restarts : int;
 }
 
 type 'a t = {
@@ -27,6 +32,7 @@ type 'a t = {
   (* Sorted peer list, memoised because tracing paths call [peers] once per
      message; [None] after any add/remove. *)
   mutable peer_list : Peer_id.t list option;
+  mutable fault : Fault.t option;
 }
 
 let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of () =
@@ -44,6 +50,7 @@ let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of (
     total_bytes = 0;
     dropped_bytes = 0;
     peer_list = None;
+    fault = None;
   }
 
 let pipe_key a b = if Peer_id.compare a b <= 0 then (a, b) else (b, a)
@@ -84,6 +91,13 @@ let set_handler net id handler =
   | None ->
       invalid_arg
         (Printf.sprintf "Network.set_handler: unknown peer %s" (Peer_id.to_string id))
+
+(* A crashed peer: it stays in the peer table (its pipes can reopen on
+   restart) but messages reaching it meanwhile drop at delivery. *)
+let clear_handler net id =
+  match Hashtbl.find_opt net.peer_table id with
+  | Some entry -> entry.handler <- None
+  | None -> ()
 
 let connect ?latency ?byte_cost net a b =
   if not (has_peer net a && has_peer net b) then
@@ -142,7 +156,28 @@ let send net ~src ~dst payload =
       Pipe.record_traffic pipe ~size;
       let delay = Pipe.transfer_delay pipe ~size in
       let delivery = Pipe.sequence_delivery pipe ~src (net.now +. delay) in
-      Event_queue.push net.events ~time:delivery (fun () -> deliver net message);
+      (match net.fault with
+      | None -> Event_queue.push net.events ~time:delivery (fun () -> deliver net message)
+      | Some fault ->
+          let v = Fault.verdict fault in
+          if v.Fault.v_drop then
+            (* a silent in-flight loss: the sender still sees [true],
+               exactly like a real network.  Counted per kind in the
+               fault counters, not in [dropped] (which stays the
+               protocol-visible drop count). *)
+            Log.debug (fun m ->
+                m "message #%d %s -> %s lost by fault injection" message.Message.msg_id
+                  (Peer_id.to_string src) (Peer_id.to_string dst))
+          else begin
+            (* jitter applies after FIFO sequencing so reordering
+               actually happens *)
+            Event_queue.push net.events ~time:(delivery +. v.Fault.v_jitter) (fun () ->
+                deliver net message);
+            if v.Fault.v_dup then
+              Event_queue.push net.events
+                ~time:(delivery +. v.Fault.v_jitter +. v.Fault.v_dup_extra) (fun () ->
+                  deliver net message)
+          end);
       true
   | Some _ | None ->
       net.dropped <- net.dropped + 1;
@@ -168,10 +203,50 @@ let run ?(max_events = max_int) net =
   in
   loop 0
 
+let install_fault net plan =
+  (match Fault.validate_plan plan with
+  | Ok () -> ()
+  | Error errors -> invalid_arg ("Network.install_fault: " ^ String.concat "; " errors));
+  let fault = Fault.make plan in
+  net.fault <- Some fault;
+  let arm (f : Fault.flap) =
+    schedule net ~delay:(Float.max 0.0 (f.Fault.fl_down_at -. net.now)) (fun () ->
+        match pipe_between net f.Fault.fl_a f.Fault.fl_b with
+        | Some pipe when Pipe.is_open pipe ->
+            Fault.note_flap fault;
+            Pipe.close pipe
+        | Some _ | None -> ());
+    schedule net ~delay:(Float.max 0.0 (f.Fault.fl_up_at -. net.now)) (fun () ->
+        match pipe_between net f.Fault.fl_a f.Fault.fl_b with
+        | Some pipe when not (Pipe.is_open pipe) -> Pipe.reopen pipe
+        | Some _ | None -> ())
+  in
+  List.iter arm plan.Fault.flaps;
+  fault
+
+let fault net = net.fault
+
 let counters net =
+  let fc =
+    match net.fault with
+    | Some fault -> Fault.counters fault
+    | None ->
+        {
+          Fault.injected_drops = 0;
+          injected_dups = 0;
+          injected_flaps = 0;
+          crashes = 0;
+          restarts = 0;
+        }
+  in
   {
     delivered = net.delivered;
     dropped = net.dropped;
     total_bytes = net.total_bytes;
     dropped_bytes = net.dropped_bytes;
+    injected_drops = fc.Fault.injected_drops;
+    injected_dups = fc.Fault.injected_dups;
+    injected_flaps = fc.Fault.injected_flaps;
+    crashes = fc.Fault.crashes;
+    restarts = fc.Fault.restarts;
   }

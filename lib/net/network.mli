@@ -20,6 +20,13 @@ type counters = {
   dropped_bytes : int;
       (** bytes lost — at send time (no open pipe, envelope included)
           or at delivery time (peer removed / no handler) *)
+  injected_drops : int;
+      (** messages silently lost by the fault plan (the sender saw
+          [true]; not part of [dropped]) *)
+  injected_dups : int;  (** messages delivered twice by the fault plan *)
+  injected_flaps : int;  (** scheduled pipe closures executed *)
+  crashes : int;  (** node crashes noted by the layer above *)
+  restarts : int;
 }
 
 val create : ?default_latency:float -> ?default_byte_cost:float -> size_of:('a -> int) -> unit -> 'a t
@@ -40,6 +47,12 @@ val peers : 'a t -> Peer_id.t list
 val set_handler : 'a t -> Peer_id.t -> ('a Message.t -> unit) -> unit
 (** Register the message handler for a peer.  @raise Invalid_argument
     if the peer does not exist. *)
+
+val clear_handler : 'a t -> Peer_id.t -> unit
+(** Drop the peer's handler without removing the peer: a crash.  The
+    peer's pipes are untouched (close them separately); messages that
+    reach it meanwhile drop at delivery time.  A later {!set_handler}
+    is the restart.  No-op on an unknown peer. *)
 
 val connect : ?latency:float -> ?byte_cost:float -> 'a t -> Peer_id.t -> Peer_id.t -> unit
 (** Create (or reopen) the pipe between two peers.  @raise
@@ -76,5 +89,13 @@ val run : ?max_events:int -> 'a t -> int
 
 val step : 'a t -> bool
 (** Process a single event; [false] when the queue is empty. *)
+
+val install_fault : 'a t -> Fault.plan -> Fault.t
+(** Validate the plan, apply it to every subsequent {!send}, and
+    schedule its link flaps.  Returns the live fault state so the
+    layer above can note crash/restart events into the same counters.
+    @raise Invalid_argument on an invalid plan. *)
+
+val fault : 'a t -> Fault.t option
 
 val counters : 'a t -> counters

@@ -1,0 +1,231 @@
+(* Loss-tolerant protocols under deterministic fault injection: seeded
+   reproducibility, retransmission restoring the fault-free fix-point,
+   duplicate suppression, bounded-partial query answers instead of
+   hangs, and node crash/restart. *)
+
+open Helpers
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+
+let chaos_opts ?(seed = 42) ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0.0)
+    ?(budget = max_int) ?(flaps = []) ?(crashes = []) ?(ack = 0.05) ?(retries = 4)
+    ?(base = Options.default) () =
+  {
+    base with
+    Options.fault_seed = seed;
+    drop_prob = drop;
+    dup_prob = dup;
+    jitter;
+    drop_budget = budget;
+    flap_plan = flaps;
+    crash_plan = crashes;
+    ack_timeout = ack;
+    max_retries = retries;
+  }
+
+let chain ?(seed = 5) n = Topology.generate ~seed Topology.Chain ~n
+
+let stores_equal a b =
+  List.for_all
+    (fun name ->
+      Database.equal_contents (System.node a name).Node.store
+        (System.node b name).Node.store)
+    (System.node_names a)
+
+let chaos sys = Report.chaos_report (System.snapshots sys)
+
+let run_update_report sys ~initiator =
+  let uid = System.run_update sys ~initiator in
+  Option.get (Report.update_report (System.snapshots sys) uid)
+
+(* --- determinism ---------------------------------------------------- *)
+
+let test_same_seed_same_run () =
+  let opts = chaos_opts ~seed:9 ~drop:0.3 ~dup:0.1 ~jitter:0.003 ~retries:6 () in
+  let run () =
+    let sys = System.build_exn ~opts (chain 5) in
+    let _ = System.run_update sys ~initiator:"n0" in
+    (sys, Network.counters (System.net sys))
+  in
+  let sys_a, c_a = run () in
+  let sys_b, c_b = run () in
+  Alcotest.(check bool) "identical stores" true (stores_equal sys_a sys_b);
+  Alcotest.(check int) "same injected drops" c_a.Network.injected_drops
+    c_b.Network.injected_drops;
+  Alcotest.(check int) "same injected dups" c_a.Network.injected_dups
+    c_b.Network.injected_dups;
+  Alcotest.(check int) "same deliveries" c_a.Network.delivered c_b.Network.delivered;
+  let ch_a = Report.chaos_report (System.snapshots sys_a) in
+  let ch_b = Report.chaos_report (System.snapshots sys_b) in
+  Alcotest.(check int) "same retransmits" ch_a.Report.chr_retransmits
+    ch_b.Report.chr_retransmits
+
+(* --- retransmission ------------------------------------------------- *)
+
+let test_retries_restore_fixpoint () =
+  let baseline = System.build_exn (chain 6) in
+  let _ = System.run_update baseline ~initiator:"n0" in
+  let opts = chaos_opts ~seed:3 ~drop:0.25 ~dup:0.05 ~jitter:0.002 ~retries:8 () in
+  let sys = System.build_exn ~opts (chain 6) in
+  let report = run_update_report sys ~initiator:"n0" in
+  Alcotest.(check bool) "all nodes finished" true report.Report.ur_all_finished;
+  Alcotest.(check bool) "fix-point equals the fault-free run" true
+    (stores_equal baseline sys);
+  let ch = chaos sys in
+  Alcotest.(check bool) "loss actually happened" true
+    ((Network.counters (System.net sys)).Network.injected_drops > 0);
+  Alcotest.(check bool) "retransmissions happened" true (ch.Report.chr_retransmits > 0);
+  Alcotest.(check int) "nothing was abandoned" 0 ch.Report.chr_give_ups
+
+let test_dup_suppression_keeps_stores_correct () =
+  let baseline = System.build_exn (chain 4) in
+  let _ = System.run_update baseline ~initiator:"n0" in
+  let opts = chaos_opts ~seed:1 ~dup:0.8 ~retries:2 () in
+  let sys = System.build_exn ~opts (chain 4) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check bool) "stores unharmed by duplicates" true (stores_equal baseline sys);
+  Alcotest.(check bool) "duplicates were suppressed" true
+    ((chaos sys).Report.chr_dup_suppressed > 0)
+
+let test_no_retries_under_loss_terminates () =
+  (* everything dropped, no retransmission: the update must still come
+     back (give-ups compensate the engagement deficits) instead of
+     spinning the simulator forever *)
+  let opts = chaos_opts ~seed:2 ~drop:1.0 ~retries:0 () in
+  let sys = System.build_exn ~opts (chain 4) in
+  let report = run_update_report sys ~initiator:"n0" in
+  Alcotest.(check bool) "initiator finished" true (report.Report.ur_duration >= 0.0);
+  let ch = chaos sys in
+  Alcotest.(check bool) "give-ups recorded" true (ch.Report.chr_give_ups > 0);
+  (* nothing was delivered, so the fix-point is the local store only *)
+  Alcotest.(check int) "no deliveries" 0
+    (Network.counters (System.net sys)).Network.delivered
+
+(* --- partial answers ------------------------------------------------ *)
+
+let q_data = "ans(k, v) <- data(k, v)"
+
+let test_query_partial_answer_under_total_loss () =
+  let opts = chaos_opts ~seed:4 ~drop:1.0 ~retries:0 () in
+  let sys = System.build_exn ~opts (chain 3) in
+  let outcome = System.run_query sys ~at:"n0" (parse_query q_data) in
+  Alcotest.(check bool) "incomplete" false outcome.System.qo_complete;
+  Alcotest.(check bool) "local answers still served" true
+    (List.length outcome.System.qo_answers > 0);
+  let ch = chaos sys in
+  Alcotest.(check bool) "sub-request timeouts recorded" true
+    (ch.Report.chr_query_timeouts > 0);
+  Alcotest.(check bool) "partial answer recorded" true
+    (ch.Report.chr_partial_answers > 0)
+
+let test_partial_answers_never_cached () =
+  let opts =
+    chaos_opts ~seed:4 ~drop:1.0 ~retries:0 ~base:Options.with_cache ()
+  in
+  let sys = System.build_exn ~opts (chain 3) in
+  let first = System.run_query sys ~at:"n0" (parse_query q_data) in
+  let second = System.run_query sys ~at:"n0" (parse_query q_data) in
+  Alcotest.(check bool) "first incomplete" false first.System.qo_complete;
+  (* a cached partial answer would come back marked complete *)
+  Alcotest.(check bool) "second not served from cache" false second.System.qo_complete
+
+let test_query_complete_under_loss_with_retries () =
+  let baseline = System.build_exn (chain 4) in
+  let expected = (System.run_query baseline ~at:"n0" (parse_query q_data)).System.qo_answers in
+  let opts = chaos_opts ~seed:6 ~drop:0.2 ~dup:0.05 ~jitter:0.002 ~retries:8 () in
+  let sys = System.build_exn ~opts (chain 4) in
+  let outcome = System.run_query sys ~at:"n0" (parse_query q_data) in
+  Alcotest.(check bool) "complete" true outcome.System.qo_complete;
+  check_tuples "same answers as the fault-free run" expected outcome.System.qo_answers
+
+(* --- crash / restart ------------------------------------------------ *)
+
+let test_crash_without_restart_terminates () =
+  let opts = chaos_opts ~seed:8 ~crashes:[ ("n2", 0.0005, None) ] ~retries:2 () in
+  let sys = System.build_exn ~opts (chain 4) in
+  let report = run_update_report sys ~initiator:"n0" in
+  (* the dead child never answers: the update must end anyway, either
+     through transport give-ups or the stall watchdog *)
+  Alcotest.(check bool) "update came back" true (report.Report.ur_duration >= 0.0);
+  Alcotest.(check int) "crash counted" 1
+    (Network.counters (System.net sys)).Network.crashes;
+  let outcome = System.run_query sys ~at:"n0" (parse_query q_data) in
+  Alcotest.(check bool) "later queries flag the dead subtree" false
+    outcome.System.qo_complete
+
+let test_crash_restart_recovers () =
+  let opts = chaos_opts ~seed:8 ~crashes:[ ("n1", 0.0005, Some 0.2) ] ~retries:6 () in
+  let sys = System.build_exn ~opts (chain 3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check int) "restart counted" 1
+    (Network.counters (System.net sys)).Network.restarts;
+  (* after the restart the node is reachable again: a second update
+     completes the fix-point as if nothing had happened *)
+  let baseline = System.build_exn (chain 3) in
+  let _ = System.run_update baseline ~initiator:"n0" in
+  let report = run_update_report sys ~initiator:"n0" in
+  Alcotest.(check bool) "second update finished everywhere" true
+    report.Report.ur_all_finished;
+  Alcotest.(check bool) "fix-point recovered" true (stores_equal baseline sys)
+
+let test_restart_bumps_cache_epoch () =
+  let sys = System.build_exn ~opts:Options.with_cache (chain 3) in
+  (* warm the cache, then crash+restart n0, then ask again: the restart
+     must have cleared the cache, so the second answer is recomputed *)
+  let first = System.run_query sys ~at:"n0" (parse_query q_data) in
+  System.crash_node sys "n0";
+  System.restart_node sys "n0";
+  let second = System.run_query sys ~at:"n0" (parse_query q_data) in
+  Alcotest.(check bool) "both complete" true
+    (first.System.qo_complete && second.System.qo_complete);
+  check_tuples "same answers after the restart" first.System.qo_answers
+    second.System.qo_answers;
+  let hits =
+    List.fold_left
+      (fun acc row -> acc + row.Report.cr_hits)
+      0
+      (Report.cache_report (System.snapshots sys))
+  in
+  Alcotest.(check int) "no hit survived the crash" 0 hits
+
+(* --- link flaps ----------------------------------------------------- *)
+
+let test_flap_mid_update_recovers_with_retries () =
+  let baseline = System.build_exn (chain 3) in
+  let _ = System.run_update baseline ~initiator:"n0" in
+  let opts =
+    chaos_opts ~seed:10 ~flaps:[ ("n0", "n1", 0.001, 0.3) ] ~retries:8 ()
+  in
+  let sys = System.build_exn ~opts (chain 3) in
+  let report = run_update_report sys ~initiator:"n0" in
+  Alcotest.(check bool) "finished despite the flap" true report.Report.ur_all_finished;
+  Alcotest.(check bool) "fix-point intact" true (stores_equal baseline sys);
+  Alcotest.(check int) "flap executed" 1
+    (Network.counters (System.net sys)).Network.injected_flaps
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same run" `Quick test_same_seed_same_run;
+    Alcotest.test_case "retries restore the fix-point" `Quick
+      test_retries_restore_fixpoint;
+    Alcotest.test_case "duplicate suppression" `Quick
+      test_dup_suppression_keeps_stores_correct;
+    Alcotest.test_case "no retries under loss still terminates" `Quick
+      test_no_retries_under_loss_terminates;
+    Alcotest.test_case "partial answer under total loss" `Quick
+      test_query_partial_answer_under_total_loss;
+    Alcotest.test_case "partial answers never cached" `Quick
+      test_partial_answers_never_cached;
+    Alcotest.test_case "query complete under loss with retries" `Quick
+      test_query_complete_under_loss_with_retries;
+    Alcotest.test_case "crash without restart terminates" `Quick
+      test_crash_without_restart_terminates;
+    Alcotest.test_case "crash and restart recovers" `Quick test_crash_restart_recovers;
+    Alcotest.test_case "restart clears the cache" `Quick test_restart_bumps_cache_epoch;
+    Alcotest.test_case "flap mid-update recovers" `Quick
+      test_flap_mid_update_recovers_with_retries;
+  ]

@@ -34,6 +34,7 @@ let () =
       ("query-protocol", Test_query_protocol.suite);
       ("topology", Test_topology.suite);
       ("system", Test_system.suite);
+      ("chaos", Test_chaos.suite);
       ("workload", Test_workload.suite);
       ("properties", Test_props.suite);
     ]

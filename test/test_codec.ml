@@ -116,7 +116,7 @@ let payload_samples =
     Payload.Query_data
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
         tuples = [ tup [ i 1; s "x" ] ] };
-    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1" };
+    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; complete = true };
     Payload.Rules_file { version = 3; text = "node a { relation r(x: int); }" };
     Payload.Start_update;
     Payload.Stats_request;
@@ -124,6 +124,15 @@ let payload_samples =
       { probe_id = "n0/1"; ttl = 3; path = [ Peer_id.of_string "n0" ] };
     Payload.Discovery_reply
       { probe_id = "n0/1"; path = []; peers = [ Peer_id.of_string "n1" ] };
+    (* reliable-transport frames: the inner payload nests verbatim *)
+    Payload.Seq
+      { seq = 42;
+        inner =
+          Payload.Update_data
+            { update_id = uid; rule_id = "r1"; tuples = kitchen_sink_tuples; hops = 1;
+              global = true } };
+    Payload.Seq { seq = 0; inner = Payload.Update_ack { update_id = uid } };
+    Payload.Seq_ack { seq = 1 lsl 30 };
   ]
 
 let test_payload_round_trip () =

@@ -3,6 +3,7 @@ module Network = Codb_net.Network
 module Message = Codb_net.Message
 module Pipe = Codb_net.Pipe
 module Event_queue = Codb_net.Event_queue
+module Fault = Codb_net.Fault
 
 let p = Peer_id.of_string
 
@@ -179,6 +180,82 @@ let test_pipe_validation () =
        false
      with Invalid_argument _ -> true)
 
+let fault_plan ?(seed = 7) ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0.0)
+    ?(budget = max_int) ?(flaps = []) () =
+  { Fault.seed; drop_prob = drop; dup_prob = dup; jitter; drop_budget = budget; flaps }
+
+(* One lossy run: which of [n] messages a->b got through, plus counters. *)
+let lossy_run ~plan n =
+  let net = two_peers () in
+  ignore (Network.install_fault net plan);
+  let received = ref [] in
+  Network.set_handler net (p "b") (fun msg ->
+      received := msg.Message.payload :: !received);
+  for k = 1 to n do
+    (* drops are silent: the sender must still see a successful send *)
+    Alcotest.(check bool) "sender sees true" true
+      (Network.send net ~src:(p "a") ~dst:(p "b") (string_of_int k))
+  done;
+  let _ = Network.run net in
+  (List.rev !received, Network.counters net)
+
+let test_fault_schedule_deterministic () =
+  let plan = fault_plan ~seed:11 ~drop:0.5 ~dup:0.2 ~jitter:0.003 () in
+  let got_a, c_a = lossy_run ~plan 50 in
+  let got_b, c_b = lossy_run ~plan 50 in
+  Alcotest.(check (list string)) "same survivors in the same order" got_a got_b;
+  Alcotest.(check int) "same drops" c_a.Network.injected_drops c_b.Network.injected_drops;
+  Alcotest.(check int) "same dups" c_a.Network.injected_dups c_b.Network.injected_dups;
+  let got_c, _ = lossy_run ~plan:{ plan with Fault.seed = 12 } 50 in
+  Alcotest.(check bool) "another seed, another schedule" false (got_a = got_c)
+
+let test_fault_dup_delivers_twice () =
+  let got, c = lossy_run ~plan:(fault_plan ~dup:1.0 ()) 5 in
+  Alcotest.(check int) "every message twice" 10 (List.length got);
+  Alcotest.(check int) "dups counted" 5 c.Network.injected_dups;
+  Alcotest.(check int) "delivered counts both copies" 10 c.Network.delivered
+
+let test_fault_drop_budget () =
+  let got, c = lossy_run ~plan:(fault_plan ~drop:1.0 ~budget:3 ()) 10 in
+  Alcotest.(check int) "only the budget is dropped" 7 (List.length got);
+  Alcotest.(check int) "drops counted" 3 c.Network.injected_drops;
+  (* the budget drops the head of the stream, then delivery resumes *)
+  Alcotest.(check (list string)) "survivors in order"
+    [ "4"; "5"; "6"; "7"; "8"; "9"; "10" ] got
+
+let test_fault_jitter_loses_nothing () =
+  let got, c = lossy_run ~plan:(fault_plan ~jitter:0.05 ()) 20 in
+  Alcotest.(check int) "all delivered" 20 (List.length got);
+  Alcotest.(check int) "no drops" 0 c.Network.injected_drops
+
+let test_fault_flap_closes_and_reopens () =
+  let net = two_peers () in
+  ignore
+    (Network.install_fault net
+       (fault_plan
+          ~flaps:[ { Fault.fl_a = p "a"; fl_b = p "b"; fl_down_at = 0.05; fl_up_at = 0.1 } ]
+          ()));
+  let got = ref 0 in
+  Network.set_handler net (p "b") (fun _ -> incr got);
+  let sent_down = ref true and sent_up = ref false in
+  Network.schedule net ~delay:0.06 (fun () ->
+      sent_down := Network.send net ~src:(p "a") ~dst:(p "b") "while down");
+  Network.schedule net ~delay:0.2 (fun () ->
+      sent_up := Network.send net ~src:(p "a") ~dst:(p "b") "after up");
+  let _ = Network.run net in
+  Alcotest.(check bool) "send fails while flapped" false !sent_down;
+  Alcotest.(check bool) "send works after reopen" true !sent_up;
+  Alcotest.(check int) "one delivery" 1 !got;
+  Alcotest.(check int) "flap counted" 1 (Network.counters net).Network.injected_flaps
+
+let test_clear_handler_drops_at_delivery () =
+  let net = two_peers () in
+  Network.set_handler net (p "b") (fun _ -> Alcotest.fail "handler was cleared");
+  ignore (Network.send net ~src:(p "a") ~dst:(p "b") "x");
+  Network.clear_handler net (p "b");
+  let _ = Network.run net in
+  Alcotest.(check int) "dropped at delivery" 1 (Network.counters net).Network.dropped
+
 let test_run_bounded () =
   let net = make_net () in
   Network.add_peer net (p "a");
@@ -206,4 +283,14 @@ let suite =
     Alcotest.test_case "pipe traffic stats" `Quick test_pipe_stats;
     Alcotest.test_case "pipe validation" `Quick test_pipe_validation;
     Alcotest.test_case "bounded run" `Quick test_run_bounded;
+    Alcotest.test_case "fault schedule is deterministic" `Quick
+      test_fault_schedule_deterministic;
+    Alcotest.test_case "fault dup delivers twice" `Quick test_fault_dup_delivers_twice;
+    Alcotest.test_case "fault drop budget" `Quick test_fault_drop_budget;
+    Alcotest.test_case "fault jitter loses nothing" `Quick
+      test_fault_jitter_loses_nothing;
+    Alcotest.test_case "fault flap closes and reopens" `Quick
+      test_fault_flap_closes_and_reopens;
+    Alcotest.test_case "cleared handler drops at delivery" `Quick
+      test_clear_handler_drops_at_delivery;
   ]

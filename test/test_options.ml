@@ -95,6 +95,67 @@ let test_bad_wire_knobs_rejected () =
   rejected ~substring:"sent_ring_capacity"
     (Options.validate { Options.default with Options.sent_ring_capacity = 0 })
 
+let test_chaos_knobs_are_valid () =
+  ok
+    (Options.validate
+       {
+         Options.default with
+         Options.fault_seed = 42;
+         drop_prob = 0.25;
+         dup_prob = 1.0;
+         jitter = 0.01;
+         drop_budget = 10;
+         flap_plan = [ ("a", "b", 0.1, 0.2) ];
+         crash_plan = [ ("a", 0.1, Some 0.5); ("b", 0.2, None) ];
+         ack_timeout = 0.05;
+         max_retries = 0;
+         backoff_factor = 1.0;
+       });
+  Alcotest.(check bool) "faults_enabled" true
+    (Options.faults_enabled { Options.default with Options.drop_prob = 0.1 });
+  Alcotest.(check bool) "default has no faults" false
+    (Options.faults_enabled Options.default);
+  Alcotest.(check bool) "default transport is raw" false (Options.reliable Options.default);
+  Alcotest.(check bool) "ack_timeout switches the transport" true
+    (Options.reliable { Options.default with Options.ack_timeout = 0.05 })
+
+let test_bad_chaos_knobs_rejected () =
+  rejected ~substring:"drop_prob"
+    (Options.validate { Options.default with Options.drop_prob = 1.5 });
+  rejected ~substring:"dup_prob"
+    (Options.validate { Options.default with Options.dup_prob = -0.1 });
+  rejected ~substring:"jitter"
+    (Options.validate { Options.default with Options.jitter = -0.001 });
+  rejected ~substring:"drop_budget"
+    (Options.validate { Options.default with Options.drop_budget = -1 });
+  rejected ~substring:"flap_plan"
+    (Options.validate
+       { Options.default with Options.flap_plan = [ ("a", "a", 0.1, 0.2) ] });
+  rejected ~substring:"flap_plan"
+    (Options.validate
+       { Options.default with Options.flap_plan = [ ("a", "b", 0.2, 0.1) ] });
+  rejected ~substring:"crash_plan"
+    (Options.validate
+       { Options.default with Options.crash_plan = [ ("a", 0.5, Some 0.1) ] });
+  rejected ~substring:"crash_plan"
+    (Options.validate { Options.default with Options.crash_plan = [ ("a", -0.1, None) ] });
+  rejected ~substring:"ack_timeout"
+    (Options.validate { Options.default with Options.ack_timeout = -0.05 });
+  rejected ~substring:"max_retries"
+    (Options.validate { Options.default with Options.max_retries = -1 });
+  rejected ~substring:"backoff_factor"
+    (Options.validate { Options.default with Options.backoff_factor = 0.5 })
+
+let test_rto_backoff_capped () =
+  let opts =
+    { Options.default with Options.ack_timeout = 0.1; backoff_factor = 2.0; max_retries = 100 }
+  in
+  Alcotest.(check (float 1e-9)) "first attempt" 0.1 (Options.rto opts 0);
+  Alcotest.(check (float 1e-9)) "second attempt" 0.2 (Options.rto opts 1);
+  Alcotest.(check (float 1e-9)) "growth capped at 64x" 6.4 (Options.rto opts 1000);
+  Alcotest.(check bool) "failure deadline is finite" true
+    (Float.is_finite (Options.failure_deadline opts))
+
 let test_errors_accumulate () =
   match
     Options.validate
@@ -125,6 +186,9 @@ let suite =
     Alcotest.test_case "planner knobs are valid" `Quick test_planner_knobs_are_valid;
     Alcotest.test_case "wire knobs are valid" `Quick test_wire_knobs_are_valid;
     Alcotest.test_case "bad wire knobs rejected" `Quick test_bad_wire_knobs_rejected;
+    Alcotest.test_case "chaos knobs are valid" `Quick test_chaos_knobs_are_valid;
+    Alcotest.test_case "bad chaos knobs rejected" `Quick test_bad_chaos_knobs_rejected;
+    Alcotest.test_case "rto backoff capped" `Quick test_rto_backoff_capped;
     Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate;
     Alcotest.test_case "System.build enforces validate" `Quick
       test_build_rejects_bad_options;

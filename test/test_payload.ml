@@ -31,7 +31,7 @@ let samples =
         label = [ Peer_id.of_string "n0" ] };
     Payload.Query_data
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; tuples = [ tup [ i 1 ] ] };
-    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1" };
+    Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; complete = true };
     Payload.Rules_file { version = 1; text = "node a { relation r(x: int); }" };
     Payload.Start_update;
     Payload.Stats_request;
@@ -39,6 +39,13 @@ let samples =
     Payload.Discovery_probe { probe_id = "n0/1"; ttl = 3; path = [ Peer_id.of_string "n0" ] };
     Payload.Discovery_reply
       { probe_id = "n0/1"; path = []; peers = [ Peer_id.of_string "n1" ] };
+    Payload.Seq
+      { seq = 7;
+        inner =
+          Payload.Update_data
+            { update_id = uid; rule_id = "r1"; tuples = [ tup [ i 1; s "x" ] ]; hops = 1;
+              global = true } };
+    Payload.Seq_ack { seq = 7 };
   ]
 
 let test_sizes_positive () =
@@ -61,14 +68,15 @@ let test_rules_file_size_tracks_text () =
     (mk (String.make 150 'x') - mk (String.make 50 'x'))
 
 let test_update_protocol_classification () =
-  let expect_protocol = function
+  let rec expect_protocol = function
     | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
     | Payload.Update_link_closed _ ->
         true
+    | Payload.Seq { inner; _ } -> expect_protocol inner
     | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
     | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
     | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
-    | Payload.Discovery_probe _ | Payload.Discovery_reply _ ->
+    | Payload.Discovery_probe _ | Payload.Discovery_reply _ | Payload.Seq_ack _ ->
         false
   in
   List.iter

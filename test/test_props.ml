@@ -322,6 +322,65 @@ let prop_discovery_monotone_in_ttl =
       List.for_all (fun p -> List.mem p f3) f1
       && List.for_all (fun p -> List.mem p all && p <> "n0") f3)
 
+let gen_fault_plan =
+  let open Gen in
+  let* fault_seed = int_range 0 10000 in
+  let* drop = oneofl [ 0.05; 0.15; 0.3; 0.6 ] in
+  let* dup = oneofl [ 0.0; 0.1 ] in
+  let* jitter = oneofl [ 0.0; 0.002 ] in
+  let* budget = int_range 0 10 in
+  return (fault_seed, drop, dup, jitter, budget)
+
+let gen_faulted_network =
+  let open Gen in
+  let* shape = oneofl [ Topology.Chain; Topology.Ring; Topology.Binary_tree ] in
+  let* n = int_range 2 5 in
+  let* seed = int_range 0 10000 in
+  let* plan = gen_fault_plan in
+  (* non-existential heads: fresh nulls get run-dependent identities,
+     which would make store comparison vacuous *)
+  return
+    ((shape, n, seed, { Topology.default_params with Topology.tuples_per_node = 8 }),
+     plan)
+
+let prop_faulted_update_equals_fault_free =
+  (* with drop_budget <= max_retries no message can be dropped more
+     times than it will be retransmitted, so every send is eventually
+     delivered and the fix-point must coincide with the fault-free run *)
+  Q2.Test.make
+    ~name:"under retried loss the update fix-point equals the fault-free run"
+    ~count:20 gen_faulted_network
+    (fun (spec, (fault_seed, drop, dup, jitter, budget)) ->
+      let baseline = build_net spec in
+      let _ = System.run_update baseline ~initiator:"n0" in
+      let opts =
+        {
+          Codb_core.Options.default with
+          Codb_core.Options.fault_seed;
+          drop_prob = drop;
+          dup_prob = dup;
+          jitter;
+          drop_budget = budget;
+          ack_timeout = 0.05;
+          max_retries = 10;
+        }
+      in
+      let shape, n, seed, params = spec in
+      let sys =
+        System.build_exn ~opts (Topology.generate ~params ~seed shape ~n)
+      in
+      let report =
+        let uid = System.run_update sys ~initiator:"n0" in
+        Option.get (Report.update_report (System.snapshots sys) uid)
+      in
+      report.Report.ur_all_finished
+      && (Report.chaos_report (System.snapshots sys)).Report.chr_give_ups = 0
+      && List.for_all
+           (fun name ->
+             Database.equal_contents (System.node baseline name).Node.store
+               (System.node sys name).Node.store)
+           (System.node_names sys))
+
 let gen_relation_tuples =
   Gen.list_size (Gen.int_range 0 20)
     (Gen.map2
@@ -427,6 +486,7 @@ let suite =
       prop_glav_update_saturates;
       prop_scoped_equals_global_at_initiator;
       prop_export_import_round_trip;
+      prop_faulted_update_equals_fault_free;
       prop_discovery_monotone_in_ttl;
       prop_csv_round_trip;
       prop_join_order_invariance;

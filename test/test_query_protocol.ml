@@ -144,7 +144,7 @@ let test_streams_deltas_then_done () =
   Alcotest.(check int) "duplicate suppressed" 0 (List.length (drain outbox));
   (* the sub-query completes: the responder signals done upstream *)
   Query_engine.handle rt ~src:(peer "up") ~bytes:20
-    (Payload.Query_done { query_id = qid; request_ref = sub_ref; rule_id = "from_up" });
+    (Payload.Query_done { query_id = qid; request_ref = sub_ref; rule_id = "from_up"; complete = true });
   let final = drain outbox in
   Alcotest.(check bool) "done propagated" true
     (List.exists
@@ -169,7 +169,7 @@ let test_stale_messages_ignored () =
        { query_id = qid; request_ref = "ghost"; rule_id = "from_up";
          tuples = [ tup [ i 7 ] ] });
   Query_engine.handle rt ~src:(peer "up") ~bytes:20
-    (Payload.Query_done { query_id = qid; request_ref = "ghost"; rule_id = "from_up" });
+    (Payload.Query_done { query_id = qid; request_ref = "ghost"; rule_id = "from_up"; complete = true });
   Alcotest.(check int) "nothing sent" 0 (List.length (drain outbox))
 
 let suite =
