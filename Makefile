@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench examples clean
 
 all: build
 
@@ -33,6 +33,10 @@ wire-bench:
 # fault-injection sweep -> BENCH_chaos.json (loss rate x retries)
 chaos-bench:
 	dune exec bench/main.exe -- chaos-json
+
+# constraint pushdown ablation -> BENCH_pushdown.json (selective vs open x chain vs clique)
+pushdown-bench:
+	dune exec bench/main.exe -- pushdown-json
 
 examples: build
 	dune exec examples/quickstart.exe

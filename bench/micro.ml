@@ -100,6 +100,23 @@ let containment_test () =
   Test.make ~name:"containment"
     (Staged.stage (fun () -> ignore (Containment.contained q1 q2)))
 
+(* null-aware duplicate suppression: one hole-carrying probe against a
+   relation of [size] tuples (the update algorithm runs one per
+   incoming tuple, so this is its inner loop) *)
+let subsumed_test size =
+  let rng = Rng.make ~seed:size in
+  let profile = { Datagen.domain_size = max 10 (size / 4); skew = 0.0 } in
+  let rel = Relation.create r_schema in
+  ignore (Relation.insert_all rel (Datagen.tuples rng profile r_schema ~count:size));
+  let probes =
+    List.map
+      (fun t -> [| t.(0); Value.Hole 0 |])
+      (Datagen.tuples rng profile r_schema ~count:64)
+  in
+  Test.make ~name:(Printf.sprintf "subsumed-holes/%d" size)
+    (Staged.stage (fun () ->
+         List.iter (fun probe -> ignore (Relation.subsumed rel probe)) probes))
+
 let update_test n =
   let cfg =
     Topology.generate ~seed:42
@@ -125,6 +142,8 @@ let tests =
       delta_test 1000;
       delta_test 10000;
       insert_test 1000;
+      subsumed_test 1000;
+      subsumed_test 10000;
       parse_test 8;
       parse_test 32;
       containment_test ();

@@ -114,8 +114,9 @@ let parse_query_or_die text =
       prerr_endline e;
       exit 1
 
-let query_cmd file at text after_update scoped certain_only use_cache repeat =
+let query_cmd file at text after_update scoped certain_only use_cache pushdown repeat =
   let opts = if use_cache then Options.with_cache else Options.default in
+  let opts = { opts with Options.pushdown } in
   let sys = or_die (load_system ~opts file) in
   let q = parse_query_or_die text in
   let answers =
@@ -136,6 +137,10 @@ let query_cmd file at text after_update scoped certain_only use_cache repeat =
       Fmt.pr "(fetched with %d data messages, %.4fs simulated)@."
         outcome.System.qo_data_msgs
         (outcome.System.qo_finished -. outcome.System.qo_started);
+      if pushdown then
+        Option.iter
+          (Fmt.pr "%a@." Report.pp_pushdown_report)
+          (Report.pushdown_report (System.snapshots sys) outcome.System.qo_id);
       outcome.System.qo_answers
     end
   in
@@ -147,7 +152,7 @@ let query_cmd file at text after_update scoped certain_only use_cache repeat =
 
 (* --- explain ------------------------------------------------------- *)
 
-let explain_cmd file at text legacy max_probe_cols =
+let explain_cmd file at text legacy max_probe_cols pushdown =
   let sys = or_die (load_system file) in
   let q = parse_query_or_die text in
   (match Codb_cq.Query.well_formed ~allow_existential_head:false q with
@@ -167,6 +172,12 @@ let explain_cmd file at text legacy max_probe_cols =
     in
     Fmt.pr "%s@." (Codb_cq.Plan.explain q plan)
   end;
+  if pushdown then
+    List.iter
+      (fun rel ->
+        Fmt.pr "push to %s: %a@." rel Codb_cq.Specialize.pp
+          (Codb_cq.Specialize.of_query q ~rel))
+      (Codb_cq.Query.body_relations q);
   0
 
 (* --- cache --------------------------------------------------------- *)
@@ -482,6 +493,14 @@ let query_t =
             "Enable the per-node semantic query-answer cache (and print its report \
              afterwards).")
   in
+  let pushdown =
+    Arg.(
+      value & flag
+      & info [ "pushdown" ]
+          ~doc:
+            "Push the query's constraints into neighbour sub-requests so sources \
+             withhold irrelevant tuples (and print the pushdown report afterwards).")
+  in
   let repeat =
     Arg.(
       value & opt int 1
@@ -491,7 +510,7 @@ let query_t =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain
-      $ use_cache $ repeat)
+      $ use_cache $ pushdown $ repeat)
 
 let explain_t =
   let doc = "Print the cost-based evaluation plan chosen for a query." in
@@ -518,8 +537,17 @@ let explain_t =
       & info [ "max-probe-cols" ] ~docv:"N"
           ~doc:"Cap index probes at N columns (1 = single-column ablation).")
   in
+  let pushdown =
+    Arg.(
+      value & flag
+      & info [ "pushdown" ]
+          ~doc:
+            "Also print, per body relation, the constraint set the query would push \
+             into that relation's sub-requests.")
+  in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const explain_cmd $ file_arg $ at $ text $ legacy $ max_probe_cols)
+    Term.(
+      const explain_cmd $ file_arg $ at $ text $ legacy $ max_probe_cols $ pushdown)
 
 let cache_t =
   let doc = "Exercise the query-answer cache on a repeated workload." in

@@ -21,10 +21,19 @@
     since moved to a later epoch are dropped by the first lookup that
     meets them; {!note_update} feeds the epoch view from the update
     protocol.  TTL and capacity limits come from the underlying
-    {!Lru}. *)
+    {!Lru}.
+
+    A second table serves the responder side of constraint pushdown:
+    entries keyed by [(rule, pushed constraints)] hold the full answer
+    stream one coordination rule produced under those constraints.  A
+    request whose constraints are {e subsumed} by a cached entry's
+    (cached at least as weak) is served by re-filtering the cached
+    answers — in particular an unconstrained entry serves every
+    constrained request.  Both tables share the epoch tracker. *)
 
 module Peer_id = Codb_net.Peer_id
 module Query = Codb_cq.Query
+module Specialize = Codb_cq.Specialize
 module Tuple = Codb_relalg.Tuple
 
 type t
@@ -43,8 +52,14 @@ type counters = {
   evictions : int;
   bytes_served : int;  (** answer bytes served from the cache *)
   entries : int;  (** live entries right now *)
-  stored_bytes : int;  (** bytes held right now *)
+  stored_bytes : int;  (** bytes held right now, both tables *)
   epoch_bumps : int;
+  rule_hits_exact : int;
+  rule_hits_containment : int;
+      (** served by filtering a weaker-constrained entry *)
+  rule_misses : int;
+  rule_stores : int;
+  rule_entries : int;  (** live rule-table entries right now *)
 }
 
 val create : ?max_entries:int -> ?max_bytes:int -> ?ttl:float -> containment:bool -> unit -> t
@@ -69,6 +84,35 @@ val note_update : t -> Peer_id.t list -> int
     Returns how many live entries this bump newly staled — the
     cache-churn attributable to the update, surfaced in
     {!Codb_core.Stats}. *)
+
+val lookup_rule :
+  t ->
+  now:float ->
+  rule_id:string ->
+  label:Peer_id.t list ->
+  Specialize.t ->
+  hit option
+(** Consult the responder-side rule table.  Exact hit on the
+    normalized [(rule_id, constraints)] key, else (when containment is
+    enabled) any live same-rule entry whose constraints subsume the
+    requested ones, its answers re-filtered by {!Specialize.matches}.
+    Either way the entry's label must be a subset of [label]: the
+    cached diffusion explored at least the sub-network this request
+    may, so its stream is complete for it (extra tuples beyond the
+    request's reach are still true answers). *)
+
+val store_rule :
+  t ->
+  now:float ->
+  rule_id:string ->
+  label:Peer_id.t list ->
+  Specialize.t ->
+  Tuple.t list ->
+  sources:Peer_id.t list ->
+  unit
+(** Cache the complete answer stream a rule produced under
+    [constraints] and [label], stamped with the current epochs of
+    [sources]. *)
 
 val answers_via_containment :
   cached:Query.t -> answers:Tuple.t list -> Query.t -> Tuple.t list option

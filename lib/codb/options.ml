@@ -13,6 +13,8 @@ type t = {
   planner : bool;
   index_budget : int;
   wire_codec : bool;
+  pushdown : bool;
+  pushdown_max_preds : int;
   batch_window : float;
   batch_max_tuples : int;
   sent_bloom_bits : int;
@@ -45,6 +47,8 @@ let default =
     planner = true;
     index_budget = 16;
     wire_codec = true;
+    pushdown = false;
+    pushdown_max_preds = 16;
     batch_window = 0.0;
     batch_max_tuples = 256;
     sent_bloom_bits = 0;
@@ -85,6 +89,10 @@ let validate t =
   if t.index_budget < 0 then
     reject
       (Printf.sprintf "options: index_budget must be >= 0 (got %d)" t.index_budget);
+  if t.pushdown_max_preds < 1 then
+    reject
+      (Printf.sprintf "options: pushdown_max_preds must be >= 1 (got %d)"
+         t.pushdown_max_preds);
   if t.batch_window < 0.0 then
     reject (Printf.sprintf "options: batch_window must be >= 0 (got %g)" t.batch_window);
   if t.batch_max_tuples < 1 then

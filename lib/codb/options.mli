@@ -45,6 +45,18 @@ type t = {
       (** size update traffic by the compact binary encoding
           ({!Payload.encoded_size}) instead of the legacy field-count
           estimator; the E15 ablation switch *)
+  pushdown : bool;
+      (** push the requester's constant bindings, repeated-variable
+          equalities and comparisons into query-time sub-requests
+          ({!Codb_cq.Specialize}): responders evaluate specialized
+          (smaller) joins, filter at the source, and re-specialize
+          their own fan-out.  Off by default: the paper's diffusion
+          ships every derivable head tuple, and that remains the
+          bit-for-bit baseline (the E17 ablation switch) *)
+  pushdown_max_preds : int;
+      (** cap on the predicates one sub-request may carry; a larger
+          constraint degrades to unconstrained so pushdown can never
+          inflate request traffic unboundedly *)
   batch_window : float;
       (** simulated seconds that outgoing update data may linger in a
           per-destination buffer waiting to be coalesced into one
@@ -99,7 +111,8 @@ val with_cache : t
 val validate : t -> (unit, string list) result
 (** Reject non-sensical settings: negative [latency] or [byte_cost],
     non-positive [max_update_events], negative cache capacities, TTL
-    or [index_budget]; negative [batch_window], [batch_max_tuples] < 1,
+    or [index_budget]; [pushdown_max_preds] < 1; negative
+    [batch_window], [batch_max_tuples] < 1,
     [sent_bloom_bits] that is neither 0 nor a power of two within
     budget, [sent_ring_capacity] < 1; probabilities outside [0,1],
     negative [jitter], [drop_budget] or [ack_timeout], flaps that

@@ -2,6 +2,7 @@ module Peer_id = Codb_net.Peer_id
 module Codec = Codb_net.Codec
 module Tuple = Codb_relalg.Tuple
 module Value = Codb_relalg.Value
+module Specialize = Codb_cq.Specialize
 
 type update_scope = Global | For_rule of string
 
@@ -29,6 +30,7 @@ type t =
       request_ref : string;
       rule_id : string;
       label : Peer_id.t list;
+      constraints : Specialize.t;
     }
   | Query_data of {
       query_id : Ids.query_id;
@@ -67,8 +69,9 @@ let rec size = function
   | Update_link_closed _ -> 28
   | Update_ack _ -> 20
   | Update_terminated _ -> 20
-  | Query_request { label; request_ref; _ } ->
-      40 + String.length request_ref + peers_bytes label
+  | Query_request { label; request_ref; rule_id; constraints; _ } ->
+      40 + String.length request_ref + String.length rule_id + peers_bytes label
+      + Specialize.size_bytes constraints
   | Query_data { tuples; request_ref; _ } ->
       32 + String.length request_ref + tuples_bytes tuples
   | Query_done { request_ref; _ } -> 24 + String.length request_ref
@@ -103,7 +106,11 @@ let rec describe = function
   | Update_link_closed { rule_id; _ } -> "link-closed " ^ rule_id
   | Update_ack _ -> "ack"
   | Update_terminated _ -> "terminated"
-  | Query_request { rule_id; _ } -> "query-request " ^ rule_id
+  | Query_request { rule_id; constraints; _ } ->
+      if Specialize.is_any constraints then "query-request " ^ rule_id
+      else
+        Printf.sprintf "query-request %s [%d preds]" rule_id
+          (Specialize.pred_count constraints)
   | Query_data { rule_id; tuples; _ } ->
       Printf.sprintf "query-data %s (%d tuples)" rule_id (List.length tuples)
   | Query_done { rule_id; _ } -> "query-done " ^ rule_id
@@ -217,6 +224,66 @@ let put_peers w peers =
 let get_peers r =
   List.init (Codec.read_varint r) (fun _ -> Peer_id.of_string (Codec.read_string r))
 
+let op_tag = function
+  | Codb_cq.Query.Eq -> 0
+  | Codb_cq.Query.Neq -> 1
+  | Codb_cq.Query.Lt -> 2
+  | Codb_cq.Query.Le -> 3
+  | Codb_cq.Query.Gt -> 4
+  | Codb_cq.Query.Ge -> 5
+
+let op_of_tag = function
+  | 0 -> Codb_cq.Query.Eq
+  | 1 -> Codb_cq.Query.Neq
+  | 2 -> Codb_cq.Query.Lt
+  | 3 -> Codb_cq.Query.Le
+  | 4 -> Codb_cq.Query.Gt
+  | 5 -> Codb_cq.Query.Ge
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown comparison tag %d" n))
+
+let put_operand w = function
+  | Specialize.Col i ->
+      Codec.byte w 0;
+      Codec.varint w i
+  | Specialize.Const v ->
+      Codec.byte w 1;
+      put_value w v
+
+let get_operand r =
+  match Codec.read_byte r with
+  | 0 -> Specialize.Col (Codec.read_varint r)
+  | 1 -> Specialize.Const (get_value r)
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown operand tag %d" n))
+
+let put_constraints w = function
+  | Specialize.Any -> Codec.byte w 0
+  | Specialize.One_of alts ->
+      Codec.byte w 1;
+      Codec.varint w (List.length alts);
+      List.iter
+        (fun conj ->
+          Codec.varint w (List.length conj);
+          List.iter
+            (fun { Specialize.p_left; p_op; p_right } ->
+              Codec.byte w (op_tag p_op);
+              put_operand w p_left;
+              put_operand w p_right)
+            conj)
+        alts
+
+let get_constraints r =
+  match Codec.read_byte r with
+  | 0 -> Specialize.Any
+  | 1 ->
+      Specialize.One_of
+        (List.init (Codec.read_varint r) (fun _ ->
+             List.init (Codec.read_varint r) (fun _ ->
+                 let p_op = op_of_tag (Codec.read_byte r) in
+                 let p_left = get_operand r in
+                 let p_right = get_operand r in
+                 { Specialize.p_left; p_op; p_right })))
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown constraint tag %d" n))
+
 let put_bool w b = Codec.byte w (if b then 1 else 0)
 
 let get_bool r =
@@ -254,11 +321,12 @@ let rec put_payload w payload =
       put_bool w global
   | Update_ack { update_id } -> put_update_id w update_id
   | Update_terminated { update_id } -> put_update_id w update_id
-  | Query_request { query_id; request_ref; rule_id; label } ->
+  | Query_request { query_id; request_ref; rule_id; label; constraints } ->
       put_query_id w query_id;
       Codec.string w request_ref;
       Codec.string w rule_id;
-      put_peers w label
+      put_peers w label;
+      put_constraints w constraints
   | Query_data { query_id; request_ref; rule_id; tuples } ->
       put_query_id w query_id;
       Codec.string w request_ref;
@@ -333,7 +401,8 @@ let rec get_payload r =
       let request_ref = Codec.read_string r in
       let rule_id = Codec.read_string r in
       let label = get_peers r in
-      Query_request { query_id; request_ref; rule_id; label }
+      let constraints = get_constraints r in
+      Query_request { query_id; request_ref; rule_id; label; constraints }
   | 8 ->
       let query_id = get_query_id r in
       let request_ref = Codec.read_string r in

@@ -8,6 +8,7 @@
 
 module Peer_id = Codb_net.Peer_id
 module Tuple = Codb_relalg.Tuple
+module Specialize = Codb_cq.Specialize
 
 type batch_entry = {
   be_rule : string;  (** coordination rule the tuples belong to *)
@@ -60,6 +61,12 @@ type t =
       request_ref : string;  (** unique handle echoed by the responses *)
       rule_id : string;  (** the requester's outgoing link to execute *)
       label : Peer_id.t list;  (** nodes already on the path *)
+      constraints : Specialize.t;
+          (** relevance bound pushed down from the requester: the
+              responder may drop head tuples that cannot match, and
+              folds the constraint into its own evaluation and
+              fan-out ({!Codb_cq.Specialize}); [Any] when pushdown is
+              off *)
     }
   | Query_data of {
       query_id : Ids.query_id;

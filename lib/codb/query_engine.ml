@@ -3,6 +3,7 @@ module Config = Codb_cq.Config
 module Query = Codb_cq.Query
 module Atom = Codb_cq.Atom
 module Eval = Codb_cq.Eval
+module Specialize = Codb_cq.Specialize
 module Tuple = Codb_relalg.Tuple
 module Database = Codb_relalg.Database
 module Q = Query_state
@@ -63,6 +64,18 @@ let may_export (rt : Runtime.t) =
 
 let finish_responder rt (st : Q.t) ~requester ~in_rule =
   st.Q.qst_closed <- true;
+  (* The complete constrained answer stream of this rule instance is
+     worth remembering: a later request with the same (or stronger)
+     constraints is served without re-running the diffusion.  Partial
+     streams are never stored. *)
+  (match (st.Q.qst_kind, rt.Runtime.node.Node.cache) with
+  | Q.Responder { constraints; label; from_cache; _ }, Some cache
+    when rt.Runtime.opts.Options.pushdown && st.Q.qst_complete && not from_cache ->
+      Codb_cache.Qcache.store_rule cache ~now:(rt.Runtime.now ()) ~rule_id:in_rule
+        ~label constraints
+        (Q.Tuple_set.elements st.Q.qst_sent)
+        ~sources:(me rt :: st.Q.qst_contacted)
+  | (Q.Responder _ | Q.Root _), _ -> ());
   ignore
     (Reliable.send_noted rt ~dst:requester
        (Payload.Query_done
@@ -114,20 +127,35 @@ let rec arm_sub_deadline rt (st : Q.t) ~sub_ref =
    be lost (reliable transport, or faults injected under fire-and-forget)
    each sub-request also gets a failure deadline, so a lost completion
    signal marks the branch failed instead of hanging the query forever. *)
-let fan_out rt (st : Q.t) ~rels ~label =
+let fan_out rt (st : Q.t) ~query ~rels ~label =
   let relevant = Deps.relevant_for_query rt.Runtime.node.Node.outgoing ~rels in
+  (* Constraint pushdown: project the requesting query's restrictions
+     on the rule's head relation into the sub-request, so the acquaintance
+     can filter (and further push) before tuples hit the wire. *)
+  let constraints_for (o : Config.rule_decl) =
+    match query with
+    | None -> Specialize.any
+    | Some q ->
+        Specialize.of_query
+          ~max_preds:rt.Runtime.opts.Options.pushdown_max_preds q ~rel:(head_rel o)
+  in
   let consider (o : Config.rule_decl) =
     let target = Peer_id.of_string o.Config.source in
     if not (List.exists (Peer_id.equal target) label) then begin
       let sub_ref = Node.fresh_ref rt.Runtime.node in
+      let constraints = constraints_for o in
       let on_settled ~ok = if not ok then expire_pending rt st ~sub_ref in
       let sent =
         Reliable.send_noted ~on_settled rt ~dst:target
           (Payload.Query_request
              { query_id = st.Q.qst_query; request_ref = sub_ref;
-               rule_id = o.Config.rule_id; label })
+               rule_id = o.Config.rule_id; label; constraints })
       in
       if sent then begin
+        if not (Specialize.is_any constraints) then begin
+          let qs = qstat rt st.Q.qst_query in
+          qs.Stats.qs_pushed <- qs.Stats.qs_pushed + 1
+        end;
         Q.add_pending st ~ref_:sub_ref ~rule:o.Config.rule_id;
         Q.note_contacted st target;
         Hashtbl.replace rt.Runtime.node.Node.sub_refs sub_ref st.Q.qst_ref;
@@ -229,11 +257,36 @@ let start ?on_answer rt qid query =
           in
           root.streamed <- notify_fresh ~on_answer ~streamed:root.streamed local
       | Q.Responder _ -> ());
-      fan_out rt st ~rels:(Query.body_relations query) ~label:[ me rt ];
+      fan_out rt st
+        ~query:(if rt.Runtime.opts.Options.pushdown then Some query else None)
+        ~rels:(Query.body_relations query) ~label:[ me rt ];
       check_completion rt st;
       root_ref
 
-let on_request rt ~src ~request_ref ~rule_id ~label qid =
+(* The query the responder actually evaluates: the rule's body with
+   the pushed constraints folded in where sound ([`Unchanged] when
+   nothing folds, [None] for [`Unsatisfiable]).  The [Specialize.matches]
+   output filter is applied regardless — it alone enforces disjunctive
+   and unpushable predicates. *)
+let effective_rule_query constraints (inc : Config.rule_decl) =
+  match Specialize.specialize_rule constraints inc.Config.rule_query with
+  | `Unsatisfiable -> None
+  | `Specialized q -> Some q
+  | `Unchanged -> Some inc.Config.rule_query
+
+let filter_outgoing rt qid constraints tuples =
+  if Specialize.is_any constraints then tuples
+  else begin
+    let kept = List.filter (Specialize.matches constraints) tuples in
+    let dropped = List.length tuples - List.length kept in
+    if dropped > 0 then begin
+      let qs = qstat rt qid in
+      qs.Stats.qs_filtered_at_source <- qs.Stats.qs_filtered_at_source + dropped
+    end;
+    kept
+  end
+
+let on_request rt ~src ~request_ref ~rule_id ~label ~constraints qid =
   match Node.rule_in rt.Runtime.node rule_id with
   | None ->
       (* rule dropped by a topology change: answer "done" so the
@@ -246,22 +299,57 @@ let on_request rt ~src ~request_ref ~rule_id ~label qid =
       let new_label = label @ [ me rt ] in
       let st =
         Q.create ~query_id:qid ~ref_:request_ref
-          ~kind:(Q.Responder { requester = src; in_rule = rule_id; label = new_label })
+          ~kind:
+            (Q.Responder
+               { requester = src; in_rule = rule_id; label = new_label; constraints;
+                 from_cache = false })
           ~overlay
       in
       Hashtbl.replace rt.Runtime.node.Node.query_instances request_ref st;
       if may_export rt then begin
-        let tuples =
-          with_counters rt qid (fun () ->
-              Wrapper.eval_rule_full ~opts:rt.Runtime.opts overlay inc)
+        let cache_hit =
+          match rt.Runtime.node.Node.cache with
+          | Some cache when rt.Runtime.opts.Options.pushdown ->
+              Codb_cache.Qcache.lookup_rule cache ~now:(rt.Runtime.now ()) ~rule_id
+                ~label:new_label constraints
+          | Some _ | None -> None
         in
-        let fresh = Q.unsent st tuples in
-        if fresh <> [] then
-          send_data rt st ~dst:src
-            (Payload.Query_data { query_id = qid; request_ref; rule_id; tuples = fresh });
-        fan_out rt st
-          ~rels:(Query.body_relations inc.Config.rule_query)
-          ~label:new_label
+        match cache_hit with
+        | Some { Codb_cache.Qcache.answers; kind = _ } ->
+            (* the cached stream is the rule's full constrained answer:
+               serve it and stop — no evaluation, no fan-out *)
+            (match st.Q.qst_kind with
+            | Q.Responder r -> r.from_cache <- true
+            | Q.Root _ -> ());
+            let qs = qstat rt qid in
+            qs.Stats.qs_pushdown_hits <- qs.Stats.qs_pushdown_hits + 1;
+            let fresh = Q.unsent st answers in
+            if fresh <> [] then
+              send_data rt st ~dst:src
+                (Payload.Query_data
+                   { query_id = qid; request_ref; rule_id; tuples = fresh })
+        | None -> (
+            match effective_rule_query constraints inc with
+            | None ->
+                (* constraints are unsatisfiable on this rule: the
+                   stream is empty by construction *)
+                ()
+            | Some eff ->
+                let tuples =
+                  with_counters rt qid (fun () ->
+                      Wrapper.eval_query_full ~opts:rt.Runtime.opts overlay eff)
+                in
+                let kept = filter_outgoing rt qid constraints tuples in
+                let fresh = Q.unsent st kept in
+                if fresh <> [] then
+                  send_data rt st ~dst:src
+                    (Payload.Query_data
+                       { query_id = qid; request_ref; rule_id; tuples = fresh });
+                (* fan out from the specialized body so the pushed
+                   constraints compose transitively down the tree *)
+                fan_out rt st
+                  ~query:(if rt.Runtime.opts.Options.pushdown then Some eff else None)
+                  ~rels:(Query.body_relations eff) ~label:new_label)
       end;
       check_completion rt st
 
@@ -307,25 +395,28 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
                     root.streamed <-
                       notify_fresh ~on_answer:root.on_answer
                         ~streamed:root.streamed answers
-                | Q.Responder { requester; in_rule; _ } -> (
+                | Q.Responder { requester; in_rule; constraints; _ } -> (
                     match Node.rule_in rt.Runtime.node in_rule with
                     | None -> ()
                     | Some inc ->
-                        if may_export rt then begin
-                          let derived =
-                            with_counters rt qid (fun () ->
-                                Wrapper.eval_rule_delta ~opts:rt.Runtime.opts
-                                  ~naive:rt.Runtime.opts.Options.naive_delta
-                                  st.Q.qst_overlay inc ~delta_rel:rel
-                                  ~delta:integration.Wrapper.fresh)
-                          in
-                          let fresh = Q.unsent st derived in
-                          if fresh <> [] then
-                            send_data rt st ~dst:requester
-                              (Payload.Query_data
-                                 { query_id = qid; request_ref = st.Q.qst_ref;
-                                   rule_id = in_rule; tuples = fresh })
-                        end)
+                        if may_export rt then
+                          match effective_rule_query constraints inc with
+                          | None -> ()
+                          | Some eff ->
+                              let derived =
+                                with_counters rt qid (fun () ->
+                                    Wrapper.eval_query_delta ~opts:rt.Runtime.opts
+                                      ~naive:rt.Runtime.opts.Options.naive_delta
+                                      st.Q.qst_overlay eff ~delta_rel:rel
+                                      ~delta:integration.Wrapper.fresh)
+                              in
+                              let kept = filter_outgoing rt qid constraints derived in
+                              let fresh = Q.unsent st kept in
+                              if fresh <> [] then
+                                send_data rt st ~dst:requester
+                                  (Payload.Query_data
+                                     { query_id = qid; request_ref = st.Q.qst_ref;
+                                       rule_id = in_rule; tuples = fresh }))
               end))
 
 let on_done rt ~request_ref ~complete qid =
@@ -343,8 +434,8 @@ let on_done rt ~request_ref ~complete qid =
 
 let handle rt ~src ~bytes payload =
   match payload with
-  | Payload.Query_request { query_id; request_ref; rule_id; label } ->
-      on_request rt ~src ~request_ref ~rule_id ~label query_id
+  | Payload.Query_request { query_id; request_ref; rule_id; label; constraints } ->
+      on_request rt ~src ~request_ref ~rule_id ~label ~constraints query_id
   | Payload.Query_data { query_id; request_ref; rule_id; tuples } ->
       on_data rt ~bytes ~request_ref ~rule_id ~tuples query_id
   | Payload.Query_done { query_id; request_ref; rule_id = _; complete } ->

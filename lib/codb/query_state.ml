@@ -18,7 +18,13 @@ type kind =
       mutable streamed : Tuple_set.t;
       on_answer : (Tuple.t list -> unit) option;
     }
-  | Responder of { requester : Peer_id.t; in_rule : string; label : Peer_id.t list }
+  | Responder of {
+      requester : Peer_id.t;
+      in_rule : string;
+      label : Peer_id.t list;
+      constraints : Codb_cq.Specialize.t;
+      mutable from_cache : bool;
+    }
 
 type t = {
   qst_query : Ids.query_id;

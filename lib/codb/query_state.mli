@@ -44,6 +44,13 @@ type kind =
       requester : Peer_id.t;
       in_rule : string;  (** the incoming link we serve *)
       label : Peer_id.t list;  (** path of the request, us included *)
+      constraints : Codb_cq.Specialize.t;
+          (** relevance bound the requester pushed down; applied to
+              every outgoing tuple and re-specialized into our own
+              fan-out *)
+      mutable from_cache : bool;
+          (** served from the responder-side (rule, constraints)
+              cache: nothing to re-store on completion *)
     }
 
 type t = {

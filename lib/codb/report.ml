@@ -210,6 +210,48 @@ let pp_cache_report ppf rows =
                 r.cr_entries))
         rows
 
+type pushdown_report = {
+  pr_query : Ids.query_id;
+  pr_pushed : int;  (** sub-requests that carried a non-trivial constraint *)
+  pr_filtered_at_source : int;  (** derived tuples withheld before the wire *)
+  pr_rule_cache_hits : int;  (** sub-requests served from the rule cache *)
+  pr_bytes_in : int;  (** answer bytes received, network-wide *)
+  pr_data_msgs : int;
+}
+
+let pushdown_report snapshots query_id =
+  let relevant =
+    List.filter_map
+      (fun snap ->
+        List.find_opt
+          (fun q -> Ids.equal_query q.Stats.qsn_query query_id)
+          snap.Stats.snap_queries)
+      snapshots
+  in
+  match relevant with
+  | [] -> None
+  | _ ->
+      let sum f = List.fold_left (fun acc q -> acc + f q) 0 relevant in
+      Some
+        {
+          pr_query = query_id;
+          pr_pushed = sum (fun q -> q.Stats.qsn_pushed);
+          pr_filtered_at_source = sum (fun q -> q.Stats.qsn_filtered_at_source);
+          pr_rule_cache_hits = sum (fun q -> q.Stats.qsn_pushdown_hits);
+          pr_bytes_in = sum (fun q -> q.Stats.qsn_bytes_in);
+          pr_data_msgs = sum (fun q -> q.Stats.qsn_data_msgs);
+        }
+
+let pp_pushdown_report ppf p =
+  Fmt.pf ppf
+    "@[<v 2>constraint pushdown for %a:@,\
+     constrained sub-requests: %d@,\
+     tuples filtered at source: %d@,\
+     rule-cache hits: %d@,\
+     answer traffic: %d messages, %d B@]"
+    Ids.pp_query p.pr_query p.pr_pushed p.pr_filtered_at_source p.pr_rule_cache_hits
+    p.pr_data_msgs p.pr_bytes_in
+
 let pp_network ppf snapshots =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Stats.pp_snapshot) snapshots
 

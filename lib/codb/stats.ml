@@ -44,6 +44,9 @@ type query_stat = {
   mutable qs_probes : int;
   mutable qs_scans : int;
   mutable qs_complete : bool;
+  mutable qs_pushed : int;
+  mutable qs_filtered_at_source : int;
+  mutable qs_pushdown_hits : int;
 }
 
 type chaos = {
@@ -158,6 +161,9 @@ let query_stat st ~now query_id =
           qs_probes = 0;
           qs_scans = 0;
           qs_complete = true;
+          qs_pushed = 0;
+          qs_filtered_at_source = 0;
+          qs_pushdown_hits = 0;
         }
       in
       Hashtbl.add st.st_queries key s;
@@ -226,6 +232,9 @@ type query_snap = {
   qsn_probes : int;
   qsn_scans : int;
   qsn_complete : bool;
+  qsn_pushed : int;
+  qsn_filtered_at_source : int;
+  qsn_pushdown_hits : int;
 }
 
 type chaos_snap = {
@@ -307,6 +316,9 @@ let snap_query qs =
     qsn_probes = qs.qs_probes;
     qsn_scans = qs.qs_scans;
     qsn_complete = qs.qs_complete;
+    qsn_pushed = qs.qs_pushed;
+    qsn_filtered_at_source = qs.qs_filtered_at_source;
+    qsn_pushdown_hits = qs.qs_pushdown_hits;
   }
 
 let snapshot ?(store_tuples = 0) ?cache st =
@@ -380,13 +392,20 @@ let cache_outcome_string = function
 
 let pp_query_snap ppf q =
   Fmt.pf ppf
-    "%a: %d answers (%d certain)%s, %d data msgs, %d B in, %d probes, %d scans%s"
+    "%a: %d answers (%d certain)%s, %d data msgs, %d B in, %d probes, %d scans%s%s"
     Ids.pp_query q.qsn_query q.qsn_answers q.qsn_certain
     (if q.qsn_complete then "" else " INCOMPLETE")
     q.qsn_data_msgs q.qsn_bytes_in q.qsn_probes q.qsn_scans
     (match q.qsn_cache with
     | Cache_unused -> ""
     | outcome -> ", " ^ cache_outcome_string outcome)
+    (if q.qsn_pushed = 0 && q.qsn_filtered_at_source = 0 && q.qsn_pushdown_hits = 0
+     then ""
+     else
+       Fmt.str
+         ", pushdown: %d constrained sub-requests, %d filtered at source, %d \
+          rule-cache hits"
+         q.qsn_pushed q.qsn_filtered_at_source q.qsn_pushdown_hits)
 
 let pp_cache_snap ppf c =
   Fmt.pf ppf

@@ -69,6 +69,14 @@ type query_stat = {
   mutable qs_complete : bool;
       (** [false] when any sub-request in the diffusion tree was
           declared failed: the answers are a lower bound *)
+  mutable qs_pushed : int;
+      (** sub-requests sent with a non-trivial pushed constraint set *)
+  mutable qs_filtered_at_source : int;
+      (** tuples a responder derived but withheld because the pushed
+          constraints ruled them out (bytes that never hit the wire) *)
+  mutable qs_pushdown_hits : int;
+      (** sub-requests served from the responder-side (rule,
+          constraints) cache *)
 }
 
 (** Node-wide fault-tolerance counters: what the reliable transport
@@ -178,6 +186,9 @@ type query_snap = {
   qsn_probes : int;
   qsn_scans : int;
   qsn_complete : bool;
+  qsn_pushed : int;
+  qsn_filtered_at_source : int;
+  qsn_pushdown_hits : int;
 }
 
 type chaos_snap = {

@@ -18,20 +18,22 @@ type integration = {
 let eval_source (opts : Options.t) db =
   Eval.of_database ~index_budget:opts.Options.index_budget db
 
-let eval_rule_full ?(opts = Options.default) db (rule : Config.rule_decl) =
-  let substs =
-    Eval.answers ~planner:opts.Options.planner (eval_source opts db)
-      rule.Config.rule_query
-  in
-  Apply.head_tuples rule.Config.rule_query substs
+let eval_query_full ?(opts = Options.default) db query =
+  let substs = Eval.answers ~planner:opts.Options.planner (eval_source opts db) query in
+  Apply.head_tuples query substs
 
-let eval_rule_delta ?(opts = Options.default) ~naive db (rule : Config.rule_decl)
-    ~delta_rel ~delta =
+let eval_query_delta ?(opts = Options.default) ~naive db query ~delta_rel ~delta =
   let substs =
     Eval.delta_answers ~naive ~planner:opts.Options.planner (eval_source opts db)
-      ~delta_rel ~delta rule.Config.rule_query
+      ~delta_rel ~delta query
   in
-  Apply.head_tuples rule.Config.rule_query substs
+  Apply.head_tuples query substs
+
+let eval_rule_full ?opts db (rule : Config.rule_decl) =
+  eval_query_full ?opts db rule.Config.rule_query
+
+let eval_rule_delta ?opts ~naive db (rule : Config.rule_decl) ~delta_rel ~delta =
+  eval_query_delta ?opts ~naive db rule.Config.rule_query ~delta_rel ~delta
 
 let integrate ~(opts : Options.t) ~rule_id db ~rel tuples =
   let relation = Database.relation db rel in

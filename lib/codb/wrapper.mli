@@ -19,6 +19,22 @@ type integration = {
   nulls_created : int;
 }
 
+val eval_query_full : ?opts:Options.t -> Database.t -> Query.t -> Tuple.t list
+(** Evaluate a GLAV-style query (existential head allowed) and return
+    its head tuples, existential positions rendered as holes.  Used
+    directly by the query engine when constraint pushdown has
+    specialized a rule's query ({!Codb_cq.Specialize}). *)
+
+val eval_query_delta :
+  ?opts:Options.t ->
+  naive:bool ->
+  Database.t ->
+  Query.t ->
+  delta_rel:string ->
+  delta:Tuple.t list ->
+  Tuple.t list
+(** Semi-naive counterpart of {!eval_query_full}. *)
+
 val eval_rule_full :
   ?opts:Options.t -> Database.t -> Config.rule_decl -> Tuple.t list
 (** Evaluate a coordination rule's body over the database and return

@@ -116,11 +116,6 @@ let insert r t =
 
 let insert_all r ts = List.filter (insert r) ts
 
-let subsumed r incoming =
-  if Tuple.has_hole incoming then
-    Tuple_set.exists (fun stored -> Tuple.subsumes stored incoming) r.tuples
-  else Tuple_set.mem incoming r.tuples
-
 let remove r t =
   if Tuple_set.mem t r.tuples then begin
     r.tuples <- Tuple_set.remove t r.tuples;
@@ -222,6 +217,26 @@ let lookup_cols r bindings =
                 (fun t -> List.for_all (fun (c, v') -> Value.equal t.(c) v') rest)
                 (lookup r ~col v)
           | None -> scan_filter r bindings))
+
+(* Subsumption probe.  A stored tuple (hole-free by
+   [check_insertable]) subsumes [incoming] iff it agrees with every
+   non-hole position, so the candidates are exactly the bucket of the
+   ground columns: probe it through [lookup_cols] instead of scanning
+   all [card] tuples.  All-hole tuples are subsumed by anything, and a
+   non-conforming arity can match nothing. *)
+let subsumed r incoming =
+  if not (Tuple.has_hole incoming) then Tuple_set.mem incoming r.tuples
+  else if Array.length incoming <> Schema.arity r.schema then
+    Tuple_set.exists (fun stored -> Tuple.subsumes stored incoming) r.tuples
+  else begin
+    let ground = ref [] in
+    Array.iteri
+      (fun col v -> if not (Value.is_hole v) then ground := (col, v) :: !ground)
+      incoming;
+    match !ground with
+    | [] -> not (is_empty r)
+    | bindings -> lookup_cols r bindings <> []
+  end
 
 let distinct_count r ~col =
   check_col r col;

@@ -44,7 +44,10 @@ val insert_all : t -> Tuple.t list -> Tuple.t list
 
 val subsumed : t -> Tuple.t -> bool
 (** Null-aware membership: is the (possibly hole-carrying) incoming
-    tuple subsumed by some stored tuple?  See {!Tuple.subsumes}. *)
+    tuple subsumed by some stored tuple?  See {!Tuple.subsumes}.
+    Served by probing the hash index on the tuple's ground (non-hole)
+    columns, so the cost is one bucket, not one scan; only an all-hole
+    tuple degenerates to an emptiness check. *)
 
 val lookup : t -> col:int -> Value.t -> Tuple.t list
 (** Tuples whose [col]-th attribute equals the value, served from a

@@ -15,6 +15,7 @@ let () =
       ("plan", Test_plan.suite);
       ("apply", Test_apply.suite);
       ("containment", Test_containment.suite);
+      ("specialize", Test_specialize.suite);
       ("parser", Test_parser.suite);
       ("net", Test_net.suite);
       ("options", Test_options.suite);

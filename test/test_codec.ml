@@ -112,7 +112,21 @@ let payload_samples =
     Payload.Update_terminated { update_id = uid };
     Payload.Query_request
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
-        label = [ Peer_id.of_string "n0"; Peer_id.of_string "n1" ] };
+        label = [ Peer_id.of_string "n0"; Peer_id.of_string "n1" ];
+        constraints = Payload.Specialize.any };
+    Payload.Query_request
+      { query_id = qid; request_ref = "n0/2"; rule_id = "r1";
+        label = [ Peer_id.of_string "n0" ];
+        constraints =
+          Payload.Specialize.(
+            One_of
+              [
+                [
+                  { p_left = Col 0; p_op = Codb_cq.Query.Eq; p_right = Const (i 7) };
+                  { p_left = Col 1; p_op = Codb_cq.Query.Lt; p_right = Const (s "zz") };
+                ];
+                [ { p_left = Col 0; p_op = Codb_cq.Query.Neq; p_right = Col 2 } ];
+              ]) };
     Payload.Query_data
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
         tuples = [ tup [ i 1; s "x" ] ] };

@@ -28,7 +28,7 @@ let samples =
     Payload.Update_terminated { update_id = uid };
     Payload.Query_request
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
-        label = [ Peer_id.of_string "n0" ] };
+        label = [ Peer_id.of_string "n0" ]; constraints = Payload.Specialize.any };
     Payload.Query_data
       { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; tuples = [ tup [ i 1 ] ] };
     Payload.Query_done { query_id = qid; request_ref = "n0/1"; rule_id = "r1"; complete = true };
@@ -61,6 +61,33 @@ let test_data_size_grows_with_tuples () =
   in
   Alcotest.(check bool) "more tuples, bigger" true
     (mk [ tup [ i 1 ]; tup [ i 2 ] ] > mk [ tup [ i 1 ] ])
+
+(* the size model must charge for every field a request carries: a
+   longer rule id or a pushed constraint set is more bytes on the wire *)
+let test_request_size_tracks_rule_id () =
+  let mk rule_id =
+    Payload.size
+      (Payload.Query_request
+         { query_id = qid; request_ref = "n0/1"; rule_id;
+           label = [ Peer_id.of_string "n0" ]; constraints = Payload.Specialize.any })
+  in
+  Alcotest.(check int) "delta equals rule-id growth" 100
+    (mk (String.make 120 'r') - mk (String.make 20 'r'))
+
+let test_request_size_tracks_constraints () =
+  let mk constraints =
+    Payload.size
+      (Payload.Query_request
+         { query_id = qid; request_ref = "n0/1"; rule_id = "r1";
+           label = [ Peer_id.of_string "n0" ]; constraints })
+  in
+  let constrained =
+    Payload.Specialize.(
+      One_of
+        [ [ { p_left = Col 0; p_op = Codb_cq.Query.Eq; p_right = Const (i 7) } ] ])
+  in
+  Alcotest.(check bool) "constraints cost bytes" true
+    (mk constrained > mk Payload.Specialize.any)
 
 let test_rules_file_size_tracks_text () =
   let mk text = Payload.size (Payload.Rules_file { version = 1; text }) in
@@ -97,6 +124,10 @@ let suite =
     Alcotest.test_case "sizes positive" `Quick test_sizes_positive;
     Alcotest.test_case "data size grows with payload" `Quick
       test_data_size_grows_with_tuples;
+    Alcotest.test_case "request size tracks rule id" `Quick
+      test_request_size_tracks_rule_id;
+    Alcotest.test_case "request size tracks constraints" `Quick
+      test_request_size_tracks_constraints;
     Alcotest.test_case "rules-file size tracks text" `Quick test_rules_file_size_tracks_text;
     Alcotest.test_case "termination accounting classification" `Quick
       test_update_protocol_classification;

@@ -234,6 +234,76 @@ let prop_query_equals_update_on_dags =
         (sorted_tuples (Eval.certain materialised))
         (sorted_tuples outcome.System.qo_certain))
 
+(* Constraint pushdown is an optimisation, not a semantics change: on
+   any network (cycles and existential heads included) and any query,
+   the answer set, the certain answers and the completeness flag agree
+   across pushdown on/off and planner on/off.  Null identities are
+   run-dependent, so each tuple's nulls are canonicalised to their
+   first-occurrence index inside the tuple before comparison. *)
+let canonical_nulls t =
+  let seen = Hashtbl.create 4 in
+  Array.map
+    (function
+      | Value.Null { Value.null_id; _ } ->
+          let idx =
+            match Hashtbl.find_opt seen null_id with
+            | Some idx -> idx
+            | None ->
+                let idx = Hashtbl.length seen in
+                Hashtbl.add seen null_id idx;
+                idx
+          in
+          Value.Str (Printf.sprintf "\x00null%d" idx)
+      | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _ | Value.Hole _) as v
+        ->
+          v)
+    t
+
+let gen_pushdown_case =
+  let open Gen in
+  let* spec = gen_network in
+  let* qtext =
+    oneofl
+      [
+        "o(y) <- data(3, y)";
+        "o(x, y) <- data(x, y), x < 3";
+        "o(y) <- data(2, y), data(2, z)";
+        "o(x, y) <- data(x, y)";
+        (* a value-column constant: refutes existential-headed rules
+           outright (the derived null can never equal it) *)
+        "o(x) <- data(x, \"v2\")";
+        (* distinct constants over two atoms: a disjunctive constraint
+           only the output filter can enforce *)
+        "o(y, z) <- data(2, y), data(3, z)";
+      ]
+  in
+  let* cache = Gen.bool in
+  return (spec, qtext, cache)
+
+let prop_pushdown_preserves_answers =
+  Q2.Test.make ~name:"constraint pushdown never changes answers" ~count:30
+    gen_pushdown_case
+    (fun ((shape, n, seed, params), qtext, use_query_cache) ->
+      let q = parse_query qtext in
+      let run ~pushdown ~planner =
+        let opts =
+          { Codb_core.Options.default with
+            Codb_core.Options.pushdown; planner; use_query_cache }
+        in
+        let sys = System.build_exn ~opts (Topology.generate ~params ~seed shape ~n) in
+        let o = System.run_query sys ~at:"n0" q in
+        ( sorted_tuples (List.map canonical_nulls o.System.qo_answers),
+          sorted_tuples (List.map canonical_nulls o.System.qo_certain),
+          o.System.qo_complete )
+      in
+      let a0, c0, f0 = run ~pushdown:false ~planner:true in
+      List.for_all
+        (fun (pushdown, planner) ->
+          let a, c, f = run ~pushdown ~planner in
+          List.equal Tuple.equal a0 a && List.equal Tuple.equal c0 c
+          && Bool.equal f0 f)
+        [ (true, true); (false, false); (true, false) ])
+
 (* Heterogeneous GLAV networks (joins, existential projections,
    filters) over random shapes: the update must terminate, saturate
    every rule, and be idempotent there too. *)
@@ -483,6 +553,7 @@ let suite =
       prop_update_terminates_and_is_idempotent;
       prop_update_reaches_fixpoint;
       prop_query_equals_update_on_dags;
+      prop_pushdown_preserves_answers;
       prop_glav_update_saturates;
       prop_scoped_equals_global_at_initiator;
       prop_export_import_round_trip;

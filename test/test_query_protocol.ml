@@ -55,8 +55,9 @@ let qid = Ids.query_id (Peer_id.of_string "down") 1
 
 let peer = Peer_id.of_string
 
-let request ?(label = [ peer "down" ]) ~ref_ rule_id =
-  Payload.Query_request { query_id = qid; request_ref = ref_; rule_id; label }
+let request ?(label = [ peer "down" ]) ?(constraints = Payload.Specialize.any) ~ref_
+    rule_id =
+  Payload.Query_request { query_id = qid; request_ref = ref_; rule_id; label; constraints }
 
 let test_responder_serves_and_fans_out () =
   let rt, _, outbox = make_runtime middle_config in

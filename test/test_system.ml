@@ -159,6 +159,85 @@ let test_stats_snapshot_roundtrip_sizes () =
         (Stats.snapshot_size_bytes snap > 0))
     (System.snapshots sys)
 
+let run_pushdown_case ~params ~seed ~pushdown q =
+  let opts = { Codb_core.Options.default with Codb_core.Options.pushdown } in
+  let sys = System.build_exn ~opts (Topology.generate ~params ~seed Topology.Chain ~n:4) in
+  let outcome = System.run_query sys ~at:"n0" q in
+  let pr =
+    Option.get (Report.pushdown_report (System.snapshots sys) outcome.System.qo_id)
+  in
+  (outcome, pr)
+
+let test_pushdown_reduces_traffic () =
+  (* a chain of well-stocked nodes and a maximally selective query:
+     with pushdown each responder's rule body is specialized to the
+     root's constant, so the non-matching tuples never hit the wire *)
+  let params = { Topology.default_params with Topology.tuples_per_node = 40 } in
+  let q = parse_query "o(y) <- data(3, y)" in
+  let base, base_pr = run_pushdown_case ~params ~seed:21 ~pushdown:false q in
+  let push, push_pr = run_pushdown_case ~params ~seed:21 ~pushdown:true q in
+  check_tuples "same answers" base.System.qo_answers push.System.qo_answers;
+  Alcotest.(check bool) "both complete" true
+    (base.System.qo_complete && push.System.qo_complete);
+  Alcotest.(check int) "baseline pushes nothing" 0 base_pr.Report.pr_pushed;
+  Alcotest.(check bool) "sub-requests carry constraints" true
+    (push_pr.Report.pr_pushed > 0);
+  Alcotest.(check bool) "answer bytes shrink" true
+    (push_pr.Report.pr_bytes_in < base_pr.Report.pr_bytes_in)
+
+let test_pushdown_refutes_existential () =
+  (* every rule has an existential head: each derived tuple carries a
+     fresh null in the value column, so an equality there can never
+     hold — responders refute the rule outright and the diffusion dies
+     at the first hop, shipping zero answer bytes *)
+  let params =
+    { Topology.default_params with
+      Topology.tuples_per_node = 20;
+      existential_frac = 1.0 }
+  in
+  let q = parse_query "o(x) <- data(x, \"match-nothing\")" in
+  let base, base_pr = run_pushdown_case ~params ~seed:23 ~pushdown:false q in
+  let push, push_pr = run_pushdown_case ~params ~seed:23 ~pushdown:true q in
+  check_tuples "same answers" base.System.qo_answers push.System.qo_answers;
+  Alcotest.(check bool) "baseline ships null tuples" true
+    (base_pr.Report.pr_bytes_in > 0);
+  Alcotest.(check int) "nothing crosses the wire" 0 push_pr.Report.pr_bytes_in
+
+let test_pushdown_filters_disjunction_at_source () =
+  (* two atoms over the same relation give a disjunctive constraint,
+     which never folds into a rule body: responders evaluate in full
+     and the output filter withholds the non-matching tuples — visibly,
+     in the counter *)
+  let params = { Topology.default_params with Topology.tuples_per_node = 40 } in
+  let q = parse_query "o(y, z) <- data(2, y), data(3, z)" in
+  let base, base_pr = run_pushdown_case ~params ~seed:24 ~pushdown:false q in
+  let push, push_pr = run_pushdown_case ~params ~seed:24 ~pushdown:true q in
+  check_tuples "same answers" base.System.qo_answers push.System.qo_answers;
+  Alcotest.(check bool) "tuples filtered at source" true
+    (push_pr.Report.pr_filtered_at_source > 0);
+  Alcotest.(check bool) "answer bytes shrink" true
+    (push_pr.Report.pr_bytes_in < base_pr.Report.pr_bytes_in)
+
+let test_pushdown_rule_cache_serves_repeat () =
+  let params = { Topology.default_params with Topology.tuples_per_node = 20 } in
+  let opts =
+    { Codb_core.Options.default with
+      Codb_core.Options.pushdown = true;
+      use_query_cache = true }
+  in
+  let sys = System.build_exn ~opts (Topology.generate ~params ~seed:22 Topology.Chain ~n:3) in
+  let o1 = System.run_query sys ~at:"n0" (parse_query "o(y) <- data(3, y)") in
+  (* a same-constraint but non-isomorphic query: the root cache cannot
+     serve it, yet its sub-requests carry the same pushed constraints,
+     so the responder-side rule tables absorb the whole diffusion *)
+  let q2 = parse_query "pairs(y, z) <- data(3, y), data(3, z)" in
+  let o2 = System.run_query sys ~at:"n0" q2 in
+  Alcotest.(check bool) "both complete" true
+    (o1.System.qo_complete && o2.System.qo_complete);
+  let pr = Option.get (Report.pushdown_report (System.snapshots sys) o2.System.qo_id) in
+  Alcotest.(check bool) "rule cache served the repeat" true
+    (pr.Report.pr_rule_cache_hits > 0)
+
 module Trace = Codb_core.Trace
 
 let test_trace_records_protocol () =
@@ -224,4 +303,12 @@ let suite =
     Alcotest.test_case "report aggregation" `Quick test_report_aggregation_fields;
     Alcotest.test_case "report for unknown update" `Quick test_report_missing_update;
     Alcotest.test_case "snapshot sizes" `Quick test_stats_snapshot_roundtrip_sizes;
+    Alcotest.test_case "pushdown reduces query traffic" `Quick
+      test_pushdown_reduces_traffic;
+    Alcotest.test_case "pushdown refutes existential heads" `Quick
+      test_pushdown_refutes_existential;
+    Alcotest.test_case "pushdown filters disjunctions at source" `Quick
+      test_pushdown_filters_disjunction_at_source;
+    Alcotest.test_case "pushdown rule cache serves repeats" `Quick
+      test_pushdown_rule_cache_serves_repeat;
   ]
