@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench examples clean
 
 all: build
 
@@ -37,6 +37,10 @@ chaos-bench:
 # constraint pushdown ablation -> BENCH_pushdown.json (selective vs open x chain vs clique)
 pushdown-bench:
 	dune exec bench/main.exe -- pushdown-json
+
+# standing-query maintenance -> BENCH_sub.json (incremental vs naive re-evaluation)
+sub-bench:
+	dune exec bench/main.exe -- sub-json
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -9,6 +9,7 @@
      cache     exercise the query-answer cache on a repeated workload
      wire      run a global update and report its wire behaviour
      chaos     run under a deterministic fault plan and report resilience
+     sub       register a standing query and watch its answer deltas live
      discover  run topology discovery from a node
      info      print the parsed network structure
 
@@ -326,6 +327,113 @@ let chaos_cmd file initiator seed drop dup jitter budget flaps crashes ack_timeo
     c.Codb_net.Network.delivered c.Codb_net.Network.injected_drops
     c.Codb_net.Network.injected_dups c.Codb_net.Network.injected_flaps
     c.Codb_net.Network.crashes c.Codb_net.Network.restarts;
+  0
+
+(* --- sub ----------------------------------------------------------- *)
+
+let parse_insert_value s =
+  match int_of_string_opt s with
+  | Some n -> Codb_relalg.Value.Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Codb_relalg.Value.Float f
+      | None -> (
+          match bool_of_string_opt s with
+          | Some b -> Codb_relalg.Value.Bool b
+          | None -> Codb_relalg.Value.Str s))
+
+(* REL:V1,V2[@NODE] — the fact to insert and (optionally) where *)
+let parse_insert spec =
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "bad insert %S (expected rel:v1,v2[@node])" spec)
+  | Some i ->
+      let rel = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let rest, node =
+        match String.index_opt rest '@' with
+        | Some j ->
+            ( String.sub rest 0 j,
+              Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+        | None -> (rest, None)
+      in
+      if rel = "" || rest = "" then
+        Error (Printf.sprintf "bad insert %S (expected rel:v1,v2[@node])" spec)
+      else
+        Ok
+          ( rel,
+            Array.of_list
+              (List.map parse_insert_value (String.split_on_char ',' rest)),
+            node )
+
+let sub_cmd file text at from window naive pushdown inserts updates initiator =
+  let opts =
+    {
+      Options.default with
+      Options.subscriptions = true;
+      sub_batch_window = window;
+      sub_naive = naive;
+      pushdown;
+    }
+  in
+  (match Options.validate opts with
+  | Ok () -> ()
+  | Error errors ->
+      List.iter prerr_endline errors;
+      exit 1);
+  let inserts = or_die (parse_all parse_insert inserts) in
+  let sys = or_die (load_system ~opts file) in
+  let q = parse_query_or_die text in
+  let viewer = Option.value ~default:at from in
+  let on_delta (d : Codb_sub.Subscription.delta) =
+    let pp_signed sign ppf t = Fmt.pf ppf "@,  %s %a" sign Tuple.pp t in
+    Fmt.pr "@[<v>delta [%s] at %s:%a%a@]@." d.Codb_sub.Subscription.d_tag viewer
+      Fmt.(list ~sep:nop (pp_signed "+"))
+      d.Codb_sub.Subscription.d_adds
+      Fmt.(list ~sep:nop (pp_signed "-"))
+      d.Codb_sub.Subscription.d_retracts
+  in
+  let id =
+    match from with
+    | None -> or_die (System.subscribe sys ~at ~on_delta q)
+    | Some subscriber ->
+        or_die (System.subscribe_remote sys ~subscriber ~host:at ~on_delta q)
+  in
+  let _ = System.run sys in
+  (match from with
+  | None -> Fmt.pr "subscribed at %s (id %s)@." at id
+  | Some subscriber -> (
+      match System.mirror sys ~at:subscriber id with
+      | Some m when Codb_sub.Mirror.accepted m ->
+          Fmt.pr "%s subscribed to %s at %s (id %s)@." subscriber text at id
+      | Some m ->
+          Fmt.epr "registration refused: %s@."
+            (Option.value ~default:"?" (Codb_sub.Mirror.rejected m));
+          exit 1
+      | None ->
+          Fmt.epr "mirror vanished?@.";
+          exit 1));
+  List.iter
+    (fun (rel, tuple, node) ->
+      let node = Option.value ~default:at node in
+      Fmt.pr "insert %s%a at %s@." rel Tuple.pp tuple node;
+      ignore (System.insert_fact sys ~at:node ~rel tuple);
+      ignore (System.run sys))
+    inserts;
+  let initiator =
+    match initiator with
+    | Some name -> name
+    | None -> List.hd (System.node_names sys)
+  in
+  for k = 1 to updates do
+    Fmt.pr "-- global update %d of %d (initiator %s) --@." k updates initiator;
+    ignore (System.run_update sys ~initiator)
+  done;
+  (match System.subscription_answers sys ~at:viewer id with
+  | Some answers ->
+      Fmt.pr "@.standing answer set (%d tuple(s)):@." (List.length answers);
+      List.iter (fun t -> Fmt.pr "  %a@." Tuple.pp t) answers
+  | None -> Fmt.pr "subscription lost?@.");
+  Fmt.pr "@.%a@." Report.pp_sub_report (Report.sub_report (System.snapshots sys));
   0
 
 (* --- discover ------------------------------------------------------ *)
@@ -745,6 +853,79 @@ let chaos_t =
       const chaos_cmd $ file_arg $ initiator $ seed $ drop $ dup $ jitter $ budget
       $ flaps $ crashes $ ack_timeout $ max_retries $ backoff $ query $ at)
 
+let sub_t =
+  let doc =
+    "Register a standing (continuous) query and watch its answer deltas arrive as \
+     local writes and global updates change the stores."
+  in
+  let at =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "at" ] ~doc:"Node that hosts (evaluates) the standing query.")
+  in
+  let text =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. \"ans(k, v) <- data(k, v)\".")
+  in
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"NODE"
+          ~doc:
+            "Subscribe from this node instead: the host pushes answer deltas over \
+             the wire and NODE maintains a mirror.")
+  in
+  let window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "window" ] ~docv:"SECONDS"
+          ~doc:
+            "Buffer outgoing answer deltas per subscriber for this much simulated \
+             time and ship them coalesced (0 = push immediately).")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Maintain answers by full re-evaluation on every store change instead \
+             of the incremental delta pass (the E18 baseline).")
+  in
+  let pushdown =
+    Arg.(
+      value & flag
+      & info [ "pushdown" ]
+          ~doc:"Prefilter store deltas with the query's pushed-down constraints.")
+  in
+  let inserts =
+    Arg.(
+      value & opt_all string []
+      & info [ "insert" ] ~docv:"REL:V1,V2[@NODE]"
+          ~doc:
+            "Insert this fact (at the host unless @NODE says otherwise) after \
+             subscribing, and run the network so the delta propagates \
+             (repeatable, applied in order).")
+  in
+  let updates =
+    Arg.(
+      value & opt int 1
+      & info [ "updates" ] ~docv:"N" ~doc:"Run N global updates afterwards.")
+  in
+  let initiator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "initiator" ] ~doc:"Update initiator (default: first node).")
+  in
+  Cmd.v (Cmd.info "sub" ~doc)
+    Term.(
+      const sub_cmd $ file_arg $ text $ at $ from $ window $ naive $ pushdown
+      $ inserts $ updates $ initiator)
+
 let discover_t =
   let doc = "Run JXTA-style topology discovery from a node." in
   let at = Arg.(required & opt (some string) None & info [ "at" ] ~doc:"Origin node.") in
@@ -851,7 +1032,7 @@ let main =
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
       validate_t; generate_t; update_t; query_t; explain_t; cache_t; wire_t;
-      chaos_t; discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
+      chaos_t; sub_t; discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
     ]
 
 let () = exit (Cmd.eval' main)

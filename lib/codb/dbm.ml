@@ -37,6 +37,9 @@ let rec dispatch (rt : Runtime.t) ~src ~bytes payload =
   | Payload.Stats_response _ ->
       (* only the super-peer aggregates statistics *)
       ()
+  | Payload.Sub_register _ | Payload.Sub_registered _ | Payload.Sub_unregister _
+  | Payload.Answer_delta _ | Payload.Answer_batch _ ->
+      Sub_engine.handle rt ~src payload
 
 let handle (rt : Runtime.t) (msg : Payload.t Message.t) =
   dispatch rt ~src:msg.Message.src ~bytes:msg.Message.size msg.Message.payload

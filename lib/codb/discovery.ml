@@ -59,5 +59,7 @@ let handle rt ~src payload =
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
   | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
-  | Payload.Seq _ | Payload.Seq_ack _ ->
+  | Payload.Seq _ | Payload.Seq_ack _ | Payload.Sub_register _
+  | Payload.Sub_registered _ | Payload.Sub_unregister _ | Payload.Answer_delta _
+  | Payload.Answer_batch _ ->
       ()

@@ -20,6 +20,9 @@ type t = {
   seen_probes : (string, unit) Hashtbl.t;
   mutable cache : Codb_cache.Qcache.t option;
   mutable relay : Relay.t option;
+  mutable subs : Codb_sub.Registry.t option;
+  sub_mirrors : (string, Codb_sub.Mirror.t) Hashtbl.t;
+  sub_outbox : Codb_sub.Outbox.t;
 }
 
 let create decl =
@@ -45,6 +48,9 @@ let create decl =
     seen_probes = Hashtbl.create 8;
     cache = None;
     relay = None;
+    subs = None;
+    sub_mirrors = Hashtbl.create 4;
+    sub_outbox = Codb_sub.Outbox.create ();
   }
 
 let fresh_serial node =
@@ -62,6 +68,16 @@ let configure_cache node (opts : Options.t) =
             ~max_bytes:opts.Options.cache_max_bytes ~ttl:opts.Options.cache_ttl
             ~containment:opts.Options.cache_containment ())
      else None)
+
+let configure_subs node (opts : Options.t) =
+  node.subs <-
+    (if opts.Options.subscriptions then
+       Some (Codb_sub.Registry.create ~limit:opts.Options.max_subscriptions)
+     else None)
+
+let mirrors_sorted node =
+  let all = Hashtbl.fold (fun id m acc -> (id, m) :: acc) node.sub_mirrors [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
 
 let set_rules node ~outgoing ~incoming =
   node.outgoing <- outgoing;
@@ -130,7 +146,22 @@ let reset_volatile node =
   Hashtbl.reset node.sub_refs;
   Hashtbl.reset node.seen_probes;
   Option.iter Relay.abandon node.relay;
-  Option.iter Codb_cache.Qcache.clear node.cache
+  Option.iter Codb_cache.Qcache.clear node.cache;
+  (* subscription state is volatile too: hosted registrations, the
+     mirrors of this node's own remote subscriptions, and any deltas
+     still waiting in a batch window all die with the process.
+     Subscribers re-arm against the restarted host (System.restart). *)
+  let torn =
+    (match node.subs with Some reg -> Codb_sub.Registry.clear reg | None -> 0)
+    + Hashtbl.length node.sub_mirrors
+  in
+  if torn > 0 then begin
+    let sb = Stats.sub node.stats in
+    sb.Stats.sb_torn_down <- sb.Stats.sb_torn_down + torn
+  end;
+  node.subs <- None;
+  Hashtbl.reset node.sub_mirrors;
+  Codb_sub.Outbox.clear node.sub_outbox
 
 let is_consistent node =
   let source = Eval.of_database node.store in

@@ -42,6 +42,15 @@ type t = {
       (** reliable-transport state; [None] unless {!Options.reliable}
           (set by {!System.install_node}; stub runtimes in tests leave
           it unset and sends stay fire-and-forget) *)
+  mutable subs : Codb_sub.Registry.t option;
+      (** standing queries this node hosts; [None] unless
+          {!Options.subscriptions} *)
+  sub_mirrors : (string, Codb_sub.Mirror.t) Hashtbl.t;
+      (** this node's own remote subscriptions, keyed by subscription
+          id: the answer sets reconstructed from pushed deltas *)
+  sub_outbox : Codb_sub.Outbox.t;
+      (** per-subscriber buffers of answer deltas awaiting a
+          [sub_batch_window] flush *)
 }
 
 val create : Config.node_decl -> t
@@ -56,6 +65,15 @@ val fresh_ref : t -> string
 val configure_cache : t -> Options.t -> unit
 (** Install (or remove) the query-answer cache according to the
     options; called once per node by {!System.build}. *)
+
+val configure_subs : t -> Options.t -> unit
+(** Install (or remove) the subscription registry according to
+    [Options.subscriptions]; called by {!System.install_node} and
+    again on restart. *)
+
+val mirrors_sorted : t -> (string * Codb_sub.Mirror.t) list
+(** This node's remote-subscription mirrors in subscription-id order
+    (deterministic re-arm and display). *)
 
 val cache_snapshot : t -> Stats.cache_snap option
 (** Freeze the cache counters for a statistics snapshot. *)
@@ -89,10 +107,12 @@ val explain : t -> rel:string -> Codb_relalg.Tuple.t -> Lineage.origin option
 
 val reset_volatile : t -> unit
 (** A crash: drop in-flight update/query instances, sub-request
-    bookkeeping, probe dedup and cached answers.  The store, rules,
-    statistics, lineage and the transport's sequence counter and
-    dedup table survive (a restarted node must not reuse sequence
-    numbers its peers may have recorded). *)
+    bookkeeping, probe dedup, cached answers, hosted subscriptions,
+    remote-subscription mirrors and buffered answer deltas (counted in
+    [Stats.sub.sb_torn_down]).  The store, rules, statistics, lineage
+    and the transport's sequence counter and dedup table survive (a
+    restarted node must not reuse sequence numbers its peers may have
+    recorded). *)
 
 val is_consistent : t -> bool
 (** Evaluate the node's denial constraints against the store; record

@@ -29,6 +29,10 @@ type t = {
   ack_timeout : float;
   max_retries : int;
   backoff_factor : float;
+  subscriptions : bool;
+  max_subscriptions : int;
+  sub_batch_window : float;
+  sub_naive : bool;
 }
 
 let default =
@@ -63,6 +67,10 @@ let default =
     ack_timeout = 0.0;
     max_retries = 4;
     backoff_factor = 2.0;
+    subscriptions = false;
+    max_subscriptions = 64;
+    sub_batch_window = 0.0;
+    sub_naive = false;
   }
 
 let with_cache =
@@ -151,6 +159,16 @@ let validate t =
   if t.backoff_factor < 1.0 then
     reject
       (Printf.sprintf "options: backoff_factor must be >= 1 (got %g)" t.backoff_factor);
+  if t.max_subscriptions < 1 then
+    reject
+      (Printf.sprintf "options: max_subscriptions must be >= 1 (got %d)"
+         t.max_subscriptions);
+  if t.sub_batch_window < 0.0 then
+    reject
+      (Printf.sprintf "options: sub_batch_window must be >= 0 (got %g)"
+         t.sub_batch_window);
+  if t.sub_naive && not t.subscriptions then
+    reject "options: sub_naive requires subscriptions";
   match List.rev !errors with [] -> Ok () | errors -> Error errors
 
 let faults_enabled t =

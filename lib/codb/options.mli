@@ -101,6 +101,25 @@ type t = {
       (** retransmissions before the transport abandons a message and
           reports failure to the protocol layer *)
   backoff_factor : float;  (** exponential backoff base, >= 1 *)
+  subscriptions : bool;
+      (** standing queries ({!Codb_sub}): nodes accept continuous-query
+          registrations, maintain their answer sets incrementally from
+          store deltas, and push answer deltas to subscribers.  Off by
+          default: the seed protocol has no subscription traffic and
+          that remains the bit-for-bit baseline (the E18 ablation
+          switch) *)
+  max_subscriptions : int;
+      (** cap on subscriptions hosted per node; registration beyond it
+          is refused with a reason, locally and over the wire *)
+  sub_batch_window : float;
+      (** simulated seconds that outgoing answer deltas may linger in a
+          per-subscriber buffer to be coalesced ({!Codb_sub.Outbox});
+          0 pushes every delta immediately *)
+  sub_naive : bool;
+      (** maintain standing queries by full re-evaluation and re-push
+          the whole answer set on every store delta instead of running
+          the semi-naive delta pass (the E18 ablation baseline; answer
+          sets are identical, probe and byte costs are not) *)
 }
 
 val default : t
@@ -117,8 +136,10 @@ val validate : t -> (unit, string list) result
     budget, [sent_ring_capacity] < 1; probabilities outside [0,1],
     negative [jitter], [drop_budget] or [ack_timeout], flaps that
     reopen before they close, crashes that restart before they crash,
-    negative [max_retries], [backoff_factor] < 1.  Called by
-    {!System.build} before any node is created. *)
+    negative [max_retries], [backoff_factor] < 1;
+    [max_subscriptions] < 1, negative [sub_batch_window], [sub_naive]
+    without [subscriptions].  Called by {!System.build} before any
+    node is created. *)
 
 val faults_enabled : t -> bool
 (** Any fault knob active (drop, dup, jitter, flaps or crashes). *)

@@ -8,6 +8,13 @@ type update_scope = Global | For_rule of string
 
 type batch_entry = { be_rule : string; be_hops : int; be_tuples : Tuple.t list }
 
+type sub_entry = {
+  se_sub : string;
+  se_adds : Tuple.t list;
+  se_retracts : Tuple.t list;
+  se_tag : string;
+}
+
 type t =
   | Update_request of { update_id : Ids.update_id; scope : update_scope }
   | Update_data of {
@@ -52,6 +59,16 @@ type t =
   | Discovery_reply of { probe_id : string; path : Peer_id.t list; peers : Peer_id.t list }
   | Seq of { seq : int; inner : t }
   | Seq_ack of { seq : int }
+  | Sub_register of { sub_id : string; query_text : string }
+  | Sub_registered of { sub_id : string; accepted : bool; reason : string }
+  | Sub_unregister of { sub_id : string }
+  | Answer_delta of {
+      sub_id : string;
+      adds : Tuple.t list;
+      retracts : Tuple.t list;
+      tag : string;
+    }
+  | Answer_batch of { entries : sub_entry list }
 
 let tuples_bytes tuples = List.fold_left (fun acc t -> acc + Tuple.size_bytes t) 0 tuples
 
@@ -84,12 +101,27 @@ let rec size = function
       16 + String.length probe_id + peers_bytes path + peers_bytes peers
   | Seq { inner; _ } -> 8 + size inner
   | Seq_ack _ -> 12
+  | Sub_register { sub_id; query_text } ->
+      16 + String.length sub_id + String.length query_text
+  | Sub_registered { sub_id; reason; _ } ->
+      16 + String.length sub_id + String.length reason
+  | Sub_unregister { sub_id } -> 12 + String.length sub_id
+  | Answer_delta { sub_id; adds; retracts; tag } ->
+      20 + String.length sub_id + String.length tag + tuples_bytes adds
+      + tuples_bytes retracts
+  | Answer_batch { entries } ->
+      List.fold_left
+        (fun acc e ->
+          acc + 8 + String.length e.se_sub + String.length e.se_tag
+          + tuples_bytes e.se_adds + tuples_bytes e.se_retracts)
+        12 entries
 
 let rec is_update_protocol = function
   | Update_request _ | Update_data _ | Update_batch _ | Update_link_closed _ -> true
   | Update_ack _ | Update_terminated _ | Query_request _ | Query_data _ | Query_done _
   | Rules_file _ | Start_update | Stats_request | Stats_response _ | Discovery_probe _
-  | Discovery_reply _ | Seq_ack _ ->
+  | Discovery_reply _ | Seq_ack _ | Sub_register _ | Sub_registered _
+  | Sub_unregister _ | Answer_delta _ | Answer_batch _ ->
       false
   | Seq { inner; _ } -> is_update_protocol inner
 
@@ -123,6 +155,19 @@ let rec describe = function
       Printf.sprintf "discovery-reply (%d peers)" (List.length peers)
   | Seq { seq; inner } -> Printf.sprintf "seq#%d %s" seq (describe inner)
   | Seq_ack { seq } -> Printf.sprintf "seq-ack#%d" seq
+  | Sub_register { sub_id; _ } -> "sub-register " ^ sub_id
+  | Sub_registered { sub_id; accepted = true; _ } -> "sub-registered " ^ sub_id
+  | Sub_registered { sub_id; accepted = false; _ } -> "sub-refused " ^ sub_id
+  | Sub_unregister { sub_id } -> "sub-unregister " ^ sub_id
+  | Answer_delta { sub_id; adds; retracts; _ } ->
+      Printf.sprintf "answer-delta %s (+%d -%d)" sub_id (List.length adds)
+        (List.length retracts)
+  | Answer_batch { entries } ->
+      Printf.sprintf "answer-batch (%d subs, %d tuples)" (List.length entries)
+        (List.fold_left
+           (fun acc e ->
+             acc + List.length e.se_adds + List.length e.se_retracts)
+           0 entries)
 
 (* ---- Compact binary wire format ------------------------------------- *)
 (* One tag byte per payload, then fields through Codb_net.Codec: counts and
@@ -152,6 +197,11 @@ let tag_of = function
   | Discovery_reply _ -> 15
   | Seq _ -> 16
   | Seq_ack _ -> 17
+  | Sub_register _ -> 18
+  | Sub_registered _ -> 19
+  | Sub_unregister _ -> 20
+  | Answer_delta _ -> 21
+  | Answer_batch _ -> 22
 
 let put_value w = function
   | Value.Int n ->
@@ -357,6 +407,28 @@ let rec put_payload w payload =
          dictionary with its payload *)
       put_payload w inner
   | Seq_ack { seq } -> Codec.varint w seq
+  | Sub_register { sub_id; query_text } ->
+      Codec.string w sub_id;
+      Codec.raw_string w query_text
+  | Sub_registered { sub_id; accepted; reason } ->
+      Codec.string w sub_id;
+      put_bool w accepted;
+      Codec.raw_string w reason
+  | Sub_unregister { sub_id } -> Codec.string w sub_id
+  | Answer_delta { sub_id; adds; retracts; tag } ->
+      Codec.string w sub_id;
+      Codec.string w tag;
+      put_tuples w adds;
+      put_tuples w retracts
+  | Answer_batch { entries } ->
+      Codec.varint w (List.length entries);
+      List.iter
+        (fun { se_sub; se_adds; se_retracts; se_tag } ->
+          Codec.string w se_sub;
+          Codec.string w se_tag;
+          put_tuples w se_adds;
+          put_tuples w se_retracts)
+        entries
 
 let encode payload =
   let w = Codec.writer () in
@@ -435,6 +507,30 @@ let rec get_payload r =
       let seq = Codec.read_varint r in
       Seq { seq; inner = get_payload r }
   | 17 -> Seq_ack { seq = Codec.read_varint r }
+  | 18 ->
+      let sub_id = Codec.read_string r in
+      Sub_register { sub_id; query_text = Codec.read_raw_string r }
+  | 19 ->
+      let sub_id = Codec.read_string r in
+      let accepted = get_bool r in
+      Sub_registered { sub_id; accepted; reason = Codec.read_raw_string r }
+  | 20 -> Sub_unregister { sub_id = Codec.read_string r }
+  | 21 ->
+      let sub_id = Codec.read_string r in
+      let tag = Codec.read_string r in
+      let adds = get_tuples r in
+      let retracts = get_tuples r in
+      Answer_delta { sub_id; adds; retracts; tag }
+  | 22 ->
+      let entries =
+        List.init (Codec.read_varint r) (fun _ ->
+            let se_sub = Codec.read_string r in
+            let se_tag = Codec.read_string r in
+            let se_adds = get_tuples r in
+            let se_retracts = get_tuples r in
+            { se_sub; se_adds; se_retracts; se_tag })
+      in
+      Answer_batch { entries }
   | n -> raise (Codec.Malformed (Printf.sprintf "unknown payload tag %d" n))
 
 let decode bytes =

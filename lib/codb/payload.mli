@@ -16,6 +16,13 @@ type batch_entry = {
   be_tuples : Tuple.t list;
 }
 
+type sub_entry = {
+  se_sub : string;  (** subscription id the delta belongs to *)
+  se_adds : Tuple.t list;
+  se_retracts : Tuple.t list;
+  se_tag : string;  (** provenance of the store change (see [Answer_delta]) *)
+}
+
 type update_scope =
   | Global
       (** a full global update: flooded to every acquaintance, every
@@ -104,6 +111,32 @@ type t =
   | Seq_ack of { seq : int }
       (** transport acknowledgement; raw (never itself sequenced or
           retried — the sender's retransmission covers a lost ack) *)
+  | Sub_register of {
+      sub_id : string;
+      query_text : string;
+          (** the standing query in concrete syntax
+              ({!Codb_cq.Pretty.query} / {!Codb_cq.Parser}); re-sent
+              verbatim when a subscriber re-arms after the host
+              restarts *)
+    }
+  | Sub_registered of { sub_id : string; accepted : bool; reason : string }
+      (** host's verdict; [reason] is non-empty exactly when refused
+          (parse failure, malformed query, [max_subscriptions]) *)
+  | Sub_unregister of { sub_id : string }
+  | Answer_delta of {
+      sub_id : string;
+      adds : Tuple.t list;
+      retracts : Tuple.t list;
+      tag : string;
+          (** lineage-derived provenance: which update/rule/hop (or
+              local write, seed, re-arm snapshot) produced the store
+              change this answer delta reflects *)
+    }
+  | Answer_batch of { entries : sub_entry list }
+      (** coalesced deltas for several subscriptions of one
+          subscriber, flushed together at the end of a
+          [sub_batch_window] (the update protocol's [Update_batch]
+          move applied to answer push) *)
 
 val size : t -> int
 (** Estimated payload wire size in bytes (the pre-codec heuristic, kept

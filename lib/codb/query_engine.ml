@@ -19,15 +19,14 @@ let me (rt : Runtime.t) = rt.node.Node.node_id
 let qstat (rt : Runtime.t) qid = Stats.query_stat rt.node.Node.stats ~now:(rt.now ()) qid
 
 (* Attribute the index probes / relation scans performed by [f] to the
-   query's statistics (the evaluator counters are global). *)
+   query's statistics. *)
 let with_counters rt qid f =
-  let before = Eval.counters () in
-  let result = f () in
-  let after = Eval.counters () in
   let qs = qstat rt qid in
-  qs.Stats.qs_probes <- qs.Stats.qs_probes + after.Eval.probes - before.Eval.probes;
-  qs.Stats.qs_scans <- qs.Stats.qs_scans + after.Eval.scans - before.Eval.scans;
-  result
+  Stats.with_eval_counters
+    ~note:(fun ~probes ~scans ->
+      qs.Stats.qs_probes <- qs.Stats.qs_probes + probes;
+      qs.Stats.qs_scans <- qs.Stats.qs_scans + scans)
+    f
 
 (* Is [st] still the instance the node knows under its reference?  A
    crash clears the table; timers and transport callbacks armed before
@@ -445,7 +444,8 @@ let handle rt ~src ~bytes payload =
   | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
   | Payload.Discovery_probe _ | Payload.Discovery_reply _ | Payload.Seq _
-  | Payload.Seq_ack _ ->
+  | Payload.Seq_ack _ | Payload.Sub_register _ | Payload.Sub_registered _
+  | Payload.Sub_unregister _ | Payload.Answer_delta _ | Payload.Answer_batch _ ->
       ()
 
 let result node root_ref =

@@ -252,6 +252,65 @@ let pp_pushdown_report ppf p =
     Ids.pp_query p.pr_query p.pr_pushed p.pr_filtered_at_source p.pr_rule_cache_hits
     p.pr_data_msgs p.pr_bytes_in
 
+type sub_report = {
+  sr_registered : int;
+  sr_rejected : int;
+  sr_deltas_in : int;
+  sr_prefiltered : int;
+  sr_deltas_out : int;
+  sr_push_msgs : int;
+  sr_adds : int;
+  sr_retracts : int;
+  sr_bytes : int;
+  sr_coalesced : int;
+  sr_probes : int;
+  sr_scans : int;
+  sr_cache_staled : int;
+  sr_torn_down : int;
+  sr_rearmed : int;
+  sr_bytes_per_answer : float;
+}
+
+let sub_report snapshots =
+  let sum f = List.fold_left (fun acc s -> acc + f s.Stats.snap_sub) 0 snapshots in
+  let adds = sum (fun x -> x.Stats.ssn_adds)
+  and retracts = sum (fun x -> x.Stats.ssn_retracts)
+  and bytes = sum (fun x -> x.Stats.ssn_bytes) in
+  {
+    sr_registered = sum (fun x -> x.Stats.ssn_registered);
+    sr_rejected = sum (fun x -> x.Stats.ssn_rejected);
+    sr_deltas_in = sum (fun x -> x.Stats.ssn_deltas_in);
+    sr_prefiltered = sum (fun x -> x.Stats.ssn_prefiltered);
+    sr_deltas_out = sum (fun x -> x.Stats.ssn_deltas_out);
+    sr_push_msgs = sum (fun x -> x.Stats.ssn_push_msgs);
+    sr_adds = adds;
+    sr_retracts = retracts;
+    sr_bytes = bytes;
+    sr_coalesced = sum (fun x -> x.Stats.ssn_coalesced);
+    sr_probes = sum (fun x -> x.Stats.ssn_probes);
+    sr_scans = sum (fun x -> x.Stats.ssn_scans);
+    sr_cache_staled = sum (fun x -> x.Stats.ssn_cache_staled);
+    sr_torn_down = sum (fun x -> x.Stats.ssn_torn_down);
+    sr_rearmed = sum (fun x -> x.Stats.ssn_rearmed);
+    sr_bytes_per_answer =
+      (if adds + retracts = 0 then 0.0
+       else float_of_int bytes /. float_of_int (adds + retracts));
+  }
+
+let pp_sub_report ppf r =
+  Fmt.pf ppf
+    "@[<v 2>standing queries:@,\
+     registered: %d (%d refused), torn down by crashes: %d, re-armed: %d@,\
+     store deltas consumed: %d (%d tuples prefiltered at source)@,\
+     answer deltas delivered: %d (%d adds, %d retracts; %d coalesced in-window)@,\
+     push traffic: %d messages, %d B (%.1f B/answer)@,\
+     evaluator work: %d probes, %d scans@,\
+     cache entries staled by pushes: %d@]"
+    r.sr_registered r.sr_rejected r.sr_torn_down r.sr_rearmed r.sr_deltas_in
+    r.sr_prefiltered r.sr_deltas_out r.sr_adds r.sr_retracts r.sr_coalesced
+    r.sr_push_msgs r.sr_bytes r.sr_bytes_per_answer r.sr_probes r.sr_scans
+    r.sr_cache_staled
+
 let pp_network ppf snapshots =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Stats.pp_snapshot) snapshots
 

@@ -95,6 +95,34 @@ val pushdown_report : Stats.snapshot list -> Ids.query_id -> pushdown_report opt
 
 val pp_pushdown_report : pushdown_report Fmt.t
 
+(** {1 Standing queries} *)
+
+(** Network-wide aggregation of the subscription counters: how much
+    standing-query maintenance cost (evaluator work, push traffic) and
+    what it delivered — the E18 surface and the [sub] CLI report. *)
+type sub_report = {
+  sr_registered : int;
+  sr_rejected : int;
+  sr_deltas_in : int;  (** store deltas fed to hosted subscriptions *)
+  sr_prefiltered : int;  (** delta tuples dropped by pushed constraints *)
+  sr_deltas_out : int;  (** non-empty answer deltas delivered *)
+  sr_push_msgs : int;  (** [Answer_delta]/[Answer_batch] messages sent *)
+  sr_adds : int;
+  sr_retracts : int;
+  sr_bytes : int;  (** push bytes as charged by the network *)
+  sr_coalesced : int;  (** answer tuples absorbed in the batch window *)
+  sr_probes : int;  (** evaluator probes spent maintaining answers *)
+  sr_scans : int;
+  sr_cache_staled : int;  (** query-cache entries staled by deliveries *)
+  sr_torn_down : int;  (** subscriptions/mirrors lost to crashes *)
+  sr_rearmed : int;  (** mirrors re-registered after a host restart *)
+  sr_bytes_per_answer : float;  (** bytes / (adds + retracts), 0 if none *)
+}
+
+val sub_report : Stats.snapshot list -> sub_report
+
+val pp_sub_report : sub_report Fmt.t
+
 val pp_network : Stats.snapshot list Fmt.t
 (** Full per-node dump, the super-peer's final report body. *)
 

@@ -49,6 +49,25 @@ type query_stat = {
   mutable qs_pushdown_hits : int;
 }
 
+type sub_counters = {
+  mutable sb_registered : int;
+  mutable sb_rejected : int;
+  mutable sb_unregistered : int;
+  mutable sb_deltas_in : int;
+  mutable sb_prefiltered : int;
+  mutable sb_deltas_out : int;
+  mutable sb_push_msgs : int;
+  mutable sb_adds : int;
+  mutable sb_retracts : int;
+  mutable sb_bytes : int;
+  mutable sb_coalesced : int;
+  mutable sb_probes : int;
+  mutable sb_scans : int;
+  mutable sb_cache_staled : int;
+  mutable sb_torn_down : int;
+  mutable sb_rearmed : int;
+}
+
 type chaos = {
   mutable ch_retransmits : int;
   mutable ch_dup_suppressed : int;
@@ -65,6 +84,7 @@ type t = {
   st_queries : (string, query_stat) Hashtbl.t;
   mutable st_inconsistent : bool;
   st_chaos : chaos;
+  st_sub : sub_counters;
 }
 
 let create owner =
@@ -83,9 +103,42 @@ let create owner =
         ch_forced_terminations = 0;
         ch_send_drops = 0;
       };
+    st_sub =
+      {
+        sb_registered = 0;
+        sb_rejected = 0;
+        sb_unregistered = 0;
+        sb_deltas_in = 0;
+        sb_prefiltered = 0;
+        sb_deltas_out = 0;
+        sb_push_msgs = 0;
+        sb_adds = 0;
+        sb_retracts = 0;
+        sb_bytes = 0;
+        sb_coalesced = 0;
+        sb_probes = 0;
+        sb_scans = 0;
+        sb_cache_staled = 0;
+        sb_torn_down = 0;
+        sb_rearmed = 0;
+      };
   }
 
 let chaos st = st.st_chaos
+
+let sub st = st.st_sub
+
+(* The evaluator's access-path counters are global; every protocol
+   layer that runs a join attributes the delta to its own statistic
+   the same way (update fix-point, query engine, subscriptions). *)
+let with_eval_counters ~note f =
+  let before = Codb_cq.Eval.counters () in
+  let result = f () in
+  let after = Codb_cq.Eval.counters () in
+  note
+    ~probes:(after.Codb_cq.Eval.probes - before.Codb_cq.Eval.probes)
+    ~scans:(after.Codb_cq.Eval.scans - before.Codb_cq.Eval.scans);
+  result
 
 let note_retransmit st = st.st_chaos.ch_retransmits <- st.st_chaos.ch_retransmits + 1
 
@@ -247,6 +300,25 @@ type chaos_snap = {
   chn_send_drops : int;
 }
 
+type sub_snap = {
+  ssn_registered : int;
+  ssn_rejected : int;
+  ssn_unregistered : int;
+  ssn_deltas_in : int;
+  ssn_prefiltered : int;
+  ssn_deltas_out : int;
+  ssn_push_msgs : int;
+  ssn_adds : int;
+  ssn_retracts : int;
+  ssn_bytes : int;
+  ssn_coalesced : int;
+  ssn_probes : int;
+  ssn_scans : int;
+  ssn_cache_staled : int;
+  ssn_torn_down : int;
+  ssn_rearmed : int;
+}
+
 type cache_snap = {
   csn_hits_exact : int;
   csn_hits_containment : int;
@@ -268,6 +340,7 @@ type snapshot = {
   snap_queries : query_snap list;
   snap_cache : cache_snap option;
   snap_chaos : chaos_snap;
+  snap_sub : sub_snap;
 }
 
 let snap_update us =
@@ -343,7 +416,34 @@ let snapshot ?(store_tuples = 0) ?cache st =
         chn_forced_terminations = st.st_chaos.ch_forced_terminations;
         chn_send_drops = st.st_chaos.ch_send_drops;
       };
+    snap_sub =
+      {
+        ssn_registered = st.st_sub.sb_registered;
+        ssn_rejected = st.st_sub.sb_rejected;
+        ssn_unregistered = st.st_sub.sb_unregistered;
+        ssn_deltas_in = st.st_sub.sb_deltas_in;
+        ssn_prefiltered = st.st_sub.sb_prefiltered;
+        ssn_deltas_out = st.st_sub.sb_deltas_out;
+        ssn_push_msgs = st.st_sub.sb_push_msgs;
+        ssn_adds = st.st_sub.sb_adds;
+        ssn_retracts = st.st_sub.sb_retracts;
+        ssn_bytes = st.st_sub.sb_bytes;
+        ssn_coalesced = st.st_sub.sb_coalesced;
+        ssn_probes = st.st_sub.sb_probes;
+        ssn_scans = st.st_sub.sb_scans;
+        ssn_cache_staled = st.st_sub.sb_cache_staled;
+        ssn_torn_down = st.st_sub.sb_torn_down;
+        ssn_rearmed = st.st_sub.sb_rearmed;
+      };
   }
+
+let sub_snap_is_zero s =
+  s.ssn_registered = 0 && s.ssn_rejected = 0 && s.ssn_unregistered = 0
+  && s.ssn_deltas_in = 0 && s.ssn_prefiltered = 0 && s.ssn_deltas_out = 0
+  && s.ssn_push_msgs = 0 && s.ssn_adds = 0 && s.ssn_retracts = 0
+  && s.ssn_bytes = 0 && s.ssn_coalesced = 0 && s.ssn_probes = 0
+  && s.ssn_scans = 0 && s.ssn_cache_staled = 0 && s.ssn_torn_down = 0
+  && s.ssn_rearmed = 0
 
 let snapshot_size_bytes snap =
   (* rough: fixed cost per record plus per-rule entries *)
@@ -353,6 +453,9 @@ let snapshot_size_bytes snap =
       0 snap.snap_updates
   + (48 * List.length snap.snap_queries)
   + (match snap.snap_cache with Some _ -> 48 | None -> 0)
+  (* charged only when subscriptions actually ran, so turning the
+     feature off leaves every stats message size untouched *)
+  + (if sub_snap_is_zero snap.snap_sub then 0 else 64)
 
 let pp_finished ppf = function
   | None -> Fmt.string ppf "unfinished"
@@ -427,8 +530,18 @@ let pp_chaos_snap ppf c =
     c.chn_retransmits c.chn_dup_suppressed c.chn_give_ups c.chn_query_timeouts
     c.chn_partial_answers c.chn_forced_terminations c.chn_send_drops
 
+let pp_sub_snap ppf s =
+  Fmt.pf ppf
+    "subs: %d registered (%d refused, %d dropped), %d deltas in (%d prefiltered), \
+     %d deltas out in %d msgs (+%d -%d, %d B, %d coalesced), %d probes, %d scans, \
+     %d cache staled, %d torn down, %d re-armed"
+    s.ssn_registered s.ssn_rejected s.ssn_unregistered s.ssn_deltas_in
+    s.ssn_prefiltered s.ssn_deltas_out s.ssn_push_msgs s.ssn_adds s.ssn_retracts
+    s.ssn_bytes s.ssn_coalesced s.ssn_probes s.ssn_scans s.ssn_cache_staled
+    s.ssn_torn_down s.ssn_rearmed
+
 let pp_snapshot ppf s =
-  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a%a%a@]" Peer_id.pp s.snap_node
+  Fmt.pf ppf "@[<v 2>node %a (%s, %d tuples)%a%a%a%a%a@]" Peer_id.pp s.snap_node
     (if s.snap_inconsistent then "INCONSISTENT" else "consistent")
     s.snap_store_tuples
     Fmt.(list ~sep:nop (fun ppf u -> Fmt.pf ppf "@,%a" pp_update_snap u))
@@ -439,3 +552,5 @@ let pp_snapshot ppf s =
     s.snap_cache
     (fun ppf c -> if not (chaos_snap_is_zero c) then Fmt.pf ppf "@,%a" pp_chaos_snap c)
     s.snap_chaos
+    (fun ppf s -> if not (sub_snap_is_zero s) then Fmt.pf ppf "@,%a" pp_sub_snap s)
+    s.snap_sub

@@ -99,6 +99,36 @@ type chaos = {
           that previously discarded the result *)
 }
 
+(** Node-wide standing-query counters ({!Codb_sub}): registrations,
+    delta traffic in and out, push bytes, and the evaluator work
+    attributed to incremental maintenance.  All zero while
+    [Options.subscriptions] is off. *)
+type sub_counters = {
+  mutable sb_registered : int;  (** subscriptions accepted (local + remote) *)
+  mutable sb_rejected : int;
+      (** registrations refused (limit, duplicate, malformed query) *)
+  mutable sb_unregistered : int;  (** explicit unregistrations *)
+  mutable sb_deltas_in : int;
+      (** store deltas examined per affected subscription *)
+  mutable sb_prefiltered : int;
+      (** delta tuples discarded by the pushed-down constraints before
+          the semi-naive join ever saw them *)
+  mutable sb_deltas_out : int;  (** non-empty answer deltas delivered *)
+  mutable sb_push_msgs : int;  (** [Answer_delta]/[Answer_batch] messages sent *)
+  mutable sb_adds : int;  (** answer tuples added across deliveries *)
+  mutable sb_retracts : int;
+  mutable sb_bytes : int;  (** payload bytes of pushed answer deltas *)
+  mutable sb_coalesced : int;
+      (** tuples cancelled or absorbed inside a [sub_batch_window] *)
+  mutable sb_probes : int;  (** evaluator probes doing subscription maintenance *)
+  mutable sb_scans : int;
+  mutable sb_cache_staled : int;
+      (** cache entries invalidated to keep one-shot answers no staler
+          than delivered subscription deltas *)
+  mutable sb_torn_down : int;  (** subscriptions/mirrors lost to crashes *)
+  mutable sb_rearmed : int;  (** re-registrations sent after a host restart *)
+}
+
 type t
 
 val create : Peer_id.t -> t
@@ -106,6 +136,15 @@ val create : Peer_id.t -> t
 val owner : t -> Peer_id.t
 
 val chaos : t -> chaos
+
+val sub : t -> sub_counters
+
+val with_eval_counters :
+  note:(probes:int -> scans:int -> unit) -> (unit -> 'a) -> 'a
+(** Run [f] and report the evaluator access-path counter deltas it
+    caused to [note] — the one way every protocol layer (update
+    fix-point, query engine, subscription maintenance) attributes
+    shared-evaluator work to its own statistic. *)
 
 val note_retransmit : t -> unit
 
@@ -201,6 +240,26 @@ type chaos_snap = {
   chn_send_drops : int;
 }
 
+(** Frozen {!sub_counters}. *)
+type sub_snap = {
+  ssn_registered : int;
+  ssn_rejected : int;
+  ssn_unregistered : int;
+  ssn_deltas_in : int;
+  ssn_prefiltered : int;
+  ssn_deltas_out : int;
+  ssn_push_msgs : int;
+  ssn_adds : int;
+  ssn_retracts : int;
+  ssn_bytes : int;
+  ssn_coalesced : int;
+  ssn_probes : int;
+  ssn_scans : int;
+  ssn_cache_staled : int;
+  ssn_torn_down : int;
+  ssn_rearmed : int;
+}
+
 (** Frozen view of a node's {!Codb_cache.Qcache} counters, shipped in
     [Stats_response] messages alongside the per-query records. *)
 type cache_snap = {
@@ -224,6 +283,7 @@ type snapshot = {
   snap_queries : query_snap list;
   snap_cache : cache_snap option;  (** [None] when caching is off *)
   snap_chaos : chaos_snap;
+  snap_sub : sub_snap;
 }
 
 val snapshot : ?store_tuples:int -> ?cache:cache_snap -> t -> snapshot
@@ -233,10 +293,14 @@ val snapshot_size_bytes : snapshot -> int
 
 val chaos_snap_is_zero : chaos_snap -> bool
 
+val sub_snap_is_zero : sub_snap -> bool
+
 val pp_update_snap : update_snap Fmt.t
 
 val pp_chaos_snap : chaos_snap Fmt.t
 
 val pp_cache_snap : cache_snap Fmt.t
+
+val pp_sub_snap : sub_snap Fmt.t
 
 val pp_snapshot : snapshot Fmt.t

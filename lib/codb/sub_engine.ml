@@ -1,0 +1,365 @@
+module Sub = Codb_sub.Subscription
+module Registry = Codb_sub.Registry
+module Mirror = Codb_sub.Mirror
+module Outbox = Codb_sub.Outbox
+module Peer_id = Codb_net.Peer_id
+module Database = Codb_relalg.Database
+module Eval = Codb_cq.Eval
+module Query = Codb_cq.Query
+module Parser = Codb_cq.Parser
+module Pretty = Codb_cq.Pretty
+
+let scounters rt = Stats.sub rt.Runtime.node.Node.stats
+
+let with_counters rt f =
+  let sb = scounters rt in
+  Stats.with_eval_counters
+    ~note:(fun ~probes ~scans ->
+      sb.Stats.sb_probes <- sb.Stats.sb_probes + probes;
+      sb.Stats.sb_scans <- sb.Stats.sb_scans + scans)
+    f
+
+let source rt =
+  Eval.of_database ~index_budget:rt.Runtime.opts.Options.index_budget
+    rt.Runtime.node.Node.store
+
+let payload_size rt p =
+  if rt.Runtime.opts.Options.wire_codec then Payload.encoded_size p
+  else Payload.size p
+
+let query_text q = Fmt.str "%a" Pretty.query q
+
+(* Epoch agreement with the one-shot query cache: the instant an
+   answer delta becomes observable (host callback about to run, wire
+   push about to leave), cached answers that predate the store change
+   it reflects must die.  Otherwise a client could see the new answer
+   arrive by subscription and then get the old answer set by asking
+   the same query one-shot — the update path only stales epochs at
+   update finalization, which is too late for mid-update deltas. *)
+let stale_cache rt peers =
+  match rt.Runtime.node.Node.cache with
+  | None -> ()
+  | Some cache ->
+      let n = Codb_cache.Qcache.note_update cache peers in
+      let sb = scounters rt in
+      sb.Stats.sb_cache_staled <- sb.Stats.sb_cache_staled + n
+
+let note_delivery rt (d : Sub.delta) =
+  let sb = scounters rt in
+  sb.Stats.sb_deltas_out <- sb.Stats.sb_deltas_out + 1;
+  sb.Stats.sb_adds <- sb.Stats.sb_adds + List.length d.Sub.d_adds;
+  sb.Stats.sb_retracts <- sb.Stats.sb_retracts + List.length d.Sub.d_retracts
+
+let send_push rt ~dst payload =
+  let sb = scounters rt in
+  sb.Stats.sb_push_msgs <- sb.Stats.sb_push_msgs + 1;
+  sb.Stats.sb_bytes <- sb.Stats.sb_bytes + payload_size rt payload;
+  ignore (Reliable.send_noted rt ~dst payload)
+
+let flush_dst rt dst =
+  match Outbox.take rt.Runtime.node.Node.sub_outbox ~dst with
+  | [] -> ()
+  | [ (sub_id, d) ] ->
+      note_delivery rt d;
+      send_push rt ~dst
+        (Payload.Answer_delta
+           { sub_id; adds = d.Sub.d_adds; retracts = d.Sub.d_retracts;
+             tag = d.Sub.d_tag })
+  | entries ->
+      List.iter (fun (_, d) -> note_delivery rt d) entries;
+      send_push rt ~dst
+        (Payload.Answer_batch
+           {
+             entries =
+               List.map
+                 (fun (sub_id, d) ->
+                   { Payload.se_sub = sub_id; se_adds = d.Sub.d_adds;
+                     se_retracts = d.Sub.d_retracts; se_tag = d.Sub.d_tag })
+                 entries;
+           })
+
+let schedule_flush rt dst =
+  let outbox = rt.Runtime.node.Node.sub_outbox in
+  if not (Outbox.scheduled outbox ~dst) then begin
+    Outbox.set_scheduled outbox ~dst true;
+    rt.Runtime.schedule ~delay:rt.Runtime.opts.Options.sub_batch_window
+      (fun () ->
+        Outbox.set_scheduled outbox ~dst false;
+        flush_dst rt dst)
+  end
+
+let push_remote rt ~dst ~sub_id (d : Sub.delta) =
+  if rt.Runtime.opts.Options.sub_batch_window > 0.0 then begin
+    let coalesced =
+      Outbox.add rt.Runtime.node.Node.sub_outbox ~dst ~sub_id d
+    in
+    let sb = scounters rt in
+    sb.Stats.sb_coalesced <- sb.Stats.sb_coalesced + coalesced;
+    schedule_flush rt dst
+  end
+  else begin
+    note_delivery rt d;
+    send_push rt ~dst
+      (Payload.Answer_delta
+         { sub_id; adds = d.Sub.d_adds; retracts = d.Sub.d_retracts;
+           tag = d.Sub.d_tag })
+  end
+
+let deliver rt (entry : Registry.entry) (d : Sub.delta) =
+  if not (Sub.delta_is_empty d) then begin
+    stale_cache rt [ rt.Runtime.node.Node.node_id ];
+    Sub.note_delivered entry.Registry.e_sub;
+    match entry.Registry.e_owner with
+    | Registry.Local cb ->
+        note_delivery rt d;
+        (match cb with Some f -> f d | None -> ())
+    | Registry.Remote dst ->
+        push_remote rt ~dst ~sub_id:(Sub.id entry.Registry.e_sub) d
+  end
+
+let on_store_delta rt ~rel ~delta ~tag =
+  match rt.Runtime.node.Node.subs with
+  | None -> ()
+  | Some reg -> (
+      match Registry.affected reg ~rel with
+      | [] -> ()
+      | entries ->
+          let sb = scounters rt in
+          let opts = rt.Runtime.opts in
+          let src = source rt in
+          let tag = tag () in
+          List.iter
+            (fun (entry : Registry.entry) ->
+              let sub = entry.Registry.e_sub in
+              sb.Stats.sb_deltas_in <- sb.Stats.sb_deltas_in + 1;
+              let d =
+                with_counters rt (fun () ->
+                    if opts.Options.sub_naive then
+                      Sub.reevaluate sub ~planner:opts.Options.planner
+                        ~source:src ~tag
+                    else begin
+                      let d, dropped =
+                        Sub.apply_delta sub ~planner:opts.Options.planner
+                          ~source:src ~delta_rel:rel ~delta ~tag
+                      in
+                      sb.Stats.sb_prefiltered <-
+                        sb.Stats.sb_prefiltered + dropped;
+                      d
+                    end)
+              in
+              deliver rt entry d)
+            entries)
+
+let refresh_all rt ~tag =
+  match rt.Runtime.node.Node.subs with
+  | None -> ()
+  | Some reg ->
+      let opts = rt.Runtime.opts in
+      let src = source rt in
+      List.iter
+        (fun (entry : Registry.entry) ->
+          let d =
+            with_counters rt (fun () ->
+                Sub.refresh entry.Registry.e_sub ~planner:opts.Options.planner
+                  ~source:src ~tag)
+          in
+          deliver rt entry d)
+        (Registry.entries reg)
+
+let missing_relations rt query =
+  List.filter
+    (fun rel -> not (Database.has_relation rt.Runtime.node.Node.store rel))
+    (Query.body_relations query)
+
+let make_sub rt ~sub_id query =
+  let opts = rt.Runtime.opts in
+  match missing_relations rt query with
+  | [] ->
+      Sub.create ~pushdown:opts.Options.pushdown
+        ~max_preds:opts.Options.pushdown_max_preds ~sub_id query
+  | missing ->
+      Error
+        (Printf.sprintf "unknown relation%s: %s"
+           (if List.length missing = 1 then "" else "s")
+           (String.concat ", " missing))
+
+let register_local rt ?on_delta query =
+  let node = rt.Runtime.node in
+  match node.Node.subs with
+  | None -> Error "subscriptions are disabled (Options.subscriptions)"
+  | Some reg -> (
+      let sb = scounters rt in
+      let reject e =
+        sb.Stats.sb_rejected <- sb.Stats.sb_rejected + 1;
+        Error e
+      in
+      match make_sub rt ~sub_id:(Node.fresh_ref node) query with
+      | Error e -> reject e
+      | Ok sub -> (
+          match Registry.register reg sub (Registry.Local on_delta) with
+          | Error e -> reject e
+          | Ok () ->
+              sb.Stats.sb_registered <- sb.Stats.sb_registered + 1;
+              let d =
+                with_counters rt (fun () ->
+                    Sub.refresh sub ~planner:rt.Runtime.opts.Options.planner
+                      ~source:(source rt) ~tag:"seed")
+              in
+              deliver rt
+                { Registry.e_sub = sub; e_owner = Registry.Local on_delta }
+                d;
+              Ok (Sub.id sub)))
+
+let unregister_local rt sub_id =
+  match rt.Runtime.node.Node.subs with
+  | None -> false
+  | Some reg ->
+      let removed = Registry.unregister reg sub_id in
+      if removed then begin
+        let sb = scounters rt in
+        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1
+      end;
+      removed
+
+let subscribe_remote rt ~host ?on_delta query =
+  let node = rt.Runtime.node in
+  if node.Node.subs = None then
+    Error "subscriptions are disabled (Options.subscriptions)"
+  else
+    match Query.well_formed ~allow_existential_head:false query with
+    | Error e -> Error e
+    | Ok () ->
+        let sub_id = Node.fresh_ref node in
+        Hashtbl.replace node.Node.sub_mirrors sub_id
+          (Mirror.create ~sub_id ~host ?on_delta query);
+        ignore
+          (Reliable.send_noted rt ~dst:host
+             (Payload.Sub_register { sub_id; query_text = query_text query }));
+        Ok sub_id
+
+let unsubscribe_remote rt sub_id =
+  let node = rt.Runtime.node in
+  match Hashtbl.find_opt node.Node.sub_mirrors sub_id with
+  | None -> false
+  | Some m ->
+      Hashtbl.remove node.Node.sub_mirrors sub_id;
+      ignore
+        (Reliable.send_noted rt ~dst:(Mirror.host m)
+           (Payload.Sub_unregister { sub_id }));
+      true
+
+let mirror rt sub_id = Hashtbl.find_opt rt.Runtime.node.Node.sub_mirrors sub_id
+
+(* After a peer restarts it has forgotten every subscription we hold
+   against it; re-send the registrations.  The host answers each with
+   a fresh full-answer snapshot, which the mirror absorbs
+   idempotently. *)
+let rearm_towards rt ~host =
+  let node = rt.Runtime.node in
+  if node.Node.subs <> None then
+    List.iter
+      (fun (sub_id, m) ->
+        if Peer_id.equal (Mirror.host m) host then begin
+          let sb = scounters rt in
+          sb.Stats.sb_rearmed <- sb.Stats.sb_rearmed + 1;
+          ignore
+            (Reliable.send_noted rt ~dst:host
+               (Payload.Sub_register
+                  { sub_id; query_text = query_text (Mirror.query m) }))
+        end)
+      (Node.mirrors_sorted node)
+
+let refuse rt ~dst ~sub_id reason =
+  let sb = scounters rt in
+  sb.Stats.sb_rejected <- sb.Stats.sb_rejected + 1;
+  ignore
+    (Reliable.send_noted rt ~dst
+       (Payload.Sub_registered { sub_id; accepted = false; reason }))
+
+let on_register rt ~src ~sub_id ~text =
+  match rt.Runtime.node.Node.subs with
+  | None -> refuse rt ~dst:src ~sub_id "subscriptions are disabled at this node"
+  | Some reg -> (
+      match Parser.parse_query text with
+      | Error e -> refuse rt ~dst:src ~sub_id ("unparsable query: " ^ e)
+      | Ok query -> (
+          (* a re-register (subscriber re-arming after our restart, or
+             a duplicated Sub_register frame) replaces the existing
+             registration and answers with a fresh snapshot *)
+          let existed = Registry.unregister reg sub_id in
+          match make_sub rt ~sub_id query with
+          | Error e -> refuse rt ~dst:src ~sub_id e
+          | Ok sub -> (
+              match Registry.register reg sub (Registry.Remote src) with
+              | Error e -> refuse rt ~dst:src ~sub_id e
+              | Ok () ->
+                  let sb = scounters rt in
+                  sb.Stats.sb_registered <- sb.Stats.sb_registered + 1;
+                  ignore
+                    (Reliable.send_noted rt ~dst:src
+                       (Payload.Sub_registered
+                          { sub_id; accepted = true; reason = "" }));
+                  let d =
+                    with_counters rt (fun () ->
+                        Sub.refresh sub
+                          ~planner:rt.Runtime.opts.Options.planner
+                          ~source:(source rt)
+                          ~tag:(if existed then "rearm" else "seed"))
+                  in
+                  deliver rt
+                    { Registry.e_sub = sub; e_owner = Registry.Remote src }
+                    d)))
+
+let on_unregister rt ~sub_id =
+  match rt.Runtime.node.Node.subs with
+  | None -> ()
+  | Some reg ->
+      if Registry.unregister reg sub_id then begin
+        let sb = scounters rt in
+        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1
+      end
+
+let on_registered rt ~sub_id ~accepted ~reason =
+  match mirror rt sub_id with
+  | None -> ()
+  | Some m ->
+      if accepted then Mirror.mark_accepted m else Mirror.mark_rejected m reason
+
+let apply_entries rt ~src entries =
+  List.iter
+    (fun (sub_id, d) ->
+      match mirror rt sub_id with
+      | None -> () (* unsubscribed meanwhile, or this node restarted *)
+      | Some m ->
+          (* epoch agreement, subscriber side: one-shot answers cached
+             from this host predate the delta about to be applied *)
+          stale_cache rt [ src ];
+          Mirror.apply m d)
+    entries
+
+let handle rt ~src payload =
+  match payload with
+  | Payload.Sub_register { sub_id; query_text = text } ->
+      on_register rt ~src ~sub_id ~text
+  | Payload.Sub_registered { sub_id; accepted; reason } ->
+      on_registered rt ~sub_id ~accepted ~reason
+  | Payload.Sub_unregister { sub_id } -> on_unregister rt ~sub_id
+  | Payload.Answer_delta { sub_id; adds; retracts; tag } ->
+      apply_entries rt ~src
+        [ (sub_id, { Sub.d_adds = adds; d_retracts = retracts; d_tag = tag }) ]
+  | Payload.Answer_batch { entries } ->
+      apply_entries rt ~src
+        (List.map
+           (fun (e : Payload.sub_entry) ->
+             ( e.Payload.se_sub,
+               { Sub.d_adds = e.Payload.se_adds;
+                 d_retracts = e.Payload.se_retracts; d_tag = e.Payload.se_tag }
+             ))
+           entries)
+  | Payload.Update_request _ | Payload.Update_data _ | Payload.Update_batch _
+  | Payload.Update_link_closed _ | Payload.Update_ack _
+  | Payload.Update_terminated _ | Payload.Query_request _ | Payload.Query_data _
+  | Payload.Query_done _ | Payload.Rules_file _ | Payload.Start_update
+  | Payload.Stats_request | Payload.Stats_response _ | Payload.Discovery_probe _
+  | Payload.Discovery_reply _ | Payload.Seq _ | Payload.Seq_ack _ ->
+      ()

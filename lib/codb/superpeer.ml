@@ -31,7 +31,8 @@ let on_message sp (msg : Payload.t Message.t) =
   | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
   | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
   | Payload.Start_update | Payload.Stats_request | Payload.Discovery_probe _
-  | Payload.Discovery_reply _ ->
+  | Payload.Discovery_reply _ | Payload.Sub_register _ | Payload.Sub_registered _
+  | Payload.Sub_unregister _ | Payload.Answer_delta _ | Payload.Answer_batch _ ->
       ()
 
 let create ~net ~peers =

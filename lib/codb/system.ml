@@ -83,6 +83,7 @@ let install_node sys decl =
     invalid_arg (Printf.sprintf "System: duplicate node %s" name);
   let node = Node.create decl in
   Node.configure_cache node sys.sys_opts;
+  Node.configure_subs node sys.sys_opts;
   if Options.reliable sys.sys_opts then node.Node.relay <- Some (Relay.create ());
   Node.set_rules node
     ~outgoing:(Config.rules_importing_at sys.sys_config name)
@@ -132,6 +133,7 @@ let restart_node sys name =
   | None -> ());
   Node.reset_volatile n;
   Node.configure_cache n sys.sys_opts;
+  Node.configure_subs n sys.sys_opts;
   Node.note_local_write n;
   let rt = runtime sys name in
   Network.set_handler sys.sys_net id (handler sys rt);
@@ -141,6 +143,14 @@ let restart_node sys name =
       Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
         ~byte_cost:sys.sys_opts.Options.byte_cost id (Superpeer.id sp)
   | None -> ());
+  (* the restarted node's registry is empty: every peer holding a
+     mirror against it re-registers (deterministically, in node-name
+     then sub-id order) and will receive a snapshot delta in reply *)
+  List.iter
+    (fun name' ->
+      if not (String.equal name' name) then
+        Sub_engine.rearm_towards (runtime sys name') ~host:id)
+    (node_names sys);
   trace_event sys ~direction:Trace.Delivered ~src:id ~dst:id "restart"
 
 (* Wire the options' fault knobs into the simulator: the drop/dup/
@@ -353,15 +363,49 @@ let import_stores sys dumps =
     (fun acc (name, text) ->
       let n = node sys name in
       let added = Codb_relalg.Csv.load_database n.Node.store text in
-      if added > 0 then Node.note_local_write n;
+      if added > 0 then begin
+        Node.note_local_write n;
+        (* bulk loads bypass the per-tuple delta feed: re-seed any
+           standing queries hosted here by a from-scratch diff *)
+        Sub_engine.refresh_all (runtime sys name) ~tag:"import"
+      end;
       acc + added)
     0 dumps
 
 let insert_fact sys ~at ~rel tuple =
   let n = node sys at in
   let inserted = Database.insert n.Node.store rel tuple in
-  if inserted then Node.note_local_write n;
+  if inserted then begin
+    Node.note_local_write n;
+    Sub_engine.on_store_delta (runtime sys at) ~rel ~delta:[ tuple ]
+      ~tag:(fun () -> "local-write")
+  end;
   inserted
+
+let subscribe sys ~at ?on_delta query =
+  Sub_engine.register_local (runtime sys at) ?on_delta query
+
+let unsubscribe sys ~at sub_id = Sub_engine.unregister_local (runtime sys at) sub_id
+
+let subscribe_remote sys ~subscriber ~host ?on_delta query =
+  Sub_engine.subscribe_remote (runtime sys subscriber)
+    ~host:(node sys host).Node.node_id ?on_delta query
+
+let unsubscribe_remote sys ~subscriber sub_id =
+  Sub_engine.unsubscribe_remote (runtime sys subscriber) sub_id
+
+let subscription_answers sys ~at sub_id =
+  let n = node sys at in
+  match n.Node.subs with
+  | Some reg when Codb_sub.Registry.find reg sub_id <> None ->
+      Option.map
+        (fun e -> Codb_sub.Subscription.answers e.Codb_sub.Registry.e_sub)
+        (Codb_sub.Registry.find reg sub_id)
+  | _ ->
+      Option.map Codb_sub.Mirror.answers
+        (Hashtbl.find_opt n.Node.sub_mirrors sub_id)
+
+let mirror sys ~at sub_id = Hashtbl.find_opt (node sys at).Node.sub_mirrors sub_id
 
 let total_tuples sys =
   List.fold_left

@@ -143,8 +143,43 @@ val import_stores : t -> (string * string) list -> int
 val insert_fact : t -> at:string -> rel:string -> Tuple.t -> bool
 (** Insert a fact into a node's Local Database through its Wrapper;
     [true] iff it was new.  The fact reaches the rest of the network
-    on the next (global or scoped) update.  @raise Not_found /
-    [Invalid_argument] on unknown node, relation, or schema
-    mismatch. *)
+    on the next (global or scoped) update.  Any standing query at the
+    node whose body reads [rel] absorbs the tuple incrementally.
+    @raise Not_found / [Invalid_argument] on unknown node, relation,
+    or schema mismatch. *)
+
+(** {1 Standing queries}
+
+    Available when [opts.subscriptions] is on; see {!Sub_engine} and
+    {!Codb_sub} for the protocol.  All subscription state is volatile:
+    a crash tears it down, and on restart the subscribers re-arm their
+    mirrors automatically (see {!restart_node}). *)
+
+val subscribe :
+  t -> at:string -> ?on_delta:(Codb_sub.Subscription.delta -> unit) ->
+  Codb_cq.Query.t -> (string, string) result
+(** Register a standing query at a node for a local client; returns
+    the subscription id.  The answer set seeds from the current store
+    (delivered to [on_delta] as the ["seed"] delta) and is thereafter
+    maintained incrementally from update and local-write deltas. *)
+
+val unsubscribe : t -> at:string -> string -> bool
+
+val subscribe_remote :
+  t -> subscriber:string -> host:string ->
+  ?on_delta:(Codb_sub.Subscription.delta -> unit) -> Codb_cq.Query.t ->
+  (string, string) result
+(** Subscribe [subscriber] to a standing query hosted at [host]; the
+    returned id names the local mirror, which tracks the host's answer
+    set through pushed [Answer_delta]/[Answer_batch] messages (run the
+    network to let the registration and seed delta propagate). *)
+
+val unsubscribe_remote : t -> subscriber:string -> string -> bool
+
+val subscription_answers : t -> at:string -> string -> Tuple.t list option
+(** The current answer set of a subscription hosted at [at] or
+    mirrored there, sorted; [None] if the id is unknown. *)
+
+val mirror : t -> at:string -> string -> Codb_sub.Mirror.t option
 
 val total_tuples : t -> int

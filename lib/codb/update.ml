@@ -21,14 +21,13 @@ let rule_ids rules = List.map (fun r -> r.Config.rule_id) rules
 let stat (rt : Runtime.t) uid = Stats.update_stat rt.node.Node.stats ~now:(rt.now ()) uid
 
 (* Attribute the index probes / relation scans performed by [f] to the
-   update's statistics (the evaluator counters are global). *)
+   update's statistics. *)
 let with_counters us f =
-  let before = Eval.counters () in
-  let result = f () in
-  let after = Eval.counters () in
-  us.Stats.us_probes <- us.Stats.us_probes + after.Eval.probes - before.Eval.probes;
-  us.Stats.us_scans <- us.Stats.us_scans + after.Eval.scans - before.Eval.scans;
-  result
+  Stats.with_eval_counters
+    ~note:(fun ~probes ~scans ->
+      us.Stats.us_probes <- us.Stats.us_probes + probes;
+      us.Stats.us_scans <- us.Stats.us_scans + scans)
+    f
 
 (* Is [st] still the state the node knows for this update?  A crash
    clears the table; timers and transport callbacks armed before the
@@ -362,6 +361,15 @@ let integrate_entry rt (st : U.t) us ~rule_id ~tuples ~hops =
           Lineage.record_import rt.Runtime.node.Node.lineage ~rel tuple
             { Lineage.li_rule = rule_id; li_hops = hops; li_at = rt.Runtime.now () })
         integration.Wrapper.fresh;
+      (* the same delta the semi-naive recompute below consumes also
+         feeds any standing queries hosted here, tagged with the
+         lineage that produced it *)
+      if integration.Wrapper.fresh <> [] then
+        Sub_engine.on_store_delta rt ~rel ~delta:integration.Wrapper.fresh
+          ~tag:(fun () ->
+            Printf.sprintf "%s via %s hop %d"
+              (Ids.string_of_update st.U.ust_update)
+              rule_id hops);
       if integration.Wrapper.fresh <> [] && may_export rt then begin
         let recompute (inc : Config.rule_decl) =
           if U.in_state st inc.Config.rule_id = U.Link_open then begin
@@ -582,6 +590,8 @@ let handle rt ~src ~bytes payload =
   | Payload.Query_request _ | Payload.Query_data _ | Payload.Query_done _
   | Payload.Rules_file _ | Payload.Start_update | Payload.Stats_request
   | Payload.Stats_response _ | Payload.Discovery_probe _ | Payload.Discovery_reply _
-  | Payload.Seq _ | Payload.Seq_ack _ ->
+  | Payload.Seq _ | Payload.Seq_ack _ | Payload.Sub_register _
+  | Payload.Sub_registered _ | Payload.Sub_unregister _ | Payload.Answer_delta _
+  | Payload.Answer_batch _ ->
       (* transport frames are unwrapped by {!Dbm} before dispatch *)
       ()

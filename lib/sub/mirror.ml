@@ -1,0 +1,61 @@
+module Peer_id = Codb_net.Peer_id
+module Query = Codb_cq.Query
+module Tuple = Codb_relalg.Tuple
+module Tuple_set = Codb_relalg.Relation.Tuple_set
+
+type t = {
+  mi_id : string;
+  mi_host : Peer_id.t;
+  mi_query : Query.t;
+  mi_on_delta : (Subscription.delta -> unit) option;
+  mutable mi_answers : Tuple_set.t;
+  mutable mi_deltas : int;
+  mutable mi_accepted : bool;
+  mutable mi_rejected : string option;
+}
+
+let create ~sub_id ~host ?on_delta query =
+  {
+    mi_id = sub_id;
+    mi_host = host;
+    mi_query = query;
+    mi_on_delta = on_delta;
+    mi_answers = Tuple_set.empty;
+    mi_deltas = 0;
+    mi_accepted = false;
+    mi_rejected = None;
+  }
+
+let id t = t.mi_id
+
+let host t = t.mi_host
+
+let query t = t.mi_query
+
+let answers t = Tuple_set.elements t.mi_answers
+
+let answer_count t = Tuple_set.cardinal t.mi_answers
+
+let deltas t = t.mi_deltas
+
+let accepted t = t.mi_accepted
+
+let rejected t = t.mi_rejected
+
+let mark_accepted t =
+  t.mi_accepted <- true;
+  t.mi_rejected <- None
+
+let mark_rejected t reason =
+  t.mi_accepted <- false;
+  t.mi_rejected <- Some reason
+
+(* Deltas are applied as set updates, so redelivery (retries, re-arm
+   snapshots, the naive baseline's full re-sends) is idempotent. *)
+let apply t (d : Subscription.delta) =
+  t.mi_answers <-
+    List.fold_left (fun s tu -> Tuple_set.add tu s) t.mi_answers d.d_adds;
+  t.mi_answers <-
+    List.fold_left (fun s tu -> Tuple_set.remove tu s) t.mi_answers d.d_retracts;
+  t.mi_deltas <- t.mi_deltas + 1;
+  match t.mi_on_delta with None -> () | Some f -> f d

@@ -1,0 +1,48 @@
+(** The subscriber-side view of a remote subscription.
+
+    A mirror holds the answer set reconstructed from pushed
+    {!Subscription.delta}s.  Application is idempotent set update
+    (union adds, remove retracts), so duplicated deliveries — retried
+    sends, re-arm snapshots after a host restart, the naive baseline's
+    full re-sends — converge to the same set the host maintains. *)
+
+module Peer_id = Codb_net.Peer_id
+module Query = Codb_cq.Query
+module Tuple = Codb_relalg.Tuple
+
+type t
+
+val create :
+  sub_id:string ->
+  host:Peer_id.t ->
+  ?on_delta:(Subscription.delta -> unit) ->
+  Query.t ->
+  t
+
+val id : t -> string
+
+val host : t -> Peer_id.t
+
+val query : t -> Query.t
+
+val answers : t -> Tuple.t list
+(** In {!Tuple.compare} order. *)
+
+val answer_count : t -> int
+
+val deltas : t -> int
+(** Deltas applied so far. *)
+
+val accepted : t -> bool
+(** Has the host confirmed the registration? *)
+
+val rejected : t -> string option
+(** The host's refusal reason, when registration was refused. *)
+
+val mark_accepted : t -> unit
+
+val mark_rejected : t -> string -> unit
+
+val apply : t -> Subscription.delta -> unit
+(** Fold a pushed delta into the mirrored answer set and invoke the
+    client callback, if any. *)

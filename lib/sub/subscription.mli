@@ -1,0 +1,103 @@
+(** One standing query and its incrementally maintained answer set.
+
+    A subscription is a user conjunctive query (no existential head)
+    whose answers a node keeps current as its store changes.  Instead
+    of re-running the query on every write, the host feeds each
+    per-relation store delta through {!Codb_cq.Eval.delta_answers} —
+    the same semi-naive pass the update fix-point uses — so only
+    substitutions that touch the new tuples are derived.  Because coDB
+    stores are monotone (tuples are never deleted), incremental
+    maintenance only ever {e adds} answers; retractions appear only
+    when a subscription is re-seeded from scratch (registration,
+    re-arm after a crash) against a store that lost nothing but whose
+    subscription state did.
+
+    Constraint pushdown ({!Codb_cq.Specialize}) is reused as a
+    {e prefilter}: a delta tuple of relation [r] that fails every
+    constraint the query places on [r] cannot match any body atom over
+    [r], so it cannot contribute a new substitution; dropping it
+    before the join saves evaluator probes without changing the answer
+    set. *)
+
+module Query = Codb_cq.Query
+module Eval = Codb_cq.Eval
+module Specialize = Codb_cq.Specialize
+module Tuple = Codb_relalg.Tuple
+
+type delta = {
+  d_adds : Tuple.t list;  (** answers that became true *)
+  d_retracts : Tuple.t list;  (** answers no longer derivable *)
+  d_tag : string;
+      (** provenance: which update/rule/hop produced the store change
+          this answer delta reflects *)
+}
+
+val delta_is_empty : delta -> bool
+
+val delta_tuples : delta -> int
+(** Adds plus retracts. *)
+
+val pp_delta : delta Fmt.t
+
+type t
+
+val create :
+  ?pushdown:bool -> ?max_preds:int -> sub_id:string -> Query.t ->
+  (t, string) result
+(** Validate the query as a user query ({!Query.well_formed} without
+    existential head) and precompute the per-relation prefilter
+    constraints ([pushdown] off — the ablation — registers no
+    prefilters).  The answer set starts empty; call {!refresh} to seed
+    it. *)
+
+val id : t -> string
+
+val query : t -> Query.t
+
+val reads : t -> string -> bool
+(** Does the query body mention this relation? *)
+
+val answers : t -> Tuple.t list
+(** Current answer set, in {!Tuple.compare} order. *)
+
+val answer_count : t -> int
+
+val deltas_delivered : t -> int
+
+val note_delivered : t -> unit
+
+val constraint_for : t -> string -> Specialize.t option
+(** The prefilter registered for a body relation, if any ([Any]
+    constraints are never registered). *)
+
+val prefilter : t -> rel:string -> Tuple.t list -> Tuple.t list * int
+(** Keep only delta tuples that can contribute through some atom over
+    [rel]; also returns how many were dropped. *)
+
+val apply_delta :
+  t ->
+  planner:bool ->
+  source:Eval.source ->
+  delta_rel:string ->
+  delta:Tuple.t list ->
+  tag:string ->
+  delta * int
+(** Incremental maintenance: prefilter the store delta, run the
+    semi-naive pass against [source] (which must already contain the
+    delta tuples, as {!Eval.delta_answers} requires), and fold the
+    derived heads into the answer set.  Returns the answer delta
+    (adds only — new answers not previously known) and the number of
+    prefiltered-away tuples. *)
+
+val refresh : t -> planner:bool -> source:Eval.source -> tag:string -> delta
+(** From-scratch re-evaluation; the returned delta is the {e diff}
+    against the previously known answers (used to seed a new
+    subscription and to catch a re-armed one up). *)
+
+val reevaluate : t -> planner:bool -> source:Eval.source -> tag:string -> delta
+(** The naive baseline ([Options.sub_naive]): recompute the full
+    answer set and return {e all} of it as adds (plus any retracts the
+    diff reveals) — what a client that re-asks its query on every
+    change would receive.  Mirrors apply deltas as set updates, so the
+    subscriber's view stays identical to the incremental path while
+    the probe and byte costs reflect re-evaluation. *)

@@ -36,6 +36,7 @@ let () =
       ("topology", Test_topology.suite);
       ("system", Test_system.suite);
       ("chaos", Test_chaos.suite);
+      ("sub", Test_sub.suite);
       ("workload", Test_workload.suite);
       ("properties", Test_props.suite);
     ]

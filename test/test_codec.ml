@@ -147,6 +147,24 @@ let payload_samples =
               global = true } };
     Payload.Seq { seq = 0; inner = Payload.Update_ack { update_id = uid } };
     Payload.Seq_ack { seq = 1 lsl 30 };
+    Payload.Sub_register { sub_id = "n0/s1"; query_text = "q(X) :- r(X, Y), Y > 2" };
+    Payload.Sub_registered { sub_id = "n0/s1"; accepted = true; reason = "" };
+    Payload.Sub_registered
+      { sub_id = "n0/s2"; accepted = false; reason = "registry full" };
+    Payload.Sub_unregister { sub_id = "n0/s1" };
+    Payload.Answer_delta
+      { sub_id = "n0/s1"; adds = kitchen_sink_tuples; retracts = [ tup [ i 9 ] ];
+        tag = "seed" };
+    Payload.Answer_delta { sub_id = "n0/s1"; adds = []; retracts = []; tag = "" };
+    Payload.Answer_batch { entries = [] };
+    Payload.Answer_batch
+      { entries =
+          [
+            { Payload.se_sub = "n0/s1"; se_adds = kitchen_sink_tuples;
+              se_retracts = []; se_tag = "coalesced" };
+            { Payload.se_sub = "n0/s2"; se_adds = [];
+              se_retracts = [ tup [ i 3; s "gone" ] ]; se_tag = "u1 via r1 hop 2" };
+          ] };
   ]
 
 let test_payload_round_trip () =
@@ -206,6 +224,174 @@ let test_malformed_input_rejected () =
       done)
     payload_samples
 
+(* Random payloads across every encodable variant: the size model must
+   count exactly what [encode] emits, and decoding must invert it.
+   Stats_response is the one (estimator-only) exception, covered by
+   [test_stats_response_not_encodable]. *)
+module Q2 = QCheck2
+module Gen = QCheck2.Gen
+
+let gen_small_string = Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let gen_value =
+  Gen.oneof
+    [
+      Gen.map (fun n -> Value.Int n) (Gen.int_range (-1000) 1000);
+      Gen.map (fun f -> Value.Float f) (Gen.float_range (-10.0) 10.0);
+      Gen.map (fun x -> Value.Str x) gen_small_string;
+      Gen.map (fun b -> Value.Bool b) Gen.bool;
+      Gen.map2
+        (fun id rule -> Value.Null { Value.null_id = id; null_rule = rule })
+        (Gen.int_range 0 50) gen_small_string;
+      Gen.map (fun k -> Value.Hole k) (Gen.int_range 0 5);
+    ]
+
+let gen_tuple = Gen.map Array.of_list (Gen.list_size (Gen.int_range 1 4) gen_value)
+
+let gen_tuples = Gen.list_size (Gen.int_range 0 5) gen_tuple
+
+let gen_peer =
+  Gen.map Peer_id.of_string
+    (Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.int_range 1 8))
+
+let gen_uid = Gen.map2 Ids.update_id gen_peer (Gen.int_range 0 100)
+
+let gen_qid = Gen.map2 Ids.query_id gen_peer (Gen.int_range 0 100)
+
+let gen_operand =
+  Gen.oneof
+    [
+      Gen.map (fun c -> Payload.Specialize.Col c) (Gen.int_range 0 4);
+      Gen.map (fun v -> Payload.Specialize.Const v) gen_value;
+    ]
+
+let gen_pred =
+  Gen.map3
+    (fun l op r -> { Payload.Specialize.p_left = l; p_op = op; p_right = r })
+    gen_operand
+    (Gen.oneofl
+       [ Codb_cq.Query.Eq; Codb_cq.Query.Neq; Codb_cq.Query.Lt; Codb_cq.Query.Le;
+         Codb_cq.Query.Gt; Codb_cq.Query.Ge ])
+    gen_operand
+
+let gen_constraints =
+  Gen.oneof
+    [
+      Gen.return Payload.Specialize.any;
+      Gen.map
+        (fun alts -> Payload.Specialize.One_of alts)
+        (Gen.list_size (Gen.int_range 0 3)
+           (Gen.list_size (Gen.int_range 0 3) gen_pred));
+    ]
+
+let gen_batch_entry =
+  Gen.map3
+    (fun rule hops tuples ->
+      { Payload.be_rule = rule; be_hops = hops; be_tuples = tuples })
+    gen_small_string (Gen.int_range 0 9) gen_tuples
+
+let gen_sub_entry =
+  let open Gen in
+  let* sub = gen_small_string in
+  let* adds = gen_tuples in
+  let* retracts = gen_tuples in
+  let* tag = gen_small_string in
+  return { Payload.se_sub = sub; se_adds = adds; se_retracts = retracts; se_tag = tag }
+
+let gen_payload_flat =
+  let open Gen in
+  oneof
+    [
+      map2
+        (fun u scope -> Payload.Update_request { update_id = u; scope })
+        gen_uid
+        (oneof
+           [ return Payload.Global;
+             map (fun r -> Payload.For_rule r) gen_small_string ]);
+      (let* update_id = gen_uid in
+       let* rule_id = gen_small_string in
+       let* tuples = gen_tuples in
+       let* hops = int_range 0 9 in
+       let* global = bool in
+       return (Payload.Update_data { update_id; rule_id; tuples; hops; global }));
+      (let* update_id = gen_uid in
+       let* entries = list_size (int_range 0 4) gen_batch_entry in
+       let* global = bool in
+       return (Payload.Update_batch { update_id; entries; global }));
+      (let* update_id = gen_uid in
+       let* rule_id = gen_small_string in
+       let* global = bool in
+       return (Payload.Update_link_closed { update_id; rule_id; global }));
+      map (fun u -> Payload.Update_ack { update_id = u }) gen_uid;
+      map (fun u -> Payload.Update_terminated { update_id = u }) gen_uid;
+      (let* query_id = gen_qid in
+       let* request_ref = gen_small_string in
+       let* rule_id = gen_small_string in
+       let* label = list_size (int_range 0 3) gen_peer in
+       let* constraints = gen_constraints in
+       return
+         (Payload.Query_request { query_id; request_ref; rule_id; label; constraints }));
+      (let* query_id = gen_qid in
+       let* request_ref = gen_small_string in
+       let* rule_id = gen_small_string in
+       let* tuples = gen_tuples in
+       return (Payload.Query_data { query_id; request_ref; rule_id; tuples }));
+      (let* query_id = gen_qid in
+       let* request_ref = gen_small_string in
+       let* rule_id = gen_small_string in
+       let* complete = bool in
+       return (Payload.Query_done { query_id; request_ref; rule_id; complete }));
+      map2
+        (fun version text -> Payload.Rules_file { version; text })
+        (int_range 0 99) gen_small_string;
+      return Payload.Start_update;
+      return Payload.Stats_request;
+      (let* probe_id = gen_small_string in
+       let* ttl = int_range 0 9 in
+       let* path = list_size (int_range 0 3) gen_peer in
+       return (Payload.Discovery_probe { probe_id; ttl; path }));
+      (let* probe_id = gen_small_string in
+       let* path = list_size (int_range 0 3) gen_peer in
+       let* peers = list_size (int_range 0 3) gen_peer in
+       return (Payload.Discovery_reply { probe_id; path; peers }));
+      map (fun seq -> Payload.Seq_ack { seq }) (int_range 0 (1 lsl 20));
+      map2
+        (fun sub_id query_text -> Payload.Sub_register { sub_id; query_text })
+        gen_small_string gen_small_string;
+      map3
+        (fun sub_id accepted reason ->
+          Payload.Sub_registered { sub_id; accepted; reason })
+        gen_small_string bool gen_small_string;
+      map (fun sub_id -> Payload.Sub_unregister { sub_id }) gen_small_string;
+      (let* sub_id = gen_small_string in
+       let* adds = gen_tuples in
+       let* retracts = gen_tuples in
+       let* tag = gen_small_string in
+       return (Payload.Answer_delta { sub_id; adds; retracts; tag }));
+      map
+        (fun entries -> Payload.Answer_batch { entries })
+        (list_size (int_range 0 4) gen_sub_entry);
+    ]
+
+let gen_payload =
+  let open Gen in
+  oneof
+    [
+      gen_payload_flat;
+      map2 (fun seq inner -> Payload.Seq { seq; inner }) (int_range 0 1000)
+        gen_payload_flat;
+    ]
+
+let prop_encoded_size_exact =
+  Q2.Test.make ~name:"encoded_size p = |encode p| on random payloads" ~count:500
+    ~print:Payload.describe gen_payload
+    (fun p -> Payload.encoded_size p = String.length (Payload.encode p))
+
+let prop_decode_inverts_encode =
+  Q2.Test.make ~name:"decode (encode p) = Ok p on random payloads" ~count:500
+    ~print:Payload.describe gen_payload
+    (fun p -> Payload.decode (Payload.encode p) = Ok p)
+
 let suite =
   [
     Alcotest.test_case "primitive round-trips" `Quick test_primitive_round_trip;
@@ -222,4 +408,6 @@ let suite =
       test_stats_response_not_encodable;
     Alcotest.test_case "malformed input rejected, never a crash" `Quick
       test_malformed_input_rejected;
+    QCheck_alcotest.to_alcotest prop_encoded_size_exact;
+    QCheck_alcotest.to_alcotest prop_decode_inverts_encode;
   ]

@@ -46,6 +46,22 @@ let samples =
             { update_id = uid; rule_id = "r1"; tuples = [ tup [ i 1; s "x" ] ]; hops = 1;
               global = true } };
     Payload.Seq_ack { seq = 7 };
+    Payload.Sub_register { sub_id = "n0/s1"; query_text = "q(X) :- r(X, Y)" };
+    Payload.Sub_registered { sub_id = "n0/s1"; accepted = true; reason = "" };
+    Payload.Sub_registered
+      { sub_id = "n0/s1"; accepted = false; reason = "registry full" };
+    Payload.Sub_unregister { sub_id = "n0/s1" };
+    Payload.Answer_delta
+      { sub_id = "n0/s1"; adds = [ tup [ i 1 ] ]; retracts = [ tup [ i 2 ] ];
+        tag = "seed" };
+    Payload.Answer_batch
+      { entries =
+          [
+            { Payload.se_sub = "n0/s1"; se_adds = [ tup [ i 1 ] ];
+              se_retracts = []; se_tag = "coalesced" };
+            { Payload.se_sub = "n0/s2"; se_adds = []; se_retracts = [ tup [ i 3 ] ];
+              se_tag = "u1 via r1 hop 2" };
+          ] };
   ]
 
 let test_sizes_positive () =
@@ -103,7 +119,9 @@ let test_update_protocol_classification () =
     | Payload.Update_ack _ | Payload.Update_terminated _ | Payload.Query_request _
     | Payload.Query_data _ | Payload.Query_done _ | Payload.Rules_file _
     | Payload.Start_update | Payload.Stats_request | Payload.Stats_response _
-    | Payload.Discovery_probe _ | Payload.Discovery_reply _ | Payload.Seq_ack _ ->
+    | Payload.Discovery_probe _ | Payload.Discovery_reply _ | Payload.Seq_ack _
+    | Payload.Sub_register _ | Payload.Sub_registered _ | Payload.Sub_unregister _
+    | Payload.Answer_delta _ | Payload.Answer_batch _ ->
         false
   in
   List.iter

@@ -1,0 +1,461 @@
+(* Standing queries: registration and validation, incremental answer
+   maintenance against from-scratch re-evaluation, push-based delivery
+   to remote mirrors (with and without batching), epoch agreement with
+   the one-shot query cache, crash teardown / restart re-arm, and the
+   qcheck equivalence property across the ablation corners and under
+   chaos. *)
+
+open Helpers
+module Q2 = QCheck2
+module Gen = QCheck2.Gen
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Stats = Codb_core.Stats
+module Node = Codb_core.Node
+module Sub = Codb_sub.Subscription
+module Mirror = Codb_sub.Mirror
+module Qcache = Codb_cache.Qcache
+module Datagen = Codb_workload.Datagen
+
+let sub_opts ?(base = Options.default) ?(window = 0.0) ?(naive = false)
+    ?(limit = 64) () =
+  {
+    base with
+    Options.subscriptions = true;
+    sub_batch_window = window;
+    sub_naive = naive;
+    max_subscriptions = limit;
+  }
+
+let chain ?(seed = 5) n = Topology.generate ~seed Topology.Chain ~n
+
+let q_all = "o(k, v) <- data(k, v)"
+
+let q_selective = "o(v) <- data(2, v)"
+
+let sub_stats sys name = Stats.sub (System.node sys name).Node.stats
+
+let answers_of sys ~at id =
+  match System.subscription_answers sys ~at id with
+  | Some ts -> ts
+  | None -> Alcotest.failf "subscription %s unknown at %s" id at
+
+let check_tracks sys ~at id query msg =
+  check_tuples msg
+    (System.local_answers sys ~at (parse_query query))
+    (answers_of sys ~at id)
+
+(* --- registration ---------------------------------------------------- *)
+
+let test_disabled_by_default () =
+  let sys = System.build_exn (chain 2) in
+  (match System.subscribe sys ~at:"n0" (parse_query q_all) with
+  | Ok _ -> Alcotest.fail "subscribe accepted with subscriptions off"
+  | Error e -> Alcotest.(check bool) "says disabled" true
+      (String.length e > 0));
+  let _ = System.run_update sys ~initiator:"n0" in
+  List.iter
+    (fun snap ->
+      Alcotest.(check bool) "sub counters untouched when off" true
+        (Stats.sub_snap_is_zero snap.Stats.snap_sub))
+    (System.snapshots sys)
+
+let test_register_seeds_and_unregister () =
+  let sys = System.build_exn ~opts:(sub_opts ()) (chain 2) in
+  let seed = ref [] in
+  let id =
+    match
+      System.subscribe sys ~at:"n0" (parse_query q_all) ~on_delta:(fun d ->
+          seed := d.Sub.d_adds @ !seed)
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe: %s" e
+  in
+  check_tuples "seed delta = current answers" (System.local_answers sys ~at:"n0" (parse_query q_all)) !seed;
+  check_tracks sys ~at:"n0" id q_all "registry answers match";
+  Alcotest.(check bool) "unregister" true (System.unsubscribe sys ~at:"n0" id);
+  Alcotest.(check bool) "gone" true (System.subscription_answers sys ~at:"n0" id = None);
+  Alcotest.(check bool) "second unregister is false" false
+    (System.unsubscribe sys ~at:"n0" id)
+
+let test_validation () =
+  let sys = System.build_exn ~opts:(sub_opts ~limit:1 ()) (chain 2) in
+  (match System.subscribe sys ~at:"n0" (parse_query "o(x) <- nosuch(x)") with
+  | Ok _ -> Alcotest.fail "unknown relation accepted"
+  | Error e -> Alcotest.(check bool) "names the relation" true
+      (String.length e > 0 && String.sub e 0 7 = "unknown"));
+  (match System.subscribe sys ~at:"n0" (parse_query "o(k, w) <- data(k, v)") with
+  | Ok _ -> Alcotest.fail "existential head accepted"
+  | Error _ -> ());
+  (match System.subscribe sys ~at:"n0" (parse_query q_all) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first subscribe: %s" e);
+  (match System.subscribe sys ~at:"n0" (parse_query q_selective) with
+  | Ok _ -> Alcotest.fail "limit not enforced"
+  | Error _ -> ());
+  let sb = sub_stats sys "n0" in
+  Alcotest.(check int) "one registered" 1 sb.Stats.sb_registered;
+  Alcotest.(check int) "three rejected" 3 sb.Stats.sb_rejected
+
+(* --- incremental maintenance ----------------------------------------- *)
+
+let test_incremental_tracks_updates () =
+  let sys = System.build_exn ~opts:(sub_opts ()) (chain 4) in
+  let deltas = ref 0 in
+  let id =
+    match
+      System.subscribe sys ~at:"n0" (parse_query q_all) ~on_delta:(fun _ ->
+          incr deltas)
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe: %s" e
+  in
+  let before = List.length (answers_of sys ~at:"n0" id) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  check_tracks sys ~at:"n0" id q_all "after a global update";
+  Alcotest.(check bool) "the update grew the answer set" true
+    (List.length (answers_of sys ~at:"n0" id) > before);
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 901; s "w1" ]));
+  check_tracks sys ~at:"n0" id q_all "after a local write";
+  Alcotest.(check bool) "deltas were pushed, not re-seeded" true (!deltas >= 2);
+  let sb = sub_stats sys "n0" in
+  Alcotest.(check bool) "store deltas consumed" true (sb.Stats.sb_deltas_in > 0);
+  Alcotest.(check bool) "evaluator work accounted" true (sb.Stats.sb_probes + sb.Stats.sb_scans > 0)
+
+let test_import_reseeds () =
+  let sys = System.build_exn ~opts:(sub_opts ()) (chain 3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let dumps = System.export_stores sys in
+  let sys' = System.build_exn ~opts:(sub_opts ()) (chain ~seed:99 3) in
+  let id =
+    match System.subscribe sys' ~at:"n0" (parse_query q_all) with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe: %s" e
+  in
+  let _ = System.import_stores sys' dumps in
+  check_tracks sys' ~at:"n0" id q_all "bulk import re-seeds the answers"
+
+(* --- remote push ------------------------------------------------------ *)
+
+let remote_pair ?(window = 0.0) ?base () =
+  let sys = System.build_exn ~opts:(sub_opts ?base ~window ()) (chain 3) in
+  let id =
+    match System.subscribe_remote sys ~subscriber:"n1" ~host:"n0" (parse_query q_all) with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe_remote: %s" e
+  in
+  let _ = System.run sys in
+  (sys, id)
+
+let mirror_of sys ~at id =
+  match System.mirror sys ~at id with
+  | Some m -> m
+  | None -> Alcotest.failf "no mirror %s at %s" id at
+
+let test_remote_push () =
+  let sys, id = remote_pair () in
+  let m = mirror_of sys ~at:"n1" id in
+  Alcotest.(check bool) "registration accepted" true (Mirror.accepted m);
+  check_tuples "seed snapshot arrived"
+    (System.local_answers sys ~at:"n0" (parse_query q_all))
+    (Mirror.answers m);
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 902; s "w2" ]));
+  let _ = System.run sys in
+  check_tuples "pushed delta applied"
+    (System.local_answers sys ~at:"n0" (parse_query q_all))
+    (Mirror.answers m);
+  let _ = System.run_update sys ~initiator:"n0" in
+  check_tuples "update deltas streamed to the mirror"
+    (System.local_answers sys ~at:"n0" (parse_query q_all))
+    (Mirror.answers m);
+  Alcotest.(check bool) "several deltas arrived" true (Mirror.deltas m >= 2);
+  Alcotest.(check bool) "unsubscribe" true (System.unsubscribe_remote sys ~subscriber:"n1" id);
+  let _ = System.run sys in
+  Alcotest.(check int) "host forgot the subscription" 1
+    (sub_stats sys "n0").Stats.sb_unregistered
+
+let test_refused_registration_marks_mirror () =
+  (* the host refuses (unknown relation in the query body): the mirror
+     must learn the verdict and the reason, not hang half-armed *)
+  let sys = System.build_exn ~opts:(sub_opts ()) (chain 2) in
+  let id =
+    match
+      System.subscribe_remote sys ~subscriber:"n1" ~host:"n0"
+        (parse_query "o(x) <- nosuch(x)")
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe_remote: %s" e
+  in
+  let _ = System.run sys in
+  let m = mirror_of sys ~at:"n1" id in
+  Alcotest.(check bool) "refused" false (Mirror.accepted m);
+  Alcotest.(check bool) "reason recorded" true (Mirror.rejected m <> None)
+
+let test_batching_coalesces_pushes () =
+  let push_msgs window =
+    let sys, id = remote_pair ~window () in
+    List.iteri
+      (fun k v ->
+        ignore
+          (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i (910 + k); s v ])))
+      [ "a"; "b"; "c"; "d" ];
+    let _ = System.run sys in
+    check_tuples "mirror converged"
+      (System.local_answers sys ~at:"n0" (parse_query q_all))
+      (Mirror.answers (mirror_of sys ~at:"n1" id));
+    (sub_stats sys "n0").Stats.sb_push_msgs
+  in
+  let unbatched = push_msgs 0.0 in
+  let batched = push_msgs (10.0 *. Options.default.Options.latency) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer push messages (%d -> %d)" unbatched batched)
+    true
+    (batched < unbatched)
+
+(* --- epoch agreement with the one-shot query cache -------------------- *)
+
+let test_cache_epoch_agreement_host () =
+  let opts = sub_opts ~base:{ Options.default with Options.use_query_cache = true } () in
+  let sys = System.build_exn ~opts (chain 2) in
+  let n0 = System.node sys "n0" in
+  let cache = Option.get n0.Node.cache in
+  let q = parse_query q_all in
+  let inside_hit = ref true in
+  let fired = ref 0 in
+  (match
+     System.subscribe sys ~at:"n0" q ~on_delta:(fun d ->
+         if d.Sub.d_tag = "local-write" then begin
+           incr fired;
+           (* a one-shot query issued the instant the delta is
+              delivered must not be served the pre-delta answers *)
+           inside_hit := Qcache.lookup cache ~now:(System.now sys) q <> None
+         end)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "subscribe: %s" e);
+  Qcache.store cache ~now:(System.now sys) q
+    (System.local_answers sys ~at:"n0" q)
+    ~sources:[ n0.Node.node_id ];
+  Alcotest.(check bool) "entry hits before the delta" true
+    (Qcache.lookup cache ~now:(System.now sys) q <> None);
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 903; s "w3" ]));
+  Alcotest.(check int) "delta delivered" 1 !fired;
+  Alcotest.(check bool) "stale answers not served inside the delivery" false
+    !inside_hit;
+  (* mid-update deltas: the update protocol only stales epochs at
+     finalization, so the subscription delivery must do it itself *)
+  Qcache.store cache ~now:(System.now sys) q
+    (System.local_answers sys ~at:"n0" q)
+    ~sources:[ n0.Node.node_id ];
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check bool) "mid-update staling counted" true
+    ((sub_stats sys "n0").Stats.sb_cache_staled > 0)
+
+let test_cache_epoch_agreement_subscriber () =
+  let base = { Options.default with Options.use_query_cache = true } in
+  let sys, _id = remote_pair ~base () in
+  let n1 = System.node sys "n1" in
+  let cache = Option.get n1.Node.cache in
+  let q = parse_query q_all in
+  Qcache.store cache ~now:(System.now sys) q
+    (System.local_answers sys ~at:"n0" q)
+    ~sources:[ (System.node sys "n0").Node.node_id ];
+  Alcotest.(check bool) "entry hits before the push" true
+    (Qcache.lookup cache ~now:(System.now sys) q <> None);
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 904; s "w4" ]));
+  let _ = System.run sys in
+  Alcotest.(check bool) "pushed delta staled the cached one-shot answer" true
+    (Qcache.lookup cache ~now:(System.now sys) q = None)
+
+(* --- crash / restart -------------------------------------------------- *)
+
+let test_crash_tears_down_restart_rearms () =
+  let sys, id = remote_pair () in
+  System.crash_node sys "n0";
+  Alcotest.(check bool) "host registry torn down" true
+    ((sub_stats sys "n0").Stats.sb_torn_down > 0);
+  Alcotest.(check bool) "mirror survives at the subscriber" true
+    (System.mirror sys ~at:"n1" id <> None);
+  System.restart_node sys "n0";
+  let _ = System.run sys in
+  Alcotest.(check bool) "subscriber re-armed" true
+    ((sub_stats sys "n1").Stats.sb_rearmed > 0);
+  check_tuples "snapshot re-seeded the mirror"
+    (System.local_answers sys ~at:"n0" (parse_query q_all))
+    (Mirror.answers (mirror_of sys ~at:"n1" id));
+  (* and the re-armed subscription is live again *)
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 905; s "w5" ]));
+  let _ = System.run sys in
+  check_tuples "deltas flow after the re-arm"
+    (System.local_answers sys ~at:"n0" (parse_query q_all))
+    (Mirror.answers (mirror_of sys ~at:"n1" id))
+
+let test_subscriber_crash_forgets_mirrors () =
+  let sys, id = remote_pair () in
+  System.crash_node sys "n1";
+  Alcotest.(check bool) "mirror gone" true (System.mirror sys ~at:"n1" id = None);
+  System.restart_node sys "n1";
+  (* pushes to the forgotten id must be ignored, not crash *)
+  ignore (System.insert_fact sys ~at:"n0" ~rel:"data" (tup [ i 906; s "w6" ]));
+  let _ = System.run sys in
+  Alcotest.(check bool) "still no mirror" true (System.mirror sys ~at:"n1" id = None)
+
+(* --- naive baseline --------------------------------------------------- *)
+
+(* a single-atom query costs the same scan either way, so measure on a
+   self-join, where naive re-evaluation probes the entire relation on
+   every store change while the delta pass probes only the delta *)
+let q_join = "o(k, v, w) <- data(k, v), data(k, w)"
+
+let test_naive_same_answers_more_probes () =
+  let run naive =
+    let sys = System.build_exn ~opts:(sub_opts ~naive ()) (chain 4) in
+    let id =
+      match System.subscribe sys ~at:"n0" (parse_query q_join) with
+      | Ok id -> id
+      | Error e -> Alcotest.failf "subscribe: %s" e
+    in
+    let _ = System.run_update sys ~initiator:"n0" in
+    check_tracks sys ~at:"n0" id q_join "answers correct";
+    let r = Report.sub_report (System.snapshots sys) in
+    (sorted_tuples (answers_of sys ~at:"n0" id), r.Report.sr_probes + r.Report.sr_scans)
+  in
+  let incr_answers, incr_cost = run false in
+  let naive_answers, naive_cost = run true in
+  check_tuples "naive = incremental answers" incr_answers naive_answers;
+  Alcotest.(check bool)
+    (Printf.sprintf "incremental does less evaluator work (%d vs %d)" incr_cost
+       naive_cost)
+    true (incr_cost < naive_cost)
+
+(* --- equivalence property --------------------------------------------- *)
+
+(* At every quiescent point, the incrementally maintained answer set
+   (host registry and remote mirror alike) must equal a from-scratch
+   re-evaluation of the query over the host's store — across the
+   pushdown/planner/batching/naive corners, and under seeded
+   drop/dup/crash chaos (retried transport keeps delivery exact). *)
+let gen_sub_case =
+  let open Gen in
+  let* shape =
+    oneofl [ Topology.Chain; Topology.Ring; Topology.Star_in; Topology.Binary_tree ]
+  in
+  let* n = int_range 2 4 in
+  let* seed = int_range 0 10000 in
+  let* corner = oneofl [ `Plain; `Pushdown; `No_planner; `Batched; `Naive ] in
+  let* chaos = bool in
+  let* crash = bool in
+  return (shape, n, seed, corner, chaos, crash)
+
+let corner_opts corner chaos =
+  let base =
+    match corner with
+    | `Plain -> sub_opts ()
+    | `Pushdown -> sub_opts ~base:{ Options.default with Options.pushdown = true } ()
+    | `No_planner -> sub_opts ~base:{ Options.default with Options.planner = false } ()
+    | `Batched -> sub_opts ~window:(5.0 *. Options.default.Options.latency) ()
+    | `Naive -> sub_opts ~naive:true ()
+  in
+  if not chaos then base
+  else
+    {
+      base with
+      Options.fault_seed = 7;
+      drop_prob = 0.2;
+      dup_prob = 0.1;
+      jitter = 0.002;
+      drop_budget = 4;
+      ack_timeout = 0.05;
+      max_retries = 6;
+    }
+
+let prop_incremental_equals_scratch =
+  Q2.Test.make
+    ~name:"standing answers = from-scratch re-evaluation at quiescence" ~count:25
+    gen_sub_case
+    (fun (shape, n, seed, corner, chaos, crash) ->
+      let opts = corner_opts corner chaos in
+      let params =
+        { Topology.default_params with
+          Topology.tuples_per_node = 6;
+          profile = { Datagen.domain_size = 10; skew = 0.5 } }
+      in
+      let sys = System.build_exn ~opts (Topology.generate ~params ~seed shape ~n) in
+      let queries = [ q_all; q_selective ] in
+      let subscribe_all () =
+        List.map
+          (fun q ->
+            match System.subscribe sys ~at:"n0" (parse_query q) with
+            | Ok id -> (id, q)
+            | Error e -> Alcotest.failf "subscribe: %s" e)
+          queries
+      in
+      let locals = ref (subscribe_all ()) in
+      let remote =
+        match
+          System.subscribe_remote sys ~subscriber:"n1" ~host:"n0"
+            (parse_query q_all)
+        with
+        | Ok id -> id
+        | Error e -> Alcotest.failf "subscribe_remote: %s" e
+      in
+      let _ = System.run sys in
+      let agree () =
+        List.for_all
+          (fun (id, q) ->
+            sorted_tuples (System.local_answers sys ~at:"n0" (parse_query q))
+            = sorted_tuples (answers_of sys ~at:"n0" id))
+          !locals
+        && sorted_tuples (System.local_answers sys ~at:"n0" (parse_query q_all))
+           = sorted_tuples
+               (Mirror.answers
+                  (Option.get (System.mirror sys ~at:"n1" remote)))
+      in
+      let ok = ref (agree ()) in
+      List.iteri
+        (fun round (k, v) ->
+          let at = Topology.node_name (round mod n) in
+          ignore (System.insert_fact sys ~at ~rel:"data" (tup [ i k; s v ]));
+          let _ = System.run_update sys ~initiator:"n0" in
+          if crash && round = 1 then begin
+            (* the host loses all volatile subscription state; its
+               local clients re-subscribe, remote mirrors re-arm *)
+            System.crash_node sys "n0";
+            System.restart_node sys "n0";
+            locals := subscribe_all ();
+            let _ = System.run sys in
+            ()
+          end;
+          ok := !ok && agree ())
+        [ (991, "x1"); (992, "x2"); (993, "x3") ];
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "disabled by default" `Quick test_disabled_by_default;
+    Alcotest.test_case "register seeds and unregister" `Quick
+      test_register_seeds_and_unregister;
+    Alcotest.test_case "validation and limits" `Quick test_validation;
+    Alcotest.test_case "incremental maintenance tracks updates" `Quick
+      test_incremental_tracks_updates;
+    Alcotest.test_case "bulk import re-seeds" `Quick test_import_reseeds;
+    Alcotest.test_case "remote push keeps the mirror current" `Quick
+      test_remote_push;
+    Alcotest.test_case "remote registration outcome reaches the mirror" `Quick
+      test_refused_registration_marks_mirror;
+    Alcotest.test_case "batch window coalesces pushes" `Quick
+      test_batching_coalesces_pushes;
+    Alcotest.test_case "cache epoch agreement at the host" `Quick
+      test_cache_epoch_agreement_host;
+    Alcotest.test_case "cache epoch agreement at the subscriber" `Quick
+      test_cache_epoch_agreement_subscriber;
+    Alcotest.test_case "crash tears down, restart re-arms" `Quick
+      test_crash_tears_down_restart_rearms;
+    Alcotest.test_case "subscriber crash forgets mirrors" `Quick
+      test_subscriber_crash_forgets_mirrors;
+    Alcotest.test_case "naive baseline: same answers, more work" `Quick
+      test_naive_same_answers_more_probes;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_scratch;
+  ]
