@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench scale-bench scale-bench-tiny examples clean
 
 all: build
 
@@ -41,6 +41,16 @@ pushdown-bench:
 # standing-query maintenance -> BENCH_sub.json (incremental vs naive re-evaluation)
 sub-bench:
 	dune exec bench/main.exe -- sub-json
+
+# storage-engine scale bench -> BENCH_scale.json (packed columnar vs boxed seed,
+# >= 1k nodes / >= 1M tuples; the committed JSON embeds a tiny_reference block)
+scale-bench:
+	dune exec bench/main.exe -- scale-json
+
+# CI smoke variant -> BENCH_scale_tiny.json, gated against the committed
+# tiny_reference in BENCH_scale.json
+scale-bench-tiny:
+	dune exec bench/main.exe -- scale-json --tiny
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- chaos-json   # fault-injection sweep -> BENCH_chaos.json
      dune exec bench/main.exe -- pushdown-json # constraint pushdown ablation -> BENCH_pushdown.json
      dune exec bench/main.exe -- sub-json     # standing-query maintenance -> BENCH_sub.json
+     dune exec bench/main.exe -- scale-json   # storage-engine scale bench -> BENCH_scale.json
      dune exec bench/main.exe -- --seed N ..  # reseed workload + fault schedule
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
@@ -47,6 +48,7 @@ let () =
   | [ "chaos-json" ] -> Chaos_bench.run ~tiny:!tiny ~seed:!seed ()
   | [ "pushdown-json" ] -> Pushdown_bench.run ~tiny:!tiny ()
   | [ "sub-json" ] -> Sub_bench.run ~tiny:!tiny ()
+  | [ "scale-json" ] -> Scale_bench.run ~tiny:!tiny ()
   | names ->
       if List.mem "micro" names then Micro.run ();
       if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
@@ -54,18 +56,19 @@ let () =
       if List.mem "chaos-json" names then Chaos_bench.run ~tiny:!tiny ~seed:!seed ();
       if List.mem "pushdown-json" names then Pushdown_bench.run ~tiny:!tiny ();
       if List.mem "sub-json" names then Sub_bench.run ~tiny:!tiny ();
+      if List.mem "scale-json" names then Scale_bench.run ~tiny:!tiny ();
       let experiment_names =
         List.filter
           (fun n ->
             n <> "micro" && n <> "bench-json" && n <> "wire-json" && n <> "chaos-json"
-            && n <> "pushdown-json" && n <> "sub-json")
+            && n <> "pushdown-json" && n <> "sub-json" && n <> "scale-json")
           names
       in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
         Printf.eprintf
-          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, pushdown-json, sub-json)\n"
+          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, pushdown-json, sub-json, scale-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

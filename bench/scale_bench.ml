@@ -1,0 +1,482 @@
+(* Scale benchmark (experiment E19 and `make scale-bench`).
+
+   The storage-engine ablation: the same planned evaluator runs over
+   two engines fed identical per-node workloads —
+
+     packed-columnar  the production [Relation]: interned values packed
+                      into tagged ints, columnar chunk storage, indexes
+                      keyed by packed ints
+     boxed-seed       [Relation_ref], the seed engine preserved
+                      verbatim: boxed tuple sets and indexes keyed by
+                      boxed value lists
+
+   The workload is a peer-to-peer network at scale: >= 1k nodes, each
+   with two string-columned relations (600 + 400 tuples, so >= 1M
+   tuples network-wide) over Zipf-skewed domains of long
+   shared-prefix strings — the regime where boxed comparisons walk
+   strings on every probe while packed comparisons stay on ints.  Per
+   node, three phases are timed separately:
+
+     ingest    bulk insert plus duplicate re-offers (set dedup path)
+     subsume   null-aware membership probes, ground and hole-carrying
+     query     three shapes through the planned evaluator, several
+               runs each, timed separately:
+                 chain    full join, answer-heavy (boxing and answer
+                          de-duplication shared by both engines)
+                 hub      constant-selective composite probe
+                 filter   the chain join through a selective equality
+                          filter: full join traffic, few survivors —
+                          the evaluator-bound shape, and the headline
+                          speedup number (the shared per-answer
+                          boxing cost is negligible, so what remains
+                          is the join core itself)
+
+   Both engines must agree on every observable — tuples admitted,
+   subsumption verdicts, answer counts, an order-insensitive content
+   digest of the answers, and the evaluator's probe/scan counters
+   (identical plans) — otherwise the benchmark aborts.  Results are
+   written to BENCH_scale.json; the full run embeds a
+   [tiny_reference] block that `make scale-bench-tiny` reproduces in
+   CI and is gated against. *)
+
+module Database = Codb_relalg.Database
+module Relation = Codb_relalg.Relation
+module Ref = Codb_relalg.Relation_ref
+module Schema = Codb_relalg.Schema
+module Value = Codb_relalg.Value
+module Tuple = Codb_relalg.Tuple
+module Eval = Codb_cq.Eval
+module Term = Codb_cq.Term
+module Atom = Codb_cq.Atom
+module Query = Codb_cq.Query
+module Rng = Codb_workload.Rng
+
+let r_schema = Schema.make "r" [ ("a", Value.Tstring); ("b", Value.Tstring) ]
+
+let s_schema = Schema.make "s" [ ("b", Value.Tstring); ("c", Value.Tstring) ]
+
+type workload = {
+  wl_nodes : int;
+  wl_r : int;  (* r tuples per node *)
+  wl_s : int;  (* s tuples per node *)
+  wl_dom_a : int;
+  wl_dom_b : int;
+  wl_dom_c : int;
+  wl_skew : float;
+  wl_query_runs : int;
+}
+
+let full_workload =
+  {
+    wl_nodes = 1024;
+    wl_r = 600;
+    wl_s = 400;
+    wl_dom_a = 300;
+    wl_dom_b = 200;
+    wl_dom_c = 250;
+    wl_skew = 1.0;
+    wl_query_runs = 3;
+  }
+
+let tiny_workload = { full_workload with wl_nodes = 8 }
+
+let total_tuples wl = wl.wl_nodes * (wl.wl_r + wl.wl_s)
+
+(* Long strings with a long shared prefix: boxed equality must walk
+   the prefix before it can differ, packed equality never looks. *)
+let str_of ~node ~tag rank =
+  Value.Str (Printf.sprintf "codb-scale-%s-node%04d-%s-%06d" "wh" node tag rank)
+
+let gen_node_tuples wl ~node =
+  let rng = Rng.make ~seed:(7177 + node) in
+  let zipf n = Rng.zipf rng ~n ~s:wl.wl_skew in
+  let r_tuples =
+    List.init wl.wl_r (fun _ ->
+        [| str_of ~node ~tag:"a" (zipf wl.wl_dom_a); str_of ~node ~tag:"b" (zipf wl.wl_dom_b) |])
+  in
+  let s_tuples =
+    List.init wl.wl_s (fun _ ->
+        [| str_of ~node ~tag:"b" (zipf wl.wl_dom_b); str_of ~node ~tag:"c" (zipf wl.wl_dom_c) |])
+  in
+  (r_tuples, s_tuples)
+
+let chain_query =
+  Query.make
+    ~head:(Atom.make "ans" [ Term.Var "a"; Term.Var "c" ])
+    ~body:
+      [
+        Atom.make "r" [ Term.Var "a"; Term.Var "b" ];
+        Atom.make "s" [ Term.Var "b"; Term.Var "c" ];
+      ]
+    ()
+
+(* hub-selective: the most frequent [a] of this node bound as a
+   constant, so the plan opens with a composite probe *)
+let hub_query ~node =
+  Query.make
+    ~head:(Atom.make "ans" [ Term.Var "c" ])
+    ~body:
+      [
+        Atom.make "r" [ Term.Cst (str_of ~node ~tag:"a" 1); Term.Var "b" ];
+        Atom.make "s" [ Term.Var "b"; Term.Var "c" ];
+      ]
+    ()
+
+(* evaluator-bound: the same chain join forced through a selective
+   equality filter on [a].  The planner scans [s] first (smaller) and
+   probes [r] per binding, and [a] only becomes ground at that final
+   step — the filter cannot be pushed before the join, so both
+   engines pay the full join's probe-and-match traffic while only a
+   few percent of the matches survive to be boxed.  Timing this shape
+   measures the join core, not answer materialisation. *)
+let filter_query ~node =
+  Query.make
+    ~head:(Atom.make "ans" [ Term.Var "a"; Term.Var "c" ])
+    ~body:
+      [
+        Atom.make "r" [ Term.Var "a"; Term.Var "b" ];
+        Atom.make "s" [ Term.Var "b"; Term.Var "c" ];
+      ]
+    ~comparisons:
+      [ { Query.left = Term.Var "a"; op = Query.Eq; right = Term.Cst (str_of ~node ~tag:"a" 17) } ]
+    ()
+
+(* ---- engines --------------------------------------------------------- *)
+
+(* one access-path source per engine, same [Eval.rows] contract *)
+type engine = {
+  e_name : string;
+  e_fresh : unit -> Tuple.t list -> Tuple.t list -> unit;
+      (* load this node's r and s tuples *)
+  e_reoffer : Tuple.t list -> Tuple.t list -> int;  (* duplicates rejected *)
+  e_subsumed : Tuple.t -> bool;  (* against r *)
+  e_source : unit -> Eval.source;
+}
+
+let packed_engine () =
+  let db = ref (Database.create [ r_schema; s_schema ]) in
+  {
+    e_name = "packed-columnar";
+    e_fresh =
+      (fun () r s ->
+        db := Database.create [ r_schema; s_schema ];
+        ignore (Database.insert_all !db "r" r);
+        ignore (Database.insert_all !db "s" s));
+    e_reoffer =
+      (fun r s ->
+        let offered = List.length r + List.length s in
+        let fresh =
+          List.length (Database.insert_all !db "r" r)
+          + List.length (Database.insert_all !db "s" s)
+        in
+        offered - fresh);
+    e_subsumed = (fun t -> Relation.subsumed (Database.relation !db "r") t);
+    e_source = (fun () -> Eval.of_database !db);
+  }
+
+(* the boxed baseline drives the same evaluator through hand-built
+   access paths over [Relation_ref] *)
+let rows_of_ref r =
+  {
+    Eval.all = (fun () -> Ref.to_list r);
+    all_arr = None;
+    size = Ref.cardinal r;
+    probe = Some (fun col v -> Ref.lookup r ~col v);
+    probe_arr = None;
+    probe_cols = Some (fun bs -> Ref.lookup_cols r bs);
+    probe_cols_arr = None;
+    distinct = Some (fun col -> Ref.distinct_count r ~col);
+    arity = Some (Schema.arity (Ref.schema r));
+    packed = None;
+  }
+
+let boxed_engine () =
+  let r_rel = ref (Ref.create r_schema) in
+  let s_rel = ref (Ref.create s_schema) in
+  {
+    e_name = "boxed-seed";
+    e_fresh =
+      (fun () r s ->
+        r_rel := Ref.create r_schema;
+        s_rel := Ref.create s_schema;
+        ignore (Ref.insert_all !r_rel r);
+        ignore (Ref.insert_all !s_rel s));
+    e_reoffer =
+      (fun r s ->
+        let offered = List.length r + List.length s in
+        let fresh =
+          List.length (Ref.insert_all !r_rel r) + List.length (Ref.insert_all !s_rel s)
+        in
+        offered - fresh);
+    e_subsumed = (fun t -> Ref.subsumed !r_rel t);
+    e_source =
+      (fun () ->
+        fun rel ->
+          match rel with
+          | "r" -> rows_of_ref !r_rel
+          | "s" -> rows_of_ref !s_rel
+          | _ -> Eval.empty_rows);
+  }
+
+(* ---- equivalence digest ---------------------------------------------- *)
+
+(* FNV-1a over value contents: independent of intern-table slot order,
+   so digests compare across processes (full run vs CI tiny run) *)
+let fnv h n = (h lxor n) * 0x100000001b3 land max_int
+
+let value_digest h = function
+  | Value.Int n -> fnv (fnv h 1) n
+  | Value.Float f -> fnv (fnv h 2) (Int64.to_int (Int64.bits_of_float f))
+  | Value.Str s -> String.fold_left (fun h c -> fnv h (Char.code c)) (fnv h 3) s
+  | Value.Bool b -> fnv (fnv h 4) (Bool.to_int b)
+  | Value.Null { Value.null_id; _ } -> fnv (fnv h 5) null_id
+  | Value.Hole k -> fnv (fnv h 6) k
+
+let tuples_digest h tuples =
+  (* [Eval.answer_tuples] returns answers in sorted order, so a fold
+     is order-stable across engines *)
+  List.fold_left (fun h t -> Array.fold_left value_digest (fnv h 17) t) h tuples
+
+(* ---- measurement ----------------------------------------------------- *)
+
+type metrics = {
+  mutable ingest_s : float;
+  mutable subsume_s : float;
+  mutable query_s : float;  (* chain + hub + filter *)
+  mutable chain_s : float;
+  mutable hub_s : float;
+  mutable filter_s : float;
+  mutable dups : int;
+  mutable subsumed_yes : int;
+  mutable answers : int;
+  mutable digest : int;
+  mutable probes : int;
+  mutable scans : int;
+  mutable alloc_bytes : float;
+}
+
+let fresh_metrics () =
+  {
+    ingest_s = 0.;
+    subsume_s = 0.;
+    query_s = 0.;
+    chain_s = 0.;
+    hub_s = 0.;
+    filter_s = 0.;
+    dups = 0;
+    subsumed_yes = 0;
+    answers = 0;
+    digest = 0;
+    probes = 0;
+    scans = 0;
+    alloc_bytes = 0.;
+  }
+
+let run_node wl ~node engine m =
+  let r_tuples, s_tuples = gen_node_tuples wl ~node in
+  let reoffer_r = List.filteri (fun k _ -> k mod 10 = 0) r_tuples in
+  let reoffer_s = List.filteri (fun k _ -> k mod 10 = 0) s_tuples in
+  let alloc0 = Gc.allocated_bytes () in
+  (* ingest *)
+  let t0 = Unix.gettimeofday () in
+  engine.e_fresh () r_tuples s_tuples;
+  m.dups <- m.dups + engine.e_reoffer reoffer_r reoffer_s;
+  m.ingest_s <- m.ingest_s +. (Unix.gettimeofday () -. t0);
+  (* subsume: ground hits, ground misses, hole-carrying probes *)
+  let t0 = Unix.gettimeofday () in
+  let yes = ref 0 in
+  List.iteri
+    (fun k t ->
+      if k mod 7 = 0 then begin
+        if engine.e_subsumed t then incr yes;
+        if engine.e_subsumed [| t.(0); Value.Str "codb-scale-absent" |] then incr yes;
+        if engine.e_subsumed [| t.(0); Value.Hole 0 |] then incr yes;
+        if engine.e_subsumed [| Value.Hole 0; t.(1) |] then incr yes
+      end)
+    r_tuples;
+  m.subsumed_yes <- m.subsumed_yes + !yes;
+  m.subsume_s <- m.subsume_s +. (Unix.gettimeofday () -. t0);
+  (* query: several planned-evaluator runs over each shape, each shape
+     timed on its own (the filter shape is the evaluator-bound one) *)
+  let source = engine.e_source () in
+  let hub = hub_query ~node in
+  let filter = filter_query ~node in
+  let before = Eval.counters () in
+  let chain_answers = ref [] and hub_answers = ref [] and filter_answers = ref [] in
+  let shape answers q =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to wl.wl_query_runs do
+      answers := Eval.answer_tuples source q
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let chain_s = shape chain_answers chain_query in
+  let hub_s = shape hub_answers hub in
+  let filter_s = shape filter_answers filter in
+  m.chain_s <- m.chain_s +. chain_s;
+  m.hub_s <- m.hub_s +. hub_s;
+  m.filter_s <- m.filter_s +. filter_s;
+  m.query_s <- m.query_s +. chain_s +. hub_s +. filter_s;
+  let after = Eval.counters () in
+  m.probes <- m.probes + (after.Eval.probes - before.Eval.probes);
+  m.scans <- m.scans + (after.Eval.scans - before.Eval.scans);
+  m.answers <-
+    m.answers + List.length !chain_answers + List.length !hub_answers
+    + List.length !filter_answers;
+  m.digest <-
+    tuples_digest
+      (tuples_digest (tuples_digest m.digest !chain_answers) !hub_answers)
+      !filter_answers;
+  m.alloc_bytes <- m.alloc_bytes +. (Gc.allocated_bytes () -. alloc0)
+
+let measure wl =
+  let engines = [ packed_engine (); boxed_engine () ] in
+  let results = List.map (fun e -> (e, fresh_metrics ())) engines in
+  for node = 0 to wl.wl_nodes - 1 do
+    List.iter (fun (e, m) -> run_node wl ~node e m) results
+  done;
+  (* hard equivalence gate: identical observables, identical plans *)
+  (match results with
+  | (e0, m0) :: rest ->
+      List.iter
+        (fun (e, m) ->
+          if
+            m.dups <> m0.dups || m.subsumed_yes <> m0.subsumed_yes
+            || m.answers <> m0.answers || m.digest <> m0.digest
+            || m.probes <> m0.probes || m.scans <> m0.scans
+          then
+            failwith
+              (Printf.sprintf
+                 "scale bench: %s disagrees with %s (answers %d vs %d, digest %d vs %d, \
+                  probes %d vs %d)"
+                 e.e_name e0.e_name m.answers m0.answers m.digest m0.digest m.probes
+                 m0.probes))
+        rest
+  | [] -> ());
+  results
+
+let query_speedup results =
+  match
+    ( List.find_opt (fun (e, _) -> e.e_name = "packed-columnar") results,
+      List.find_opt (fun (e, _) -> e.e_name = "boxed-seed") results )
+  with
+  | Some (_, p), Some (_, b) when p.query_s > 0. -> b.query_s /. p.query_s
+  | _ -> nan
+
+let phase_speedup results f =
+  match
+    ( List.find_opt (fun (e, _) -> e.e_name = "packed-columnar") results,
+      List.find_opt (fun (e, _) -> e.e_name = "boxed-seed") results )
+  with
+  | Some (_, p), Some (_, b) when f p > 0. -> f b /. f p
+  | _ -> nan
+
+let print_table ~label wl results =
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E19 - storage-engine scale bench [%s] (%d nodes, %d tuples, zipf %.1f)" label
+         wl.wl_nodes (total_tuples wl) wl.wl_skew)
+    ~header:
+      [ "engine"; "ingest s"; "subsume s"; "chain s"; "hub s"; "filter s"; "probes";
+        "scans"; "answers"; "alloc MB" ]
+    (List.map
+       (fun (e, m) ->
+         [
+           e.e_name;
+           Tables.f2 m.ingest_s;
+           Tables.f2 m.subsume_s;
+           Tables.f2 m.chain_s;
+           Tables.f2 m.hub_s;
+           Tables.f2 m.filter_s;
+           Tables.i0 m.probes;
+           Tables.i0 m.scans;
+           Tables.i0 m.answers;
+           Tables.f2 (m.alloc_bytes /. 1048576.0);
+         ])
+       results);
+  Printf.printf
+    "query speedups (boxed-seed / packed-columnar): chain %.2fx, hub %.2fx, \
+     filter %.2fx (evaluator-bound), overall %.2fx\n%!"
+    (phase_speedup results (fun m -> m.chain_s))
+    (phase_speedup results (fun m -> m.hub_s))
+    (phase_speedup results (fun m -> m.filter_s))
+    (query_speedup results)
+
+let emit_result oc ~indent wl results =
+  let p fmt = Printf.fprintf oc fmt in
+  let pad = String.make indent ' ' in
+  p "%s\"workload\": {\"nodes\": %d, \"r_per_node\": %d, \"s_per_node\": %d, \
+     \"total_tuples\": %d, \"dom_a\": %d, \"dom_b\": %d, \"dom_c\": %d, \"skew\": %g, \
+     \"query_runs\": %d},\n"
+    pad wl.wl_nodes wl.wl_r wl.wl_s (total_tuples wl) wl.wl_dom_a wl.wl_dom_b wl.wl_dom_c
+    wl.wl_skew wl.wl_query_runs;
+  p "%s\"engines\": [\n" pad;
+  let n = List.length results in
+  List.iteri
+    (fun k (e, m) ->
+      p
+        "%s  {\"name\": \"%s\", \"ingest_s\": %.6f, \"subsume_s\": %.6f, \"query_s\": \
+         %.6f, \"chain_s\": %.6f, \"hub_s\": %.6f, \"filter_s\": %.6f, \"probes\": %d, \
+         \"scans\": %d, \"dups\": %d, \"subsumed_yes\": %d, \"answers\": %d, \"digest\": \
+         %d, \"allocated_mb\": %.2f}%s\n"
+        pad e.e_name m.ingest_s m.subsume_s m.query_s m.chain_s m.hub_s m.filter_s
+        m.probes m.scans m.dups m.subsumed_yes m.answers m.digest
+        (m.alloc_bytes /. 1048576.0)
+        (if k = n - 1 then "" else ","))
+    results;
+  p "%s],\n" pad;
+  p
+    "%s\"speedup\": {\"ingest\": %.2f, \"subsume\": %.2f, \"query\": %.2f, \
+     \"query_chain\": %.2f, \"query_hub\": %.2f, \"query_filter\": %.2f},\n"
+    pad
+    (phase_speedup results (fun m -> m.ingest_s))
+    (phase_speedup results (fun m -> m.subsume_s))
+    (phase_speedup results (fun m -> m.query_s))
+    (phase_speedup results (fun m -> m.chain_s))
+    (phase_speedup results (fun m -> m.hub_s))
+    (phase_speedup results (fun m -> m.filter_s));
+  p "%s\"answers_identical\": true" pad
+
+(* Hand-rolled JSON: the harness must not grow dependencies. *)
+let write_json ~path ~full_part ~tiny_part =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"scale-storage\",\n";
+  (match full_part with
+  | Some (wl, results) ->
+      emit_result oc ~indent:2 wl results;
+      p ",\n"
+  | None -> ());
+  (match tiny_part with
+  | Some (wl, results) ->
+      p "  \"tiny_reference\": {\n";
+      emit_result oc ~indent:4 wl results;
+      p "\n  },\n"
+  | None -> ());
+  p "  \"top_heap_mwords\": %.1f\n"
+    (float_of_int (Gc.quick_stat ()).Gc.top_heap_words /. 1.0e6);
+  p "}\n";
+  close_out oc
+
+let run ?(tiny = false) () =
+  if tiny then begin
+    let wl = tiny_workload in
+    let results = measure wl in
+    print_table ~label:"tiny" wl results;
+    write_json ~path:"BENCH_scale_tiny.json" ~full_part:None
+      ~tiny_part:(Some (wl, results));
+    Printf.printf "wrote BENCH_scale_tiny.json\n%!"
+  end
+  else begin
+    (* the tiny reference first (cheap), then the full run *)
+    let tiny_results = measure tiny_workload in
+    print_table ~label:"tiny reference" tiny_workload tiny_results;
+    let wl = full_workload in
+    let results = measure wl in
+    print_table ~label:"full" wl results;
+    write_json ~path:"BENCH_scale.json" ~full_part:(Some (wl, results))
+      ~tiny_part:(Some (tiny_workload, tiny_results));
+    Printf.printf "wrote BENCH_scale.json\n%!"
+  end

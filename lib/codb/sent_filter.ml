@@ -2,10 +2,20 @@ module Bloom = Codb_net.Bloom
 module Tuple = Codb_relalg.Tuple
 module Tuple_set = Codb_relalg.Relation.Tuple_set
 
+(* keyed by [Tuple.hash], not the polymorphic hash: probing the ring
+   cache must not walk every boxed string of every tuple *)
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
 type bounded = {
   bloom : Bloom.t;
   ring : Tuple.t option array;  (* FIFO of the most recent distinct sends *)
-  live : (Tuple.t, unit) Hashtbl.t;  (* exact membership for ring occupants *)
+  live : unit Tuple_tbl.t;  (* exact membership for ring occupants *)
   mutable head : int;
   mutable resends : int;
 }
@@ -20,7 +30,7 @@ let create ~bloom_bits ~ring_capacity =
       {
         bloom = Bloom.create ~bits:bloom_bits;
         ring = Array.make ring_capacity None;
-        live = Hashtbl.create (min ring_capacity 1024);
+        live = Tuple_tbl.create (min ring_capacity 1024);
         head = 0;
         resends = 0;
       }
@@ -31,10 +41,12 @@ let already_sent t tuple =
   | Exact { set } -> Tuple_set.mem tuple set
   | Bounded b ->
       (* The bloom check is the cheap fast path; only a positive consults
-         the exact ring, and only a ring hit may suppress the send. *)
-      Bloom.mem b.bloom tuple
+         the exact ring, and only a ring hit may suppress the send.  One
+         [Tuple.hash] serves both probes. *)
+      let h = Tuple.hash tuple in
+      Bloom.mem_hash b.bloom h
       &&
-      if Hashtbl.mem b.live tuple then true
+      if Tuple_tbl.mem b.live tuple then true
       else begin
         b.resends <- b.resends + 1;
         false
@@ -44,18 +56,18 @@ let note_sent t tuple =
   match t with
   | Exact e -> e.set <- Tuple_set.add tuple e.set
   | Bounded b ->
-      if not (Hashtbl.mem b.live tuple) then begin
+      if not (Tuple_tbl.mem b.live tuple) then begin
         (match b.ring.(b.head) with
-        | Some evicted -> Hashtbl.remove b.live evicted
+        | Some evicted -> Tuple_tbl.remove b.live evicted
         | None -> ());
         b.ring.(b.head) <- Some tuple;
-        Hashtbl.replace b.live tuple ();
+        Tuple_tbl.replace b.live tuple ();
         b.head <- (b.head + 1) mod Array.length b.ring;
-        Bloom.add b.bloom tuple
+        Bloom.add_hash b.bloom (Tuple.hash tuple)
       end
 
 let tracked = function
   | Exact { set } -> Tuple_set.cardinal set
-  | Bounded b -> Hashtbl.length b.live
+  | Bounded b -> Tuple_tbl.length b.live
 
 let possible_resends = function Exact _ -> 0 | Bounded b -> b.resends

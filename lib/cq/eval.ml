@@ -1,16 +1,21 @@
 module Tuple = Codb_relalg.Tuple
 module Value = Codb_relalg.Value
+module Intern = Codb_relalg.Intern
 module Relation = Codb_relalg.Relation
 module Database = Codb_relalg.Database
 module Tuple_set = Relation.Tuple_set
 
 type rows = {
   all : unit -> Tuple.t list;
+  all_arr : (unit -> Tuple.t array) option;
   size : int;
   probe : (int -> Value.t -> Tuple.t list) option;
+  probe_arr : (int -> Value.t -> Tuple.t array) option;
   probe_cols : ((int * Value.t) list -> Tuple.t list) option;
+  probe_cols_arr : ((int * Value.t) list -> Tuple.t array) option;
   distinct : (int -> int) option;
   arity : int option;
+  packed : Relation.packed_view option;
 }
 
 type source = string -> rows
@@ -46,14 +51,21 @@ let reset_counters () =
 let empty_rows =
   {
     all = (fun () -> []);
+    all_arr = Some (fun () -> [||]);
     size = 0;
     probe = None;
+    probe_arr = None;
     probe_cols = None;
+    probe_cols_arr = None;
     distinct = None;
     arity = None;
+    packed = None;
   }
 
 let rows_of_list tuples =
+  (* canonicalise once so the matching core's [==] fast path hits;
+     tuples that already went through a [Relation] are untouched *)
+  let tuples = List.map Tuple.canonical tuples in
   let arity =
     match tuples with
     | [] -> None
@@ -61,13 +73,18 @@ let rows_of_list tuples =
         let a = Array.length first in
         if List.for_all (fun t -> Array.length t = a) rest then Some a else None
   in
+  let arr = lazy (Array.of_list tuples) in
   {
     all = (fun () -> tuples);
+    all_arr = Some (fun () -> Lazy.force arr);
     size = List.length tuples;
     probe = None;
+    probe_arr = None;
     probe_cols = None;
+    probe_cols_arr = None;
     distinct = None;
     arity;
+    packed = None;
   }
 
 let of_database ?index_budget db rel =
@@ -84,21 +101,33 @@ let of_database ?index_budget db rel =
            index raise on its out-of-range columns *)
         if in_range col then Relation.lookup r ~col value else []
       in
+      let probe_arr col value =
+        if in_range col then Relation.lookup_arr r ~col value else [||]
+      in
       let probe_cols bindings =
         if List.for_all (fun (col, _) -> in_range col) bindings then
           Relation.lookup_cols r bindings
         else []
+      in
+      let probe_cols_arr bindings =
+        if List.for_all (fun (col, _) -> in_range col) bindings then
+          Relation.lookup_cols_arr r bindings
+        else [||]
       in
       let distinct col =
         if in_range col then Relation.distinct_count r ~col else 1
       in
       {
         all = (fun () -> Relation.to_list r);
+        all_arr = Some (fun () -> Relation.to_array r);
         size = Relation.cardinal r;
         probe = Some probe;
+        probe_arr = Some probe_arr;
         probe_cols = Some probe_cols;
+        probe_cols_arr = Some probe_cols_arr;
         distinct = Some distinct;
         arity = Some arity;
+        packed = Some (Relation.packed_view r);
       }
 
 let source_of_alist alist rel =
@@ -139,7 +168,15 @@ type prepared = {
 
 let prepare ?(probe = []) ?(comparisons = []) atom rows =
   {
-    p_args = Array.of_list atom.Atom.args;
+    (* constants rewritten to their interned box: [Value.equal] then
+       resolves by [==] against canonical stored tuples *)
+    p_args =
+      Array.of_list
+        (List.map
+           (function
+             | Term.Cst c -> Term.Cst (Intern.canonical c)
+             | Term.Var _ as t -> t)
+           atom.Atom.args);
     p_rows = rows;
     p_probe = probe;
     p_comparisons = comparisons;
@@ -152,16 +189,22 @@ let arity_mismatch p =
   | Some a -> Array.length p.p_args <> a
   | None -> false
 
-(* Candidate tuples for an atom under the current bindings.  The
-   legacy path probes a single-column index on the first ground
-   argument position; the planned path probes the plan's column set
-   through the composite index. *)
+(* Candidate tuples for an atom under the current bindings, as an
+   array (no list spine per probe).  The legacy path probes a
+   single-column index on the first ground argument position; the
+   planned path probes the plan's column set through the composite
+   index. *)
+let scan_all p =
+  match p.p_rows.all_arr with
+  | Some all_arr -> all_arr ()
+  | None -> Array.of_list (p.p_rows.all ())
+
 let candidates_legacy subst p =
-  match p.p_rows.probe with
-  | None ->
+  match (p.p_rows.probe_arr, p.p_rows.probe) with
+  | None, None ->
       incr scan_count;
-      p.p_rows.all ()
-  | Some probe ->
+      scan_all p
+  | probe_arr, probe ->
       let n = Array.length p.p_args in
       let rec first_ground i =
         if i = n then None
@@ -174,35 +217,41 @@ let candidates_legacy subst p =
               | None -> first_ground (i + 1))
       in
       (match first_ground 0 with
-      | Some (col, value) ->
+      | Some (col, value) -> (
           incr probe_count;
-          probe col value
+          match probe_arr with
+          | Some probe_arr -> probe_arr col value
+          | None -> Array.of_list ((Option.get probe) col value))
       | None ->
           incr scan_count;
-          p.p_rows.all ())
+          scan_all p)
 
 let term_value subst = function
   | Term.Cst c -> Some c
   | Term.Var v -> Subst.find v subst
 
 let candidates_planned subst p =
-  match (p.p_probe, p.p_rows.probe_cols) with
-  | [], _ | _, None ->
-      incr scan_count;
-      p.p_rows.all ()
-  | cols, Some probe_cols ->
-      let bindings =
-        List.map
-          (fun col ->
-            match term_value subst p.p_args.(col) with
-            | Some v -> (col, v)
-            | None ->
-                (* the planner only probes ground columns *)
-                assert false)
-          cols
-      in
-      incr probe_count;
-      probe_cols bindings
+  if p.p_probe = [] || (p.p_rows.probe_cols = None && p.p_rows.probe_cols_arr = None)
+  then begin
+    incr scan_count;
+    scan_all p
+  end
+  else begin
+    let bindings =
+      List.map
+        (fun col ->
+          match term_value subst p.p_args.(col) with
+          | Some v -> (col, v)
+          | None ->
+              (* the planner only probes ground columns *)
+              assert false)
+        p.p_probe
+    in
+    incr probe_count;
+    match p.p_rows.probe_cols_arr with
+    | Some probe_cols_arr -> probe_cols_arr bindings
+    | None -> Array.of_list ((Option.get p.p_rows.probe_cols) bindings)
+  end
 
 (* Evaluate the comparisons that became ground; keep the rest pending.
    [None] means a ground comparison is violated. *)
@@ -275,7 +324,7 @@ let join_legacy ordered comparisons =
                 | None -> acc
                 | Some pending' -> go subst' pending' acc rest)
           in
-          List.fold_left try_tuple acc (candidates_legacy subst p)
+          Array.fold_left try_tuple acc (candidates_legacy subst p)
     in
     match filter_comparisons Subst.empty comparisons with
     | None -> []
@@ -295,17 +344,268 @@ let plan_of_atoms ?max_probe_cols atoms comparisons =
   in
   Plan.make ?max_probe_cols infos comparisons
 
-(* Planned execution: follow the plan's step order, probe the chosen
-   column sets through composite indexes, and evaluate each comparison
-   at the step the planner assigned it to. *)
-let join_planned ?max_probe_cols atoms comparisons =
-  incr planned_count;
+(* ---- packed join core ------------------------------------------------ *)
+
+(* When every access path of a planned join exposes a packed view
+   (stored relations via [of_database]), the join runs entirely on
+   packed ints: the substitution is an array of int slots (one per
+   body variable, in first-occurrence order), candidate sets are row
+   ids, matching a candidate is integer comparison against column
+   cells, and probes hand packed values straight to the relation's
+   id-keyed indexes — no boxing, no string hashing, no per-probe
+   copies.  A boxed [Subst.t] is materialised only per full match, so
+   results, traversal order, and probe/scan counter increments are
+   identical to the boxed planned path. *)
+
+type packed_arg =
+  | Pconst of int  (* packed constant: candidate cell must equal it *)
+  | Pvar of int  (* slot: bind on first occurrence, compare after *)
+  | Pbindconst of int * int
+      (* packed constant * slot: an equality comparison folded into
+         the slot's first-occurrence position — the candidate cell
+         must equal the constant, and the slot binds to it.  Failing
+         candidates die on one integer compare, with no trail
+         traffic and no comparison phase. *)
+
+type packed_cterm = Cslot of int | Cval of Value.t
+
+(* Step comparisons, compiled: (in)equality is decidable on packed
+   ints ([Query.eval_comparison_op]'s Eq is [Value.equal], which is
+   [Value.compare] = 0, which is packed equality); order comparisons
+   unpack and defer to the boxed semantics. *)
+type packed_check =
+  | Ceq_sc of int * int  (* slot = packed constant *)
+  | Cneq_sc of int * int
+  | Ceq_ss of int * int  (* slot = slot *)
+  | Cneq_ss of int * int
+  | Cgen of Query.comparison_op * packed_cterm * packed_cterm
+
+type packed_step = {
+  k_view : Relation.packed_view;
+  k_args : packed_arg array;
+  k_scan : bool;  (* no probe columns at this step *)
+  k_probe_src : packed_arg array;  (* aligned with the probe columns *)
+  k_probe_vals : int array;  (* scratch, same length *)
+  k_probe : int array -> int array * int;  (* prepared on the view *)
+  k_checks : packed_check list;
+}
+
+(* What a packed-match consumer sees: the slot array plus the
+   name/slot correspondence, fixed before the search starts.  The
+   consumer returns the per-match callback; [x_vals] holds every
+   body variable's packed value whenever it fires. *)
+type packed_ctx = {
+  x_vals : int array;
+  x_names : string array;  (* slot -> variable name *)
+  x_slot : string -> int option;  (* variable name -> slot *)
+}
+
+let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
+  (* slots in first-occurrence order over the plan's step sequence *)
+  let slot_tbl = Hashtbl.create 16 in
+  let slot_names = ref [] (* reversed *) in
+  let slot_of v =
+    match Hashtbl.find_opt slot_tbl v with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.length slot_tbl in
+        Hashtbl.add slot_tbl v s;
+        slot_names := v :: !slot_names;
+        s
+  in
+  let total_args = ref 0 in
+  (* slots already bound when the current step's matching begins, for
+     the equality-folding below *)
+  let bound_before : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let build p =
+    let view = Option.get p.p_rows.packed in
+    let args =
+      Array.map
+        (function
+          | Term.Cst c -> Pconst (Intern.pack c)
+          | Term.Var v -> Pvar (slot_of v))
+        p.p_args
+    in
+    total_args := !total_args + Array.length args;
+    (* the planner assigns a comparison to the earliest step at which
+       its variables are ground, so every slot already exists *)
+    let cterm = function
+      | Term.Cst c -> Cval c
+      | Term.Var v -> (
+          match Hashtbl.find_opt slot_tbl v with
+          | Some s -> Cslot s
+          | None -> assert false)
+    in
+    (* A slot-vs-constant equality whose slot first binds at this step
+       is sargable: fold it into the match at the slot's
+       first-occurrence position instead of checking after the fact. *)
+    let fold_eq s k =
+      if Hashtbl.mem bound_before s then false
+      else begin
+        let rec find j =
+          if j >= Array.length args then false
+          else
+            match args.(j) with
+            | Pvar s' when s' = s ->
+                args.(j) <- Pbindconst (k, s);
+                true
+            | _ -> find (j + 1)
+        in
+        find 0
+      end
+    in
+    let checks =
+      List.filter_map
+        (fun (c : Query.comparison) ->
+          match (c.Query.op, cterm c.Query.left, cterm c.Query.right) with
+          | Query.Eq, Cslot s, Cval v | Query.Eq, Cval v, Cslot s ->
+              let k = Intern.pack v in
+              if fold_eq s k then None else Some (Ceq_sc (s, k))
+          | Query.Neq, Cslot s, Cval v | Query.Neq, Cval v, Cslot s ->
+              Some (Cneq_sc (s, Intern.pack v))
+          | Query.Eq, Cslot s1, Cslot s2 -> Some (Ceq_ss (s1, s2))
+          | Query.Neq, Cslot s1, Cslot s2 -> Some (Cneq_ss (s1, s2))
+          | op, l, r -> Some (Cgen (op, l, r)))
+        p.p_comparisons
+    in
+    Array.iter
+      (function
+        | Pvar s | Pbindconst (_, s) -> Hashtbl.replace bound_before s ()
+        | Pconst _ -> ())
+      args;
+    let probe_src = Array.of_list (List.map (fun col -> args.(col)) p.p_probe) in
+    {
+      k_view = view;
+      k_args = args;
+      k_scan = p.p_probe = [];
+      k_probe_src = probe_src;
+      k_probe_vals = Array.make (max 1 (Array.length probe_src)) 0;
+      k_probe =
+        (if p.p_probe = [] then fun _ -> ([||], 0)
+         else view.Relation.pv_probe p.p_probe);
+      k_checks = checks;
+    }
+  in
+  (* explicit left-to-right construction: slot numbering and the
+     equality-folding both depend on step order *)
+  let steps =
+    let rec seq acc = function
+      | [] -> Array.of_list (List.rev acc)
+      | p :: rest -> seq (build p :: acc) rest
+    in
+    seq [] prepared
+  in
+  let nslots = Hashtbl.length slot_tbl in
+  let names = Array.of_list (List.rev !slot_names) in
+  let vals = Array.make (max 1 nslots) 0 in
+  let bound = Array.make (max 1 nslots) false in
+  let trail = Array.make (max 1 !total_args) 0 in
+  let trail_top = ref 0 in
+  let nsteps = Array.length steps in
+  let emit =
+    emit
+      {
+        x_vals = vals;
+        x_names = names;
+        x_slot = (fun v -> Hashtbl.find_opt slot_tbl v);
+      }
+  in
+  let cterm_value = function
+    | Cval v -> v
+    | Cslot s -> Intern.unpack vals.(s)
+  in
+  let check_ok = function
+    | Ceq_sc (s, k) -> vals.(s) = k
+    | Cneq_sc (s, k) -> vals.(s) <> k
+    | Ceq_ss (s1, s2) -> vals.(s1) = vals.(s2)
+    | Cneq_ss (s1, s2) -> vals.(s1) <> vals.(s2)
+    | Cgen (op, l, r) -> Query.eval_comparison_op op (cterm_value l) (cterm_value r)
+  in
+  let checks_ok checks = List.for_all check_ok checks in
+  let rec go d =
+    if d = nsteps then emit ()
+    else begin
+      let st = steps.(d) in
+      let rows, len =
+        if st.k_scan then begin
+          incr scan_count;
+          st.k_view.Relation.pv_all ()
+        end
+        else begin
+          incr probe_count;
+          let src = st.k_probe_src and scratch = st.k_probe_vals in
+          for j = 0 to Array.length src - 1 do
+            scratch.(j) <-
+              (match src.(j) with
+              | Pconst c | Pbindconst (c, _) -> c
+              | Pvar s -> vals.(s))
+          done;
+          st.k_probe scratch
+        end
+      in
+      let args = st.k_args in
+      let nargs = Array.length args in
+      let cell = st.k_view.Relation.pv_cell in
+      (* defined once per candidate set, not per candidate: the inner
+         loop must not allocate *)
+      let rec matches row j =
+        j >= nargs
+        ||
+        match args.(j) with
+        | Pconst c -> cell j row = c && matches row (j + 1)
+        | Pvar s ->
+            if bound.(s) then vals.(s) = cell j row && matches row (j + 1)
+            else begin
+              vals.(s) <- cell j row;
+              bound.(s) <- true;
+              trail.(!trail_top) <- s;
+              incr trail_top;
+              matches row (j + 1)
+            end
+        | Pbindconst (c, s) ->
+            cell j row = c
+            && begin
+                 vals.(s) <- c;
+                 bound.(s) <- true;
+                 trail.(!trail_top) <- s;
+                 incr trail_top;
+                 matches row (j + 1)
+               end
+      in
+      for i = 0 to len - 1 do
+        let row = rows.(i) in
+        let mark = !trail_top in
+        if matches row 0 && (st.k_checks == [] || checks_ok st.k_checks) then
+          go (d + 1);
+        while !trail_top > mark do
+          decr trail_top;
+          bound.(trail.(!trail_top)) <- false
+        done
+      done
+    end
+  in
+  go 0
+
+let join_packed prepared =
+  let results = ref [] in
+  join_packed_run prepared ~emit:(fun ctx ->
+      let nslots = Array.length ctx.x_names in
+      fun () ->
+        let subst = ref Subst.empty in
+        for s = 0 to nslots - 1 do
+          subst := Subst.bind ctx.x_names.(s) (Intern.unpack ctx.x_vals.(s)) !subst
+        done;
+        results := !subst :: !results);
+  List.rev !results
+
+(* Plan a join and prepare its steps; [None] means the join is
+   provably empty (a never-ground comparison — the legacy evaluator
+   drops every substitution — a violated variable-free comparison, or
+   an atom whose arity disagrees with its relation). *)
+let plan_prepared ?max_probe_cols atoms comparisons =
   let plan = plan_of_atoms ?max_probe_cols atoms comparisons in
-  if plan.Plan.pl_unbound <> [] then
-    (* a comparison never becomes ground: the legacy evaluator drops
-       every substitution, so the planned result is empty too *)
-    []
-  else if not (check_comparisons Subst.empty plan.Plan.pl_pre) then []
+  if plan.Plan.pl_unbound <> [] then None
+  else if not (check_comparisons Subst.empty plan.Plan.pl_pre) then None
   else
     let arr = Array.of_list atoms in
     let prepared =
@@ -316,8 +616,20 @@ let join_planned ?max_probe_cols atoms comparisons =
             rows)
         plan.Plan.pl_steps
     in
-    if List.exists arity_mismatch prepared then []
-    else
+    if List.exists arity_mismatch prepared then None else Some prepared
+
+let all_packed prepared =
+  prepared <> [] && List.for_all (fun p -> p.p_rows.packed <> None) prepared
+
+(* Planned execution: follow the plan's step order, probe the chosen
+   column sets through composite indexes, and evaluate each comparison
+   at the step the planner assigned it to. *)
+let join_planned ?max_probe_cols atoms comparisons =
+  incr planned_count;
+  match plan_prepared ?max_probe_cols atoms comparisons with
+  | None -> []
+  | Some prepared when all_packed prepared -> join_packed prepared
+  | Some prepared ->
       let rec go subst acc = function
         | [] -> subst :: acc
         | p :: rest ->
@@ -329,7 +641,7 @@ let join_planned ?max_probe_cols atoms comparisons =
                     go subst' acc rest
                   else acc
             in
-            List.fold_left try_tuple acc (candidates_planned subst p)
+            Array.fold_left try_tuple acc (candidates_planned subst p)
       in
       List.rev (go Subst.empty [] prepared)
 
@@ -385,16 +697,85 @@ let delta_answers ?(naive = false) ?planner ?max_probe_cols source ~delta_rel
     List.concat_map pass occurrences
   end
 
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
+(* Fully packed user-query pipeline: run the packed join core and
+   project the head {e without materialising substitutions} — each
+   match writes the head's packed values into a scratch row,
+   de-duplicated in an int-row table.  Only the final duplicate-free
+   answers are boxed (into canonical tuples) and sorted, so the whole
+   evaluation touches boxed values exactly once per distinct answer:
+   at the API boundary. *)
+let answer_tuples_packed prepared (head : Atom.t) =
+  let rows = ref [] in
+  let seen : (int array, unit) Hashtbl.t = Hashtbl.create 1024 in
+  join_packed_run prepared ~emit:(fun ctx ->
+      let proj =
+        Array.of_list
+          (List.map
+             (function
+               | Term.Cst c -> Pconst (Intern.pack c)
+               | Term.Var v -> (
+                   match ctx.x_slot v with
+                   | Some s -> Pvar s
+                   | None ->
+                       (* no existential head variables, so every head
+                          variable has a body slot *)
+                       assert false))
+             head.Atom.args)
+      in
+      let width = Array.length proj in
+      let scratch = Array.make width 0 in
+      fun () ->
+        for j = 0 to width - 1 do
+          scratch.(j) <-
+            (match proj.(j) with
+            | Pconst c -> c
+            | Pvar s -> ctx.x_vals.(s)
+            | Pbindconst _ -> assert false (* never built by the projector *))
+        done;
+        if not (Hashtbl.mem seen scratch) then begin
+          let row = Array.copy scratch in
+          Hashtbl.add seen row ();
+          rows := row :: !rows
+        end);
+  List.sort Tuple.compare
+    (List.map (fun row -> Array.map Intern.unpack row) !rows)
+
 let answer_tuples ?planner ?max_probe_cols source q =
   (match Query.well_formed ~allow_existential_head:false q with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Eval.answer_tuples: " ^ reason));
-  let substs = answers ?planner ?max_probe_cols source q in
-  let project acc subst =
-    match Subst.apply_atom subst q.Query.head with
-    | Some tuple -> Tuple_set.add tuple acc
-    | None -> acc
-  in
-  Tuple_set.elements (List.fold_left project Tuple_set.empty substs)
+  let use_planner = match planner with Some false -> false | _ -> true in
+  let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
+  if use_planner && List.for_all (fun (_, rows) -> rows.packed <> None) atoms
+     && atoms <> []
+  then begin
+    incr planned_count;
+    match plan_prepared ?max_probe_cols atoms q.Query.comparisons with
+    | None -> []
+    | Some prepared -> answer_tuples_packed prepared q.Query.head
+  end
+  else begin
+    let substs = join ?planner ?max_probe_cols atoms q.Query.comparisons in
+    (* de-duplicate through [Tuple.hash] — O(1) per answer instead of
+       a balanced-set insertion's O(log n) full-tuple comparisons —
+       then sort once: the same sorted duplicate-free list as the
+       seed's [Tuple_set.elements] *)
+    let seen = Tuple_tbl.create 256 in
+    List.iter
+      (fun subst ->
+        match Subst.apply_atom subst q.Query.head with
+        | Some tuple -> if not (Tuple_tbl.mem seen tuple) then Tuple_tbl.add seen tuple ()
+        | None -> ())
+      substs;
+    List.sort Tuple.compare (Tuple_tbl.fold (fun t () acc -> t :: acc) seen [])
+  end
 
 let certain tuples = List.filter (fun t -> not (Tuple.has_null t)) tuples

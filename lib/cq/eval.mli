@@ -29,23 +29,43 @@
 
 type rows = {
   all : unit -> Codb_relalg.Tuple.t list;  (** every tuple *)
+  all_arr : (unit -> Codb_relalg.Tuple.t array) option;
+      (** array variant of [all] for the join inner loop; when absent
+          the evaluator converts the list once per scan *)
   size : int;  (** cardinality, used by both join-order strategies *)
   probe : (int -> Codb_relalg.Value.t -> Codb_relalg.Tuple.t list) option;
       (** equality probe on one column, when the backing store has (or
           can build) a hash index; [None] falls back to scanning *)
+  probe_arr : (int -> Codb_relalg.Value.t -> Codb_relalg.Tuple.t array) option;
+      (** array variant of [probe] ({!Codb_relalg.Relation.lookup_arr}):
+          no list spine allocated per probe *)
   probe_cols :
     ((int * Codb_relalg.Value.t) list -> Codb_relalg.Tuple.t list) option;
       (** composite probe on a set of column bindings, served by
           {!Codb_relalg.Relation.lookup_cols}; [None] for plain tuple
           lists *)
+  probe_cols_arr :
+    ((int * Codb_relalg.Value.t) list -> Codb_relalg.Tuple.t array) option;
+      (** array variant of [probe_cols]
+          ({!Codb_relalg.Relation.lookup_cols_arr}) *)
   distinct : (int -> int) option;
       (** per-column distinct-value estimate for the planner's
           selectivity model *)
   arity : int option;
       (** tuple width when uniform, letting the evaluator reject
           wrong-arity atoms once instead of per candidate tuple *)
+  packed : Codb_relalg.Relation.packed_view option;
+      (** zero-copy packed access ({!Codb_relalg.Relation.packed_view}).
+          When {e every} atom of a planned join carries one, the join
+          runs entirely on packed ints — int-slot substitutions,
+          row-id candidate sets, packed probes — and boxes a
+          {!Subst.t} only per full match.  Must describe the same
+          tuples as [all]. *)
 }
-(** Access path to one relation's tuples. *)
+(** Access path to one relation's tuples.  The [_arr] fields are
+    optional accelerators: semantics must match their list twins (same
+    tuples, any order); the evaluator prefers them and falls back to
+    the lists otherwise. *)
 
 type source = string -> rows
 (** Access paths by relation name.  Unknown relations must return

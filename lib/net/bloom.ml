@@ -14,12 +14,17 @@ let create ~bits =
 
 let bits t = (t.mask + 1)
 
-let probes t key f =
-  let h1 = Hashtbl.hash key in
-  let h2 = Hashtbl.seeded_hash 0x9e3779b9 key lor 1 in
+(* Derive both base hashes from one caller-supplied content hash, so
+   keys with a cheap dedicated hash (tuples) never pay the polymorphic
+   [Hashtbl.hash] walk. *)
+let probes_hash t h f =
+  let h1 = h land max_int in
+  let h2 = ((h * 0x9e3779b9) lxor (h lsr 17)) lor 1 in
   for i = 0 to t.k - 1 do
     f ((h1 + (i * h2)) land t.mask)
   done
+
+let probes t key f = probes_hash t (Hashtbl.hash key) f
 
 let set_bit t idx =
   let b = idx lsr 3 and m = 1 lsl (idx land 7) in
@@ -37,6 +42,13 @@ let add t key = probes t key (set_bit t)
 let mem t key =
   let all = ref true in
   probes t key (fun idx -> if not (get_bit t idx) then all := false);
+  !all
+
+let add_hash t h = probes_hash t h (set_bit t)
+
+let mem_hash t h =
+  let all = ref true in
+  probes_hash t h (fun idx -> if not (get_bit t idx) then all := false);
   !all
 
 let clear t =

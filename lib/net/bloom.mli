@@ -15,6 +15,15 @@ val create : bits:int -> t
 val add : t -> 'a -> unit
 val mem : t -> 'a -> bool
 
+val add_hash : t -> int -> unit
+(** Like {!add} but on a caller-computed content hash — used with
+    [Tuple.hash] so probing never walks the tuple's boxed values.  The
+    same key must always present the same hash; [add]/[add_hash] for
+    one key must not be mixed. *)
+
+val mem_hash : t -> int -> bool
+(** Membership twin of {!add_hash}. *)
+
 val clear : t -> unit
 val bits : t -> int
 

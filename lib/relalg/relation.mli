@@ -5,15 +5,28 @@
     that were actually new, which is exactly the delta the algorithm
     propagates further.
 
-    Equality probes are served from hash indexes keyed by column
-    sets.  Indexes are built lazily on the first probe and then
-    maintained {e incrementally} by every insert/remove, so repeated
-    probe/mutate cycles (the update fix-point) never rebuild them from
-    scratch.  The number of distinct indexes per relation is bounded
-    by a budget; past it, probes degrade to filtered scans.  The
-    relation also keeps cheap statistics — O(1) cardinality and
-    per-column distinct-value counts — for the cost-based query
-    planner. *)
+    Storage is {e columnar over interned values}: each tuple is a row
+    of packed ints (one per column, see {!Intern}) held in growable
+    column chunks with a presence bitmap, so equality is integer
+    equality and probing never walks a boxed string.  Boxed
+    {!Tuple.t} views are materialised lazily — one canonical tuple
+    per row, memoised — and every tuple this module hands out is
+    canonical in the sense of {!Tuple.canonical}.
+
+    Equality probes are served from hash indexes keyed by packed
+    column values (row-id buckets).  Indexes are built lazily on the
+    first probe and then maintained {e incrementally} by every
+    insert/remove, so repeated probe/mutate cycles (the update
+    fix-point) never rebuild them from scratch.  The number of
+    distinct indexes per relation is bounded by a budget; past it,
+    probes degrade to filtered scans.  The relation also keeps cheap
+    statistics — O(1) cardinality and per-column distinct-value
+    counts — for the cost-based query planner.
+
+    [copy] is O(columns), not O(tuples): full column chunks are
+    write-once and shared with the copy, which makes the per-query
+    database overlays in the query engine cheap even at millions of
+    tuples. *)
 
 module Tuple_set : Set.S with type elt = Tuple.t
 
@@ -55,6 +68,11 @@ val lookup : t -> col:int -> Value.t -> Tuple.t list
     order of the result is unspecified.
     @raise Invalid_argument if [col] is out of range. *)
 
+val lookup_arr : t -> col:int -> Value.t -> Tuple.t array
+(** {!lookup} returning a fresh array instead of a list: the
+    evaluator's inner join loop iterates candidates by index without
+    allocating a list spine per probe. *)
+
 val lookup_cols : t -> (int * Value.t) list -> Tuple.t list
 (** Composite probe: tuples matching every [(col, value)] binding at
     once, served from a multi-column hash index when the budget
@@ -62,6 +80,10 @@ val lookup_cols : t -> (int * Value.t) list -> Tuple.t list
     otherwise.  Duplicate bindings collapse; contradictory bindings
     yield [[]]; an empty binding list yields every tuple.
     @raise Invalid_argument if any column is out of range. *)
+
+val lookup_cols_arr : t -> (int * Value.t) list -> Tuple.t array
+(** {!lookup_cols} returning a fresh array — same semantics, built
+    for the planner's inner loop. *)
 
 val distinct_count : t -> col:int -> int
 (** Number of distinct values in a column — the planner's selectivity
@@ -84,7 +106,11 @@ val remove : t -> Tuple.t -> bool
 val clear : t -> unit
 
 val to_list : t -> Tuple.t list
-(** Tuples in {!Tuple.compare} order. *)
+(** Tuples in {!Tuple.compare} order (cached until the next
+    mutation). *)
+
+val to_array : t -> Tuple.t array
+(** Fresh array of the tuples in {!Tuple.compare} order. *)
 
 val to_seq : t -> Tuple.t Seq.t
 
@@ -93,6 +119,30 @@ val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Tuple.t -> unit) -> t -> unit
 
 val copy : t -> t
+
+type packed_view = {
+  pv_arity : int;
+  pv_cell : int -> int -> int;
+      (** [pv_cell col row] is the packed value (see {!Intern}) stored
+          at a column of a live row. *)
+  pv_all : unit -> int array * int;
+      (** Live row ids as [(ids, n)]; only the first [n] entries are
+          meaningful. *)
+  pv_probe : int list -> int array -> int array * int;
+      (** [pv_probe cols] prepares a probe on a fixed column set
+          (ascending, duplicate-free); applying it to the packed
+          values aligned with [cols] yields the matching row ids as
+          [(ids, n)].  The access path (index, index-then-filter, or
+          scan, budget permitting) is resolved on first use. *)
+}
+(** Zero-copy packed access for the evaluator's join core: candidate
+    sets are row ids, matching is integer comparison against column
+    cells, and probes take packed values straight to the id-keyed
+    indexes — no boxing, no string hashing, no per-probe copy.  Hit
+    arrays may be internal index buckets: treat them as read-only,
+    and as invalidated by the next mutation of the relation. *)
+
+val packed_view : t -> packed_view
 
 val equal_contents : t -> t -> bool
 

@@ -23,8 +23,14 @@ let position s name =
   loop 0 s.attrs
 
 let conforms s t =
+  (* allocation-free: this runs once per insert, on the bulk-load path *)
   Tuple.arity t = arity s
-  && List.for_all2 (fun a v -> Value.conforms a.attr_ty v) s.attrs (Array.to_list t)
+  &&
+  let rec loop i = function
+    | [] -> true
+    | a :: rest -> Value.conforms a.attr_ty t.(i) && loop (i + 1) rest
+  in
+  loop 0 s.attrs
 
 let equal s1 s2 =
   String.equal s1.rel_name s2.rel_name

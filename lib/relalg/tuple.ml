@@ -12,11 +12,39 @@ let compare t1 t2 =
     in
     loop 0
 
-let equal t1 t2 = compare t1 t2 = 0
+let equal t1 t2 = t1 == t2 || compare t1 t2 = 0
 
 let arity = Array.length
 
-let size_bytes t = Array.fold_left (fun acc v -> acc + Value.size_bytes v) 4 t
+(* Content hash through the intern table: every value hashes as its
+   packed int, so hashing a tuple of strings is O(arity) with no
+   string walk after the first interning.  Consistent with [equal] by
+   injectivity of [Intern.pack] up to [Value.compare]. *)
+let hash t =
+  let h = ref (Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 486187739) + Intern.hash (Intern.pack t.(i))
+  done;
+  !h land max_int
+
+(* Rewrite every value to its canonical interned box (shared, so
+   [Value.equal]'s [==] fast path hits); identity when the tuple is
+   already canonical. *)
+let canonical t =
+  let n = Array.length t in
+  let rec first_fresh i =
+    if i >= n then -1
+    else
+      let c = Intern.canonical t.(i) in
+      if c == t.(i) then first_fresh (i + 1) else i
+  in
+  let i = first_fresh 0 in
+  if i < 0 then t else Array.map Intern.canonical t
+
+(* Wire-size model: varint tuple header plus the shared per-value
+   accounting (see {!Value.size_bytes}). *)
+let size_bytes t =
+  Array.fold_left (fun acc v -> acc + Value.size_bytes v) (Value.varint_size (arity t)) t
 
 let has_hole t = Array.exists Value.is_hole t
 

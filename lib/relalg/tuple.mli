@@ -21,10 +21,24 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Content hash served by the intern table ({!Intern.hash} of each
+    value's packed form): O(arity), never walks a string twice, and
+    consistent with {!equal}.  Use this wherever tuples key a hash
+    container — the polymorphic [Hashtbl.hash] walks every boxed
+    string on every probe. *)
+
+val canonical : t -> t
+(** Every value rewritten to its shared interned box (see
+    {!Intern.canonical}); physically the same tuple when it already is
+    canonical.  Canonical tuples make [Value.equal]'s [==] fast path
+    hit during joins. *)
+
 val arity : t -> int
 
 val size_bytes : t -> int
-(** Estimated wire size (sum of the value sizes plus a small header). *)
+(** Wire size under the shared accounting model: a varint arity header
+    plus {!Value.size_bytes} per value. *)
 
 val has_hole : t -> bool
 

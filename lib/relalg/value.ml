@@ -29,7 +29,10 @@ let compare v1 v2 =
   | (Int _ | Float _ | Str _ | Bool _ | Null _ | Hole _), _ ->
       Stdlib.compare (constructor_rank v1) (constructor_rank v2)
 
-let equal v1 v2 = compare v1 v2 = 0
+(* Physical equality first: values that went through the intern table
+   (everything a relation stores) share one canonical box per distinct
+   value, so the fast path hits without walking a string. *)
+let equal v1 v2 = v1 == v2 || compare v1 v2 = 0
 
 let type_of = function
   | Int _ -> Some Tint
@@ -45,13 +48,26 @@ let is_null = function Null _ -> true | Int _ | Float _ | Str _ | Bool _ | Hole 
 
 let is_hole = function Hole _ -> true | Int _ | Float _ | Str _ | Bool _ | Null _ -> false
 
+(* Wire-size accounting, shared by Payload's size estimator, the
+   stats/report data-volume counters and the bench byte counters.  It
+   mirrors the compact codec exactly for a value whose strings are not
+   yet in the per-message dictionary: one tag byte, varint lengths,
+   zigzag integers. *)
+let varint_size n =
+  let rec loop n acc = if n < 0x80 then acc else loop (n lsr 7) (acc + 1) in
+  loop (if n < 0 then max_int else n) 1
+
+let zigzag_size n = varint_size ((n lsl 1) lxor (n asr 62))
+
 let size_bytes = function
-  | Int _ -> 8
-  | Float _ -> 8
-  | Str s -> 4 + String.length s
+  | Int n -> 1 + zigzag_size n
+  | Float _ -> 9
+  | Str s -> 2 + varint_size (String.length s) + String.length s
   | Bool _ -> 1
-  | Null _ -> 8
-  | Hole _ -> 2
+  | Null { null_id; null_rule } ->
+      2 + zigzag_size null_id + varint_size (String.length null_rule)
+      + String.length null_rule
+  | Hole i -> 1 + zigzag_size i
 
 let counter = ref 0
 
@@ -61,7 +77,16 @@ let fresh_null ~rule =
 
 let null_counter () = !counter
 
-let reset_null_counter () = counter := 0
+(* Run by [reset_null_counter]: lets downstream caches keyed by null
+   identity (the intern table) drop entries whose ids are about to be
+   reissued.  Registered at module-init time, not per value. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let on_reset_null_counter hook = reset_hooks := hook :: !reset_hooks
+
+let reset_null_counter () =
+  counter := 0;
+  List.iter (fun hook -> hook ()) !reset_hooks
 
 let ty_of_string = function
   | "int" -> Some Tint

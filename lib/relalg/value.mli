@@ -48,9 +48,20 @@ val is_null : t -> bool
 
 val is_hole : t -> bool
 
+val varint_size : int -> int
+(** Encoded size of a non-negative int as an LEB128 varint — the
+    building block of the shared wire-size model below. *)
+
+val zigzag_size : int -> int
+(** Encoded size of a signed int under zigzag + varint, matching
+    {!Codb_net.Codec.zigzag} exactly. *)
+
 val size_bytes : t -> int
-(** Estimated wire size of the value, used by the network simulator
-    and the statistics module to report data volumes. *)
+(** The {e shared} wire-size model: the exact compact-codec cost of
+    the value when its strings are not yet in the per-message
+    dictionary (one tag byte, varint lengths, zigzag integers).
+    [Payload.size], the stats/report data-volume counters and the
+    bench byte counters all delegate to this one function. *)
 
 val fresh_null : rule:string -> t
 (** A fresh marked null, labelled with the id of the coordination rule
@@ -61,7 +72,13 @@ val null_counter : unit -> int
 
 val reset_null_counter : unit -> unit
 (** Reset the generator.  Only for tests and benchmarks that need
-    reproducible null identifiers; never call it mid-computation. *)
+    reproducible null identifiers; never call it mid-computation.
+    Also runs every {!on_reset_null_counter} hook, so caches keyed by
+    null identity (the intern table) start a fresh epoch. *)
+
+val on_reset_null_counter : (unit -> unit) -> unit
+(** Register a hook run by {!reset_null_counter}.  Internal: used by
+    {!Intern} at module-initialisation time. *)
 
 val ty_of_string : string -> ty option
 

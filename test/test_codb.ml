@@ -4,6 +4,7 @@ let () =
   Alcotest.run "codb"
     [
       ("value", Test_value.suite);
+      ("intern", Test_intern.suite);
       ("tuple", Test_tuple.suite);
       ("schema", Test_schema.suite);
       ("relation", Test_relation.suite);

@@ -184,15 +184,17 @@ let test_encoded_size_is_real () =
     payload_samples
 
 let test_dictionary_beats_estimator_on_skew () =
-  (* many tuples sharing few distinct strings: the per-message
-     dictionary makes the real encoding much smaller than the
-     schema-based estimate *)
+  (* many tuples sharing few distinct strings: the estimator charges
+     every string at its first-occurrence cost, while the per-message
+     dictionary back-references repeats, so the real encoding is
+     strictly smaller — here by at least the 3 bytes each of the ~195
+     repeated short strings saves *)
   let tuples = List.init 200 (fun k -> tup [ i k; s (Printf.sprintf "v%d" (k mod 5)) ]) in
   let p =
     Payload.Update_data { update_id = uid; rule_id = "r1"; tuples; hops = 1; global = true }
   in
-  Alcotest.(check bool) "encoded < half the estimate" true
-    (2 * Payload.encoded_size p < Payload.size p)
+  Alcotest.(check bool) "encoded beats the estimate by the dict savings" true
+    (Payload.encoded_size p + 500 < Payload.size p)
 
 let test_stats_response_not_encodable () =
   let stats = Codb_core.Stats.snapshot (Codb_core.Stats.create (Peer_id.of_string "n0")) in

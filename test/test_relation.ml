@@ -218,6 +218,116 @@ let test_to_list_sorted () =
   let ks = List.map (fun t -> t.(0)) (Relation.to_list r) in
   Alcotest.(check bool) "sorted" true (ks = [ i 1; i 2; i 3 ])
 
+let test_array_variants_agree () =
+  let r = fresh () in
+  ignore
+    (Relation.insert_all r
+       [ tup [ i 1; i 10 ]; tup [ i 1; i 20 ]; tup [ i 2; i 10 ] ]);
+  let sorted_arr a = sorted_tuples (Array.to_list a) in
+  check_tuples "lookup_arr" (Relation.lookup r ~col:0 (i 1))
+    (Array.to_list (Relation.lookup_arr r ~col:0 (i 1)));
+  check_tuples "lookup_cols_arr"
+    (Relation.lookup_cols r [ (0, i 1); (1, i 10) ])
+    (Array.to_list (Relation.lookup_cols_arr r [ (0, i 1); (1, i 10) ]));
+  check_tuples "lookup_cols_arr, no bindings"
+    (Relation.lookup_cols r [])
+    (Array.to_list (Relation.lookup_cols_arr r []));
+  check_tuples "lookup_cols_arr, contradiction" []
+    (Array.to_list (Relation.lookup_cols_arr r [ (0, i 1); (0, i 2) ]));
+  Alcotest.(check bool) "to_array = to_list" true
+    (sorted_arr (Relation.to_array r) = Relation.to_list r)
+
+(* ---- differential testing against the seed engine ------------------- *)
+
+module Ref = Codb_relalg.Relation_ref
+module Q2 = QCheck2
+module Gen = QCheck2.Gen
+
+(* int x string columns so the intern table is on the critical path *)
+let mixed_schema = Schema.make "m" [ ("a", Value.Tint); ("b", Value.Tstring) ]
+
+type op =
+  | Insert of Tuple.t
+  | Remove of Tuple.t
+  | Lookup of int * Value.t
+  | Lookup_cols of (int * Value.t) list
+  | Subsumed of Tuple.t
+  | Mem of Tuple.t
+  | Distinct of int
+  | Budget of int
+  | Copy
+
+let gen_a = Gen.map i (Gen.int_range 0 4)
+
+let gen_b = Gen.map s (Gen.oneofl [ "u"; "v"; "w" ])
+
+let gen_mixed_tuple = Gen.map2 (fun a b -> tup [ a; b ]) gen_a gen_b
+
+(* holes allowed: only [Subsumed] probes with these *)
+let gen_holey_tuple =
+  Gen.map2
+    (fun a b -> tup [ a; b ])
+    (Gen.oneof [ gen_a; Gen.return (Value.Hole 0) ])
+    (Gen.oneof [ gen_b; Gen.return (Value.Hole 1) ])
+
+let gen_binding =
+  Gen.oneof
+    [ Gen.map (fun v' -> (0, v')) gen_a; Gen.map (fun v' -> (1, v')) gen_b ]
+
+let gen_op =
+  Gen.frequency
+    [
+      (6, Gen.map (fun t -> Insert t) gen_mixed_tuple);
+      (2, Gen.map (fun t -> Remove t) gen_mixed_tuple);
+      (3, Gen.map (fun (c, v') -> Lookup (c, v')) gen_binding);
+      (3, Gen.map (fun bs -> Lookup_cols bs) (Gen.list_size (Gen.int_range 0 3) gen_binding));
+      (2, Gen.map (fun t -> Subsumed t) gen_holey_tuple);
+      (2, Gen.map (fun t -> Mem t) gen_mixed_tuple);
+      (1, Gen.map (fun c -> Distinct c) (Gen.int_range 0 1));
+      (1, Gen.map (fun b -> Budget b) (Gen.int_range 0 3));
+      (1, Gen.return Copy);
+    ]
+
+(* Run one op against both engines; any observable disagreement fails
+   the property. *)
+let apply_op (r, o) op =
+  match op with
+  | Insert t -> Relation.insert r t = Ref.insert o t
+  | Remove t -> Relation.remove r t = Ref.remove o t
+  | Lookup (c, v') ->
+      sorted_tuples (Relation.lookup r ~col:c v') = sorted_tuples (Ref.lookup o ~col:c v')
+  | Lookup_cols bs ->
+      sorted_tuples (Relation.lookup_cols r bs) = sorted_tuples (Ref.lookup_cols o bs)
+  | Subsumed t -> Relation.subsumed r t = Ref.subsumed o t
+  | Mem t -> Relation.mem r t = Ref.mem o t
+  | Distinct c -> Relation.distinct_count r ~col:c = Ref.distinct_count o ~col:c
+  | Budget b ->
+      Relation.set_index_budget r b;
+      Ref.set_index_budget o b;
+      true
+  | Copy -> true
+
+let prop_columnar_matches_seed =
+  Q2.Test.make ~name:"columnar engine = seed engine on random op interleavings"
+    ~count:300
+    (Gen.list_size (Gen.int_range 0 60) (Gen.pair gen_op Gen.bool))
+    (fun ops ->
+      let r = ref (Relation.create mixed_schema) in
+      let o = ref (Ref.create mixed_schema) in
+      List.for_all
+        (fun (op, take_copy) ->
+          (* randomly continue on a copy: copies must behave exactly
+             like the original and not alias its state *)
+          (match op with
+          | Copy when take_copy ->
+              r := Relation.copy !r;
+              o := Ref.copy !o
+          | _ -> ());
+          apply_op (!r, !o) op)
+        ops
+      && Relation.to_list !r = Ref.to_list !o
+      && Relation.cardinal !r = Ref.cardinal !o)
+
 let suite =
   [
     Alcotest.test_case "insert deduplicates" `Quick test_insert_dedup;
@@ -242,4 +352,7 @@ let suite =
       test_composite_index_maintained;
     Alcotest.test_case "distinct-value statistics" `Quick test_distinct_count;
     Alcotest.test_case "index budget degrades to scans" `Quick test_index_budget;
+    Alcotest.test_case "array probe variants agree with lists" `Quick
+      test_array_variants_agree;
+    QCheck_alcotest.to_alcotest prop_columnar_matches_seed;
   ]

@@ -52,7 +52,9 @@ let test_instantiate_no_holes_is_identity () =
   Alcotest.(check bool) "physically equal" true (Tuple.instantiate_holes ~rule:"r" t == t)
 
 let test_size_bytes () =
-  Alcotest.(check int) "header plus fields" (4 + 8 + 4 + 2) (Tuple.size_bytes (tup [ i 1; s "ab" ]))
+  (* varint arity header plus the per-value wire sizes *)
+  Alcotest.(check int) "header plus fields" (1 + 2 + (3 + 2))
+    (Tuple.size_bytes (tup [ i 1; s "ab" ]))
 
 let suite =
   [

@@ -63,9 +63,21 @@ let test_ty_round_trip () =
   Alcotest.(check bool) "unknown ty" true (Value.ty_of_string "decimal" = None)
 
 let test_size_bytes () =
-  Alcotest.(check int) "int size" 8 (Value.size_bytes (i 5));
-  Alcotest.(check int) "str size" (4 + 3) (Value.size_bytes (s "abc"));
-  Alcotest.(check bool) "bool small" true (Value.size_bytes (Value.Bool true) <= 8)
+  (* the shared model is the exact compact-codec cost: tag byte +
+     zigzag varint for ints, tag + dict-tag + varint length + bytes
+     for first-occurrence strings *)
+  Alcotest.(check int) "int size" 2 (Value.size_bytes (i 5));
+  Alcotest.(check int) "big int size" (1 + 5) (Value.size_bytes (i 0x7fff_ffff));
+  Alcotest.(check int) "str size" (3 + 3) (Value.size_bytes (s "abc"));
+  Alcotest.(check int) "bool size" 1 (Value.size_bytes (Value.Bool true));
+  Alcotest.(check int) "hole size" 2 (Value.size_bytes (Value.Hole 3));
+  Alcotest.(check int) "null size"
+    (2 + 1 + 1 + 2)
+    (Value.size_bytes (Value.Null { Value.null_id = 9; null_rule = "rx" }));
+  (* the model must agree with [varint_size]/[zigzag_size] *)
+  Alcotest.(check int) "varint boundary" 1 (Value.varint_size 127);
+  Alcotest.(check int) "varint boundary + 1" 2 (Value.varint_size 128);
+  Alcotest.(check int) "zigzag negative" (Value.zigzag_size 63) (Value.zigzag_size (-64))
 
 let test_is_predicates () =
   Alcotest.(check bool) "is_null" true (Value.is_null (Value.fresh_null ~rule:"r"));
