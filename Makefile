@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench scale-bench scale-bench-tiny examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench scale-bench scale-bench-tiny par-bench par-bench-tiny examples clean
 
 all: build
 
@@ -51,6 +51,17 @@ scale-bench:
 # tiny_reference in BENCH_scale.json
 scale-bench-tiny:
 	dune exec bench/main.exe -- scale-json --tiny
+
+# parallel-runtime race -> BENCH_par.json (1/2/4/8 domains over the
+# two-phase step; digest/counter equality enforced unconditionally,
+# speed floors only when the machine has that many cores)
+par-bench:
+	dune exec bench/main.exe -- par-json
+
+# CI smoke variant: same equality gates, >= 1.5x floor at 4 domains
+# on machines with >= 4 cores
+par-bench-tiny:
+	dune exec bench/main.exe -- par-json --tiny
 
 examples: build
 	dune exec examples/quickstart.exe

@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- pushdown-json # constraint pushdown ablation -> BENCH_pushdown.json
      dune exec bench/main.exe -- sub-json     # standing-query maintenance -> BENCH_sub.json
      dune exec bench/main.exe -- scale-json   # storage-engine scale bench -> BENCH_scale.json
+     dune exec bench/main.exe -- par-json     # parallel-runtime race -> BENCH_par.json
      dune exec bench/main.exe -- --seed N ..  # reseed workload + fault schedule
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
@@ -49,6 +50,7 @@ let () =
   | [ "pushdown-json" ] -> Pushdown_bench.run ~tiny:!tiny ()
   | [ "sub-json" ] -> Sub_bench.run ~tiny:!tiny ()
   | [ "scale-json" ] -> Scale_bench.run ~tiny:!tiny ()
+  | [ "par-json" ] -> Par_bench.run ~tiny:!tiny ()
   | names ->
       if List.mem "micro" names then Micro.run ();
       if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
@@ -57,18 +59,20 @@ let () =
       if List.mem "pushdown-json" names then Pushdown_bench.run ~tiny:!tiny ();
       if List.mem "sub-json" names then Sub_bench.run ~tiny:!tiny ();
       if List.mem "scale-json" names then Scale_bench.run ~tiny:!tiny ();
+      if List.mem "par-json" names then Par_bench.run ~tiny:!tiny ();
       let experiment_names =
         List.filter
           (fun n ->
             n <> "micro" && n <> "bench-json" && n <> "wire-json" && n <> "chaos-json"
-            && n <> "pushdown-json" && n <> "sub-json" && n <> "scale-json")
+            && n <> "pushdown-json" && n <> "sub-json" && n <> "scale-json"
+            && n <> "par-json")
           names
       in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
         Printf.eprintf
-          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, pushdown-json, sub-json, scale-json)\n"
+          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, pushdown-json, sub-json, scale-json, par-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

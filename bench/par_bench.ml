@@ -1,0 +1,234 @@
+(* Parallel runtime race (experiment E20 and `make par-bench`).
+
+   The same clique workloads as the pushdown and subscription benches
+   — an update fix-point and a diffused query — raced at 1, 2, 4 and
+   8 domains through the two-phase step ([Options.domains]).  Two
+   kinds of gate:
+
+   - equality, unconditional: every domain count must produce the
+     same store/answer digests, the same network counters, the same
+     null count and the same event count as the sequential run.  A
+     single bit of divergence aborts the benchmark, so CI fails
+     loudly on any determinism regression.
+   - speed, core-aware: on a machine with at least 8 effective cores
+     the full workload must reach >= 3x at 8 domains; the tiny (CI)
+     workload must reach >= 1.5x at 4 domains when at least 4 cores
+     exist.  On smaller machines the speed gates are reported but not
+     enforced — a 1-core container cannot race anything, while the
+     equality gates hold everywhere.
+
+   Results go to BENCH_par.json. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+module Value = Codb_relalg.Value
+module Tuple = Codb_relalg.Tuple
+module Relation = Codb_relalg.Relation
+module Database = Codb_relalg.Database
+module Parser = Codb_cq.Parser
+module Datagen = Codb_workload.Datagen
+
+type workload = { wl_nodes : int; wl_tuples : int; wl_domain : int }
+
+let workload ~tiny =
+  if tiny then { wl_nodes = 6; wl_tuples = 40; wl_domain = 20 }
+  else { wl_nodes = 8; wl_tuples = 80; wl_domain = 40 }
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let parse text =
+  match Parser.parse_query text with Ok q -> q | Error e -> failwith e
+
+let config wl =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = wl.wl_tuples;
+      profile = { Datagen.default_profile with Datagen.domain_size = wl.wl_domain };
+    }
+  in
+  Topology.generate ~params ~seed:2000 Topology.Clique ~n:wl.wl_nodes
+
+(* content digest over every store, independent of intern-slot order
+   and of the process history, so runs compare within one process *)
+let store_digest sys =
+  List.fold_left
+    (fun h name ->
+      let db = (System.node sys name).Node.store in
+      List.fold_left
+        (fun h rel ->
+          let tuples = ref [] in
+          Relation.iter (fun t -> tuples := t :: !tuples) (Database.relation db rel);
+          Tuple.digest_fold
+            (String.fold_left (fun h c -> (h * 131) + Char.code c) h rel)
+            (List.sort Tuple.compare !tuples))
+        h (Database.rel_names db))
+    0 (System.node_names sys)
+
+type row = {
+  r_workload : string;
+  r_domains : int;
+  r_wall_s : float;
+  r_digest : int;
+  r_delivered : int;
+  r_dropped : int;
+  r_bytes : int;
+  r_nulls : int;
+}
+
+let observe ~workload_name ~domains ~wall sys ~digest =
+  let c = Network.counters (System.net sys) in
+  {
+    r_workload = workload_name;
+    r_domains = domains;
+    r_wall_s = wall;
+    r_digest = digest;
+    r_delivered = c.Network.delivered;
+    r_dropped = c.Network.dropped;
+    r_bytes = c.Network.total_bytes;
+    r_nulls = Value.null_counter ();
+  }
+
+let measure_update wl domains =
+  Value.reset_null_counter ();
+  let opts = { Options.default with Options.domains; par_threshold = 2 } in
+  let sys = System.build_exn ~opts (config wl) in
+  let wall_start = Unix.gettimeofday () in
+  let (_ : Codb_core.Ids.update_id) = System.run_update sys ~initiator:"n0" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  observe ~workload_name:"update" ~domains ~wall sys ~digest:(store_digest sys)
+
+let measure_query wl domains =
+  Value.reset_null_counter ();
+  let opts =
+    { Options.default with Options.domains; par_threshold = 2; pushdown = true }
+  in
+  let sys = System.build_exn ~opts (config wl) in
+  let q = parse "o(x, y) <- data(x, y)" in
+  let wall_start = Unix.gettimeofday () in
+  let outcome = System.run_query sys ~at:"n0" q in
+  let wall = Unix.gettimeofday () -. wall_start in
+  observe ~workload_name:"query" ~domains ~wall sys
+    ~digest:(Tuple.digest outcome.System.qo_answers lxor store_digest sys)
+
+let measure_all ~tiny () =
+  let wl = workload ~tiny in
+  let race measure = List.map (fun d -> measure wl d) domain_counts in
+  (wl, [ race measure_update; race measure_query ])
+
+(* ---- gates ----------------------------------------------------------- *)
+
+let check_equality races =
+  List.iter
+    (fun rows ->
+      match rows with
+      | [] -> ()
+      | base :: rest ->
+          List.iter
+            (fun r ->
+              let where =
+                Printf.sprintf "%s at domains=%d" r.r_workload r.r_domains
+              in
+              if r.r_digest <> base.r_digest then
+                failwith (Printf.sprintf "answer digest diverged on %s" where);
+              if
+                r.r_delivered <> base.r_delivered
+                || r.r_dropped <> base.r_dropped
+                || r.r_bytes <> base.r_bytes
+              then failwith (Printf.sprintf "traffic counters diverged on %s" where);
+              if r.r_nulls <> base.r_nulls then
+                failwith (Printf.sprintf "null counter diverged on %s" where))
+            rest)
+    races
+
+let speedup rows d =
+  match
+    ( List.find_opt (fun r -> r.r_domains = 1) rows,
+      List.find_opt (fun r -> r.r_domains = d) rows )
+  with
+  | Some base, Some r when r.r_wall_s > 0.0 -> base.r_wall_s /. r.r_wall_s
+  | _ -> nan
+
+let check_speed ~tiny races =
+  let cores = Domain.recommended_domain_count () in
+  let gate ~domains ~floor rows =
+    if cores >= domains then begin
+      let s = speedup rows domains in
+      if s < floor then
+        failwith
+          (Printf.sprintf
+             "%s below the speed floor at domains=%d: %.2fx < %.2fx (%d cores)"
+             (List.hd rows).r_workload domains s floor cores)
+    end
+  in
+  List.iter
+    (fun rows ->
+      if tiny then gate ~domains:4 ~floor:1.5 rows
+      else gate ~domains:8 ~floor:3.0 rows)
+    races;
+  cores
+
+let print_table wl races ~cores =
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E20 - parallel two-phase step (clique N=%d, %d tuples/node, %d cores)"
+         wl.wl_nodes wl.wl_tuples cores)
+    ~header:
+      [ "workload"; "domains"; "wall s"; "speedup"; "delivered"; "bytes"; "digest" ]
+    (List.concat_map
+       (fun rows ->
+         List.map
+           (fun r ->
+             [
+               r.r_workload;
+               Tables.i0 r.r_domains;
+               Printf.sprintf "%.4f" r.r_wall_s;
+               Printf.sprintf "%.2fx" (speedup rows r.r_domains);
+               Tables.i0 r.r_delivered;
+               Tables.i0 r.r_bytes;
+               Printf.sprintf "%x" (r.r_digest land 0xffffff);
+             ])
+           rows)
+       races)
+
+let write_json ~path wl races ~cores =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"par\",\n";
+  p "  \"workload\": {\"nodes\": %d, \"tuples_per_node\": %d, \"domain\": %d},\n"
+    wl.wl_nodes wl.wl_tuples wl.wl_domain;
+  p "  \"cores\": %d,\n" cores;
+  p "  \"digests_identical\": true,\n";
+  p "  \"runs\": [\n";
+  let rows = List.concat races in
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"workload\": \"%s\", \"domains\": %d, \"wall_s\": %.4f, \
+         \"speedup\": %.2f, \"delivered\": %d, \"bytes\": %d}%s\n"
+        r.r_workload r.r_domains r.r_wall_s
+        (speedup (List.filter (fun x -> x.r_workload = r.r_workload) rows) r.r_domains)
+        r.r_delivered r.r_bytes
+        (if i = n - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc
+
+let json_path = "BENCH_par.json"
+
+let run ?(tiny = false) ?(json = true) () =
+  let wl, races = measure_all ~tiny () in
+  check_equality races;
+  let cores = check_speed ~tiny races in
+  print_table wl races ~cores;
+  if json then begin
+    write_json ~path:json_path wl races ~cores;
+    Printf.printf "wrote %s\n%!" json_path
+  end

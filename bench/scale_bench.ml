@@ -220,22 +220,11 @@ let boxed_engine () =
 
 (* ---- equivalence digest ---------------------------------------------- *)
 
-(* FNV-1a over value contents: independent of intern-table slot order,
-   so digests compare across processes (full run vs CI tiny run) *)
-let fnv h n = (h lxor n) * 0x100000001b3 land max_int
-
-let value_digest h = function
-  | Value.Int n -> fnv (fnv h 1) n
-  | Value.Float f -> fnv (fnv h 2) (Int64.to_int (Int64.bits_of_float f))
-  | Value.Str s -> String.fold_left (fun h c -> fnv h (Char.code c)) (fnv h 3) s
-  | Value.Bool b -> fnv (fnv h 4) (Bool.to_int b)
-  | Value.Null { Value.null_id; _ } -> fnv (fnv h 5) null_id
-  | Value.Hole k -> fnv (fnv h 6) k
-
-let tuples_digest h tuples =
-  (* [Eval.answer_tuples] returns answers in sorted order, so a fold
-     is order-stable across engines *)
-  List.fold_left (fun h t -> Array.fold_left value_digest (fnv h 17) t) h tuples
+(* FNV-1a over value contents ({!Tuple.digest_fold}): independent of
+   intern-table slot order, so digests compare across processes (full
+   run vs CI tiny run).  [Eval.answer_tuples] returns answers in
+   sorted order, so the fold is order-stable across engines. *)
+let tuples_digest h tuples = Tuple.digest_fold h tuples
 
 (* ---- measurement ----------------------------------------------------- *)
 

@@ -31,6 +31,9 @@ let create decl =
     (fun (rel, tuple) -> ignore (Database.insert store rel tuple))
     decl.Config.facts;
   let node_id = Peer_id.of_string decl.Config.node_name in
+  (* denial constraints are evaluated inside update/query handlers,
+     which the parallel runtime may run under the minting freeze *)
+  List.iter Codb_cq.Query.intern_constants decl.Config.constraints;
   {
     node_id;
     decl;
@@ -82,6 +85,12 @@ let mirrors_sorted node =
 let set_rules node ~outgoing ~incoming =
   node.outgoing <- outgoing;
   node.incoming <- incoming;
+  (* rule installation is always sequential; interning the rules'
+     constants now lets the parallel runtime evaluate them under the
+     minting freeze without ever creating an intern slot *)
+  List.iter
+    (fun (r : Config.rule_decl) -> Codb_cq.Query.intern_constants r.Config.rule_query)
+    (outgoing @ incoming);
   (* acquaintances and rule bodies changed: cached answers may rest on
      rules that no longer exist *)
   Option.iter Codb_cache.Qcache.clear node.cache
@@ -162,6 +171,34 @@ let reset_volatile node =
   node.subs <- None;
   Hashtbl.reset node.sub_mirrors;
   Codb_sub.Outbox.clear node.sub_outbox
+
+(* Any user-supplied callback currently armed on this node?  Root
+   queries streaming to [on_answer], locally-owned subscriptions with
+   a delta callback, and mirrors created with one all observe
+   cross-node arrival order directly, so the parallel runtime keeps
+   such nodes out of fanned-out batches (their handlers run on the
+   simulation domain, in strict event order). *)
+let has_live_callbacks node =
+  Hashtbl.fold
+    (fun _ (qs : Query_state.t) acc ->
+      acc
+      ||
+      match qs.Query_state.qst_kind with
+      | Query_state.Root { on_answer = Some _; _ } -> true
+      | Query_state.Root { on_answer = None; _ } | Query_state.Responder _ -> false)
+    node.query_instances false
+  || (match node.subs with
+     | Some reg ->
+         List.exists
+           (fun (e : Codb_sub.Registry.entry) ->
+             match e.Codb_sub.Registry.e_owner with
+             | Codb_sub.Registry.Local (Some _) -> true
+             | Codb_sub.Registry.Local None | Codb_sub.Registry.Remote _ -> false)
+           (Codb_sub.Registry.entries reg)
+     | None -> false)
+  || Hashtbl.fold
+       (fun _ m acc -> acc || Codb_sub.Mirror.has_callback m)
+       node.sub_mirrors false
 
 let is_consistent node =
   let source = Eval.of_database node.store in

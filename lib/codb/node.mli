@@ -114,6 +114,13 @@ val reset_volatile : t -> unit
     restarted node must not reuse sequence numbers its peers may have
     recorded). *)
 
+val has_live_callbacks : t -> bool
+(** Any user-supplied callback armed on this node (a streaming root
+    query, a local subscription with an [on_delta], a mirror with
+    one)?  Such callbacks observe cross-node arrival order directly,
+    so the parallel runtime keeps the node's handlers on the
+    simulation domain. *)
+
 val is_consistent : t -> bool
 (** Evaluate the node's denial constraints against the store; record
     the verdict in the statistics module.  Per the paper's principle

@@ -33,7 +33,20 @@ type t = {
   max_subscriptions : int;
   sub_batch_window : float;
   sub_naive : bool;
+  domains : int;
+  par_threshold : int;
 }
+
+(* The suite-wide parallelism knob: CI runs the whole test suite a
+   second time with CODB_DOMAINS=2 without touching a single test.
+   Unset, unparsable or < 1 all mean sequential. *)
+let domains_from_env () =
+  match Sys.getenv_opt "CODB_DOMAINS" with
+  | None -> 1
+  | Some text -> (
+      match int_of_string_opt (String.trim text) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
 
 let default =
   {
@@ -71,6 +84,8 @@ let default =
     max_subscriptions = 64;
     sub_batch_window = 0.0;
     sub_naive = false;
+    domains = domains_from_env ();
+    par_threshold = 2;
   }
 
 let with_cache =
@@ -169,6 +184,11 @@ let validate t =
          t.sub_batch_window);
   if t.sub_naive && not t.subscriptions then
     reject "options: sub_naive requires subscriptions";
+  if t.domains < 1 || t.domains > 256 then
+    reject (Printf.sprintf "options: domains must be in [1,256] (got %d)" t.domains);
+  if t.par_threshold < 1 then
+    reject
+      (Printf.sprintf "options: par_threshold must be >= 1 (got %d)" t.par_threshold);
   match List.rev !errors with [] -> Ok () | errors -> Error errors
 
 let faults_enabled t =

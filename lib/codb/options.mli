@@ -120,6 +120,20 @@ type t = {
           the whole answer set on every store delta instead of running
           the semi-naive delta pass (the E18 ablation baseline; answer
           sets are identical, probe and byte costs are not) *)
+  domains : int;
+      (** OCaml domains the simulator may use for the two-phase
+          parallel step (see [System]): same-time node-local handlers
+          fan out across this many lanes, their effects replayed at a
+          barrier in sequential order.  1 (the default) runs today's
+          strictly sequential loop — and every count produces
+          bit-identical traffic, counters and traces, so this is a
+          throughput knob, never a semantics knob.  Defaults to the
+          [CODB_DOMAINS] environment variable when set (how CI runs
+          the whole suite at [domains=2]) *)
+  par_threshold : int;
+      (** minimum batch size worth fanning out; smaller same-time
+          groups run inline on the simulation domain, skipping the
+          capture/replay machinery *)
 }
 
 val default : t
@@ -138,8 +152,9 @@ val validate : t -> (unit, string list) result
     reopen before they close, crashes that restart before they crash,
     negative [max_retries], [backoff_factor] < 1;
     [max_subscriptions] < 1, negative [sub_batch_window], [sub_naive]
-    without [subscriptions].  Called by {!System.build} before any
-    node is created. *)
+    without [subscriptions]; [domains] outside [1,256],
+    [par_threshold] < 1.  Called by {!System.build} before any node
+    is created. *)
 
 val faults_enabled : t -> bool
 (** Any fault knob active (drop, dup, jitter, flaps or crashes). *)

@@ -116,6 +116,77 @@ let rec size = function
           + tuples_bytes e.se_adds + tuples_bytes e.se_retracts)
         12 entries
 
+(* ---- Parallel-batch classification ---------------------------------- *)
+
+(* A payload is parallel-safe when handling it is a pure function of
+   the destination node's own state plus outbound effects: no new
+   value identities are minted (hole instantiation mints marked nulls
+   through the process-global counter) and no cross-node control state
+   moves (rules installation, crash/restart bookkeeping, discovery and
+   subscription registration mutate routing/registry state that later
+   same-time events may read).  Anything excluded here simply runs
+   sequentially — classification is a throughput decision, never a
+   correctness one, because [Value.freeze_minting] turns a wrong
+   [true] into a loud failure. *)
+let tuples_safe tuples = not (List.exists Tuple.has_hole tuples)
+
+let rec parallel_safe = function
+  | Update_request _ | Update_link_closed _ | Update_ack _ | Update_terminated _
+  | Query_request _ | Query_done _ | Seq_ack _ ->
+      true
+  | Update_data { tuples; _ } | Query_data { tuples; _ } -> tuples_safe tuples
+  | Update_batch { entries; _ } -> List.for_all (fun e -> tuples_safe e.be_tuples) entries
+  | Answer_delta { adds; retracts; _ } -> tuples_safe adds && tuples_safe retracts
+  | Answer_batch { entries } ->
+      List.for_all (fun e -> tuples_safe e.se_adds && tuples_safe e.se_retracts) entries
+  | Seq { inner; _ } -> parallel_safe inner
+  | Rules_file _ | Start_update | Stats_request | Stats_response _ | Discovery_probe _
+  | Discovery_reply _ | Sub_register _ | Sub_registered _ | Sub_unregister _ ->
+      false
+
+(* Pre-intern every value a payload carries.  The parallel driver runs
+   this on the simulation domain, in popped order, before fanning a
+   batch out: interning is insertion-ordered, so first contact with a
+   wire value must happen sequentially — after this walk, handler-side
+   packing of the same values is a read-only table hit, legal under
+   the minting freeze. *)
+let intern_tuples tuples =
+  List.iter
+    (fun t -> Array.iter (fun v -> ignore (Codb_relalg.Intern.pack v : int)) t)
+    tuples
+
+let intern_constraints = function
+  | Specialize.Any -> ()
+  | Specialize.One_of alts ->
+      List.iter
+        (List.iter (fun { Specialize.p_left; p_right; _ } ->
+             List.iter
+               (function
+                 | Specialize.Const v -> ignore (Codb_relalg.Intern.pack v : int)
+                 | Specialize.Col _ -> ())
+               [ p_left; p_right ]))
+        alts
+
+let rec intern_values = function
+  | Update_data { tuples; _ } | Query_data { tuples; _ } -> intern_tuples tuples
+  | Update_batch { entries; _ } -> List.iter (fun e -> intern_tuples e.be_tuples) entries
+  | Query_request { constraints; _ } -> intern_constraints constraints
+  | Answer_delta { adds; retracts; _ } ->
+      intern_tuples adds;
+      intern_tuples retracts
+  | Answer_batch { entries } ->
+      List.iter
+        (fun e ->
+          intern_tuples e.se_adds;
+          intern_tuples e.se_retracts)
+        entries
+  | Seq { inner; _ } -> intern_values inner
+  | Update_request _ | Update_link_closed _ | Update_ack _ | Update_terminated _
+  | Query_done _ | Rules_file _ | Start_update | Stats_request | Stats_response _
+  | Discovery_probe _ | Discovery_reply _ | Seq_ack _ | Sub_register _
+  | Sub_registered _ | Sub_unregister _ ->
+      ()
+
 let rec is_update_protocol = function
   | Update_request _ | Update_data _ | Update_batch _ | Update_link_closed _ -> true
   | Update_ack _ | Update_terminated _ | Query_request _ | Query_data _ | Query_done _

@@ -165,4 +165,23 @@ val is_update_protocol : t -> bool
     accounting (requests, data, link-closed — not acks, not the
     terminated flood).  A [Seq] frame classifies as its payload. *)
 
+val parallel_safe : t -> bool
+(** May handling this payload run inside a fanned-out parallel batch
+    (see [System])?  [true] only for node-local handlers that mint no
+    value identities: data and protocol-bookkeeping messages whose
+    tuples carry no holes (hole instantiation draws from the global
+    null counter).  Control traffic — rules installation, discovery,
+    subscription registration, stats — answers [false] and runs
+    sequentially.  A misclassification cannot corrupt a run:
+    {!Codb_relalg.Value.freeze_minting} makes any minting inside a
+    batch raise instead of race. *)
+
+val intern_values : t -> unit
+(** Pre-intern every value the payload carries (tuples and pushdown
+    constraint constants) into the global {!Codb_relalg.Intern} table.
+    The parallel driver calls this sequentially, in delivery order,
+    before fanning a batch out, so slot assignment stays
+    insertion-ordered and handler-side packing under the minting
+    freeze is a read-only hit. *)
+
 val describe : t -> string

@@ -173,6 +173,10 @@ let missing_relations rt query =
 
 let make_sub rt ~sub_id query =
   let opts = rt.Runtime.opts in
+  (* registration is always a sequential event; interning the query's
+     constants here lets later incremental maintenance run inside the
+     parallel runtime's minting freeze *)
+  Query.intern_constants query;
   match missing_relations rt query with
   | [] ->
       Sub.create ~pushdown:opts.Options.pushdown

@@ -5,10 +5,25 @@ module Tuple = Codb_relalg.Tuple
 module Database = Codb_relalg.Database
 module Eval = Codb_cq.Eval
 
+(* Outbound effects of one handler run under the parallel step: the
+   handler's runtime closures append here instead of touching the
+   shared network, and the simulation domain replays the buffer at the
+   join barrier — in delivery order, through the very same closures —
+   so message sequence numbers, event seqs, fault-RNG draws, traces
+   and drop accounting all happen in exactly the sequential order. *)
+type effect_ =
+  | Ef_send of { ef_dst : Peer_id.t; ef_payload : Payload.t }
+  | Ef_schedule of { ef_delay : float; ef_action : unit -> unit }
+  | Ef_connect of Peer_id.t
+  | Ef_disconnect of Peer_id.t
+
+type capture = { mutable effects : effect_ list (* reversed *) }
+
 type t = {
   sys_net : Payload.t Network.t;
   sys_nodes : (string, Node.t) Hashtbl.t;
   sys_runtimes : (string, Runtime.t) Hashtbl.t;
+  sys_captures : (string, capture option ref) Hashtbl.t;
   mutable sys_config : Config.t;
   sys_opts : Options.t;
   mutable sys_superpeer : Superpeer.t option;
@@ -47,27 +62,56 @@ let trace_event sys ~direction ~src ~dst what =
           ev_what = what;
         }
 
+(* Every runtime closure checks the node's capture cell first: [None]
+   (the sequential loop, and batch replay) acts on the network
+   directly; [Some buf] (a handler running inside a fanned-out batch)
+   records the effect.  A captured [send] answers with the pipe-open
+   prediction ({!Network.sendable}) — exact, because pipe state only
+   changes through sequential control events, so it is frozen for the
+   span of a batch. *)
 let make_runtime sys (node : Node.t) =
   let id = node.Node.node_id in
+  let capture : capture option ref = ref None in
+  Hashtbl.replace sys.sys_captures (Peer_id.to_string id) capture;
   let connect peer =
-    if Network.has_peer sys.sys_net peer then
-      Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
-        ~byte_cost:sys.sys_opts.Options.byte_cost id peer
+    match !capture with
+    | Some buf -> buf.effects <- Ef_connect peer :: buf.effects
+    | None ->
+        if Network.has_peer sys.sys_net peer then
+          Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
+            ~byte_cost:sys.sys_opts.Options.byte_cost id peer
   in
   let send ~dst payload =
-    let delivered = Network.send sys.sys_net ~src:id ~dst payload in
-    if delivered then
-      trace_event sys ~direction:Trace.Sent ~src:id ~dst (Payload.describe payload);
-    delivered
+    match !capture with
+    | Some buf ->
+        (* record even when unsendable: the replay's real [send] does
+           the dropped-message accounting sequentially *)
+        buf.effects <- Ef_send { ef_dst = dst; ef_payload = payload } :: buf.effects;
+        Network.sendable sys.sys_net ~src:id ~dst
+    | None ->
+        let delivered = Network.send sys.sys_net ~src:id ~dst payload in
+        if delivered then
+          trace_event sys ~direction:Trace.Sent ~src:id ~dst (Payload.describe payload);
+        delivered
+  in
+  let schedule ~delay action =
+    match !capture with
+    | Some buf -> buf.effects <- Ef_schedule { ef_delay = delay; ef_action = action } :: buf.effects
+    | None -> Network.schedule sys.sys_net ~delay action
+  in
+  let disconnect peer =
+    match !capture with
+    | Some buf -> buf.effects <- Ef_disconnect peer :: buf.effects
+    | None -> Network.disconnect sys.sys_net id peer
   in
   {
     Runtime.node;
     opts = sys.sys_opts;
     send;
     now = (fun () -> Network.now sys.sys_net);
-    schedule = (fun ~delay action -> Network.schedule sys.sys_net ~delay action);
+    schedule;
     connect;
-    disconnect = (fun peer -> Network.disconnect sys.sys_net id peer);
+    disconnect;
     neighbours = (fun () -> Network.neighbours sys.sys_net id);
   }
 
@@ -213,6 +257,7 @@ let build ?(opts = Options.default) cfg =
                 ~default_byte_cost:opts.Options.byte_cost ~size_of ();
             sys_nodes = Hashtbl.create 32;
             sys_runtimes = Hashtbl.create 32;
+            sys_captures = Hashtbl.create 32;
             sys_config = cfg;
             sys_opts = opts;
             sys_superpeer = None;
@@ -230,11 +275,127 @@ let build_exn ?opts cfg =
   | Ok sys -> sys
   | Error errors -> invalid_arg ("System.build: " ^ String.concat "; " errors)
 
+(* ---- the two-phase parallel step ------------------------------------- *)
+
+(* An event may join a fanned-out batch when its handler is a pure
+   node-local function of the destination's state: the payload mints
+   no value identities, the destination is one of our protocol nodes
+   (the super-peer shares control state), and no user callback on that
+   node would observe cross-node execution order. *)
+let batch_eligible sys (msg : Payload.t Codb_net.Message.t) =
+  Payload.parallel_safe msg.Codb_net.Message.payload
+  &&
+  match Hashtbl.find_opt sys.sys_nodes (Peer_id.to_string msg.Codb_net.Message.dst) with
+  | Some node -> not (Node.has_live_callbacks node)
+  | None -> false
+
+let replay_event sys (msg : Payload.t Codb_net.Message.t) buf =
+  let dst_name = Peer_id.to_string msg.Codb_net.Message.dst in
+  (* the Delivered trace first, exactly where the sequential handler
+     wrapper records it, then the handler's effects in program order *)
+  trace_event sys ~direction:Trace.Delivered ~src:msg.Codb_net.Message.src
+    ~dst:msg.Codb_net.Message.dst
+    (Payload.describe msg.Codb_net.Message.payload);
+  match Hashtbl.find_opt sys.sys_runtimes dst_name with
+  | None -> assert false (* eligibility required a runtime *)
+  | Some rt ->
+      List.iter
+        (function
+          | Ef_send { ef_dst; ef_payload } ->
+              ignore (rt.Runtime.send ~dst:ef_dst ef_payload : bool)
+          | Ef_schedule { ef_delay; ef_action } ->
+              rt.Runtime.schedule ~delay:ef_delay ef_action
+          | Ef_connect peer -> rt.Runtime.connect peer
+          | Ef_disconnect peer -> rt.Runtime.disconnect peer)
+        (List.rev buf.effects)
+
+(* Run one batch of same-time deliveries: handlers fan out across the
+   domain pool (grouped by destination, so each node's state is only
+   ever touched by one domain), outbound effects collect into
+   per-event buffers, and the simulation domain replays every buffer
+   at the barrier in delivery order.  Replay goes through the real
+   runtime closures, so everything order-sensitive — message seqs,
+   event seqs, fault-RNG draws, traces, byte counters — happens in
+   exactly the order the sequential loop would have produced. *)
+let run_batch sys pool (messages : Payload.t Codb_net.Message.t array) =
+  let n = Array.length messages in
+  if n < sys.sys_opts.Options.par_threshold then
+    (* too small to pay the fan-out: run inline, sequentially (the
+       network already accounted the deliveries) *)
+    Array.iter
+      (fun m ->
+        match Network.handler_of sys.sys_net m.Codb_net.Message.dst with
+        | Some h -> h m
+        | None -> ())
+      messages
+  else begin
+    (* phase 0, sequential: first contact with every wire value, so
+       slot assignment in the intern table keeps insertion order *)
+    Array.iter (fun m -> Payload.intern_values m.Codb_net.Message.payload) messages;
+    let captures = Array.map (fun _ -> { effects = [] }) messages in
+    (* group by destination, preserving delivery order within a node *)
+    let order = ref [] in
+    let buckets : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+    Array.iteri
+      (fun i m ->
+        let key = Peer_id.to_string m.Codb_net.Message.dst in
+        match Hashtbl.find_opt buckets key with
+        | Some l -> l := i :: !l
+        | None ->
+            Hashtbl.add buckets key (ref [ i ]);
+            order := key :: !order)
+      messages;
+    let job key =
+      let idxs = List.rev !(Hashtbl.find buckets key) in
+      let rt = Hashtbl.find sys.sys_runtimes key in
+      let cell = Hashtbl.find sys.sys_captures key in
+      fun () ->
+        List.iter
+          (fun i ->
+            cell := Some captures.(i);
+            Dbm.handle rt messages.(i))
+          idxs;
+        cell := None
+    in
+    let jobs = Array.of_list (List.rev_map job !order) in
+    (* phase 1, parallel: node-local handling under the minting freeze *)
+    Codb_relalg.Value.freeze_minting true;
+    let outcome = try Ok (Codb_par.Pool.run pool jobs) with exn -> Error exn in
+    Codb_relalg.Value.freeze_minting false;
+    Hashtbl.iter (fun _ cell -> cell := None) sys.sys_captures;
+    match outcome with
+    | Error exn ->
+        (* a handler raised: the batch's captured effects are
+           discarded and the (deterministically chosen) exception
+           propagates, exactly as a failing sequential handler would
+           abort the run mid-event *)
+        raise exn
+    | Ok () ->
+        (* phase 2, sequential: replay in delivery order *)
+        Array.iteri (fun i m -> replay_event sys m captures.(i)) messages
+  end
+
+let run_parallel sys ~max_events =
+  let pool = Codb_par.Pool.shared ~domains:sys.sys_opts.Options.domains in
+  let eligible = batch_eligible sys in
+  let rec loop count =
+    if count >= max_events then count
+    else
+      match Network.try_batch sys.sys_net ~eligible ~limit:(max_events - count) with
+      | Network.Drained -> count
+      | Network.Stepped n -> if n = 0 then count else loop (count + n)
+      | Network.Deliveries messages ->
+          run_batch sys pool messages;
+          loop (count + Array.length messages)
+  in
+  loop 0
+
 let run ?max_events sys =
   let max_events =
     Option.value ~default:sys.sys_opts.Options.max_update_events max_events
   in
-  Network.run ~max_events sys.sys_net
+  if sys.sys_opts.Options.domains > 1 then run_parallel sys ~max_events
+  else Network.run ~max_events sys.sys_net
 
 let now sys = Network.now sys.sys_net
 

@@ -29,24 +29,35 @@ type counters = {
   legacy : int;  (** joins executed through the legacy greedy order *)
 }
 
-let probe_count = ref 0
-let scan_count = ref 0
-let planned_count = ref 0
-let legacy_count = ref 0
+(* One counter cell per domain: a handler fanned out by the parallel
+   runtime runs on one domain start to finish, so the snapshot-diff
+   pattern ([Stats.with_eval_counters]) keeps working unchanged —
+   each domain diffs its own cell.  Nothing sums across domains: the
+   per-handler deltas land in per-node stats, which is where every
+   consumer reads them. *)
+type cell = {
+  mutable c_probes : int;
+  mutable c_scans : int;
+  mutable c_planned : int;
+  mutable c_legacy : int;
+}
+
+let cell_key : cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { c_probes = 0; c_scans = 0; c_planned = 0; c_legacy = 0 })
+
+let cell () = Domain.DLS.get cell_key
 
 let counters () =
-  {
-    probes = !probe_count;
-    scans = !scan_count;
-    planned = !planned_count;
-    legacy = !legacy_count;
-  }
+  let c = cell () in
+  { probes = c.c_probes; scans = c.c_scans; planned = c.c_planned; legacy = c.c_legacy }
 
 let reset_counters () =
-  probe_count := 0;
-  scan_count := 0;
-  planned_count := 0;
-  legacy_count := 0
+  let c = cell () in
+  c.c_probes <- 0;
+  c.c_scans <- 0;
+  c.c_planned <- 0;
+  c.c_legacy <- 0
 
 let empty_rows =
   {
@@ -62,30 +73,93 @@ let empty_rows =
     packed = None;
   }
 
-let rows_of_list tuples =
-  (* canonicalise once so the matching core's [==] fast path hits;
-     tuples that already went through a [Relation] are untouched *)
-  let tuples = List.map Tuple.canonical tuples in
+(* A transient packed view over a row list: columns flattened into one
+   int array, live rows are just [0..n-1], probes are filtered scans.
+   No probe_cols is exposed, so the planner sees the source exactly as
+   unindexed as before — same plans, same probe/scan counter
+   increments — but a join mixing stored relations with delta feeds
+   now clears [all_packed] and runs on the packed int core. *)
+let packed_view_of_rows ~arity:a flat n =
+  let ids = lazy (Array.init n (fun i -> i)) in
+  {
+    Relation.pv_arity = a;
+    pv_cell = (fun col row -> flat.((row * a) + col));
+    pv_all = (fun () -> (Lazy.force ids, n));
+    pv_probe =
+      (fun cols ->
+        let cols = Array.of_list cols in
+        let k = Array.length cols in
+        fun vals ->
+          let hits = Array.make (max 1 n) 0 in
+          let hit = ref 0 in
+          for row = 0 to n - 1 do
+            let ok = ref true in
+            for j = 0 to k - 1 do
+              if flat.((row * a) + cols.(j)) <> vals.(j) then ok := false
+            done;
+            if !ok then begin
+              hits.(!hit) <- row;
+              incr hit
+            end
+          done;
+          (hits, !hit));
+  }
+
+let rows_of_list ?arity:arity_hint tuples =
+  (* canonicalise once so the matching core's [==] fast path hits —
+     the walk packs every cell exactly as [Tuple.canonical] would, and
+     keeps the packed ints as the columnar image of the list (the
+     delta feeds of semi-naive maintenance take the packed join core
+     through this view instead of falling back to boxed matching).
+     [arity_hint] lets an empty feed stay packed-joinable. *)
   let arity =
     match tuples with
-    | [] -> None
+    | [] -> arity_hint
     | first :: rest ->
         let a = Array.length first in
         if List.for_all (fun t -> Array.length t = a) rest then Some a else None
   in
-  let arr = lazy (Array.of_list tuples) in
-  {
-    all = (fun () -> tuples);
-    all_arr = Some (fun () -> Lazy.force arr);
-    size = List.length tuples;
-    probe = None;
-    probe_arr = None;
-    probe_cols = None;
-    probe_cols_arr = None;
-    distinct = None;
-    arity;
-    packed = None;
-  }
+  match arity with
+  | Some a when List.for_all (fun t -> Array.length t = a) tuples ->
+      let n = List.length tuples in
+      let flat = Array.make (max 1 (n * a)) 0 in
+      let tuples =
+        List.mapi
+          (fun row t ->
+            Array.init a (fun j ->
+                let p = Intern.pack t.(j) in
+                flat.((row * a) + j) <- p;
+                Intern.unpack p))
+          tuples
+      in
+      let arr = lazy (Array.of_list tuples) in
+      {
+        all = (fun () -> tuples);
+        all_arr = Some (fun () -> Lazy.force arr);
+        size = n;
+        probe = None;
+        probe_arr = None;
+        probe_cols = None;
+        probe_cols_arr = None;
+        distinct = None;
+        arity = Some a;
+        packed = Some (packed_view_of_rows ~arity:a flat n);
+      }
+  | _ ->
+      let tuples = List.map Tuple.canonical tuples in
+      let arr = lazy (Array.of_list tuples) in
+      {
+        all = (fun () -> tuples);
+        all_arr = Some (fun () -> Lazy.force arr);
+        size = List.length tuples;
+        probe = None;
+        probe_arr = None;
+        probe_cols = None;
+        probe_cols_arr = None;
+        distinct = None;
+        arity = None;
+        packed = None;
+      }
 
 let of_database ?index_budget db rel =
   match Database.relation_opt db rel with
@@ -202,7 +276,8 @@ let scan_all p =
 let candidates_legacy subst p =
   match (p.p_rows.probe_arr, p.p_rows.probe) with
   | None, None ->
-      incr scan_count;
+      let c = cell () in
+      c.c_scans <- c.c_scans + 1;
       scan_all p
   | probe_arr, probe ->
       let n = Array.length p.p_args in
@@ -218,12 +293,14 @@ let candidates_legacy subst p =
       in
       (match first_ground 0 with
       | Some (col, value) -> (
-          incr probe_count;
+          let c = cell () in
+          c.c_probes <- c.c_probes + 1;
           match probe_arr with
           | Some probe_arr -> probe_arr col value
           | None -> Array.of_list ((Option.get probe) col value))
       | None ->
-          incr scan_count;
+          let c = cell () in
+          c.c_scans <- c.c_scans + 1;
           scan_all p)
 
 let term_value subst = function
@@ -233,7 +310,8 @@ let term_value subst = function
 let candidates_planned subst p =
   if p.p_probe = [] || (p.p_rows.probe_cols = None && p.p_rows.probe_cols_arr = None)
   then begin
-    incr scan_count;
+    let c = cell () in
+    c.c_scans <- c.c_scans + 1;
     scan_all p
   end
   else begin
@@ -247,7 +325,8 @@ let candidates_planned subst p =
               assert false)
         p.p_probe
     in
-    incr probe_count;
+    let c = cell () in
+    c.c_probes <- c.c_probes + 1;
     match p.p_rows.probe_cols_arr with
     | Some probe_cols_arr -> probe_cols_arr bindings
     | None -> Array.of_list ((Option.get p.p_rows.probe_cols) bindings)
@@ -309,7 +388,8 @@ let order_atoms atoms =
    pending comparisons.  Substitutions whose comparisons never become
    ground are dropped. *)
 let join_legacy ordered comparisons =
-  incr legacy_count;
+  let c = cell () in
+  c.c_legacy <- c.c_legacy + 1;
   let prepared = List.map (fun (atom, rows) -> prepare atom rows) ordered in
   if List.exists arity_mismatch prepared then []
   else
@@ -522,17 +602,19 @@ let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
     | Cgen (op, l, r) -> Query.eval_comparison_op op (cterm_value l) (cterm_value r)
   in
   let checks_ok checks = List.for_all check_ok checks in
+  (* fetch the domain-local counter cell once, outside the hot loop *)
+  let counter_cell = cell () in
   let rec go d =
     if d = nsteps then emit ()
     else begin
       let st = steps.(d) in
       let rows, len =
         if st.k_scan then begin
-          incr scan_count;
+          counter_cell.c_scans <- counter_cell.c_scans + 1;
           st.k_view.Relation.pv_all ()
         end
         else begin
-          incr probe_count;
+          counter_cell.c_probes <- counter_cell.c_probes + 1;
           let src = st.k_probe_src and scratch = st.k_probe_vals in
           for j = 0 to Array.length src - 1 do
             scratch.(j) <-
@@ -625,7 +707,8 @@ let all_packed prepared =
    column sets through composite indexes, and evaluate each comparison
    at the step the planner assigned it to. *)
 let join_planned ?max_probe_cols atoms comparisons =
-  incr planned_count;
+  let c = cell () in
+  c.c_planned <- c.c_planned + 1;
   match plan_prepared ?max_probe_cols atoms comparisons with
   | None -> []
   | Some prepared when all_packed prepared -> join_packed prepared
@@ -757,7 +840,8 @@ let answer_tuples ?planner ?max_probe_cols source q =
   if use_planner && List.for_all (fun (_, rows) -> rows.packed <> None) atoms
      && atoms <> []
   then begin
-    incr planned_count;
+    let c = cell () in
+    c.c_planned <- c.c_planned + 1;
     match plan_prepared ?max_probe_cols atoms q.Query.comparisons with
     | None -> []
     | Some prepared -> answer_tuples_packed prepared q.Query.head

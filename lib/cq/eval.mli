@@ -87,9 +87,14 @@ val reset_counters : unit -> unit
 
 val empty_rows : rows
 
-val rows_of_list : Codb_relalg.Tuple.t list -> rows
+val rows_of_list : ?arity:int -> Codb_relalg.Tuple.t list -> rows
 (** Scan-only access path over a list (used for deltas and frozen
-    canonical databases). *)
+    canonical databases).  When the rows share one arity the view also
+    carries a packed columnar image, so joins mixing stored relations
+    with delta feeds run on the packed int core; the planner still
+    sees the source as unindexed (no probe columns), keeping plans and
+    probe/scan counters identical to the boxed view.  [arity] lets an
+    empty feed declare its width and stay packed-joinable. *)
 
 val of_database : ?index_budget:int -> Codb_relalg.Database.t -> source
 (** Probing access paths backed by {!Codb_relalg.Relation}'s lazy,

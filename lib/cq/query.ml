@@ -101,3 +101,22 @@ let pp ppf q =
   Fmt.pf ppf "%a <- %a" Atom.pp q.head Fmt.(list ~sep:(any ", ") pp_body_item) items
 
 let to_string q = Fmt.str "%a" pp q
+
+(* Touch every constant so its canonical identity (intern slot, see
+   {!Codb_relalg.Intern}) exists before the query is ever evaluated.
+   The parallel runtime evaluates rules and standing queries inside a
+   minting freeze; constants interned at installation time make that
+   evaluation a read-only table hit. *)
+let intern_constants q =
+  let term = function
+    | Term.Cst v -> ignore (Codb_relalg.Intern.pack v : int)
+    | Term.Var _ -> ()
+  in
+  let atom (a : Atom.t) = List.iter term a.Atom.args in
+  atom q.head;
+  List.iter atom q.body;
+  List.iter
+    (fun c ->
+      term c.left;
+      term c.right)
+    q.comparisons

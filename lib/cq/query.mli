@@ -61,3 +61,9 @@ val equal : t -> t -> bool
 val pp : t Fmt.t
 
 val to_string : t -> string
+
+val intern_constants : t -> unit
+(** Intern every constant of the query (head, body, comparisons) into
+    the global value table, so later evaluation under the parallel
+    runtime's minting freeze never has to create an intern slot.
+    Idempotent and cheap; called at rule/subscription installation. *)

@@ -44,6 +44,9 @@ let push q ~time payload =
   in
   up (q.size - 1)
 
+let push_batch q ~time payloads =
+  List.iter (fun payload -> push q ~time payload) payloads
+
 let pop q =
   if q.size = 0 then None
   else begin
@@ -69,6 +72,8 @@ let pop q =
     end;
     Some (top.time, top.payload)
   end
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).time, q.heap.(0).payload)
 
 let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
 

@@ -2,7 +2,19 @@
 
     Events with equal times are delivered in insertion order (the
     sequence number breaks ties), which makes simulations fully
-    deterministic. *)
+    deterministic.
+
+    {b Single-consumer, single-producer.}  The queue is not
+    thread-safe: every [push]/[pop] must happen on the domain that
+    owns the simulation loop.  The parallel runtime respects this by
+    construction — handlers running on worker domains never touch the
+    queue; their sends and timers are captured into per-event effect
+    buffers and replayed by the owning domain at the merge barrier
+    (see {!Network}).  [push_batch] exists so a replayed group of
+    same-time events obtains one contiguous block of sequence numbers
+    in a single call: ties within the block can never interleave with
+    a concurrent producer, because there is no concurrent producer to
+    interleave with. *)
 
 type 'a t
 
@@ -14,8 +26,19 @@ val length : 'a t -> int
 
 val push : 'a t -> time:float -> 'a -> unit
 
+val push_batch : 'a t -> time:float -> 'a list -> unit
+(** Push several payloads at one time, assigning them a contiguous
+    block of sequence numbers in list order.  Equivalent to folding
+    {!push} over the list (the queue is single-producer), but states
+    the atomicity intent: callers replaying a parallel batch use this
+    so the relative order of the ties is fixed by the list, not by
+    interleaving at the call sites. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Earliest event, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Earliest event without removing it. *)
 
 val peek_time : 'a t -> float option
 

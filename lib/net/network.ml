@@ -16,9 +16,14 @@ type counters = {
   restarts : int;
 }
 
+(* Structured queue entries: deliveries carry their message so the
+   parallel driver can inspect destination and payload before the
+   handler runs; plain timers stay opaque closures. *)
+type 'a event = Ev_deliver of 'a Message.t | Ev_action of (unit -> unit)
+
 type 'a t = {
   mutable now : float;
-  events : (unit -> unit) Event_queue.t;
+  events : 'a event Event_queue.t;
   peer_table : (Peer_id.t, 'a peer_entry) Hashtbl.t;
   pipe_table : (Peer_id.t * Peer_id.t, Pipe.t) Hashtbl.t;
   size_of : 'a -> int;
@@ -129,7 +134,7 @@ let pipes net = Hashtbl.fold (fun _ pipe acc -> pipe :: acc) net.pipe_table []
 
 let schedule net ~delay action =
   if delay < 0.0 then invalid_arg "Network.schedule: negative delay";
-  Event_queue.push net.events ~time:(net.now +. delay) action
+  Event_queue.push net.events ~time:(net.now +. delay) (Ev_action action)
 
 let deliver net message =
   match Hashtbl.find_opt net.peer_table message.Message.dst with
@@ -145,6 +150,11 @@ let deliver net message =
             message.Message.msg_id
             (Peer_id.to_string message.Message.dst))
 
+let sendable net ~src ~dst =
+  match pipe_between net src dst with
+  | Some pipe -> Pipe.is_open pipe
+  | None -> false
+
 let send net ~src ~dst payload =
   match pipe_between net src dst with
   | Some pipe when Pipe.is_open pipe ->
@@ -157,7 +167,7 @@ let send net ~src ~dst payload =
       let delay = Pipe.transfer_delay pipe ~size in
       let delivery = Pipe.sequence_delivery pipe ~src (net.now +. delay) in
       (match net.fault with
-      | None -> Event_queue.push net.events ~time:delivery (fun () -> deliver net message)
+      | None -> Event_queue.push net.events ~time:delivery (Ev_deliver message)
       | Some fault ->
           let v = Fault.verdict fault in
           if v.Fault.v_drop then
@@ -171,12 +181,12 @@ let send net ~src ~dst payload =
           else begin
             (* jitter applies after FIFO sequencing so reordering
                actually happens *)
-            Event_queue.push net.events ~time:(delivery +. v.Fault.v_jitter) (fun () ->
-                deliver net message);
+            Event_queue.push net.events ~time:(delivery +. v.Fault.v_jitter)
+              (Ev_deliver message);
             if v.Fault.v_dup then
               Event_queue.push net.events
-                ~time:(delivery +. v.Fault.v_jitter +. v.Fault.v_dup_extra) (fun () ->
-                  deliver net message)
+                ~time:(delivery +. v.Fault.v_jitter +. v.Fault.v_dup_extra)
+                (Ev_deliver message)
           end);
       true
   | Some _ | None ->
@@ -189,12 +199,16 @@ let send net ~src ~dst payload =
 
 let now net = net.now
 
+let exec net = function
+  | Ev_action action -> action ()
+  | Ev_deliver message -> deliver net message
+
 let step net =
   match Event_queue.pop net.events with
   | None -> false
-  | Some (time, action) ->
+  | Some (time, event) ->
       net.now <- max net.now time;
-      action ();
+      exec net event;
       true
 
 let run ?(max_events = max_int) net =
@@ -202,6 +216,62 @@ let run ?(max_events = max_int) net =
     if count >= max_events then count else if step net then loop (count + 1) else count
   in
   loop 0
+
+(* ---- parallel stepping ----------------------------------------------- *)
+
+type 'a batch = Drained | Stepped of int | Deliveries of 'a Message.t array
+
+let live_handler net dst =
+  match Hashtbl.find_opt net.peer_table dst with
+  | Some { handler = Some _ } -> true
+  | Some { handler = None } | None -> false
+
+let try_batch net ~eligible ~limit =
+  if limit <= 0 then Stepped 0
+  else
+    match Event_queue.pop net.events with
+    | None -> Drained
+    | Some (time, event) ->
+        net.now <- max net.now time;
+        (match event with
+        | Ev_action _ ->
+            exec net event;
+            Stepped 1
+        | Ev_deliver first
+          when not (live_handler net first.Message.dst && eligible first) ->
+            exec net event;
+            Stepped 1
+        | Ev_deliver first ->
+            (* greedily extend with same-time eligible deliveries; an
+               ineligible or later event stays queued (its sequence
+               number orders it after everything admitted here) *)
+            let acc = ref [ first ] in
+            let n = ref 1 in
+            let continue = ref true in
+            while !continue && !n < limit do
+              match Event_queue.peek net.events with
+              | Some (t, Ev_deliver m)
+                when t = time && live_handler net m.Message.dst && eligible m ->
+                  ignore (Event_queue.pop net.events);
+                  acc := m :: !acc;
+                  incr n
+              | Some _ | None -> continue := false
+            done;
+            let messages = Array.of_list (List.rev !acc) in
+            (* delivery accounting happens here, not in the handlers:
+               the totals are order-independent sums, and the caller
+               runs the handlers itself *)
+            Array.iter
+              (fun m ->
+                net.delivered <- net.delivered + 1;
+                net.total_bytes <- net.total_bytes + m.Message.size)
+              messages;
+            Deliveries messages)
+
+let handler_of net dst =
+  match Hashtbl.find_opt net.peer_table dst with
+  | Some { handler } -> handler
+  | None -> None
 
 let install_fault net plan =
   (match Fault.validate_plan plan with

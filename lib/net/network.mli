@@ -76,6 +76,13 @@ val send : 'a t -> src:Peer_id.t -> dst:Peer_id.t -> 'a -> bool
     delivered; messages to a removed peer are dropped silently at
     delivery time. *)
 
+val sendable : 'a t -> src:Peer_id.t -> dst:Peer_id.t -> bool
+(** Would {!send} accept a message right now (an open pipe exists)?
+    This is exactly the boolean {!send} returns, predicted without
+    side effects: the effect-capture mode of the parallel runtime
+    answers handlers with it, valid because pipe state is frozen
+    while a parallel batch is in flight. *)
+
 val schedule : 'a t -> delay:float -> (unit -> unit) -> unit
 (** A timer local to the simulation (used e.g. by nodes to start
     updates at a given simulated time).  @raise Invalid_argument on a
@@ -89,6 +96,38 @@ val run : ?max_events:int -> 'a t -> int
 
 val step : 'a t -> bool
 (** Process a single event; [false] when the queue is empty. *)
+
+(** {2 Parallel stepping}
+
+    The two-phase step of the parallel runtime.  The driver above
+    (see [System]) pops a batch of same-simulated-time deliveries
+    whose handlers are safe to run concurrently, fans them out across
+    domains with their outbound effects captured, and replays the
+    effects in popped order — which is exactly sequential order, so
+    the event queue, wire traffic, counters and fault-RNG draws are
+    bit-identical to a sequential run. *)
+
+type 'a batch =
+  | Drained  (** the event queue is empty *)
+  | Stepped of int
+      (** executed that many events inline (a timer action, or a
+          delivery the [eligible] predicate rejected) *)
+  | Deliveries of 'a Message.t array
+      (** popped, same-time, [eligible] deliveries in sequence order;
+          [now] has advanced and the delivered/byte counters are
+          already accounted — the caller must run each message's
+          handler (see {!handler_of}) exactly once *)
+
+val try_batch : 'a t -> eligible:('a Message.t -> bool) -> limit:int -> 'a batch
+(** Pop the next event.  If it is a delivery admitted by [eligible]
+    (and its destination has a live handler), keep popping while the
+    head of the queue is another admitted same-time delivery, up to
+    [limit] messages.  Anything else executes inline as {!step}
+    would.  Events left in the queue order after the batch by their
+    sequence numbers, so executing the batch before the next pop
+    preserves the sequential order exactly. *)
+
+val handler_of : 'a t -> Peer_id.t -> ('a Message.t -> unit) option
 
 val install_fault : 'a t -> Fault.plan -> Fault.t
 (** Validate the plan, apply it to every subsequent {!send}, and

@@ -1,0 +1,207 @@
+(* Lanes own a deque each: the owner pops the front, thieves take the
+   back.  Both ends go through the pool's single mutex — batches are
+   small (one job per node with same-time traffic) and jobs are
+   coarse (a handler running a fix-point or a query evaluation), so a
+   contended lock-free deque would buy nothing here; the mutex also
+   doubles as the memory barrier that publishes job results (the
+   effect buffers jobs write) to the caller at the join. *)
+
+type job = { j_index : int; j_run : unit -> unit }
+
+type lane = { mutable front : job list; mutable back : job list }
+
+let lane_push_back lane job = lane.back <- job :: lane.back
+
+let lane_pop_front lane =
+  match lane.front with
+  | job :: rest ->
+      lane.front <- rest;
+      Some job
+  | [] -> (
+      match List.rev lane.back with
+      | [] -> None
+      | job :: rest ->
+          lane.front <- rest;
+          lane.back <- [];
+          Some job)
+
+let lane_steal_back lane =
+  match lane.back with
+  | job :: rest ->
+      lane.back <- rest;
+      Some job
+  | [] -> (
+      match lane.front with
+      | [] -> None
+      | front ->
+          (* steal the deepest queued job; the owner keeps the head *)
+          let rec split acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split (x :: acc) rest
+            | [] -> assert false
+          in
+          let kept, last = split [] front in
+          lane.front <- kept;
+          Some last)
+
+type t = {
+  lanes : lane array;  (* lanes.(0) belongs to the caller *)
+  mutex : Mutex.t;
+  wake : Condition.t;  (* a batch was published or shutdown requested *)
+  done_ : Condition.t;  (* remaining hit zero *)
+  mutable batch : int;  (* generation counter, workers wait for a bump *)
+  mutable remaining : int;  (* jobs of the current batch not yet finished *)
+  mutable failure : (int * exn * Printexc.raw_backtrace) option;
+  mutable running : bool;  (* a run is in flight (re-entrancy guard) *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = Array.length t.lanes
+
+(* Take one job: own front first, then sweep the other lanes' backs. *)
+let grab t me =
+  match lane_pop_front t.lanes.(me) with
+  | Some job -> Some job
+  | None ->
+      let n = Array.length t.lanes in
+      let rec sweep i =
+        if i = n then None
+        else
+          let victim = (me + i) mod n in
+          match lane_steal_back t.lanes.(victim) with
+          | Some job -> Some job
+          | None -> sweep (i + 1)
+      in
+      sweep 1
+
+let record_failure t index exn bt =
+  match t.failure with
+  | Some (first, _, _) when first <= index -> ()
+  | Some _ | None -> t.failure <- Some (index, exn, bt)
+
+(* Drain jobs until the batch is exhausted.  Called with the mutex
+   held; releases it around each job. *)
+let work t me =
+  let rec loop () =
+    match grab t me with
+    | None -> ()
+    | Some job ->
+        Mutex.unlock t.mutex;
+        (match job.j_run () with
+        | () -> Mutex.lock t.mutex
+        | exception exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            record_failure t job.j_index exn bt);
+        t.remaining <- t.remaining - 1;
+        if t.remaining = 0 then Condition.broadcast t.done_;
+        loop ()
+  in
+  loop ()
+
+let worker t me () =
+  Mutex.lock t.mutex;
+  let last_seen = ref 0 in
+  let rec serve () =
+    if t.stopped then Mutex.unlock t.mutex
+    else if t.batch > !last_seen then begin
+      last_seen := t.batch;
+      work t me;
+      serve ()
+    end
+    else begin
+      Condition.wait t.wake t.mutex;
+      serve ()
+    end
+  in
+  serve ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    {
+      lanes = Array.init domains (fun _ -> { front = []; back = [] });
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      done_ = Condition.create ();
+      batch = 0;
+      remaining = 0;
+      failure = None;
+      running = false;
+      stopped = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let run t jobs =
+  let n = Array.length jobs in
+  if n = 0 then ()
+  else if Array.length t.lanes = 1 then Array.iter (fun job -> job ()) jobs
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: pool is shut down"
+    end;
+    if t.running then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.run: re-entrant use"
+    end;
+    t.running <- true;
+    t.failure <- None;
+    let lanes = Array.length t.lanes in
+    Array.iteri
+      (fun i run -> lane_push_back t.lanes.(i mod lanes) { j_index = i; j_run = run })
+      jobs;
+    t.remaining <- n;
+    t.batch <- t.batch + 1;
+    Condition.broadcast t.wake;
+    (* the caller is lane 0 *)
+    work t 0;
+    while t.remaining > 0 do
+      Condition.wait t.done_ t.mutex
+    done;
+    t.running <- false;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers
+  end
+
+(* One pool per requested lane count, shut down when the process
+   exits.  Guarded by a mutex only for form: simulators are built on
+   the main domain. *)
+let shared_tbl : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared_mutex = Mutex.create ()
+
+let shared ~domains =
+  if domains < 1 then invalid_arg "Pool.shared: domains must be >= 1";
+  Mutex.lock shared_mutex;
+  let pool =
+    match Hashtbl.find_opt shared_tbl domains with
+    | Some pool -> pool
+    | None ->
+        let pool = create ~domains in
+        Hashtbl.add shared_tbl domains pool;
+        if Hashtbl.length shared_tbl = 1 then
+          at_exit (fun () -> Hashtbl.iter (fun _ pool -> shutdown pool) shared_tbl);
+        pool
+  in
+  Mutex.unlock shared_mutex;
+  pool

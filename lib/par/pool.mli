@@ -1,0 +1,47 @@
+(** A fixed-size pool of OCaml 5 domains with per-lane work queues,
+    work stealing and a deterministic join barrier.
+
+    The pool exists for the simulator's two-phase step: a batch of
+    node-local handler jobs fans out across lanes, every lane drains
+    its own queue front-first and steals from the back of busy lanes
+    when idle, and {!run} returns only when every job of the batch
+    has finished (the join barrier).  Determinism is the caller's
+    affair and is easy to honour: jobs only write job-private state
+    (per-event effect buffers), so the barrier makes the batch's
+    outcome a pure function of the job array, independent of which
+    lane ran what and in which interleaving.
+
+    Jobs must not themselves call into the pool (no nesting), and
+    workers sleep on a condition variable between batches — an idle
+    pool costs nothing but memory. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool executing on [domains] lanes in total: [domains - 1]
+    spawned worker domains plus the calling domain, which
+    participates in every {!run}.  [domains >= 1]; a pool of one
+    spawns nothing and {!run} degenerates to [Array.iter].
+    @raise Invalid_argument on [domains < 1]. *)
+
+val size : t -> int
+(** Total lanes, spawned workers + 1. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every job and return when all have finished.  Jobs are
+    dealt round-robin to the lanes' queues; idle lanes steal.  If
+    jobs raised, the exception of the smallest-indexed raising job is
+    re-raised here (with its backtrace) after the barrier — never
+    before, so the pool is reusable afterwards.
+    @raise Invalid_argument if the pool is already shut down, or on
+    re-entrant use. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent.  The pool is unusable
+    afterwards. *)
+
+val shared : domains:int -> t
+(** The process-wide pool for a given lane count, created on first
+    use and shut down automatically at exit.  Repeated calls with the
+    same [domains] return the same pool, so simulators built in a
+    loop (tests, benches) do not churn domain spawns. *)

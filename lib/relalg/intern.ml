@@ -99,14 +99,23 @@ let bighole_ids : (int, int) Hashtbl.t = Hashtbl.create 16
 
 let bighole_vals : Value.t vec = vec_create ()
 
-(* canonical boxed values for payload-carrying tags (small ints,
-   bools, holes): memoised per packed int *)
-let canon_misc : (int, Value.t) Hashtbl.t = Hashtbl.create 1024
+(* Canonical boxed values for payload-carrying tags (small ints,
+   bools, holes), memoised per packed int.  The memo is {e per
+   domain}: [unpack] writes it on a read path, and worker domains of
+   the parallel runtime unpack concurrently — a private table per
+   domain keeps that write race-free without a lock on the hottest
+   boxing path.  (The side tables above stay process-global: during a
+   parallel batch they are read-only, enforced by the minting
+   freeze.) *)
+let canon_misc_key : (int, Value.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
 
 let intern_slot ids vals key v =
   match Hashtbl.find_opt ids key with
   | Some slot -> slot
   | None ->
+      if Value.minting_frozen () then
+        invalid_arg "Intern: new value interned while minting is frozen";
       let slot = vec_push vals v in
       Hashtbl.add ids key slot;
       slot
@@ -140,6 +149,7 @@ let unpack p =
   | 6 (* tag_bigint *) -> vec_get bigint_vals (payload p)
   | 7 (* tag_bighole *) -> vec_get bighole_vals (payload p)
   | _ -> (
+      let canon_misc = Domain.DLS.get canon_misc_key in
       match Hashtbl.find_opt canon_misc p with
       | Some v -> v
       | None ->

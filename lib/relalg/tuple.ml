@@ -85,6 +85,26 @@ let instantiate_holes ~rule t =
     Array.map instantiate t
   end
 
+(* FNV-1a-style content digest, independent of intern-slot numbering
+   (a Str hashes its characters, a Null its id), so digests compare
+   across processes and across domain counts.  Shared by the benches'
+   answer-equality gates and the cross-domain equivalence tests. *)
+let fnv h n = (h lxor n) * 0x100000001b3 land max_int
+
+let digest_value h = function
+  | Value.Int n -> fnv (fnv h 1) n
+  | Value.Float f -> fnv (fnv h 2) (Int64.to_int (Int64.bits_of_float f))
+  | Value.Str s -> String.fold_left (fun h c -> fnv h (Char.code c)) (fnv h 3) s
+  | Value.Bool b -> fnv (fnv h 4) (Bool.to_int b)
+  | Value.Null { Value.null_id; _ } -> fnv (fnv h 5) null_id
+  | Value.Hole k -> fnv (fnv h 6) k
+
+let digest_fold h tuples =
+  (* order-sensitive: callers fold sorted answer lists *)
+  List.fold_left (fun h t -> Array.fold_left digest_value (fnv h 17) t) h tuples
+
+let digest tuples = digest_fold 0 (List.sort compare tuples)
+
 let pp ppf t =
   Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
 

@@ -55,6 +55,21 @@ val instantiate_holes : rule:string -> t -> t
     Distinct holes in the same tuple get distinct nulls; the same hole
     index occurring twice gets the same null. *)
 
+val digest_value : int -> Value.t -> int
+(** One FNV-1a-style mixing step over a value's {e content} (a string
+    hashes its characters, a marked null its id) — independent of
+    intern-slot numbering, so digests compare across processes and
+    across domain counts. *)
+
+val digest_fold : int -> t list -> int
+(** Fold {!digest_value} over a tuple list in the given order (callers
+    pass sorted answer lists).  The benches' answer-equality gates and
+    the cross-domain equivalence tests share this one definition. *)
+
+val digest : t list -> int
+(** [digest_fold 0] over the list sorted by {!compare}: a canonical
+    digest of a tuple {e set}. *)
+
 val pp : t Fmt.t
 
 val to_string : t -> string

@@ -71,7 +71,23 @@ let size_bytes = function
 
 let counter = ref 0
 
+(* While the parallel runtime has a batch of handlers fanned out
+   across domains, nothing may mint new value identities: null ids
+   and intern slots are assigned by process-global insertion order,
+   which only stays deterministic while exactly one domain assigns
+   them.  The simulator freezes minting around the parallel phase;
+   handlers that could mint (hole-carrying payloads) are classified
+   out of parallel batches, so a trip of this flag is a
+   classification bug surfacing loudly instead of a silent race. *)
+let mint_frozen = Atomic.make false
+
+let freeze_minting frozen = Atomic.set mint_frozen frozen
+
+let minting_frozen () = Atomic.get mint_frozen
+
 let fresh_null ~rule =
+  if Atomic.get mint_frozen then
+    invalid_arg "Value.fresh_null: minting is frozen during a parallel batch";
   incr counter;
   Null { null_id = !counter; null_rule = rule }
 

@@ -65,7 +65,20 @@ val size_bytes : t -> int
 
 val fresh_null : rule:string -> t
 (** A fresh marked null, labelled with the id of the coordination rule
-    that introduced it.  Freshness is global to the process. *)
+    that introduced it.  Freshness is global to the process.
+    @raise Invalid_argument while minting is frozen (see
+    {!freeze_minting}). *)
+
+val freeze_minting : bool -> unit
+(** Freeze (or thaw) the minting of new value identities: while
+    frozen, {!fresh_null} and first-time interning of a value
+    ({!Intern}) raise [Invalid_argument].  The parallel runtime
+    freezes minting for the span of each fanned-out batch — handler
+    classification keeps minting handlers sequential, and the freeze
+    turns any classification gap into a loud, deterministic failure
+    instead of a cross-domain race on the id generators. *)
+
+val minting_frozen : unit -> bool
 
 val null_counter : unit -> int
 (** Number of marked nulls generated so far (for tests and reports). *)

@@ -38,6 +38,8 @@ let answer_count t = Tuple_set.cardinal t.mi_answers
 
 let deltas t = t.mi_deltas
 
+let has_callback t = Option.is_some t.mi_on_delta
+
 let accepted t = t.mi_accepted
 
 let rejected t = t.mi_rejected

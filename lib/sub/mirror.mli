@@ -33,6 +33,11 @@ val answer_count : t -> int
 val deltas : t -> int
 (** Deltas applied so far. *)
 
+val has_callback : t -> bool
+(** Was the mirror created with an [on_delta] callback?  The parallel
+    runtime keeps nodes with user callbacks out of fanned-out batches,
+    because a callback observes delta arrival order across nodes. *)
+
 val accepted : t -> bool
 (** Has the host confirmed the registration? *)
 

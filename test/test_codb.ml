@@ -39,5 +39,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("sub", Test_sub.suite);
       ("workload", Test_workload.suite);
+      ("par", Test_par.suite);
       ("properties", Test_props.suite);
     ]
