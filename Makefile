@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench pushdown-bench sub-bench scale-bench scale-bench-tiny par-bench par-bench-tiny examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench chaos-bench-durable recovery-bench recovery-bench-tiny pushdown-bench sub-bench scale-bench scale-bench-tiny par-bench par-bench-tiny examples clean
 
 all: build
 
@@ -33,6 +33,21 @@ wire-bench:
 # fault-injection sweep -> BENCH_chaos.json (loss rate x retries)
 chaos-bench:
 	dune exec bench/main.exe -- chaos-json
+
+# same sweep with WAL durability on: every completeness gate must still hold
+chaos-bench-durable:
+	dune exec bench/main.exe -- chaos-json --durable
+
+# crash-recovery bench -> BENCH_recovery.json (E16 chain with a mid-run crash;
+# WAL recovery vs clear-and-refetch vs fault-free reference; the committed
+# JSON embeds a tiny_reference block)
+recovery-bench:
+	dune exec bench/main.exe -- recovery-json
+
+# CI smoke variant -> BENCH_recovery_tiny.json, gated against the committed
+# tiny_reference in BENCH_recovery.json
+recovery-bench-tiny:
+	dune exec bench/main.exe -- recovery-json --tiny
 
 # constraint pushdown ablation -> BENCH_pushdown.json (selective vs open x chain vs clique)
 pushdown-bench:

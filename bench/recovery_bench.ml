@@ -1,0 +1,284 @@
+(* Recovery bench (experiment E21 and `make recovery-bench`).
+
+   The E16 chaos chain workload with a mid-run crash of a middle node:
+   one global update starts at the head, the victim crashes while data
+   is flowing through it and restarts shortly after.  The same seeded
+   scenario runs under the two honest-crash durability models:
+
+     volatile   clear-and-refetch — the store restarts empty (modulo
+                the node's own declared facts) and a catch-up global
+                update re-imports everything through the rules;
+     wal        true recovery — snapshot + log replay rebuild the
+                store, lineage, transport sequence state, sent-filters
+                and subscription state; only the in-flight tail is
+                re-delivered by the reliable transport.
+
+   Both modes must reach a store digest identical, node for node, to
+   the fault-free reference run — recovery is allowed to cost, never
+   to lose.  The headline gate is the refetch axis: the volatile run
+   must refetch at least 2x the bytes the WAL run does.  The recovery
+   axes (recovery time, records replayed, WAL volume) are reported
+   alongside.  The WAL cell runs twice to prove determinism.  Results
+   go to BENCH_recovery.json (full) / BENCH_recovery_tiny.json
+   (--tiny), the full file embedding a tiny_reference block the CI
+   gate pins the tiny rerun against. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Network = Codb_net.Network
+module Datagen = Codb_workload.Datagen
+
+type workload = {
+  wl_nodes : int;
+  wl_tuples : int;
+  wl_domain : int;
+  wl_skew : float;
+  wl_crash_at : float;
+      (* roughly mid-update for this chain (E2: chain 4 completes at
+         ~0.010s sim, chain 8 at ~0.022s) so the crash interrupts a
+         live data flow, with real state both committed and in flight *)
+}
+
+let workload ~tiny =
+  if tiny then
+    { wl_nodes = 4; wl_tuples = 20; wl_domain = 25; wl_skew = 1.0;
+      wl_crash_at = 0.0045 }
+  else
+    { wl_nodes = 8; wl_tuples = 50; wl_domain = 50; wl_skew = 1.0;
+      wl_crash_at = 0.01 }
+
+let config ~seed wl =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = wl.wl_tuples;
+      profile = { Datagen.domain_size = wl.wl_domain; skew = wl.wl_skew };
+    }
+  in
+  Topology.generate ~params ~seed Topology.Chain ~n:wl.wl_nodes
+
+let ack_timeout = 0.05
+
+let max_retries = 8
+
+(* The victim sits mid-chain, crashes while the update flows through
+   it and comes back well inside the transport's retry span. *)
+let victim wl = Printf.sprintf "n%d" (wl.wl_nodes / 2)
+
+let downtime = 0.1
+
+let opts_of ~fault_seed ~durability ~crashes =
+  {
+    Options.default with
+    Options.fault_seed;
+    ack_timeout;
+    max_retries;
+    durability;
+    crash_plan = crashes;
+  }
+
+type cell = {
+  m_mode : string;
+  m_digests : (string * int) list;
+  m_refetched : int;
+  m_recoveries : int;
+  m_recovered_records : int;
+  m_replayed_bytes : int;
+  m_recovery_ms : float;
+  m_wal_records : int;
+  m_wal_bytes : int;
+  m_snapshots : int;
+  m_snapshot_bytes : int;
+  m_delivered : int;
+  m_retransmits : int;
+  m_wall_s : float;
+}
+
+let measure ~seed ~durability ~crashes ~mode wl =
+  let opts = opts_of ~fault_seed:(seed + 1) ~durability ~crashes in
+  let sys = System.build_exn ~opts (config ~seed wl) in
+  let wall_start = Unix.gettimeofday () in
+  let _uid = System.run_update sys ~initiator:"n0" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let chaos = Report.chaos_report (System.snapshots sys) in
+  let dr = System.durability_report sys in
+  {
+    m_mode = mode;
+    m_digests = System.store_digests sys;
+    m_refetched = chaos.Report.chr_refetched_bytes;
+    m_recoveries = dr.System.dr_recoveries;
+    m_recovered_records = dr.System.dr_recovered_records;
+    m_replayed_bytes = dr.System.dr_replayed_bytes;
+    m_recovery_ms = dr.System.dr_recovery_ms;
+    m_wal_records = dr.System.dr_wal_records;
+    m_wal_bytes = dr.System.dr_wal_bytes;
+    m_snapshots = dr.System.dr_snapshots;
+    m_snapshot_bytes = dr.System.dr_snapshot_bytes;
+    m_delivered = (Network.counters (System.net sys)).Network.delivered;
+    m_retransmits = chaos.Report.chr_retransmits;
+    m_wall_s = wall;
+  }
+
+type outcome = {
+  o_reference : cell;
+  o_volatile : cell;
+  o_wal : cell;
+  o_reduction : float;
+}
+
+let check_gates ~where o =
+  let check_digests c =
+    if c.m_digests <> o.o_reference.m_digests then
+      failwith
+        (Printf.sprintf
+           "%s: %s run diverged from the fault-free reference stores" where
+           c.m_mode)
+  in
+  check_digests o.o_volatile;
+  check_digests o.o_wal;
+  if o.o_wal.m_recoveries <> 1 then
+    failwith
+      (Printf.sprintf "%s: expected exactly 1 WAL recovery, saw %d" where
+         o.o_wal.m_recoveries);
+  if o.o_wal.m_refetched * 2 > o.o_volatile.m_refetched then
+    failwith
+      (Printf.sprintf
+         "%s: recovery refetched %d B, clear-and-refetch %d B — below the 2x \
+          bar"
+         where o.o_wal.m_refetched o.o_volatile.m_refetched)
+
+let strip_wall c = { c with m_wall_s = 0.0; m_recovery_ms = 0.0 }
+
+let measure_all ~seed wl =
+  let crashes = [ (victim wl, wl.wl_crash_at, Some (wl.wl_crash_at +. downtime)) ] in
+  let reference =
+    measure ~seed ~durability:Options.Dur_off ~crashes:[] ~mode:"reference" wl
+  in
+  let volatile =
+    measure ~seed ~durability:Options.Dur_volatile ~crashes ~mode:"volatile" wl
+  in
+  let wal = measure ~seed ~durability:Options.Dur_wal ~crashes ~mode:"wal" wl in
+  let wal' = measure ~seed ~durability:Options.Dur_wal ~crashes ~mode:"wal" wl in
+  if strip_wall wal <> strip_wall wal' then
+    failwith "recovery bench is not deterministic: same seed, different run";
+  let o =
+    {
+      o_reference = reference;
+      o_volatile = volatile;
+      o_wal = wal;
+      o_reduction =
+        (* a zero-refetch recovery divides by 1: the reported ratio
+           stays finite (and JSON-representable) *)
+        float_of_int volatile.m_refetched
+        /. float_of_int (max 1 wal.m_refetched);
+    }
+  in
+  check_gates ~where:(Printf.sprintf "chain N=%d" wl.wl_nodes) o;
+  o
+
+let print_table ~label wl o =
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E21 - crash recovery [%s] (chain N=%d, %d tuples/node, crash %s at \
+          %gs for %gs, ack %gs, retries %d)"
+         label wl.wl_nodes wl.wl_tuples (victim wl) wl.wl_crash_at downtime
+         ack_timeout max_retries)
+    ~header:
+      [
+        "mode"; "refetched B"; "recov"; "records"; "replayed B"; "recovery ms";
+        "wal records"; "wal B"; "snaps"; "delivered"; "retransmits";
+      ]
+    (List.map
+       (fun c ->
+         [
+           c.m_mode;
+           Tables.i0 c.m_refetched;
+           Tables.i0 c.m_recoveries;
+           Tables.i0 c.m_recovered_records;
+           Tables.i0 c.m_replayed_bytes;
+           Printf.sprintf "%.3f" c.m_recovery_ms;
+           Tables.i0 c.m_wal_records;
+           Tables.i0 c.m_wal_bytes;
+           Tables.i0 c.m_snapshots;
+           Tables.i0 c.m_delivered;
+           Tables.i0 c.m_retransmits;
+         ])
+       [ o.o_reference; o.o_volatile; o.o_wal ]);
+  Printf.printf "refetch reduction (volatile / wal): %.2fx\n%!" o.o_reduction
+
+let emit_outcome oc ~indent ~seed wl o =
+  let pad = String.make indent ' ' in
+  let p fmt = Printf.fprintf oc fmt in
+  p "%s\"workload\": {\"topology\": \"chain\", \"nodes\": %d, \
+     \"tuples_per_node\": %d, \"domain\": %d, \"skew\": %g},\n"
+    pad wl.wl_nodes wl.wl_tuples wl.wl_domain wl.wl_skew;
+  p "%s\"seed\": %d,\n" pad seed;
+  p "%s\"transport\": {\"ack_timeout_s\": %g, \"max_retries\": %d},\n" pad
+    ack_timeout max_retries;
+  p "%s\"crash\": {\"victim\": \"%s\", \"at_s\": %g, \"restart_s\": %g},\n" pad
+    (victim wl) wl.wl_crash_at (wl.wl_crash_at +. downtime);
+  p "%s\"modes\": [\n" pad;
+  let cells = [ o.o_reference; o.o_volatile; o.o_wal ] in
+  let n = List.length cells in
+  List.iteri
+    (fun i c ->
+      p
+        "%s  {\"mode\": \"%s\", \"digests_match_reference\": %b, \
+         \"refetched_bytes\": %d, \"recoveries\": %d, \"recovered_records\": \
+         %d, \"replayed_bytes\": %d, \"recovery_ms\": %.3f, \"wal_records\": \
+         %d, \"wal_bytes\": %d, \"snapshots\": %d, \"snapshot_bytes\": %d, \
+         \"delivered_msgs\": %d, \"retransmits\": %d, \"wall_s\": %.4f}%s\n"
+        pad c.m_mode
+        (c.m_digests = o.o_reference.m_digests)
+        c.m_refetched c.m_recoveries c.m_recovered_records c.m_replayed_bytes
+        c.m_recovery_ms c.m_wal_records c.m_wal_bytes c.m_snapshots
+        c.m_snapshot_bytes c.m_delivered c.m_retransmits c.m_wall_s
+        (if i = n - 1 then "" else ","))
+    cells;
+  p "%s],\n" pad;
+  p "%s\"refetch_reduction\": %.2f,\n" pad o.o_reduction;
+  p "%s\"deterministic\": true" pad
+
+let write_json ~path ~seed ~full_part ~tiny_part =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"recovery\",\n";
+  (match full_part with
+  | Some (wl, o) ->
+      emit_outcome oc ~indent:2 ~seed wl o;
+      p ",\n"
+  | None -> ());
+  (match tiny_part with
+  | Some (wl, o) ->
+      p "  \"tiny_reference\": {\n";
+      emit_outcome oc ~indent:4 ~seed wl o;
+      p "\n  },\n"
+  | None -> ());
+  p "  \"ok\": true\n";
+  p "}\n";
+  close_out oc
+
+let run ?(tiny = false) ?(seed = 1500) () =
+  if tiny then begin
+    let wl = workload ~tiny:true in
+    let o = measure_all ~seed wl in
+    print_table ~label:"tiny" wl o;
+    write_json ~path:"BENCH_recovery_tiny.json" ~seed ~full_part:None
+      ~tiny_part:(Some (wl, o));
+    Printf.printf "wrote BENCH_recovery_tiny.json\n%!"
+  end
+  else begin
+    let tiny_wl = workload ~tiny:true in
+    let tiny_o = measure_all ~seed tiny_wl in
+    print_table ~label:"tiny reference" tiny_wl tiny_o;
+    let wl = workload ~tiny:false in
+    let o = measure_all ~seed wl in
+    print_table ~label:"full" wl o;
+    write_json ~path:"BENCH_recovery.json" ~seed ~full_part:(Some (wl, o))
+      ~tiny_part:(Some (tiny_wl, tiny_o));
+    Printf.printf "wrote BENCH_recovery.json\n%!"
+  end

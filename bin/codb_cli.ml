@@ -329,6 +329,67 @@ let chaos_cmd file initiator seed drop dup jitter budget flaps crashes ack_timeo
     c.Codb_net.Network.crashes c.Codb_net.Network.restarts;
   0
 
+(* --- recover -------------------------------------------------------- *)
+
+let recover_cmd file initiator seed crashes durability wal_dir snapshot_every
+    fsync ack_timeout max_retries =
+  let opts =
+    {
+      Options.default with
+      Options.fault_seed = seed;
+      crash_plan = or_die (parse_all parse_crash crashes);
+      ack_timeout;
+      max_retries;
+      durability;
+      wal_dir;
+      snapshot_every;
+      fsync;
+    }
+  in
+  (match Options.validate opts with
+  | Ok () -> ()
+  | Error errors ->
+      List.iter prerr_endline errors;
+      exit 1);
+  let sys = or_die (load_system ~opts file) in
+  let initiator =
+    match initiator with
+    | Some name -> name
+    | None -> List.hd (System.node_names sys)
+  in
+  let uid = System.run_update sys ~initiator in
+  (match Report.update_report (System.snapshots sys) uid with
+  | Some report -> Fmt.pr "%a@." Report.pp_update_report report
+  | None -> Fmt.pr "no statistics recorded?@.");
+  (* the fault-free reference: same network, no crashes, no durability
+     machinery — the recovered run must land on the same stores *)
+  let reference = or_die (load_system ~opts:Options.default file) in
+  let _ = System.run_update reference ~initiator in
+  let diverged =
+    List.filter
+      (fun name -> System.store_digest sys name <> System.store_digest reference name)
+      (System.node_names sys)
+  in
+  (match diverged with
+  | [] -> Fmt.pr "@.stores: every node matches the fault-free reference@."
+  | names ->
+      Fmt.pr "@.stores: DIVERGED from the fault-free reference at %s@."
+        (String.concat ", " names));
+  let dr = System.durability_report sys in
+  Fmt.pr
+    "durability: %d WAL record(s) (%d B), %d snapshot(s) (%d B), %d \
+     recovery(ies) replaying %d record(s) (%d B) in %.3f ms@."
+    dr.System.dr_wal_records dr.System.dr_wal_bytes dr.System.dr_snapshots
+    dr.System.dr_snapshot_bytes dr.System.dr_recoveries
+    dr.System.dr_recovered_records dr.System.dr_replayed_bytes
+    dr.System.dr_recovery_ms;
+  Fmt.pr "%a@." Report.pp_chaos_report (Report.chaos_report (System.snapshots sys));
+  let c = Codb_net.Network.counters (System.net sys) in
+  Fmt.pr "network: %d delivered, %d crash(es), %d restart(s)@."
+    c.Codb_net.Network.delivered c.Codb_net.Network.crashes
+    c.Codb_net.Network.restarts;
+  if diverged = [] then 0 else 1
+
 (* --- sub ----------------------------------------------------------- *)
 
 let parse_insert_value s =
@@ -853,6 +914,84 @@ let chaos_t =
       const chaos_cmd $ file_arg $ initiator $ seed $ drop $ dup $ jitter $ budget
       $ flaps $ crashes $ ack_timeout $ max_retries $ backoff $ query $ at)
 
+let recover_t =
+  let doc =
+    "Run a global update with nodes crashing and recovering from their \
+     write-ahead logs, then check the stores against a fault-free reference \
+     run (exit 1 on divergence)."
+  in
+  let initiator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "initiator" ] ~doc:"Initiating node (default: first node).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed (reproducible schedules).")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"NODE:AT[:RESTART]"
+          ~doc:"Crash NODE at AT and restart it at RESTART (repeatable).")
+  in
+  let durability =
+    let modes =
+      [
+        ("off", Options.Dur_off);
+        ("volatile", Options.Dur_volatile);
+        ("wal", Options.Dur_wal);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Options.Dur_wal
+      & info [ "durability" ] ~docv:"MODE"
+          ~doc:
+            "Crash model: $(b,off) keeps stores in memory across crashes (the \
+             seed behaviour), $(b,volatile) wipes them and refetches through a \
+             catch-up update, $(b,wal) recovers them from the write-ahead log.")
+  in
+  let wal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Keep each node's .wal/.snap files under DIR (default: a \
+             deterministic in-memory backend).")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt int Options.default.Options.snapshot_every
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Take a compacting snapshot every N log records.")
+  in
+  let fsync =
+    Arg.(
+      value & flag
+      & info [ "fsync" ] ~doc:"Fsync every WAL write (requires $(b,--wal-dir)).")
+  in
+  let ack_timeout =
+    Arg.(
+      value & opt float 0.05
+      & info [ "ack-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reliable-transport acknowledgement timeout.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 8
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:"Give up a message after N retransmissions.")
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(
+      const recover_cmd $ file_arg $ initiator $ seed $ crashes $ durability
+      $ wal_dir $ snapshot_every $ fsync $ ack_timeout $ max_retries)
+
 let sub_t =
   let doc =
     "Register a standing (continuous) query and watch its answer deltas arrive as \
@@ -1032,7 +1171,8 @@ let main =
     (Cmd.info "codb" ~version:"1.0.0" ~doc)
     [
       validate_t; generate_t; update_t; query_t; explain_t; cache_t; wire_t;
-      chaos_t; sub_t; discover_t; info_t; analyse_t; shell_t; dump_t; load_t;
+      chaos_t; recover_t; sub_t; discover_t; info_t; analyse_t; shell_t; dump_t;
+      load_t;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,512 @@
+(* The durability layer: what a node writes to its WAL at every commit
+   point, what a snapshot contains, and how a restart turns both back
+   into live node state.
+
+   The on-disk format reuses the compact wire codec: each log record
+   and each snapshot is one codec message (tag byte + varint/zigzag/
+   dictionary-string fields), framed and CRC-protected by
+   {!Codb_store.Frame} below.  Everything order-sensitive is written
+   sorted, so two nodes with equal state produce byte-identical
+   snapshots. *)
+
+module Codec = Codb_net.Codec
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+module Database = Codb_relalg.Database
+module Parser = Codb_cq.Parser
+module Pretty = Codb_cq.Pretty
+module Query = Codb_cq.Query
+module Sub = Codb_sub.Subscription
+module Registry = Codb_sub.Registry
+module Mirror = Codb_sub.Mirror
+module Backend = Codb_store.Backend
+module Wal = Codb_store.Wal
+module Crc32 = Codb_store.Crc32
+
+(* ---- log records ----------------------------------------------------- *)
+
+type owner = Olocal | Oremote of Peer_id.t
+
+type record =
+  | Insert of { rel : string; tuples : Tuple.t list }
+  | Import of {
+      rule : string;
+      rel : string;
+      hops : int;
+      at : float;
+      tuples : Tuple.t list;
+    }
+  | Seq_reserve of { upto : int }
+  | Sub_add of { sub_id : string; owner : owner; query_text : string }
+  | Sub_remove of { sub_id : string }
+  | Mirror_add of { sub_id : string; host : Peer_id.t; query_text : string }
+  | Mirror_remove of { sub_id : string }
+
+let put_owner w = function
+  | Olocal -> Codec.byte w 0
+  | Oremote peer ->
+      Codec.byte w 1;
+      Codec.string w (Peer_id.to_string peer)
+
+let get_owner r =
+  match Codec.read_byte r with
+  | 0 -> Olocal
+  | 1 -> Oremote (Peer_id.of_string (Codec.read_string r))
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown owner tag %d" n))
+
+let encode_record record =
+  let w = Codec.writer ~initial:64 () in
+  (match record with
+  | Insert { rel; tuples } ->
+      Codec.byte w 0;
+      Codec.string w rel;
+      Payload.put_tuples w tuples
+  | Import { rule; rel; hops; at; tuples } ->
+      Codec.byte w 1;
+      Codec.string w rule;
+      Codec.string w rel;
+      Codec.zigzag w hops;
+      Codec.float64 w at;
+      Payload.put_tuples w tuples
+  | Seq_reserve { upto } ->
+      Codec.byte w 2;
+      Codec.varint w upto
+  | Sub_add { sub_id; owner; query_text } ->
+      Codec.byte w 3;
+      Codec.string w sub_id;
+      put_owner w owner;
+      Codec.raw_string w query_text
+  | Sub_remove { sub_id } ->
+      Codec.byte w 4;
+      Codec.string w sub_id
+  | Mirror_add { sub_id; host; query_text } ->
+      Codec.byte w 5;
+      Codec.string w sub_id;
+      Codec.string w (Peer_id.to_string host);
+      Codec.raw_string w query_text
+  | Mirror_remove { sub_id } ->
+      Codec.byte w 6;
+      Codec.string w sub_id);
+  Codec.contents w
+
+let decode_record bytes =
+  let r = Codec.reader bytes in
+  match Codec.read_byte r with
+  | 0 ->
+      let rel = Codec.read_string r in
+      Insert { rel; tuples = Payload.get_tuples r }
+  | 1 ->
+      let rule = Codec.read_string r in
+      let rel = Codec.read_string r in
+      let hops = Codec.read_zigzag r in
+      let at = Codec.read_float64 r in
+      Import { rule; rel; hops; at; tuples = Payload.get_tuples r }
+  | 2 -> Seq_reserve { upto = Codec.read_varint r }
+  | 3 ->
+      let sub_id = Codec.read_string r in
+      let owner = get_owner r in
+      Sub_add { sub_id; owner; query_text = Codec.read_raw_string r }
+  | 4 -> Sub_remove { sub_id = Codec.read_string r }
+  | 5 ->
+      let sub_id = Codec.read_string r in
+      let host = Peer_id.of_string (Codec.read_string r) in
+      Mirror_add { sub_id; host; query_text = Codec.read_raw_string r }
+  | 6 -> Mirror_remove { sub_id = Codec.read_string r }
+  | n -> raise (Codec.Malformed (Printf.sprintf "unknown WAL record tag %d" n))
+
+(* ---- snapshots ------------------------------------------------------- *)
+
+type sub_snap = { ss_id : string; ss_owner : owner; ss_query : string }
+
+type mirror_snap = {
+  ms_id : string;
+  ms_host : Peer_id.t;
+  ms_query : string;
+  ms_accepted : bool;
+  ms_answers : Tuple.t list;
+}
+
+type snapshot = {
+  sn_store : (string * Tuple.t list) list;
+  sn_lineage : ((string * Tuple.t) * Lineage.import list) list;
+  sn_next_seq : int;
+  sn_seen : string list;
+  sn_sent : (string * string * Tuple.t list) list;
+      (** (update-id, rule-id, provably-sent tuples) *)
+  sn_subs : sub_snap list;
+  sn_mirrors : mirror_snap list;
+}
+
+let snapshot_version = 1
+
+let query_text q = Fmt.str "%a" Pretty.query q
+
+let sorted_tuples db rel = List.sort Tuple.compare (Database.tuples db rel)
+
+(* What we can still prove was sent, per live update state, sorted by
+   update id then rule id.  Send records covered only by the log tail
+   (appended after this snapshot was cut) are lost by design: a
+   recovered node may re-send those tuples and receivers dedup them —
+   a duplicate costs bytes, a drop would cost correctness. *)
+let sent_entries (node : Node.t) =
+  Hashtbl.fold
+    (fun uid (st : Update_state.t) acc ->
+      let rules =
+        Hashtbl.fold
+          (fun rule filter acc ->
+            match Sent_filter.elements filter with
+            | [] -> acc
+            | tuples -> (uid, rule, tuples) :: acc)
+          st.Update_state.ust_sent []
+      in
+      rules @ acc)
+    node.Node.updates []
+  |> List.sort (fun (u1, r1, _) (u2, r2, _) ->
+         match String.compare u1 u2 with 0 -> String.compare r1 r2 | c -> c)
+
+let registry_entries (node : Node.t) =
+  match node.Node.subs with
+  | None -> []
+  | Some reg ->
+      List.map
+        (fun (e : Registry.entry) ->
+          {
+            ss_id = Sub.id e.Registry.e_sub;
+            ss_owner =
+              (match e.Registry.e_owner with
+              | Registry.Local _ -> Olocal
+              | Registry.Remote peer -> Oremote peer);
+            ss_query = query_text (Sub.query e.Registry.e_sub);
+          })
+        (Registry.entries reg)
+
+let mirror_entries (node : Node.t) =
+  List.map
+    (fun (sub_id, m) ->
+      {
+        ms_id = sub_id;
+        ms_host = Mirror.host m;
+        ms_query = query_text (Mirror.query m);
+        ms_accepted = Mirror.accepted m;
+        ms_answers = Mirror.answers m;
+      })
+    (Node.mirrors_sorted node)
+
+let encode_snapshot (node : Node.t) =
+  let w = Codec.writer ~initial:1024 () in
+  Codec.byte w snapshot_version;
+  let store = node.Node.store in
+  let rels = List.sort String.compare (Database.rel_names store) in
+  Codec.varint w (List.length rels);
+  List.iter
+    (fun rel ->
+      Codec.string w rel;
+      Payload.put_tuples w (sorted_tuples store rel))
+    rels;
+  let lineage = Lineage.all node.Node.lineage in
+  Codec.varint w (List.length lineage);
+  List.iter
+    (fun ((rel, tuple), imports) ->
+      Codec.string w rel;
+      Payload.put_tuple w tuple;
+      Codec.varint w (List.length imports);
+      List.iter
+        (fun (i : Lineage.import) ->
+          Codec.string w i.Lineage.li_rule;
+          Codec.zigzag w i.Lineage.li_hops;
+          Codec.float64 w i.Lineage.li_at)
+        imports)
+    lineage;
+  (match node.Node.relay with
+  | None ->
+      Codec.varint w 0;
+      Codec.varint w 0
+  | Some relay ->
+      Codec.varint w (Relay.next_seq relay);
+      let seen = Relay.seen_keys relay in
+      Codec.varint w (List.length seen);
+      List.iter (Codec.raw_string w) seen);
+  let sent = sent_entries node in
+  Codec.varint w (List.length sent);
+  List.iter
+    (fun (uid, rule, tuples) ->
+      Codec.string w uid;
+      Codec.string w rule;
+      Payload.put_tuples w tuples)
+    sent;
+  let subs = registry_entries node in
+  Codec.varint w (List.length subs);
+  List.iter
+    (fun s ->
+      Codec.string w s.ss_id;
+      put_owner w s.ss_owner;
+      Codec.raw_string w s.ss_query)
+    subs;
+  let mirrors = mirror_entries node in
+  Codec.varint w (List.length mirrors);
+  List.iter
+    (fun m ->
+      Codec.string w m.ms_id;
+      Codec.string w (Peer_id.to_string m.ms_host);
+      Codec.raw_string w m.ms_query;
+      Codec.byte w (if m.ms_accepted then 1 else 0);
+      Payload.put_tuples w m.ms_answers)
+    mirrors;
+  Codec.contents w
+
+let decode_snapshot bytes =
+  let r = Codec.reader bytes in
+  let version = Codec.read_byte r in
+  if version <> snapshot_version then
+    raise (Codec.Malformed (Printf.sprintf "unknown snapshot version %d" version));
+  let sn_store =
+    List.init (Codec.read_count r) (fun _ ->
+        let rel = Codec.read_string r in
+        (rel, Payload.get_tuples r))
+  in
+  let sn_lineage =
+    List.init (Codec.read_count r) (fun _ ->
+        let rel = Codec.read_string r in
+        let tuple = Payload.get_tuple r in
+        let imports =
+          List.init (Codec.read_count r) (fun _ ->
+              let li_rule = Codec.read_string r in
+              let li_hops = Codec.read_zigzag r in
+              let li_at = Codec.read_float64 r in
+              { Lineage.li_rule; li_hops; li_at })
+        in
+        ((rel, tuple), imports))
+  in
+  let sn_next_seq = Codec.read_varint r in
+  let sn_seen = List.init (Codec.read_count r) (fun _ -> Codec.read_raw_string r) in
+  let sn_sent =
+    List.init (Codec.read_count r) (fun _ ->
+        let uid = Codec.read_string r in
+        let rule = Codec.read_string r in
+        (uid, rule, Payload.get_tuples r))
+  in
+  let sn_subs =
+    List.init (Codec.read_count r) (fun _ ->
+        let ss_id = Codec.read_string r in
+        let ss_owner = get_owner r in
+        { ss_id; ss_owner; ss_query = Codec.read_raw_string r })
+  in
+  let sn_mirrors =
+    List.init (Codec.read_count r) (fun _ ->
+        let ms_id = Codec.read_string r in
+        let ms_host = Peer_id.of_string (Codec.read_string r) in
+        let ms_query = Codec.read_raw_string r in
+        let ms_accepted = Codec.read_byte r = 1 in
+        { ms_id; ms_host; ms_query; ms_accepted; ms_answers = Payload.get_tuples r })
+  in
+  { sn_store; sn_lineage; sn_next_seq; sn_seen; sn_sent; sn_subs; sn_mirrors }
+
+(* ---- logging hooks (no-ops when the node has no WAL) ----------------- *)
+
+let log (node : Node.t) record =
+  match node.Node.wal with
+  | None -> ()
+  | Some wal -> Wal.append wal (encode_record record)
+
+let log_insert node ~rel tuples = if tuples <> [] then log node (Insert { rel; tuples })
+
+let log_import node ~rule ~rel ~hops ~at tuples =
+  if tuples <> [] then log node (Import { rule; rel; hops; at; tuples })
+
+let log_sub_add node ~sub_id ~owner ~query_text =
+  log node (Sub_add { sub_id; owner; query_text })
+
+let log_sub_remove node ~sub_id = log node (Sub_remove { sub_id })
+
+let log_mirror_add node ~sub_id ~host ~query_text =
+  log node (Mirror_add { sub_id; host; query_text })
+
+let log_mirror_remove node ~sub_id = log node (Mirror_remove { sub_id })
+
+(* Transport sequence numbers are reserved in chunks: one record
+   covers the next [seq_chunk] allocations, so the hot send path logs
+   once per chunk instead of once per message.  Recovery resumes at
+   the reservation's end — burning at most a chunk of unused numbers,
+   never reusing one a peer may have recorded. *)
+let seq_chunk = 64
+
+let note_seq (node : Node.t) seq =
+  match node.Node.wal with
+  | None -> ()
+  | Some wal ->
+      if seq >= node.Node.wal_reserved then begin
+        let upto = seq + seq_chunk in
+        node.Node.wal_reserved <- upto;
+        Wal.append wal (encode_record (Seq_reserve { upto }))
+      end
+
+let install (node : Node.t) (opts : Options.t) ~backend =
+  let wal =
+    Wal.create ~backend ~snapshot_every:opts.Options.snapshot_every
+      ~take_snapshot:(fun () -> encode_snapshot node)
+  in
+  node.Node.wal <- Some wal;
+  wal
+
+let note_bulk_load (node : Node.t) =
+  match node.Node.wal with None -> () | Some wal -> Wal.snapshot_now wal
+
+(* ---- recovery -------------------------------------------------------- *)
+
+let restore_sub (node : Node.t) (opts : Options.t) ~sub_id ~owner ~text =
+  match node.Node.subs with
+  | None -> ()
+  | Some reg -> (
+      match Parser.parse_query text with
+      | Error _ -> ()
+      | Ok query -> (
+          Query.intern_constants query;
+          match
+            Sub.create ~pushdown:opts.Options.pushdown
+              ~max_preds:opts.Options.pushdown_max_preds ~sub_id query
+          with
+          | Error _ -> ()
+          | Ok sub ->
+              ignore (Registry.unregister reg sub_id);
+              let owner =
+                match owner with
+                (* a local client's callback died with the process;
+                   the subscription itself survives *)
+                | Olocal -> Registry.Local None
+                | Oremote peer -> Registry.Remote peer
+              in
+              ignore (Registry.register reg sub owner : (unit, string) result)))
+
+let restore_mirror (node : Node.t) ~sub_id ~host ~text ~accepted ~answers =
+  match Parser.parse_query text with
+  | Error _ -> ()
+  | Ok query ->
+      Query.intern_constants query;
+      let m = Mirror.create ~sub_id ~host query in
+      if accepted then Mirror.mark_accepted m;
+      if answers <> [] then
+        Mirror.apply m
+          { Sub.d_adds = answers; d_retracts = []; d_tag = "recover" };
+      Hashtbl.replace node.Node.sub_mirrors sub_id m
+
+let apply_snapshot (node : Node.t) (opts : Options.t) snap =
+  let store = node.Node.store in
+  List.iter
+    (fun (rel, tuples) ->
+      if Database.has_relation store rel then
+        List.iter (fun t -> ignore (Database.insert store rel t)) tuples)
+    snap.sn_store;
+  List.iter
+    (fun ((rel, tuple), imports) ->
+      List.iter (Lineage.record_import node.Node.lineage ~rel tuple) imports)
+    snap.sn_lineage;
+  node.Node.recovered_sent <- snap.sn_sent;
+  List.iter
+    (fun s -> restore_sub node opts ~sub_id:s.ss_id ~owner:s.ss_owner ~text:s.ss_query)
+    snap.sn_subs;
+  List.iter
+    (fun m ->
+      restore_mirror node ~sub_id:m.ms_id ~host:m.ms_host ~text:m.ms_query
+        ~accepted:m.ms_accepted ~answers:m.ms_answers)
+    snap.sn_mirrors
+
+let apply_record (node : Node.t) (opts : Options.t) ~seq_floor record =
+  match record with
+  | Insert { rel; tuples } ->
+      let store = node.Node.store in
+      if Database.has_relation store rel then
+        List.iter (fun t -> ignore (Database.insert store rel t)) tuples
+  | Import { rule; rel; hops; at; tuples } ->
+      let store = node.Node.store in
+      if Database.has_relation store rel then
+        List.iter
+          (fun t ->
+            if Database.insert store rel t then
+              Lineage.record_import node.Node.lineage ~rel t
+                { Lineage.li_rule = rule; li_hops = hops; li_at = at })
+          tuples
+  | Seq_reserve { upto } -> seq_floor := max !seq_floor upto
+  | Sub_add { sub_id; owner; query_text } ->
+      restore_sub node opts ~sub_id ~owner ~text:query_text
+  | Sub_remove { sub_id } -> (
+      match node.Node.subs with
+      | None -> ()
+      | Some reg -> ignore (Registry.unregister reg sub_id))
+  | Mirror_add { sub_id; host; query_text } ->
+      restore_mirror node ~sub_id ~host ~text:query_text ~accepted:false
+        ~answers:[]
+  | Mirror_remove { sub_id } -> Hashtbl.remove node.Node.sub_mirrors sub_id
+
+type recovery_stats = {
+  rv_records : int;  (** intact log records replayed *)
+  rv_replayed_bytes : int;  (** snapshot + log bytes consumed *)
+  rv_truncated : bool;  (** the log tail was damaged and cut *)
+  rv_had_snapshot : bool;
+}
+
+(* Rebuild the node from its backend.  Call with the volatile state
+   already reset ([Node.reset_volatile] + [Node.reset_store], a fresh
+   registry from [Node.configure_subs]): this fills the store, lineage,
+   transport, sent-filter carry-over and subscription state back in,
+   then installs a fresh WAL and immediately snapshots through it —
+   compacting the just-replayed log so a second crash recovers from
+   the snapshot alone and replays nothing twice. *)
+let recover (node : Node.t) (opts : Options.t) ~backend =
+  let r = Wal.recover ~backend in
+  let seq_floor = ref 0 in
+  let had_snapshot = ref false in
+  let seen = ref [] in
+  (match r.Wal.rec_snapshot with
+  | None -> ()
+  | Some payload -> (
+      match decode_snapshot payload with
+      | snap ->
+          had_snapshot := true;
+          seq_floor := snap.sn_next_seq;
+          seen := snap.sn_seen;
+          apply_snapshot node opts snap
+      | exception Codec.Malformed _ -> ()));
+  let replayed = ref 0 in
+  List.iter
+    (fun bytes ->
+      match decode_record bytes with
+      | record ->
+          incr replayed;
+          apply_record node opts ~seq_floor record
+      | exception Codec.Malformed _ -> ())
+    r.Wal.rec_records;
+  (* the recovered dedup table keeps retransmitted-but-already-
+     integrated messages from being re-processed; messages integrated
+     after the snapshot lose their dedup keys, so their retransmissions
+     re-process idempotently (subsumption dedup at integration) *)
+  if Options.reliable opts then
+    node.Node.relay <- Some (Relay.create ~next_seq:!seq_floor ~seen:!seen ());
+  node.Node.wal_reserved <- !seq_floor;
+  let wal = install node opts ~backend in
+  Wal.snapshot_now wal;
+  Stats.note_recovery node.Node.stats ~records:!replayed
+    ~replayed_bytes:r.Wal.rec_replayed_bytes;
+  {
+    rv_records = !replayed;
+    rv_replayed_bytes = r.Wal.rec_replayed_bytes;
+    rv_truncated = r.Wal.rec_truncated;
+    rv_had_snapshot = !had_snapshot;
+  }
+
+(* ---- store digest ---------------------------------------------------- *)
+
+(* Order-insensitive because everything is sorted before hashing; two
+   stores digest equal iff they hold the same relations with the same
+   tuples (CRC collisions aside), whatever order delivered them. *)
+let database_digest db =
+  List.fold_left
+    (fun crc rel ->
+      let crc = Crc32.update crc rel in
+      List.fold_left
+        (fun crc tuple ->
+          let w = Codec.writer ~initial:64 () in
+          Payload.put_tuple w tuple;
+          Crc32.update crc (Codec.contents w))
+        crc (sorted_tuples db rel))
+    0
+    (List.sort String.compare (Database.rel_names db))

@@ -1,0 +1,100 @@
+(** The durability layer ({!Options.durability} = [Dur_wal]): WAL
+    record and snapshot formats, commit-point logging hooks, and the
+    recovery path that turns a backend's bytes back into live node
+    state.
+
+    The on-disk format reuses the compact wire codec
+    ({!Codb_net.Codec}); framing and CRC protection live below in
+    {!Codb_store}.  Snapshots cover the LDB relations, lineage tags,
+    reliable-transport sequence state, per-update sent-filters and the
+    subscription registry/mirror state; log records cover each commit
+    point between snapshots.  Every logging hook is a no-op on nodes
+    without a WAL, so the default configuration pays nothing. *)
+
+module Peer_id = Codb_net.Peer_id
+module Tuple = Codb_relalg.Tuple
+module Backend = Codb_store.Backend
+module Wal = Codb_store.Wal
+
+type owner = Olocal | Oremote of Peer_id.t
+    (** who registered a hosted subscription; a local client's
+        callback cannot be persisted, so a recovered [Olocal]
+        registration resumes with no callback *)
+
+type record =
+  | Insert of { rel : string; tuples : Tuple.t list }
+      (** a direct local write ({!System.insert_fact}) *)
+  | Import of {
+      rule : string;
+      rel : string;
+      hops : int;
+      at : float;
+      tuples : Tuple.t list;
+    }  (** tuples an update integrated, with their lineage *)
+  | Seq_reserve of { upto : int }
+      (** transport sequence numbers below [upto] may have been used *)
+  | Sub_add of { sub_id : string; owner : owner; query_text : string }
+  | Sub_remove of { sub_id : string }
+  | Mirror_add of { sub_id : string; host : Peer_id.t; query_text : string }
+  | Mirror_remove of { sub_id : string }
+
+val encode_record : record -> string
+
+val decode_record : string -> record
+(** @raise Codb_net.Codec.Malformed on corrupt input. *)
+
+val encode_snapshot : Node.t -> string
+(** Serialize the node's durable state, everything sorted so equal
+    states produce byte-identical snapshots. *)
+
+(** {1 Commit-point hooks} — called by {!System}, {!Update},
+    {!Sub_engine} and {!Reliable}; no-ops when [node.wal] is [None]. *)
+
+val log_insert : Node.t -> rel:string -> Tuple.t list -> unit
+
+val log_import :
+  Node.t -> rule:string -> rel:string -> hops:int -> at:float ->
+  Tuple.t list -> unit
+
+val log_sub_add : Node.t -> sub_id:string -> owner:owner -> query_text:string -> unit
+
+val log_sub_remove : Node.t -> sub_id:string -> unit
+
+val log_mirror_add :
+  Node.t -> sub_id:string -> host:Peer_id.t -> query_text:string -> unit
+
+val log_mirror_remove : Node.t -> sub_id:string -> unit
+
+val note_seq : Node.t -> int -> unit
+(** Log a [Seq_reserve] when the allocated transport sequence number
+    reaches the current reservation; reservations cover chunks of 64
+    so the hot send path logs once per chunk. *)
+
+val note_bulk_load : Node.t -> unit
+(** A bulk store import bypassed the per-tuple hooks: snapshot now. *)
+
+val install : Node.t -> Options.t -> backend:Backend.t -> Wal.t
+(** Create and attach a fresh WAL whose snapshot callback serializes
+    this node. *)
+
+type recovery_stats = {
+  rv_records : int;  (** intact log records replayed *)
+  rv_replayed_bytes : int;  (** snapshot + log bytes consumed *)
+  rv_truncated : bool;  (** the log tail was damaged and cut *)
+  rv_had_snapshot : bool;
+}
+
+val recover : Node.t -> Options.t -> backend:Backend.t -> recovery_stats
+(** Rebuild the node from its backend: latest valid snapshot, then the
+    intact log tail (truncating at the first torn or corrupt record),
+    then a fresh transport relay seeded with the recovered sequence
+    reservation and dedup keys, then a fresh WAL with an immediate
+    compacting snapshot.  Expects the volatile state already reset
+    ({!Node.reset_volatile}, {!Node.reset_store},
+    {!Node.configure_subs}).  Credits {!Stats.note_recovery}. *)
+
+val database_digest : Codb_relalg.Database.t -> int
+(** Order-insensitive CRC32 of the store contents: equal iff the same
+    relations hold the same tuples (hash collisions aside).  The
+    store-equivalence gate of the recovery bench and qcheck
+    properties. *)

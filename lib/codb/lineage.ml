@@ -28,6 +28,10 @@ let record_import t ~rel tuple import =
 let imports t ~rel tuple =
   Option.value ~default:[] (Key_map.find_opt (rel, tuple) t.entries)
 
+let all t = Key_map.bindings t.entries
+
+let clear t = t.entries <- Key_map.empty
+
 let origin_of ~store t ~rel tuple =
   match Database.relation_opt store rel with
   | None -> None

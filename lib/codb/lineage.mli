@@ -27,6 +27,14 @@ val record_import : t -> rel:string -> Codb_relalg.Tuple.t -> import -> unit
 val imports : t -> rel:string -> Codb_relalg.Tuple.t -> import list
 (** Oldest first; empty for base facts. *)
 
+val all : t -> ((string * Codb_relalg.Tuple.t) * import list) list
+(** Every recorded entry in (relation, tuple) order — what the
+    durability layer writes into snapshots. *)
+
+val clear : t -> unit
+(** Forget everything (an honest crash destroys lineage too; recovery
+    re-fills it from the snapshot and log). *)
+
 val origin_of :
   store:Codb_relalg.Database.t -> t -> rel:string -> Codb_relalg.Tuple.t ->
   origin option

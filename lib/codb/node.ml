@@ -23,6 +23,10 @@ type t = {
   mutable subs : Codb_sub.Registry.t option;
   sub_mirrors : (string, Codb_sub.Mirror.t) Hashtbl.t;
   sub_outbox : Codb_sub.Outbox.t;
+  mutable wal : Codb_store.Wal.t option;
+  mutable wal_reserved : int;
+  mutable recovered_sent : (string * string * Codb_relalg.Tuple.t list) list;
+  mutable track_refetch : bool;
 }
 
 let create decl =
@@ -54,7 +58,22 @@ let create decl =
     subs = None;
     sub_mirrors = Hashtbl.create 4;
     sub_outbox = Codb_sub.Outbox.create ();
+    wal = None;
+    wal_reserved = 0;
+    recovered_sent = [];
+    track_refetch = false;
   }
+
+(* An honest crash ([Options.durability <> Dur_off]) destroys the store
+   too: rebuild it from the node's declaration, exactly as [create]
+   does, and forget the lineage of the tuples that died with it. *)
+let reset_store node =
+  let store = Database.create node.decl.Config.relations in
+  List.iter
+    (fun (rel, tuple) -> ignore (Database.insert store rel tuple))
+    node.decl.Config.facts;
+  node.store <- store;
+  Lineage.clear node.lineage
 
 let fresh_serial node =
   node.serial <- node.serial + 1;

@@ -51,10 +51,31 @@ type t = {
   sub_outbox : Codb_sub.Outbox.t;
       (** per-subscriber buffers of answer deltas awaiting a
           [sub_batch_window] flush *)
+  mutable wal : Codb_store.Wal.t option;
+      (** this node's write-ahead log; [None] unless
+          [Options.durability = Dur_wal] (installed by
+          {!System.install_node}, replaced on recovery) *)
+  mutable wal_reserved : int;
+      (** transport sequence numbers covered by the last logged
+          [Seq_reserve] record; sequences below it need no new log
+          record on allocation *)
+  mutable recovered_sent : (string * string * Codb_relalg.Tuple.t list) list;
+      (** (update-id, rule-id, tuples) sent-filter contents recovered
+          from a snapshot, consumed lazily when the corresponding
+          update state is re-created ({!Update.fresh_state}) *)
+  mutable track_refetch : bool;
+      (** set after a durability-mode restart: incoming update-data
+          bytes count into [Stats.chaos.ch_refetched_bytes] until the
+          run ends *)
 }
 
 val create : Config.node_decl -> t
 (** Build the node and load its declared facts into the store. *)
+
+val reset_store : t -> unit
+(** An honest crash ([Options.durability <> Dur_off]): replace the
+    store with a fresh one holding only the declared facts, and clear
+    the lineage.  Recovery (or re-fetching) must rebuild the rest. *)
 
 val fresh_serial : t -> int
 

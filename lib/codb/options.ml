@@ -1,3 +1,10 @@
+(* What a crash destroys.  [Dur_off] keeps PR 4's lenient model (the
+   store and transport state survive in memory).  [Dur_volatile] is an
+   honest crash — everything volatile is really lost and restart
+   re-fetches the world.  [Dur_wal] is an honest crash plus a
+   write-ahead log and snapshots to recover from. *)
+type durability = Dur_off | Dur_volatile | Dur_wal
+
 type t = {
   use_sent_cache : bool;
   use_subsumption_dedup : bool;
@@ -35,6 +42,10 @@ type t = {
   sub_naive : bool;
   domains : int;
   par_threshold : int;
+  durability : durability;
+  wal_dir : string option;
+  snapshot_every : int;
+  fsync : bool;
 }
 
 (* The suite-wide parallelism knob: CI runs the whole test suite a
@@ -86,6 +97,10 @@ let default =
     sub_naive = false;
     domains = domains_from_env ();
     par_threshold = 2;
+    durability = Dur_off;
+    wal_dir = None;
+    snapshot_every = 64;
+    fsync = false;
   }
 
 let with_cache =
@@ -189,6 +204,16 @@ let validate t =
   if t.par_threshold < 1 then
     reject
       (Printf.sprintf "options: par_threshold must be >= 1 (got %d)" t.par_threshold);
+  if t.snapshot_every < 1 then
+    reject
+      (Printf.sprintf "options: snapshot_every must be >= 1 (got %d)" t.snapshot_every);
+  (match t.wal_dir with
+  | Some "" -> reject "options: wal_dir must not be empty"
+  | Some _ when t.durability <> Dur_wal ->
+      reject "options: wal_dir requires durability = Dur_wal"
+  | Some _ | None -> ());
+  if t.fsync && t.wal_dir = None then
+    reject "options: fsync requires wal_dir (the in-memory backend has no disk)";
   match List.rev !errors with [] -> Ok () | errors -> Error errors
 
 let faults_enabled t =

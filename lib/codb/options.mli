@@ -6,6 +6,20 @@
     can make the fix-point diverge — that is the point of the
     ablation — so [max_update_events] bounds every run. *)
 
+type durability =
+  | Dur_off
+      (** PR 4's lenient crash model: the store, lineage, statistics
+          and transport sequence state survive a crash in memory (the
+          seed behaviour, bit for bit) *)
+  | Dur_volatile
+      (** an honest crash: volatile state is really destroyed and a
+          restarted node re-fetches everything over the network (the
+          clear-and-refetch baseline) *)
+  | Dur_wal
+      (** an honest crash plus durability: every commit point is
+          logged to a per-node write-ahead log with periodic
+          snapshots ({!Codb_store}), and restart recovers from them *)
+
 type t = {
   use_sent_cache : bool;
       (** per-incoming-link caches of already-sent tuples ("we delete
@@ -134,6 +148,20 @@ type t = {
       (** minimum batch size worth fanning out; smaller same-time
           groups run inline on the simulation domain, skipping the
           capture/replay machinery *)
+  durability : durability;
+      (** what a crash destroys and whether restart recovers from a
+          write-ahead log; [Dur_off] by default (seed behaviour) *)
+  wal_dir : string option;
+      (** where [Dur_wal] keeps its log and snapshot files
+          ([<dir>/<node>.wal] / [<dir>/<node>.snap]); [None] uses the
+          deterministic in-memory backend (what tests and benches
+          want) *)
+  snapshot_every : int;
+      (** WAL records between snapshots: each snapshot truncates the
+          log, bounding replay work at recovery *)
+  fsync : bool;
+      (** flush every WAL write with [Unix.fsync]; only meaningful
+          with [wal_dir] *)
 }
 
 val default : t
@@ -153,8 +181,9 @@ val validate : t -> (unit, string list) result
     negative [max_retries], [backoff_factor] < 1;
     [max_subscriptions] < 1, negative [sub_batch_window], [sub_naive]
     without [subscriptions]; [domains] outside [1,256],
-    [par_threshold] < 1.  Called by {!System.build} before any node
-    is created. *)
+    [par_threshold] < 1; [snapshot_every] < 1, an empty [wal_dir],
+    [wal_dir] without [Dur_wal], [fsync] without [wal_dir].  Called
+    by {!System.build} before any node is created. *)
 
 val faults_enabled : t -> bool
 (** Any fault knob active (drop, dup, jitter, flaps or crashes). *)

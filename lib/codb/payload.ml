@@ -313,21 +313,29 @@ let put_tuple w (t : Tuple.t) =
   Array.iter (put_value w) t
 
 let get_tuple r =
-  let arity = Codec.read_varint r in
+  let arity = Codec.read_count r in
   Array.init arity (fun _ -> get_value r)
 
 let put_tuples w tuples =
   Codec.varint w (List.length tuples);
   List.iter (put_tuple w) tuples
 
-let get_tuples r = List.init (Codec.read_varint r) (fun _ -> get_tuple r)
+let get_tuples r = List.init (Codec.read_count r) (fun _ -> get_tuple r)
 
 let put_update_id w (u : Ids.update_id) =
   Codec.string w (Peer_id.to_string u.Ids.u_origin);
   Codec.zigzag w u.Ids.u_serial
 
+(* A flipped bit can turn a peer name into the empty string, which
+   [Peer_id.of_string] rejects with [Invalid_argument]; decoders must
+   fail with [Malformed] only. *)
+let get_peer r =
+  match Codec.read_string r with
+  | "" -> raise (Codec.Malformed "empty peer name")
+  | s -> Peer_id.of_string s
+
 let get_update_id r =
-  let origin = Peer_id.of_string (Codec.read_string r) in
+  let origin = get_peer r in
   Ids.update_id origin (Codec.read_zigzag r)
 
 let put_query_id w (q : Ids.query_id) =
@@ -335,15 +343,14 @@ let put_query_id w (q : Ids.query_id) =
   Codec.zigzag w q.Ids.q_serial
 
 let get_query_id r =
-  let origin = Peer_id.of_string (Codec.read_string r) in
+  let origin = get_peer r in
   Ids.query_id origin (Codec.read_zigzag r)
 
 let put_peers w peers =
   Codec.varint w (List.length peers);
   List.iter (fun p -> Codec.string w (Peer_id.to_string p)) peers
 
-let get_peers r =
-  List.init (Codec.read_varint r) (fun _ -> Peer_id.of_string (Codec.read_string r))
+let get_peers r = List.init (Codec.read_count r) (fun _ -> get_peer r)
 
 let op_tag = function
   | Codb_cq.Query.Eq -> 0
@@ -397,8 +404,8 @@ let get_constraints r =
   | 0 -> Specialize.Any
   | 1 ->
       Specialize.One_of
-        (List.init (Codec.read_varint r) (fun _ ->
-             List.init (Codec.read_varint r) (fun _ ->
+        (List.init (Codec.read_count r) (fun _ ->
+             List.init (Codec.read_count r) (fun _ ->
                  let p_op = op_of_tag (Codec.read_byte r) in
                  let p_left = get_operand r in
                  let p_right = get_operand r in
@@ -525,7 +532,7 @@ let rec get_payload r =
       let update_id = get_update_id r in
       let global = get_bool r in
       let entries =
-        List.init (Codec.read_varint r) (fun _ ->
+        List.init (Codec.read_count r) (fun _ ->
             let be_rule = Codec.read_string r in
             let be_hops = Codec.read_zigzag r in
             let be_tuples = get_tuples r in
@@ -594,7 +601,7 @@ let rec get_payload r =
       Answer_delta { sub_id; adds; retracts; tag }
   | 22 ->
       let entries =
-        List.init (Codec.read_varint r) (fun _ ->
+        List.init (Codec.read_count r) (fun _ ->
             let se_sub = Codec.read_string r in
             let se_tag = Codec.read_string r in
             let se_adds = get_tuples r in

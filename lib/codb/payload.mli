@@ -7,6 +7,7 @@
     collection, and JXTA-style peer discovery. *)
 
 module Peer_id = Codb_net.Peer_id
+module Codec = Codb_net.Codec
 module Tuple = Codb_relalg.Tuple
 module Specialize = Codb_cq.Specialize
 
@@ -159,6 +160,19 @@ val encode_tuples : Tuple.t list -> string
 (** Encode a bare tuple list (exposed for codec round-trip tests). *)
 
 val decode_tuples : string -> (Tuple.t list, string) result
+
+val put_value : Codec.writer -> Codb_relalg.Value.t -> unit
+(** Writer-level primitives, shared with the durability layer
+    ({!Durable}): WAL records and snapshots reuse the wire encoding of
+    values and tuples as their on-disk format. *)
+
+val get_value : Codec.reader -> Codb_relalg.Value.t
+(** @raise Codec.Malformed on corrupt input. *)
+
+val put_tuple : Codec.writer -> Tuple.t -> unit
+val get_tuple : Codec.reader -> Tuple.t
+val put_tuples : Codec.writer -> Tuple.t list -> unit
+val get_tuples : Codec.reader -> Tuple.t list
 
 val is_update_protocol : t -> bool
 (** Messages that take part in Dijkstra–Scholten termination

@@ -14,7 +14,15 @@ type t = {
   seen : (string, unit) Hashtbl.t;
 }
 
-let create () = { next_seq = 0; inflight = Hashtbl.create 16; seen = Hashtbl.create 64 }
+let create ?(next_seq = 0) ?(seen = []) () =
+  let t = { next_seq; inflight = Hashtbl.create 16; seen = Hashtbl.create 64 } in
+  List.iter (fun key -> Hashtbl.replace t.seen key ()) seen;
+  t
+
+let next_seq t = t.next_seq
+
+let seen_keys t =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) t.seen [])
 
 let fresh_seq t =
   let seq = t.next_seq in

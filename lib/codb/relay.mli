@@ -20,7 +20,17 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?next_seq:int -> ?seen:string list -> unit -> t
+(** Optionally seeded with a recovered sequence counter and dedup
+    keys: a node restarting from a WAL snapshot must neither reuse
+    sequence numbers its peers recorded nor re-process retransmitted
+    messages it already integrated. *)
+
+val next_seq : t -> int
+(** The next sequence number to be handed out (snapshot state). *)
+
+val seen_keys : t -> string list
+(** The dedup table's keys, sorted (snapshot state). *)
 
 val fresh_seq : t -> int
 (** Monotonic per-node sequence number.  Survives {!abandon} so a

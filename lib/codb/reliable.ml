@@ -30,6 +30,9 @@ let send ?on_settled rt ~dst payload =
   match relay_of rt with
   | Some relay when Options.reliable rt.Runtime.opts && frame_eligible payload ->
       let seq = Relay.fresh_seq relay in
+      (* chunked sequence reservation: a recovered node must never
+         reuse a sequence number its peers may have recorded *)
+      Durable.note_seq rt.Runtime.node seq;
       let framed = Payload.Seq { seq; inner = payload } in
       let entry =
         {

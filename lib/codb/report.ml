@@ -324,6 +324,9 @@ type chaos_report = {
   chr_send_drops : int;
   chr_incomplete_queries : int;
   chr_forced_updates : int;
+  chr_recovered_records : int;
+  chr_replayed_bytes : int;
+  chr_refetched_bytes : int;
 }
 
 let chaos_report snapshots =
@@ -336,6 +339,9 @@ let chaos_report snapshots =
     chr_partial_answers = sum (fun c -> c.Stats.chn_partial_answers);
     chr_forced_terminations = sum (fun c -> c.Stats.chn_forced_terminations);
     chr_send_drops = sum (fun c -> c.Stats.chn_send_drops);
+    chr_recovered_records = sum (fun c -> c.Stats.chn_recovered_records);
+    chr_replayed_bytes = sum (fun c -> c.Stats.chn_replayed_bytes);
+    chr_refetched_bytes = sum (fun c -> c.Stats.chn_refetched_bytes);
     chr_incomplete_queries =
       List.fold_left
         (fun acc s ->
@@ -358,7 +364,9 @@ let pp_chaos_report ppf c =
      sub-request timeouts: %d, partial answers: %d@,\
      forced terminations: %d (%d update records marked forced)@,\
      incomplete query records: %d@,\
-     send drops surfaced: %d@]"
+     send drops surfaced: %d@,\
+     recovery: %d records replayed (%d bytes), %d bytes refetched@]"
     c.chr_retransmits c.chr_dup_suppressed c.chr_give_ups c.chr_query_timeouts
     c.chr_partial_answers c.chr_forced_terminations c.chr_forced_updates
-    c.chr_incomplete_queries c.chr_send_drops
+    c.chr_incomplete_queries c.chr_send_drops c.chr_recovered_records
+    c.chr_replayed_bytes c.chr_refetched_bytes

@@ -141,6 +141,11 @@ type chaos_report = {
   chr_incomplete_queries : int;
       (** per-query records that finished flagged incomplete *)
   chr_forced_updates : int;  (** per-update records marked forced *)
+  chr_recovered_records : int;  (** WAL records replayed at restarts *)
+  chr_replayed_bytes : int;
+      (** snapshot + log bytes consumed by recovery *)
+  chr_refetched_bytes : int;
+      (** post-restart bytes re-fetching once-held state *)
 }
 
 val chaos_report : Stats.snapshot list -> chaos_report

@@ -66,6 +66,16 @@ let note_sent t tuple =
         Bloom.add_hash b.bloom (Tuple.hash tuple)
       end
 
+(* Snapshot view for the durability layer: what we can still prove was
+   sent.  A Bounded filter only remembers its ring occupants — evicted
+   tuples come back as "not sent" after recovery, costing a re-send the
+   receiver dedups, never a drop. *)
+let elements = function
+  | Exact { set } -> Tuple_set.elements set
+  | Bounded b ->
+      List.sort Tuple.compare
+        (Tuple_tbl.fold (fun tuple () acc -> tuple :: acc) b.live [])
+
 let tracked = function
   | Exact { set } -> Tuple_set.cardinal set
   | Bounded b -> Tuple_tbl.length b.live

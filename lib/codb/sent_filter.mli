@@ -22,6 +22,11 @@ val already_sent : t -> Codb_relalg.Tuple.t -> bool
 
 val note_sent : t -> Codb_relalg.Tuple.t -> unit
 
+val elements : t -> Codb_relalg.Tuple.t list
+(** The tuples still provably tracked, sorted — what a durability
+    snapshot records.  For a [Bounded] filter this is only the live
+    ring, so recovery may re-send evicted tuples (receivers dedup). *)
+
 val tracked : t -> int
 (** Exact entries currently held (set cardinality or live ring slots). *)
 

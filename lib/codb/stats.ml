@@ -76,6 +76,9 @@ type chaos = {
   mutable ch_partial_answers : int;
   mutable ch_forced_terminations : int;
   mutable ch_send_drops : int;
+  mutable ch_recovered_records : int;
+  mutable ch_replayed_bytes : int;
+  mutable ch_refetched_bytes : int;
 }
 
 type t = {
@@ -102,6 +105,9 @@ let create owner =
         ch_partial_answers = 0;
         ch_forced_terminations = 0;
         ch_send_drops = 0;
+        ch_recovered_records = 0;
+        ch_replayed_bytes = 0;
+        ch_refetched_bytes = 0;
       };
     st_sub =
       {
@@ -157,6 +163,13 @@ let note_forced_termination st =
   st.st_chaos.ch_forced_terminations <- st.st_chaos.ch_forced_terminations + 1
 
 let note_send_drop st = st.st_chaos.ch_send_drops <- st.st_chaos.ch_send_drops + 1
+
+let note_recovery st ~records ~replayed_bytes =
+  st.st_chaos.ch_recovered_records <- st.st_chaos.ch_recovered_records + records;
+  st.st_chaos.ch_replayed_bytes <- st.st_chaos.ch_replayed_bytes + replayed_bytes
+
+let note_refetched st bytes =
+  st.st_chaos.ch_refetched_bytes <- st.st_chaos.ch_refetched_bytes + bytes
 
 let owner st = st.st_owner
 
@@ -298,6 +311,9 @@ type chaos_snap = {
   chn_partial_answers : int;
   chn_forced_terminations : int;
   chn_send_drops : int;
+  chn_recovered_records : int;
+  chn_replayed_bytes : int;
+  chn_refetched_bytes : int;
 }
 
 type sub_snap = {
@@ -415,6 +431,9 @@ let snapshot ?(store_tuples = 0) ?cache st =
         chn_partial_answers = st.st_chaos.ch_partial_answers;
         chn_forced_terminations = st.st_chaos.ch_forced_terminations;
         chn_send_drops = st.st_chaos.ch_send_drops;
+        chn_recovered_records = st.st_chaos.ch_recovered_records;
+        chn_replayed_bytes = st.st_chaos.ch_replayed_bytes;
+        chn_refetched_bytes = st.st_chaos.ch_refetched_bytes;
       };
     snap_sub =
       {
@@ -522,13 +541,17 @@ let chaos_snap_is_zero c =
   c.chn_retransmits = 0 && c.chn_dup_suppressed = 0 && c.chn_give_ups = 0
   && c.chn_query_timeouts = 0 && c.chn_partial_answers = 0
   && c.chn_forced_terminations = 0 && c.chn_send_drops = 0
+  && c.chn_recovered_records = 0 && c.chn_replayed_bytes = 0
+  && c.chn_refetched_bytes = 0
 
 let pp_chaos_snap ppf c =
   Fmt.pf ppf
     "transport: %d retransmits, %d dups suppressed, %d give-ups, %d sub-request \
-     timeouts, %d partial answers, %d forced terminations, %d send drops"
+     timeouts, %d partial answers, %d forced terminations, %d send drops, %d \
+     recovered records, %d replayed bytes, %d refetched bytes"
     c.chn_retransmits c.chn_dup_suppressed c.chn_give_ups c.chn_query_timeouts
     c.chn_partial_answers c.chn_forced_terminations c.chn_send_drops
+    c.chn_recovered_records c.chn_replayed_bytes c.chn_refetched_bytes
 
 let pp_sub_snap ppf s =
   Fmt.pf ppf

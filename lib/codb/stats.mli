@@ -97,6 +97,14 @@ type chaos = {
   mutable ch_send_drops : int;
       (** sends that returned [false] (no open pipe) at call sites
           that previously discarded the result *)
+  mutable ch_recovered_records : int;
+      (** WAL records replayed into this node at restart (snapshot
+          tuples are not records; see [ch_replayed_bytes]) *)
+  mutable ch_replayed_bytes : int;
+      (** snapshot + log-tail bytes consumed by recovery *)
+  mutable ch_refetched_bytes : int;
+      (** post-restart network bytes spent re-fetching state this node
+          once held (the cost durability exists to shrink) *)
 }
 
 (** Node-wide standing-query counters ({!Codb_sub}): registrations,
@@ -159,6 +167,12 @@ val note_partial_answer : t -> unit
 val note_forced_termination : t -> unit
 
 val note_send_drop : t -> unit
+
+val note_recovery : t -> records:int -> replayed_bytes:int -> unit
+(** Credit a completed WAL recovery to this node's counters. *)
+
+val note_refetched : t -> int -> unit
+(** Count post-restart incoming update-data bytes as refetch cost. *)
 
 val update_stat : t -> now:float -> Ids.update_id -> update_stat
 (** Find or create the accumulator for an update (created with
@@ -238,6 +252,9 @@ type chaos_snap = {
   chn_partial_answers : int;
   chn_forced_terminations : int;
   chn_send_drops : int;
+  chn_recovered_records : int;
+  chn_replayed_bytes : int;
+  chn_refetched_bytes : int;
 }
 
 (** Frozen {!sub_counters}. *)

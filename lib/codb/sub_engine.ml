@@ -204,6 +204,8 @@ let register_local rt ?on_delta query =
           | Error e -> reject e
           | Ok () ->
               sb.Stats.sb_registered <- sb.Stats.sb_registered + 1;
+              Durable.log_sub_add node ~sub_id:(Sub.id sub)
+                ~owner:Durable.Olocal ~query_text:(query_text query);
               let d =
                 with_counters rt (fun () ->
                     Sub.refresh sub ~planner:rt.Runtime.opts.Options.planner
@@ -221,7 +223,8 @@ let unregister_local rt sub_id =
       let removed = Registry.unregister reg sub_id in
       if removed then begin
         let sb = scounters rt in
-        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1
+        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1;
+        Durable.log_sub_remove rt.Runtime.node ~sub_id
       end;
       removed
 
@@ -236,6 +239,8 @@ let subscribe_remote rt ~host ?on_delta query =
         let sub_id = Node.fresh_ref node in
         Hashtbl.replace node.Node.sub_mirrors sub_id
           (Mirror.create ~sub_id ~host ?on_delta query);
+        Durable.log_mirror_add node ~sub_id ~host
+          ~query_text:(query_text query);
         ignore
           (Reliable.send_noted rt ~dst:host
              (Payload.Sub_register { sub_id; query_text = query_text query }));
@@ -247,6 +252,7 @@ let unsubscribe_remote rt sub_id =
   | None -> false
   | Some m ->
       Hashtbl.remove node.Node.sub_mirrors sub_id;
+      Durable.log_mirror_remove node ~sub_id;
       ignore
         (Reliable.send_noted rt ~dst:(Mirror.host m)
            (Payload.Sub_unregister { sub_id }));
@@ -299,6 +305,8 @@ let on_register rt ~src ~sub_id ~text =
               | Ok () ->
                   let sb = scounters rt in
                   sb.Stats.sb_registered <- sb.Stats.sb_registered + 1;
+                  Durable.log_sub_add rt.Runtime.node ~sub_id
+                    ~owner:(Durable.Oremote src) ~query_text:text;
                   ignore
                     (Reliable.send_noted rt ~dst:src
                        (Payload.Sub_registered
@@ -320,7 +328,8 @@ let on_unregister rt ~sub_id =
   | Some reg ->
       if Registry.unregister reg sub_id then begin
         let sb = scounters rt in
-        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1
+        sb.Stats.sb_unregistered <- sb.Stats.sb_unregistered + 1;
+        Durable.log_sub_remove rt.Runtime.node ~sub_id
       end
 
 let on_registered rt ~sub_id ~accepted ~reason =

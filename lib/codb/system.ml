@@ -19,11 +19,29 @@ type effect_ =
 
 type capture = { mutable effects : effect_ list (* reversed *) }
 
+(* Per-node durability bookkeeping: the backend outlives the node's
+   crashes (it *is* the disk), and the accumulators keep counters from
+   crashed WAL incarnations, which drop their live counter record when
+   the node loses its [wal] at crash time. *)
+type dur_node = {
+  dn_backend : Codb_store.Backend.t;
+  mutable dn_records : int;
+  mutable dn_bytes : int;
+  mutable dn_snapshots : int;
+  mutable dn_snapshot_bytes : int;
+  mutable dn_recoveries : int;
+  mutable dn_recovered_records : int;
+  mutable dn_replayed_bytes : int;
+  mutable dn_recovery_ms : float;
+}
+
 type t = {
   sys_net : Payload.t Network.t;
   sys_nodes : (string, Node.t) Hashtbl.t;
   sys_runtimes : (string, Runtime.t) Hashtbl.t;
   sys_captures : (string, capture option ref) Hashtbl.t;
+  sys_dur : (string, dur_node) Hashtbl.t;
+  sys_restarts : int ref;
   mutable sys_config : Config.t;
   sys_opts : Options.t;
   mutable sys_superpeer : Superpeer.t option;
@@ -133,6 +151,29 @@ let install_node sys decl =
     ~outgoing:(Config.rules_importing_at sys.sys_config name)
     ~incoming:(Config.rules_sourced_at sys.sys_config name);
   Network.add_peer sys.sys_net node.Node.node_id;
+  (match sys.sys_opts.Options.durability with
+  | Options.Dur_wal ->
+      let backend =
+        match sys.sys_opts.Options.wal_dir with
+        | Some dir ->
+            Codb_store.Backend.file ~fsync:sys.sys_opts.Options.fsync ~dir
+              ~node:name ()
+        | None -> Codb_store.Backend.memory ()
+      in
+      Hashtbl.replace sys.sys_dur name
+        {
+          dn_backend = backend;
+          dn_records = 0;
+          dn_bytes = 0;
+          dn_snapshots = 0;
+          dn_snapshot_bytes = 0;
+          dn_recoveries = 0;
+          dn_recovered_records = 0;
+          dn_replayed_bytes = 0;
+          dn_recovery_ms = 0.;
+        };
+      ignore (Durable.install node sys.sys_opts ~backend : Codb_store.Wal.t)
+  | Options.Dur_off | Options.Dur_volatile -> ());
   let rt = make_runtime sys node in
   Network.set_handler sys.sys_net node.Node.node_id (handler sys rt);
   Hashtbl.replace sys.sys_nodes name node;
@@ -151,8 +192,11 @@ let connect_acquaintances sys =
 
 (* A crash: the handler disappears (in-flight messages to the node
    drop at delivery time) and every pipe closes.  The volatile protocol
-   state is cleared immediately — the paper's nodes keep only the LDB
-   on disk — so a restart starts from a clean slate. *)
+   state is cleared immediately.  Under [Dur_off] the store, lineage
+   and transport state survive in memory (the lenient legacy model);
+   under [Dur_volatile] and [Dur_wal] the crash is honest — RAM is
+   gone, only the node's declaration (and, for [Dur_wal], its backend
+   bytes) survive to the restart. *)
 let crash_node sys name =
   let n = node sys name in
   let id = n.Node.node_id in
@@ -162,13 +206,41 @@ let crash_node sys name =
   Network.clear_handler sys.sys_net id;
   List.iter (fun peer -> Network.disconnect sys.sys_net id peer)
     (Network.neighbours sys.sys_net id);
+  (match sys.sys_opts.Options.durability with
+  | Options.Dur_off -> ()
+  | Options.Dur_volatile | Options.Dur_wal ->
+      (match (n.Node.wal, Hashtbl.find_opt sys.sys_dur name) with
+      | Some wal, Some dn ->
+          (* the live WAL dies with the node; keep its counters *)
+          let c = Codb_store.Wal.counters wal in
+          dn.dn_records <- dn.dn_records + c.Codb_store.Wal.records_written;
+          dn.dn_bytes <- dn.dn_bytes + c.Codb_store.Wal.bytes_written;
+          dn.dn_snapshots <- dn.dn_snapshots + c.Codb_store.Wal.snapshots_taken;
+          dn.dn_snapshot_bytes <-
+            dn.dn_snapshot_bytes + c.Codb_store.Wal.snapshot_bytes
+      | _ -> ());
+      n.Node.wal <- None;
+      n.Node.relay <- None;
+      n.Node.recovered_sent <- [];
+      Node.reset_store n);
   Node.reset_volatile n;
   trace_event sys ~direction:Trace.Delivered ~src:id ~dst:id "crash"
 
 (* A restart: volatile state is (re-)cleared, the cache epoch bumps so
    stale entries elsewhere cannot survive on this node's authority, the
    handler re-registers and the acquaintance pipes (plus the super-peer
-   pipe, if one is tracked) reopen. *)
+   pipe, if one is tracked) reopen.
+
+   What comes back depends on [Options.durability].  [Dur_off]: the
+   lenient legacy model — store, lineage and transport state survived
+   the crash in memory.  [Dur_volatile]: clear-and-refetch — the store
+   restarts from the node's declaration, the transport restarts in a
+   fresh sequence epoch (so recycled sequence numbers are impossible),
+   and a catch-up global update re-imports everything the rules cover.
+   [Dur_wal]: true recovery — snapshot plus log tail rebuild the
+   store, lineage, transport reservation and dedup keys, sent-filters
+   and subscription state; no catch-up update is issued, the reliable
+   transport's retransmissions deliver the in-flight tail. *)
 let restart_node sys name =
   let n = node sys name in
   let id = n.Node.node_id in
@@ -178,6 +250,30 @@ let restart_node sys name =
   Node.reset_volatile n;
   Node.configure_cache n sys.sys_opts;
   Node.configure_subs n sys.sys_opts;
+  (match sys.sys_opts.Options.durability with
+  | Options.Dur_off -> ()
+  | Options.Dur_volatile ->
+      Node.reset_store n;
+      incr sys.sys_restarts;
+      if Options.reliable sys.sys_opts then
+        n.Node.relay <-
+          Some (Relay.create ~next_seq:(!(sys.sys_restarts) * 1_000_000) ());
+      n.Node.track_refetch <- true
+  | Options.Dur_wal ->
+      Node.reset_store n;
+      (match Hashtbl.find_opt sys.sys_dur name with
+      | None -> ()
+      | Some dn ->
+          let t0 = Sys.time () in
+          let rv = Durable.recover n sys.sys_opts ~backend:dn.dn_backend in
+          dn.dn_recovery_ms <-
+            dn.dn_recovery_ms +. ((Sys.time () -. t0) *. 1000.);
+          dn.dn_recoveries <- dn.dn_recoveries + 1;
+          dn.dn_recovered_records <-
+            dn.dn_recovered_records + rv.Durable.rv_records;
+          dn.dn_replayed_bytes <-
+            dn.dn_replayed_bytes + rv.Durable.rv_replayed_bytes);
+      n.Node.track_refetch <- true);
   Node.note_local_write n;
   let rt = runtime sys name in
   Network.set_handler sys.sys_net id (handler sys rt);
@@ -187,14 +283,33 @@ let restart_node sys name =
       Network.connect sys.sys_net ~latency:sys.sys_opts.Options.latency
         ~byte_cost:sys.sys_opts.Options.byte_cost id (Superpeer.id sp)
   | None -> ());
-  (* the restarted node's registry is empty: every peer holding a
-     mirror against it re-registers (deterministically, in node-name
-     then sub-id order) and will receive a snapshot delta in reply *)
+  (* the restarted node's registry lost (or, under [Dur_wal],
+     recovered) its entries: every peer holding a mirror against it
+     re-registers (deterministically, in node-name then sub-id order)
+     and will receive a snapshot delta in reply — idempotent when the
+     registration survived *)
   List.iter
     (fun name' ->
       if not (String.equal name' name) then
         Sub_engine.rearm_towards (runtime sys name') ~host:id)
     (node_names sys);
+  (match sys.sys_opts.Options.durability with
+  | Options.Dur_off -> ()
+  | Options.Dur_volatile ->
+      (* catch-up: a fresh global update re-imports, through the
+         normal rule machinery, everything the crash wiped *)
+      Update.initiate rt (Ids.update_id id (Node.fresh_serial n))
+  | Options.Dur_wal ->
+      (* recovered mirrors re-register with their hosts (the host
+         answers with a full snapshot delta, absorbed idempotently);
+         recovered hosted subscriptions re-diff against the recovered
+         store and push what the registry's answer sets are missing *)
+      List.iter
+        (fun name' ->
+          if not (String.equal name' name) then
+            Sub_engine.rearm_towards rt ~host:(node sys name').Node.node_id)
+        (node_names sys);
+      Sub_engine.refresh_all rt ~tag:"recover");
   trace_event sys ~direction:Trace.Delivered ~src:id ~dst:id "restart"
 
 (* Wire the options' fault knobs into the simulator: the drop/dup/
@@ -258,6 +373,8 @@ let build ?(opts = Options.default) cfg =
             sys_nodes = Hashtbl.create 32;
             sys_runtimes = Hashtbl.create 32;
             sys_captures = Hashtbl.create 32;
+            sys_dur = Hashtbl.create 32;
+            sys_restarts = ref 0;
             sys_config = cfg;
             sys_opts = opts;
             sys_superpeer = None;
@@ -526,6 +643,7 @@ let import_stores sys dumps =
       let added = Codb_relalg.Csv.load_database n.Node.store text in
       if added > 0 then begin
         Node.note_local_write n;
+        Durable.note_bulk_load n;
         (* bulk loads bypass the per-tuple delta feed: re-seed any
            standing queries hosted here by a from-scratch diff *)
         Sub_engine.refresh_all (runtime sys name) ~tag:"import"
@@ -538,6 +656,9 @@ let insert_fact sys ~at ~rel tuple =
   let inserted = Database.insert n.Node.store rel tuple in
   if inserted then begin
     Node.note_local_write n;
+    (* the commit point: the write is in the store and hits the WAL
+       before any subscription delta derived from it leaves the node *)
+    Durable.log_insert n ~rel [ tuple ];
     Sub_engine.on_store_delta (runtime sys at) ~rel ~delta:[ tuple ]
       ~tag:(fun () -> "local-write")
   end;
@@ -572,3 +693,58 @@ let total_tuples sys =
   List.fold_left
     (fun acc name -> acc + Database.cardinal (node sys name).Node.store)
     0 (node_names sys)
+
+type durability_report = {
+  dr_wal_records : int;
+  dr_wal_bytes : int;
+  dr_snapshots : int;
+  dr_snapshot_bytes : int;
+  dr_recoveries : int;
+  dr_recovered_records : int;
+  dr_replayed_bytes : int;
+  dr_recovery_ms : float;
+}
+
+(* Crashed incarnations' counters live in the accumulators; the
+   current incarnation's in its live WAL. *)
+let durability_report sys =
+  Hashtbl.fold
+    (fun name dn acc ->
+      let live_records, live_bytes, live_snaps, live_snap_bytes =
+        match (node sys name).Node.wal with
+        | Some wal ->
+            let c = Codb_store.Wal.counters wal in
+            ( c.Codb_store.Wal.records_written,
+              c.Codb_store.Wal.bytes_written,
+              c.Codb_store.Wal.snapshots_taken,
+              c.Codb_store.Wal.snapshot_bytes )
+        | None -> (0, 0, 0, 0)
+      in
+      {
+        dr_wal_records = acc.dr_wal_records + dn.dn_records + live_records;
+        dr_wal_bytes = acc.dr_wal_bytes + dn.dn_bytes + live_bytes;
+        dr_snapshots = acc.dr_snapshots + dn.dn_snapshots + live_snaps;
+        dr_snapshot_bytes =
+          acc.dr_snapshot_bytes + dn.dn_snapshot_bytes + live_snap_bytes;
+        dr_recoveries = acc.dr_recoveries + dn.dn_recoveries;
+        dr_recovered_records =
+          acc.dr_recovered_records + dn.dn_recovered_records;
+        dr_replayed_bytes = acc.dr_replayed_bytes + dn.dn_replayed_bytes;
+        dr_recovery_ms = acc.dr_recovery_ms +. dn.dn_recovery_ms;
+      })
+    sys.sys_dur
+    {
+      dr_wal_records = 0;
+      dr_wal_bytes = 0;
+      dr_snapshots = 0;
+      dr_snapshot_bytes = 0;
+      dr_recoveries = 0;
+      dr_recovered_records = 0;
+      dr_replayed_bytes = 0;
+      dr_recovery_ms = 0.;
+    }
+
+let store_digest sys name = Durable.database_digest (node sys name).Node.store
+
+let store_digests sys =
+  List.map (fun name -> (name, store_digest sys name)) (node_names sys)

@@ -111,13 +111,26 @@ val discover : t -> at:string -> ttl:int -> Peer_id.t list
 val crash_node : t -> string -> unit
 (** Simulate a node crash: the handler is removed (messages to it drop
     at delivery time), its pipes close and its volatile protocol state
-    is cleared.  The store, rules and statistics survive.  @raise
-    Not_found on an unknown node. *)
+    is cleared.  What else survives depends on [opts.durability]:
+    under [Dur_off] (the lenient legacy model) the store, lineage,
+    transport state and statistics remain in memory; under
+    [Dur_volatile] and [Dur_wal] the crash is honest — the store
+    resets to the node's declaration and the transport state is gone,
+    leaving only the declaration (and, for [Dur_wal], the WAL
+    backend's bytes) for the restart.  @raise Not_found on an unknown
+    node. *)
 
 val restart_node : t -> string -> unit
 (** Bring a crashed node back: clean volatile state, a fresh cache
     with a bumped epoch, the handler re-registered and the
-    acquaintance (and super-peer) pipes reopened. *)
+    acquaintance (and super-peer) pipes reopened.  Under
+    [Dur_volatile] the node then starts a fresh transport sequence
+    epoch and issues a catch-up global update (clear-and-refetch);
+    under [Dur_wal] it recovers store, lineage, transport sequence
+    state, sent-filters and subscriptions from its snapshot and log
+    tail ({!Durable.recover}), re-arms its mirrors and re-diffs its
+    hosted subscriptions — no catch-up update, the reliable
+    transport's retransmissions deliver the in-flight tail. *)
 
 val add_node : t -> Config.node_decl -> unit
 (** Dynamic arrival of a node (paper principle (c)).  @raise
@@ -183,3 +196,29 @@ val subscription_answers : t -> at:string -> string -> Tuple.t list option
 val mirror : t -> at:string -> string -> Codb_sub.Mirror.t option
 
 val total_tuples : t -> int
+
+(** {1 Durability} *)
+
+type durability_report = {
+  dr_wal_records : int;  (** log records appended, all nodes, all lives *)
+  dr_wal_bytes : int;  (** framed log bytes written *)
+  dr_snapshots : int;
+  dr_snapshot_bytes : int;
+  dr_recoveries : int;  (** WAL recoveries performed *)
+  dr_recovered_records : int;  (** log records replayed by recoveries *)
+  dr_replayed_bytes : int;  (** snapshot + log bytes consumed *)
+  dr_recovery_ms : float;  (** wall-clock spent inside {!Durable.recover} *)
+}
+
+val durability_report : t -> durability_report
+(** Aggregate WAL activity across the network, including counters from
+    crashed WAL incarnations.  All zeroes unless
+    [opts.durability = Dur_wal]. *)
+
+val store_digest : t -> string -> int
+(** Order-insensitive digest of one node's store
+    ({!Durable.database_digest}).  @raise Not_found *)
+
+val store_digests : t -> (string * int) list
+(** Every node's store digest, sorted by node name — the
+    store-equivalence gate of the recovery experiments. *)

@@ -361,6 +361,10 @@ let integrate_entry rt (st : U.t) us ~rule_id ~tuples ~hops =
           Lineage.record_import rt.Runtime.node.Node.lineage ~rel tuple
             { Lineage.li_rule = rule_id; li_hops = hops; li_at = rt.Runtime.now () })
         integration.Wrapper.fresh;
+      (* the commit point: fresh tuples and their lineage hit the WAL
+         before any derived sends leave this handler *)
+      Durable.log_import rt.Runtime.node ~rule:rule_id ~rel ~hops
+        ~at:(rt.Runtime.now ()) integration.Wrapper.fresh;
       (* the same delta the semi-naive recompute below consumes also
          feeds any standing queries hosted here, tagged with the
          lineage that produced it *)
@@ -387,10 +391,15 @@ let integrate_entry rt (st : U.t) us ~rule_id ~tuples ~hops =
           (Deps.dependent_incoming rt.Runtime.node.Node.incoming ~outgoing:o)
       end
 
+let note_refetch rt bytes =
+  if rt.Runtime.node.Node.track_refetch then
+    Stats.note_refetched rt.Runtime.node.Node.stats bytes
+
 let on_data rt (st : U.t) ~bytes ~rule_id ~tuples ~hops =
   let us = stat rt st.U.ust_update in
   us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
   us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+  note_refetch rt bytes;
   let traffic = Stats.rule_traffic us rule_id in
   traffic.Stats.rt_msgs <- traffic.Stats.rt_msgs + 1;
   traffic.Stats.rt_bytes <- traffic.Stats.rt_bytes + bytes;
@@ -401,6 +410,7 @@ let on_batch rt (st : U.t) ~bytes ~entries =
   let us = stat rt st.U.ust_update in
   us.Stats.us_data_msgs <- us.Stats.us_data_msgs + 1;
   us.Stats.us_bytes_in <- us.Stats.us_bytes_in + bytes;
+  note_refetch rt bytes;
   let total_tuples =
     List.fold_left (fun acc e -> acc + List.length e.Payload.be_tuples) 0 entries
   in
@@ -440,6 +450,17 @@ let fresh_state rt ~initiator ~scoped uid =
         uid
   in
   Node.add_update_state rt.Runtime.node st;
+  (* sent-filter carry-over from a WAL recovery: when a retransmitted
+     message re-engages an update this node served before the crash,
+     don't re-ship the tuples we can prove already left *)
+  (match rt.Runtime.node.Node.recovered_sent with
+  | [] -> ()
+  | recovered ->
+      let key = Ids.string_of_update uid in
+      List.iter
+        (fun (uid', rule, tuples) ->
+          if String.equal uid' key then U.add_sent st rule tuples)
+        recovered);
   st
 
 (* Scoped updates: ask the source of an outgoing link for its data

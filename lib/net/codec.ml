@@ -109,3 +109,15 @@ let read_string r =
     | None -> raise (Malformed "dangling dictionary reference")
 
 let at_end r = r.pos >= String.length r.src
+
+let remaining r = String.length r.src - r.pos
+
+(* Element counts read off the wire bound allocations
+   ([Array.init]/[List.init] at the payload layer), so a bit-flipped
+   count must fail as [Malformed], not as a multi-gigabyte allocation
+   attempt.  Every encoded element costs at least one byte, so any
+   honest count is bounded by the bytes left in the message. *)
+let read_count r =
+  let n = read_varint r in
+  if n < 0 || n > remaining r then raise (Malformed "implausible count");
+  n

@@ -52,3 +52,12 @@ val read_byte : reader -> int
 val read_string : reader -> string
 val read_raw_string : reader -> string
 val at_end : reader -> bool
+
+val remaining : reader -> int
+(** Bytes left to read. *)
+
+val read_count : reader -> int
+(** A varint used as an element count.  Counts drive [Array.init] /
+    [List.init] allocations in payload decoders, so anything negative
+    or exceeding {!remaining} (every element costs at least one byte)
+    raises {!Malformed} instead of attempting the allocation. *)

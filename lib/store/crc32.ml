@@ -1,0 +1,25 @@
+(* CRC32 (IEEE 802.3 polynomial, reflected), table-driven.  Used to
+   checksum WAL records and snapshots; we only need corruption
+   *detection* for torn or bit-flipped writes, not cryptographic
+   strength. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let digest s = update 0 s

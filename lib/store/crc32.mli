@@ -1,0 +1,12 @@
+(** CRC32 (IEEE 802.3, the zlib/PNG polynomial).
+
+    Checksums WAL records and snapshots so recovery can tell a torn or
+    bit-flipped record from a valid one.  Results fit in 32 bits and
+    are returned as non-negative OCaml [int]s. *)
+
+val digest : string -> int
+(** CRC32 of the whole string. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running checksum, so
+    [update (digest a) b = digest (a ^ b)]. *)

@@ -1,0 +1,56 @@
+(* Length-prefixed, CRC-protected record framing for the WAL.
+
+   A record on disk is
+
+     4 bytes  payload length (little-endian)
+     4 bytes  CRC32 of the payload (little-endian)
+     N bytes  payload
+
+   Recovery reads records until the log ends cleanly, is cut short
+   mid-record (a torn write: [Truncated]), or a CRC mismatches (a
+   bit flip: [Corrupt]).  Everything before the first bad record is
+   returned; the bad tail is discarded, never trusted. *)
+
+type status = Clean | Truncated | Corrupt
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let get_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let encode payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  put_u32 buf (String.length payload);
+  put_u32 buf (Crc32.digest payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_all log =
+  let len = String.length log in
+  let records = ref [] in
+  let pos = ref 0 in
+  let status = ref Clean in
+  let stop st = status := st; pos := len in
+  while !pos < len do
+    if len - !pos < 8 then stop Truncated
+    else begin
+      let plen = get_u32 log !pos in
+      let crc = get_u32 log (!pos + 4) in
+      if plen < 0 || plen > len - !pos - 8 then stop Truncated
+      else
+        let payload = String.sub log (!pos + 8) plen in
+        if Crc32.digest payload <> crc then stop Corrupt
+        else begin
+          records := payload :: !records;
+          pos := !pos + 8 + plen
+        end
+    end
+  done;
+  (List.rev !records, !status)

@@ -1,0 +1,18 @@
+(** WAL record framing: 4-byte little-endian payload length, 4-byte
+    little-endian CRC32 of the payload, then the payload itself.
+
+    Decoding is forgiving by design: a log whose tail was torn by a
+    crash mid-write, or corrupted by a bit flip, yields every record
+    up to the damage plus a status describing why decoding stopped —
+    it never raises. *)
+
+type status =
+  | Clean  (** the log ended exactly on a record boundary *)
+  | Truncated  (** the last record was cut short (torn write) *)
+  | Corrupt  (** a record's CRC mismatched (bit flip) *)
+
+val encode : string -> string
+(** Frame one payload as a record. *)
+
+val decode_all : string -> string list * status
+(** All intact records in order, stopping at the first damaged one. *)

@@ -37,6 +37,7 @@ let () =
       ("topology", Test_topology.suite);
       ("system", Test_system.suite);
       ("chaos", Test_chaos.suite);
+      ("recovery", Test_recovery.suite);
       ("sub", Test_sub.suite);
       ("workload", Test_workload.suite);
       ("par", Test_par.suite);

@@ -394,6 +394,32 @@ let prop_decode_inverts_encode =
     ~print:Payload.describe gen_payload
     (fun p -> Payload.decode (Payload.encode p) = Ok p)
 
+(* Fuzz hardening: decoding damaged bytes must be total — truncation
+   at any point, or one flipped bit anywhere (which can turn a length
+   prefix into a multi-gigabyte allocation count if the decoder trusts
+   it), yields [Ok] or [Error], never an exception. *)
+let gen_damaged =
+  let open Gen in
+  let* p = gen_payload in
+  let enc = Payload.encode p in
+  let* truncate = bool in
+  if truncate then
+    let* cut = int_range 0 (String.length enc) in
+    return (String.sub enc 0 cut)
+  else
+    let* pos = int_range 0 (String.length enc - 1) in
+    let* bit = int_range 0 7 in
+    let b = Bytes.of_string enc in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    return (Bytes.to_string b)
+
+let prop_damaged_decode_total =
+  Q2.Test.make ~name:"decode is total on truncated / bit-flipped input"
+    ~count:2000
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    gen_damaged
+    (fun s -> match Payload.decode s with Ok _ | Error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "primitive round-trips" `Quick test_primitive_round_trip;
@@ -412,4 +438,5 @@ let suite =
       test_malformed_input_rejected;
     QCheck_alcotest.to_alcotest prop_encoded_size_exact;
     QCheck_alcotest.to_alcotest prop_decode_inverts_encode;
+    QCheck_alcotest.to_alcotest prop_damaged_decode_total;
   ]

@@ -1,0 +1,369 @@
+(* Durability: CRC framing, WAL append/snapshot/recover round-trips,
+   the three crash models, and true recovery — a crashed-and-recovered
+   network reaches the fault-free fix-point while refetching no more
+   than the clear-and-refetch baseline. *)
+
+open Helpers
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Report = Codb_core.Report
+module Node = Codb_core.Node
+module Durable = Codb_core.Durable
+module Network = Codb_net.Network
+module Frame = Codb_store.Frame
+module Backend = Codb_store.Backend
+module Wal = Codb_store.Wal
+
+(* --- framing -------------------------------------------------------- *)
+
+let records = [ "alpha"; ""; "a longer record with some bytes in it"; "z" ]
+
+let concat_frames rs = String.concat "" (List.map Frame.encode rs)
+
+let test_frame_round_trip () =
+  let got, status = Frame.decode_all (concat_frames records) in
+  Alcotest.(check (list string)) "records intact" records got;
+  Alcotest.(check bool) "clean" true (status = Frame.Clean)
+
+let test_frame_torn_tail () =
+  let whole = concat_frames records in
+  (* every proper prefix decodes to a prefix of the records, flagged *)
+  for cut = 0 to String.length whole - 1 do
+    let got, status = Frame.decode_all (String.sub whole 0 cut) in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut at %d yields a record prefix" cut)
+      true
+      (List.length got <= List.length records
+      && List.for_all2 String.equal got
+           (List.filteri (fun i _ -> i < List.length got) records));
+    if cut > 0 && status = Frame.Clean then
+      Alcotest.(check int)
+        (Printf.sprintf "clean cut at %d is a frame boundary" cut)
+        (String.length (concat_frames got))
+        cut
+  done
+
+let test_frame_bit_flip () =
+  let whole = concat_frames records in
+  (* flipping any single bit never yields a wrong record: decode
+     returns a prefix of the true records and flags the damage (a flip
+     in a length field may also resynchronise early — still only true
+     records survive the CRC) *)
+  for pos = 0 to String.length whole - 1 do
+    let b = Bytes.of_string whole in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    let got, _status = Frame.decode_all (Bytes.to_string b) in
+    List.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "flip at %d yields only true records" pos)
+          true (List.mem r records))
+      got
+  done
+
+(* --- WAL ------------------------------------------------------------ *)
+
+let test_wal_memory_round_trip () =
+  let backend = Backend.memory () in
+  let snap = ref "state-0" in
+  let wal =
+    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> !snap)
+  in
+  List.iter (Wal.append wal) records;
+  let rv = Wal.recover ~backend in
+  Alcotest.(check (list string)) "records replayed" records rv.Wal.rec_records;
+  Alcotest.(check bool) "no snapshot yet" true (rv.Wal.rec_snapshot = None);
+  Alcotest.(check bool) "not truncated" false rv.Wal.rec_truncated;
+  snap := "state-1";
+  Wal.snapshot_now wal;
+  let rv = Wal.recover ~backend in
+  Alcotest.(check (option string)) "snapshot wins" (Some "state-1")
+    rv.Wal.rec_snapshot;
+  Alcotest.(check (list string)) "log truncated by the snapshot" []
+    rv.Wal.rec_records;
+  Wal.append wal "post-snap";
+  let rv = Wal.recover ~backend in
+  Alcotest.(check (list string)) "tail after the snapshot" [ "post-snap" ]
+    rv.Wal.rec_records
+
+let test_wal_auto_snapshot () =
+  let backend = Backend.memory () in
+  let appended = ref 0 in
+  let wal =
+    Wal.create ~backend ~snapshot_every:3 ~take_snapshot:(fun () ->
+        Printf.sprintf "snap-%d" !appended)
+  in
+  for i = 1 to 7 do
+    appended := i;
+    Wal.append wal (Printf.sprintf "r%d" i)
+  done;
+  let rv = Wal.recover ~backend in
+  (* snapshots fired at records 3 and 6; only r7 remains in the log *)
+  Alcotest.(check (option string)) "latest snapshot" (Some "snap-6")
+    rv.Wal.rec_snapshot;
+  Alcotest.(check (list string)) "tail" [ "r7" ] rv.Wal.rec_records;
+  let c = Wal.counters wal in
+  Alcotest.(check int) "records counted" 7 c.Wal.records_written;
+  Alcotest.(check int) "snapshots counted" 2 c.Wal.snapshots_taken
+
+let test_wal_file_backend () =
+  (* relative: lands in the dune test sandbox, gitignored as _wal_* *)
+  let dir = "_wal_test_unit" in
+  let backend = Backend.file ~fsync:false ~dir ~node:"n0" () in
+  backend.Backend.reset_log ();
+  let wal =
+    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> "s")
+  in
+  List.iter (Wal.append wal) records;
+  Wal.snapshot_now wal;
+  Wal.append wal "tail-1";
+  Wal.append wal "tail-2";
+  (* a different backend handle on the same files sees the same bytes *)
+  let backend' = Backend.file ~fsync:false ~dir ~node:"n0" () in
+  let rv = Wal.recover ~backend:backend' in
+  Alcotest.(check (option string)) "snapshot from disk" (Some "s")
+    rv.Wal.rec_snapshot;
+  Alcotest.(check (list string)) "tail from disk" [ "tail-1"; "tail-2" ]
+    rv.Wal.rec_records;
+  (* a torn write at the end of the log truncates, never fails *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644
+      (Filename.concat dir "n0.wal")
+  in
+  output_string oc "\x40\x00\x00\x00torn";
+  close_out oc;
+  let rv = Wal.recover ~backend:backend' in
+  Alcotest.(check (list string)) "intact tail survives the torn write"
+    [ "tail-1"; "tail-2" ] rv.Wal.rec_records;
+  Alcotest.(check bool) "truncation flagged" true rv.Wal.rec_truncated
+
+(* --- durable records ------------------------------------------------ *)
+
+let test_record_round_trip () =
+  let tuples = [ tup [ i 1; s "x" ]; tup [ i 2; s "y" ] ] in
+  let rs =
+    [
+      Durable.Insert { rel = "data"; tuples };
+      Durable.Import { rule = "r1"; rel = "data"; hops = 2; at = 0.125; tuples };
+      Durable.Seq_reserve { upto = 640 };
+      Durable.Sub_add
+        { sub_id = "s1"; owner = Durable.Olocal; query_text = "a(x) <- b(x)" };
+      Durable.Sub_add
+        {
+          sub_id = "s2";
+          owner = Durable.Oremote (Codb_net.Peer_id.of_string "n3");
+          query_text = "a(x) <- b(x)";
+        };
+      Durable.Sub_remove { sub_id = "s1" };
+      Durable.Mirror_add
+        {
+          sub_id = "m1";
+          host = Codb_net.Peer_id.of_string "n2";
+          query_text = "a(x) <- b(x)";
+        };
+      Durable.Mirror_remove { sub_id = "m1" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "round-trips" true
+        (Durable.decode_record (Durable.encode_record r) = r))
+    rs;
+  (match Durable.decode_record "\xff" with
+  | exception Codb_net.Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "unknown tag must raise Malformed")
+
+(* --- the three crash models ----------------------------------------- *)
+
+let chain ?(seed = 5) n = Topology.generate ~seed Topology.Chain ~n
+
+let dur_opts ?(durability = Options.Dur_wal) ?(crashes = []) ?(seed = 11) () =
+  {
+    Options.default with
+    Options.ack_timeout = 0.05;
+    max_retries = 8;
+    fault_seed = seed;
+    crash_plan = crashes;
+    durability;
+  }
+
+let stores_equal a b =
+  List.for_all
+    (fun name ->
+      Database.equal_contents (System.node a name).Node.store
+        (System.node b name).Node.store)
+    (System.node_names a)
+
+let refetched sys =
+  (Report.chaos_report (System.snapshots sys)).Report.chr_refetched_bytes
+
+let test_off_crash_keeps_store () =
+  let sys = System.build_exn ~opts:(dur_opts ~durability:Options.Dur_off ()) (chain 3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let before = System.store_digest sys "n1" in
+  System.crash_node sys "n1";
+  Alcotest.(check int) "lenient crash: store survives in memory" before
+    (System.store_digest sys "n1")
+
+let test_volatile_crash_wipes_store () =
+  let sys =
+    System.build_exn ~opts:(dur_opts ~durability:Options.Dur_volatile ()) (chain 3)
+  in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let before = System.store_digest sys "n1" in
+  System.crash_node sys "n1";
+  Alcotest.(check bool) "honest crash: imported tuples are gone" true
+    (System.store_digest sys "n1" <> before);
+  (* the restart's catch-up update refetches everything *)
+  System.restart_node sys "n1";
+  let _ = System.run sys in
+  Alcotest.(check int) "catch-up restores the fix-point" before
+    (System.store_digest sys "n1");
+  Alcotest.(check bool) "refetch accounted" true (refetched sys > 0)
+
+let test_wal_crash_recovers_store () =
+  let sys = System.build_exn ~opts:(dur_opts ()) (chain 3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let before = System.store_digest sys "n1" in
+  System.crash_node sys "n1";
+  Alcotest.(check bool) "honest crash: imported tuples are gone" true
+    (System.store_digest sys "n1" <> before);
+  System.restart_node sys "n1";
+  Alcotest.(check int) "recovery restores the store without the network"
+    before
+    (System.store_digest sys "n1");
+  let dr = System.durability_report sys in
+  Alcotest.(check int) "one recovery" 1 dr.System.dr_recoveries;
+  Alcotest.(check bool) "log records were written" true (dr.System.dr_wal_records > 0);
+  let ch = Report.chaos_report (System.snapshots sys) in
+  Alcotest.(check bool) "replayed bytes surfaced in stats" true
+    (ch.Report.chr_replayed_bytes > 0)
+
+let test_wal_mid_run_crash_reaches_fault_free_fixpoint () =
+  let baseline = System.build_exn (chain 5) in
+  let _ = System.run_update baseline ~initiator:"n0" in
+  let opts = dur_opts ~crashes:[ ("n2", 0.002, Some 0.15) ] () in
+  let sys = System.build_exn ~opts (chain 5) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check int) "crashed" 1
+    (Network.counters (System.net sys)).Network.crashes;
+  Alcotest.(check bool) "fix-point equals the fault-free run" true
+    (stores_equal baseline sys);
+  Alcotest.(check int) "one recovery" 1
+    (System.durability_report sys).System.dr_recoveries
+
+let test_wal_refetches_no_more_than_volatile () =
+  let crashes = [ ("n2", 0.002, Some 0.15) ] in
+  let run durability =
+    let sys = System.build_exn ~opts:(dur_opts ~durability ~crashes ()) (chain 5) in
+    let _ = System.run_update sys ~initiator:"n0" in
+    (sys, refetched sys)
+  in
+  let wal_sys, wal_bytes = run Options.Dur_wal in
+  let vol_sys, vol_bytes = run Options.Dur_volatile in
+  Alcotest.(check bool) "both reach the same fix-point" true
+    (stores_equal wal_sys vol_sys);
+  Alcotest.(check bool)
+    (Printf.sprintf "recovery refetches less (wal %d <= volatile %d)" wal_bytes
+       vol_bytes)
+    true (wal_bytes <= vol_bytes)
+
+(* --- subscriptions survive recovery --------------------------------- *)
+
+let test_wal_recovers_subscriptions () =
+  let opts = { (dur_opts ()) with Options.subscriptions = true } in
+  let sys = System.build_exn ~opts (chain 3) in
+  let q = parse_query "ans(k, v) <- data(k, v)" in
+  let sub_id =
+    match System.subscribe sys ~at:"n1" q with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe: %s" e
+  in
+  let mirror_id =
+    match System.subscribe_remote sys ~subscriber:"n1" ~host:"n0" q with
+    | Ok id -> id
+    | Error e -> Alcotest.failf "subscribe_remote: %s" e
+  in
+  let _ = System.run sys in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let hosted = Option.get (System.subscription_answers sys ~at:"n1" sub_id) in
+  let mirrored = Option.get (System.subscription_answers sys ~at:"n1" mirror_id) in
+  System.crash_node sys "n1";
+  System.restart_node sys "n1";
+  let _ = System.run sys in
+  (match System.subscription_answers sys ~at:"n1" sub_id with
+  | None -> Alcotest.fail "hosted subscription lost in the crash"
+  | Some answers -> check_tuples "hosted answers recovered" hosted answers);
+  (match System.subscription_answers sys ~at:"n1" mirror_id with
+  | None -> Alcotest.fail "mirror lost in the crash"
+  | Some answers -> check_tuples "mirror answers recovered" mirrored answers)
+
+(* --- the recovery property (qcheck) --------------------------------- *)
+
+module Q2 = QCheck2
+module Gen = QCheck2.Gen
+
+(* A seeded chaos plan with a mid-run crash: under [Dur_wal] the
+   network still reaches the fault-free fix-point, and the recovered
+   node refetches no more than the clear-and-refetch baseline. *)
+let gen_plan =
+  let open Gen in
+  let* seed = int_range 0 999 in
+  let* n = int_range 3 5 in
+  let* victim = int_range 1 (n - 2) in
+  let* crash_at = float_range 0.0005 0.004 in
+  let* downtime = float_range 0.05 0.25 in
+  return (seed, n, victim, crash_at, downtime)
+
+let prop_recovery_reaches_fault_free_fixpoint =
+  Q2.Test.make
+    ~name:"recovered chaos runs reach the fault-free fix-point, cheaper"
+    ~count:8
+    ~print:(fun (seed, n, victim, at, down) ->
+      Printf.sprintf "seed=%d n=%d victim=n%d crash=%g downtime=%g" seed n
+        victim at down)
+    gen_plan
+    (fun (seed, n, victim, crash_at, downtime) ->
+      let crashes =
+        [ (Printf.sprintf "n%d" victim, crash_at, Some (crash_at +. downtime)) ]
+      in
+      let baseline = System.build_exn (chain n) in
+      let _ = System.run_update baseline ~initiator:"n0" in
+      let run durability =
+        let sys =
+          System.build_exn
+            ~opts:(dur_opts ~durability ~crashes ~seed ())
+            (chain n)
+        in
+        let _ = System.run_update sys ~initiator:"n0" in
+        sys
+      in
+      let wal_sys = run Options.Dur_wal in
+      let vol_sys = run Options.Dur_volatile in
+      stores_equal baseline wal_sys
+      && stores_equal baseline vol_sys
+      && refetched wal_sys <= refetched vol_sys)
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip" `Quick test_frame_round_trip;
+    Alcotest.test_case "torn tails truncate cleanly" `Quick test_frame_torn_tail;
+    Alcotest.test_case "bit flips never forge records" `Quick test_frame_bit_flip;
+    Alcotest.test_case "WAL round-trip (memory)" `Quick test_wal_memory_round_trip;
+    Alcotest.test_case "WAL auto-snapshot compaction" `Quick test_wal_auto_snapshot;
+    Alcotest.test_case "WAL file backend + torn write" `Quick test_wal_file_backend;
+    Alcotest.test_case "durable records round-trip" `Quick test_record_round_trip;
+    Alcotest.test_case "Dur_off: lenient crash" `Quick test_off_crash_keeps_store;
+    Alcotest.test_case "Dur_volatile: wipe, then catch-up" `Quick
+      test_volatile_crash_wipes_store;
+    Alcotest.test_case "Dur_wal: recovery without the network" `Quick
+      test_wal_crash_recovers_store;
+    Alcotest.test_case "mid-run crash reaches the fault-free fix-point" `Quick
+      test_wal_mid_run_crash_reaches_fault_free_fixpoint;
+    Alcotest.test_case "recovery refetches no more than clear-and-refetch"
+      `Quick test_wal_refetches_no_more_than_volatile;
+    Alcotest.test_case "subscriptions survive recovery" `Quick
+      test_wal_recovers_subscriptions;
+    QCheck_alcotest.to_alcotest prop_recovery_reaches_fault_free_fixpoint;
+  ]
