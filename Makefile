@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench chaos-bench-durable recovery-bench recovery-bench-tiny pushdown-bench sub-bench scale-bench scale-bench-tiny par-bench par-bench-tiny examples clean
+.PHONY: all build test bench experiments micro cache-bench bench-json wire-bench chaos-bench chaos-bench-durable recovery-bench recovery-bench-tiny pushdown-bench sub-bench scale-bench scale-bench-tiny par-bench par-bench-tiny dict-bench dict-bench-tiny examples clean
 
 all: build
 
@@ -77,6 +77,17 @@ par-bench:
 # on machines with >= 4 cores
 par-bench-tiny:
 	dune exec bench/main.exe -- par-json --tiny
+
+# zone-map + dictionary bench -> BENCH_dict.json (chunk pruning, link-level
+# wire dictionaries, dictionary-encoded WAL/snapshots; the committed JSON
+# embeds a tiny_reference block)
+dict-bench:
+	dune exec bench/main.exe -- dict-json
+
+# CI smoke variant -> BENCH_dict_tiny.json, gated against the committed
+# tiny_reference in BENCH_dict.json
+dict-bench-tiny:
+	dune exec bench/main.exe -- dict-json --tiny
 
 examples: build
 	dune exec examples/quickstart.exe

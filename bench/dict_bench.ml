@@ -1,0 +1,498 @@
+(* Dictionary-and-pruning bench (experiment E22 and `make dict-bench`).
+
+   Three legs, one per layer the `Options.{zone_maps, link_dicts}`
+   pair touches:
+
+     zone      a packed relation big enough for many 4096-row chunks,
+               scanned through selective range queries with zone maps
+               off and on.  Answers must match tuple-for-tuple; the
+               headline gate is the chunk-skip ratio (total chunks /
+               chunks actually scanned) >= 2 on the selective
+               workload;
+     wire      two global update rounds on a repetitive-string clique,
+               link dictionaries off and on.  Final stores must be
+               digest-identical; the gate is the steady-state (second
+               round, dictionaries trained) wire-byte reduction
+               >= 1.5x;
+     durable   the E21 crash/restart chain under Dur_wal, link_dicts
+               off and on.  Both recover to the fault-free reference
+               digests; the gate is snapshot bytes strictly reduced by
+               the front-coded tabled format.
+
+   Feature-on cells run twice to prove determinism.  Results go to
+   BENCH_dict.json (full) / BENCH_dict_tiny.json (--tiny), the full
+   file embedding a tiny_reference block the CI gate pins the tiny
+   rerun against. *)
+
+module System = Codb_core.System
+module Topology = Codb_core.Topology
+module Options = Codb_core.Options
+module Node = Codb_core.Node
+module Network = Codb_net.Network
+module Database = Codb_relalg.Database
+module Schema = Codb_relalg.Schema
+module Value = Codb_relalg.Value
+module Tuple = Codb_relalg.Tuple
+module Eval = Codb_cq.Eval
+module Parser = Codb_cq.Parser
+module Datagen = Codb_workload.Datagen
+
+let parse_query text =
+  match Parser.parse_query text with Ok q -> q | Error e -> failwith e
+
+(* ---- leg 1: zone-map chunk pruning ---------------------------------- *)
+
+type zone_workload = { zw_rows : int; zw_cutoffs : int list }
+
+let zone_workload ~tiny =
+  (* rows span several 4096-row chunks; cutoffs sweep selectivity.
+     Values are inserted in key order, the clustered layout zone maps
+     reward (time-ordered facts, monotone ids). *)
+  if tiny then { zw_rows = 3 * 4096; zw_cutoffs = [ 400; 2048 ] }
+  else { zw_rows = 16 * 4096; zw_cutoffs = [ 512; 2048; 8192 ] }
+
+type zone_cell = {
+  z_cutoff : int;
+  z_rows : int;
+  z_answers : int;
+  z_visited : int;
+  z_pruned : int;
+  z_skip_ratio : float;
+  z_wall_off_s : float;
+  z_wall_on_s : float;
+}
+
+let zone_db rows =
+  let r_schema = Schema.make "r" [ ("a", Value.Tint); ("b", Value.Tint) ] in
+  let db = Database.create [ r_schema ] in
+  for k = 0 to rows - 1 do
+    ignore
+      (Database.insert db "r"
+         [| Value.Int k; Value.Int (k * 7 mod 1009) |])
+  done;
+  db
+
+let time_runs f =
+  let reps = 5 in
+  let start = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. start) /. float_of_int reps
+
+let measure_zone_cell source rows cutoff =
+  let q = parse_query (Printf.sprintf "ans(x, y) <- r(x, y), x < %d" cutoff) in
+  let sorted ts = List.sort Tuple.compare ts in
+  let off = sorted (Eval.answer_tuples ~zone_maps:false source q) in
+  let on = sorted (Eval.answer_tuples ~zone_maps:true source q) in
+  if off <> on then
+    failwith
+      (Printf.sprintf "zone maps changed the answers at cutoff %d" cutoff);
+  Eval.reset_counters ();
+  let _ = Eval.answer_tuples ~zone_maps:true source q in
+  let c = Eval.counters () in
+  let visited = c.Eval.zone_visited and pruned = c.Eval.zone_pruned in
+  let wall_off = time_runs (fun () -> ignore (Eval.answer_tuples ~zone_maps:false source q)) in
+  let wall_on = time_runs (fun () -> ignore (Eval.answer_tuples ~zone_maps:true source q)) in
+  {
+    z_cutoff = cutoff;
+    z_rows = rows;
+    z_answers = List.length on;
+    z_visited = visited;
+    z_pruned = pruned;
+    z_skip_ratio = float_of_int (visited + pruned) /. float_of_int (max 1 visited);
+    z_wall_off_s = wall_off;
+    z_wall_on_s = wall_on;
+  }
+
+let measure_zone zw =
+  let db = zone_db zw.zw_rows in
+  let source = Eval.of_database db in
+  List.map (measure_zone_cell source zw.zw_rows) zw.zw_cutoffs
+
+let check_zone_gates ~where cells =
+  (* the most selective cutoff is the headline: at least half the
+     chunks must be skipped outright *)
+  match cells with
+  | [] -> failwith (Printf.sprintf "%s: no zone cells" where)
+  | best :: _ ->
+      if best.z_skip_ratio < 2.0 then
+        failwith
+          (Printf.sprintf
+             "%s: chunk-skip ratio %.2fx at cutoff %d (visited %d, pruned \
+              %d, answers %d) — below the 2x bar"
+             where best.z_skip_ratio best.z_cutoff best.z_visited
+             best.z_pruned best.z_answers)
+
+(* ---- leg 2: link dictionaries on the wire --------------------------- *)
+
+type wire_workload = { ww_nodes : int; ww_tuples : int; ww_domain : int }
+
+let wire_workload ~tiny =
+  if tiny then { ww_nodes = 4; ww_tuples = 30; ww_domain = 8 }
+  else { ww_nodes = 6; ww_tuples = 36; ww_domain = 12 }
+
+(* The repetitive-string pool: long dotted paths, the shape of metric
+   names, URLS and topic ids — what link dictionaries exist for.  All
+   nodes draw from the same pool, so every link sees every string. *)
+let pool_string d =
+  Printf.sprintf
+    "telemetry/site-%02d/sensor-bank/temperature-celsius/5min-rollup/export-pipeline/reading"
+    d
+
+let wire_config ww =
+  let params =
+    {
+      Topology.default_params with
+      Topology.tuples_per_node = 10;
+      profile = { Datagen.domain_size = ww.ww_domain; skew = 1.0 };
+    }
+  in
+  Topology.generate ~params ~seed:1500 Topology.Clique ~n:ww.ww_nodes
+
+type wire_cell = {
+  w_mode : string;
+  w_digests : (string * int) list;
+  w_round1_bytes : int;
+  w_round2_bytes : int;
+  w_messages : int;
+  w_dict_entries : int;
+  w_dict_intros : int;
+  w_dict_hits : int;
+  w_wall_s : float;
+}
+
+let measure_wire ww ~link_dicts =
+  (* batching on in both cells: full delta batches are the dense
+     traffic shape the dictionary is priced against *)
+  let opts =
+    {
+      Options.default with
+      Options.link_dicts;
+      batch_window = 10.0 *. Options.default.Options.latency;
+    }
+  in
+  let sys = System.build_exn ~opts (wire_config ww) in
+  List.iteri
+    (fun ni name ->
+      for k = 0 to ww.ww_tuples - 1 do
+        ignore
+          (System.insert_fact sys ~at:name ~rel:"data"
+             [|
+               Value.Int (100000 + (ni * 1000) + k);
+               Value.Str (pool_string (k mod ww.ww_domain));
+             |])
+      done)
+    (System.node_names sys);
+  let bytes () = (Network.counters (System.net sys)).Network.total_bytes in
+  let wall_start = Unix.gettimeofday () in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let round1 = bytes () in
+  (* round 2 is the steady state: every link dictionary is trained *)
+  let _ = System.run_update sys ~initiator:"n1" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let counters = Network.counters (System.net sys) in
+  let ds = System.link_dict_stats sys in
+  {
+    w_mode = (if link_dicts then "link-dicts" else "plain");
+    w_digests = System.store_digests sys;
+    w_round1_bytes = round1;
+    w_round2_bytes = counters.Network.total_bytes - round1;
+    w_messages = counters.Network.delivered;
+    w_dict_entries = ds.Codb_net.Link_dict.entries;
+    w_dict_intros = ds.Codb_net.Link_dict.intros;
+    w_dict_hits = ds.Codb_net.Link_dict.hits;
+    w_wall_s = wall;
+  }
+
+let wire_reduction off on =
+  float_of_int off.w_round2_bytes /. float_of_int (max 1 on.w_round2_bytes)
+
+let check_wire_gates ~where off on =
+  if off.w_digests <> on.w_digests then
+    failwith
+      (Printf.sprintf "%s: link dictionaries changed the final stores" where);
+  let r = wire_reduction off on in
+  if r < 1.5 then
+    failwith
+      (Printf.sprintf
+         "%s: steady-state wire reduction %.2fx (%d B -> %d B) — below the \
+          1.5x bar"
+         where r off.w_round2_bytes on.w_round2_bytes)
+
+(* ---- leg 3: dictionary-encoded durability --------------------------- *)
+
+type dur_workload = { dw_nodes : int; dw_tuples : int; dw_crash_at : float }
+
+let dur_workload ~tiny =
+  if tiny then { dw_nodes = 4; dw_tuples = 20; dw_crash_at = 0.0045 }
+  else { dw_nodes = 8; dw_tuples = 50; dw_crash_at = 0.01 }
+
+let dur_config dw =
+  let params =
+    { Topology.default_params with Topology.tuples_per_node = dw.dw_tuples }
+  in
+  Topology.generate ~params ~seed:1500 Topology.Chain ~n:dw.dw_nodes
+
+type dur_cell = {
+  d_mode : string;
+  d_digests : (string * int) list;
+  d_recoveries : int;
+  d_wal_bytes : int;
+  d_snapshot_bytes : int;
+  d_replayed_bytes : int;
+  d_wall_s : float;
+}
+
+let measure_dur dw ~durability ~crashes ~link_dicts ~mode =
+  let opts =
+    {
+      Options.default with
+      Options.fault_seed = 1501;
+      ack_timeout = 0.05;
+      max_retries = 8;
+      durability;
+      crash_plan = crashes;
+      link_dicts;
+    }
+  in
+  let sys = System.build_exn ~opts (dur_config dw) in
+  let wall_start = Unix.gettimeofday () in
+  let _ = System.run_update sys ~initiator:"n0" in
+  let wall = Unix.gettimeofday () -. wall_start in
+  let dr = System.durability_report sys in
+  {
+    d_mode = mode;
+    d_digests = System.store_digests sys;
+    d_recoveries = dr.System.dr_recoveries;
+    d_wal_bytes = dr.System.dr_wal_bytes;
+    d_snapshot_bytes = dr.System.dr_snapshot_bytes;
+    d_replayed_bytes = dr.System.dr_replayed_bytes;
+    d_wall_s = wall;
+  }
+
+let measure_dur_all dw =
+  let victim = Printf.sprintf "n%d" (dw.dw_nodes / 2) in
+  let crashes = [ (victim, dw.dw_crash_at, Some (dw.dw_crash_at +. 0.1)) ] in
+  let reference =
+    measure_dur dw ~durability:Options.Dur_off ~crashes:[] ~link_dicts:false
+      ~mode:"reference"
+  in
+  let plain =
+    measure_dur dw ~durability:Options.Dur_wal ~crashes ~link_dicts:false
+      ~mode:"wal"
+  in
+  let dicts =
+    measure_dur dw ~durability:Options.Dur_wal ~crashes ~link_dicts:true
+      ~mode:"wal+dicts"
+  in
+  (reference, plain, dicts)
+
+let check_dur_gates ~where (reference, plain, dicts) =
+  List.iter
+    (fun c ->
+      if c.d_digests <> reference.d_digests then
+        failwith
+          (Printf.sprintf "%s: %s run diverged from the fault-free reference"
+             where c.d_mode))
+    [ plain; dicts ];
+  if dicts.d_recoveries <> 1 || plain.d_recoveries <> 1 then
+    failwith (Printf.sprintf "%s: expected exactly one recovery per run" where);
+  if dicts.d_snapshot_bytes >= plain.d_snapshot_bytes then
+    failwith
+      (Printf.sprintf
+         "%s: tabled snapshots wrote %d B, inline %d B — not strictly reduced"
+         where dicts.d_snapshot_bytes plain.d_snapshot_bytes)
+
+(* ---- assembly ------------------------------------------------------- *)
+
+type outcome = {
+  o_zone : zone_cell list;
+  o_wire_off : wire_cell;
+  o_wire_on : wire_cell;
+  o_dur : dur_cell * dur_cell * dur_cell;
+}
+
+let strip_wire_wall c = { c with w_wall_s = 0.0 }
+
+let strip_dur_wall c = { c with d_wall_s = 0.0 }
+
+let measure_all ~tiny =
+  let label = if tiny then "tiny" else "full" in
+  let zone = measure_zone (zone_workload ~tiny) in
+  check_zone_gates ~where:(label ^ " zone leg") zone;
+  let ww = wire_workload ~tiny in
+  let wire_off = measure_wire ww ~link_dicts:false in
+  let wire_on = measure_wire ww ~link_dicts:true in
+  let wire_on' = measure_wire ww ~link_dicts:true in
+  if strip_wire_wall wire_on <> strip_wire_wall wire_on' then
+    failwith "dict bench wire leg is not deterministic";
+  check_wire_gates ~where:(label ^ " wire leg") wire_off wire_on;
+  let dw = dur_workload ~tiny in
+  let ((_, _, dur_dicts) as dur) = measure_dur_all dw in
+  let _, _, dur_dicts' = measure_dur_all dw in
+  if strip_dur_wall dur_dicts <> strip_dur_wall dur_dicts' then
+    failwith "dict bench durable leg is not deterministic";
+  check_dur_gates ~where:(label ^ " durable leg") dur;
+  { o_zone = zone; o_wire_off = wire_off; o_wire_on = wire_on; o_dur = dur }
+
+let print_tables ~label ~tiny o =
+  let zw = zone_workload ~tiny in
+  Tables.print
+    ~title:
+      (Printf.sprintf "E22a - zone-map chunk pruning [%s] (%d rows, chunk 4096)"
+         label zw.zw_rows)
+    ~header:
+      [ "cutoff"; "answers"; "chunks"; "pruned"; "skip x"; "off ms"; "on ms" ]
+    (List.map
+       (fun z ->
+         [
+           Tables.i0 z.z_cutoff;
+           Tables.i0 z.z_answers;
+           Tables.i0 z.z_visited;
+           Tables.i0 z.z_pruned;
+           Tables.f2 z.z_skip_ratio;
+           Tables.f2 (z.z_wall_off_s *. 1000.0);
+           Tables.f2 (z.z_wall_on_s *. 1000.0);
+         ])
+       o.o_zone);
+  let ww = wire_workload ~tiny in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E22b - link dictionaries [%s] (clique N=%d, %d tuples/node, two \
+          update rounds)"
+         label ww.ww_nodes ww.ww_tuples)
+    ~header:
+      [ "mode"; "round1 B"; "round2 B"; "msgs"; "entries"; "intros"; "hits" ]
+    (List.map
+       (fun w ->
+         [
+           w.w_mode;
+           Tables.i0 w.w_round1_bytes;
+           Tables.i0 w.w_round2_bytes;
+           Tables.i0 w.w_messages;
+           Tables.i0 w.w_dict_entries;
+           Tables.i0 w.w_dict_intros;
+           Tables.i0 w.w_dict_hits;
+         ])
+       [ o.o_wire_off; o.o_wire_on ]);
+  Printf.printf "steady-state wire reduction (plain / link-dicts): %.2fx\n%!"
+    (wire_reduction o.o_wire_off o.o_wire_on);
+  let reference, plain, dicts = o.o_dur in
+  let dw = dur_workload ~tiny in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "E22c - dictionary durability [%s] (chain N=%d, crash n%d at %gs)"
+         label dw.dw_nodes (dw.dw_nodes / 2) dw.dw_crash_at)
+    ~header:[ "mode"; "recov"; "wal B"; "snapshot B"; "replayed B" ]
+    (List.map
+       (fun d ->
+         [
+           d.d_mode;
+           Tables.i0 d.d_recoveries;
+           Tables.i0 d.d_wal_bytes;
+           Tables.i0 d.d_snapshot_bytes;
+           Tables.i0 d.d_replayed_bytes;
+         ])
+       [ reference; plain; dicts ])
+
+let emit_outcome oc ~indent ~tiny o =
+  let pad = String.make indent ' ' in
+  let p fmt = Printf.fprintf oc fmt in
+  let zw = zone_workload ~tiny in
+  let ww = wire_workload ~tiny in
+  let dw = dur_workload ~tiny in
+  p "%s\"zone\": {\"rows\": %d, \"chunk_rows\": 4096, \"cells\": [\n" pad
+    zw.zw_rows;
+  let nz = List.length o.o_zone in
+  List.iteri
+    (fun idx z ->
+      p
+        "%s  {\"cutoff\": %d, \"answers\": %d, \"chunks_visited\": %d, \
+         \"chunks_pruned\": %d, \"skip_ratio\": %.2f, \"wall_off_s\": %.5f, \
+         \"wall_on_s\": %.5f}%s\n"
+        pad z.z_cutoff z.z_answers z.z_visited z.z_pruned z.z_skip_ratio
+        z.z_wall_off_s z.z_wall_on_s
+        (if idx = nz - 1 then "" else ","))
+    o.o_zone;
+  p "%s]},\n" pad;
+  p "%s\"wire\": {\"nodes\": %d, \"tuples_per_node\": %d, \"domain\": %d, \
+     \"cells\": [\n"
+    pad ww.ww_nodes ww.ww_tuples ww.ww_domain;
+  let cells = [ o.o_wire_off; o.o_wire_on ] in
+  let nw = List.length cells in
+  List.iteri
+    (fun idx w ->
+      p
+        "%s  {\"mode\": \"%s\", \"digests_match\": %b, \"round1_bytes\": %d, \
+         \"round2_bytes\": %d, \"messages\": %d, \"dict_entries\": %d, \
+         \"dict_intros\": %d, \"dict_hits\": %d, \"wall_s\": %.4f}%s\n"
+        pad w.w_mode
+        (w.w_digests = o.o_wire_off.w_digests)
+        w.w_round1_bytes w.w_round2_bytes w.w_messages w.w_dict_entries
+        w.w_dict_intros w.w_dict_hits w.w_wall_s
+        (if idx = nw - 1 then "" else ","))
+    cells;
+  p "%s], \"steady_state_reduction\": %.2f},\n" pad
+    (wire_reduction o.o_wire_off o.o_wire_on);
+  let reference, plain, dicts = o.o_dur in
+  p "%s\"durable\": {\"nodes\": %d, \"crash_at_s\": %g, \"cells\": [\n" pad
+    dw.dw_nodes dw.dw_crash_at;
+  let dcells = [ reference; plain; dicts ] in
+  let nd = List.length dcells in
+  List.iteri
+    (fun idx d ->
+      p
+        "%s  {\"mode\": \"%s\", \"digests_match_reference\": %b, \
+         \"recoveries\": %d, \"wal_bytes\": %d, \"snapshot_bytes\": %d, \
+         \"replayed_bytes\": %d, \"wall_s\": %.4f}%s\n"
+        pad d.d_mode
+        (d.d_digests = reference.d_digests)
+        d.d_recoveries d.d_wal_bytes d.d_snapshot_bytes d.d_replayed_bytes
+        d.d_wall_s
+        (if idx = nd - 1 then "" else ","))
+    dcells;
+  p "%s], \"snapshot_bytes_reduced\": %b},\n" pad
+    (dicts.d_snapshot_bytes < plain.d_snapshot_bytes);
+  p "%s\"deterministic\": true" pad
+
+let write_json ~path ~full_part ~tiny_part =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"dict\",\n";
+  (match full_part with
+  | Some o ->
+      emit_outcome oc ~indent:2 ~tiny:false o;
+      p ",\n"
+  | None -> ());
+  (match tiny_part with
+  | Some o ->
+      p "  \"tiny_reference\": {\n";
+      emit_outcome oc ~indent:4 ~tiny:true o;
+      p "\n  },\n"
+  | None -> ());
+  p "  \"ok\": true\n";
+  p "}\n";
+  close_out oc
+
+let run ?(tiny = false) ?(seed = 1500) () =
+  ignore seed;
+  if tiny then begin
+    let o = measure_all ~tiny:true in
+    print_tables ~label:"tiny" ~tiny:true o;
+    write_json ~path:"BENCH_dict_tiny.json" ~full_part:None
+      ~tiny_part:(Some o);
+    Printf.printf "wrote BENCH_dict_tiny.json\n%!"
+  end
+  else begin
+    let tiny_o = measure_all ~tiny:true in
+    print_tables ~label:"tiny reference" ~tiny:true tiny_o;
+    let o = measure_all ~tiny:false in
+    print_tables ~label:"full" ~tiny:false o;
+    write_json ~path:"BENCH_dict.json" ~full_part:(Some o)
+      ~tiny_part:(Some tiny_o);
+    Printf.printf "wrote BENCH_dict.json\n%!"
+  end

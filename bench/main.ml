@@ -9,11 +9,13 @@
      dune exec bench/main.exe -- wire-json    # wire ablation -> BENCH_wire.json
      dune exec bench/main.exe -- chaos-json   # fault-injection sweep -> BENCH_chaos.json
      dune exec bench/main.exe -- chaos-json --durable  # same sweep with WAL durability on
+     dune exec bench/main.exe -- chaos-json --link-dicts  # same sweep with link dictionaries on
      dune exec bench/main.exe -- recovery-json # crash-recovery bench -> BENCH_recovery.json
      dune exec bench/main.exe -- pushdown-json # constraint pushdown ablation -> BENCH_pushdown.json
      dune exec bench/main.exe -- sub-json     # standing-query maintenance -> BENCH_sub.json
      dune exec bench/main.exe -- scale-json   # storage-engine scale bench -> BENCH_scale.json
      dune exec bench/main.exe -- par-json     # parallel-runtime race -> BENCH_par.json
+     dune exec bench/main.exe -- dict-json    # zone-map + dictionary bench -> BENCH_dict.json
      dune exec bench/main.exe -- --seed N ..  # reseed workload + fault schedule
      dune exec bench/main.exe -- --csv DIR .. # also write each table as CSV *)
 
@@ -22,6 +24,7 @@ let () =
   let tiny = ref false in
   let seed = ref 1500 in
   let durable = ref false in
+  let link_dicts = ref false in
   let rec extract acc = function
     | "--csv" :: dir :: rest ->
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -32,6 +35,9 @@ let () =
         extract acc rest
     | "--durable" :: rest ->
         durable := true;
+        extract acc rest
+    | "--link-dicts" :: rest ->
+        link_dicts := true;
         extract acc rest
     | "--seed" :: n :: rest ->
         (match int_of_string_opt n with
@@ -52,36 +58,41 @@ let () =
   | [ "micro" ] -> Micro.run ()
   | [ "bench-json" ] -> Planner_bench.run ~tiny:!tiny ()
   | [ "wire-json" ] -> Wire_bench.run ~tiny:!tiny ()
-  | [ "chaos-json" ] -> Chaos_bench.run ~tiny:!tiny ~seed:!seed ~durable:!durable ()
+  | [ "chaos-json" ] ->
+      Chaos_bench.run ~tiny:!tiny ~seed:!seed ~durable:!durable
+        ~link_dicts:!link_dicts ()
   | [ "recovery-json" ] -> Recovery_bench.run ~tiny:!tiny ~seed:!seed ()
   | [ "pushdown-json" ] -> Pushdown_bench.run ~tiny:!tiny ()
   | [ "sub-json" ] -> Sub_bench.run ~tiny:!tiny ()
   | [ "scale-json" ] -> Scale_bench.run ~tiny:!tiny ()
   | [ "par-json" ] -> Par_bench.run ~tiny:!tiny ()
+  | [ "dict-json" ] -> Dict_bench.run ~tiny:!tiny ~seed:!seed ()
   | names ->
       if List.mem "micro" names then Micro.run ();
       if List.mem "bench-json" names then Planner_bench.run ~tiny:!tiny ();
       if List.mem "wire-json" names then Wire_bench.run ~tiny:!tiny ();
       if List.mem "chaos-json" names then
-        Chaos_bench.run ~tiny:!tiny ~seed:!seed ~durable:!durable ();
+        Chaos_bench.run ~tiny:!tiny ~seed:!seed ~durable:!durable
+          ~link_dicts:!link_dicts ();
       if List.mem "recovery-json" names then Recovery_bench.run ~tiny:!tiny ~seed:!seed ();
       if List.mem "pushdown-json" names then Pushdown_bench.run ~tiny:!tiny ();
       if List.mem "sub-json" names then Sub_bench.run ~tiny:!tiny ();
       if List.mem "scale-json" names then Scale_bench.run ~tiny:!tiny ();
       if List.mem "par-json" names then Par_bench.run ~tiny:!tiny ();
+      if List.mem "dict-json" names then Dict_bench.run ~tiny:!tiny ~seed:!seed ();
       let experiment_names =
         List.filter
           (fun n ->
             n <> "micro" && n <> "bench-json" && n <> "wire-json" && n <> "chaos-json"
             && n <> "recovery-json" && n <> "pushdown-json" && n <> "sub-json"
-            && n <> "scale-json" && n <> "par-json")
+            && n <> "scale-json" && n <> "par-json" && n <> "dict-json")
           names
       in
       let known = List.map fst Experiments.all in
       let unknown = List.filter (fun n -> not (List.mem n known)) experiment_names in
       if unknown <> [] then begin
         Printf.eprintf
-          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, recovery-json, pushdown-json, sub-json, scale-json, par-json)\n"
+          "unknown experiment(s): %s (known: %s, micro, bench-json, wire-json, chaos-json, recovery-json, pushdown-json, sub-json, scale-json, par-json, dict-json)\n"
           (String.concat ", " unknown) (String.concat ", " known);
         exit 1
       end;

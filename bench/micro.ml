@@ -117,6 +117,25 @@ let subsumed_test size =
     (Staged.stage (fun () ->
          List.iter (fun probe -> ignore (Relation.subsumed rel probe)) probes))
 
+(* zone-map chunk skipping across selectivities: a range scan over a
+   key-ordered packed relation, with and without pruning.  [pct] is
+   the fraction of the key space the predicate keeps — at 1% almost
+   every 4096-row chunk is skipped, at 50% half the chunks survive. *)
+let zone_scan_test ~zone_maps ~pct size =
+  let db = Database.create [ r_schema ] in
+  for k = 0 to size - 1 do
+    ignore (Database.insert db "r" [| Value.Int k; Value.Int (k * 7 mod 1009) |])
+  done;
+  let source = Eval.of_database db in
+  let cutoff = size * pct / 100 in
+  let q = parse_query (Printf.sprintf "ans(x, y) <- r(x, y), x < %d" cutoff) in
+  Test.make
+    ~name:
+      (Printf.sprintf "zone-scan%s/%d%%/%d"
+         (if zone_maps then "" else "-off")
+         pct size)
+    (Staged.stage (fun () -> ignore (Eval.answer_tuples ~zone_maps source q)))
+
 let update_test n =
   let cfg =
     Topology.generate ~seed:42
@@ -147,6 +166,11 @@ let tests =
       parse_test 8;
       parse_test 32;
       containment_test ();
+      zone_scan_test ~zone_maps:false ~pct:1 16384;
+      zone_scan_test ~zone_maps:true ~pct:1 16384;
+      zone_scan_test ~zone_maps:false ~pct:25 16384;
+      zone_scan_test ~zone_maps:true ~pct:25 16384;
+      zone_scan_test ~zone_maps:true ~pct:100 16384;
       update_test 4;
       update_test 8;
     ]

@@ -87,8 +87,9 @@ let generate_cmd shape n seed tuples existential comparison rows cols p =
 
 (* --- update -------------------------------------------------------- *)
 
-let update_cmd file initiator verbose show_trace =
-  let sys = or_die (load_system file) in
+let update_cmd file initiator verbose show_trace zone_maps =
+  let opts = { Options.default with Options.zone_maps } in
+  let sys = or_die (load_system ~opts file) in
   let trace = if show_trace then Some (System.enable_trace sys) else None in
   let initiator =
     match initiator with
@@ -115,9 +116,10 @@ let parse_query_or_die text =
       prerr_endline e;
       exit 1
 
-let query_cmd file at text after_update scoped certain_only use_cache pushdown repeat =
+let query_cmd file at text after_update scoped certain_only use_cache pushdown
+    zone_maps repeat =
   let opts = if use_cache then Options.with_cache else Options.default in
-  let opts = { opts with Options.pushdown } in
+  let opts = { opts with Options.pushdown; zone_maps } in
   let sys = or_die (load_system ~opts file) in
   let q = parse_query_or_die text in
   let answers =
@@ -148,6 +150,24 @@ let query_cmd file at text after_update scoped certain_only use_cache pushdown r
   let answers = if certain_only then Codb_cq.Eval.certain answers else answers in
   List.iter (fun t -> Fmt.pr "%a@." Tuple.pp t) answers;
   Fmt.pr "%d answer(s)@." (List.length answers);
+  if zone_maps then begin
+    let visited, pruned =
+      List.fold_left
+        (fun acc (s : Codb_core.Stats.snapshot) ->
+          let acc =
+            List.fold_left
+              (fun (v, p) (q : Codb_core.Stats.query_snap) ->
+                (v + q.Codb_core.Stats.qsn_zvisited, p + q.Codb_core.Stats.qsn_zpruned))
+              acc s.Codb_core.Stats.snap_queries
+          in
+          List.fold_left
+            (fun (v, p) (u : Codb_core.Stats.update_snap) ->
+              (v + u.Codb_core.Stats.usn_zvisited, p + u.Codb_core.Stats.usn_zpruned))
+            acc s.Codb_core.Stats.snap_updates)
+        (0, 0) (System.snapshots sys)
+    in
+    Fmt.pr "zone maps: %d chunk(s) consulted, %d pruned@." visited pruned
+  end;
   if use_cache then Fmt.pr "%a@." Report.pp_cache_report (Report.cache_report (System.snapshots sys));
   0
 
@@ -217,11 +237,13 @@ let cache_cmd file at text repeat update_between capacity max_bytes ttl no_conta
 
 (* --- wire ---------------------------------------------------------- *)
 
-let wire_cmd file initiator estimator batch_window batch_max bloom_bits ring_capacity =
+let wire_cmd file initiator estimator link_dicts batch_window batch_max bloom_bits
+    ring_capacity =
   let opts =
     {
       Options.default with
       Options.wire_codec = not estimator;
+      link_dicts;
       batch_window;
       batch_max_tuples = batch_max;
       sent_bloom_bits = bloom_bits;
@@ -247,6 +269,8 @@ let wire_cmd file initiator estimator batch_window batch_max bloom_bits ring_cap
   Fmt.pr "network: %d message(s) delivered, %d B carried%s@." c.Codb_net.Network.delivered
     c.Codb_net.Network.total_bytes
     (if estimator then " (estimated sizes)" else " (encoded sizes)");
+  if link_dicts then
+    Fmt.pr "%a@." Codb_net.Link_dict.pp_stats (System.link_dict_stats sys);
   0
 
 (* --- chaos --------------------------------------------------------- *)
@@ -278,11 +302,12 @@ let parse_all parse specs =
   |> Result.map List.rev
 
 let chaos_cmd file initiator seed drop dup jitter budget flaps crashes ack_timeout
-    max_retries backoff query at =
+    max_retries backoff link_dicts query at =
   let opts =
     {
       Options.default with
-      Options.fault_seed = seed;
+      Options.link_dicts;
+      fault_seed = seed;
       drop_prob = drop;
       dup_prob = dup;
       jitter;
@@ -327,6 +352,8 @@ let chaos_cmd file initiator seed drop dup jitter budget flaps crashes ack_timeo
     c.Codb_net.Network.delivered c.Codb_net.Network.injected_drops
     c.Codb_net.Network.injected_dups c.Codb_net.Network.injected_flaps
     c.Codb_net.Network.crashes c.Codb_net.Network.restarts;
+  if link_dicts then
+    Fmt.pr "%a@." Codb_net.Link_dict.pp_stats (System.link_dict_stats sys);
   0
 
 (* --- recover -------------------------------------------------------- *)
@@ -621,8 +648,16 @@ let update_t =
   let show_trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the message-level protocol trace.")
   in
+  let zone_maps =
+    Arg.(
+      value & flag
+      & info [ "zone-maps" ]
+          ~doc:
+            "Prune packed scans with per-chunk min/max summaries (answers are \
+             unchanged; the report gains the chunks-visited/pruned counters).")
+  in
   Cmd.v (Cmd.info "update" ~doc)
-    Term.(const update_cmd $ file_arg $ initiator $ verbose $ show_trace)
+    Term.(const update_cmd $ file_arg $ initiator $ verbose $ show_trace $ zone_maps)
 
 let query_t =
   let doc = "Answer a conjunctive query at a node." in
@@ -670,6 +705,15 @@ let query_t =
             "Push the query's constraints into neighbour sub-requests so sources \
              withhold irrelevant tuples (and print the pushdown report afterwards).")
   in
+  let zone_maps =
+    Arg.(
+      value & flag
+      & info [ "zone-maps" ]
+          ~doc:
+            "Prune packed scans with per-chunk min/max summaries when the query \
+             carries order predicates (answers are unchanged; prints the \
+             chunks-visited/pruned counters afterwards).")
+  in
   let repeat =
     Arg.(
       value & opt int 1
@@ -679,7 +723,7 @@ let query_t =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const query_cmd $ file_arg $ at $ text $ after_update $ scoped $ certain
-      $ use_cache $ pushdown $ repeat)
+      $ use_cache $ pushdown $ zone_maps $ repeat)
 
 let explain_t =
   let doc = "Print the cost-based evaluation plan chosen for a query." in
@@ -782,6 +826,16 @@ let wire_t =
             "Charge messages by the schema-based size estimate instead of the compact \
              binary codec (the pre-codec behaviour).")
   in
+  let link_dicts =
+    Arg.(
+      value & flag
+      & info [ "link-dicts" ]
+          ~doc:
+            "Train an incremental string dictionary per directed link: a string \
+             crosses a link once per epoch, later messages carry a small \
+             back-reference (epochs reset on link faults).  Incompatible with \
+             $(b,--estimator).")
+  in
   let batch_window =
     Arg.(
       value & opt float 0.0
@@ -814,8 +868,8 @@ let wire_t =
   in
   Cmd.v (Cmd.info "wire" ~doc)
     Term.(
-      const wire_cmd $ file_arg $ initiator $ estimator $ batch_window $ batch_max
-      $ bloom_bits $ ring_capacity)
+      const wire_cmd $ file_arg $ initiator $ estimator $ link_dicts $ batch_window
+      $ batch_max $ bloom_bits $ ring_capacity)
 
 let chaos_t =
   let doc =
@@ -894,6 +948,14 @@ let chaos_t =
       & opt float Options.default.Options.backoff_factor
       & info [ "backoff" ] ~docv:"F" ~doc:"Exponential backoff base (>= 1).")
   in
+  let link_dicts =
+    Arg.(
+      value & flag
+      & info [ "link-dicts" ]
+          ~doc:
+            "Per-link incremental string dictionaries; faults bump their epochs, \
+             which the closing stats line shows.")
+  in
   let query =
     Arg.(
       value
@@ -912,7 +974,8 @@ let chaos_t =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const chaos_cmd $ file_arg $ initiator $ seed $ drop $ dup $ jitter $ budget
-      $ flaps $ crashes $ ack_timeout $ max_retries $ backoff $ query $ at)
+      $ flaps $ crashes $ ack_timeout $ max_retries $ backoff $ link_dicts $ query
+      $ at)
 
 let recover_t =
   let doc =

@@ -54,8 +54,25 @@ let get_owner r =
   | 1 -> Oremote (Peer_id.of_string (Codec.read_string r))
   | n -> raise (Codec.Malformed (Printf.sprintf "unknown owner tag %d" n))
 
-let encode_record record =
-  let w = Codec.writer ~initial:64 () in
+(* Dictionary-mode records ([Options.link_dicts]) are distinguished
+   from legacy ones by a marker byte in front of the tag: the record
+   tags stop at 6, so 0x10 is unambiguous.  Marked records encode
+   their strings against a dictionary that persists across the log
+   stream (reset at every compaction, so the live tail always starts
+   from an empty table); replay rebuilds the mirror in record order.
+   Unmarked records keep the per-record inline dictionary, which lets
+   one log mix both formats. *)
+let dict_marker = 0x10
+
+let encode_record ?dict record =
+  let w =
+    match dict with
+    | None -> Codec.writer ~initial:64 ()
+    | Some d ->
+        let w = Codec.writer ~initial:64 ~mode:(Codec.Linked d) () in
+        Codec.byte w dict_marker;
+        w
+  in
   (match record with
   | Insert { rel; tuples } ->
       Codec.byte w 0;
@@ -89,8 +106,7 @@ let encode_record record =
       Codec.string w sub_id);
   Codec.contents w
 
-let decode_record bytes =
-  let r = Codec.reader bytes in
+let get_record r =
   match Codec.read_byte r with
   | 0 ->
       let rel = Codec.read_string r in
@@ -113,6 +129,20 @@ let decode_record bytes =
       Mirror_add { sub_id; host; query_text = Codec.read_raw_string r }
   | 6 -> Mirror_remove { sub_id = Codec.read_string r }
   | n -> raise (Codec.Malformed (Printf.sprintf "unknown WAL record tag %d" n))
+
+let decode_record ?dict bytes =
+  if String.length bytes > 0 && Char.code bytes.[0] = dict_marker then begin
+    let tab =
+      match dict with
+      | Some tab -> tab
+      | None ->
+          raise (Codec.Malformed "dictionary record without a replay table")
+    in
+    let r = Codec.reader ~mode:(Codec.R_linked tab) bytes in
+    ignore (Codec.read_byte r : int);
+    get_record r
+  end
+  else get_record (Codec.reader bytes)
 
 (* ---- snapshots ------------------------------------------------------- *)
 
@@ -138,6 +168,7 @@ type snapshot = {
 }
 
 let snapshot_version = 1
+let snapshot_version_tabled = 2
 
 let query_text q = Fmt.str "%a" Pretty.query q
 
@@ -192,9 +223,7 @@ let mirror_entries (node : Node.t) =
       })
     (Node.mirrors_sorted node)
 
-let encode_snapshot (node : Node.t) =
-  let w = Codec.writer ~initial:1024 () in
-  Codec.byte w snapshot_version;
+let put_snapshot w (node : Node.t) =
   let store = node.Node.store in
   let rels = List.sort String.compare (Database.rel_names store) in
   Codec.varint w (List.length rels);
@@ -251,14 +280,54 @@ let encode_snapshot (node : Node.t) =
       Codec.raw_string w m.ms_query;
       Codec.byte w (if m.ms_accepted then 1 else 0);
       Payload.put_tuples w m.ms_answers)
-    mirrors;
-  Codec.contents w
+    mirrors
 
-let decode_snapshot bytes =
-  let r = Codec.reader bytes in
-  let version = Codec.read_byte r in
-  if version <> snapshot_version then
-    raise (Codec.Malformed (Printf.sprintf "unknown snapshot version %d" version));
+(* Version 1 is the classic layout: body with per-message inline
+   strings.  Version 2 ([Options.link_dicts]) pulls the strings out
+   into one sorted, front-coded table: entry k stores only the length
+   of the prefix it shares with entry k-1 plus the remaining suffix, so
+   families like [upd:n0#1, upd:n0#2, ...] pay their common stem once.
+   The body is written in [Tabled] mode against the sorted ids (a first
+   pass harvests the strings, a second encodes against the preloaded
+   table).  Decode auto-detects from the version byte, so a node can
+   recover a snapshot cut under either setting. *)
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go k = if k < n && a.[k] = b.[k] then go (k + 1) else k in
+  go 0
+
+let encode_snapshot ?(tabled = false) (node : Node.t) =
+  if not tabled then begin
+    let w = Codec.writer ~initial:1024 () in
+    Codec.byte w snapshot_version;
+    put_snapshot w node;
+    Codec.contents w
+  end
+  else begin
+    (* pass 1: harvest the distinct strings *)
+    let probe = Codec.writer ~initial:1024 ~mode:Codec.Tabled () in
+    put_snapshot probe node;
+    let strings = List.sort String.compare (Codec.dict_strings probe) in
+    (* pass 2: encode the body against the sorted table *)
+    let body = Codec.writer ~initial:(Codec.size probe) ~mode:Codec.Tabled () in
+    Codec.preload body strings;
+    put_snapshot body node;
+    let w = Codec.writer ~initial:(Codec.size body + 64) () in
+    Codec.byte w snapshot_version_tabled;
+    Codec.varint w (List.length strings);
+    let prev = ref "" in
+    List.iter
+      (fun s ->
+        let shared = common_prefix_len !prev s in
+        Codec.varint w shared;
+        Codec.raw_string w (String.sub s shared (String.length s - shared));
+        prev := s)
+      strings;
+    Codec.add_bytes w (Codec.contents body);
+    Codec.contents w
+  end
+
+let get_snapshot r =
   let sn_store =
     List.init (Codec.read_count r) (fun _ ->
         let rel = Codec.read_string r in
@@ -301,12 +370,35 @@ let decode_snapshot bytes =
   in
   { sn_store; sn_lineage; sn_next_seq; sn_seen; sn_sent; sn_subs; sn_mirrors }
 
+let decode_snapshot bytes =
+  let r = Codec.reader bytes in
+  match Codec.read_byte r with
+  | 1 -> get_snapshot r
+  | 2 ->
+      let count = Codec.read_count r in
+      let arr = Array.make count "" in
+      let prev = ref "" in
+      for k = 0 to count - 1 do
+        let shared = Codec.read_varint r in
+        if shared > String.length !prev then
+          raise (Codec.Malformed "front-coded table prefix overruns");
+        let s = String.sub !prev 0 shared ^ Codec.read_raw_string r in
+        arr.(k) <- s;
+        prev := s
+      done;
+      let body_at = String.length bytes - Codec.remaining r in
+      get_snapshot
+        (Codec.reader ~mode:(Codec.R_tabled arr)
+           (String.sub bytes body_at (String.length bytes - body_at)))
+  | version ->
+      raise (Codec.Malformed (Printf.sprintf "unknown snapshot version %d" version))
+
 (* ---- logging hooks (no-ops when the node has no WAL) ----------------- *)
 
 let log (node : Node.t) record =
   match node.Node.wal with
   | None -> ()
-  | Some wal -> Wal.append wal (encode_record record)
+  | Some wal -> Wal.append wal (encode_record ?dict:node.Node.wal_dict record)
 
 let log_insert node ~rel tuples = if tuples <> [] then log node (Insert { rel; tuples })
 
@@ -337,13 +429,22 @@ let note_seq (node : Node.t) seq =
       if seq >= node.Node.wal_reserved then begin
         let upto = seq + seq_chunk in
         node.Node.wal_reserved <- upto;
-        Wal.append wal (encode_record (Seq_reserve { upto }))
+        Wal.append wal
+          (encode_record ?dict:node.Node.wal_dict (Seq_reserve { upto }))
       end
 
 let install (node : Node.t) (opts : Options.t) ~backend =
+  let dicts = opts.Options.link_dicts in
+  node.Node.wal_dict <- (if dicts then Some (Codec.Dict.sender ()) else None);
+  let on_truncate =
+    match node.Node.wal_dict with
+    | None -> None
+    | Some d -> Some (fun () -> Codec.Dict.bump d)
+  in
   let wal =
-    Wal.create ~backend ~snapshot_every:opts.Options.snapshot_every
-      ~take_snapshot:(fun () -> encode_snapshot node)
+    Wal.create ?on_truncate ~backend ~snapshot_every:opts.Options.snapshot_every
+      ~take_snapshot:(fun () -> encode_snapshot ~tabled:dicts node)
+      ()
   in
   node.Node.wal <- Some wal;
   wal
@@ -467,9 +568,13 @@ let recover (node : Node.t) (opts : Options.t) ~backend =
           apply_snapshot node opts snap
       | exception Codec.Malformed _ -> ()));
   let replayed = ref 0 in
+  (* the log tail was written after the last truncation, which is where
+     the stream dictionary last reset: an empty mirror, grown in record
+     order, resolves every dictionary-mode reference *)
+  let replay_tab = Hashtbl.create 64 in
   List.iter
     (fun bytes ->
-      match decode_record bytes with
+      match decode_record ~dict:replay_tab bytes with
       | record ->
           incr replayed;
           apply_record node opts ~seq_floor record

@@ -24,6 +24,7 @@ type t = {
   sub_mirrors : (string, Codb_sub.Mirror.t) Hashtbl.t;
   sub_outbox : Codb_sub.Outbox.t;
   mutable wal : Codb_store.Wal.t option;
+  mutable wal_dict : Codb_net.Codec.Dict.sender option;
   mutable wal_reserved : int;
   mutable recovered_sent : (string * string * Codb_relalg.Tuple.t list) list;
   mutable track_refetch : bool;
@@ -59,6 +60,7 @@ let create decl =
     sub_mirrors = Hashtbl.create 4;
     sub_outbox = Codb_sub.Outbox.create ();
     wal = None;
+    wal_dict = None;
     wal_reserved = 0;
     recovered_sent = [];
     track_refetch = false;

@@ -55,6 +55,10 @@ type t = {
       (** this node's write-ahead log; [None] unless
           [Options.durability = Dur_wal] (installed by
           {!System.install_node}, replaced on recovery) *)
+  mutable wal_dict : Codb_net.Codec.Dict.sender option;
+      (** the WAL stream's incremental string dictionary
+          ([Options.link_dicts]): persists across log records, reset at
+          every compaction so the log tail is always self-contained *)
   mutable wal_reserved : int;
       (** transport sequence numbers covered by the last logged
           [Seq_reserve] record; sequences below it need no new log

@@ -46,6 +46,8 @@ type t = {
   wal_dir : string option;
   snapshot_every : int;
   fsync : bool;
+  zone_maps : bool;
+  link_dicts : bool;
 }
 
 (* The suite-wide parallelism knob: CI runs the whole test suite a
@@ -101,6 +103,8 @@ let default =
     wal_dir = None;
     snapshot_every = 64;
     fsync = false;
+    zone_maps = false;
+    link_dicts = false;
   }
 
 let with_cache =
@@ -214,6 +218,10 @@ let validate t =
   | Some _ | None -> ());
   if t.fsync && t.wal_dir = None then
     reject "options: fsync requires wal_dir (the in-memory backend has no disk)";
+  if t.zone_maps && not t.planner then
+    reject "options: zone_maps requires planner (only planned steps carry ranges)";
+  if t.link_dicts && not t.wire_codec then
+    reject "options: link_dicts requires wire_codec (the estimator has no strings)";
   match List.rev !errors with [] -> Ok () | errors -> Error errors
 
 let faults_enabled t =

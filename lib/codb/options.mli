@@ -162,6 +162,26 @@ type t = {
   fsync : bool;
       (** flush every WAL write with [Unix.fsync]; only meaningful
           with [wal_dir] *)
+  zone_maps : bool;
+      (** fold sargable order predicates ([<], [<=], [>], [>=] and
+          [=]-const) into per-chunk min/max pruning inside the packed
+          evaluator ({!Codb_relalg.Relation.packed_view}): chunks whose
+          value interval cannot satisfy the predicates are skipped
+          before any row is touched.  Off by default: answers are
+          provably identical either way, so the seed's
+          every-chunk scan stays the bit-for-bit baseline (the E22
+          ablation switch).  Requires [planner] — only planned steps
+          carry range predicates down to the scan *)
+  link_dicts : bool;
+      (** incremental per-(src,dst)-link string dictionaries in the
+          wire codec, plus dictionary-encoded WAL records and
+          version-2 snapshots with one deduplicated string table: the
+          first use of a string on a link ships the literal with an
+          explicit id, later messages ship only the id; crash, restart
+          and link flap bump the link's epoch so a desynced peer
+          deterministically falls back to literals.  Off by default
+          (the per-message dictionaries of PR 3, bit for bit).
+          Requires [wire_codec] *)
 }
 
 val default : t
@@ -182,8 +202,9 @@ val validate : t -> (unit, string list) result
     [max_subscriptions] < 1, negative [sub_batch_window], [sub_naive]
     without [subscriptions]; [domains] outside [1,256],
     [par_threshold] < 1; [snapshot_every] < 1, an empty [wal_dir],
-    [wal_dir] without [Dur_wal], [fsync] without [wal_dir].  Called
-    by {!System.build} before any node is created. *)
+    [wal_dir] without [Dur_wal], [fsync] without [wal_dir];
+    [zone_maps] without [planner], [link_dicts] without [wire_codec].
+    Called by {!System.build} before any node is created. *)
 
 val faults_enabled : t -> bool
 (** Any fault knob active (drop, dup, jitter, flaps or crashes). *)

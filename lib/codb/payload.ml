@@ -508,10 +508,21 @@ let rec put_payload w payload =
           put_tuples w se_retracts)
         entries
 
-let encode payload =
-  let w = Codec.writer () in
-  put_payload w payload;
-  Codec.contents w
+let encode ?link payload =
+  match link with
+  | None ->
+      let w = Codec.writer () in
+      put_payload w payload;
+      Codec.contents w
+  | Some d ->
+      (* Link frame: varint epoch stamp, then the body with strings in
+         [Linked] mode against the per-link dictionary.  The epoch lets
+         the receiver pick the decode table ({!Codec.Dict.table_for})
+         and makes desync detectable instead of silent. *)
+      let w = Codec.writer ~mode:(Codec.Linked d) () in
+      Codec.varint w (Codec.Dict.epoch d);
+      put_payload w payload;
+      Codec.contents w
 
 let rec get_payload r =
   match Codec.read_byte r with
@@ -611,9 +622,21 @@ let rec get_payload r =
       Answer_batch { entries }
   | n -> raise (Codec.Malformed (Printf.sprintf "unknown payload tag %d" n))
 
-let decode bytes =
-  let r = Codec.reader bytes in
+let decode ?link bytes =
   try
+    let r =
+      match link with
+      | None -> Codec.reader bytes
+      | Some rc ->
+          (* Read the epoch stamp with a throwaway reader, then decode
+             the body against the table that epoch selects. *)
+          let r0 = Codec.reader bytes in
+          let epoch = Codec.read_varint r0 in
+          let tab = Codec.Dict.table_for rc ~epoch in
+          let body_at = String.length bytes - Codec.remaining r0 in
+          Codec.reader ~mode:(Codec.R_linked tab)
+            (String.sub bytes body_at (String.length bytes - body_at))
+    in
     let payload = get_payload r in
     if Codec.at_end r then Ok payload
     else Error "Payload.decode: trailing bytes"
@@ -631,6 +654,10 @@ let decode_tuples bytes =
     if Codec.at_end r then Ok tuples else Error "Payload.decode_tuples: trailing bytes"
   with Codec.Malformed why -> Error ("Payload.decode_tuples: " ^ why)
 
-let encoded_size = function
-  | Stats_response { stats } -> 1 + Stats.snapshot_size_bytes stats
-  | payload -> String.length (encode payload)
+let encoded_size ?link payload =
+  match payload with
+  | Stats_response { stats } ->
+      (* never wire-encoded; the estimator stands in (and a link frame
+         would only add the 1-byte epoch stamp it already ignores) *)
+      1 + Stats.snapshot_size_bytes stats
+  | payload -> String.length (encode ?link payload)

@@ -143,18 +143,26 @@ val size : t -> int
 (** Estimated payload wire size in bytes (the pre-codec heuristic, kept
     as the [wire_codec = false] ablation baseline). *)
 
-val encode : t -> string
+val encode : ?link:Codec.Dict.sender -> t -> string
 (** Compact binary encoding: tag byte, varint-prefixed fields, zigzag
-    integers, per-message string dictionary.  Raises [Invalid_argument]
+    integers, per-message string dictionary.  With [link], the message
+    becomes a link frame instead: a varint epoch stamp followed by the
+    body with strings in {!Codec.strmode.Linked} mode, so strings the
+    link has already carried this epoch ship as back-references.
+    Encoding trains the sender dictionary.  Raises [Invalid_argument]
     on [Stats_response], whose snapshot record never crosses the
     measured wire path. *)
 
-val decode : string -> (t, string) result
-(** Inverse of {!encode}; [Error] on truncated or corrupt input. *)
+val decode : ?link:Codec.Dict.receiver -> string -> (t, string) result
+(** Inverse of {!encode}; [Error] on truncated or corrupt input.
+    [link] must be given exactly when the bytes are a link frame: the
+    epoch stamp selects the decode table ({!Codec.Dict.table_for}), and
+    a back-reference the receiver never saw introduced fails as
+    [Error] — never a wrong string. *)
 
-val encoded_size : t -> int
-(** Actual encoded byte count, [String.length (encode p)]; falls back
-    to the estimator for [Stats_response]. *)
+val encoded_size : ?link:Codec.Dict.sender -> t -> int
+(** Actual encoded byte count, [String.length (encode ?link p)]; falls
+    back to the estimator for [Stats_response]. *)
 
 val encode_tuples : Tuple.t list -> string
 (** Encode a bare tuple list (exposed for codec round-trip tests). *)

@@ -23,9 +23,11 @@ let qstat (rt : Runtime.t) qid = Stats.query_stat rt.node.Node.stats ~now:(rt.no
 let with_counters rt qid f =
   let qs = qstat rt qid in
   Stats.with_eval_counters
-    ~note:(fun ~probes ~scans ->
+    ~note:(fun ~probes ~scans ~zvisited ~zpruned ->
       qs.Stats.qs_probes <- qs.Stats.qs_probes + probes;
-      qs.Stats.qs_scans <- qs.Stats.qs_scans + scans)
+      qs.Stats.qs_scans <- qs.Stats.qs_scans + scans;
+      qs.Stats.qs_zvisited <- qs.Stats.qs_zvisited + zvisited;
+      qs.Stats.qs_zpruned <- qs.Stats.qs_zpruned + zpruned)
     f
 
 (* Is [st] still the instance the node knows under its reference?  A
@@ -384,6 +386,7 @@ let on_data rt ~bytes ~request_ref ~rule_id ~tuples qid =
                           Eval.delta_answers
                             ~naive:rt.Runtime.opts.Options.naive_delta
                             ~planner:rt.Runtime.opts.Options.planner
+                            ~zone_maps:rt.Runtime.opts.Options.zone_maps
                             (Eval.of_database
                                ~index_budget:rt.Runtime.opts.Options.index_budget
                                st.Q.qst_overlay)

@@ -14,6 +14,8 @@ type update_report = {
   ur_longest_path : int;
   ur_probes : int;
   ur_scans : int;
+  ur_zvisited : int;
+  ur_zpruned : int;
   ur_batches : int;
   ur_batch_tuples : int;
   ur_coalesced : int;
@@ -84,6 +86,8 @@ let update_report snapshots update_id =
             List.fold_left (fun acc u -> max acc u.Stats.usn_max_hops) 0 relevant;
           ur_probes = sum (fun u -> u.Stats.usn_probes);
           ur_scans = sum (fun u -> u.Stats.usn_scans);
+          ur_zvisited = sum (fun u -> u.Stats.usn_zvisited);
+          ur_zpruned = sum (fun u -> u.Stats.usn_zpruned);
           ur_batches = sum (fun u -> u.Stats.usn_batches);
           ur_batch_tuples = sum (fun u -> u.Stats.usn_batch_tuples);
           ur_coalesced = sum (fun u -> u.Stats.usn_coalesced);
@@ -111,12 +115,15 @@ let pp_update_report ppf r =
      data volume: %d B@,\
      new tuples: %d, duplicates suppressed: %d, nulls created: %d@,\
      longest propagation path: %d@,\
-     index probes: %d, relation scans: %d%a@]"
+     index probes: %d, relation scans: %d%s%a@]"
     Ids.pp_update r.ur_update r.ur_nodes
     (if r.ur_all_finished then "" else " (some unfinished)")
     r.ur_duration r.ur_started r.ur_finished r.ur_data_msgs r.ur_control_msgs r.ur_bytes
     r.ur_new_tuples r.ur_dup_suppressed r.ur_nulls r.ur_longest_path r.ur_probes
     r.ur_scans
+    (if r.ur_zvisited = 0 && r.ur_zpruned = 0 then ""
+     else
+       Fmt.str ", zone chunks visited: %d, pruned: %d" r.ur_zvisited r.ur_zpruned)
     Fmt.(
       list ~sep:nop (fun ppf (e : Stats.rule_traffic_snap) ->
           Fmt.pf ppf "@,rule %-12s %4d msgs %8d B %6d tuples" e.Stats.rts_rule
@@ -265,6 +272,8 @@ type sub_report = {
   sr_coalesced : int;
   sr_probes : int;
   sr_scans : int;
+  sr_zvisited : int;
+  sr_zpruned : int;
   sr_cache_staled : int;
   sr_torn_down : int;
   sr_rearmed : int;
@@ -289,6 +298,8 @@ let sub_report snapshots =
     sr_coalesced = sum (fun x -> x.Stats.ssn_coalesced);
     sr_probes = sum (fun x -> x.Stats.ssn_probes);
     sr_scans = sum (fun x -> x.Stats.ssn_scans);
+    sr_zvisited = sum (fun x -> x.Stats.ssn_zvisited);
+    sr_zpruned = sum (fun x -> x.Stats.ssn_zpruned);
     sr_cache_staled = sum (fun x -> x.Stats.ssn_cache_staled);
     sr_torn_down = sum (fun x -> x.Stats.ssn_torn_down);
     sr_rearmed = sum (fun x -> x.Stats.ssn_rearmed);
@@ -304,11 +315,14 @@ let pp_sub_report ppf r =
      store deltas consumed: %d (%d tuples prefiltered at source)@,\
      answer deltas delivered: %d (%d adds, %d retracts; %d coalesced in-window)@,\
      push traffic: %d messages, %d B (%.1f B/answer)@,\
-     evaluator work: %d probes, %d scans@,\
+     evaluator work: %d probes, %d scans%s@,\
      cache entries staled by pushes: %d@]"
     r.sr_registered r.sr_rejected r.sr_torn_down r.sr_rearmed r.sr_deltas_in
     r.sr_prefiltered r.sr_deltas_out r.sr_adds r.sr_retracts r.sr_coalesced
     r.sr_push_msgs r.sr_bytes r.sr_bytes_per_answer r.sr_probes r.sr_scans
+    (if r.sr_zvisited = 0 && r.sr_zpruned = 0 then ""
+     else
+       Fmt.str ", zone chunks %d visited (%d pruned)" r.sr_zvisited r.sr_zpruned)
     r.sr_cache_staled
 
 let pp_network ppf snapshots =

@@ -19,6 +19,8 @@ type update_report = {
   ur_longest_path : int;
   ur_probes : int;
   ur_scans : int;
+  ur_zvisited : int;  (** zone-map chunks consulted network-wide *)
+  ur_zpruned : int;  (** zone-map chunks skipped network-wide *)
   ur_batches : int;  (** [Update_batch] messages network-wide *)
   ur_batch_tuples : int;  (** tuples shipped inside batches *)
   ur_coalesced : int;  (** tuples that never hit the wire *)
@@ -113,6 +115,8 @@ type sub_report = {
   sr_coalesced : int;  (** answer tuples absorbed in the batch window *)
   sr_probes : int;  (** evaluator probes spent maintaining answers *)
   sr_scans : int;
+  sr_zvisited : int;  (** zone-map chunks consulted during maintenance *)
+  sr_zpruned : int;  (** zone-map chunks skipped during maintenance *)
   sr_cache_staled : int;  (** query-cache entries staled by deliveries *)
   sr_torn_down : int;  (** subscriptions/mirrors lost to crashes *)
   sr_rearmed : int;  (** mirrors re-registered after a host restart *)

@@ -19,6 +19,8 @@ type update_stat = {
   mutable us_max_hops : int;
   mutable us_probes : int;
   mutable us_scans : int;
+  mutable us_zvisited : int;
+  mutable us_zpruned : int;
   mutable us_batches : int;
   mutable us_batch_tuples : int;
   mutable us_coalesced : int;
@@ -43,6 +45,8 @@ type query_stat = {
   mutable qs_cache : cache_outcome;
   mutable qs_probes : int;
   mutable qs_scans : int;
+  mutable qs_zvisited : int;
+  mutable qs_zpruned : int;
   mutable qs_complete : bool;
   mutable qs_pushed : int;
   mutable qs_filtered_at_source : int;
@@ -63,6 +67,8 @@ type sub_counters = {
   mutable sb_coalesced : int;
   mutable sb_probes : int;
   mutable sb_scans : int;
+  mutable sb_zvisited : int;
+  mutable sb_zpruned : int;
   mutable sb_cache_staled : int;
   mutable sb_torn_down : int;
   mutable sb_rearmed : int;
@@ -124,6 +130,8 @@ let create owner =
         sb_coalesced = 0;
         sb_probes = 0;
         sb_scans = 0;
+        sb_zvisited = 0;
+        sb_zpruned = 0;
         sb_cache_staled = 0;
         sb_torn_down = 0;
         sb_rearmed = 0;
@@ -143,7 +151,10 @@ let with_eval_counters ~note f =
   let after = Codb_cq.Eval.counters () in
   note
     ~probes:(after.Codb_cq.Eval.probes - before.Codb_cq.Eval.probes)
-    ~scans:(after.Codb_cq.Eval.scans - before.Codb_cq.Eval.scans);
+    ~scans:(after.Codb_cq.Eval.scans - before.Codb_cq.Eval.scans)
+    ~zvisited:
+      (after.Codb_cq.Eval.zone_visited - before.Codb_cq.Eval.zone_visited)
+    ~zpruned:(after.Codb_cq.Eval.zone_pruned - before.Codb_cq.Eval.zone_pruned);
   result
 
 let note_retransmit st = st.st_chaos.ch_retransmits <- st.st_chaos.ch_retransmits + 1
@@ -192,6 +203,8 @@ let update_stat st ~now update_id =
           us_max_hops = 0;
           us_probes = 0;
           us_scans = 0;
+          us_zvisited = 0;
+          us_zpruned = 0;
           us_batches = 0;
           us_batch_tuples = 0;
           us_coalesced = 0;
@@ -226,6 +239,8 @@ let query_stat st ~now query_id =
           qs_cache = Cache_unused;
           qs_probes = 0;
           qs_scans = 0;
+          qs_zvisited = 0;
+          qs_zpruned = 0;
           qs_complete = true;
           qs_pushed = 0;
           qs_filtered_at_source = 0;
@@ -275,6 +290,8 @@ type update_snap = {
   usn_max_hops : int;
   usn_probes : int;
   usn_scans : int;
+  usn_zvisited : int;
+  usn_zpruned : int;
   usn_batches : int;
   usn_batch_tuples : int;
   usn_coalesced : int;
@@ -297,6 +314,8 @@ type query_snap = {
   qsn_cache : cache_outcome;
   qsn_probes : int;
   qsn_scans : int;
+  qsn_zvisited : int;
+  qsn_zpruned : int;
   qsn_complete : bool;
   qsn_pushed : int;
   qsn_filtered_at_source : int;
@@ -330,6 +349,8 @@ type sub_snap = {
   ssn_coalesced : int;
   ssn_probes : int;
   ssn_scans : int;
+  ssn_zvisited : int;
+  ssn_zpruned : int;
   ssn_cache_staled : int;
   ssn_torn_down : int;
   ssn_rearmed : int;
@@ -381,6 +402,8 @@ let snap_update us =
     usn_max_hops = us.us_max_hops;
     usn_probes = us.us_probes;
     usn_scans = us.us_scans;
+    usn_zvisited = us.us_zvisited;
+    usn_zpruned = us.us_zpruned;
     usn_batches = us.us_batches;
     usn_batch_tuples = us.us_batch_tuples;
     usn_coalesced = us.us_coalesced;
@@ -404,6 +427,8 @@ let snap_query qs =
     qsn_cache = qs.qs_cache;
     qsn_probes = qs.qs_probes;
     qsn_scans = qs.qs_scans;
+    qsn_zvisited = qs.qs_zvisited;
+    qsn_zpruned = qs.qs_zpruned;
     qsn_complete = qs.qs_complete;
     qsn_pushed = qs.qs_pushed;
     qsn_filtered_at_source = qs.qs_filtered_at_source;
@@ -450,6 +475,8 @@ let snapshot ?(store_tuples = 0) ?cache st =
         ssn_coalesced = st.st_sub.sb_coalesced;
         ssn_probes = st.st_sub.sb_probes;
         ssn_scans = st.st_sub.sb_scans;
+        ssn_zvisited = st.st_sub.sb_zvisited;
+        ssn_zpruned = st.st_sub.sb_zpruned;
         ssn_cache_staled = st.st_sub.sb_cache_staled;
         ssn_torn_down = st.st_sub.sb_torn_down;
         ssn_rearmed = st.st_sub.sb_rearmed;
@@ -461,8 +488,8 @@ let sub_snap_is_zero s =
   && s.ssn_deltas_in = 0 && s.ssn_prefiltered = 0 && s.ssn_deltas_out = 0
   && s.ssn_push_msgs = 0 && s.ssn_adds = 0 && s.ssn_retracts = 0
   && s.ssn_bytes = 0 && s.ssn_coalesced = 0 && s.ssn_probes = 0
-  && s.ssn_scans = 0 && s.ssn_cache_staled = 0 && s.ssn_torn_down = 0
-  && s.ssn_rearmed = 0
+  && s.ssn_scans = 0 && s.ssn_zvisited = 0 && s.ssn_zpruned = 0
+  && s.ssn_cache_staled = 0 && s.ssn_torn_down = 0 && s.ssn_rearmed = 0
 
 let snapshot_size_bytes snap =
   (* rough: fixed cost per record plus per-rule entries *)
@@ -484,11 +511,17 @@ let pp_peer_list ppf = function
   | [] -> Fmt.string ppf "none"
   | peers -> Fmt.(list ~sep:(any ", ") Peer_id.pp) ppf peers
 
+(* Zone-map counters print only when they moved, so feature-off
+   reports are byte-identical to the pre-zone-map format. *)
+let zone_suffix ~visited ~pruned =
+  if visited = 0 && pruned = 0 then ""
+  else Fmt.str ", zone chunks %d visited (%d pruned)" visited pruned
+
 let pp_update_snap ppf u =
   Fmt.pf ppf
     "@[<v 2>%a%s: started %.4fs, finished %a, data msgs %d, control msgs %d, bytes in \
      %d, new tuples %d, dups suppressed %d, nulls %d, longest path %d, index \
-     probes %d, scans %d, batches %d (%d tuples), coalesced %d, resends %d, cache \
+     probes %d, scans %d%s, batches %d (%d tuples), coalesced %d, resends %d, cache \
      staled %d@,\
      queried: %a@,\
      results sent to: %a%a@]"
@@ -496,7 +529,9 @@ let pp_update_snap ppf u =
     (if u.usn_forced then " (FORCED TERMINATION)" else "")
     u.usn_started pp_finished u.usn_finished u.usn_data_msgs
     u.usn_control_msgs u.usn_bytes_in u.usn_new_tuples u.usn_dup_suppressed
-    u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans u.usn_batches
+    u.usn_nulls_created u.usn_max_hops u.usn_probes u.usn_scans
+    (zone_suffix ~visited:u.usn_zvisited ~pruned:u.usn_zpruned)
+    u.usn_batches
     u.usn_batch_tuples u.usn_coalesced u.usn_resends u.usn_cache_staled pp_peer_list
     u.usn_queried pp_peer_list
     u.usn_sent_to
@@ -514,10 +549,11 @@ let cache_outcome_string = function
 
 let pp_query_snap ppf q =
   Fmt.pf ppf
-    "%a: %d answers (%d certain)%s, %d data msgs, %d B in, %d probes, %d scans%s%s"
+    "%a: %d answers (%d certain)%s, %d data msgs, %d B in, %d probes, %d scans%s%s%s"
     Ids.pp_query q.qsn_query q.qsn_answers q.qsn_certain
     (if q.qsn_complete then "" else " INCOMPLETE")
     q.qsn_data_msgs q.qsn_bytes_in q.qsn_probes q.qsn_scans
+    (zone_suffix ~visited:q.qsn_zvisited ~pruned:q.qsn_zpruned)
     (match q.qsn_cache with
     | Cache_unused -> ""
     | outcome -> ", " ^ cache_outcome_string outcome)
@@ -556,11 +592,13 @@ let pp_chaos_snap ppf c =
 let pp_sub_snap ppf s =
   Fmt.pf ppf
     "subs: %d registered (%d refused, %d dropped), %d deltas in (%d prefiltered), \
-     %d deltas out in %d msgs (+%d -%d, %d B, %d coalesced), %d probes, %d scans, \
+     %d deltas out in %d msgs (+%d -%d, %d B, %d coalesced), %d probes, %d scans%s, \
      %d cache staled, %d torn down, %d re-armed"
     s.ssn_registered s.ssn_rejected s.ssn_unregistered s.ssn_deltas_in
     s.ssn_prefiltered s.ssn_deltas_out s.ssn_push_msgs s.ssn_adds s.ssn_retracts
-    s.ssn_bytes s.ssn_coalesced s.ssn_probes s.ssn_scans s.ssn_cache_staled
+    s.ssn_bytes s.ssn_coalesced s.ssn_probes s.ssn_scans
+    (zone_suffix ~visited:s.ssn_zvisited ~pruned:s.ssn_zpruned)
+    s.ssn_cache_staled
     s.ssn_torn_down s.ssn_rearmed
 
 let pp_snapshot ppf s =

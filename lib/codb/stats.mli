@@ -29,6 +29,8 @@ type update_stat = {
   mutable us_max_hops : int;  (** longest update propagation path seen *)
   mutable us_probes : int;  (** index probes during rule evaluation *)
   mutable us_scans : int;  (** relation scans during rule evaluation *)
+  mutable us_zvisited : int;  (** chunks consulted by zone-map scans *)
+  mutable us_zpruned : int;  (** chunks skipped by zone-map bounds *)
   mutable us_batches : int;  (** [Update_batch] messages this node sent *)
   mutable us_batch_tuples : int;  (** tuples shipped inside those batches *)
   mutable us_coalesced : int;
@@ -66,6 +68,8 @@ type query_stat = {
   mutable qs_cache : cache_outcome;
   mutable qs_probes : int;
   mutable qs_scans : int;
+  mutable qs_zvisited : int;  (** chunks consulted by zone-map scans *)
+  mutable qs_zpruned : int;  (** chunks skipped by zone-map bounds *)
   mutable qs_complete : bool;
       (** [false] when any sub-request in the diffusion tree was
           declared failed: the answers are a lower bound *)
@@ -130,6 +134,8 @@ type sub_counters = {
       (** tuples cancelled or absorbed inside a [sub_batch_window] *)
   mutable sb_probes : int;  (** evaluator probes doing subscription maintenance *)
   mutable sb_scans : int;
+  mutable sb_zvisited : int;  (** chunks consulted by zone-map scans *)
+  mutable sb_zpruned : int;  (** chunks skipped by zone-map bounds *)
   mutable sb_cache_staled : int;
       (** cache entries invalidated to keep one-shot answers no staler
           than delivered subscription deltas *)
@@ -148,7 +154,9 @@ val chaos : t -> chaos
 val sub : t -> sub_counters
 
 val with_eval_counters :
-  note:(probes:int -> scans:int -> unit) -> (unit -> 'a) -> 'a
+  note:(probes:int -> scans:int -> zvisited:int -> zpruned:int -> unit) ->
+  (unit -> 'a) ->
+  'a
 (** Run [f] and report the evaluator access-path counter deltas it
     caused to [note] — the one way every protocol layer (update
     fix-point, query engine, subscription maintenance) attributes
@@ -216,6 +224,8 @@ type update_snap = {
   usn_max_hops : int;
   usn_probes : int;
   usn_scans : int;
+  usn_zvisited : int;
+  usn_zpruned : int;
   usn_batches : int;
   usn_batch_tuples : int;
   usn_coalesced : int;
@@ -238,6 +248,8 @@ type query_snap = {
   qsn_cache : cache_outcome;
   qsn_probes : int;
   qsn_scans : int;
+  qsn_zvisited : int;
+  qsn_zpruned : int;
   qsn_complete : bool;
   qsn_pushed : int;
   qsn_filtered_at_source : int;
@@ -272,6 +284,8 @@ type sub_snap = {
   ssn_coalesced : int;
   ssn_probes : int;
   ssn_scans : int;
+  ssn_zvisited : int;
+  ssn_zpruned : int;
   ssn_cache_staled : int;
   ssn_torn_down : int;
   ssn_rearmed : int;

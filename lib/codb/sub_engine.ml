@@ -14,9 +14,11 @@ let scounters rt = Stats.sub rt.Runtime.node.Node.stats
 let with_counters rt f =
   let sb = scounters rt in
   Stats.with_eval_counters
-    ~note:(fun ~probes ~scans ->
+    ~note:(fun ~probes ~scans ~zvisited ~zpruned ->
       sb.Stats.sb_probes <- sb.Stats.sb_probes + probes;
-      sb.Stats.sb_scans <- sb.Stats.sb_scans + scans)
+      sb.Stats.sb_scans <- sb.Stats.sb_scans + scans;
+      sb.Stats.sb_zvisited <- sb.Stats.sb_zvisited + zvisited;
+      sb.Stats.sb_zpruned <- sb.Stats.sb_zpruned + zpruned)
     f
 
 let source rt =
@@ -135,12 +137,13 @@ let on_store_delta rt ~rel ~delta ~tag =
               let d =
                 with_counters rt (fun () ->
                     if opts.Options.sub_naive then
-                      Sub.reevaluate sub ~planner:opts.Options.planner
-                        ~source:src ~tag
+                      Sub.reevaluate sub ~zone_maps:opts.Options.zone_maps
+                        ~planner:opts.Options.planner ~source:src ~tag
                     else begin
                       let d, dropped =
-                        Sub.apply_delta sub ~planner:opts.Options.planner
-                          ~source:src ~delta_rel:rel ~delta ~tag
+                        Sub.apply_delta sub ~zone_maps:opts.Options.zone_maps
+                          ~planner:opts.Options.planner ~source:src
+                          ~delta_rel:rel ~delta ~tag
                       in
                       sb.Stats.sb_prefiltered <-
                         sb.Stats.sb_prefiltered + dropped;
@@ -160,8 +163,9 @@ let refresh_all rt ~tag =
         (fun (entry : Registry.entry) ->
           let d =
             with_counters rt (fun () ->
-                Sub.refresh entry.Registry.e_sub ~planner:opts.Options.planner
-                  ~source:src ~tag)
+                Sub.refresh entry.Registry.e_sub
+                  ~zone_maps:opts.Options.zone_maps
+                  ~planner:opts.Options.planner ~source:src ~tag)
           in
           deliver rt entry d)
         (Registry.entries reg)
@@ -208,7 +212,9 @@ let register_local rt ?on_delta query =
                 ~owner:Durable.Olocal ~query_text:(query_text query);
               let d =
                 with_counters rt (fun () ->
-                    Sub.refresh sub ~planner:rt.Runtime.opts.Options.planner
+                    Sub.refresh sub
+                      ~zone_maps:rt.Runtime.opts.Options.zone_maps
+                      ~planner:rt.Runtime.opts.Options.planner
                       ~source:(source rt) ~tag:"seed")
               in
               deliver rt
@@ -314,6 +320,7 @@ let on_register rt ~src ~sub_id ~text =
                   let d =
                     with_counters rt (fun () ->
                         Sub.refresh sub
+                          ~zone_maps:rt.Runtime.opts.Options.zone_maps
                           ~planner:rt.Runtime.opts.Options.planner
                           ~source:(source rt)
                           ~tag:(if existed then "rearm" else "seed"))

@@ -1,5 +1,6 @@
 module Peer_id = Codb_net.Peer_id
 module Network = Codb_net.Network
+module Link_dict = Codb_net.Link_dict
 module Config = Codb_cq.Config
 module Tuple = Codb_relalg.Tuple
 module Database = Codb_relalg.Database
@@ -37,6 +38,9 @@ type dur_node = {
 
 type t = {
   sys_net : Payload.t Network.t;
+  sys_links : Link_dict.t;
+      (* per-directed-link incremental string dictionaries, trained by
+         the byte-accounting path when [Options.link_dicts] is on *)
   sys_nodes : (string, Node.t) Hashtbl.t;
   sys_runtimes : (string, Runtime.t) Hashtbl.t;
   sys_captures : (string, capture option ref) Hashtbl.t;
@@ -51,6 +55,8 @@ type t = {
 let opts sys = sys.sys_opts
 
 let net sys = sys.sys_net
+
+let link_dict_stats sys = Link_dict.stats sys.sys_links
 
 let config sys = sys.sys_config
 
@@ -363,13 +369,30 @@ let build ?(opts = Options.default) cfg =
       if Config.node cfg Superpeer.peer_name <> None then
         Error [ Printf.sprintf "node name %s is reserved" Superpeer.peer_name ]
       else begin
+        let links = Link_dict.create () in
         let size_of =
-          if opts.Options.wire_codec then Payload.encoded_size else Payload.size
+          if not opts.Options.wire_codec then fun ~src:_ ~dst:_ p -> Payload.size p
+          else if not opts.Options.link_dicts then fun ~src:_ ~dst:_ p ->
+            Payload.encoded_size p
+          else fun ~src ~dst p ->
+            (* Stats_response never encodes; keep it on the estimator
+               rather than training the link dictionary with nothing. *)
+            match p with
+            | Payload.Stats_response _ -> Payload.encoded_size p
+            | p -> Payload.encoded_size ~link:(Link_dict.sender links ~src ~dst) p
         in
+        let net =
+          Network.create ~default_latency:opts.Options.latency
+            ~default_byte_cost:opts.Options.byte_cost ~size_of ()
+        in
+        if opts.Options.link_dicts then
+          (* any pipe transition (close, reopen, flap) or send against a
+             closed pipe desyncs the link: new epoch both ways *)
+          Network.set_link_watcher net (fun a b -> Link_dict.bump_link links a b);
         let sys =
           {
-            sys_net = Network.create ~default_latency:opts.Options.latency
-                ~default_byte_cost:opts.Options.byte_cost ~size_of ();
+            sys_net = net;
+            sys_links = links;
             sys_nodes = Hashtbl.create 32;
             sys_runtimes = Hashtbl.create 32;
             sys_captures = Hashtbl.create 32;

@@ -25,6 +25,10 @@ val opts : t -> Options.t
 
 val net : t -> Payload.t Network.t
 
+val link_dict_stats : t -> Codb_net.Link_dict.stats
+(** Aggregate state of the per-link incremental string dictionaries
+    (all zero unless [Options.link_dicts] trained them). *)
+
 val config : t -> Config.t
 
 val node : t -> string -> Node.t

@@ -24,9 +24,11 @@ let stat (rt : Runtime.t) uid = Stats.update_stat rt.node.Node.stats ~now:(rt.no
    update's statistics. *)
 let with_counters us f =
   Stats.with_eval_counters
-    ~note:(fun ~probes ~scans ->
+    ~note:(fun ~probes ~scans ~zvisited ~zpruned ->
       us.Stats.us_probes <- us.Stats.us_probes + probes;
-      us.Stats.us_scans <- us.Stats.us_scans + scans)
+      us.Stats.us_scans <- us.Stats.us_scans + scans;
+      us.Stats.us_zvisited <- us.Stats.us_zvisited + zvisited;
+      us.Stats.us_zpruned <- us.Stats.us_zpruned + zpruned)
     f
 
 (* Is [st] still the state the node knows for this update?  A crash

@@ -27,6 +27,8 @@ type counters = {
   scans : int;  (** candidate sets served by a full scan *)
   planned : int;  (** joins executed through a cost-based plan *)
   legacy : int;  (** joins executed through the legacy greedy order *)
+  zone_visited : int;  (** chunks a zone-mapped scan examined *)
+  zone_pruned : int;  (** chunks a zone-mapped scan skipped *)
 }
 
 (* One counter cell per domain: a handler fanned out by the parallel
@@ -40,24 +42,42 @@ type cell = {
   mutable c_scans : int;
   mutable c_planned : int;
   mutable c_legacy : int;
+  mutable c_zvisited : int;
+  mutable c_zpruned : int;
 }
 
 let cell_key : cell Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { c_probes = 0; c_scans = 0; c_planned = 0; c_legacy = 0 })
+      {
+        c_probes = 0;
+        c_scans = 0;
+        c_planned = 0;
+        c_legacy = 0;
+        c_zvisited = 0;
+        c_zpruned = 0;
+      })
 
 let cell () = Domain.DLS.get cell_key
 
 let counters () =
   let c = cell () in
-  { probes = c.c_probes; scans = c.c_scans; planned = c.c_planned; legacy = c.c_legacy }
+  {
+    probes = c.c_probes;
+    scans = c.c_scans;
+    planned = c.c_planned;
+    legacy = c.c_legacy;
+    zone_visited = c.c_zvisited;
+    zone_pruned = c.c_zpruned;
+  }
 
 let reset_counters () =
   let c = cell () in
   c.c_probes <- 0;
   c.c_scans <- 0;
   c.c_planned <- 0;
-  c.c_legacy <- 0
+  c.c_legacy <- 0;
+  c.c_zvisited <- 0;
+  c.c_zpruned <- 0
 
 let empty_rows =
   {
@@ -103,6 +123,8 @@ let packed_view_of_rows ~arity:a flat n =
             end
           done;
           (hits, !hit));
+    (* a flattened row list has no chunk structure: nothing to skip *)
+    pv_prune = (fun _ -> None);
   }
 
 let rows_of_list ?arity:arity_hint tuples =
@@ -238,9 +260,10 @@ type prepared = {
   p_rows : rows;
   p_probe : int list;
   p_comparisons : Query.comparison list;
+  p_ranges : (int * Query.comparison_op * Value.t) list;
 }
 
-let prepare ?(probe = []) ?(comparisons = []) atom rows =
+let prepare ?(probe = []) ?(comparisons = []) ?(ranges = []) atom rows =
   {
     (* constants rewritten to their interned box: [Value.equal] then
        resolves by [==] against canonical stored tuples *)
@@ -254,6 +277,7 @@ let prepare ?(probe = []) ?(comparisons = []) atom rows =
     p_rows = rows;
     p_probe = probe;
     p_comparisons = comparisons;
+    p_ranges = ranges;
   }
 
 (* A prepared atom whose arity disagrees with its relation matches
@@ -468,6 +492,10 @@ type packed_step = {
   k_probe_vals : int array;  (* scratch, same length *)
   k_probe : int array -> int array * int;  (* prepared on the view *)
   k_checks : packed_check list;
+  k_prune : (int * Relation.bound_op * int) list;
+      (* zone-map bounds for a scan step: sargable order predicates
+         plus the equality constants already folded into [k_args];
+         empty unless zone maps are enabled *)
 }
 
 (* What a packed-match consumer sees: the slot array plus the
@@ -480,7 +508,7 @@ type packed_ctx = {
   x_slot : string -> int option;  (* variable name -> slot *)
 }
 
-let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
+let join_packed_run ?(zone_maps = false) prepared ~(emit : packed_ctx -> unit -> unit) =
   (* slots in first-occurrence order over the plan's step sequence *)
   let slot_tbl = Hashtbl.create 16 in
   let slot_names = ref [] (* reversed *) in
@@ -554,6 +582,37 @@ let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
         | Pconst _ -> ())
       args;
     let probe_src = Array.of_list (List.map (fun col -> args.(col)) p.p_probe) in
+    (* Zone-map bounds for a scan: the plan's order predicates, plus
+       every equality constant visible in the args (including those
+       [fold_eq] just rewrote into [Pbindconst]).  Computed only when
+       the feature is on, so the default path is bit-for-bit the
+       seed's every-chunk scan. *)
+    let prune =
+      if (not zone_maps) || p.p_probe <> [] then []
+      else begin
+        let bound_of_op = function
+          | Query.Lt -> Relation.Blt
+          | Query.Le -> Relation.Ble
+          | Query.Gt -> Relation.Bgt
+          | Query.Ge -> Relation.Bge
+          | Query.Eq | Query.Neq -> assert false (* never planned as a range *)
+        in
+        let ranges =
+          List.map
+            (fun (col, op, k) -> (col, bound_of_op op, Intern.pack k))
+            p.p_ranges
+        in
+        let eqs = ref [] in
+        Array.iteri
+          (fun col a ->
+            match a with
+            | Pconst k | Pbindconst (k, _) ->
+                eqs := (col, Relation.Beq, k) :: !eqs
+            | Pvar _ -> ())
+          args;
+        ranges @ List.rev !eqs
+      end
+    in
     {
       k_view = view;
       k_args = args;
@@ -564,6 +623,7 @@ let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
         (if p.p_probe = [] then fun _ -> ([||], 0)
          else view.Relation.pv_probe p.p_probe);
       k_checks = checks;
+      k_prune = prune;
     }
   in
   (* explicit left-to-right construction: slot numbering and the
@@ -611,7 +671,15 @@ let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
       let rows, len =
         if st.k_scan then begin
           counter_cell.c_scans <- counter_cell.c_scans + 1;
-          st.k_view.Relation.pv_all ()
+          if st.k_prune == [] then st.k_view.Relation.pv_all ()
+          else begin
+            match st.k_view.Relation.pv_prune st.k_prune with
+            | Some (rows, n, visited, pruned) ->
+                counter_cell.c_zvisited <- counter_cell.c_zvisited + visited;
+                counter_cell.c_zpruned <- counter_cell.c_zpruned + pruned;
+                (rows, n)
+            | None -> st.k_view.Relation.pv_all ()
+          end
         end
         else begin
           counter_cell.c_probes <- counter_cell.c_probes + 1;
@@ -668,9 +736,9 @@ let join_packed_run prepared ~(emit : packed_ctx -> unit -> unit) =
   in
   go 0
 
-let join_packed prepared =
+let join_packed ?zone_maps prepared =
   let results = ref [] in
-  join_packed_run prepared ~emit:(fun ctx ->
+  join_packed_run ?zone_maps prepared ~emit:(fun ctx ->
       let nslots = Array.length ctx.x_names in
       fun () ->
         let subst = ref Subst.empty in
@@ -694,8 +762,8 @@ let plan_prepared ?max_probe_cols atoms comparisons =
       List.map
         (fun (s : Plan.step) ->
           let atom, rows = arr.(s.Plan.st_pos) in
-          prepare ~probe:s.Plan.st_probe ~comparisons:s.Plan.st_comparisons atom
-            rows)
+          prepare ~probe:s.Plan.st_probe ~comparisons:s.Plan.st_comparisons
+            ~ranges:s.Plan.st_ranges atom rows)
         plan.Plan.pl_steps
     in
     if List.exists arity_mismatch prepared then None else Some prepared
@@ -706,12 +774,12 @@ let all_packed prepared =
 (* Planned execution: follow the plan's step order, probe the chosen
    column sets through composite indexes, and evaluate each comparison
    at the step the planner assigned it to. *)
-let join_planned ?max_probe_cols atoms comparisons =
+let join_planned ?zone_maps ?max_probe_cols atoms comparisons =
   let c = cell () in
   c.c_planned <- c.c_planned + 1;
   match plan_prepared ?max_probe_cols atoms comparisons with
   | None -> []
-  | Some prepared when all_packed prepared -> join_packed prepared
+  | Some prepared when all_packed prepared -> join_packed ?zone_maps prepared
   | Some prepared ->
       let rec go subst acc = function
         | [] -> subst :: acc
@@ -728,21 +796,21 @@ let join_planned ?max_probe_cols atoms comparisons =
       in
       List.rev (go Subst.empty [] prepared)
 
-let join ?(planner = true) ?max_probe_cols atoms comparisons =
-  if planner then join_planned ?max_probe_cols atoms comparisons
+let join ?(planner = true) ?zone_maps ?max_probe_cols atoms comparisons =
+  if planner then join_planned ?zone_maps ?max_probe_cols atoms comparisons
   else join_legacy (order_atoms atoms) comparisons
 
-let answers ?planner ?max_probe_cols source q =
+let answers ?planner ?zone_maps ?max_probe_cols source q =
   let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
-  join ?planner ?max_probe_cols atoms q.Query.comparisons
+  join ?planner ?zone_maps ?max_probe_cols atoms q.Query.comparisons
 
 let plan_for ?max_probe_cols source q =
   let atoms = List.map (fun a -> (a, source a.Atom.rel)) q.Query.body in
   plan_of_atoms ?max_probe_cols atoms q.Query.comparisons
 
-let delta_answers ?(naive = false) ?planner ?max_probe_cols source ~delta_rel
-    ~delta q =
-  if naive then answers ?planner ?max_probe_cols source q
+let delta_answers ?(naive = false) ?planner ?zone_maps ?max_probe_cols source
+    ~delta_rel ~delta q =
+  if naive then answers ?planner ?zone_maps ?max_probe_cols source q
   else if not (List.exists (fun a -> String.equal a.Atom.rel delta_rel) q.Query.body) then []
   else begin
     let full = source delta_rel in
@@ -775,7 +843,7 @@ let delta_answers ?(naive = false) ?planner ?max_probe_cols source ~delta_rel
             else (i, (a, source a.Atom.rel) :: acc))
           (0, []) q.Query.body
       in
-      join ?planner ?max_probe_cols (List.rev atoms) q.Query.comparisons
+      join ?planner ?zone_maps ?max_probe_cols (List.rev atoms) q.Query.comparisons
     in
     List.concat_map pass occurrences
   end
@@ -795,10 +863,10 @@ end)
    answers are boxed (into canonical tuples) and sorted, so the whole
    evaluation touches boxed values exactly once per distinct answer:
    at the API boundary. *)
-let answer_tuples_packed prepared (head : Atom.t) =
+let answer_tuples_packed ?zone_maps prepared (head : Atom.t) =
   let rows = ref [] in
   let seen : (int array, unit) Hashtbl.t = Hashtbl.create 1024 in
-  join_packed_run prepared ~emit:(fun ctx ->
+  join_packed_run ?zone_maps prepared ~emit:(fun ctx ->
       let proj =
         Array.of_list
           (List.map
@@ -831,7 +899,7 @@ let answer_tuples_packed prepared (head : Atom.t) =
   List.sort Tuple.compare
     (List.map (fun row -> Array.map Intern.unpack row) !rows)
 
-let answer_tuples ?planner ?max_probe_cols source q =
+let answer_tuples ?planner ?zone_maps ?max_probe_cols source q =
   (match Query.well_formed ~allow_existential_head:false q with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Eval.answer_tuples: " ^ reason));
@@ -844,10 +912,10 @@ let answer_tuples ?planner ?max_probe_cols source q =
     c.c_planned <- c.c_planned + 1;
     match plan_prepared ?max_probe_cols atoms q.Query.comparisons with
     | None -> []
-    | Some prepared -> answer_tuples_packed prepared q.Query.head
+    | Some prepared -> answer_tuples_packed ?zone_maps prepared q.Query.head
   end
   else begin
-    let substs = join ?planner ?max_probe_cols atoms q.Query.comparisons in
+    let substs = join ?planner ?zone_maps ?max_probe_cols atoms q.Query.comparisons in
     (* de-duplicate through [Tuple.hash] — O(1) per answer instead of
        a balanced-set insertion's O(log n) full-tuple comparisons —
        then sort once: the same sorted duplicate-free list as the

@@ -76,6 +76,9 @@ type counters = {
   scans : int;  (** candidate sets served by a full scan *)
   planned : int;  (** joins executed through a cost-based plan *)
   legacy : int;  (** joins executed through the legacy greedy order *)
+  zone_visited : int;
+      (** chunks a zone-mapped scan actually walked (pruned excluded) *)
+  zone_pruned : int;  (** chunks skipped outright by zone-map bounds *)
 }
 (** Global access-path counters (monotonic since {!reset_counters}).
     Callers wanting per-evaluation numbers snapshot before and after,
@@ -106,13 +109,22 @@ val source_of_alist : (string * Codb_relalg.Tuple.t list) list -> source
 (** Scan-only source over an association list. *)
 
 val answers :
-  ?planner:bool -> ?max_probe_cols:int -> source -> Query.t -> Subst.t list
+  ?planner:bool ->
+  ?zone_maps:bool ->
+  ?max_probe_cols:int ->
+  source ->
+  Query.t ->
+  Subst.t list
 (** All substitutions of the body variables satisfying body atoms and
     comparisons.  The result may contain substitutions that project to
     the same head tuple; projection and de-duplication are the
     caller's business (see {!Apply}).  [~planner:false] selects the
     legacy left-to-right evaluator; [max_probe_cols] caps probe width
-    (see {!Plan.make}). *)
+    (see {!Plan.make}).  [~zone_maps:true] lets packed scans consult
+    per-chunk min/max summaries to skip chunks ruled out by the plan's
+    sargable order predicates ({!Plan.step.st_ranges}) and constant
+    equality bindings — answers are identical either way, only the
+    [zone_*] counters move. *)
 
 val plan_for : ?max_probe_cols:int -> source -> Query.t -> Plan.t
 (** The plan {!answers} would execute — for the CLI [explain]
@@ -121,6 +133,7 @@ val plan_for : ?max_probe_cols:int -> source -> Query.t -> Plan.t
 val delta_answers :
   ?naive:bool ->
   ?planner:bool ->
+  ?zone_maps:bool ->
   ?max_probe_cols:int ->
   source ->
   delta_rel:string ->
@@ -137,6 +150,7 @@ val delta_answers :
 
 val answer_tuples :
   ?planner:bool ->
+  ?zone_maps:bool ->
   ?max_probe_cols:int ->
   source ->
   Query.t ->

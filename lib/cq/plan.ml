@@ -21,6 +21,11 @@ type step = {
   st_probe : int list;  (* argument positions ground at this step *)
   st_est : float;  (* estimated candidates per incoming binding *)
   st_comparisons : Query.comparison list;  (* fully bound after this step *)
+  st_ranges : (int * Query.comparison_op * Codb_relalg.Value.t) list;
+      (* sargable order predicates oriented as [cell op const]: the
+         variable first binds at this step, at the named argument
+         position — the evaluator may fold them into chunk-level
+         zone-map pruning of a scan *)
 }
 
 type t = {
@@ -105,10 +110,47 @@ let make ?(max_probe_cols = max_int) infos comparisons =
           | [] -> assert false
         in
         let pos, info, cols, est = best in
+        let before = bound in
         let bound =
           List.fold_left (fun b v -> Var_set.add v b) bound (Atom.vars info.ai_atom)
         in
         let now_bound, pending = List.partition (comparison_bound bound) pending in
+        (* Order predicates between a variable first bound at this step
+           and a constant are sargable: orient them as [cell op const]
+           on the variable's first argument position, so the evaluator
+           can skip whole chunks before matching a single row. *)
+        let flip = function
+          | Query.Lt -> Query.Gt
+          | Query.Le -> Query.Ge
+          | Query.Gt -> Query.Lt
+          | Query.Ge -> Query.Le
+          | (Query.Eq | Query.Neq) as op -> op
+        in
+        let arg_pos v =
+          let rec find i = function
+            | [] -> None
+            | Term.Var v' :: _ when String.equal v' v -> Some i
+            | _ :: rest -> find (i + 1) rest
+          in
+          find 0 info.ai_atom.Atom.args
+        in
+        let ranges =
+          List.filter_map
+            (fun (c : Query.comparison) ->
+              let sargable op v k =
+                if Var_set.mem v before then None
+                else Option.map (fun j -> (j, op, k)) (arg_pos v)
+              in
+              match (c.Query.op, c.Query.left, c.Query.right) with
+              | (Query.Lt | Query.Le | Query.Gt | Query.Ge), Term.Var v, Term.Cst k
+                ->
+                  sargable c.Query.op v k
+              | (Query.Lt | Query.Le | Query.Gt | Query.Ge), Term.Cst k, Term.Var v
+                ->
+                  sargable (flip c.Query.op) v k
+              | _ -> None)
+            now_bound
+        in
         let step =
           {
             st_pos = pos;
@@ -116,6 +158,7 @@ let make ?(max_probe_cols = max_int) infos comparisons =
             st_probe = (if info.ai_indexed then take max_probe_cols cols else []);
             st_est = est;
             st_comparisons = now_bound;
+            st_ranges = ranges;
           }
         in
         pick bound pending (step :: acc)
@@ -132,7 +175,7 @@ let pp_cols ppf cols =
   Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") int) cols
 
 let pp_step ppf s =
-  Fmt.pf ppf "%a  %s est %.2f%a"
+  Fmt.pf ppf "%a  %s est %.2f%a%a"
     (fun ppf -> function
       | [] -> Fmt.pf ppf "scan      "
       | cols -> Fmt.pf ppf "probe %a" pp_cols cols)
@@ -142,6 +185,11 @@ let pp_step ppf s =
     Fmt.(
       list ~sep:nop (fun ppf c -> Fmt.pf ppf ", then %a" Query.pp_comparison c))
     s.st_comparisons
+    Fmt.(
+      list ~sep:nop (fun ppf (col, op, k) ->
+          Fmt.pf ppf ", zone col %d %s %s" col (Query.string_of_op op)
+            (Codb_relalg.Value.to_string k)))
+    s.st_ranges
 
 let pp ppf t =
   let numbered = List.mapi (fun i s -> (i + 1, s)) t.pl_steps in

@@ -28,6 +28,11 @@ type step = {
   st_est : float;  (** estimated candidate tuples per incoming binding *)
   st_comparisons : Query.comparison list;
       (** comparisons that become fully bound at this step *)
+  st_ranges : (int * Query.comparison_op * Codb_relalg.Value.t) list;
+      (** sargable order predicates, oriented as [cell op const] on an
+          argument position whose variable first binds at this step;
+          a zone-map-capable scan may use them to skip chunks (see
+          {!Codb_relalg.Relation.packed_view}) *)
 }
 
 type t = {

@@ -3,16 +3,84 @@
    emitted inline and remembered; subsequent occurrences become a varint
    back-reference.  Update floods repeat rule ids, null provenance tags and
    skewed data values constantly, so the dictionary is where most of the
-   wire savings come from. *)
+   wire savings come from.
+
+   Two further string modes exist beyond the per-message dictionary:
+
+   - [Linked]: an incremental dictionary that persists across messages
+     on one directed link.  Introductions carry an explicit id next to
+     the literal, so a receiver that misses a message can never
+     misattribute a later back-reference — a dangling id fails as
+     [Malformed], a wrong string is impossible by construction.  Epoch
+     bumps (crash, restart, link flap) reset both sides deterministically.
+   - [Tabled]: strings become bare varint ids and the id -> string
+     table is harvested afterwards ({!dict_strings}) to be written
+     up front, deduplicated — the snapshot-v2 layout. *)
+
+module Dict = struct
+  type sender = {
+    mutable s_epoch : int;
+    s_tab : (string, int) Hashtbl.t;
+    mutable s_next : int;
+    mutable s_intros : int;
+    mutable s_hits : int;
+  }
+
+  type receiver = {
+    mutable r_epoch : int;
+    r_tab : (int, string) Hashtbl.t;
+  }
+
+  let sender () =
+    { s_epoch = 0; s_tab = Hashtbl.create 64; s_next = 0; s_intros = 0; s_hits = 0 }
+
+  let receiver () = { r_epoch = 0; r_tab = Hashtbl.create 64 }
+
+  let bump s =
+    s.s_epoch <- s.s_epoch + 1;
+    Hashtbl.reset s.s_tab;
+    s.s_next <- 0
+
+  let epoch s = s.s_epoch
+  let entries s = s.s_next
+  let intros s = s.s_intros
+  let hits s = s.s_hits
+  let receiver_epoch rc = rc.r_epoch
+
+  (* The table a message stamped [epoch] decodes against.  A newer
+     epoch adopts and resets (the sender reset on bump, so nothing we
+     remember can be referenced again); the current epoch keeps the
+     accumulated table; a stale epoch gets a throwaway empty table, so
+     its back-references fail [Malformed] while literals still decode. *)
+  let table_for rc ~epoch =
+    if epoch > rc.r_epoch then begin
+      rc.r_epoch <- epoch;
+      Hashtbl.reset rc.r_tab;
+      rc.r_tab
+    end
+    else if epoch = rc.r_epoch then rc.r_tab
+    else Hashtbl.create 4
+end
+
+type strmode = Inline | Linked of Dict.sender | Tabled
 
 type writer = {
   buf : Buffer.t;
   dict : (string, int) Hashtbl.t;
   mutable next_ref : int;
+  mode : strmode;
+  (* Tabled harvest, in id order (reversed) *)
+  mutable tabled : string list;
 }
 
-let writer ?(initial = 256) () =
-  { buf = Buffer.create initial; dict = Hashtbl.create 16; next_ref = 0 }
+let writer ?(initial = 256) ?(mode = Inline) () =
+  {
+    buf = Buffer.create initial;
+    dict = Hashtbl.create 16;
+    next_ref = 0;
+    mode;
+    tabled = [];
+  }
 
 let byte w n = Buffer.add_char w.buf (Char.chr (n land 0xff))
 
@@ -39,27 +107,71 @@ let raw_string w s =
   Buffer.add_string w.buf s
 
 let string w s =
-  match Hashtbl.find_opt w.dict s with
-  | Some r -> varint w (r + 1)
-  | None ->
-      Hashtbl.add w.dict s w.next_ref;
-      w.next_ref <- w.next_ref + 1;
-      byte w 0;
-      raw_string w s
+  match w.mode with
+  | Inline -> (
+      match Hashtbl.find_opt w.dict s with
+      | Some r -> varint w (r + 1)
+      | None ->
+          Hashtbl.add w.dict s w.next_ref;
+          w.next_ref <- w.next_ref + 1;
+          byte w 0;
+          raw_string w s)
+  | Linked d -> (
+      match Hashtbl.find_opt d.Dict.s_tab s with
+      | Some id ->
+          d.Dict.s_hits <- d.Dict.s_hits + 1;
+          varint w ((id lsl 1) lor 1)
+      | None ->
+          let id = d.Dict.s_next in
+          Hashtbl.add d.Dict.s_tab s id;
+          d.Dict.s_next <- id + 1;
+          d.Dict.s_intros <- d.Dict.s_intros + 1;
+          varint w (id lsl 1);
+          raw_string w s)
+  | Tabled -> (
+      match Hashtbl.find_opt w.dict s with
+      | Some id -> varint w id
+      | None ->
+          let id = w.next_ref in
+          Hashtbl.add w.dict s id;
+          w.next_ref <- id + 1;
+          w.tabled <- s :: w.tabled;
+          varint w id)
+
+let dict_strings w = List.rev w.tabled
+
+let preload w ss =
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem w.dict s) then begin
+        Hashtbl.add w.dict s w.next_ref;
+        w.next_ref <- w.next_ref + 1;
+        w.tabled <- s :: w.tabled
+      end)
+    ss
+
+let add_bytes w s = Buffer.add_string w.buf s
 
 let contents w = Buffer.contents w.buf
 let size w = Buffer.length w.buf
+
+type rstrmode =
+  | R_inline
+  | R_linked of (int, string) Hashtbl.t
+  | R_tabled of string array
 
 type reader = {
   src : string;
   mutable pos : int;
   rdict : (int, string) Hashtbl.t;
   mutable rnext : int;
+  rmode : rstrmode;
 }
 
 exception Malformed of string
 
-let reader src = { src; pos = 0; rdict = Hashtbl.create 16; rnext = 0 }
+let reader ?(mode = R_inline) src =
+  { src; pos = 0; rdict = Hashtbl.create 16; rnext = 0; rmode = mode }
 
 let read_byte r =
   if r.pos >= String.length r.src then raise (Malformed "truncated byte");
@@ -96,17 +208,38 @@ let read_raw_string r =
   s
 
 let read_string r =
-  let tag = read_varint r in
-  if tag = 0 then begin
-    let s = read_raw_string r in
-    Hashtbl.add r.rdict r.rnext s;
-    r.rnext <- r.rnext + 1;
-    s
-  end
-  else
-    match Hashtbl.find_opt r.rdict (tag - 1) with
-    | Some s -> s
-    | None -> raise (Malformed "dangling dictionary reference")
+  match r.rmode with
+  | R_inline -> (
+      let tag = read_varint r in
+      if tag = 0 then begin
+        let s = read_raw_string r in
+        Hashtbl.add r.rdict r.rnext s;
+        r.rnext <- r.rnext + 1;
+        s
+      end
+      else
+        match Hashtbl.find_opt r.rdict (tag - 1) with
+        | Some s -> s
+        | None -> raise (Malformed "dangling dictionary reference"))
+  | R_linked tab ->
+      let n = read_varint r in
+      let id = n lsr 1 in
+      if n land 1 = 0 then begin
+        let s = read_raw_string r in
+        (* replace: a retransmitted introduction is idempotent (the
+           sender never reuses an id for a different string within an
+           epoch) *)
+        Hashtbl.replace tab id s;
+        s
+      end
+      else (
+        match Hashtbl.find_opt tab id with
+        | Some s -> s
+        | None -> raise (Malformed "dangling link dictionary reference"))
+  | R_tabled arr ->
+      let id = read_varint r in
+      if id >= 0 && id < Array.length arr then arr.(id)
+      else raise (Malformed "dangling table reference")
 
 let at_end r = r.pos >= String.length r.src
 

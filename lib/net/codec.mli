@@ -6,12 +6,65 @@
     The codec is payload-agnostic: higher layers (see {!Codb_core.Payload})
     define tags and field order on top of these primitives. *)
 
+(** {1 Incremental link dictionaries}
+
+    State for the [Linked] string mode: a dictionary that persists
+    across messages on one directed link, so a string crosses the link
+    once per epoch and every later occurrence is a small id.  The wire
+    format keeps the id {e explicit} on introductions, which makes
+    desync detectable instead of silent: a receiver that missed an
+    introduction raises {!Malformed} on the dangling reference — it
+    can never resolve a reference to the wrong string. *)
+module Dict : sig
+  type sender
+  (** Sender half: string -> id, assigned densely per epoch. *)
+
+  type receiver
+  (** Receiver half: id -> string mirror, rebuilt from introductions. *)
+
+  val sender : unit -> sender
+  val receiver : unit -> receiver
+
+  val bump : sender -> unit
+  (** Start a new epoch: clear the table.  Called when the link state
+      is no longer trusted (crash, restart, flap, send on a closed
+      pipe), so the next messages re-introduce every string. *)
+
+  val epoch : sender -> int
+
+  val entries : sender -> int
+  (** Strings in the current epoch's table. *)
+
+  val intros : sender -> int
+  (** Introductions written (lifetime). *)
+
+  val hits : sender -> int
+  (** Back-references written (lifetime). *)
+
+  val receiver_epoch : receiver -> int
+
+  val table_for : receiver -> epoch:int -> (int, string) Hashtbl.t
+  (** The table a message stamped with [epoch] decodes against: a
+      newer epoch resets and adopts, the current epoch accumulates,
+      and a stale epoch gets a throwaway empty table (its references
+      fail {!Malformed}; literals still decode). *)
+end
+
+(** How {!string}/{!read_string} treat strings. *)
+type strmode =
+  | Inline  (** per-message dictionary (default, the classic format) *)
+  | Linked of Dict.sender
+      (** persistent per-link dictionary with explicit introduction ids *)
+  | Tabled
+      (** bare varint ids; the id -> string table is harvested with
+          {!dict_strings} and stored out of band (snapshot v2) *)
+
 (** {1 Encoding} *)
 
 type writer
 
-val writer : ?initial:int -> unit -> writer
-(** Fresh writer with an empty string dictionary. *)
+val writer : ?initial:int -> ?mode:strmode -> unit -> writer
+(** Fresh writer.  [mode] defaults to [Inline]. *)
 
 val varint : writer -> int -> unit
 (** Unsigned LEB128.  Negative arguments are a programming error (encoded as
@@ -28,23 +81,48 @@ val byte : writer -> int -> unit
 (** Single byte, low 8 bits of the argument. *)
 
 val string : writer -> string -> unit
-(** Dictionary string: first occurrence is [0, len, bytes]; later occurrences
-    are [ref+1] pointing back into the per-writer dictionary. *)
+(** Mode-dependent dictionary string.  [Inline]: first occurrence is
+    [0, len, bytes], later ones [ref+1].  [Linked d]: introductions are
+    [id*2, len, bytes] and hits [id*2+1], ids persisting across
+    messages until {!Dict.bump}.  [Tabled]: a bare id into the table
+    harvested by {!dict_strings}. *)
 
 val raw_string : writer -> string -> unit
 (** Length-prefixed string that bypasses the dictionary (for one-off blobs). *)
+
+val dict_strings : writer -> string list
+(** The [Tabled] harvest: every distinct string passed to {!string},
+    in first-use (= id) order.  Empty in other modes. *)
+
+val preload : writer -> string list -> unit
+(** Seed a [Tabled] writer's table: the k-th string gets id k (skipping
+    duplicates), so later {!string} calls on those strings emit bare
+    references.  Lets a caller fix the table order — e.g. sorted, for
+    front coding — by harvesting with a first pass and re-encoding. *)
+
+val add_bytes : writer -> string -> unit
+(** Append bytes verbatim (no length prefix) — for assembling a
+    container around an already-encoded body. *)
 
 val contents : writer -> string
 val size : writer -> int
 
 (** {1 Decoding} *)
 
+(** Reader-side string mode, mirroring {!strmode}.  [R_linked] carries
+    the epoch-selected table (see {!Dict.table_for}); [R_tabled] the
+    decoded string table. *)
+type rstrmode =
+  | R_inline
+  | R_linked of (int, string) Hashtbl.t
+  | R_tabled of string array
+
 type reader
 
 exception Malformed of string
 (** Raised by read primitives on truncated or corrupt input. *)
 
-val reader : string -> reader
+val reader : ?mode:rstrmode -> string -> reader
 val read_varint : reader -> int
 val read_zigzag : reader -> int
 val read_float64 : reader -> float

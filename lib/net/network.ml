@@ -26,7 +26,11 @@ type 'a t = {
   events : 'a event Event_queue.t;
   peer_table : (Peer_id.t, 'a peer_entry) Hashtbl.t;
   pipe_table : (Peer_id.t * Peer_id.t, Pipe.t) Hashtbl.t;
-  size_of : 'a -> int;
+  size_of : src:Peer_id.t -> dst:Peer_id.t -> 'a -> int;
+  (* Fired on every pipe open<->close transition (and on a send
+     attempt against a closed pipe) with the two endpoints: link-level
+     codec state upstream must not trust the link across these. *)
+  mutable link_watcher : (Peer_id.t -> Peer_id.t -> unit) option;
   default_latency : float;
   default_byte_cost : float;
   mutable msg_seq : int;
@@ -47,6 +51,7 @@ let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of (
     peer_table = Hashtbl.create 32;
     pipe_table = Hashtbl.create 64;
     size_of;
+    link_watcher = None;
     default_latency;
     default_byte_cost;
     msg_seq = 0;
@@ -59,6 +64,27 @@ let create ?(default_latency = 0.001) ?(default_byte_cost = 0.000001) ~size_of (
   }
 
 let pipe_key a b = if Peer_id.compare a b <= 0 then (a, b) else (b, a)
+
+let set_link_watcher net f = net.link_watcher <- Some f
+
+let notify_link net a b =
+  match net.link_watcher with Some f -> f a b | None -> ()
+
+(* Close/reopen wrappers that fire the watcher only on an actual
+   transition, so idempotent re-closes stay silent. *)
+let close_pipe net pipe =
+  if Pipe.is_open pipe then begin
+    Pipe.close pipe;
+    let a, b = Pipe.endpoints pipe in
+    notify_link net a b
+  end
+
+let reopen_pipe net pipe =
+  if not (Pipe.is_open pipe) then begin
+    Pipe.reopen pipe;
+    let a, b = Pipe.endpoints pipe in
+    notify_link net a b
+  end
 
 let add_peer net id =
   if not (Hashtbl.mem net.peer_table id) then begin
@@ -86,7 +112,7 @@ let remove_peer net id =
   net.peer_list <- None;
   let close_touching key pipe =
     let x, y = key in
-    if Peer_id.equal x id || Peer_id.equal y id then Pipe.close pipe
+    if Peer_id.equal x id || Peer_id.equal y id then close_pipe net pipe
   in
   Hashtbl.iter close_touching net.pipe_table
 
@@ -109,14 +135,14 @@ let connect ?latency ?byte_cost net a b =
     invalid_arg "Network.connect: both peers must exist";
   let key = pipe_key a b in
   match Hashtbl.find_opt net.pipe_table key with
-  | Some pipe -> Pipe.reopen pipe
+  | Some pipe -> reopen_pipe net pipe
   | None ->
       let latency = Option.value ~default:net.default_latency latency in
       let byte_cost = Option.value ~default:net.default_byte_cost byte_cost in
       Hashtbl.add net.pipe_table key (Pipe.create a b ~latency ~byte_cost)
 
 let disconnect net a b =
-  match pipe_between net a b with Some pipe -> Pipe.close pipe | None -> ()
+  match pipe_between net a b with Some pipe -> close_pipe net pipe | None -> ()
 
 let connected net a b =
   match pipe_between net a b with Some pipe -> Pipe.is_open pipe | None -> false
@@ -158,7 +184,7 @@ let sendable net ~src ~dst =
 let send net ~src ~dst payload =
   match pipe_between net src dst with
   | Some pipe when Pipe.is_open pipe ->
-      let size = net.size_of payload + Message.header_bytes in
+      let size = net.size_of ~src ~dst payload + Message.header_bytes in
       net.msg_seq <- net.msg_seq + 1;
       let message =
         { Message.msg_id = net.msg_seq; src; dst; sent_at = net.now; size; payload }
@@ -191,7 +217,11 @@ let send net ~src ~dst payload =
       true
   | Some _ | None ->
       net.dropped <- net.dropped + 1;
-      net.dropped_bytes <- net.dropped_bytes + net.size_of payload + Message.header_bytes;
+      (* the link is visibly broken at the sender: upstream codec
+         state must stop trusting it before we price the message *)
+      notify_link net src dst;
+      net.dropped_bytes <-
+        net.dropped_bytes + net.size_of ~src ~dst payload + Message.header_bytes;
       Log.debug (fun m ->
           m "message %s -> %s dropped: no open pipe" (Peer_id.to_string src)
             (Peer_id.to_string dst));
@@ -284,11 +314,11 @@ let install_fault net plan =
         match pipe_between net f.Fault.fl_a f.Fault.fl_b with
         | Some pipe when Pipe.is_open pipe ->
             Fault.note_flap fault;
-            Pipe.close pipe
+            close_pipe net pipe
         | Some _ | None -> ());
     schedule net ~delay:(Float.max 0.0 (f.Fault.fl_up_at -. net.now)) (fun () ->
         match pipe_between net f.Fault.fl_a f.Fault.fl_b with
-        | Some pipe when not (Pipe.is_open pipe) -> Pipe.reopen pipe
+        | Some pipe when not (Pipe.is_open pipe) -> reopen_pipe net pipe
         | Some _ | None -> ())
   in
   List.iter arm plan.Fault.flaps;

@@ -29,9 +29,23 @@ type counters = {
   restarts : int;
 }
 
-val create : ?default_latency:float -> ?default_byte_cost:float -> size_of:('a -> int) -> unit -> 'a t
+val create :
+  ?default_latency:float ->
+  ?default_byte_cost:float ->
+  size_of:(src:Peer_id.t -> dst:Peer_id.t -> 'a -> int) ->
+  unit ->
+  'a t
 (** [size_of] estimates the wire size of a payload (the envelope adds
-    {!Message.header_bytes}).  Defaults: 1 ms latency, 1 µs/byte. *)
+    {!Message.header_bytes}).  It receives the endpoints so link-level
+    codec state (incremental dictionaries) can be trained per directed
+    link.  Defaults: 1 ms latency, 1 µs/byte. *)
+
+val set_link_watcher : 'a t -> (Peer_id.t -> Peer_id.t -> unit) -> unit
+(** Register a callback fired with the two endpoints on every pipe
+    open<->close transition — connect, disconnect, remove, flap — and
+    on a send attempt against a closed pipe (before the dropped
+    message is priced).  Link-level codec state upstream must not
+    trust the link across these events. *)
 
 val add_peer : 'a t -> Peer_id.t -> unit
 (** Idempotent. *)

@@ -134,6 +134,17 @@ type index = {
   ix_tbl : (int, Ivec.t) Hashtbl.t;
 }
 
+(* Per-chunk [min, max] summaries of one column's packed values (a
+   zone map).  Bounds cover every slot ever written in the chunk, dead
+   ones included: removals never shrink an interval, so a stale zone
+   map is only ever *wider* than the live data — pruning stays sound,
+   it just skips less. *)
+type zcol = {
+  mutable zc_mins : int array;
+  mutable zc_maxs : int array;
+  mutable zc_chunks : int;  (* summarised chunk count *)
+}
+
 type t = {
   schema : Schema.t;
   arity : int;
@@ -148,6 +159,9 @@ type t = {
   (* per-column distinct-value counters keyed by packed value: built on
      the first [distinct_count] call, maintained incrementally after *)
   mutable col_counts : (int, int) Hashtbl.t option array;
+  (* per-column zone maps: built on the first [pv_prune] touching the
+     column, maintained incrementally after *)
+  mutable zones : zcol option array;
   mutable sorted_cache : Tuple.t list option;
   mutable live_cache : int array option;  (* live row ids, insertion order *)
 }
@@ -168,6 +182,7 @@ let create schema =
     indexes = Hashtbl.create 4;
     index_budget = default_index_budget;
     col_counts = Array.make arity None;
+    zones = Array.make arity None;
     sorted_cache = None;
     live_cache = None;
   }
@@ -273,6 +288,29 @@ let index_remove ix r row =
       Ivec.remove bucket row;
       if bucket.Ivec.len = 0 then Hashtbl.remove ix.ix_tbl key
 
+(* Widen a built zone map with a freshly appended slot.  Slots are
+   appended strictly in order, so a new chunk always starts exactly at
+   [zc_chunks]. *)
+let zone_note z v row =
+  let chunk = row lsr chunk_shift in
+  if chunk >= z.zc_chunks then begin
+    if chunk >= Array.length z.zc_mins then begin
+      let cap = max 4 (2 * Array.length z.zc_mins) in
+      let mins = Array.make cap 0 and maxs = Array.make cap 0 in
+      Array.blit z.zc_mins 0 mins 0 z.zc_chunks;
+      Array.blit z.zc_maxs 0 maxs 0 z.zc_chunks;
+      z.zc_mins <- mins;
+      z.zc_maxs <- maxs
+    end;
+    z.zc_mins.(chunk) <- v;
+    z.zc_maxs.(chunk) <- v;
+    z.zc_chunks <- chunk + 1
+  end
+  else begin
+    if Intern.compare v z.zc_mins.(chunk) < 0 then z.zc_mins.(chunk) <- v;
+    if Intern.compare v z.zc_maxs.(chunk) > 0 then z.zc_maxs.(chunk) <- v
+  end
+
 let note_insert r row =
   r.card <- r.card + 1;
   r.sorted_cache <- None;
@@ -286,7 +324,11 @@ let note_insert r row =
           let v = cell r col row in
           let n = Option.value ~default:0 (Hashtbl.find_opt counts v) in
           Hashtbl.replace counts v (n + 1))
-    r.col_counts
+    r.col_counts;
+  Array.iteri
+    (fun col z ->
+      match z with None -> () | Some z -> zone_note z (cell r col row) row)
+    r.zones
 
 let note_remove r row =
   r.card <- r.card - 1;
@@ -381,6 +423,7 @@ let clear r =
   r.row_index <- Hashtbl.create 64;
   Hashtbl.reset r.indexes;
   r.col_counts <- Array.make r.arity None;
+  r.zones <- Array.make r.arity None;
   r.sorted_cache <- None;
   r.live_cache <- None
 
@@ -413,6 +456,7 @@ let copy r =
     row_index = Hashtbl.copy r.row_index;
     indexes = Hashtbl.create 4;
     col_counts = Array.make r.arity None;
+    zones = Array.make r.arity None;
   }
 
 let equal_contents r1 r2 =
@@ -585,11 +629,14 @@ let subsumed r incoming =
 
 (* ---- packed view ------------------------------------------------------ *)
 
+type bound_op = Blt | Ble | Bgt | Bge | Beq
+
 type packed_view = {
   pv_arity : int;
   pv_cell : int -> int -> int;
   pv_all : unit -> int array * int;
   pv_probe : int list -> int array -> int array * int;
+  pv_prune : (int * bound_op * int) list -> (int array * int * int * int) option;
 }
 
 let no_rows = ([||], 0)
@@ -607,6 +654,86 @@ let live_rows r =
           incr i);
       r.live_cache <- Some rows;
       rows
+
+(* The column's zone map, built on first use over every slot written
+   so far (dead ones included — see [zcol]) and maintained by
+   [note_insert] afterwards. *)
+let zone_for r col =
+  match r.zones.(col) with
+  | Some z -> z
+  | None ->
+      let nchunks = (r.nrows + chunk_mask) lsr chunk_shift in
+      let z =
+        {
+          zc_mins = Array.make (max 4 nchunks) 0;
+          zc_maxs = Array.make (max 4 nchunks) 0;
+          zc_chunks = nchunks;
+        }
+      in
+      let store = r.cols.(col) in
+      for chunk = 0 to nchunks - 1 do
+        let base = chunk lsl chunk_shift in
+        let last = min (base + chunk_mask) (r.nrows - 1) in
+        let lo = ref (Ichunks.get store base) and hi = ref (Ichunks.get store base) in
+        for i = base + 1 to last do
+          let v = Ichunks.get store i in
+          if Intern.compare v !lo < 0 then lo := v;
+          if Intern.compare v !hi > 0 then hi := v
+        done;
+        z.zc_mins.(chunk) <- !lo;
+        z.zc_maxs.(chunk) <- !hi
+      done;
+      r.zones.(col) <- Some z;
+      z
+
+(* Can a chunk whose column interval is [lo, hi] contain a row
+   satisfying [cell op k]?  [Intern.compare] is consistent with
+   {!Value.compare}, and a row only passes an order predicate when
+   [Value.compare] orders it against the constant (nulls and holes
+   compare false), so the interval test never skips a satisfying
+   row. *)
+let zone_admits ~lo ~hi op k =
+  match op with
+  | Beq -> Intern.compare k lo >= 0 && Intern.compare k hi <= 0
+  | Blt -> Intern.compare lo k < 0
+  | Ble -> Intern.compare lo k <= 0
+  | Bgt -> Intern.compare hi k > 0
+  | Bge -> Intern.compare hi k >= 0
+
+(* Chunk-skip scan: live row ids from chunks whose zone intervals can
+   satisfy every bound, plus (visited, pruned) chunk counts.  Live
+   rows come in ascending slot order, so each chunk is tested once. *)
+let prune_rows r bounds =
+  let rows = live_rows r in
+  let n = Array.length rows in
+  if n = 0 then ([||], 0, 0, 0)
+  else begin
+    let zoned = List.map (fun (col, op, k) -> (zone_for r col, op, k)) bounds in
+    let chunk_ok chunk =
+      List.for_all
+        (fun (z, op, k) ->
+          chunk >= z.zc_chunks
+          || zone_admits ~lo:z.zc_mins.(chunk) ~hi:z.zc_maxs.(chunk) op k)
+        zoned
+    in
+    let out = Array.make n 0 in
+    let m = ref 0 and visited = ref 0 and pruned = ref 0 in
+    let cur = ref (-1) and keep = ref false in
+    for i = 0 to n - 1 do
+      let row = rows.(i) in
+      let chunk = row lsr chunk_shift in
+      if chunk <> !cur then begin
+        cur := chunk;
+        keep := chunk_ok chunk;
+        if !keep then incr visited else incr pruned
+      end;
+      if !keep then begin
+        out.(!m) <- row;
+        incr m
+      end
+    done;
+    (out, !m, !visited, !pruned)
+  end
 
 (* Resolve the access path for a fixed (sorted, distinct) column set
    once, returning a probe on the packed values aligned with [cols].
@@ -705,6 +832,7 @@ let packed_view r =
                 f
           in
           probe vals);
+    pv_prune = (fun bounds -> Some (prune_rows r bounds));
   }
 
 let distinct_count r ~col =

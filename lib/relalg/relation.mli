@@ -120,6 +120,11 @@ val iter : (Tuple.t -> unit) -> t -> unit
 
 val copy : t -> t
 
+type bound_op = Blt | Ble | Bgt | Bge | Beq
+(** Sargable predicate shapes a scan can push into chunk pruning:
+    [cell op constant] on one column, constants packed (see
+    {!Intern}). *)
+
 type packed_view = {
   pv_arity : int;
   pv_cell : int -> int -> int;
@@ -134,6 +139,17 @@ type packed_view = {
           values aligned with [cols] yields the matching row ids as
           [(ids, n)].  The access path (index, index-then-filter, or
           scan, budget permitting) is resolved on first use. *)
+  pv_prune : (int * bound_op * int) list -> (int array * int * int * int) option;
+      (** [pv_prune bounds] is the zone-map scan: live row ids from
+          exactly the chunks whose per-column [min, max] intervals can
+          satisfy every [(col, op, packed_const)] bound, as
+          [(ids, n, chunks_visited, chunks_pruned)].  Sound, not
+          complete: surviving rows still need the row-level predicate
+          check.  Zone maps build lazily on the first call and are
+          maintained on insert; removals only leave them conservative
+          (wider).  [None] when the view has no chunk structure to
+          prune (e.g. {!Codb_cq.Eval.rows_of_list} feeds) — callers
+          fall back to [pv_all]. *)
 }
 (** Zero-copy packed access for the evaluator's join core: candidate
     sets are row ids, matching is integer comparison against column

@@ -21,15 +21,17 @@ type t = {
   backend : Backend.t;
   snapshot_every : int;
   take_snapshot : unit -> string;
+  on_truncate : (unit -> unit) option;
   mutable since_snapshot : int;
   counters : counters;
 }
 
-let create ~backend ~snapshot_every ~take_snapshot =
+let create ?on_truncate ~backend ~snapshot_every ~take_snapshot () =
   {
     backend;
     snapshot_every;
     take_snapshot;
+    on_truncate;
     since_snapshot = 0;
     counters =
       {
@@ -49,7 +51,10 @@ let snapshot_now t =
   t.backend.Backend.sync ();
   t.since_snapshot <- 0;
   t.counters.snapshots_taken <- t.counters.snapshots_taken + 1;
-  t.counters.snapshot_bytes <- t.counters.snapshot_bytes + String.length snap
+  t.counters.snapshot_bytes <- t.counters.snapshot_bytes + String.length snap;
+  (* the log was just cut: stream-level encoder state (the incremental
+     record dictionary) must restart so the new tail is self-contained *)
+  match t.on_truncate with Some f -> f () | None -> ()
 
 let append t payload =
   let framed = Frame.encode payload in

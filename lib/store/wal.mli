@@ -17,10 +17,16 @@ type counters = {
 type t
 
 val create :
+  ?on_truncate:(unit -> unit) ->
   backend:Backend.t ->
   snapshot_every:int ->
   take_snapshot:(unit -> string) ->
+  unit ->
   t
+(** [on_truncate] fires right after every log truncation (the tail of
+    {!snapshot_now}): callers keeping stream-level encoder state across
+    records — the incremental record dictionary — reset it there so the
+    new log tail decodes from scratch. *)
 
 val append : t -> string -> unit
 (** Frame, checksum and append one record; may trigger a snapshot. *)

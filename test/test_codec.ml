@@ -420,6 +420,120 @@ let prop_damaged_decode_total =
     gen_damaged
     (fun s -> match Payload.decode s with Ok _ | Error _ -> true)
 
+(* --- link-level incremental dictionaries ---------------------------- *)
+
+let test_link_roundtrip_and_shrink () =
+  let d = Codec.Dict.sender () in
+  let rc = Codec.Dict.receiver () in
+  let p =
+    Payload.Update_data
+      {
+        update_id = uid;
+        rule_id = "r_common_rule_name";
+        tuples = [ tup [ s "shared-string"; i 1 ] ];
+        hops = 1;
+        global = true;
+      }
+  in
+  let first = Payload.encode ~link:d p in
+  Alcotest.(check bool) "first message decodes" true
+    (Payload.decode ~link:rc first = Ok p);
+  let second = Payload.encode ~link:d p in
+  Alcotest.(check bool) "second message decodes" true
+    (Payload.decode ~link:rc second = Ok p);
+  Alcotest.(check bool) "repeat message is smaller"
+    true
+    (String.length second < String.length first);
+  Alcotest.(check bool) "back-references recorded" true (Codec.Dict.hits d > 0);
+  Alcotest.(check int) "sizes stay exact" (String.length (Payload.encode ~link:d p))
+    (Payload.encoded_size ~link:d p)
+
+let test_link_desync_fails_closed () =
+  let d = Codec.Dict.sender () in
+  let rc = Codec.Dict.receiver () in
+  let mk rule =
+    Payload.Update_link_closed { update_id = uid; rule_id = rule; global = true }
+  in
+  let intro = Payload.encode ~link:d (mk "shared") in
+  let backref = Payload.encode ~link:d (mk "shared") in
+  (* the introduction is lost: the reference must dangle, not resolve *)
+  ignore intro;
+  (match Payload.decode ~link:rc backref with
+  | Error _ -> ()
+  | Ok p -> Alcotest.failf "dangling reference decoded as %s" (Payload.describe p));
+  (* the sender learns the link broke: new epoch, literals return *)
+  Codec.Dict.bump d;
+  let fresh = Payload.encode ~link:d (mk "shared") in
+  Alcotest.(check bool) "post-bump message decodes" true
+    (Payload.decode ~link:rc fresh = Ok (mk "shared"))
+
+let test_link_stale_epoch_dangles () =
+  let d = Codec.Dict.sender () in
+  let rc = Codec.Dict.receiver () in
+  let mk rule =
+    Payload.Update_link_closed { update_id = uid; rule_id = rule; global = true }
+  in
+  let m_intro = Payload.encode ~link:d (mk "x") in
+  let m_ref = Payload.encode ~link:d (mk "x") in
+  Codec.Dict.bump d;
+  let m_new = Payload.encode ~link:d (mk "y") in
+  Alcotest.(check bool) "old-epoch intro decodes" true
+    (Payload.decode ~link:rc m_intro = Ok (mk "x"));
+  Alcotest.(check bool) "new epoch adopted" true
+    (Payload.decode ~link:rc m_new = Ok (mk "y"));
+  (* the late pre-bump message references a table the receiver reset *)
+  match Payload.decode ~link:rc m_ref with
+  | Error _ -> ()
+  | Ok p -> Alcotest.failf "stale reference decoded as %s" (Payload.describe p)
+
+(* Size model under link dictionaries: two dictionaries trained by the
+   same message sequence stay in lockstep, so [encoded_size ~link] on
+   one predicts [encode ~link] on the other exactly, message after
+   message. *)
+let prop_encoded_size_exact_linked =
+  Q2.Test.make ~name:"encoded_size ~link = |encode ~link| along random streams"
+    ~count:200
+    ~print:(fun ps -> String.concat "; " (List.map Payload.describe ps))
+    Gen.(list_size (int_range 0 8) gen_payload)
+    (fun ps ->
+      let d_size = Codec.Dict.sender () in
+      let d_enc = Codec.Dict.sender () in
+      List.for_all
+        (fun p ->
+          Payload.encoded_size ~link:d_size p
+          = String.length (Payload.encode ~link:d_enc p))
+        ps)
+
+(* The epoch-desync safety net: under any interleaving of losses and
+   epoch bumps, a delivered message decodes to exactly what was sent or
+   fails — never to a payload with a wrong string. *)
+type link_event = Ld_deliver | Ld_drop | Ld_bump_then_deliver
+
+let gen_link_plan =
+  Gen.(
+    list_size (int_range 0 20)
+      (pair gen_payload
+         (oneofl [ Ld_deliver; Ld_drop; Ld_bump_then_deliver ])))
+
+let prop_link_desync_never_wrong =
+  Q2.Test.make
+    ~name:"link dictionaries never decode a wrong payload under loss/bumps"
+    ~count:300 gen_link_plan
+    (fun plan ->
+      let d = Codec.Dict.sender () in
+      let rc = Codec.Dict.receiver () in
+      List.for_all
+        (fun (p, ev) ->
+          (match ev with Ld_bump_then_deliver -> Codec.Dict.bump d | _ -> ());
+          let bytes = Payload.encode ~link:d p in
+          match ev with
+          | Ld_drop -> true (* the receiver never sees it *)
+          | Ld_deliver | Ld_bump_then_deliver -> (
+              match Payload.decode ~link:rc bytes with
+              | Ok p' -> p' = p
+              | Error _ -> true))
+        plan)
+
 let suite =
   [
     Alcotest.test_case "primitive round-trips" `Quick test_primitive_round_trip;
@@ -439,4 +553,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_encoded_size_exact;
     QCheck_alcotest.to_alcotest prop_decode_inverts_encode;
     QCheck_alcotest.to_alcotest prop_damaged_decode_total;
+    Alcotest.test_case "link dict roundtrip and shrink" `Quick
+      test_link_roundtrip_and_shrink;
+    Alcotest.test_case "link dict desync fails closed" `Quick
+      test_link_desync_fails_closed;
+    Alcotest.test_case "link dict stale epoch dangles" `Quick
+      test_link_stale_epoch_dangles;
+    QCheck_alcotest.to_alcotest prop_encoded_size_exact_linked;
+    QCheck_alcotest.to_alcotest prop_link_desync_never_wrong;
   ]

@@ -250,6 +250,23 @@ let test_answer_tuples_rejects_existential_head () =
        false
      with Invalid_argument _ -> true)
 
+let test_zone_maps_answers_unchanged () =
+  (* big enough for several 4096-row chunks, selective enough to prune *)
+  let db = db_of [ r_schema ] [] in
+  let rel = Codb_relalg.Database.relation db "r" in
+  for k = 0 to 9999 do
+    ignore (Codb_relalg.Relation.insert rel (tup [ i k; i (k mod 50) ]))
+  done;
+  let q = parse_query "ans(x, y) <- r(x, y), x < 120, y > 10" in
+  let source = Eval.of_database db in
+  let off = Eval.answer_tuples ~zone_maps:false source q in
+  Eval.reset_counters ();
+  let on = Eval.answer_tuples ~zone_maps:true source q in
+  check_tuples "zone maps change nothing but the scan" off on;
+  let c = Eval.counters () in
+  Alcotest.(check bool) "chunks were pruned" true (c.Eval.zone_pruned > 0);
+  Alcotest.(check bool) "surviving chunks were visited" true (c.Eval.zone_visited > 0)
+
 let suite =
   [
     Alcotest.test_case "single atom scan" `Quick test_single_atom_scan;
@@ -276,4 +293,6 @@ let suite =
     Alcotest.test_case "certain answers" `Quick test_certain_filters_nulls;
     Alcotest.test_case "user query rejects existential head" `Quick
       test_answer_tuples_rejects_existential_head;
+    Alcotest.test_case "zone maps leave answers unchanged" `Quick
+      test_zone_maps_answers_unchanged;
   ]

@@ -7,7 +7,8 @@ module Fault = Codb_net.Fault
 
 let p = Peer_id.of_string
 
-let make_net () = Network.create ~size_of:String.length ()
+let make_net () =
+  Network.create ~size_of:(fun ~src:_ ~dst:_ s -> String.length s) ()
 
 let two_peers () =
   let net = make_net () in

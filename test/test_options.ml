@@ -156,6 +156,18 @@ let test_rto_backoff_capped () =
   Alcotest.(check bool) "failure deadline is finite" true
     (Float.is_finite (Options.failure_deadline opts))
 
+let test_dict_knobs () =
+  Alcotest.(check bool) "zone_maps with planner valid" true
+    (Options.validate { Options.default with Options.zone_maps = true } = Ok ());
+  Alcotest.(check bool) "link_dicts with codec valid" true
+    (Options.validate { Options.default with Options.link_dicts = true } = Ok ());
+  rejected ~substring:"zone_maps"
+    (Options.validate
+       { Options.default with Options.zone_maps = true; planner = false });
+  rejected ~substring:"link_dicts"
+    (Options.validate
+       { Options.default with Options.link_dicts = true; wire_codec = false })
+
 let test_errors_accumulate () =
   match
     Options.validate
@@ -188,6 +200,7 @@ let suite =
     Alcotest.test_case "bad wire knobs rejected" `Quick test_bad_wire_knobs_rejected;
     Alcotest.test_case "chaos knobs are valid" `Quick test_chaos_knobs_are_valid;
     Alcotest.test_case "bad chaos knobs rejected" `Quick test_bad_chaos_knobs_rejected;
+    Alcotest.test_case "zone-map/link-dict knobs validated" `Quick test_dict_knobs;
     Alcotest.test_case "rto backoff capped" `Quick test_rto_backoff_capped;
     Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate;
     Alcotest.test_case "System.build enforces validate" `Quick

@@ -68,7 +68,7 @@ let test_wal_memory_round_trip () =
   let backend = Backend.memory () in
   let snap = ref "state-0" in
   let wal =
-    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> !snap)
+    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> !snap) ()
   in
   List.iter (Wal.append wal) records;
   let rv = Wal.recover ~backend in
@@ -92,7 +92,7 @@ let test_wal_auto_snapshot () =
   let appended = ref 0 in
   let wal =
     Wal.create ~backend ~snapshot_every:3 ~take_snapshot:(fun () ->
-        Printf.sprintf "snap-%d" !appended)
+        Printf.sprintf "snap-%d" !appended) ()
   in
   for i = 1 to 7 do
     appended := i;
@@ -113,7 +113,7 @@ let test_wal_file_backend () =
   let backend = Backend.file ~fsync:false ~dir ~node:"n0" () in
   backend.Backend.reset_log ();
   let wal =
-    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> "s")
+    Wal.create ~backend ~snapshot_every:1000 ~take_snapshot:(fun () -> "s") ()
   in
   List.iter (Wal.append wal) records;
   Wal.snapshot_now wal;
@@ -173,6 +173,65 @@ let test_record_round_trip () =
   (match Durable.decode_record "\xff" with
   | exception Codb_net.Codec.Malformed _ -> ()
   | _ -> Alcotest.fail "unknown tag must raise Malformed")
+
+(* --- dictionary-mode records and tabled snapshots -------------------- *)
+
+let test_record_dict_round_trip () =
+  let module Codec = Codb_net.Codec in
+  let tuples = [ tup [ i 1; s "payload-string" ]; tup [ i 2; s "payload-string" ] ] in
+  let rs =
+    [
+      Durable.Insert { rel = "data"; tuples };
+      Durable.Import { rule = "r1"; rel = "data"; hops = 2; at = 0.125; tuples };
+      Durable.Insert { rel = "data"; tuples };
+      Durable.Sub_add
+        { sub_id = "s1"; owner = Durable.Olocal; query_text = "a(x) <- b(x)" };
+      Durable.Sub_remove { sub_id = "s1" };
+    ]
+  in
+  let d = Codec.Dict.sender () in
+  let encoded = List.map (fun r -> Durable.encode_record ~dict:d r) rs in
+  (* replay exactly as recovery does: one mirror, built in record order *)
+  let tab = Hashtbl.create 16 in
+  List.iter2
+    (fun r bytes ->
+      Alcotest.(check bool) "dictionary record round-trips" true
+        (Durable.decode_record ~dict:tab bytes = r))
+    rs encoded;
+  (match encoded with
+  | first :: _ :: third :: _ ->
+      Alcotest.(check bool) "repeated record shrinks" true
+        (String.length third < String.length first);
+      (* a dictionary record without its replay mirror must fail loudly *)
+      (match Durable.decode_record third with
+      | exception Codec.Malformed _ -> ()
+      | _ -> Alcotest.fail "dict record decoded without a replay table")
+  | _ -> assert false);
+  (* plain and dictionary records coexist in one log *)
+  let plain = Durable.encode_record (List.hd rs) in
+  Alcotest.(check bool) "mixed-mode log replays" true
+    (Durable.decode_record ~dict:tab plain = List.hd rs)
+
+let test_tabled_snapshot_smaller () =
+  let sys =
+    System.build_exn
+      ~opts:{ Options.default with Options.durability = Options.Dur_wal }
+      (Topology.generate ~seed:5 Topology.Chain ~n:3)
+  in
+  let _ = System.run_update sys ~initiator:"n0" in
+  for k = 0 to 49 do
+    Alcotest.(check bool) "fact inserted" true
+      (System.insert_fact sys ~at:"n1" ~rel:"data"
+         (tup [ i (1000 + k); s (Printf.sprintf "shared-stem/value-%04d" k) ]))
+  done;
+  let node = System.node sys "n1" in
+  let v1 = Durable.encode_snapshot node in
+  let v2 = Durable.encode_snapshot ~tabled:true node in
+  Alcotest.(check bool)
+    (Printf.sprintf "tabled snapshot strictly smaller (%d < %d)"
+       (String.length v2) (String.length v1))
+    true
+    (String.length v2 < String.length v1)
 
 (* --- the three crash models ----------------------------------------- *)
 
@@ -239,6 +298,29 @@ let test_wal_crash_recovers_store () =
   let ch = Report.chaos_report (System.snapshots sys) in
   Alcotest.(check bool) "replayed bytes surfaced in stats" true
     (ch.Report.chr_replayed_bytes > 0)
+
+let test_wal_dict_crash_recovers_store () =
+  (* same crash/restart discipline, with the WAL stream and snapshots
+     in dictionary mode — recovery must land on the identical store *)
+  let opts = { (dur_opts ()) with Options.link_dicts = true } in
+  let plain_sys = System.build_exn ~opts:(dur_opts ()) (chain 3) in
+  let _ = System.run_update plain_sys ~initiator:"n0" in
+  let sys = System.build_exn ~opts (chain 3) in
+  let _ = System.run_update sys ~initiator:"n0" in
+  Alcotest.(check bool) "dict-mode run matches plain run" true
+    (stores_equal plain_sys sys);
+  let before = System.store_digest sys "n1" in
+  System.crash_node sys "n1";
+  System.restart_node sys "n1";
+  Alcotest.(check int) "dictionary WAL recovery restores the store" before
+    (System.store_digest sys "n1");
+  (* survive a second cycle: the post-recovery WAL re-arms its dict *)
+  ignore (System.insert_fact sys ~at:"n1" ~rel:"data" (tup [ i 777; s "late" ]));
+  let before2 = System.store_digest sys "n1" in
+  System.crash_node sys "n1";
+  System.restart_node sys "n1";
+  Alcotest.(check int) "second recovery also exact" before2
+    (System.store_digest sys "n1")
 
 let test_wal_mid_run_crash_reaches_fault_free_fixpoint () =
   let baseline = System.build_exn (chain 5) in
@@ -354,6 +436,12 @@ let suite =
     Alcotest.test_case "WAL auto-snapshot compaction" `Quick test_wal_auto_snapshot;
     Alcotest.test_case "WAL file backend + torn write" `Quick test_wal_file_backend;
     Alcotest.test_case "durable records round-trip" `Quick test_record_round_trip;
+    Alcotest.test_case "dictionary records round-trip" `Quick
+      test_record_dict_round_trip;
+    Alcotest.test_case "tabled snapshots are smaller" `Quick
+      test_tabled_snapshot_smaller;
+    Alcotest.test_case "Dur_wal + link_dicts: exact recovery" `Quick
+      test_wal_dict_crash_recovers_store;
     Alcotest.test_case "Dur_off: lenient crash" `Quick test_off_crash_keeps_store;
     Alcotest.test_case "Dur_volatile: wipe, then catch-up" `Quick
       test_volatile_crash_wipes_store;

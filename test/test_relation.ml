@@ -328,6 +328,129 @@ let prop_columnar_matches_seed =
       && Relation.to_list !r = Ref.to_list !o
       && Relation.cardinal !r = Ref.cardinal !o)
 
+(* --- zone maps ------------------------------------------------------ *)
+
+module Intern = Codb_relalg.Intern
+
+(* the row-level semantics pruning must stay sound against: every
+   bound holds on the packed cell *)
+let row_matches pv bounds id =
+  List.for_all
+    (fun (col, op, k) ->
+      let c = Intern.compare (pv.Relation.pv_cell col id) k in
+      match op with
+      | Relation.Blt -> c < 0
+      | Relation.Ble -> c <= 0
+      | Relation.Bgt -> c > 0
+      | Relation.Bge -> c >= 0
+      | Relation.Beq -> c = 0)
+    bounds
+
+let ids_set (ids, n) = List.sort_uniq compare (Array.to_list (Array.sub ids 0 n))
+
+let check_prune_sound r bounds =
+  let pv = Relation.packed_view r in
+  match pv.Relation.pv_prune bounds with
+  | None -> Alcotest.fail "columnar relation offered no zone maps"
+  | Some (ids, n, visited, pruned) ->
+      let all = ids_set (pv.Relation.pv_all ()) in
+      let survivors = ids_set (ids, n) in
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) "survivor is a live row" true (List.mem id all))
+        survivors;
+      List.iter
+        (fun id ->
+          if row_matches pv bounds id then
+            Alcotest.(check bool) "no matching row was pruned" true
+              (List.mem id survivors))
+        all;
+      (visited, pruned)
+
+let test_zone_prune_selective () =
+  let r = fresh () in
+  for k = 0 to 9999 do
+    ignore (Relation.insert r (tup [ i k; i (k * 7) ]))
+  done;
+  let lt100 = [ (0, Relation.Blt, Intern.pack (i 100)) ] in
+  let visited, pruned = check_prune_sound r lt100 in
+  (* 10000 rows = 3 chunks of 4096; only the first can hold a < 100 *)
+  Alcotest.(check int) "all chunks accounted" 3 (visited + pruned);
+  Alcotest.(check int) "two chunks skipped" 2 pruned;
+  let top = [ (0, Relation.Bge, Intern.pack (i 9000)) ] in
+  let _, pruned = check_prune_sound r top in
+  Alcotest.(check int) "leading chunks skipped" 2 pruned;
+  let none = [ (0, Relation.Bgt, Intern.pack (i 10000)) ] in
+  let visited, pruned = check_prune_sound r none in
+  Alcotest.(check int) "empty range visits nothing" 0 visited;
+  Alcotest.(check int) "empty range prunes everything" 3 pruned
+
+let test_zone_prune_removals_stay_sound () =
+  let r = fresh () in
+  for k = 0 to 8999 do
+    ignore (Relation.insert r (tup [ i k; i k ]))
+  done;
+  (* hollow out the middle: bounds go stale-wide, never wrong *)
+  for k = 3000 to 5999 do
+    ignore (Relation.remove r (tup [ i k; i k ]))
+  done;
+  let bounds = [ (0, Relation.Bge, Intern.pack (i 2000)); (0, Relation.Ble, Intern.pack (i 7000)) ] in
+  ignore (check_prune_sound r bounds : int * int);
+  (* and a copy neither shares nor loses the zones *)
+  let r' = Relation.copy r in
+  ignore (Relation.insert r' (tup [ i 20000; i 20000 ]));
+  ignore (check_prune_sound r' bounds : int * int);
+  ignore (check_prune_sound r bounds : int * int);
+  Relation.clear r;
+  let pv = Relation.packed_view r in
+  match pv.Relation.pv_prune bounds with
+  | None -> ()
+  | Some (_, n, _, _) -> Alcotest.(check int) "cleared relation yields no rows" 0 n
+
+let test_zone_prune_strings () =
+  let r = Relation.create mixed_schema in
+  List.iteri
+    (fun k name -> ignore (Relation.insert r (tup [ i k; s name ])))
+    [ "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta" ];
+  ignore
+    (check_prune_sound r [ (1, Relation.Bge, Intern.pack (s "delta")) ] : int * int);
+  ignore
+    (check_prune_sound r [ (1, Relation.Beq, Intern.pack (s "beta")) ] : int * int)
+
+let gen_bound =
+  Gen.map2
+    (fun (col, k) op -> (col, op, k))
+    (Gen.oneof
+       [
+         Gen.map (fun v' -> (0, Intern.pack v')) gen_a;
+         Gen.map (fun v' -> (1, Intern.pack v')) gen_b;
+       ])
+    (Gen.oneofl [ Relation.Blt; Relation.Ble; Relation.Bgt; Relation.Bge; Relation.Beq ])
+
+let prop_zone_prune_sound =
+  Q2.Test.make ~name:"zone-map pruning never drops a matching row" ~count:300
+    (Gen.pair
+       (Gen.list_size (Gen.int_range 0 60) gen_op)
+       (Gen.list_size (Gen.int_range 0 3) gen_bound))
+    (fun (ops, bounds) ->
+      let r = Relation.create mixed_schema in
+      List.iter
+        (function
+          | Insert t -> ignore (Relation.insert r t)
+          | Remove t -> ignore (Relation.remove r t)
+          | _ -> ())
+        ops;
+      let pv = Relation.packed_view r in
+      match pv.Relation.pv_prune bounds with
+      | None -> true
+      | Some (ids, n, _, _) ->
+          let all = ids_set (pv.Relation.pv_all ()) in
+          let survivors = ids_set (ids, n) in
+          List.for_all (fun id -> List.mem id all) survivors
+          && List.for_all
+               (fun id -> (not (row_matches pv bounds id)) || List.mem id survivors)
+               all)
+
 let suite =
   [
     Alcotest.test_case "insert deduplicates" `Quick test_insert_dedup;
@@ -355,4 +478,11 @@ let suite =
     Alcotest.test_case "array probe variants agree with lists" `Quick
       test_array_variants_agree;
     QCheck_alcotest.to_alcotest prop_columnar_matches_seed;
+    Alcotest.test_case "zone maps prune selective ranges" `Quick
+      test_zone_prune_selective;
+    Alcotest.test_case "zone maps survive removals, copies, clear" `Quick
+      test_zone_prune_removals_stay_sound;
+    Alcotest.test_case "zone maps order interned strings" `Quick
+      test_zone_prune_strings;
+    QCheck_alcotest.to_alcotest prop_zone_prune_sound;
   ]
